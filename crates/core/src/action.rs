@@ -1,0 +1,227 @@
+//! Action sets (Definition 8).
+//!
+//! An *action* is a 3-tuple `(bp, s, t)` — an active binding pattern, a
+//! service reference and an input tuple — recording one side-effecting
+//! invocation triggered by a query. The *action set* of a query is the set
+//! of all such actions; Definition 9 makes it half of query equivalence:
+//! two queries are equivalent iff they produce the same result *and* the
+//! same action set.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::binding::BindingPattern;
+use crate::tuple::Tuple;
+use crate::value::ServiceRef;
+
+/// One action `(bp, s, t)` (Definition 8).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Action {
+    bp: BindingPattern,
+    service: ServiceRef,
+    input: Tuple,
+}
+
+impl Action {
+    /// Record an action.
+    pub fn new(bp: BindingPattern, service: ServiceRef, input: Tuple) -> Self {
+        Action { bp, service, input }
+    }
+
+    /// The active binding pattern.
+    pub fn binding_pattern(&self) -> &BindingPattern {
+        &self.bp
+    }
+
+    /// The service reference invoked.
+    pub fn service(&self) -> &ServiceRef {
+        &self.service
+    }
+
+    /// The input tuple over `Input_ψ`.
+    pub fn input(&self) -> &Tuple {
+        &self.input
+    }
+
+    /// Canonical sort key (prototype, service attr, service ref, input).
+    fn sort_key(&self) -> (String, String, String, String) {
+        (
+            self.bp.prototype().name().to_string(),
+            self.bp.service_attr().to_string(),
+            self.service.to_string(),
+            format!("{}", self.input),
+        )
+    }
+}
+
+impl PartialOrd for Action {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Action {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Matches the paper's notation, e.g.
+        // (bp1, email, (nicolas@elysee.fr, Bonjour!))
+        write!(f, "({}, {}, {})", self.bp, self.service, self.input)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A set of actions — `Actions_p(q)`.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct ActionSet {
+    actions: BTreeSet<Action>,
+}
+
+impl ActionSet {
+    /// The empty action set (every passive-only query has this one).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an action. Set semantics: duplicates collapse, mirroring
+    /// Definition 8's set-of-3-tuples.
+    pub fn record(&mut self, action: Action) -> bool {
+        self.actions.insert(action)
+    }
+
+    /// Number of distinct actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True iff no active binding pattern was invoked.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Iterate in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Action> {
+        self.actions.iter()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, a: &Action) -> bool {
+        self.actions.contains(a)
+    }
+
+    /// Union in place (queries compose; so do their action sets).
+    pub fn extend(&mut self, other: ActionSet) {
+        self.actions.extend(other.actions);
+    }
+}
+
+impl fmt::Debug for ActionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for ActionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<Action> for ActionSet {
+    fn from_iter<I: IntoIterator<Item = Action>>(iter: I) -> Self {
+        ActionSet { actions: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a ActionSet {
+    type Item = &'a Action;
+    type IntoIter = std::collections::btree_set::Iter<'a, Action>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.actions.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prototype::examples as protos;
+    use crate::tuple;
+
+    fn bp1() -> BindingPattern {
+        BindingPattern::new(protos::send_message(), "messenger")
+    }
+
+    #[test]
+    fn action_display_matches_paper_example_6() {
+        let a = Action::new(
+            bp1(),
+            ServiceRef::new("email"),
+            tuple!["nicolas@elysee.fr", "Bonjour!"],
+        );
+        assert_eq!(
+            a.to_string(),
+            "(sendMessage[messenger], email, (nicolas@elysee.fr, Bonjour!))"
+        );
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut s = ActionSet::new();
+        let a = Action::new(bp1(), ServiceRef::new("email"), tuple!["x", "hi"]);
+        assert!(s.record(a.clone()));
+        assert!(!s.record(a.clone()));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&a));
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        let mk = |addr: &str| {
+            let mut s = ActionSet::new();
+            s.record(Action::new(
+                bp1(),
+                ServiceRef::new("email"),
+                tuple![addr, "Bonjour!"],
+            ));
+            s
+        };
+        assert_eq!(mk("a@b"), mk("a@b"));
+        assert_ne!(mk("a@b"), mk("c@d"));
+    }
+
+    #[test]
+    fn extend_unions() {
+        let a1 = Action::new(bp1(), ServiceRef::new("email"), tuple!["a", "x"]);
+        let a2 = Action::new(bp1(), ServiceRef::new("jabber"), tuple!["b", "x"]);
+        let mut s: ActionSet = vec![a1.clone()].into_iter().collect();
+        let t: ActionSet = vec![a1, a2].into_iter().collect();
+        s.extend(t);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_canonical_order() {
+        let mut s = ActionSet::new();
+        s.record(Action::new(bp1(), ServiceRef::new("jabber"), tuple!["b", "x"]));
+        s.record(Action::new(bp1(), ServiceRef::new("email"), tuple!["a", "x"]));
+        let services: Vec<String> =
+            s.iter().map(|a| a.service().to_string()).collect();
+        assert_eq!(services, vec!["email", "jabber"]);
+    }
+}

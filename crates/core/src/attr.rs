@@ -1,0 +1,132 @@
+//! Attribute names (the countable set `A` of the paper, §2.3.1).
+//!
+//! Attribute names are cheap-to-clone interned strings: operators copy
+//! schemas around aggressively (every node of a plan owns its output schema),
+//! so `AttrName` is a reference-counted `Arc<str>` with value semantics.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An attribute name from the attribute domain `A`.
+///
+/// Equality, ordering and hashing are by string value, so two independently
+/// constructed `AttrName::new("temperature")` compare equal.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrName(Arc<str>);
+
+impl AttrName {
+    /// Create an attribute name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        AttrName(Arc::from(name.as_ref()))
+    }
+
+    /// View as `&str`.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for AttrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for AttrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for AttrName {
+    fn from(s: &str) -> Self {
+        AttrName::new(s)
+    }
+}
+
+impl From<String> for AttrName {
+    fn from(s: String) -> Self {
+        AttrName(Arc::from(s))
+    }
+}
+
+impl From<&AttrName> for AttrName {
+    fn from(a: &AttrName) -> Self {
+        a.clone()
+    }
+}
+
+impl Borrow<str> for AttrName {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for AttrName {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq<str> for AttrName {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for AttrName {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+/// Convenience constructor, `attr("temperature")`.
+pub fn attr(name: impl AsRef<str>) -> AttrName {
+    AttrName::new(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn value_equality_and_hash() {
+        let a = AttrName::new("temperature");
+        let b = attr("temperature");
+        assert_eq!(a, b);
+        let mut s = HashSet::new();
+        s.insert(a);
+        assert!(s.contains("temperature"));
+        assert!(s.contains(&b));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![attr("b"), attr("a"), attr("c")];
+        v.sort();
+        assert_eq!(v, vec![attr("a"), attr("b"), attr("c")]);
+    }
+
+    #[test]
+    fn cheap_clone_shares_storage() {
+        let a = attr("x");
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let a = attr("loc");
+        assert_eq!(a.to_string(), "loc");
+        assert_eq!(format!("{a:?}"), "\"loc\"");
+    }
+
+    #[test]
+    fn comparisons_with_str() {
+        let a = attr("sent");
+        assert_eq!(a, "sent");
+        assert_ne!(a, "text");
+    }
+}

@@ -1,0 +1,128 @@
+//! Binding patterns (§2.2, Definition 2).
+//!
+//! A binding pattern `bp = (prototype_bp, service_bp)` ties a prototype to a
+//! real *service-reference attribute* of an extended relation schema: it is
+//! "the relationship between service references, virtual attributes and
+//! prototypes" — the declarative recipe for obtaining values of virtual
+//! attributes at query-execution time.
+//!
+//! Validity against the owning schema (`service_bp ∈ realSchema(R)`,
+//! `schema(Input) ⊆ schema(R)`, `schema(Output) ⊆ virtualSchema(R)`) is
+//! enforced by [`crate::schema::XSchemaBuilder`]; re-validation after an
+//! operator (Table 3's BP survival rules) lives on
+//! [`crate::schema::XSchema`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::attr::AttrName;
+use crate::prototype::Prototype;
+
+/// A binding pattern associated with an extended relation schema.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BindingPattern {
+    prototype: Arc<Prototype>,
+    service_attr: AttrName,
+}
+
+impl BindingPattern {
+    /// Build a binding pattern. Schema-level validity is checked when the
+    /// pattern is attached to a schema.
+    pub fn new(prototype: Arc<Prototype>, service_attr: impl Into<AttrName>) -> Self {
+        BindingPattern { prototype, service_attr: service_attr.into() }
+    }
+
+    /// `prototype_bp`.
+    pub fn prototype(&self) -> &Arc<Prototype> {
+        &self.prototype
+    }
+
+    /// `service_bp` — the real attribute holding the service reference.
+    pub fn service_attr(&self) -> &AttrName {
+        &self.service_attr
+    }
+
+    /// `active(bp) = active(prototype_bp)` (Definition 2).
+    pub fn is_active(&self) -> bool {
+        self.prototype.is_active()
+    }
+
+    /// A copy of this pattern with its service attribute renamed, used by
+    /// the renaming operator (Table 3(c)).
+    pub fn with_service_attr(&self, service_attr: AttrName) -> Self {
+        BindingPattern { prototype: self.prototype.clone(), service_attr }
+    }
+
+    /// Identity key used for display and lookup: `prototype[service_attr]`,
+    /// matching the paper's notation, e.g. `sendMessage[messenger]`.
+    pub fn key(&self) -> String {
+        format!("{}[{}]", self.prototype.name(), self.service_attr)
+    }
+
+    /// Render as the pseudo-DDL of Table 2, e.g.
+    /// `sendMessage[messenger] ( address, text ) : ( sent )`.
+    pub fn to_ddl(&self) -> String {
+        let names = |s: &crate::prototype::RelationSchema| {
+            s.names().map(|a| a.to_string()).collect::<Vec<_>>().join(", ")
+        };
+        format!(
+            "{}[{}] ( {} ) : ( {} )",
+            self.prototype.name(),
+            self.service_attr,
+            names(self.prototype.input()),
+            names(self.prototype.output()),
+        )
+    }
+}
+
+impl fmt::Debug for BindingPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+impl fmt::Display for BindingPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prototype::examples;
+
+    #[test]
+    fn key_matches_paper_notation() {
+        let bp = BindingPattern::new(examples::send_message(), "messenger");
+        assert_eq!(bp.key(), "sendMessage[messenger]");
+        assert!(bp.is_active());
+    }
+
+    #[test]
+    fn ddl_matches_table_2() {
+        let bp = BindingPattern::new(examples::send_message(), "messenger");
+        assert_eq!(bp.to_ddl(), "sendMessage[messenger] ( address, text ) : ( sent )");
+        let bp = BindingPattern::new(examples::check_photo(), "camera");
+        assert_eq!(bp.to_ddl(), "checkPhoto[camera] ( area ) : ( quality, delay )");
+    }
+
+    #[test]
+    fn rename_service_attr() {
+        let bp = BindingPattern::new(examples::take_photo(), "camera");
+        let bp2 = bp.with_service_attr(AttrName::new("device"));
+        assert_eq!(bp2.key(), "takePhoto[device]");
+        assert_eq!(bp2.prototype().name(), "takePhoto");
+        // original untouched
+        assert_eq!(bp.key(), "takePhoto[camera]");
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = BindingPattern::new(examples::check_photo(), "camera");
+        let b = BindingPattern::new(examples::check_photo(), "camera");
+        let c = BindingPattern::new(examples::check_photo(), "webcam");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

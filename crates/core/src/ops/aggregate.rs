@@ -1,0 +1,352 @@
+//! Aggregation γ — **extension beyond the paper**.
+//!
+//! §1.2 motivates queries that "compute a mean temperature for a given
+//! location", but the Serena algebra of §3 defines no aggregate operator.
+//! We provide a standard grouping operator as a clearly-flagged extension:
+//! it participates in plans and the continuous executor, but is excluded
+//! from the Table 5 rewrite-rule reproduction and from the equivalence
+//! property tests.
+//!
+//! Semantics: group the operand by a list of *real* attributes and compute
+//! aggregates over real attributes. The output schema contains only the
+//! group attributes and the aggregate columns — all real, no virtual
+//! attributes, no binding patterns (aggregation collapses tuple identity,
+//! so per-tuple service references are no longer meaningful).
+
+use std::collections::HashMap;
+
+use crate::attr::AttrName;
+use crate::error::{EvalError, PlanError};
+use crate::schema::{Attribute, SchemaRef, XSchema};
+use crate::tuple::Tuple;
+use crate::value::{DataType, Value};
+use crate::xrelation::XRelation;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFun {
+    /// Row count (argument attribute ignored for counting semantics but
+    /// kept for naming).
+    Count,
+    /// Sum over INTEGER/REAL.
+    Sum,
+    /// Arithmetic mean over INTEGER/REAL; result is REAL.
+    Avg,
+    /// Minimum (any ordered type).
+    Min,
+    /// Maximum (any ordered type).
+    Max,
+}
+
+impl AggFun {
+    fn name(&self) -> &'static str {
+        match self {
+            AggFun::Count => "count",
+            AggFun::Sum => "sum",
+            AggFun::Avg => "avg",
+            AggFun::Min => "min",
+            AggFun::Max => "max",
+        }
+    }
+
+    fn output_type(&self, input: DataType) -> Result<DataType, PlanError> {
+        match self {
+            AggFun::Count => Ok(DataType::Int),
+            AggFun::Avg => match input {
+                DataType::Int | DataType::Real => Ok(DataType::Real),
+                other => Err(PlanError::Aggregate(format!(
+                    "avg requires a numeric attribute, got {other}"
+                ))),
+            },
+            AggFun::Sum => match input {
+                DataType::Int => Ok(DataType::Int),
+                DataType::Real => Ok(DataType::Real),
+                other => Err(PlanError::Aggregate(format!(
+                    "sum requires a numeric attribute, got {other}"
+                ))),
+            },
+            AggFun::Min | AggFun::Max => {
+                if input.is_ordered() {
+                    Ok(input)
+                } else {
+                    Err(PlanError::Aggregate(format!(
+                        "min/max require an ordered type, got {input}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// One aggregate column: `fun(attr) AS name`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggSpec {
+    /// Function to apply.
+    pub fun: AggFun,
+    /// Real attribute to aggregate.
+    pub attr: AttrName,
+    /// Output column name.
+    pub as_name: AttrName,
+}
+
+impl AggSpec {
+    /// `fun(attr) AS {fun}_{attr}`.
+    pub fn new(fun: AggFun, attr: impl Into<AttrName>) -> Self {
+        let attr = attr.into();
+        let as_name = AttrName::new(format!("{}_{}", fun.name(), attr));
+        AggSpec { fun, attr, as_name }
+    }
+
+    /// Override the output column name.
+    pub fn named(mut self, name: impl Into<AttrName>) -> Self {
+        self.as_name = name.into();
+        self
+    }
+}
+
+/// Output schema of `γ_{group; aggs}(r)`.
+pub fn aggregate_schema(
+    schema: &XSchema,
+    group: &[AttrName],
+    aggs: &[AggSpec],
+) -> Result<SchemaRef, PlanError> {
+    if aggs.is_empty() {
+        return Err(PlanError::Aggregate("at least one aggregate required".into()));
+    }
+    let mut attrs = Vec::with_capacity(group.len() + aggs.len());
+    for g in group {
+        match schema.attr_by_name(g.as_str()) {
+            Some(a) if a.is_real() => attrs.push(a.clone()),
+            Some(_) => {
+                return Err(PlanError::Aggregate(format!(
+                    "group attribute `{g}` is virtual"
+                )))
+            }
+            None => {
+                return Err(PlanError::Aggregate(format!(
+                    "unknown group attribute `{g}`"
+                )))
+            }
+        }
+    }
+    for spec in aggs {
+        let input_ty = match schema.attr_by_name(spec.attr.as_str()) {
+            Some(a) if a.is_real() => a.ty,
+            Some(_) => {
+                return Err(PlanError::Aggregate(format!(
+                    "aggregated attribute `{}` is virtual",
+                    spec.attr
+                )))
+            }
+            None => {
+                return Err(PlanError::Aggregate(format!(
+                    "unknown aggregated attribute `{}`",
+                    spec.attr
+                )))
+            }
+        };
+        attrs.push(Attribute::real(spec.as_name.clone(), spec.fun.output_type(input_ty)?));
+    }
+    XSchema::from_attrs(attrs, Vec::new()).map_err(PlanError::Schema)
+}
+
+struct Accumulator {
+    fun: AggFun,
+    count: i64,
+    sum: f64,
+    int_only: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl Accumulator {
+    fn new(fun: AggFun) -> Self {
+        Accumulator { fun, count: 0, sum: 0.0, int_only: true, min: None, max: None }
+    }
+
+    fn push(&mut self, v: &Value) {
+        self.count += 1;
+        if let Some(r) = v.as_real() {
+            self.sum += r;
+        }
+        if !matches!(v, Value::Int(_)) {
+            self.int_only = false;
+        }
+        let better_min = self.min.as_ref().is_none_or(|m| {
+            v.partial_cmp_typed(m) == Some(std::cmp::Ordering::Less)
+        });
+        if better_min {
+            self.min = Some(v.clone());
+        }
+        let better_max = self.max.as_ref().is_none_or(|m| {
+            v.partial_cmp_typed(m) == Some(std::cmp::Ordering::Greater)
+        });
+        if better_max {
+            self.max = Some(v.clone());
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self.fun {
+            AggFun::Count => Value::Int(self.count),
+            AggFun::Sum => {
+                if self.int_only {
+                    Value::Int(self.sum as i64)
+                } else {
+                    Value::Real(self.sum)
+                }
+            }
+            AggFun::Avg => Value::Real(if self.count == 0 {
+                f64::NAN
+            } else {
+                self.sum / self.count as f64
+            }),
+            AggFun::Min => self.min.expect("group is non-empty"),
+            AggFun::Max => self.max.expect("group is non-empty"),
+        }
+    }
+}
+
+/// `γ_{group; aggs}(r)`.
+pub fn aggregate(
+    r: &XRelation,
+    group: &[AttrName],
+    aggs: &[AggSpec],
+) -> Result<XRelation, EvalError> {
+    let out_schema = aggregate_schema(r.schema(), group, aggs)?;
+    let in_schema = r.schema();
+    let group_coords: Vec<usize> = group
+        .iter()
+        .map(|g| in_schema.coord_of(g.as_str()).expect("validated real"))
+        .collect();
+    let agg_coords: Vec<usize> = aggs
+        .iter()
+        .map(|s| in_schema.coord_of(s.attr.as_str()).expect("validated real"))
+        .collect();
+
+    let mut groups: HashMap<Tuple, Vec<Accumulator>> = HashMap::new();
+    let mut order: Vec<Tuple> = Vec::new();
+    for t in r.iter() {
+        let key = t.project_positions(&group_coords);
+        let accs = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            aggs.iter().map(|s| Accumulator::new(s.fun)).collect()
+        });
+        for (acc, &c) in accs.iter_mut().zip(&agg_coords) {
+            acc.push(&t[c]);
+        }
+    }
+
+    let mut out = XRelation::empty(out_schema);
+    for key in order {
+        let accs = groups.remove(&key).expect("keyed");
+        let mut values: Vec<Value> = key.values().cloned().collect();
+        values.extend(accs.into_iter().map(Accumulator::finish));
+        out.insert(Tuple::new(values));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::attr;
+    use crate::schema::XSchema;
+    use crate::tuple;
+
+    fn readings() -> XRelation {
+        let s = XSchema::builder()
+            .real("location", DataType::Str)
+            .real("temperature", DataType::Real)
+            .build()
+            .unwrap();
+        XRelation::from_tuples(
+            s,
+            vec![
+                tuple!["office", 20.0],
+                tuple!["office", 22.0],
+                tuple!["roof", 31.0],
+            ],
+        )
+    }
+
+    #[test]
+    fn mean_temperature_per_location() {
+        // the §1.2 motivating query: mean temperature for a given location
+        let out = aggregate(
+            &readings(),
+            &[attr("location")],
+            &[AggSpec::new(AggFun::Avg, "temperature").named("mean_temp")],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&tuple!["office", 21.0]));
+        assert!(out.contains(&tuple!["roof", 31.0]));
+        assert!(out.schema().is_standard());
+    }
+
+    #[test]
+    fn count_sum_min_max() {
+        let out = aggregate(
+            &readings(),
+            &[],
+            &[
+                AggSpec::new(AggFun::Count, "temperature"),
+                AggSpec::new(AggFun::Sum, "temperature"),
+                AggSpec::new(AggFun::Min, "temperature"),
+                AggSpec::new(AggFun::Max, "temperature"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple![3, 73.0, 20.0, 31.0]));
+    }
+
+    #[test]
+    fn sum_of_integers_stays_integer() {
+        let s = XSchema::builder().real("n", DataType::Int).build().unwrap();
+        let r = XRelation::from_tuples(s, vec![tuple![1], tuple![2], tuple![4]]);
+        let out = aggregate(&r, &[], &[AggSpec::new(AggFun::Sum, "n")]).unwrap();
+        assert!(out.contains(&tuple![7]));
+    }
+
+    #[test]
+    fn group_attr_must_be_real() {
+        let c = crate::xrelation::examples::contacts();
+        assert!(aggregate(
+            &c,
+            &[attr("sent")],
+            &[AggSpec::new(AggFun::Count, "name")]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn numeric_requirements_enforced() {
+        let c = crate::xrelation::examples::contacts();
+        assert!(aggregate(&c, &[], &[AggSpec::new(AggFun::Sum, "name")]).is_err());
+        assert!(aggregate(&c, &[], &[AggSpec::new(AggFun::Count, "name")]).is_ok());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let r = XRelation::empty(readings().schema_ref());
+        let out = aggregate(&r, &[attr("location")], &[AggSpec::new(AggFun::Avg, "temperature")])
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn output_schema_drops_bps_and_virtuals() {
+        let sensors = crate::xrelation::examples::sensors();
+        let out = aggregate(
+            &sensors,
+            &[attr("location")],
+            &[AggSpec::new(AggFun::Count, "sensor").named("n")],
+        )
+        .unwrap();
+        assert!(out.schema().binding_patterns().is_empty());
+        assert!(out.schema().virtual_name_set().is_empty());
+        assert!(out.contains(&tuple!["office", 2]));
+    }
+}

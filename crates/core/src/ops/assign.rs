@@ -1,0 +1,251 @@
+//! Assignment α (Table 3(e)).
+//!
+//! The realization operator for *individual* virtual attributes:
+//! `α_{A:=B}(r)` copies the value of real attribute `B` into virtual
+//! attribute `A`, and `α_{A:=a}(r)` assigns the constant `a`. In both cases
+//! `A` becomes a real attribute of the output schema; binding patterns
+//! whose prototype output contains `A` are eliminated (their output is no
+//! longer fully virtual).
+
+use crate::attr::AttrName;
+use crate::error::PlanError;
+use crate::schema::{AttrKind, Attribute, SchemaRef, XSchema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::xrelation::XRelation;
+
+/// The right-hand side of an assignment: a real attribute or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AssignSource {
+    /// `α_{A:=B}` — copy from real attribute `B`.
+    Attr(AttrName),
+    /// `α_{A:=a}` — constant.
+    Const(Value),
+}
+
+impl AssignSource {
+    /// Attribute source.
+    pub fn attr(name: impl Into<AttrName>) -> Self {
+        AssignSource::Attr(name.into())
+    }
+
+    /// Constant source.
+    pub fn constant(v: impl Into<Value>) -> Self {
+        AssignSource::Const(v.into())
+    }
+}
+
+impl std::fmt::Display for AssignSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssignSource::Attr(a) => write!(f, "{a}"),
+            AssignSource::Const(Value::Str(s)) => write!(f, "'{s}'"),
+            AssignSource::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Output schema of `α_{A:=src}(r)`.
+pub fn assign_schema(
+    schema: &XSchema,
+    target: &AttrName,
+    source: &AssignSource,
+) -> Result<SchemaRef, PlanError> {
+    match schema.attr_by_name(target.as_str()) {
+        Some(a) if !a.is_real() => {}
+        _ => return Err(PlanError::AssignTargetNotVirtual(target.clone())),
+    }
+    let target_ty = schema.type_of(target.as_str()).expect("present");
+    match source {
+        AssignSource::Attr(b) => {
+            if !schema.is_real(b.as_str()) {
+                return Err(PlanError::AssignSourceNotReal(b.clone()));
+            }
+            let src_ty = schema.type_of(b.as_str()).expect("present");
+            if src_ty != target_ty {
+                return Err(PlanError::AssignTypeMismatch {
+                    attr: target.clone(),
+                    expected: target_ty,
+                    found: src_ty,
+                });
+            }
+        }
+        AssignSource::Const(v) => {
+            if !v.conforms_to(target_ty) {
+                return Err(PlanError::AssignTypeMismatch {
+                    attr: target.clone(),
+                    expected: target_ty,
+                    found: v.data_type(),
+                });
+            }
+        }
+    }
+    let attrs: Vec<Attribute> = schema
+        .attrs()
+        .iter()
+        .map(|a| {
+            if a.name == *target {
+                Attribute { name: a.name.clone(), ty: a.ty, kind: AttrKind::Real }
+            } else {
+                a.clone()
+            }
+        })
+        .collect();
+    // BP(S): keep patterns whose outputs avoid the realized attribute.
+    let bps = schema
+        .binding_patterns()
+        .iter()
+        .filter(|bp| !bp.prototype().output().contains(target.as_str()))
+        .cloned()
+        .collect();
+    XSchema::from_attrs(attrs, bps).map_err(PlanError::Schema)
+}
+
+/// `α_{A:=src}(r)`.
+pub fn assign(
+    r: &XRelation,
+    target: &AttrName,
+    source: &AssignSource,
+) -> Result<XRelation, PlanError> {
+    let schema = assign_schema(r.schema(), target, source)?;
+    let in_schema = r.schema();
+    // Recipe for the output tuple: coordinates of the new real layout.
+    enum Src {
+        Old(usize),
+        New,
+    }
+    let recipe: Vec<Src> = schema
+        .attrs()
+        .iter()
+        .filter(|a| a.is_real())
+        .map(|a| {
+            if a.name == *target {
+                Src::New
+            } else {
+                Src::Old(in_schema.coord_of(a.name.as_str()).expect("was real"))
+            }
+        })
+        .collect();
+    let value_of = |t: &Tuple| -> Value {
+        match source {
+            AssignSource::Attr(b) => {
+                let c = in_schema.coord_of(b.as_str()).expect("validated real");
+                t[c].clone()
+            }
+            AssignSource::Const(v) => v.clone(),
+        }
+    };
+    let mut out = XRelation::empty(schema);
+    for t in r.iter() {
+        let v = value_of(t);
+        let new_t: Tuple = recipe
+            .iter()
+            .map(|s| match s {
+                Src::Old(c) => t[*c].clone(),
+                Src::New => v.clone(),
+            })
+            .collect();
+        out.insert(new_t);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::attr;
+    use crate::tuple;
+    use crate::xrelation::examples::{cameras, contacts};
+
+    #[test]
+    fn assign_const_realizes_text() {
+        // α_{text:='Bonjour!'}(contacts) — the inner step of Q1 (Table 4)
+        let c = contacts();
+        let a = assign(&c, &attr("text"), &AssignSource::constant("Bonjour!")).unwrap();
+        assert!(a.schema().is_real("text"));
+        assert_eq!(a.schema().virtual_name_set().into_iter().collect::<Vec<_>>(), vec!["sent"]);
+        // sendMessage's output is {sent}, untouched → BP survives
+        assert_eq!(a.schema().binding_patterns().len(), 1);
+        assert_eq!(a.len(), 3);
+        // tuple layout: name, address, text, messenger (new real order)
+        assert!(a.contains(&tuple!["Nicolas", "nicolas@elysee.fr", "Bonjour!", "email"]));
+    }
+
+    #[test]
+    fn assign_attr_copies_value() {
+        // copy area into a virtual 'zone' attribute
+        let s = crate::schema::XSchema::builder()
+            .real("area", crate::value::DataType::Str)
+            .virt("zone", crate::value::DataType::Str)
+            .build()
+            .unwrap();
+        let r = XRelation::from_tuples(s, vec![tuple!["office"], tuple!["roof"]]);
+        let a = assign(&r, &attr("zone"), &AssignSource::attr("area")).unwrap();
+        assert!(a.contains(&tuple!["office", "office"]));
+        assert!(a.contains(&tuple!["roof", "roof"]));
+    }
+
+    #[test]
+    fn assigning_bp_output_attr_drops_bp() {
+        // realize `quality` by hand → checkPhoto (outputs quality, delay)
+        // no longer valid; takePhoto survives.
+        let cams = cameras();
+        let a = assign(&cams, &attr("quality"), &AssignSource::constant(7)).unwrap();
+        let keys: Vec<String> = a
+            .schema()
+            .binding_patterns()
+            .iter()
+            .map(|bp| bp.key())
+            .collect();
+        assert_eq!(keys, vec!["takePhoto[camera]"]);
+        assert!(a.contains(&tuple!["camera01", "office", 7]));
+    }
+
+    #[test]
+    fn target_must_be_virtual() {
+        let c = contacts();
+        assert!(matches!(
+            assign(&c, &attr("name"), &AssignSource::constant("X")),
+            Err(PlanError::AssignTargetNotVirtual(_))
+        ));
+        assert!(matches!(
+            assign(&c, &attr("ghost"), &AssignSource::constant("X")),
+            Err(PlanError::AssignTargetNotVirtual(_))
+        ));
+    }
+
+    #[test]
+    fn source_must_be_real() {
+        let c = contacts();
+        // `sent` is virtual → invalid source
+        assert!(matches!(
+            assign(&c, &attr("text"), &AssignSource::attr("sent")),
+            Err(PlanError::AssignSourceNotReal(_))
+        ));
+    }
+
+    #[test]
+    fn type_agreement_enforced() {
+        let c = contacts();
+        assert!(matches!(
+            assign(&c, &attr("text"), &AssignSource::constant(42)),
+            Err(PlanError::AssignTypeMismatch { .. })
+        ));
+        // attribute source with wrong type: messenger SERVICE vs sent BOOLEAN
+        assert!(matches!(
+            assign(&c, &attr("sent"), &AssignSource::attr("messenger")),
+            Err(PlanError::AssignTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn realization_is_irreversible_no_double_assign() {
+        let c = contacts();
+        let once = assign(&c, &attr("text"), &AssignSource::constant("hi")).unwrap();
+        // `text` is now real → a second α on it must fail
+        assert!(matches!(
+            assign(&once, &attr("text"), &AssignSource::constant("again")),
+            Err(PlanError::AssignTargetNotVirtual(_))
+        ));
+    }
+}

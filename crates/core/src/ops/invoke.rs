@@ -1,0 +1,340 @@
+//! Invocation β (Table 3(f)).
+//!
+//! The realization operator for the *output attributes of a binding
+//! pattern*: `β_bp(r)` invokes `prototype_bp` once per input tuple, on the
+//! service referenced by the tuple's `service_bp` attribute, with input
+//! parameters projected from the tuple. Every output tuple of the
+//! invocation extends (duplicates) the input tuple; zero output tuples drop
+//! it. Output attributes become real; binding patterns whose outputs
+//! overlap the realized attributes are eliminated.
+//!
+//! Invocations of *active* binding patterns are recorded in the query's
+//! [`ActionSet`] (Definition 8).
+
+use crate::action::{Action, ActionSet};
+use crate::binding::BindingPattern;
+use crate::error::{EvalError, PlanError};
+use crate::schema::{AttrKind, Attribute, SchemaRef, XSchema};
+use crate::service::Invoker;
+use crate::time::Instant;
+use crate::tuple::Tuple;
+use crate::xrelation::XRelation;
+
+/// Resolve the binding pattern named by `(prototype, service_attr)` on
+/// `schema` and derive the output schema of `β_bp(r)`.
+///
+/// Requires `schema(Input_ψ) ⊆ realSchema(R)` — invoke realization
+/// operators (α or an upstream β) first otherwise.
+pub fn invoke_schema(
+    schema: &XSchema,
+    prototype: &str,
+    service_attr: &str,
+) -> Result<(SchemaRef, BindingPattern), PlanError> {
+    let bp = schema
+        .find_bp_exact(prototype, service_attr)
+        .cloned()
+        .ok_or_else(|| PlanError::UnknownBindingPattern { prototype: prototype.to_string() })?;
+    // All prototype inputs must be real.
+    for a in bp.prototype().input().names() {
+        if !schema.is_real(a.as_str()) {
+            return Err(PlanError::InvokeInputNotReal {
+                prototype: prototype.to_string(),
+                attr: a.clone(),
+            });
+        }
+    }
+    let outputs: Vec<&str> = bp.prototype().output().names().map(|a| a.as_str()).collect();
+    let attrs: Vec<Attribute> = schema
+        .attrs()
+        .iter()
+        .map(|a| {
+            if outputs.contains(&a.name.as_str()) {
+                Attribute { name: a.name.clone(), ty: a.ty, kind: AttrKind::Real }
+            } else {
+                a.clone()
+            }
+        })
+        .collect();
+    // BP(S): patterns whose outputs stay within the remaining virtuals.
+    let bps = schema
+        .binding_patterns()
+        .iter()
+        .filter(|other| {
+            other
+                .prototype()
+                .output()
+                .names()
+                .all(|a| !outputs.contains(&a.as_str()) && schema.is_virtual(a.as_str()))
+        })
+        .cloned()
+        .collect();
+    let out = XSchema::from_attrs(attrs, bps).map_err(PlanError::Schema)?;
+    Ok((out, bp))
+}
+
+/// `β_bp(r)`: evaluate the invocation operator at instant `at`, resolving
+/// services through `invoker` and recording active invocations in
+/// `actions`.
+pub fn invoke(
+    r: &XRelation,
+    prototype: &str,
+    service_attr: &str,
+    invoker: &dyn Invoker,
+    at: Instant,
+    actions: &mut ActionSet,
+) -> Result<XRelation, EvalError> {
+    let (out_schema, bp) = invoke_schema(r.schema(), prototype, service_attr)?;
+    let tuples = invoke_delta(r.schema(), &out_schema, &bp, r.iter(), invoker, at, actions)?;
+    Ok(XRelation::from_tuples(out_schema, tuples))
+}
+
+/// The tuple-level core of β, shared with the continuous executor (§4.2:
+/// in continuous mode "a binding pattern is actually invoked only for newly
+/// inserted tuples"): invoke `bp` for each tuple of `tuples` (over
+/// `in_schema`) and return the extended tuples over `out_schema`.
+#[allow(clippy::too_many_arguments)]
+pub fn invoke_delta<'a>(
+    in_schema: &XSchema,
+    out_schema: &XSchema,
+    bp: &BindingPattern,
+    tuples: impl Iterator<Item = &'a Tuple>,
+    invoker: &dyn Invoker,
+    at: Instant,
+    actions: &mut ActionSet,
+) -> Result<Vec<Tuple>, EvalError> {
+    let proto = bp.prototype();
+    // Input projection: prototype input attributes, in Input_ψ order.
+    let input_coords: Vec<usize> = proto
+        .input()
+        .names()
+        .map(|a| in_schema.coord_of(a.as_str()).expect("validated real"))
+        .collect();
+    let service_coord = in_schema
+        .coord_of(bp.service_attr().as_str())
+        .expect("validated real");
+    // Output recipe: each real attribute of the output schema comes either
+    // from the input tuple or from the invocation result.
+    enum Src {
+        Old(usize),
+        Out(usize),
+    }
+    let recipe: Vec<Src> = out_schema
+        .attrs()
+        .iter()
+        .filter(|a| a.is_real())
+        .map(|a| match proto.output().index_of(a.name.as_str()) {
+            Some(i) => Src::Out(i),
+            None => Src::Old(in_schema.coord_of(a.name.as_str()).expect("was real")),
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for t in tuples {
+        let sref = t[service_coord].as_service_ref().ok_or_else(|| {
+            EvalError::Value(format!(
+                "attribute `{}` does not hold a service reference: {}",
+                bp.service_attr(),
+                t[service_coord]
+            ))
+        })?;
+        let input = t.project_positions(&input_coords);
+        if bp.is_active() {
+            actions.record(Action::new(bp.clone(), sref.clone(), input.clone()));
+        }
+        let results = invoker.invoke(proto, &sref, &input, at)?;
+        for o in &results {
+            let new_t: Tuple = recipe
+                .iter()
+                .map(|s| match s {
+                    Src::Old(c) => t[*c].clone(),
+                    Src::Out(i) => o[*i].clone(),
+                })
+                .collect();
+            out.push(new_t);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{assign, select, AssignSource};
+    use crate::attr::attr;
+    use crate::formula::Formula;
+    use crate::service::fixtures::example_registry;
+    use crate::tuple;
+    use crate::value::Value;
+    use crate::xrelation::examples::{cameras, contacts, sensors};
+
+    #[test]
+    fn passive_invocation_realizes_temperature() {
+        let reg = example_registry();
+        let mut actions = ActionSet::new();
+        let out = invoke(
+            &sensors(),
+            "getTemperature",
+            "sensor",
+            &reg,
+            Instant(3),
+            &mut actions,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out.schema().is_real("temperature"));
+        assert!(out.schema().binding_patterns().is_empty());
+        // passive prototype → empty action set (Example 7's reasoning)
+        assert!(actions.is_empty());
+        // deterministic at the instant
+        let mut actions2 = ActionSet::new();
+        let out2 = invoke(
+            &sensors(),
+            "getTemperature",
+            "sensor",
+            &reg,
+            Instant(3),
+            &mut actions2,
+        )
+        .unwrap();
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn active_invocation_records_actions_q1() {
+        // Q1 = β_{sendMessage[messenger]}(α_{text:='Bonjour!'}(σ_{name<>'Carla'}(contacts)))
+        let reg = example_registry();
+        let step1 = select(&contacts(), &Formula::ne_const("name", "Carla")).unwrap();
+        let step2 = assign(&step1, &attr("text"), &AssignSource::constant("Bonjour!")).unwrap();
+        let mut actions = ActionSet::new();
+        let out = invoke(&step2, "sendMessage", "messenger", &reg, Instant::ZERO, &mut actions)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.schema().is_real("sent"));
+        // Example 6's action set for Q1:
+        let rendered: Vec<String> = actions.iter().map(|a| a.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "(sendMessage[messenger], email, (nicolas@elysee.fr, Bonjour!))",
+                "(sendMessage[messenger], jabber, (francois@im.gouv.fr, Bonjour!))",
+            ]
+        );
+    }
+
+    #[test]
+    fn input_must_be_real() {
+        // sendMessage needs `text` real; contacts has it virtual
+        let reg = example_registry();
+        let mut actions = ActionSet::new();
+        let err = invoke(
+            &contacts(),
+            "sendMessage",
+            "messenger",
+            &reg,
+            Instant::ZERO,
+            &mut actions,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EvalError::Plan(PlanError::InvokeInputNotReal { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_bp_rejected() {
+        let reg = example_registry();
+        let mut actions = ActionSet::new();
+        assert!(matches!(
+            invoke(&contacts(), "takePhoto", "camera", &reg, Instant::ZERO, &mut actions),
+            Err(EvalError::Plan(PlanError::UnknownBindingPattern { .. }))
+        ));
+        assert!(matches!(
+            invoke(&contacts(), "sendMessage", "name", &reg, Instant::ZERO, &mut actions),
+            Err(EvalError::Plan(PlanError::UnknownBindingPattern { .. }))
+        ));
+    }
+
+    #[test]
+    fn chained_invocations_check_then_take_photo() {
+        // β_{takePhoto}(β_{checkPhoto}(cameras)): checkPhoto realizes
+        // quality+delay; takePhoto's input (area, quality) is then real.
+        let reg = example_registry();
+        let mut actions = ActionSet::new();
+        let checked = invoke(&cameras(), "checkPhoto", "camera", &reg, Instant(1), &mut actions)
+            .unwrap();
+        assert!(checked.schema().is_real("quality"));
+        // takePhoto survives checkPhoto's realization (photo still virtual)
+        assert_eq!(checked.schema().binding_patterns().len(), 1);
+        let photos = invoke(&checked, "takePhoto", "camera", &reg, Instant(1), &mut actions)
+            .unwrap();
+        assert_eq!(photos.len(), 3);
+        assert!(photos.schema().is_real("photo"));
+        assert!(photos.schema().binding_patterns().is_empty());
+        // both prototypes passive → no actions
+        assert!(actions.is_empty());
+        for t in photos.iter() {
+            let photo = photos
+                .schema()
+                .project_tuple_attr(t, "photo")
+                .unwrap();
+            assert!(matches!(photo, Value::Blob(_)));
+        }
+    }
+
+    #[test]
+    fn zero_result_invocation_drops_tuple() {
+        use crate::prototype::examples as protos;
+        use crate::service::{FnService, StaticRegistry};
+        use std::sync::Arc;
+        let reg = StaticRegistry::new();
+        // a sensor that never answers (empty relation result)
+        reg.register(
+            "mute",
+            Arc::new(FnService::new(vec![protos::get_temperature()], |_, _, _| Ok(vec![]))),
+        );
+        let schema = crate::schema::examples::sensors_schema();
+        let r = XRelation::from_tuples(schema, vec![tuple!["mute", "cave"]]);
+        let mut actions = ActionSet::new();
+        let out = invoke(&r, "getTemperature", "sensor", &reg, Instant::ZERO, &mut actions)
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multi_result_invocation_duplicates_tuple() {
+        use crate::prototype::examples as protos;
+        use crate::service::{FnService, StaticRegistry};
+        use std::sync::Arc;
+        let reg = StaticRegistry::new();
+        // a sensor reporting two readings at once
+        reg.register(
+            "twin",
+            Arc::new(FnService::new(vec![protos::get_temperature()], |_, _, _| {
+                Ok(vec![
+                    Tuple::new(vec![Value::Real(20.0)]),
+                    Tuple::new(vec![Value::Real(21.0)]),
+                ])
+            })),
+        );
+        let schema = crate::schema::examples::sensors_schema();
+        let r = XRelation::from_tuples(schema, vec![tuple!["twin", "lab"]]);
+        let mut actions = ActionSet::new();
+        let out = invoke(&r, "getTemperature", "sensor", &reg, Instant::ZERO, &mut actions)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&tuple!["twin", "lab", 20.0]));
+        assert!(out.contains(&tuple!["twin", "lab", 21.0]));
+    }
+
+    #[test]
+    fn unknown_service_reference_fails_eval() {
+        let reg = example_registry();
+        let schema = crate::schema::examples::sensors_schema();
+        let r = XRelation::from_tuples(schema, vec![tuple!["sensor99", "void"]]);
+        let mut actions = ActionSet::new();
+        let err = invoke(&r, "getTemperature", "sensor", &reg, Instant::ZERO, &mut actions)
+            .unwrap_err();
+        assert!(matches!(err, EvalError::UnknownService { .. }));
+    }
+}

@@ -1,0 +1,283 @@
+//! Natural join ⋈ (Table 3(d)).
+//!
+//! The join attributes are `schema(R1) ∩ schema(R2)`. Statuses combine by
+//! "real wins": `realSchema(S) = realSchema(R1) ∪ realSchema(R2)`, so an
+//! attribute real in one operand and virtual in the other becomes real —
+//! the *implicit realization* of §3.1.3. Only attributes **real in both**
+//! operands impose a join predicate; if no such attribute exists the join
+//! degenerates, at tuple level, to a Cartesian product.
+//!
+//! `BP(S)` is the union of both operands' binding patterns minus those
+//! whose prototype output attributes became real through the join.
+
+use std::collections::HashMap;
+
+use crate::error::PlanError;
+use crate::schema::{Attribute, SchemaRef, XSchema};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::xrelation::XRelation;
+
+/// Output schema of `r1 ⋈ r2`.
+pub fn join_schema(s1: &XSchema, s2: &XSchema) -> Result<SchemaRef, PlanError> {
+    // Common attributes must agree on their declared type (URSA, §2.3.2).
+    for a in s1.attrs() {
+        if let Some(b) = s2.attr_by_name(a.name.as_str()) {
+            if a.ty != b.ty {
+                return Err(PlanError::Schema(crate::error::SchemaError::UrsaViolation {
+                    attr: a.name.clone(),
+                    first: a.ty,
+                    second: b.ty,
+                }));
+            }
+        }
+    }
+    // schema(S) = schema(R1) ∪ schema(R2); R1 order first, then new R2 attrs.
+    let mut attrs: Vec<Attribute> = Vec::with_capacity(s1.arity() + s2.arity());
+    for a in s1.attrs() {
+        let real = a.is_real() || s2.is_real(a.name.as_str());
+        attrs.push(Attribute {
+            name: a.name.clone(),
+            ty: a.ty,
+            kind: if real {
+                crate::schema::AttrKind::Real
+            } else {
+                crate::schema::AttrKind::Virtual
+            },
+        });
+    }
+    for b in s2.attrs() {
+        if !s1.contains(b.name.as_str()) {
+            attrs.push(b.clone());
+        }
+    }
+    let virtuals: std::collections::BTreeSet<&str> = attrs
+        .iter()
+        .filter(|a| !a.is_real())
+        .map(|a| a.name.as_str())
+        .collect();
+    // BP(S): union, minus patterns whose outputs were (partly) realized.
+    let mut bps: Vec<crate::binding::BindingPattern> = Vec::new();
+    for bp in s1.binding_patterns().iter().chain(s2.binding_patterns()) {
+        let alive = bp
+            .prototype()
+            .output()
+            .names()
+            .all(|a| virtuals.contains(a.as_str()));
+        if alive && !bps.contains(bp) {
+            bps.push(bp.clone());
+        }
+    }
+    XSchema::from_attrs(attrs, bps).map_err(PlanError::Schema)
+}
+
+/// `r1 ⋈ r2`.
+pub fn join(r1: &XRelation, r2: &XRelation) -> Result<XRelation, PlanError> {
+    let s1 = r1.schema();
+    let s2 = r2.schema();
+    let out_schema = join_schema(s1, s2)?;
+
+    // Join predicate: attributes real in BOTH operands.
+    let key_attrs: Vec<&str> = s1
+        .attrs()
+        .iter()
+        .filter(|a| a.is_real() && s2.is_real(a.name.as_str()))
+        .map(|a| a.name.as_str())
+        .collect();
+    let key1: Vec<usize> = key_attrs
+        .iter()
+        .map(|a| s1.coord_of(a).expect("real in s1"))
+        .collect();
+    let key2: Vec<usize> = key_attrs
+        .iter()
+        .map(|a| s2.coord_of(a).expect("real in s2"))
+        .collect();
+
+    // Output construction recipe: for each real attribute of the output
+    // schema, pull from r1 when real there, else from r2.
+    enum Src {
+        Left(usize),
+        Right(usize),
+    }
+    let recipe: Vec<Src> = out_schema
+        .attrs()
+        .iter()
+        .filter(|a| a.is_real())
+        .map(|a| match s1.coord_of(a.name.as_str()) {
+            Some(c) => Src::Left(c),
+            None => Src::Right(s2.coord_of(a.name.as_str()).expect("real in s2")),
+        })
+        .collect();
+
+    let build = |t1: &Tuple, t2: &Tuple| -> Tuple {
+        recipe
+            .iter()
+            .map(|s| match s {
+                Src::Left(c) => t1[*c].clone(),
+                Src::Right(c) => t2[*c].clone(),
+            })
+            .collect()
+    };
+
+    let mut out = XRelation::empty(out_schema);
+    if key_attrs.is_empty() {
+        // Cartesian product.
+        for t1 in r1.iter() {
+            for t2 in r2.iter() {
+                out.insert(build(t1, t2));
+            }
+        }
+    } else {
+        // Hash join: build on the smaller side conceptually; here r2.
+        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+        for t2 in r2.iter() {
+            let k: Vec<Value> = key2.iter().map(|&c| t2[c].clone()).collect();
+            table.entry(k).or_default().push(t2);
+        }
+        for t1 in r1.iter() {
+            let k: Vec<Value> = key1.iter().map(|&c| t1[c].clone()).collect();
+            if let Some(matches) = table.get(&k) {
+                for t2 in matches {
+                    out.insert(build(t1, t2));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::XSchema;
+    use crate::tuple;
+    use crate::value::DataType;
+    use crate::xrelation::examples::{cameras, sensors};
+
+    fn surveillance() -> XRelation {
+        // who manages which location (the scenario's 4th table, §5.2)
+        let s = XSchema::builder()
+            .real("location", DataType::Str)
+            .real("manager", DataType::Str)
+            .build()
+            .unwrap();
+        XRelation::from_tuples(
+            s,
+            vec![
+                tuple!["office", "Carla"],
+                tuple!["roof", "Nicolas"],
+            ],
+        )
+    }
+
+    #[test]
+    fn natural_join_on_both_real_attr() {
+        let j = join(&sensors(), &surveillance()).unwrap();
+        // sensors: corridor/office/office/roof × surveillance office/roof
+        assert_eq!(j.len(), 3);
+        assert!(j.contains(&tuple!["sensor06", "office", "Carla"]));
+        assert!(j.contains(&tuple!["sensor07", "office", "Carla"]));
+        assert!(j.contains(&tuple!["sensor22", "roof", "Nicolas"]));
+        // temperature stays virtual; getTemperature BP survives
+        assert!(j.schema().is_virtual("temperature"));
+        assert_eq!(j.schema().binding_patterns().len(), 1);
+    }
+
+    #[test]
+    fn no_common_real_attr_is_cartesian() {
+        let a = XRelation::from_tuples(
+            XSchema::builder().real("x", DataType::Int).build().unwrap(),
+            vec![tuple![1], tuple![2]],
+        );
+        let b = XRelation::from_tuples(
+            XSchema::builder().real("y", DataType::Int).build().unwrap(),
+            vec![tuple![10], tuple![20], tuple![30]],
+        );
+        let j = join(&a, &b).unwrap();
+        assert_eq!(j.len(), 6);
+    }
+
+    #[test]
+    fn implicit_realization_real_wins() {
+        // `quality` virtual in cameras, real in a requirements table: the
+        // join realizes `quality` with the requirements' value, and
+        // checkPhoto's BP (output: quality, delay) is eliminated.
+        let reqs = XRelation::from_tuples(
+            XSchema::builder()
+                .real("area", DataType::Str)
+                .real("quality", DataType::Int)
+                .build()
+                .unwrap(),
+            vec![tuple!["office", 5]],
+        );
+        let j = join(&cameras(), &reqs).unwrap();
+        assert!(j.schema().is_real("quality"));
+        assert!(j.schema().is_virtual("delay"));
+        assert!(j.schema().is_virtual("photo"));
+        let keys: Vec<String> = j
+            .schema()
+            .binding_patterns()
+            .iter()
+            .map(|bp| bp.key())
+            .collect();
+        // checkPhoto outputs (quality, delay); quality became real → dropped.
+        // takePhoto outputs (photo), still virtual → survives.
+        assert_eq!(keys, vec!["takePhoto[camera]"]);
+        // join predicate used only `area` (the only both-real common attr):
+        // cameras in office: camera01, webcam07
+        assert_eq!(j.len(), 2);
+        assert!(j.contains(&tuple!["camera01", "office", 5]));
+        assert!(j.contains(&tuple!["webcam07", "office", 5]));
+    }
+
+    #[test]
+    fn virtual_virtual_common_attr_stays_virtual_no_predicate() {
+        // `temperature` virtual in both → stays virtual, no predicate: the
+        // tuple-level result is the Cartesian product.
+        let other = XRelation::from_tuples(
+            XSchema::builder()
+                .real("zone", DataType::Str)
+                .virt("temperature", DataType::Real)
+                .build()
+                .unwrap(),
+            vec![tuple!["north"], tuple!["south"]],
+        );
+        let j = join(&sensors(), &other).unwrap();
+        assert!(j.schema().is_virtual("temperature"));
+        assert_eq!(j.len(), 4 * 2);
+        // getTemperature BP survives (output still virtual) and dedups once
+        assert_eq!(j.schema().binding_patterns().len(), 1);
+    }
+
+    #[test]
+    fn type_conflict_on_common_attr_rejected() {
+        let bad = XRelation::from_tuples(
+            XSchema::builder().real("location", DataType::Int).build().unwrap(),
+            vec![tuple![1]],
+        );
+        assert!(join(&sensors(), &bad).is_err());
+    }
+
+    #[test]
+    fn join_is_commutative_as_sets() {
+        let a = sensors();
+        let b = surveillance();
+        let ab = join(&a, &b).unwrap();
+        let ba = join(&b, &a).unwrap();
+        assert_eq!(ab, ba); // set_eq is order-insensitive
+    }
+
+    #[test]
+    fn self_join_is_identity() {
+        let s = sensors();
+        let j = join(&s, &s).unwrap();
+        assert_eq!(j, s);
+    }
+
+    #[test]
+    fn bp_dedup_across_operands() {
+        let s = sensors();
+        let j = join(&s, &s).unwrap();
+        assert_eq!(j.schema().binding_patterns().len(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Projection π (Table 3(a)).
+//!
+//! Reduces the schema to `Y ⊆ schema(R)`; real and virtual schemas are
+//! intersected with `Y`; binding patterns survive iff their service
+//! attribute, prototype input attributes *and* output attributes all remain
+//! in `Y`. At tuple level, tuples are projected onto `Y ∩ realSchema(R)`.
+
+use std::collections::BTreeSet;
+
+use crate::attr::AttrName;
+use crate::error::PlanError;
+use crate::schema::{SchemaRef, XSchema};
+use crate::xrelation::XRelation;
+
+use super::bp_survives;
+
+/// Output schema of `π_Y(r)`. `attrs` gives the projection list `Y`; the
+/// output preserves the *requested* attribute order (schemas compare as
+/// sets, so this is cosmetic).
+pub fn project_schema(schema: &XSchema, attrs: &[AttrName]) -> Result<SchemaRef, PlanError> {
+    let mut kept = Vec::with_capacity(attrs.len());
+    for a in attrs {
+        match schema.attr_by_name(a.as_str()) {
+            Some(found) => kept.push(found.clone()),
+            None => return Err(PlanError::ProjectionUnknownAttribute(a.clone())),
+        }
+    }
+    let names: BTreeSet<&str> = kept.iter().map(|a| a.name.as_str()).collect();
+    if names.len() != kept.len() {
+        // duplicate attribute in the projection list
+        let dup = attrs
+            .iter()
+            .find(|a| attrs.iter().filter(|b| *b == *a).count() > 1)
+            .expect("duplicate exists");
+        return Err(PlanError::Schema(
+            crate::error::SchemaError::DuplicateAttribute(dup.clone()),
+        ));
+    }
+    let reals: BTreeSet<&str> = kept
+        .iter()
+        .filter(|a| a.is_real())
+        .map(|a| a.name.as_str())
+        .collect();
+    let virtuals: BTreeSet<&str> = kept
+        .iter()
+        .filter(|a| !a.is_real())
+        .map(|a| a.name.as_str())
+        .collect();
+    let bps = schema
+        .binding_patterns()
+        .iter()
+        .filter(|bp| bp_survives(bp, &names, &reals, &virtuals))
+        .cloned()
+        .collect();
+    XSchema::from_attrs(kept, bps).map_err(PlanError::Schema)
+}
+
+/// `π_Y(r)`.
+pub fn project(r: &XRelation, attrs: &[AttrName]) -> Result<XRelation, PlanError> {
+    let schema = project_schema(r.schema(), attrs)?;
+    // Coordinates of the surviving real attributes, in output order.
+    let coords: Vec<usize> = schema
+        .attrs()
+        .iter()
+        .filter(|a| a.is_real())
+        .map(|a| {
+            r.schema()
+                .coord_of(a.name.as_str())
+                .expect("real in input schema")
+        })
+        .collect();
+    let mut out = XRelation::empty(schema);
+    for t in r.iter() {
+        out.insert(t.project_positions(&coords));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::attr;
+    use crate::tuple;
+    use crate::xrelation::examples::{cameras, contacts};
+
+    #[test]
+    fn projection_reduces_both_partitions() {
+        let c = contacts();
+        let p = project(&c, &[attr("name"), attr("text")]).unwrap();
+        assert_eq!(p.schema().real_name_set().into_iter().collect::<Vec<_>>(), vec!["name"]);
+        assert_eq!(p.schema().virtual_name_set().into_iter().collect::<Vec<_>>(), vec!["text"]);
+        assert_eq!(p.len(), 3);
+        assert!(p.contains(&tuple!["Nicolas"]));
+    }
+
+    #[test]
+    fn bp_dropped_when_service_attr_projected_away() {
+        let c = contacts();
+        // drop `messenger` → sendMessage[messenger] invalid
+        let p = project(&c, &[attr("name"), attr("address"), attr("text"), attr("sent")])
+            .unwrap();
+        assert!(p.schema().binding_patterns().is_empty());
+    }
+
+    #[test]
+    fn bp_dropped_when_input_attr_projected_away() {
+        let c = contacts();
+        // drop `address` (input of sendMessage) → BP invalid
+        let p = project(&c, &[attr("name"), attr("messenger"), attr("text"), attr("sent")])
+            .unwrap();
+        assert!(p.schema().binding_patterns().is_empty());
+    }
+
+    #[test]
+    fn bp_dropped_when_output_attr_projected_away() {
+        let c = contacts();
+        // drop `sent` (output of sendMessage) → BP invalid
+        let p = project(
+            &c,
+            &[attr("name"), attr("address"), attr("messenger"), attr("text")],
+        )
+        .unwrap();
+        assert!(p.schema().binding_patterns().is_empty());
+    }
+
+    #[test]
+    fn bp_survives_when_all_attrs_kept() {
+        let c = contacts();
+        let p = project(
+            &c,
+            &[attr("address"), attr("messenger"), attr("text"), attr("sent")],
+        )
+        .unwrap();
+        assert_eq!(p.schema().binding_patterns().len(), 1);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn per_bp_survival_is_independent() {
+        let cams = cameras();
+        // Keep everything checkPhoto needs but drop takePhoto's output.
+        let p = project(
+            &cams,
+            &[attr("camera"), attr("area"), attr("quality"), attr("delay")],
+        )
+        .unwrap();
+        let keys: Vec<String> = p
+            .schema()
+            .binding_patterns()
+            .iter()
+            .map(|bp| bp.key())
+            .collect();
+        assert_eq!(keys, vec!["checkPhoto[camera]"]);
+    }
+
+    #[test]
+    fn projection_dedups_tuples() {
+        let cams = cameras(); // areas: office, corridor, office
+        let p = project(&cams, &[attr("area")]).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let c = contacts();
+        assert!(matches!(
+            project(&c, &[attr("ghost")]),
+            Err(PlanError::ProjectionUnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_projection_attr_rejected() {
+        let c = contacts();
+        assert!(project(&c, &[attr("name"), attr("name")]).is_err());
+    }
+
+    #[test]
+    fn requested_order_is_preserved() {
+        let c = contacts();
+        let p = project(&c, &[attr("messenger"), attr("name")]).unwrap();
+        let names: Vec<String> = p.schema().names().map(|a| a.to_string()).collect();
+        assert_eq!(names, vec!["messenger", "name"]);
+        assert!(p.contains(&tuple!["email", "Nicolas"]));
+    }
+
+    #[test]
+    fn projection_onto_virtual_only_yields_empty_tuples() {
+        let c = contacts();
+        let p = project(&c, &[attr("text")]).unwrap();
+        // 3 input tuples all project to the empty tuple → set collapses to 1
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.iter().next().unwrap().arity(), 0);
+    }
+}

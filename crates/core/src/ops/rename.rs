@@ -1,0 +1,139 @@
+//! Renaming ρ (Table 3(c)).
+//!
+//! `ρ_{A→B}(r)` replaces attribute `A` by `B` (which must not already be in
+//! the schema), keeping the real/virtual status. Binding patterns follow
+//! the renaming: a pattern whose *service attribute* is `A` is rewritten to
+//! use `B`; a pattern whose prototype *input or output* schema mentions `A`
+//! no longer type-checks against the renamed relation (the prototype itself
+//! is immutable) and is dropped, exactly as Table 3(c)'s subset conditions
+//! prescribe.
+
+use crate::attr::AttrName;
+use crate::error::PlanError;
+use crate::schema::{Attribute, SchemaRef, XSchema};
+use crate::xrelation::XRelation;
+
+/// Output schema of `ρ_{A→B}(r)`.
+pub fn rename_schema(
+    schema: &XSchema,
+    from: &AttrName,
+    to: &AttrName,
+) -> Result<SchemaRef, PlanError> {
+    if !schema.contains(from.as_str()) {
+        return Err(PlanError::RenameSourceMissing(from.clone()));
+    }
+    if schema.contains(to.as_str()) {
+        return Err(PlanError::RenameTargetExists(to.clone()));
+    }
+    let attrs: Vec<Attribute> = schema
+        .attrs()
+        .iter()
+        .map(|a| {
+            if a.name == *from {
+                Attribute { name: to.clone(), ty: a.ty, kind: a.kind }
+            } else {
+                a.clone()
+            }
+        })
+        .collect();
+    // Candidate BPs: rename the service attribute when it is `from`; then
+    // keep only those whose prototype input/output schemas still resolve
+    // (i.e. do not mention `from`, which no longer exists).
+    let bps = schema
+        .binding_patterns()
+        .iter()
+        .filter_map(|bp| {
+            let proto = bp.prototype();
+            let mentions_renamed = proto.input().contains(from.as_str())
+                || proto.output().contains(from.as_str());
+            if mentions_renamed {
+                return None;
+            }
+            if bp.service_attr() == from {
+                Some(bp.with_service_attr(to.clone()))
+            } else {
+                Some(bp.clone())
+            }
+        })
+        .collect();
+    XSchema::from_attrs(attrs, bps).map_err(PlanError::Schema)
+}
+
+/// `ρ_{A→B}(r)`. Tuples are untouched: renaming never changes the
+/// real/virtual status, hence coordinates are identical.
+pub fn rename(r: &XRelation, from: &AttrName, to: &AttrName) -> Result<XRelation, PlanError> {
+    let schema = rename_schema(r.schema(), from, to)?;
+    Ok(XRelation::from_tuples(schema, r.iter().cloned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::attr;
+    use crate::tuple;
+    use crate::xrelation::examples::{contacts, sensors};
+
+    #[test]
+    fn renames_real_attribute_keeping_tuples() {
+        let c = contacts();
+        let r = rename(&c, &attr("name"), &attr("who")).unwrap();
+        assert!(r.schema().is_real("who"));
+        assert!(!r.schema().contains("name"));
+        assert!(r.contains(&tuple!["Nicolas", "nicolas@elysee.fr", "email"]));
+        // BP untouched (sendMessage mentions address/text/sent, not name)
+        assert_eq!(r.schema().binding_patterns().len(), 1);
+    }
+
+    #[test]
+    fn renames_virtual_attribute() {
+        let c = contacts();
+        let r = rename(&c, &attr("text"), &attr("body")).unwrap();
+        assert!(r.schema().is_virtual("body"));
+        // sendMessage's input mentions `text` → BP dropped
+        assert!(r.schema().binding_patterns().is_empty());
+    }
+
+    #[test]
+    fn service_attr_rename_rewrites_bp() {
+        let s = sensors();
+        let r = rename(&s, &attr("sensor"), &attr("probe")).unwrap();
+        assert_eq!(r.schema().binding_patterns().len(), 1);
+        assert_eq!(r.schema().binding_patterns()[0].key(), "getTemperature[probe]");
+    }
+
+    #[test]
+    fn renaming_prototype_output_attr_drops_bp() {
+        let s = sensors();
+        let r = rename(&s, &attr("temperature"), &attr("celsius")).unwrap();
+        assert!(r.schema().binding_patterns().is_empty());
+        assert!(r.schema().is_virtual("celsius"));
+    }
+
+    #[test]
+    fn missing_source_rejected() {
+        assert!(matches!(
+            rename(&contacts(), &attr("ghost"), &attr("x")),
+            Err(PlanError::RenameSourceMissing(_))
+        ));
+    }
+
+    #[test]
+    fn existing_target_rejected() {
+        assert!(matches!(
+            rename(&contacts(), &attr("name"), &attr("address")),
+            Err(PlanError::RenameTargetExists(_))
+        ));
+    }
+
+    #[test]
+    fn rename_round_trip_is_identity() {
+        let c = contacts();
+        let there = rename(&c, &attr("name"), &attr("who")).unwrap();
+        let back = rename(&there, &attr("who"), &attr("name")).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(
+            back.schema().binding_patterns().len(),
+            c.schema().binding_patterns().len()
+        );
+    }
+}

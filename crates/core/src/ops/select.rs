@@ -1,0 +1,86 @@
+//! Selection σ (Table 3(b)).
+//!
+//! Schema-preserving; the formula may reference only real attributes (the
+//! validation lives in [`Formula::validate`]). Tuple semantics:
+//! `s = { t | t ∈ r ∧ t ⊨ F }`.
+
+use crate::error::{EvalError, PlanError};
+use crate::formula::Formula;
+use crate::schema::SchemaRef;
+use crate::xrelation::XRelation;
+
+/// Output schema of `σ_F(r)` — the operand schema, after validating `F`.
+pub fn select_schema(schema: &SchemaRef, formula: &Formula) -> Result<SchemaRef, PlanError> {
+    formula.validate(schema)?;
+    Ok(schema.clone())
+}
+
+/// `σ_F(r)`.
+pub fn select(r: &XRelation, formula: &Formula) -> Result<XRelation, EvalError> {
+    let schema = select_schema(&r.schema_ref(), formula)?;
+    let compiled = formula.compile(&schema)?;
+    let mut out = XRelation::empty(schema);
+    for t in r.iter() {
+        if compiled.matches(t)? {
+            out.insert(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+    use crate::tuple;
+    use crate::xrelation::examples::contacts;
+
+    #[test]
+    fn q1_selection_from_table_4() {
+        // σ_{name <> 'Carla'}(contacts)
+        let s = select(&contacts(), &Formula::ne_const("name", "Carla")).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&tuple!["Nicolas", "nicolas@elysee.fr", "email"]));
+        assert!(s.contains(&tuple!["Francois", "francois@im.gouv.fr", "jabber"]));
+    }
+
+    #[test]
+    fn schema_and_bps_preserved() {
+        let s = select(&contacts(), &Formula::eq_const("messenger", "email")).unwrap();
+        assert_eq!(s.schema().binding_patterns().len(), 1);
+        assert_eq!(s.schema().arity(), 5);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn selection_on_virtual_rejected() {
+        let err = select(&contacts(), &Formula::eq_const("sent", true)).unwrap_err();
+        assert!(matches!(
+            err,
+            EvalError::Plan(PlanError::SelectionOnVirtual(_))
+        ));
+    }
+
+    #[test]
+    fn true_false_formulas() {
+        assert_eq!(select(&contacts(), &Formula::True).unwrap().len(), 3);
+        assert!(select(&contacts(), &Formula::False).unwrap().is_empty());
+    }
+
+    #[test]
+    fn selection_is_idempotent() {
+        let f = Formula::eq_const("messenger", "email");
+        let once = select(&contacts(), &f).unwrap();
+        let twice = select(&once, &f).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn conjunction_commutes_with_cascade() {
+        let f = Formula::ne_const("name", "Carla");
+        let g = Formula::eq_const("messenger", "email");
+        let combined = select(&contacts(), &f.clone().and(g.clone())).unwrap();
+        let cascaded = select(&select(&contacts(), &f).unwrap(), &g).unwrap();
+        assert_eq!(combined, cascaded);
+    }
+}

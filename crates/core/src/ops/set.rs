@@ -1,0 +1,163 @@
+//! Set operators over X-Relations (§3.1.1).
+//!
+//! Union, intersection and difference "can be applied over two X-Relations
+//! associated with the same schema. The resulting X-Relation is defined over
+//! the same schema." Schema identity is up to attribute order
+//! ([`XSchema::compatible_with`]); the right operand's tuples are permuted
+//! into the left operand's coordinate order when necessary.
+
+use crate::error::PlanError;
+use crate::schema::{SchemaRef, XSchema};
+use crate::xrelation::XRelation;
+
+/// Derive the output schema of a set operator: the (left) operand schema,
+/// after checking compatibility.
+pub fn set_op_schema(left: &SchemaRef, right: &SchemaRef) -> Result<SchemaRef, PlanError> {
+    if !left.compatible_with(right) {
+        return Err(PlanError::SetOperandSchemaMismatch {
+            left: format!("{left:?}"),
+            right: format!("{right:?}"),
+        });
+    }
+    Ok(left.clone())
+}
+
+fn reordered<'a>(
+    target: &XSchema,
+    source: &'a XRelation,
+) -> impl Iterator<Item = crate::tuple::Tuple> + 'a {
+    let map = target
+        .reorder_map(source.schema())
+        .expect("checked compatible");
+    let identity: Vec<usize> = (0..target.real_arity()).collect();
+    let is_identity = map == identity;
+    source.iter().map(move |t| {
+        if is_identity {
+            t.clone()
+        } else {
+            t.project_positions(&map)
+        }
+    })
+}
+
+/// `r1 ∪ r2`.
+pub fn union(r1: &XRelation, r2: &XRelation) -> Result<XRelation, PlanError> {
+    let schema = set_op_schema(&r1.schema_ref(), &r2.schema_ref())?;
+    let mut out = r1.clone();
+    for t in reordered(&schema, r2) {
+        out.insert(t);
+    }
+    Ok(out)
+}
+
+/// `r1 ∩ r2`.
+pub fn intersect(r1: &XRelation, r2: &XRelation) -> Result<XRelation, PlanError> {
+    let schema = set_op_schema(&r1.schema_ref(), &r2.schema_ref())?;
+    let mut out = XRelation::empty(schema.clone());
+    let rhs: std::collections::HashSet<_> = reordered(&schema, r2).collect();
+    for t in r1.iter() {
+        if rhs.contains(t) {
+            out.insert(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// `r1 − r2`.
+pub fn difference(r1: &XRelation, r2: &XRelation) -> Result<XRelation, PlanError> {
+    let schema = set_op_schema(&r1.schema_ref(), &r2.schema_ref())?;
+    let mut out = XRelation::empty(schema.clone());
+    let rhs: std::collections::HashSet<_> = reordered(&schema, r2).collect();
+    for t in r1.iter() {
+        if !rhs.contains(t) {
+            out.insert(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::XSchema;
+    use crate::tuple;
+    use crate::value::DataType;
+    use crate::xrelation::examples::contacts;
+
+    fn rel(vals: &[i64]) -> XRelation {
+        let s = XSchema::builder().real("x", DataType::Int).build().unwrap();
+        XRelation::from_tuples(s, vals.iter().map(|&v| tuple![v]))
+    }
+
+    #[test]
+    fn union_dedups() {
+        let u = union(&rel(&[1, 2]), &rel(&[2, 3])).unwrap();
+        assert_eq!(u.len(), 3);
+        assert!(u.contains(&tuple![1]) && u.contains(&tuple![2]) && u.contains(&tuple![3]));
+    }
+
+    #[test]
+    fn intersect_and_difference() {
+        let a = rel(&[1, 2, 3]);
+        let b = rel(&[2, 3, 4]);
+        let i = intersect(&a, &b).unwrap();
+        assert_eq!(i.len(), 2);
+        let d = difference(&a, &b).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&tuple![1]));
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let a = rel(&[1]);
+        let s = XSchema::builder().real("y", DataType::Int).build().unwrap();
+        let b = XRelation::from_tuples(s, vec![tuple![1]]);
+        assert!(matches!(
+            union(&a, &b),
+            Err(PlanError::SetOperandSchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn attribute_order_insensitive() {
+        let a = XSchema::builder()
+            .real("x", DataType::Int)
+            .real("y", DataType::Str)
+            .build()
+            .unwrap();
+        let b = XSchema::builder()
+            .real("y", DataType::Str)
+            .real("x", DataType::Int)
+            .build()
+            .unwrap();
+        let ra = XRelation::from_tuples(a, vec![tuple![1, "p"]]);
+        let rb = XRelation::from_tuples(b, vec![tuple!["p", 1], tuple!["q", 2]]);
+        let u = union(&ra, &rb).unwrap();
+        assert_eq!(u.len(), 2); // (1,p) dedups across orders
+        let i = intersect(&ra, &rb).unwrap();
+        assert_eq!(i.len(), 1);
+        let d = difference(&rb, &ra).unwrap();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn preserves_extended_schema_and_bps() {
+        let c = contacts();
+        let u = union(&c, &c).unwrap();
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.schema().binding_patterns().len(), 1);
+        assert_eq!(u.schema().virtual_name_set().len(), 2);
+    }
+
+    #[test]
+    fn algebraic_identities() {
+        let a = rel(&[1, 2]);
+        let b = rel(&[2, 3]);
+        // commutativity of ∪ and ∩
+        assert_eq!(union(&a, &b).unwrap(), union(&b, &a).unwrap());
+        assert_eq!(intersect(&a, &b).unwrap(), intersect(&b, &a).unwrap());
+        // a − a = ∅; a ∪ a = a
+        assert!(difference(&a, &a).unwrap().is_empty());
+        assert_eq!(union(&a, &a).unwrap(), a);
+    }
+}

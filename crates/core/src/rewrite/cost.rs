@@ -1,0 +1,200 @@
+//! A simple cost model for service-oriented queries.
+//!
+//! The paper defers "a formal definition of cost models dedicated to
+//! pervasive environments" to future work (§7); this module provides the
+//! minimal model needed to rank rewritten plans: estimated output
+//! cardinality per operator plus a per-invocation charge that dwarfs
+//! per-tuple CPU work (remote service calls are orders of magnitude more
+//! expensive than local predicates).
+
+use std::collections::BTreeMap;
+
+use crate::error::PlanError;
+use crate::plan::{Plan, SchemaCatalog};
+
+/// Tunable cost parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    /// Default selectivity of a selection predicate.
+    pub selectivity: f64,
+    /// Join matching factor: |r1 ⋈ r2| ≈ factor · |r1| · |r2| when a join
+    /// predicate exists.
+    pub join_factor: f64,
+    /// Cost charged per service invocation (relative to 1.0 per processed
+    /// tuple).
+    pub invocation_cost: f64,
+    /// Average number of output tuples per invocation.
+    pub invocation_fanout: f64,
+    /// Cardinality assumed for relations absent from the statistics map.
+    pub default_cardinality: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            selectivity: 0.5,
+            join_factor: 0.1,
+            invocation_cost: 1000.0,
+            invocation_fanout: 1.0,
+            default_cardinality: 100.0,
+        }
+    }
+}
+
+/// Estimated cost of a plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated output cardinality.
+    pub rows: f64,
+    /// Estimated total number of service invocations.
+    pub invocations: f64,
+    /// Scalar cost: processed tuples + invocation charges.
+    pub cost: f64,
+}
+
+/// Estimate `plan`'s cost given base-relation cardinalities.
+pub fn estimate(
+    plan: &Plan,
+    catalog: &dyn SchemaCatalog,
+    cardinalities: &BTreeMap<String, usize>,
+    params: &CostParams,
+) -> Result<CostEstimate, PlanError> {
+    match plan {
+        Plan::Relation(name) => {
+            // validate existence
+            plan.schema(catalog)?;
+            let rows = cardinalities
+                .get(name)
+                .map(|&n| n as f64)
+                .unwrap_or(params.default_cardinality);
+            Ok(CostEstimate { rows, invocations: 0.0, cost: rows })
+        }
+        Plan::Union(a, b) => {
+            let (ea, eb) = (estimate(a, catalog, cardinalities, params)?, estimate(b, catalog, cardinalities, params)?);
+            let rows = ea.rows + eb.rows;
+            Ok(combine2(ea, eb, rows))
+        }
+        Plan::Intersect(a, b) => {
+            let (ea, eb) = (estimate(a, catalog, cardinalities, params)?, estimate(b, catalog, cardinalities, params)?);
+            let rows = ea.rows.min(eb.rows) * params.selectivity;
+            Ok(combine2(ea, eb, rows))
+        }
+        Plan::Difference(a, b) => {
+            let (ea, eb) = (estimate(a, catalog, cardinalities, params)?, estimate(b, catalog, cardinalities, params)?);
+            let rows = ea.rows * params.selectivity;
+            Ok(combine2(ea, eb, rows))
+        }
+        Plan::Project(p, _) | Plan::Rename(p, _, _) | Plan::Assign(p, _, _) => {
+            let e = estimate(p, catalog, cardinalities, params)?;
+            Ok(CostEstimate { rows: e.rows, invocations: e.invocations, cost: e.cost + e.rows })
+        }
+        Plan::Select(p, _) => {
+            let e = estimate(p, catalog, cardinalities, params)?;
+            let rows = e.rows * params.selectivity;
+            Ok(CostEstimate { rows, invocations: e.invocations, cost: e.cost + e.rows })
+        }
+        Plan::Join(a, b) => {
+            let (ea, eb) = (estimate(a, catalog, cardinalities, params)?, estimate(b, catalog, cardinalities, params)?);
+            // does the join have a predicate? (common both-real attributes)
+            let sa = a.schema(catalog)?;
+            let sb = b.schema(catalog)?;
+            let has_predicate = sa
+                .attrs()
+                .iter()
+                .any(|x| x.is_real() && sb.is_real(x.name.as_str()));
+            let rows = if has_predicate {
+                (ea.rows * eb.rows * params.join_factor).max(ea.rows.min(eb.rows))
+            } else {
+                ea.rows * eb.rows
+            };
+            Ok(combine2(ea, eb, rows))
+        }
+        Plan::Invoke(p, _, _) => {
+            let e = estimate(p, catalog, cardinalities, params)?;
+            // one invocation per input tuple
+            let invocations = e.invocations + e.rows;
+            let rows = e.rows * params.invocation_fanout;
+            Ok(CostEstimate {
+                rows,
+                invocations,
+                cost: e.cost + e.rows * params.invocation_cost,
+            })
+        }
+        Plan::Aggregate(p, group, _) => {
+            let e = estimate(p, catalog, cardinalities, params)?;
+            let rows = if group.is_empty() {
+                1.0
+            } else {
+                (e.rows * params.selectivity).max(1.0)
+            };
+            Ok(CostEstimate { rows, invocations: e.invocations, cost: e.cost + e.rows })
+        }
+    }
+}
+
+fn combine2(a: CostEstimate, b: CostEstimate, rows: f64) -> CostEstimate {
+    CostEstimate {
+        rows,
+        invocations: a.invocations + b.invocations,
+        cost: a.cost + b.cost + rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::examples::example_environment;
+    use crate::plan::examples::{q2, q2_prime};
+
+    fn cards() -> BTreeMap<String, usize> {
+        [("cameras".to_string(), 3usize), ("contacts".to_string(), 3), ("sensors".to_string(), 4)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn pushed_down_plan_costs_less() {
+        let env = example_environment();
+        let params = CostParams::default();
+        let e_opt = estimate(&q2(), &env, &cards(), &params).unwrap();
+        let e_naive = estimate(&q2_prime(), &env, &cards(), &params).unwrap();
+        assert!(
+            e_opt.cost < e_naive.cost,
+            "Q2 ({}) should be cheaper than Q2' ({})",
+            e_opt.cost,
+            e_naive.cost
+        );
+        assert!(e_opt.invocations < e_naive.invocations);
+    }
+
+    #[test]
+    fn invocation_dominates_cost() {
+        let env = example_environment();
+        let params = CostParams::default();
+        let scan = Plan::relation("cameras");
+        let inv = Plan::relation("cameras").invoke("checkPhoto", "camera");
+        let e_scan = estimate(&scan, &env, &cards(), &params).unwrap();
+        let e_inv = estimate(&inv, &env, &cards(), &params).unwrap();
+        assert!(e_inv.cost > e_scan.cost * 100.0);
+        assert_eq!(e_inv.invocations, 3.0);
+    }
+
+    #[test]
+    fn default_cardinality_for_unknown_relations() {
+        let env = example_environment();
+        let params = CostParams::default();
+        let e = estimate(&Plan::relation("cameras"), &env, &BTreeMap::new(), &params).unwrap();
+        assert_eq!(e.rows, params.default_cardinality);
+    }
+
+    #[test]
+    fn cartesian_join_estimates_product() {
+        let env = example_environment();
+        let params = CostParams::default();
+        // sensors ⋈ π_{name,address}(contacts): no common attrs → product
+        let p = Plan::relation("sensors")
+            .join(Plan::relation("contacts").project(["name", "address"]));
+        let e = estimate(&p, &env, &cards(), &params).unwrap();
+        assert_eq!(e.rows, 12.0);
+    }
+}

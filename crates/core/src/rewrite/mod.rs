@@ -1,0 +1,27 @@
+//! Query rewriting (§3.3, Table 5).
+//!
+//! Equivalence-preserving transformations over [`Plan`]s:
+//!
+//! * [`rules`] — the individual rewrite rules: the Table 5 rules commuting
+//!   realization operators (α, β) with π, σ and ⋈, plus the "well-known
+//!   rewriting rules of the relational algebra" the paper declares still
+//!   pertinent. Every rule checks its preconditions (e.g. `A ∉ F`) *and*
+//!   re-derives the output schema as a safety net;
+//! * [`optimizer`] — a heuristic fixpoint pipeline that pushes selections
+//!   toward the leaves and below *passive* invocation operators,
+//!   minimising service invocations. Active binding patterns are never
+//!   moved: "active binding patterns limit the possibility of rewriting";
+//! * [`cost`] — a simple cardinality/invocation cost model (the paper
+//!   defers cost models to future work; this extension makes the optimizer
+//!   benchmarks quantitative).
+
+pub mod cost;
+pub mod optimizer;
+pub mod rules;
+
+pub use cost::{estimate, CostEstimate, CostParams};
+pub use optimizer::{optimize, OptimizerReport};
+pub use rules::{all_rules, apply_everywhere, RewriteRule};
+
+#[allow(unused_imports)]
+use crate::plan::Plan;

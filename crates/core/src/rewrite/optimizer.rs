@@ -1,0 +1,197 @@
+//! Heuristic logical optimizer (§3.3 applied).
+//!
+//! A fixpoint pipeline over the rules of [`super::rules`]:
+//!
+//! 1. **normalize** — split conjunctive selections, drop trivial ones;
+//! 2. **pushdown** — drive every selection as far toward the leaves as the
+//!    Table 5 preconditions allow: past assignments, past *passive*
+//!    invocations, into joins, set operators and renamings. Because remote
+//!    invocations dominate cost, filtering before invoking is the dominant
+//!    win (cf. `Q2` vs `Q2'`);
+//! 3. **cleanup** — merge re-adjacent selections and absorb stacked
+//!    projections.
+//!
+//! Invocations of *active* binding patterns are never crossed (the rules
+//! refuse), so optimization provably preserves action sets: the optimizer
+//! output is Definition 9-equivalent to its input.
+
+use crate::plan::{Plan, SchemaCatalog};
+
+use super::rules::{
+    apply_everywhere, AssignIntoJoin, DropTrueSelect, InvokeIntoJoin, MergeProjects,
+    MergeSelects, ProjectPastAssign, ProjectPastInvoke, RewriteRule, SelectIntoJoin,
+    SelectIntoSetOp, SelectPastAssign, SelectPastInvoke, SelectPastProject, SelectPastRename,
+    SelectPastSelect, SplitConjunctiveSelect,
+};
+
+/// What the optimizer did to a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizerReport {
+    /// The optimized plan.
+    pub plan: Plan,
+    /// `(rule name, number of applications)` in application order.
+    pub applied: Vec<(&'static str, usize)>,
+    /// Number of fixpoint iterations of the pushdown phase.
+    pub iterations: usize,
+}
+
+impl OptimizerReport {
+    /// Total number of rule applications.
+    pub fn total_applications(&self) -> usize {
+        self.applied.iter().map(|(_, n)| n).sum()
+    }
+}
+
+const MAX_ITERATIONS: usize = 32;
+
+/// Optimize `plan` against `catalog`. Always returns a plan
+/// Definition 9-equivalent to the input (rules preserve result relations
+/// and action sets by construction).
+pub fn optimize(plan: &Plan, catalog: &dyn SchemaCatalog) -> OptimizerReport {
+    let mut applied: Vec<(&'static str, usize)> = Vec::new();
+    let mut current = plan.clone();
+
+    let run = |plan: &Plan, rule: &dyn RewriteRule, applied: &mut Vec<(&'static str, usize)>| {
+        let (next, n) = apply_everywhere(plan, rule, catalog);
+        if n > 0 {
+            applied.push((rule.name(), n));
+        }
+        next
+    };
+
+    // Phase 1: normalize.
+    current = run(&current, &SplitConjunctiveSelect, &mut applied);
+    current = run(&current, &DropTrueSelect, &mut applied);
+
+    // Phase 2: pushdown to fixpoint.
+    let pushdown: [&dyn RewriteRule; 10] = [
+        &SelectPastSelect,
+        &SelectPastProject,
+        &SelectPastAssign,
+        &SelectPastInvoke,
+        &SelectIntoJoin,
+        &SelectIntoSetOp,
+        &SelectPastRename,
+        &ProjectPastAssign,
+        &ProjectPastInvoke,
+        &SplitConjunctiveSelect,
+    ];
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let before = current.clone();
+        for rule in pushdown {
+            current = run(&current, rule, &mut applied);
+        }
+        if current == before || iterations >= MAX_ITERATIONS {
+            break;
+        }
+    }
+
+    // Phase 3: realization-operator placement across joins (reduce the
+    // tuple count seen by α/β when one join side is irrelevant).
+    for rule in [&AssignIntoJoin as &dyn RewriteRule, &InvokeIntoJoin] {
+        current = run(&current, rule, &mut applied);
+    }
+
+    // Phase 4: cleanup.
+    current = run(&current, &MergeSelects, &mut applied);
+    current = run(&current, &MergeProjects, &mut applied);
+
+    OptimizerReport { plan: current, applied, iterations }
+}
+
+/// Convenience: optimize and return only the plan.
+pub fn optimize_plan(plan: &Plan, catalog: &dyn SchemaCatalog) -> Plan {
+    optimize(plan, catalog).plan
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::examples::example_environment;
+    use crate::equiv::check_over_instants;
+    use crate::eval::{evaluate, CountingInvoker};
+    use crate::formula::Formula;
+    use crate::plan::examples::{q1, q1_prime, q2, q2_prime};
+    use crate::service::fixtures::example_registry;
+    use crate::time::Instant;
+
+    #[test]
+    fn optimizer_turns_q2_prime_into_q2_shape() {
+        let env = example_environment();
+        let report = optimize(&q2_prime(), &env);
+        assert!(report.total_applications() > 0);
+        // invocation counts now match the hand-written Q2
+        let reg = example_registry();
+        let c_opt = CountingInvoker::new(&reg);
+        evaluate(&report.plan, &env, &c_opt, Instant::ZERO).unwrap();
+        let c_q2 = CountingInvoker::new(&reg);
+        evaluate(&q2(), &env, &c_q2, Instant::ZERO).unwrap();
+        assert_eq!(c_opt.snapshot(), c_q2.snapshot());
+    }
+
+    #[test]
+    fn optimizer_preserves_equivalence() {
+        let env = example_environment();
+        let reg = example_registry();
+        for plan in [q1(), q1_prime(), q2(), q2_prime()] {
+            let optimized = optimize(&plan, &env).plan;
+            let report =
+                check_over_instants(&plan, &optimized, &env, &reg, (0..5).map(Instant))
+                    .unwrap();
+            assert!(report.equivalent(), "{plan}  vs  {optimized}: {report:?}");
+        }
+    }
+
+    #[test]
+    fn optimizer_never_crosses_active_invocations() {
+        let env = example_environment();
+        // Q1' has σ above an active β — it must stay above.
+        let report = optimize(&q1_prime(), &env);
+        let reg = example_registry();
+        let before = evaluate(&q1_prime(), &env, &reg, Instant::ZERO).unwrap();
+        let after = evaluate(&report.plan, &env, &reg, Instant::ZERO).unwrap();
+        assert_eq!(before.actions, after.actions);
+        assert_eq!(before.actions.len(), 3); // Carla still messaged
+    }
+
+    #[test]
+    fn optimizer_is_idempotent() {
+        let env = example_environment();
+        let once = optimize(&q2_prime(), &env).plan;
+        let twice = optimize(&once, &env).plan;
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn pushdown_through_join_and_rename() {
+        let env = example_environment();
+        let plan = Plan::relation("sensors")
+            .join(Plan::relation("contacts").project(["name", "address"]))
+            .rename("location", "place")
+            .select(Formula::eq_const("place", "office").and(Formula::ne_const("name", "Carla")));
+        let report = optimize(&plan, &env);
+        assert!(report.total_applications() >= 3);
+        let reg = example_registry();
+        let r = check_over_instants(&plan, &report.plan, &env, &reg, (0..3).map(Instant))
+            .unwrap();
+        assert!(r.equivalent());
+        // the σ on place should now sit directly on sensors (below ⋈, ρ)
+        let rendered = report.plan.to_algebra();
+        assert!(
+            rendered.contains("σ location = 'office' (sensors)"),
+            "unexpected plan: {rendered}"
+        );
+    }
+
+    #[test]
+    fn report_lists_applied_rules() {
+        let env = example_environment();
+        let report = optimize(&q2_prime(), &env);
+        let names: Vec<&str> = report.applied.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"split-conjunctive-select"));
+        assert!(names.contains(&"select-past-invoke"));
+    }
+}

@@ -1,0 +1,501 @@
+//! Services and invocation functions (§2.3.1, Definition 1).
+//!
+//! A service `ω ∈ Ω` implements a finite set of prototypes and is named by a
+//! service reference `id(ω) ∈ D`. A prototype invocation
+//! `invoke_ψ(s, t) → r` maps a service reference plus an input tuple to a
+//! *relation* (0, 1 or several tuples) over the prototype's output schema.
+//!
+//! The [`Invoker`] trait is the evaluator's view of the service layer; the
+//! core ships a [`StaticRegistry`] sufficient for one-shot evaluation and
+//! tests, while `serena-services` provides the full dynamic
+//! discovery-driven registry.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::EvalError;
+use crate::prototype::Prototype;
+use crate::time::Instant;
+use crate::tuple::Tuple;
+use crate::value::ServiceRef;
+
+/// A service implementation: the dynamic half of a distributed
+/// functionality (§2.1 decouples declaration/prototype from
+/// implementation/service).
+///
+/// Implementations must be **deterministic at a given instant** (§3.2): two
+/// invocations with the same `(prototype, input, at)` must return the same
+/// relation. The equivalence harness and the rewrite property tests rely on
+/// this.
+pub trait Service: Send + Sync {
+    /// `prototypes(ω)`: the prototypes this service implements.
+    fn prototypes(&self) -> Vec<Arc<Prototype>>;
+
+    /// `invoke_ψ(id(ω), t)` at logical instant `at`. The returned tuples
+    /// must be over `Output_ψ`; the registry validates this.
+    ///
+    /// Errors are free-form strings (device fault, simulated network error);
+    /// the registry wraps them into [`EvalError::InvocationFailed`].
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, String>;
+}
+
+/// A service built from a closure, for tests and examples.
+///
+/// ```
+/// use serena_core::service::FnService;
+/// use serena_core::prototype::examples::get_temperature;
+/// use serena_core::tuple::Tuple;
+/// use serena_core::value::Value;
+///
+/// let svc = FnService::new(vec![get_temperature()], |_proto, _input, at| {
+///     Ok(vec![Tuple::new(vec![Value::Real(20.0 + at.ticks() as f64)])])
+/// });
+/// ```
+pub struct FnService<F> {
+    prototypes: Vec<Arc<Prototype>>,
+    f: F,
+}
+
+impl<F> FnService<F>
+where
+    F: Fn(&Prototype, &Tuple, Instant) -> Result<Vec<Tuple>, String> + Send + Sync,
+{
+    /// Wrap a closure as a service implementing `prototypes`.
+    pub fn new(prototypes: Vec<Arc<Prototype>>, f: F) -> Self {
+        FnService { prototypes, f }
+    }
+}
+
+impl<F> Service for FnService<F>
+where
+    F: Fn(&Prototype, &Tuple, Instant) -> Result<Vec<Tuple>, String> + Send + Sync,
+{
+    fn prototypes(&self) -> Vec<Arc<Prototype>> {
+        self.prototypes.clone()
+    }
+
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, String> {
+        (self.f)(prototype, input, at)
+    }
+}
+
+/// The evaluator's hook into the service layer: resolves a service
+/// reference and performs `invoke_ψ` (Definition 1), with result-schema
+/// validation.
+pub trait Invoker: Send + Sync {
+    /// Invoke `prototype` on the service referenced by `service_ref` with
+    /// `input`, at logical instant `at`.
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        service_ref: &ServiceRef,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, EvalError>;
+
+    /// Service references of all currently registered services implementing
+    /// `prototype` (used by service-discovery queries, §5.1).
+    fn providers_of(&self, prototype: &str) -> Vec<ServiceRef>;
+}
+
+/// Validate an invocation result against `Output_ψ` — arity and value
+/// types. Shared by every `Invoker` implementation.
+pub fn validate_invocation_result(
+    prototype: &Prototype,
+    service: &ServiceRef,
+    result: &[Tuple],
+) -> Result<(), EvalError> {
+    let out = prototype.output();
+    for t in result {
+        if t.arity() != out.arity() {
+            return Err(EvalError::MalformedInvocationResult {
+                service: service.to_string(),
+                prototype: prototype.name().to_string(),
+                detail: format!(
+                    "arity {} != output schema arity {}",
+                    t.arity(),
+                    out.arity()
+                ),
+            });
+        }
+        for (i, (name, ty)) in out.attrs().enumerate() {
+            if !t[i].conforms_to(*ty) {
+                return Err(EvalError::MalformedInvocationResult {
+                    service: service.to_string(),
+                    prototype: prototype.name().to_string(),
+                    detail: format!(
+                        "output attribute `{name}`: expected {ty}, got {}",
+                        t[i].data_type()
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A static in-memory service registry: the minimal [`Invoker`] for
+/// one-shot query evaluation and tests. Dynamic discovery lives in
+/// `serena-services`.
+#[derive(Default)]
+pub struct StaticRegistry {
+    services: RwLock<HashMap<ServiceRef, Arc<dyn Service>>>,
+}
+
+impl StaticRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a service under `reference`. Replaces any previous service
+    /// with the same reference.
+    pub fn register(&self, reference: impl Into<ServiceRef>, service: Arc<dyn Service>) {
+        self.services.write().insert(reference.into(), service);
+    }
+
+    /// Remove a service. Returns `true` if it was present.
+    pub fn unregister(&self, reference: &ServiceRef) -> bool {
+        self.services.write().remove(reference).is_some()
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.services.read().len()
+    }
+
+    /// True iff no services are registered.
+    pub fn is_empty(&self) -> bool {
+        self.services.read().is_empty()
+    }
+
+    /// Whether `reference` is registered.
+    pub fn contains(&self, reference: &ServiceRef) -> bool {
+        self.services.read().contains_key(reference)
+    }
+}
+
+impl Invoker for StaticRegistry {
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        service_ref: &ServiceRef,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, EvalError> {
+        let service = {
+            let guard = self.services.read();
+            guard.get(service_ref).cloned()
+        }
+        .ok_or_else(|| EvalError::UnknownService { reference: service_ref.to_string() })?;
+        if !service
+            .prototypes()
+            .iter()
+            .any(|p| p.name() == prototype.name())
+        {
+            return Err(EvalError::PrototypeNotImplemented {
+                service: service_ref.to_string(),
+                prototype: prototype.name().to_string(),
+            });
+        }
+        let result = service.invoke(prototype, input, at).map_err(|reason| {
+            EvalError::InvocationFailed {
+                service: service_ref.to_string(),
+                prototype: prototype.name().to_string(),
+                reason,
+            }
+        })?;
+        validate_invocation_result(prototype, service_ref, &result)?;
+        Ok(result)
+    }
+
+    fn providers_of(&self, prototype: &str) -> Vec<ServiceRef> {
+        let guard = self.services.read();
+        let mut refs: Vec<ServiceRef> = guard
+            .iter()
+            .filter(|(_, s)| s.prototypes().iter().any(|p| p.name() == prototype))
+            .map(|(r, _)| r.clone())
+            .collect();
+        refs.sort();
+        refs
+    }
+}
+
+/// An [`Invoker`] that refuses every invocation — for evaluating purely
+/// relational queries where reaching a β operator is a bug.
+pub struct NoServices;
+
+impl Invoker for NoServices {
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        service_ref: &ServiceRef,
+        _input: &Tuple,
+        _at: Instant,
+    ) -> Result<Vec<Tuple>, EvalError> {
+        Err(EvalError::UnknownService {
+            reference: format!("{service_ref} (NoServices invoker, prototype {})", prototype.name()),
+        })
+    }
+
+    fn providers_of(&self, _prototype: &str) -> Vec<ServiceRef> {
+        Vec::new()
+    }
+}
+
+impl fmt::Debug for StaticRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let guard = self.services.read();
+        let mut refs: Vec<&ServiceRef> = guard.keys().collect();
+        refs.sort();
+        write!(f, "StaticRegistry{refs:?}")
+    }
+}
+
+/// Test fixtures: deterministic simulated services for the paper's running
+/// example, usable from any crate in the workspace.
+pub mod fixtures {
+    use super::*;
+    use crate::prototype::examples as protos;
+    use crate::value::Value;
+
+    /// A deterministic temperature sensor: temperature is a pure function
+    /// of (seed, instant): `base + (ticks * 7 + seed * 13) % 20`.
+    pub fn temperature_sensor(seed: u64) -> Arc<dyn Service> {
+        Arc::new(FnService::new(
+            vec![protos::get_temperature()],
+            move |_p, _in, at| {
+                let t = 10.0 + ((at.ticks() * 7 + seed * 13) % 20) as f64;
+                Ok(vec![Tuple::new(vec![Value::Real(t)])])
+            },
+        ))
+    }
+
+    /// A deterministic camera implementing `checkPhoto` and `takePhoto`.
+    /// Quality is a function of (seed, area length, instant); photos are
+    /// tiny synthetic blobs embedding the inputs.
+    pub fn camera(seed: u64) -> Arc<dyn Service> {
+        Arc::new(FnService::new(
+            vec![protos::check_photo(), protos::take_photo()],
+            move |p, input, at| match p.name() {
+                "checkPhoto" => {
+                    let area = input.get(0).and_then(|v| v.as_str()).unwrap_or("");
+                    let q = ((seed + area.len() as u64 + at.ticks()) % 10) as i64;
+                    let delay = 0.1 * ((seed % 5) as f64 + 1.0);
+                    Ok(vec![Tuple::new(vec![Value::Int(q), Value::Real(delay)])])
+                }
+                "takePhoto" => {
+                    let area = input.get(0).and_then(|v| v.as_str()).unwrap_or("");
+                    let quality = input.get(1).and_then(|v| v.as_int()).unwrap_or(0);
+                    let payload =
+                        format!("photo[{area}|q={quality}|s={seed}|t={}]", at.ticks());
+                    Ok(vec![Tuple::new(vec![Value::blob(payload.into_bytes())])])
+                }
+                other => Err(format!("camera does not implement {other}")),
+            },
+        ))
+    }
+
+    /// A messenger implementing `sendMessage`; always reports `sent=true`.
+    /// Side effects (the outbox) are modeled in `serena-services`; at the
+    /// algebra level the *action set* records the effect.
+    pub fn messenger() -> Arc<dyn Service> {
+        Arc::new(FnService::new(
+            vec![protos::send_message()],
+            |_p, _input, _at| Ok(vec![Tuple::new(vec![Value::Bool(true)])]),
+        ))
+    }
+
+    /// Registry pre-loaded with the paper's 9 services (Table 1):
+    /// email, jabber, camera01, camera02, webcam07, sensor01, sensor06,
+    /// sensor07, sensor22.
+    pub fn example_registry() -> StaticRegistry {
+        let reg = StaticRegistry::new();
+        reg.register("email", messenger());
+        reg.register("jabber", messenger());
+        reg.register("camera01", camera(1));
+        reg.register("camera02", camera(2));
+        reg.register("webcam07", camera(7));
+        reg.register("sensor01", temperature_sensor(1));
+        reg.register("sensor06", temperature_sensor(6));
+        reg.register("sensor07", temperature_sensor(7));
+        reg.register("sensor22", temperature_sensor(22));
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fixtures::*;
+    use super::*;
+    use crate::prototype::examples as protos;
+    use crate::tuple;
+
+    #[test]
+    fn registry_resolves_and_invokes() {
+        let reg = example_registry();
+        let out = reg
+            .invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("sensor01"),
+                &Tuple::empty(),
+                Instant(3),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0][0].as_real().is_some());
+    }
+
+    #[test]
+    fn determinism_at_an_instant() {
+        let reg = example_registry();
+        let call = |at| {
+            reg.invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("sensor22"),
+                &Tuple::empty(),
+                at,
+            )
+            .unwrap()
+        };
+        assert_eq!(call(Instant(5)), call(Instant(5)));
+        // ...but time-dependent across instants (the paper's motivation for
+        // fixing the instant in Definition 9).
+        assert_ne!(call(Instant(5)), call(Instant(6)));
+    }
+
+    #[test]
+    fn unknown_service_and_missing_prototype() {
+        let reg = example_registry();
+        let err = reg
+            .invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("nope"),
+                &Tuple::empty(),
+                Instant::ZERO,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EvalError::UnknownService { .. }));
+
+        let err = reg
+            .invoke(
+                &protos::send_message(),
+                &ServiceRef::new("sensor01"),
+                &tuple!["a@b", "hi"],
+                Instant::ZERO,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EvalError::PrototypeNotImplemented { .. }));
+    }
+
+    #[test]
+    fn malformed_results_rejected() {
+        let reg = StaticRegistry::new();
+        reg.register(
+            "bad",
+            Arc::new(FnService::new(vec![protos::get_temperature()], |_, _, _| {
+                Ok(vec![tuple!["not a real"]])
+            })),
+        );
+        let err = reg
+            .invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("bad"),
+                &Tuple::empty(),
+                Instant::ZERO,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EvalError::MalformedInvocationResult { .. }));
+    }
+
+    #[test]
+    fn invocation_failure_wraps_reason() {
+        let reg = StaticRegistry::new();
+        reg.register(
+            "flaky",
+            Arc::new(FnService::new(vec![protos::get_temperature()], |_, _, _| {
+                Err("device unreachable".to_string())
+            })),
+        );
+        let err = reg
+            .invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("flaky"),
+                &Tuple::empty(),
+                Instant::ZERO,
+            )
+            .unwrap_err();
+        match err {
+            EvalError::InvocationFailed { reason, .. } => {
+                assert_eq!(reason, "device unreachable")
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn providers_of_lists_implementors_sorted() {
+        let reg = example_registry();
+        let sensors: Vec<String> = reg
+            .providers_of("getTemperature")
+            .into_iter()
+            .map(|r| r.to_string())
+            .collect();
+        assert_eq!(sensors, vec!["sensor01", "sensor06", "sensor07", "sensor22"]);
+        assert_eq!(reg.providers_of("checkPhoto").len(), 3);
+        assert_eq!(reg.providers_of("noSuchProto").len(), 0);
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let reg = example_registry();
+        assert_eq!(reg.len(), 9);
+        assert!(reg.unregister(&ServiceRef::new("email")));
+        assert!(!reg.contains(&ServiceRef::new("email")));
+        assert_eq!(reg.len(), 8);
+    }
+
+    #[test]
+    fn no_services_invoker_always_fails() {
+        let inv = NoServices;
+        assert!(inv
+            .invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("x"),
+                &Tuple::empty(),
+                Instant::ZERO
+            )
+            .is_err());
+        assert!(inv.providers_of("getTemperature").is_empty());
+    }
+
+    #[test]
+    fn take_photo_embeds_inputs() {
+        let reg = example_registry();
+        let out = reg
+            .invoke(
+                &protos::take_photo(),
+                &ServiceRef::new("camera01"),
+                &tuple!["office", 5],
+                Instant(2),
+            )
+            .unwrap();
+        let blob = out[0][0].as_blob().unwrap();
+        let text = std::str::from_utf8(blob).unwrap();
+        assert!(text.contains("office"));
+        assert!(text.contains("q=5"));
+    }
+}

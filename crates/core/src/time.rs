@@ -1,0 +1,103 @@
+//! Discrete logical time (§3.2, §4.1).
+//!
+//! The paper defines query evaluation over "a discrete and ordered time
+//! domain T of time instants τ" (in the spirit of CQL) and assumes services
+//! are deterministic *at a given instant*. We reify that as a `u64` logical
+//! instant: every invocation function receives the instant, every simulated
+//! service is a pure function of (service, instant, input), and the
+//! continuous executor advances instants one tick at a time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A discrete time instant `τ ∈ T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(pub u64);
+
+impl Instant {
+    /// The origin of the time domain.
+    pub const ZERO: Instant = Instant(0);
+
+    /// The next instant.
+    pub fn next(self) -> Instant {
+        Instant(self.0 + 1)
+    }
+
+    /// The previous instant, saturating at zero.
+    pub fn prev(self) -> Instant {
+        Instant(self.0.saturating_sub(1))
+    }
+
+    /// Raw tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Instants `max(0, self-period+1) ..= self`: the span covered by a
+    /// window `W[period]` evaluated at `self` (§4.2).
+    pub fn window_span(self, period: u64) -> std::ops::RangeInclusive<u64> {
+        let start = self.0.saturating_sub(period.saturating_sub(1));
+        start..=self.0
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ={}", self.0)
+    }
+}
+
+impl Add<u64> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: u64) -> Instant {
+        Instant(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Instant {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = u64;
+    fn sub(self, rhs: Instant) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl From<u64> for Instant {
+    fn from(t: u64) -> Self {
+        Instant(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Instant(5);
+        assert_eq!(t.next(), Instant(6));
+        assert_eq!(t.prev(), Instant(4));
+        assert_eq!(Instant::ZERO.prev(), Instant::ZERO);
+        assert_eq!(t + 3, Instant(8));
+        assert_eq!(Instant(8) - t, 3);
+        assert_eq!(t - Instant(8), 0); // saturating
+    }
+
+    #[test]
+    fn window_span_covers_last_period_instants() {
+        assert_eq!(Instant(10).window_span(1), 10..=10);
+        assert_eq!(Instant(10).window_span(3), 8..=10);
+        assert_eq!(Instant(1).window_span(5), 0..=1);
+        assert_eq!(Instant(0).window_span(0), 0..=0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Instant(7).to_string(), "τ=7");
+    }
+}

@@ -1,0 +1,336 @@
+//! X-Relations: extended relations (Definition 3).
+//!
+//! An X-Relation is a *finite set* of tuples over an extended relation
+//! schema. Tuples carry coordinates for real attributes only; the schema's
+//! δ mapping locates them. Set semantics are enforced: inserting a duplicate
+//! tuple is a no-op.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::schema::SchemaRef;
+use crate::tuple::Tuple;
+
+/// An extended relation over an [`XSchema`](crate::schema::XSchema) (Definition 3).
+#[derive(Clone)]
+pub struct XRelation {
+    schema: SchemaRef,
+    /// Insertion-ordered unique tuples. A parallel hash set provides O(1)
+    /// duplicate detection; the `Vec` keeps deterministic iteration order
+    /// (important for reproducible experiment output).
+    tuples: Vec<Tuple>,
+    index: HashSet<Tuple>,
+}
+
+impl XRelation {
+    /// The empty relation over `schema`.
+    pub fn empty(schema: SchemaRef) -> Self {
+        XRelation { schema, tuples: Vec::new(), index: HashSet::new() }
+    }
+
+    /// Build from tuples, dropping duplicates. Tuple/schema conformance is
+    /// *not* checked here; use [`XRelation::try_from_tuples`] for checked
+    /// construction.
+    pub fn from_tuples(schema: SchemaRef, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut r = XRelation::empty(schema);
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// Checked construction: every tuple must conform to the schema (arity
+    /// and types).
+    pub fn try_from_tuples(
+        schema: SchemaRef,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self, String> {
+        let mut r = XRelation::empty(schema);
+        for t in tuples {
+            r.schema.check_tuple(&t)?;
+            r.insert(t);
+        }
+        Ok(r)
+    }
+
+    /// The extended relation schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Shared handle to the schema.
+    pub fn schema_ref(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a tuple (set semantics). Returns `true` if newly inserted.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        if self.index.insert(t.clone()) {
+            self.tuples.push(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove a tuple. Returns `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        if self.index.remove(t) {
+            if let Some(pos) = self.tuples.iter().position(|u| u == t) {
+                self.tuples.remove(pos);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.index.contains(t)
+    }
+
+    /// Iterate tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Tuples as a slice (insertion order).
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Consume into the tuple vector.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Set equality with another relation: same (compatible) schema and the
+    /// same tuple set, tolerating attribute-order differences.
+    pub fn set_eq(&self, other: &XRelation) -> bool {
+        if !self.schema.compatible_with(&other.schema) || self.len() != other.len() {
+            return false;
+        }
+        match self.schema.reorder_map(&other.schema) {
+            Some(map) => other
+                .iter()
+                .all(|t| self.index.contains(&t.project_positions(&map))),
+            None => false,
+        }
+    }
+
+    /// Render as a paper-style table: one column per schema attribute, `*`
+    /// in virtual columns (cf. the tables of §1.2).
+    pub fn to_table(&self) -> String {
+        let schema = &self.schema;
+        let mut headers: Vec<String> =
+            schema.attrs().iter().map(|a| a.name.to_string()).collect();
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.len());
+        for t in &self.tuples {
+            let row: Vec<String> = schema
+                .attrs()
+                .iter()
+                .enumerate()
+                .map(|(i, _)| match schema.delta(i) {
+                    Some(c) => t[c].to_string(),
+                    None => "*".to_string(),
+                })
+                .collect();
+            rows.push(row);
+        }
+        // column widths
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        for (h, w) in headers.iter_mut().zip(&widths) {
+            *h = format!("{h:<w$}");
+        }
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("-+-");
+        let mut out = format!("| {} |\n|-{sep}-|\n", headers.join(" | "));
+        for row in rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            out.push_str(&format!("| {} |\n", cells.join(" | ")));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for XRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XRelation{:?} {{", self.schema)?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl PartialEq for XRelation {
+    fn eq(&self, other: &Self) -> bool {
+        self.set_eq(other)
+    }
+}
+
+impl Eq for XRelation {}
+
+impl<'a> IntoIterator for &'a XRelation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+/// The running example's relations (§1.2 / Example 4), shared by tests,
+/// examples and benchmarks.
+pub mod examples {
+    use super::*;
+    use crate::schema::examples as schemas;
+    use crate::tuple;
+
+    /// The `contacts` X-Relation of Example 4.
+    pub fn contacts() -> XRelation {
+        XRelation::try_from_tuples(
+            schemas::contacts_schema(),
+            vec![
+                tuple!["Nicolas", "nicolas@elysee.fr", "email"],
+                tuple!["Carla", "carla@elysee.fr", "email"],
+                tuple!["Francois", "francois@im.gouv.fr", "jabber"],
+            ],
+        )
+        .expect("tuples conform")
+    }
+
+    /// The `cameras` X-Relation (camera/area per the scenario).
+    pub fn cameras() -> XRelation {
+        XRelation::try_from_tuples(
+            schemas::cameras_schema(),
+            vec![
+                tuple!["camera01", "office"],
+                tuple!["camera02", "corridor"],
+                tuple!["webcam07", "office"],
+            ],
+        )
+        .expect("tuples conform")
+    }
+
+    /// The temperature-sensor table of §1.2.
+    pub fn sensors() -> XRelation {
+        XRelation::try_from_tuples(
+            schemas::sensors_schema(),
+            vec![
+                tuple!["sensor01", "corridor"],
+                tuple!["sensor06", "office"],
+                tuple!["sensor07", "office"],
+                tuple!["sensor22", "roof"],
+            ],
+        )
+        .expect("tuples conform")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::examples::*;
+    use super::*;
+    use crate::schema::XSchema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    #[test]
+    fn set_semantics_dedup() {
+        let s = XSchema::builder().real("x", DataType::Int).build().unwrap();
+        let mut r = XRelation::empty(s);
+        assert!(r.insert(tuple![1]));
+        assert!(!r.insert(tuple![1]));
+        assert!(r.insert(tuple![2]));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&tuple![1]));
+        assert!(r.remove(&tuple![1]));
+        assert!(!r.remove(&tuple![1]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn checked_construction_rejects_bad_tuples() {
+        let s = XSchema::builder().real("x", DataType::Int).build().unwrap();
+        assert!(XRelation::try_from_tuples(s.clone(), vec![tuple!["oops"]]).is_err());
+        assert!(XRelation::try_from_tuples(s, vec![tuple![1, 2]]).is_err());
+    }
+
+    #[test]
+    fn example_relations_have_paper_cardinalities() {
+        assert_eq!(contacts().len(), 3);
+        assert_eq!(cameras().len(), 3);
+        assert_eq!(sensors().len(), 4);
+    }
+
+    #[test]
+    fn table_rendering_shows_stars_for_virtual() {
+        let table = contacts().to_table();
+        assert!(table.contains("name"));
+        assert!(table.contains("text"));
+        // the virtual columns render as '*'
+        assert!(table.contains("*"));
+        assert!(table.contains("nicolas@elysee.fr"));
+    }
+
+    #[test]
+    fn set_eq_tolerates_attribute_order() {
+        let a = XSchema::builder()
+            .real("x", DataType::Int)
+            .real("y", DataType::Str)
+            .build()
+            .unwrap();
+        let b = XSchema::builder()
+            .real("y", DataType::Str)
+            .real("x", DataType::Int)
+            .build()
+            .unwrap();
+        let ra = XRelation::from_tuples(a, vec![tuple![1, "p"], tuple![2, "q"]]);
+        let rb = XRelation::from_tuples(b, vec![tuple!["q", 2], tuple!["p", 1]]);
+        assert!(ra.set_eq(&rb));
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn set_eq_distinguishes_content() {
+        let s = XSchema::builder().real("x", DataType::Int).build().unwrap();
+        let a = XRelation::from_tuples(s.clone(), vec![tuple![1]]);
+        let b = XRelation::from_tuples(s, vec![tuple![2]]);
+        assert!(!a.set_eq(&b));
+    }
+
+    #[test]
+    fn iteration_preserves_insertion_order() {
+        let s = XSchema::builder().real("x", DataType::Int).build().unwrap();
+        let r = XRelation::from_tuples(s, vec![tuple![3], tuple![1], tuple![2]]);
+        let xs: Vec<i64> = r.iter().map(|t| t[0].as_int().unwrap()).collect();
+        assert_eq!(xs, vec![3, 1, 2]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Tokenizer for the Serena DDL and the Serena Algebra Language.
+//!
+//! Keywords are case-insensitive (the paper's pseudo-DDL is upper-case;
+//! hand-typed statements usually are not). Identifiers are
+//! `[A-Za-z_][A-Za-z0-9_]*`; string literals use single quotes with `''`
+//! as the escape; numbers are integers or decimals. `--` starts a
+//! line comment.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// String literal (unescaped contents).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal.
+    Real(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `:=`
+    Assign,
+    /// `->`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Token {
+    /// Case-insensitive keyword test for identifiers.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Real(r) => write!(f, "{r}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::Assign => write!(f, ":="),
+            Token::Arrow => write!(f, "->"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+/// A token with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Line number.
+    pub line: usize,
+    /// Column number.
+    pub col: usize,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// Line number.
+    pub line: usize,
+    /// Column number.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `input`.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    let err = |message: &str, line: usize, col: usize| LexError {
+        message: message.to_string(),
+        line,
+        col,
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        let mut push = |t: Token, n: usize, i: &mut usize, col: &mut usize| {
+            out.push(Spanned { token: t, line: tline, col: tcol });
+            *i += n;
+            *col += n;
+        };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '-' if chars.get(i + 1) == Some(&'>') => push(Token::Arrow, 2, &mut i, &mut col),
+            '(' => push(Token::LParen, 1, &mut i, &mut col),
+            ')' => push(Token::RParen, 1, &mut i, &mut col),
+            '[' => push(Token::LBracket, 1, &mut i, &mut col),
+            ']' => push(Token::RBracket, 1, &mut i, &mut col),
+            ',' => push(Token::Comma, 1, &mut i, &mut col),
+            ';' => push(Token::Semi, 1, &mut i, &mut col),
+            ':' if chars.get(i + 1) == Some(&'=') => push(Token::Assign, 2, &mut i, &mut col),
+            ':' => push(Token::Colon, 1, &mut i, &mut col),
+            '=' => push(Token::Eq, 1, &mut i, &mut col),
+            '!' if chars.get(i + 1) == Some(&'=') => push(Token::Ne, 2, &mut i, &mut col),
+            '<' if chars.get(i + 1) == Some(&'>') => push(Token::Ne, 2, &mut i, &mut col),
+            '<' if chars.get(i + 1) == Some(&'=') => push(Token::Le, 2, &mut i, &mut col),
+            '<' => push(Token::Lt, 1, &mut i, &mut col),
+            '>' if chars.get(i + 1) == Some(&'=') => push(Token::Ge, 2, &mut i, &mut col),
+            '>' => push(Token::Gt, 1, &mut i, &mut col),
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match chars.get(j) {
+                        None => return Err(err("unterminated string literal", tline, tcol)),
+                        Some('\'') if chars.get(j + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            j += 2;
+                        }
+                        Some('\'') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            j += 1;
+                        }
+                    }
+                }
+                col += j - i;
+                i = j;
+                out.push(Spanned { token: Token::Str(s), line: tline, col: tcol });
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut is_real = false;
+                while j < chars.len()
+                    && (chars[j].is_ascii_digit()
+                        || (chars[j] == '.'
+                            && !is_real
+                            && chars.get(j + 1).is_some_and(|d| d.is_ascii_digit())))
+                {
+                    if chars[j] == '.' {
+                        is_real = true;
+                    }
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                let token = if is_real {
+                    Token::Real(
+                        text.parse()
+                            .map_err(|_| err(&format!("bad number `{text}`"), tline, tcol))?,
+                    )
+                } else {
+                    Token::Int(
+                        text.parse()
+                            .map_err(|_| err(&format!("bad number `{text}`"), tline, tcol))?,
+                    )
+                };
+                col += j - i;
+                i = j;
+                out.push(Spanned { token, line: tline, col: tcol });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                col += j - i;
+                i = j;
+                out.push(Spanned { token: Token::Ident(text), line: tline, col: tcol });
+            }
+            other => return Err(err(&format!("unexpected character `{other}`"), tline, tcol)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_prototype_ddl() {
+        let ts = toks("PROTOTYPE sendMessage( address STRING ) : ( sent BOOLEAN ) ACTIVE;");
+        assert_eq!(ts[0], Token::Ident("PROTOTYPE".into()));
+        assert!(ts.contains(&Token::Colon));
+        assert_eq!(*ts.last().unwrap(), Token::Semi);
+    }
+
+    #[test]
+    fn lexes_operators_and_literals() {
+        let ts = toks("x >= 3.5 AND name <> 'O''Brien' := -> [1]");
+        assert!(ts.contains(&Token::Ge));
+        assert!(ts.contains(&Token::Real(3.5)));
+        assert!(ts.contains(&Token::Ne));
+        assert!(ts.contains(&Token::Str("O'Brien".into())));
+        assert!(ts.contains(&Token::Assign));
+        assert!(ts.contains(&Token::Arrow));
+        assert!(ts.contains(&Token::Int(1)));
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        let ts = toks("a -- this is a comment\n b");
+        assert_eq!(ts, vec![Token::Ident("a".into()), Token::Ident("b".into())]);
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn error_on_unexpected_char() {
+        let e = lex("a § b").unwrap_err();
+        assert!(e.message.contains('§'));
+    }
+
+    #[test]
+    fn keyword_case_insensitive() {
+        let ts = lex("select").unwrap();
+        assert!(ts[0].token.is_kw("SELECT"));
+        assert!(!ts[0].token.is_kw("PROJECT"));
+    }
+
+    #[test]
+    fn integer_then_range_like_dot_handling() {
+        // `1.` without digits after the dot: the dot is not consumed
+        assert!(lex("1.").is_err()); // '.' is an unexpected character
+        assert_eq!(toks("1.5"), vec![Token::Real(1.5)]);
+    }
+}

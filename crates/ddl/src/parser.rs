@@ -1,0 +1,951 @@
+//! Recursive-descent parser for the Serena DDL and algebra language.
+//!
+//! Grammar summary (keywords case-insensitive):
+//!
+//! ```text
+//! program    := statement* ;
+//! statement  := prototype | service | xrelation | insert | delete | drop
+//!             | register | execute ;
+//! prototype  := PROTOTYPE name '(' params? ')' ':' '(' params ')' ACTIVE? ';'
+//! service    := SERVICE name IMPLEMENTS name (',' name)* ';'
+//! xrelation  := EXTENDED RELATION name '(' attr (',' attr)* ')'
+//!               (USING BINDING PATTERNS '(' binding (',' binding)* ')')?
+//!               STREAM? ';'
+//! binding    := name '[' name ']' ('(' names? ')' (':' '(' names? ')')?)?
+//! insert     := INSERT INTO name VALUES tuple (',' tuple)* ';'
+//! delete     := DELETE FROM name VALUES tuple (',' tuple)* ';'
+//! drop       := DROP RELATION name ';'
+//! register   := REGISTER QUERY name AS expr ';'
+//! execute    := EXECUTE expr ';'
+//! expr       := SELECT '[' formula ']' '(' expr ')'
+//!             | PROJECT '[' names ']' '(' expr ')'
+//!             | RENAME '[' name '->' name ']' '(' expr ')'
+//!             | JOIN/UNION/INTERSECT/DIFFERENCE '(' expr ',' expr ')'
+//!             | ASSIGN '[' name ':=' (literal | name) ']' '(' expr ')'
+//!             | INVOKE '[' name '[' name ']' ']' '(' expr ')'
+//!             | AGGREGATE '[' names? ';' agg (',' agg)* ']' '(' expr ')'
+//!             | WINDOW '[' int ']' '(' expr ')'
+//!             | STREAM '[' kind ']' '(' expr ')'
+//!             | '(' expr ')' | name
+//! formula    := or ; or := and (OR and)* ; and := not (AND not)* ;
+//! not        := NOT not | TRUE | FALSE | '(' formula ')' | term cmp term
+//! ```
+
+use serena_core::value::DataType;
+
+use crate::ast::*;
+use crate::lexer::{lex, Spanned, Token};
+
+/// Parse error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// Line (0 = end of input).
+    pub line: usize,
+    /// Column.
+    pub col: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error at end of input: {}", self.message)
+        } else {
+            write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a whole program (a `;`-separated statement list).
+pub fn parse_program(input: &str) -> Result<Vec<Statement>, ParseError> {
+    let tokens = lex(input).map_err(|e| ParseError {
+        message: e.message,
+        line: e.line,
+        col: e.col,
+    })?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    while !p.at_end() {
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+/// Parse a single algebra expression (no trailing `;` required).
+pub fn parse_query(input: &str) -> Result<QueryExpr, ParseError> {
+    let tokens = lex(input).map_err(|e| ParseError {
+        message: e.message,
+        line: e.line,
+        col: e.col,
+    })?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.expr()?;
+    if !p.at_end() {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(expr)
+}
+
+pub(crate) struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+/// Crate-internal parser handle reused by the Serena SQL front-end
+/// ([`crate::sql`]), exposing the shared token/formula machinery.
+pub(crate) type RawParser = Parser;
+
+/// Build a [`RawParser`] over pre-lexed tokens.
+pub(crate) fn raw_parser(tokens: Vec<Spanned>) -> RawParser {
+    Parser { tokens, pos: 0 }
+}
+
+impl Parser {
+    pub(crate) fn peek_token(&self) -> Option<&Token> {
+        self.peek()
+    }
+
+    pub(crate) fn bump_token(&mut self) -> Option<Token> {
+        self.bump()
+    }
+
+    pub(crate) fn at_end_token(&self) -> bool {
+        self.at_end()
+    }
+
+    pub(crate) fn error_here(&self, message: &str) -> ParseError {
+        self.err(message)
+    }
+
+    pub(crate) fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        self.eat_kw(kw)
+    }
+
+    pub(crate) fn accept_kw(&mut self, kw: &str) -> bool {
+        self.try_kw(kw)
+    }
+
+    pub(crate) fn expect_ident(&mut self) -> Result<String, ParseError> {
+        self.ident()
+    }
+
+    pub(crate) fn expect_token(&mut self, t: &Token) -> Result<(), ParseError> {
+        self.eat(t)
+    }
+
+    pub(crate) fn expect_literal(&mut self) -> Result<Literal, ParseError> {
+        self.literal()
+    }
+
+    pub(crate) fn parse_formula(&mut self) -> Result<FormulaAst, ParseError> {
+        self.formula()
+    }
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn err(&self, message: &str) -> ParseError {
+        match self.tokens.get(self.pos) {
+            Some(t) => ParseError {
+                message: format!("{message} (found `{}`)", t.token),
+                line: t.line,
+                col: t.col,
+            },
+            None => ParseError { message: message.to_string(), line: 0, col: 0 },
+        }
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{t}`")))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected keyword `{kw}`")))
+        }
+    }
+
+    fn try_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    fn data_type(&mut self) -> Result<DataType, ParseError> {
+        let name = self.ident()?;
+        match name.to_ascii_uppercase().as_str() {
+            "STRING" => Ok(DataType::Str),
+            "BOOLEAN" => Ok(DataType::Bool),
+            "INTEGER" => Ok(DataType::Int),
+            "REAL" => Ok(DataType::Real),
+            "BLOB" => Ok(DataType::Blob),
+            "SERVICE" => Ok(DataType::Service),
+            other => Err(ParseError {
+                message: format!("unknown data type `{other}`"),
+                line: self.tokens.get(self.pos.saturating_sub(1)).map_or(0, |t| t.line),
+                col: self.tokens.get(self.pos.saturating_sub(1)).map_or(0, |t| t.col),
+            }),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Literal::Str(s))
+            }
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Literal::Int(i))
+            }
+            Some(Token::Real(r)) => {
+                self.pos += 1;
+                Ok(Literal::Real(r))
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("true") => {
+                self.pos += 1;
+                Ok(Literal::Bool(true))
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("false") => {
+                self.pos += 1;
+                Ok(Literal::Bool(false))
+            }
+            _ => Err(self.err("expected literal")),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // statements
+    // ---------------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        match self.peek() {
+            Some(t) if t.is_kw("PROTOTYPE") => self.prototype(),
+            Some(t) if t.is_kw("SERVICE") => self.service(),
+            Some(t) if t.is_kw("EXTENDED") => self.xrelation(),
+            Some(t) if t.is_kw("INSERT") => self.insert(),
+            Some(t) if t.is_kw("DELETE") => self.delete(),
+            Some(t) if t.is_kw("DROP") => self.drop_relation(),
+            Some(t) if t.is_kw("REGISTER") => self.register(),
+            Some(t) if t.is_kw("UNREGISTER") => self.unregister(),
+            Some(t) if t.is_kw("EXECUTE") => self.execute(),
+            _ => Err(self.err("expected a statement")),
+        }
+    }
+
+    fn params(&mut self) -> Result<Vec<(String, DataType)>, ParseError> {
+        self.eat(&Token::LParen)?;
+        let mut out = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                let name = self.ident()?;
+                let ty = self.data_type()?;
+                out.push((name, ty));
+                if !matches!(self.peek(), Some(Token::Comma)) {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        self.eat(&Token::RParen)?;
+        Ok(out)
+    }
+
+    fn prototype(&mut self) -> Result<Statement, ParseError> {
+        self.eat_kw("PROTOTYPE")?;
+        let name = self.ident()?;
+        let input = self.params()?;
+        self.eat(&Token::Colon)?;
+        let output = self.params()?;
+        let active = self.try_kw("ACTIVE");
+        self.eat(&Token::Semi)?;
+        Ok(Statement::Prototype { name, input, output, active })
+    }
+
+    fn service(&mut self) -> Result<Statement, ParseError> {
+        self.eat_kw("SERVICE")?;
+        let name = self.ident()?;
+        self.eat_kw("IMPLEMENTS")?;
+        let mut prototypes = vec![self.ident()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.pos += 1;
+            prototypes.push(self.ident()?);
+        }
+        self.eat(&Token::Semi)?;
+        Ok(Statement::Service { name, prototypes })
+    }
+
+    fn xrelation(&mut self) -> Result<Statement, ParseError> {
+        self.eat_kw("EXTENDED")?;
+        self.eat_kw("RELATION")?;
+        let name = self.ident()?;
+        self.eat(&Token::LParen)?;
+        let mut attrs = Vec::new();
+        loop {
+            let aname = self.ident()?;
+            let ty = self.data_type()?;
+            let virtual_ = self.try_kw("VIRTUAL");
+            attrs.push(AttrDecl { name: aname, ty, virtual_ });
+            if !matches!(self.peek(), Some(Token::Comma)) {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.eat(&Token::RParen)?;
+        let mut bindings = Vec::new();
+        if self.try_kw("USING") {
+            self.eat_kw("BINDING")?;
+            self.eat_kw("PATTERNS")?;
+            self.eat(&Token::LParen)?;
+            loop {
+                bindings.push(self.binding()?);
+                if !matches!(self.peek(), Some(Token::Comma)) {
+                    break;
+                }
+                self.pos += 1;
+            }
+            self.eat(&Token::RParen)?;
+        }
+        let stream = self.try_kw("STREAM");
+        self.eat(&Token::Semi)?;
+        Ok(Statement::ExtendedRelation { name, attrs, bindings, stream })
+    }
+
+    fn name_list_parens(&mut self) -> Result<Vec<String>, ParseError> {
+        self.eat(&Token::LParen)?;
+        let mut out = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                out.push(self.ident()?);
+                if !matches!(self.peek(), Some(Token::Comma)) {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        self.eat(&Token::RParen)?;
+        Ok(out)
+    }
+
+    fn binding(&mut self) -> Result<BindingDecl, ParseError> {
+        let prototype = self.ident()?;
+        self.eat(&Token::LBracket)?;
+        let service_attr = self.ident()?;
+        self.eat(&Token::RBracket)?;
+        let mut input = Vec::new();
+        let mut output = Vec::new();
+        if self.peek() == Some(&Token::LParen) {
+            input = self.name_list_parens()?;
+            if self.peek() == Some(&Token::Colon) {
+                self.pos += 1;
+                output = self.name_list_parens()?;
+            }
+        }
+        Ok(BindingDecl { prototype, service_attr, input, output })
+    }
+
+    fn tuple(&mut self) -> Result<Vec<Literal>, ParseError> {
+        self.eat(&Token::LParen)?;
+        let mut out = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                out.push(self.literal()?);
+                if !matches!(self.peek(), Some(Token::Comma)) {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        self.eat(&Token::RParen)?;
+        Ok(out)
+    }
+
+    fn tuples(&mut self) -> Result<Vec<Vec<Literal>>, ParseError> {
+        let mut out = vec![self.tuple()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.pos += 1;
+            out.push(self.tuple()?);
+        }
+        Ok(out)
+    }
+
+    fn insert(&mut self) -> Result<Statement, ParseError> {
+        self.eat_kw("INSERT")?;
+        self.eat_kw("INTO")?;
+        let relation = self.ident()?;
+        self.eat_kw("VALUES")?;
+        let tuples = self.tuples()?;
+        self.eat(&Token::Semi)?;
+        Ok(Statement::Insert { relation, tuples })
+    }
+
+    fn delete(&mut self) -> Result<Statement, ParseError> {
+        self.eat_kw("DELETE")?;
+        self.eat_kw("FROM")?;
+        let relation = self.ident()?;
+        self.eat_kw("VALUES")?;
+        let tuples = self.tuples()?;
+        self.eat(&Token::Semi)?;
+        Ok(Statement::Delete { relation, tuples })
+    }
+
+    fn drop_relation(&mut self) -> Result<Statement, ParseError> {
+        self.eat_kw("DROP")?;
+        self.eat_kw("RELATION")?;
+        let name = self.ident()?;
+        self.eat(&Token::Semi)?;
+        Ok(Statement::DropRelation { name })
+    }
+
+    fn register(&mut self) -> Result<Statement, ParseError> {
+        self.eat_kw("REGISTER")?;
+        self.eat_kw("QUERY")?;
+        let name = self.ident()?;
+        self.eat_kw("AS")?;
+        let expr = self.expr()?;
+        self.eat(&Token::Semi)?;
+        Ok(Statement::RegisterQuery { name, expr })
+    }
+
+    fn unregister(&mut self) -> Result<Statement, ParseError> {
+        self.eat_kw("UNREGISTER")?;
+        self.eat_kw("QUERY")?;
+        let name = self.ident()?;
+        self.eat(&Token::Semi)?;
+        Ok(Statement::UnregisterQuery { name })
+    }
+
+    fn execute(&mut self) -> Result<Statement, ParseError> {
+        self.eat_kw("EXECUTE")?;
+        let expr = self.expr()?;
+        self.eat(&Token::Semi)?;
+        Ok(Statement::Execute { expr })
+    }
+
+    // ---------------------------------------------------------------
+    // algebra expressions
+    // ---------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<QueryExpr, ParseError> {
+        let kw = match self.peek() {
+            Some(Token::Ident(s)) => s.to_ascii_uppercase(),
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.eat(&Token::RParen)?;
+                return Ok(e);
+            }
+            _ => return Err(self.err("expected an algebra expression")),
+        };
+        match kw.as_str() {
+            "SELECT" => {
+                self.pos += 1;
+                self.eat(&Token::LBracket)?;
+                let f = self.formula()?;
+                self.eat(&Token::RBracket)?;
+                let e = self.parens_expr()?;
+                Ok(QueryExpr::Select(Box::new(e), f))
+            }
+            "PROJECT" => {
+                self.pos += 1;
+                self.eat(&Token::LBracket)?;
+                let mut attrs = vec![self.ident()?];
+                while matches!(self.peek(), Some(Token::Comma)) {
+                    self.pos += 1;
+                    attrs.push(self.ident()?);
+                }
+                self.eat(&Token::RBracket)?;
+                let e = self.parens_expr()?;
+                Ok(QueryExpr::Project(Box::new(e), attrs))
+            }
+            "RENAME" => {
+                self.pos += 1;
+                self.eat(&Token::LBracket)?;
+                let from = self.ident()?;
+                self.eat(&Token::Arrow)?;
+                let to = self.ident()?;
+                self.eat(&Token::RBracket)?;
+                let e = self.parens_expr()?;
+                Ok(QueryExpr::Rename(Box::new(e), from, to))
+            }
+            "JOIN" | "UNION" | "INTERSECT" | "DIFFERENCE" => {
+                self.pos += 1;
+                self.eat(&Token::LParen)?;
+                let a = self.expr()?;
+                self.eat(&Token::Comma)?;
+                let b = self.expr()?;
+                self.eat(&Token::RParen)?;
+                Ok(match kw.as_str() {
+                    "JOIN" => QueryExpr::Join(Box::new(a), Box::new(b)),
+                    "UNION" => QueryExpr::Union(Box::new(a), Box::new(b)),
+                    "INTERSECT" => QueryExpr::Intersect(Box::new(a), Box::new(b)),
+                    _ => QueryExpr::Difference(Box::new(a), Box::new(b)),
+                })
+            }
+            "ASSIGN" => {
+                self.pos += 1;
+                self.eat(&Token::LBracket)?;
+                let attr = self.ident()?;
+                self.eat(&Token::Assign)?;
+                let src = match self.peek() {
+                    Some(Token::Ident(s))
+                        if !s.eq_ignore_ascii_case("true") && !s.eq_ignore_ascii_case("false") =>
+                    {
+                        AssignAst::Attr(self.ident()?)
+                    }
+                    _ => AssignAst::Lit(self.literal()?),
+                };
+                self.eat(&Token::RBracket)?;
+                let e = self.parens_expr()?;
+                Ok(QueryExpr::Assign(Box::new(e), attr, src))
+            }
+            "INVOKE" => {
+                self.pos += 1;
+                self.eat(&Token::LBracket)?;
+                let proto = self.ident()?;
+                self.eat(&Token::LBracket)?;
+                let service_attr = self.ident()?;
+                self.eat(&Token::RBracket)?;
+                self.eat(&Token::RBracket)?;
+                let e = self.parens_expr()?;
+                Ok(QueryExpr::Invoke(Box::new(e), proto, service_attr))
+            }
+            "AGGREGATE" => {
+                self.pos += 1;
+                self.eat(&Token::LBracket)?;
+                let mut group = Vec::new();
+                while matches!(self.peek(), Some(Token::Ident(_))) {
+                    // lookahead: an agg function is followed by '('
+                    if self.tokens.get(self.pos + 1).map(|t| &t.token) == Some(&Token::LParen) {
+                        break;
+                    }
+                    group.push(self.ident()?);
+                    if matches!(self.peek(), Some(Token::Comma)) {
+                        self.pos += 1;
+                    }
+                }
+                if self.peek() == Some(&Token::Semi) {
+                    self.pos += 1;
+                }
+                let mut aggs = vec![self.agg()?];
+                while matches!(self.peek(), Some(Token::Comma)) {
+                    self.pos += 1;
+                    aggs.push(self.agg()?);
+                }
+                self.eat(&Token::RBracket)?;
+                let e = self.parens_expr()?;
+                Ok(QueryExpr::Aggregate(Box::new(e), group, aggs))
+            }
+            "SAMPLE" => {
+                self.pos += 1;
+                self.eat(&Token::LBracket)?;
+                let proto = self.ident()?;
+                self.eat(&Token::LBracket)?;
+                let service_attr = self.ident()?;
+                self.eat(&Token::RBracket)?;
+                self.eat(&Token::Comma)?;
+                let n = match self.bump() {
+                    Some(Token::Int(i)) if i > 0 => i as u64,
+                    _ => return Err(self.err("expected positive sampling period")),
+                };
+                self.eat(&Token::RBracket)?;
+                let e = self.parens_expr()?;
+                Ok(QueryExpr::Sample(Box::new(e), proto, service_attr, n))
+            }
+            "WINDOW" => {
+                self.pos += 1;
+                self.eat(&Token::LBracket)?;
+                let n = match self.bump() {
+                    Some(Token::Int(i)) if i > 0 => i as u64,
+                    _ => return Err(self.err("expected positive window period")),
+                };
+                self.eat(&Token::RBracket)?;
+                let e = self.parens_expr()?;
+                Ok(QueryExpr::Window(Box::new(e), n))
+            }
+            "STREAM" => {
+                self.pos += 1;
+                self.eat(&Token::LBracket)?;
+                let kind = self.ident()?;
+                let kind = match kind.to_ascii_lowercase().as_str() {
+                    "insertion" => StreamKindAst::Insertion,
+                    "deletion" => StreamKindAst::Deletion,
+                    "heartbeat" => StreamKindAst::Heartbeat,
+                    other => {
+                        return Err(ParseError {
+                            message: format!("unknown streaming kind `{other}`"),
+                            line: 0,
+                            col: 0,
+                        })
+                    }
+                };
+                self.eat(&Token::RBracket)?;
+                let e = self.parens_expr()?;
+                Ok(QueryExpr::Stream(Box::new(e), kind))
+            }
+            _ => {
+                // plain source name
+                let name = self.ident()?;
+                Ok(QueryExpr::Source(name))
+            }
+        }
+    }
+
+    fn parens_expr(&mut self) -> Result<QueryExpr, ParseError> {
+        self.eat(&Token::LParen)?;
+        let e = self.expr()?;
+        self.eat(&Token::RParen)?;
+        Ok(e)
+    }
+
+    fn agg(&mut self) -> Result<AggAst, ParseError> {
+        let fun = self.ident()?;
+        let fun = match fun.to_ascii_lowercase().as_str() {
+            "count" => AggFunAst::Count,
+            "sum" => AggFunAst::Sum,
+            "avg" => AggFunAst::Avg,
+            "min" => AggFunAst::Min,
+            "max" => AggFunAst::Max,
+            other => {
+                return Err(self.err(&format!("unknown aggregate function `{other}`")));
+            }
+        };
+        self.eat(&Token::LParen)?;
+        let attr = self.ident()?;
+        self.eat(&Token::RParen)?;
+        let as_name = if self.try_kw("AS") { Some(self.ident()?) } else { None };
+        Ok(AggAst { fun, attr, as_name })
+    }
+
+    // ---------------------------------------------------------------
+    // formulas
+    // ---------------------------------------------------------------
+
+    fn formula(&mut self) -> Result<FormulaAst, ParseError> {
+        self.or_formula()
+    }
+
+    fn or_formula(&mut self) -> Result<FormulaAst, ParseError> {
+        let mut left = self.and_formula()?;
+        while self.try_kw("OR") {
+            let right = self.and_formula()?;
+            left = FormulaAst::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_formula(&mut self) -> Result<FormulaAst, ParseError> {
+        let mut left = self.not_formula()?;
+        while self.try_kw("AND") {
+            let right = self.not_formula()?;
+            left = FormulaAst::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_formula(&mut self) -> Result<FormulaAst, ParseError> {
+        if self.try_kw("NOT") {
+            return Ok(FormulaAst::Not(Box::new(self.not_formula()?)));
+        }
+        if self.try_kw("TRUE") {
+            return Ok(FormulaAst::True);
+        }
+        if self.try_kw("FALSE") {
+            return Ok(FormulaAst::False);
+        }
+        if self.peek() == Some(&Token::LParen) {
+            self.pos += 1;
+            let f = self.formula()?;
+            self.eat(&Token::RParen)?;
+            return Ok(f);
+        }
+        let left = self.term()?;
+        if self.try_kw("CONTAINS") {
+            let TermAst::Attr(attr) = left else {
+                return Err(self.err("CONTAINS requires an attribute on the left"));
+            };
+            let needle = match self.bump() {
+                Some(Token::Str(s)) => s,
+                _ => return Err(self.err("CONTAINS requires a string literal")),
+            };
+            return Ok(FormulaAst::Contains(attr, needle));
+        }
+        let op = match self.bump() {
+            Some(Token::Eq) => CmpOpAst::Eq,
+            Some(Token::Ne) => CmpOpAst::Ne,
+            Some(Token::Lt) => CmpOpAst::Lt,
+            Some(Token::Le) => CmpOpAst::Le,
+            Some(Token::Gt) => CmpOpAst::Gt,
+            Some(Token::Ge) => CmpOpAst::Ge,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.err("expected comparison operator"));
+            }
+        };
+        let right = self.term()?;
+        Ok(FormulaAst::Cmp(left, op, right))
+    }
+
+    fn term(&mut self) -> Result<TermAst, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s))
+                if !s.eq_ignore_ascii_case("true") && !s.eq_ignore_ascii_case("false") =>
+            {
+                Ok(TermAst::Attr(self.ident()?))
+            }
+            _ => Ok(TermAst::Lit(self.literal()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_table_1_prototypes() {
+        let program = "
+            PROTOTYPE sendMessage( address STRING, text STRING ) : ( sent BOOLEAN ) ACTIVE;
+            PROTOTYPE checkPhoto( area STRING ) : ( quality INTEGER, delay REAL );
+            PROTOTYPE takePhoto( area STRING, quality INTEGER ) : ( photo BLOB );
+            PROTOTYPE getTemperature( ) : ( temperature REAL );
+        ";
+        let stmts = parse_program(program).unwrap();
+        assert_eq!(stmts.len(), 4);
+        match &stmts[0] {
+            Statement::Prototype { name, input, output, active } => {
+                assert_eq!(name, "sendMessage");
+                assert_eq!(input.len(), 2);
+                assert_eq!(output, &vec![("sent".to_string(), DataType::Bool)]);
+                assert!(active);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        match &stmts[3] {
+            Statement::Prototype { input, active, .. } => {
+                assert!(input.is_empty());
+                assert!(!active);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_table_1_services() {
+        let stmts = parse_program("SERVICE camera01 IMPLEMENTS checkPhoto, takePhoto;").unwrap();
+        assert_eq!(
+            stmts[0],
+            Statement::Service {
+                name: "camera01".into(),
+                prototypes: vec!["checkPhoto".into(), "takePhoto".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_table_2_extended_relation() {
+        let program = "
+            EXTENDED RELATION contacts (
+              name STRING,
+              address STRING,
+              text STRING VIRTUAL,
+              messenger SERVICE,
+              sent BOOLEAN VIRTUAL
+            )
+            USING BINDING PATTERNS (
+              sendMessage[messenger] ( address, text ) : ( sent )
+            );
+        ";
+        let stmts = parse_program(program).unwrap();
+        match &stmts[0] {
+            Statement::ExtendedRelation { name, attrs, bindings, stream } => {
+                assert_eq!(name, "contacts");
+                assert_eq!(attrs.len(), 5);
+                assert!(attrs[2].virtual_);
+                assert!(!attrs[3].virtual_);
+                assert_eq!(bindings.len(), 1);
+                assert_eq!(bindings[0].prototype, "sendMessage");
+                assert_eq!(bindings[0].service_attr, "messenger");
+                assert_eq!(bindings[0].input, vec!["address", "text"]);
+                assert_eq!(bindings[0].output, vec!["sent"]);
+                assert!(!stream);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_stream_relation() {
+        let stmts = parse_program(
+            "EXTENDED RELATION temperatures ( location STRING, temperature REAL ) STREAM;",
+        )
+        .unwrap();
+        assert!(matches!(
+            &stmts[0],
+            Statement::ExtendedRelation { stream: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_insert_delete_drop() {
+        let program = "
+            INSERT INTO contacts VALUES ('Nicolas', 'n@e.fr', 'email'), ('Carla', 'c@e.fr', 'email');
+            DELETE FROM contacts VALUES ('Carla', 'c@e.fr', 'email');
+            DROP RELATION contacts;
+        ";
+        let stmts = parse_program(program).unwrap();
+        assert!(matches!(&stmts[0], Statement::Insert { tuples, .. } if tuples.len() == 2));
+        assert!(matches!(&stmts[1], Statement::Delete { tuples, .. } if tuples.len() == 1));
+        assert!(matches!(&stmts[2], Statement::DropRelation { name } if name == "contacts"));
+    }
+
+    #[test]
+    fn parses_q1_expression() {
+        let q = parse_query(
+            "INVOKE[sendMessage[messenger]](ASSIGN[text := 'Bonjour!'](SELECT[name <> 'Carla'](contacts)))",
+        )
+        .unwrap();
+        match q {
+            QueryExpr::Invoke(inner, proto, sa) => {
+                assert_eq!(proto, "sendMessage");
+                assert_eq!(sa, "messenger");
+                assert!(matches!(*inner, QueryExpr::Assign(..)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_continuous_q4_expression() {
+        let q = parse_query(
+            "STREAM[insertion](PROJECT[photo](INVOKE[takePhoto[camera]](INVOKE[checkPhoto[camera]](JOIN(PROJECT[area](RENAME[location -> area](SELECT[temperature < 12.0](WINDOW[1](temperatures)))), cameras)))))",
+        )
+        .unwrap();
+        assert!(matches!(q, QueryExpr::Stream(_, StreamKindAst::Insertion)));
+    }
+
+    #[test]
+    fn parses_sample_invoke() {
+        let q = parse_query("WINDOW[3](SAMPLE[getTemperature[sensor], 2](sensors))").unwrap();
+        let QueryExpr::Window(inner, 3) = q else { panic!("expected window") };
+        assert_eq!(
+            *inner,
+            QueryExpr::Sample(
+                Box::new(QueryExpr::Source("sensors".into())),
+                "getTemperature".into(),
+                "sensor".into(),
+                2
+            )
+        );
+        assert!(parse_query("SAMPLE[getTemperature[sensor], 0](sensors)").is_err());
+    }
+
+    #[test]
+    fn parses_register_and_execute() {
+        let stmts = parse_program(
+            "REGISTER QUERY alert AS SELECT[temperature > 35.5](WINDOW[1](temperatures));
+             EXECUTE PROJECT[name](contacts);",
+        )
+        .unwrap();
+        assert!(matches!(&stmts[0], Statement::RegisterQuery { name, .. } if name == "alert"));
+        assert!(matches!(&stmts[1], Statement::Execute { .. }));
+    }
+
+    #[test]
+    fn parses_aggregate_with_and_without_group() {
+        let q = parse_query("AGGREGATE[location; avg(temperature) AS mean](readings)").unwrap();
+        match q {
+            QueryExpr::Aggregate(_, group, aggs) => {
+                assert_eq!(group, vec!["location"]);
+                assert_eq!(aggs.len(), 1);
+                assert_eq!(aggs[0].as_name.as_deref(), Some("mean"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let q = parse_query("AGGREGATE[count(name)](contacts)").unwrap();
+        assert!(matches!(q, QueryExpr::Aggregate(_, g, _) if g.is_empty()));
+    }
+
+    #[test]
+    fn parses_formula_precedence() {
+        let q = parse_query("SELECT[a = 1 OR b = 2 AND NOT c = 3](t)").unwrap();
+        let QueryExpr::Select(_, f) = q else { panic!() };
+        // OR binds loosest: Or(a=1, And(b=2, Not(c=3)))
+        match f {
+            FormulaAst::Or(l, r) => {
+                assert!(matches!(*l, FormulaAst::Cmp(..)));
+                assert!(matches!(*r, FormulaAst::And(..)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_boolean_literals_in_formula() {
+        let q = parse_query("SELECT[sent = TRUE](t)").unwrap();
+        let QueryExpr::Select(_, FormulaAst::Cmp(_, _, TermAst::Lit(Literal::Bool(true)))) = q
+        else {
+            panic!("expected boolean literal comparison");
+        };
+    }
+
+    #[test]
+    fn error_reporting_has_position() {
+        let err = parse_program("PROTOTYPE ;").unwrap_err();
+        assert!(err.message.contains("identifier"));
+        assert_eq!(err.line, 1);
+        let err = parse_query("SELECT[").unwrap_err();
+        assert!(err.line == 0 || err.message.contains("expected"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_in_query() {
+        assert!(parse_query("contacts extra").is_err());
+    }
+
+    #[test]
+    fn parenthesized_expression() {
+        let q = parse_query("(contacts)").unwrap();
+        assert_eq!(q, QueryExpr::Source("contacts".into()));
+    }
+}

@@ -1,0 +1,232 @@
+//! `pems-shell` — an interactive (or scripted) PEMS session.
+//!
+//! The GUI of the paper's prototype ("Through the PEMS GUI, XD-Relations
+//! have been created … and continuous queries have been registered"),
+//! reduced to a line shell:
+//!
+//! * any Serena DDL / algebra statement terminated by `;` is executed;
+//! * dot-commands drive the runtime:
+//!   * `.tick [n]` — advance n logical instants (default 1), printing each
+//!     query's delta/batch/actions;
+//!   * `.tables` — list relations; `.show <rel>` — print a table snapshot;
+//!   * `.queries` — registered queries with stats;
+//!   * `.result <query>` — current result of a finite continuous query;
+//!   * `.demo` — load the paper's running example (Tables 1–2, Example 4's
+//!     tuples, simulated services);
+//!   * `.help`, `.quit`.
+//!
+//! ```sh
+//! cargo run -p serena-pems --bin pems-shell            # interactive
+//! echo '.demo
+//! EXECUTE PROJECT[name](contacts);
+//! .quit' | cargo run -p serena-pems --bin pems-shell   # scripted
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use serena_pems::{ExecOutcome, Pems};
+use serena_services::bus::BusConfig;
+
+fn main() {
+    let stdin = io::stdin();
+    let mut pems = Pems::new(BusConfig::instant());
+    let mut buffer = String::new();
+    let interactive = atty_like();
+
+    if interactive {
+        println!("Serena PEMS shell — `.help` for commands, statements end with `;`");
+    }
+    prompt(interactive, &buffer);
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !dot_command(trimmed, &mut pems) {
+                break;
+            }
+            prompt(interactive, &buffer);
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        // execute once the buffer holds at least one full statement
+        if trimmed.ends_with(';') {
+            let program = std::mem::take(&mut buffer);
+            // a leading SELECT is Serena SQL; everything else is DDL /
+            // algebra-language statements
+            let is_sql = program
+                .trim_start()
+                .get(..6)
+                .is_some_and(|s| s.eq_ignore_ascii_case("select"));
+            if is_sql {
+                match pems.run_sql(None, &program) {
+                    Ok(outcome) => print_outcome(outcome),
+                    Err(e) => println!("error: {e}"),
+                }
+            } else {
+                match pems.run_program(&program) {
+                    Ok(outcomes) => {
+                        for outcome in outcomes {
+                            print_outcome(outcome);
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+        }
+        prompt(interactive, &buffer);
+    }
+}
+
+/// stdout-is-a-terminal heuristic without external crates: honour an
+/// explicit override, default to non-interactive when piped output is
+/// likely (we cannot know portably without libc; the prompt is cosmetic).
+fn atty_like() -> bool {
+    std::env::var("PEMS_SHELL_INTERACTIVE").map(|v| v != "0").unwrap_or(false)
+}
+
+fn prompt(interactive: bool, buffer: &str) {
+    if interactive {
+        print!("{}", if buffer.is_empty() { "serena> " } else { "   ...> " });
+        let _ = io::stdout().flush();
+    }
+}
+
+fn print_outcome(outcome: ExecOutcome) {
+    match outcome {
+        ExecOutcome::Done => println!("ok"),
+        ExecOutcome::Registered(name) => println!("registered continuous query `{name}`"),
+        ExecOutcome::OneShot(out) => {
+            print!("{}", out.relation.to_table());
+            if !out.actions.is_empty() {
+                println!("actions: {}", out.actions);
+            }
+        }
+    }
+}
+
+fn dot_command(cmd: &str, pems: &mut Pems) -> bool {
+    let mut parts = cmd.split_whitespace();
+    match parts.next().unwrap_or("") {
+        ".quit" | ".exit" => return false,
+        ".help" => {
+            println!(
+                ".tick [n] | .tables | .show <rel> | .queries | .result <query> | .demo | .quit\n\
+                 …or any Serena DDL / algebra statement ending with `;`"
+            );
+        }
+        ".tick" => {
+            let n: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+            for _ in 0..n {
+                let at = pems.clock();
+                for (name, report) in pems.tick() {
+                    let mut notes = Vec::new();
+                    if !report.delta.is_empty() {
+                        notes.push(format!(
+                            "+{} −{}",
+                            report.delta.inserts.len(),
+                            report.delta.deletes.len()
+                        ));
+                    }
+                    if !report.batch.is_empty() {
+                        notes.push(format!("batch {}", report.batch.len()));
+                    }
+                    if !report.actions.is_empty() {
+                        notes.push(format!("actions {}", report.actions));
+                    }
+                    if !report.errors.is_empty() {
+                        notes.push(format!("errors {}", report.errors.len()));
+                    }
+                    if !notes.is_empty() {
+                        println!("{at} [{name}] {}", notes.join(" | "));
+                    }
+                }
+            }
+            println!("clock = {}", pems.clock());
+        }
+        ".tables" => {
+            let env = pems.snapshot_environment();
+            for (name, rel) in env.relations() {
+                println!("{name} ({} tuples) {:?}", rel.len(), rel.schema());
+            }
+        }
+        ".show" => match parts.next() {
+            Some(name) => {
+                let env = pems.snapshot_environment();
+                match env.relation(name) {
+                    Some(rel) => print!("{}", rel.to_table()),
+                    None => println!("no finite relation `{name}`"),
+                }
+            }
+            None => println!("usage: .show <relation>"),
+        },
+        ".queries" => {
+            for name in pems.processor().names() {
+                let stats = pems.processor().stats(name).expect("registered");
+                println!(
+                    "{name}: {} ticks, +{} −{} tuples, {} actions, {} errors",
+                    stats.ticks, stats.inserted, stats.deleted, stats.actions, stats.errors
+                );
+            }
+        }
+        ".result" => match parts.next() {
+            Some(name) => match pems.processor().current_relation(name) {
+                Some(rel) => print!("{}", rel.to_table()),
+                None => println!("no finite continuous query `{name}`"),
+            },
+            None => println!("usage: .result <query>"),
+        },
+        ".demo" => match load_demo(pems) {
+            Ok(()) => println!("loaded the paper's running example (Tables 1–2, Example 4)"),
+            Err(e) => println!("error: {e}"),
+        },
+        other => println!("unknown command `{other}` — try .help"),
+    }
+    true
+}
+
+fn load_demo(pems: &mut Pems) -> Result<(), serena_pems::PemsError> {
+    use serena_core::service::fixtures;
+    let reg = pems.registry();
+    reg.register("email", fixtures::messenger());
+    reg.register("jabber", fixtures::messenger());
+    for (name, seed) in [("sensor01", 1u64), ("sensor06", 6), ("sensor07", 7), ("sensor22", 22)] {
+        reg.register(name, fixtures::temperature_sensor(seed));
+    }
+    for (name, seed) in [("camera01", 1u64), ("camera02", 2), ("webcam07", 7)] {
+        reg.register(name, fixtures::camera(seed));
+    }
+    pems.run_program(
+        "PROTOTYPE sendMessage( address STRING, text STRING ) : ( sent BOOLEAN ) ACTIVE;
+         PROTOTYPE checkPhoto( area STRING ) : ( quality INTEGER, delay REAL );
+         PROTOTYPE takePhoto( area STRING, quality INTEGER ) : ( photo BLOB );
+         PROTOTYPE getTemperature( ) : ( temperature REAL );
+         EXTENDED RELATION contacts (
+           name STRING, address STRING, text STRING VIRTUAL,
+           messenger SERVICE, sent BOOLEAN VIRTUAL
+         ) USING BINDING PATTERNS ( sendMessage[messenger] ( address, text ) : ( sent ) );
+         EXTENDED RELATION cameras (
+           camera SERVICE, area STRING, quality INTEGER VIRTUAL,
+           delay REAL VIRTUAL, photo BLOB VIRTUAL
+         ) USING BINDING PATTERNS (
+           checkPhoto[camera] ( area ) : ( quality, delay ),
+           takePhoto[camera] ( area, quality ) : ( photo )
+         );
+         EXTENDED RELATION sensors (
+           sensor SERVICE, location STRING, temperature REAL VIRTUAL
+         ) USING BINDING PATTERNS ( getTemperature[sensor] );
+         INSERT INTO contacts VALUES
+           ('Nicolas', 'nicolas@elysee.fr', 'email'),
+           ('Carla', 'carla@elysee.fr', 'email'),
+           ('Francois', 'francois@im.gouv.fr', 'jabber');
+         INSERT INTO cameras VALUES
+           ('camera01', 'office'), ('camera02', 'corridor'), ('webcam07', 'office');
+         INSERT INTO sensors VALUES
+           ('sensor01', 'corridor'), ('sensor06', 'office'),
+           ('sensor07', 'office'), ('sensor22', 'roof');",
+    )?;
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # serena-pems
+//!
+//! The **Pervasive Environment Management System** (Figure 1 of the
+//! paper): "manage a relational pervasive environment, with its dynamic
+//! data sources and set of services, and execute continuous queries over
+//! this environment."
+//!
+//! * [`pems::Pems`] — the facade: discovery bus + registry (the core
+//!   Environment Resource Manager), table manager, query processor and
+//!   discovery queries, advanced tick by tick;
+//! * [`table_manager::ExtendedTableManager`] — named XD-Relations, DDL
+//!   execution, one-shot environment snapshots;
+//! * [`processor::QueryProcessor`] — registered continuous queries in
+//!   lock-step, ticked in parallel;
+//! * [`hub`] — stream plumbing (broadcast hubs, sensor samplers, RSS
+//!   adapters);
+//! * [`scenario`] — the paper's two experiments (§5.2) as reusable
+//!   deployments.
+//!
+//! ```
+//! use serena_pems::pems::Pems;
+//! use serena_services::bus::BusConfig;
+//!
+//! let mut pems = Pems::new(BusConfig::instant());
+//! pems.run_program("
+//!     PROTOTYPE getTemperature( ) : ( temperature REAL );
+//!     EXTENDED RELATION sensors (
+//!       sensor SERVICE, location STRING, temperature REAL VIRTUAL
+//!     ) USING BINDING PATTERNS ( getTemperature[sensor] );
+//!     REGISTER QUERY watch AS sensors;
+//! ").unwrap();
+//! let reports = pems.tick();
+//! assert_eq!(reports.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hub;
+pub mod pems;
+pub mod processor;
+pub mod scenario;
+pub mod table_manager;
+
+pub use hub::{RssStream, SensorSampler, StreamHub};
+pub use pems::{ExecOutcome, Pems, PemsError};
+pub use processor::{QueryProcessor, QueryStats};
+pub use table_manager::ExtendedTableManager;

@@ -1,0 +1,543 @@
+//! The PEMS facade: Figure 1 assembled.
+//!
+//! A [`Pems`] instance wires together the core **Environment Resource
+//! Manager** (discovery bus + dynamic registry + service directory), the
+//! **Extended Table Manager** (named XD-Relations, DDL execution) and the
+//! **Query Processor** (registered continuous queries on a shared logical
+//! clock), plus the *service-discovery queries* that keep provider tables
+//! (like the scenario's `cameras`) up to date.
+//!
+//! Each [`Pems::tick`] advances one logical instant:
+//! 1. discovery messages due at this instant are applied to the registry;
+//! 2. discovery queries refresh their provider tables;
+//! 3. every registered continuous query evaluates the instant.
+
+use std::sync::Arc;
+
+use serena_core::env::Environment;
+use serena_core::error::{EvalError, PlanError, SchemaError};
+use serena_core::eval::{evaluate, EvalOutcome};
+use serena_core::plan::Plan;
+use serena_core::time::Instant;
+use serena_ddl::ast::Statement;
+use serena_ddl::resolve::{
+    resolve_prototype, resolve_query, resolve_relation_schema, resolve_tuple, to_one_shot,
+};
+use serena_ddl::DdlError;
+use serena_services::bus::{BusConfig, CoreErm, DiscoveryBus, LocalErm};
+use serena_services::discovery::{DiscoveryQuery, ServiceDirectory};
+use serena_services::registry::DynamicRegistry;
+use serena_stream::exec::TickReport;
+
+use crate::processor::QueryProcessor;
+use crate::table_manager::ExtendedTableManager;
+
+/// Errors surfaced by the PEMS API.
+#[derive(Debug)]
+pub enum PemsError {
+    /// DDL parsing/resolution failed.
+    Ddl(DdlError),
+    /// Plan validation failed.
+    Plan(PlanError),
+    /// One-shot evaluation failed.
+    Eval(EvalError),
+    /// Schema/catalog failure.
+    Schema(SchemaError),
+    /// Anything else.
+    Other(String),
+}
+
+impl std::fmt::Display for PemsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PemsError::Ddl(e) => write!(f, "{e}"),
+            PemsError::Plan(e) => write!(f, "{e}"),
+            PemsError::Eval(e) => write!(f, "{e}"),
+            PemsError::Schema(e) => write!(f, "{e}"),
+            PemsError::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for PemsError {}
+
+impl From<DdlError> for PemsError {
+    fn from(e: DdlError) -> Self {
+        PemsError::Ddl(e)
+    }
+}
+impl From<PlanError> for PemsError {
+    fn from(e: PlanError) -> Self {
+        PemsError::Plan(e)
+    }
+}
+impl From<EvalError> for PemsError {
+    fn from(e: EvalError) -> Self {
+        PemsError::Eval(e)
+    }
+}
+impl From<SchemaError> for PemsError {
+    fn from(e: SchemaError) -> Self {
+        PemsError::Schema(e)
+    }
+}
+impl From<serena_ddl::ParseError> for PemsError {
+    fn from(e: serena_ddl::ParseError) -> Self {
+        PemsError::Ddl(DdlError::Parse(e))
+    }
+}
+
+/// The result of executing one statement.
+#[derive(Debug)]
+pub enum ExecOutcome {
+    /// A definition/mutation statement completed.
+    Done,
+    /// An `EXECUTE` one-shot query evaluated to this outcome.
+    OneShot(EvalOutcome),
+    /// A continuous query was registered under this name.
+    Registered(String),
+}
+
+/// A Pervasive Environment Management System instance.
+pub struct Pems {
+    bus: Arc<DiscoveryBus>,
+    erm: CoreErm,
+    directory: Arc<ServiceDirectory>,
+    tables: ExtendedTableManager,
+    processor: QueryProcessor,
+    discoveries: Vec<(String, DiscoveryQuery)>,
+    sql_counter: u64,
+}
+
+impl Default for Pems {
+    fn default() -> Self {
+        Pems::new(BusConfig::default())
+    }
+}
+
+impl Pems {
+    /// A PEMS with the given discovery-network latency model.
+    pub fn new(bus_config: BusConfig) -> Self {
+        let bus = DiscoveryBus::new(bus_config);
+        let erm = CoreErm::new(Arc::clone(&bus));
+        Pems {
+            bus,
+            erm,
+            directory: Arc::new(ServiceDirectory::new()),
+            tables: ExtendedTableManager::new(),
+            processor: QueryProcessor::new(),
+            discoveries: Vec::new(),
+            sql_counter: 0,
+        }
+    }
+
+    /// The shared dynamic registry queries invoke through.
+    pub fn registry(&self) -> Arc<DynamicRegistry> {
+        Arc::clone(self.erm.registry())
+    }
+
+    /// The per-service metadata directory.
+    pub fn directory(&self) -> Arc<ServiceDirectory> {
+        Arc::clone(&self.directory)
+    }
+
+    /// Create a Local Environment Resource Manager attached to this PEMS's
+    /// discovery bus.
+    pub fn local_erm(&self, id: impl Into<String>) -> LocalErm {
+        LocalErm::new(id, Arc::clone(&self.bus))
+    }
+
+    /// The Extended Table Manager.
+    pub fn tables(&self) -> &ExtendedTableManager {
+        &self.tables
+    }
+
+    /// Mutable access to the Extended Table Manager.
+    pub fn tables_mut(&mut self) -> &mut ExtendedTableManager {
+        &mut self.tables
+    }
+
+    /// The Query Processor.
+    pub fn processor(&self) -> &QueryProcessor {
+        &self.processor
+    }
+
+    /// The instant the next tick evaluates.
+    pub fn clock(&self) -> Instant {
+        self.processor.clock()
+    }
+
+    /// Register a service-discovery query maintaining finite table
+    /// `table` as "providers of `prototype`", with the table's
+    /// `service_attr` holding the references (§5.1).
+    pub fn register_discovery(
+        &mut self,
+        table: &str,
+        prototype: &str,
+        service_attr: &str,
+    ) -> Result<(), PemsError> {
+        let handle = self
+            .tables
+            .table(table)
+            .ok_or_else(|| PemsError::Other(format!("unknown table `{table}`")))?;
+        let query = DiscoveryQuery::new(prototype, handle.schema(), service_attr)?;
+        self.discoveries.push((table.to_string(), query));
+        Ok(())
+    }
+
+    /// Register a continuous query by name and plan.
+    pub fn register_query(
+        &mut self,
+        name: impl Into<String>,
+        plan: &serena_stream::plan::StreamPlan,
+    ) -> Result<(), PemsError> {
+        let mut sources = self.tables.source_set_for(plan);
+        self.processor.register(name, plan, &mut sources)?;
+        Ok(())
+    }
+
+    /// Execute a parsed statement.
+    pub fn run_statement(&mut self, stmt: &Statement) -> Result<ExecOutcome, PemsError> {
+        match stmt {
+            Statement::Prototype { name, input, output, active } => {
+                let p = resolve_prototype(name, input, output, *active)?;
+                self.tables.declare_prototype(p)?;
+                Ok(ExecOutcome::Done)
+            }
+            Statement::Service { name, prototypes } => {
+                self.tables.declare_service(name.clone(), prototypes.clone());
+                Ok(ExecOutcome::Done)
+            }
+            Statement::ExtendedRelation { name, attrs, bindings, stream } => {
+                let schema = resolve_relation_schema(attrs, bindings, &self.tables)?;
+                if *stream {
+                    self.tables.define_push_stream(name.clone(), schema)?;
+                } else {
+                    self.tables.define_table(name.clone(), schema)?;
+                }
+                Ok(ExecOutcome::Done)
+            }
+            Statement::Insert { relation, tuples } => {
+                let schema = self
+                    .tables
+                    .table(relation)
+                    .map(|t| t.schema())
+                    .ok_or_else(|| PemsError::Other(format!("unknown table `{relation}`")))?;
+                for lits in tuples {
+                    let t = resolve_tuple(lits, &schema)?;
+                    self.tables.insert(relation, t)?;
+                }
+                Ok(ExecOutcome::Done)
+            }
+            Statement::Delete { relation, tuples } => {
+                let schema = self
+                    .tables
+                    .table(relation)
+                    .map(|t| t.schema())
+                    .ok_or_else(|| PemsError::Other(format!("unknown table `{relation}`")))?;
+                for lits in tuples {
+                    let t = resolve_tuple(lits, &schema)?;
+                    self.tables.delete(relation, t)?;
+                }
+                Ok(ExecOutcome::Done)
+            }
+            Statement::DropRelation { name } => {
+                if !self.tables.drop_relation(name) {
+                    return Err(PemsError::Other(format!("unknown relation `{name}`")));
+                }
+                Ok(ExecOutcome::Done)
+            }
+            Statement::RegisterQuery { name, expr } => {
+                let plan = resolve_query(expr);
+                self.register_query(name.clone(), &plan)?;
+                Ok(ExecOutcome::Registered(name.clone()))
+            }
+            Statement::UnregisterQuery { name } => {
+                if !self.processor.deregister(name) {
+                    return Err(PemsError::Other(format!("unknown query `{name}`")));
+                }
+                Ok(ExecOutcome::Done)
+            }
+            Statement::Execute { expr } => {
+                let stream_plan = resolve_query(expr);
+                let plan = to_one_shot(&stream_plan).ok_or_else(|| {
+                    PemsError::Other(
+                        "continuous expression (window/stream); use REGISTER QUERY".into(),
+                    )
+                })?;
+                Ok(ExecOutcome::OneShot(self.one_shot(&plan)?))
+            }
+        }
+    }
+
+    /// Execute a Serena SQL `SELECT` (see [`serena_ddl::sql`]): a
+    /// statement without window/streaming parts evaluates one-shot;
+    /// otherwise it is registered as a continuous query (under `name`, or
+    /// an auto-generated `sql_N`).
+    pub fn run_sql(
+        &mut self,
+        name: Option<&str>,
+        sql: &str,
+    ) -> Result<ExecOutcome, PemsError> {
+        let plan = serena_ddl::sql::compile_select(sql, &self.tables)?;
+        match to_one_shot(&plan) {
+            Some(one_shot) => Ok(ExecOutcome::OneShot(self.one_shot(&one_shot)?)),
+            None => {
+                let name = match name {
+                    Some(n) => n.to_string(),
+                    None => {
+                        self.sql_counter += 1;
+                        format!("sql_{}", self.sql_counter)
+                    }
+                };
+                self.register_query(name.clone(), &plan)?;
+                Ok(ExecOutcome::Registered(name))
+            }
+        }
+    }
+
+    /// Parse and execute a `;`-separated program.
+    pub fn run_program(&mut self, text: &str) -> Result<Vec<ExecOutcome>, PemsError> {
+        let stmts = serena_ddl::parse_program(text)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in &stmts {
+            out.push(self.run_statement(s)?);
+        }
+        Ok(out)
+    }
+
+    /// Evaluate a one-shot query "now": against a snapshot of the finite
+    /// tables, at the current logical instant, through the live registry.
+    pub fn one_shot(&self, plan: &Plan) -> Result<EvalOutcome, PemsError> {
+        let env = self.snapshot_environment();
+        let registry = self.registry();
+        Ok(evaluate(plan, &env, &*registry, self.clock())?)
+    }
+
+    /// Snapshot the finite tables into a one-shot [`Environment`].
+    pub fn snapshot_environment(&self) -> Environment {
+        self.tables.snapshot_environment()
+    }
+
+    /// Advance one logical instant (see the module docs for the phase
+    /// order). Returns each registered query's tick report.
+    pub fn tick(&mut self) -> Vec<(String, TickReport)> {
+        let now = self.processor.clock();
+        // 1. apply due discovery traffic
+        self.erm.tick(now);
+        // 2. refresh discovery-maintained provider tables
+        let registry = self.registry();
+        for (table, query) in &self.discoveries {
+            if let Some(handle) = self.tables.table(table) {
+                let rel = query.refresh(&*registry, &self.directory);
+                handle.replace_with(rel.into_tuples());
+            }
+        }
+        // 3. evaluate every continuous query at `now`
+        self.processor.tick_all(&*registry)
+    }
+
+    /// Run `n` ticks, returning all reports flattened.
+    pub fn run_ticks(&mut self, n: u64) -> Vec<(Instant, String, TickReport)> {
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let at = self.clock();
+            for (name, report) in self.tick() {
+                out.push((at, name, report));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serena_core::tuple;
+    use serena_core::value::Value;
+
+    const SETUP: &str = "
+        PROTOTYPE sendMessage( address STRING, text STRING ) : ( sent BOOLEAN ) ACTIVE;
+        PROTOTYPE getTemperature( ) : ( temperature REAL );
+        SERVICE email IMPLEMENTS sendMessage;
+        EXTENDED RELATION contacts (
+          name STRING, address STRING, text STRING VIRTUAL,
+          messenger SERVICE, sent BOOLEAN VIRTUAL
+        ) USING BINDING PATTERNS ( sendMessage[messenger] ( address, text ) : ( sent ) );
+        INSERT INTO contacts VALUES
+          ('Nicolas', 'nicolas@elysee.fr', 'email'),
+          ('Carla', 'carla@elysee.fr', 'email');
+    ";
+
+    fn pems_with_messenger() -> Pems {
+        let pems = Pems::new(BusConfig::instant());
+        let (svc, _outbox) = serena_services::devices::messenger::SimMessenger::new(
+            serena_services::devices::messenger::MessengerKind::Email,
+        )
+        .into_service();
+        pems.registry().register("email", svc);
+        pems
+    }
+
+    #[test]
+    fn ddl_program_and_one_shot_execute() {
+        let mut pems = pems_with_messenger();
+        pems.run_program(SETUP).unwrap();
+        let outcomes = pems
+            .run_program(
+                "EXECUTE INVOKE[sendMessage[messenger]](ASSIGN[text := 'Hi'](SELECT[name = 'Nicolas'](contacts)));",
+            )
+            .unwrap();
+        let ExecOutcome::OneShot(out) = &outcomes[0] else { panic!() };
+        assert_eq!(out.relation.len(), 1);
+        assert_eq!(out.actions.len(), 1);
+    }
+
+    #[test]
+    fn register_continuous_query_via_ddl() {
+        let mut pems = pems_with_messenger();
+        pems.run_program(SETUP).unwrap();
+        pems.run_program(
+            "REGISTER QUERY watch AS SELECT[messenger = 'email'](contacts);",
+        )
+        .unwrap();
+        let reports = pems.tick();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].1.delta.inserts.len(), 2);
+        // one-shot snapshot agrees with continuous state
+        let rel = pems.processor().current_relation("watch").unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn discovery_query_maintains_provider_table() {
+        let mut pems = Pems::new(BusConfig::instant());
+        pems.run_program(
+            "PROTOTYPE getTemperature( ) : ( temperature REAL );
+             EXTENDED RELATION sensors (
+               sensor SERVICE, location STRING, temperature REAL VIRTUAL
+             ) USING BINDING PATTERNS ( getTemperature[sensor] );",
+        )
+        .unwrap();
+        pems.register_discovery("sensors", "getTemperature", "sensor").unwrap();
+        pems.register_query(
+            "all_sensors",
+            &serena_stream::plan::StreamPlan::source("sensors"),
+        )
+        .unwrap();
+
+        // deploy a sensor through a LERM, with metadata
+        let lerm = pems.local_erm("lab");
+        lerm.register_service(
+            "sensor01",
+            serena_core::service::fixtures::temperature_sensor(1),
+            pems.clock(),
+        );
+        pems.directory().set("sensor01", "location", Value::str("corridor"));
+
+        let reports = pems.tick(); // discovery applies, table refreshes, query sees row
+        assert_eq!(reports[0].1.delta.inserts.len(), 1);
+        // sensor leaves → row retracted
+        lerm.unregister_service("sensor01", pems.clock());
+        let reports = pems.tick();
+        assert_eq!(reports[0].1.delta.deletes.len(), 1);
+    }
+
+    #[test]
+    fn insert_delete_via_ddl_affect_queries() {
+        let mut pems = pems_with_messenger();
+        pems.run_program(SETUP).unwrap();
+        pems.run_program("REGISTER QUERY watch AS contacts;").unwrap();
+        pems.tick();
+        pems.run_program("DELETE FROM contacts VALUES ('Carla', 'carla@elysee.fr', 'email');")
+            .unwrap();
+        let reports = pems.tick();
+        assert_eq!(reports[0].1.delta.deletes.len(), 1);
+        assert_eq!(
+            pems.processor().current_relation("watch").unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut pems = Pems::default();
+        assert!(pems.run_program("INSERT INTO ghost VALUES (1);").is_err());
+        assert!(pems.run_program("DROP RELATION ghost;").is_err());
+        assert!(pems
+            .run_program("EXECUTE SELECT[x = 1](WINDOW[1](s));")
+            .is_err());
+        assert!(pems.run_program("this is not DDL").is_err());
+    }
+
+    #[test]
+    fn unregister_query_statement() {
+        let mut pems = pems_with_messenger();
+        pems.run_program(SETUP).unwrap();
+        pems.run_program("REGISTER QUERY watch AS contacts;").unwrap();
+        assert_eq!(pems.processor().names(), vec!["watch"]);
+        pems.run_program("UNREGISTER QUERY watch;").unwrap();
+        assert!(pems.processor().names().is_empty());
+        assert!(pems.run_program("UNREGISTER QUERY watch;").is_err());
+    }
+
+    #[test]
+    fn serena_sql_one_shot_and_continuous() {
+        let mut pems = pems_with_messenger();
+        pems.run_program(SETUP).unwrap();
+        // one-shot with WHERE-before-invocation semantics
+        let outcome = pems
+            .run_sql(
+                None,
+                "SELECT sent FROM contacts
+                 WITH text := 'Hi'
+                 USING sendMessage[messenger]
+                 WHERE name = 'Nicolas'",
+            )
+            .unwrap();
+        let ExecOutcome::OneShot(out) = outcome else { panic!() };
+        assert_eq!(out.actions.len(), 1);
+        assert_eq!(out.relation.len(), 1);
+
+        // continuous: windowed source → auto-registered
+        pems.run_program(
+            "EXTENDED RELATION readings ( location STRING, temperature REAL ) STREAM;",
+        )
+        .unwrap();
+        let outcome = pems
+            .run_sql(None, "SELECT location FROM readings WINDOW 2 WHERE temperature > 30.0")
+            .unwrap();
+        let ExecOutcome::Registered(name) = outcome else { panic!() };
+        assert_eq!(name, "sql_1");
+        pems.tables().push_stream("readings", tuple!["office", 35.0]);
+        let reports = pems.tick();
+        let r = reports.iter().find(|(n, _)| *n == name).unwrap();
+        assert_eq!(r.1.delta.inserts.len(), 1);
+
+        // explicitly named registration
+        let outcome = pems
+            .run_sql(Some("hot2"), "SELECT location FROM readings WINDOW 1")
+            .unwrap();
+        assert!(matches!(outcome, ExecOutcome::Registered(n) if n == "hot2"));
+        assert!(pems.processor().names().contains(&"hot2"));
+        // name collisions are rejected
+        assert!(pems
+            .run_sql(Some("hot2"), "SELECT location FROM readings WINDOW 1")
+            .is_err());
+    }
+
+    #[test]
+    fn stream_relation_via_ddl_and_push() {
+        let mut pems = Pems::default();
+        pems.run_program(
+            "EXTENDED RELATION readings ( location STRING, temperature REAL ) STREAM;
+             REGISTER QUERY hot AS SELECT[temperature > 30.0](WINDOW[1](readings));",
+        )
+        .unwrap();
+        assert!(pems
+            .tables()
+            .push_stream("readings", tuple!["office", 35.0]));
+        let reports = pems.tick();
+        assert_eq!(reports[0].1.delta.inserts.len(), 1);
+    }
+}

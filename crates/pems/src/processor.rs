@@ -1,0 +1,235 @@
+//! The Query Processor (§5.1).
+//!
+//! "The Query Processor allows to register queries using the Serena
+//! Algebra Language and to execute them in a real-time fashion." Here:
+//! registered [`ContinuousQuery`]s advance in lock-step on a shared logical
+//! clock; each global tick evaluates every query at the same instant
+//! (§3.2's simultaneous-evaluation model). When several queries are
+//! registered, their ticks run on parallel threads — the reproduction of
+//! the prototype's *asynchronous invocation handling*: slow service calls
+//! in one query do not serialize behind another query's.
+
+use std::collections::BTreeMap;
+
+use serena_core::error::PlanError;
+use serena_core::service::Invoker;
+use serena_core::time::Instant;
+use serena_stream::exec::{ContinuousQuery, SourceSet, TickReport};
+use serena_stream::plan::StreamPlan;
+
+/// Aggregated statistics for one registered query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Ticks evaluated.
+    pub ticks: u64,
+    /// Total tuples inserted into the result (or emitted, for streams).
+    pub inserted: u64,
+    /// Total tuples deleted from the result.
+    pub deleted: u64,
+    /// Total actions (active invocations) triggered.
+    pub actions: u64,
+    /// Total invocation errors survived.
+    pub errors: u64,
+}
+
+struct Registered {
+    query: ContinuousQuery,
+    stats: QueryStats,
+}
+
+/// The continuous-query scheduler.
+#[derive(Default)]
+pub struct QueryProcessor {
+    queries: BTreeMap<String, Registered>,
+    clock: Instant,
+}
+
+impl QueryProcessor {
+    /// Empty processor with the clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The instant the next global tick evaluates.
+    pub fn clock(&self) -> Instant {
+        self.clock
+    }
+
+    /// Register a continuous query under `name`, compiling `plan` against
+    /// `sources`. The query joins the global cadence: its first tick is the
+    /// next global tick.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        plan: &StreamPlan,
+        sources: &mut SourceSet,
+    ) -> Result<(), PlanError> {
+        let name = name.into();
+        if self.queries.contains_key(&name) {
+            return Err(PlanError::UnknownRelation(format!(
+                "query `{name}` already registered"
+            )));
+        }
+        let mut query = ContinuousQuery::compile(plan, sources)?;
+        query.seek(self.clock);
+        self.queries
+            .insert(name, Registered { query, stats: QueryStats::default() });
+        Ok(())
+    }
+
+    /// Deregister a query. Returns whether it existed.
+    pub fn deregister(&mut self, name: &str) -> bool {
+        self.queries.remove(name).is_some()
+    }
+
+    /// Registered query names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.queries.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Per-query statistics.
+    pub fn stats(&self, name: &str) -> Option<&QueryStats> {
+        self.queries.get(name).map(|r| &r.stats)
+    }
+
+    /// Snapshot of a query's current finite result.
+    pub fn current_relation(&self, name: &str) -> Option<serena_core::xrelation::XRelation> {
+        self.queries.get(name)?.query.current_relation()
+    }
+
+    /// Advance the global clock by one instant, ticking every registered
+    /// query at that instant (in parallel when there are several). Returns
+    /// `(name, report)` pairs sorted by name.
+    pub fn tick_all(&mut self, invoker: &dyn Invoker) -> Vec<(String, TickReport)> {
+        let reports: Vec<(String, TickReport)> = if self.queries.len() <= 1 {
+            self.queries
+                .iter_mut()
+                .map(|(name, reg)| (name.clone(), reg.query.tick(invoker)))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .queries
+                    .iter_mut()
+                    .map(|(name, reg)| {
+                        let name = name.clone();
+                        scope.spawn(move || (name, reg.query.tick(invoker)))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("query tick")).collect()
+            })
+        };
+        for (name, report) in &reports {
+            let reg = self.queries.get_mut(name).expect("registered");
+            reg.stats.ticks += 1;
+            reg.stats.inserted += (report.delta.inserts.len() + report.batch.len()) as u64;
+            reg.stats.deleted += report.delta.deletes.len() as u64;
+            reg.stats.actions += report.actions.len() as u64;
+            reg.stats.errors += report.errors.len() as u64;
+        }
+        self.clock = self.clock.next();
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serena_core::formula::Formula;
+    use serena_core::schema::XSchema;
+    use serena_core::service::fixtures::example_registry;
+    use serena_core::tuple;
+    use serena_core::value::DataType;
+    use serena_stream::source::TableHandle;
+
+    fn int_table() -> (TableHandle, SourceSet) {
+        let schema = XSchema::builder().real("x", DataType::Int).build().unwrap();
+        let table = TableHandle::new(schema);
+        let mut sources = SourceSet::new();
+        sources.add_table("t", table.clone());
+        (table, sources)
+    }
+
+    #[test]
+    fn lockstep_ticking_and_stats() {
+        let mut qp = QueryProcessor::new();
+        let (table, mut s1) = int_table();
+        qp.register("all", &StreamPlan::source("t"), &mut s1).unwrap();
+        let mut s2 = SourceSet::new();
+        s2.add_table("t", table.clone());
+        qp.register(
+            "big",
+            &StreamPlan::source("t").select(Formula::gt_const("x", 10)),
+            &mut s2,
+        )
+        .unwrap();
+
+        let reg = example_registry();
+        table.insert(tuple![5]);
+        table.insert(tuple![20]);
+        let reports = qp.tick_all(&reg);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].0, "all");
+        assert_eq!(reports[0].1.delta.inserts.len(), 2);
+        assert_eq!(reports[1].1.delta.inserts.len(), 1);
+        assert_eq!(qp.stats("all").unwrap().inserted, 2);
+        assert_eq!(qp.stats("big").unwrap().inserted, 1);
+        assert_eq!(qp.clock(), Instant(1));
+    }
+
+    #[test]
+    fn late_registration_bootstraps_from_current_state() {
+        let mut qp = QueryProcessor::new();
+        let (table, mut s1) = int_table();
+        qp.register("first", &StreamPlan::source("t"), &mut s1).unwrap();
+        let reg = example_registry();
+        table.insert(tuple![1]);
+        qp.tick_all(&reg);
+        qp.tick_all(&reg);
+        // register a second query mid-run: it must see the existing tuple
+        let mut s2 = SourceSet::new();
+        s2.add_table("t", table.clone());
+        qp.register("late", &StreamPlan::source("t"), &mut s2).unwrap();
+        let reports = qp.tick_all(&reg);
+        let late = reports.iter().find(|(n, _)| n == "late").unwrap();
+        assert_eq!(late.1.delta.inserts.len(), 1);
+        assert_eq!(
+            qp.current_relation("late").unwrap().len(),
+            qp.current_relation("first").unwrap().len()
+        );
+    }
+
+    #[test]
+    fn duplicate_names_rejected_and_deregister() {
+        let mut qp = QueryProcessor::new();
+        let (_, mut s1) = int_table();
+        qp.register("q", &StreamPlan::source("t"), &mut s1).unwrap();
+        let (_, mut s2) = int_table();
+        assert!(qp.register("q", &StreamPlan::source("t"), &mut s2).is_err());
+        assert!(qp.deregister("q"));
+        assert!(!qp.deregister("q"));
+        assert!(qp.names().is_empty());
+    }
+
+    #[test]
+    fn many_parallel_queries_agree() {
+        let mut qp = QueryProcessor::new();
+        let (table, _) = int_table();
+        for i in 0..8 {
+            let mut s = SourceSet::new();
+            s.add_table("t", table.clone());
+            qp.register(format!("q{i}"), &StreamPlan::source("t"), &mut s)
+                .unwrap();
+        }
+        let reg = example_registry();
+        for v in 0..10 {
+            table.insert(tuple![v]);
+            let reports = qp.tick_all(&reg);
+            let sizes: Vec<usize> = reports.iter().map(|(_, r)| r.delta.inserts.len()).collect();
+            assert!(sizes.iter().all(|&s| s == sizes[0]), "queries disagree: {sizes:?}");
+        }
+        for i in 0..8 {
+            assert_eq!(qp.stats(&format!("q{i}")).unwrap().inserted, 10);
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! The Extended Table Manager (§5.1): owns the named XD-Relations.
+//!
+//! "The Extended Table Manager allows to define XD-Relations from Serena
+//! DDL statements, and to manage their data (insertion and deletion of
+//! tuples)." Finite XD-Relations are backed by shared
+//! [`TableHandle`]s; infinite ones by *stream bindings* — either a
+//! broadcast [`StreamHub`] (externally pushed) or a factory creating a
+//! fresh deterministic source per subscribing query.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serena_core::env::Environment;
+use serena_core::error::SchemaError;
+use serena_core::plan::SchemaCatalog;
+use serena_core::prototype::Prototype;
+use serena_core::schema::SchemaRef;
+use serena_core::tuple::Tuple;
+use serena_core::xrelation::XRelation;
+use serena_stream::exec::SourceSet;
+use serena_stream::plan::{StreamPlan, StreamSchema, XdCatalog};
+use serena_stream::source::{StreamSource, TableHandle};
+
+use crate::hub::StreamHub;
+
+/// How an infinite XD-Relation obtains its tuples.
+enum StreamBinding {
+    /// Externally pushed via [`ExtendedTableManager::push_stream`].
+    Hub(StreamHub),
+    /// A fresh deterministic source per subscribing query.
+    Factory(Box<dyn Fn() -> Box<dyn StreamSource> + Send + Sync>),
+}
+
+struct StreamDef {
+    schema: SchemaRef,
+    binding: StreamBinding,
+}
+
+/// The PEMS table catalog: named finite tables and infinite streams.
+#[derive(Default)]
+pub struct ExtendedTableManager {
+    prototypes: BTreeMap<String, Arc<Prototype>>,
+    tables: BTreeMap<String, TableHandle>,
+    streams: BTreeMap<String, StreamDef>,
+    /// `SERVICE name IMPLEMENTS …` declarations (Table 1) — metadata the
+    /// registry is validated against.
+    service_decls: BTreeMap<String, Vec<String>>,
+}
+
+impl ExtendedTableManager {
+    /// Empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a prototype.
+    pub fn declare_prototype(&mut self, p: Arc<Prototype>) -> Result<(), SchemaError> {
+        if self.prototypes.contains_key(p.name()) {
+            return Err(SchemaError::DuplicatePrototype(p.name().to_string()));
+        }
+        self.prototypes.insert(p.name().to_string(), p);
+        Ok(())
+    }
+
+    /// Look up a declared prototype.
+    pub fn prototype(&self, name: &str) -> Option<&Arc<Prototype>> {
+        self.prototypes.get(name)
+    }
+
+    /// All declared prototypes, sorted by name.
+    pub fn prototypes(&self) -> impl Iterator<Item = &Arc<Prototype>> {
+        self.prototypes.values()
+    }
+
+    /// Record a `SERVICE … IMPLEMENTS …` declaration.
+    pub fn declare_service(&mut self, name: impl Into<String>, prototypes: Vec<String>) {
+        self.service_decls.insert(name.into(), prototypes);
+    }
+
+    /// Declared services, sorted.
+    pub fn service_declarations(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.service_decls.iter().map(|(n, p)| (n.as_str(), p.as_slice()))
+    }
+
+    fn check_fresh_name(&self, name: &str) -> Result<(), SchemaError> {
+        if self.tables.contains_key(name) || self.streams.contains_key(name) {
+            return Err(SchemaError::DuplicateRelation(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Define a finite XD-Relation. Returns its shared handle.
+    pub fn define_table(
+        &mut self,
+        name: impl Into<String>,
+        schema: SchemaRef,
+    ) -> Result<TableHandle, SchemaError> {
+        let name = name.into();
+        self.check_fresh_name(&name)?;
+        let handle = TableHandle::new(schema);
+        self.tables.insert(name, handle.clone());
+        Ok(handle)
+    }
+
+    /// Define an infinite XD-Relation fed by external pushes. Returns its
+    /// hub.
+    pub fn define_push_stream(
+        &mut self,
+        name: impl Into<String>,
+        schema: SchemaRef,
+    ) -> Result<StreamHub, SchemaError> {
+        let name = name.into();
+        self.check_fresh_name(&name)?;
+        let hub = StreamHub::new();
+        self.streams.insert(
+            name,
+            StreamDef { schema, binding: StreamBinding::Hub(hub.clone()) },
+        );
+        Ok(hub)
+    }
+
+    /// Define an infinite XD-Relation backed by a source factory: each
+    /// subscribing query gets `factory()` (sources must be deterministic
+    /// functions of the instant for queries to agree).
+    pub fn define_stream_with(
+        &mut self,
+        name: impl Into<String>,
+        schema: SchemaRef,
+        factory: impl Fn() -> Box<dyn StreamSource> + Send + Sync + 'static,
+    ) -> Result<(), SchemaError> {
+        let name = name.into();
+        self.check_fresh_name(&name)?;
+        self.streams.insert(
+            name,
+            StreamDef { schema, binding: StreamBinding::Factory(Box::new(factory)) },
+        );
+        Ok(())
+    }
+
+    /// Handle of a finite table.
+    pub fn table(&self, name: &str) -> Option<&TableHandle> {
+        self.tables.get(name)
+    }
+
+    /// Push a tuple into a hub-backed stream. `false` if the stream does
+    /// not exist or is factory-backed.
+    pub fn push_stream(&self, name: &str, t: Tuple) -> bool {
+        match self.streams.get(name) {
+            Some(StreamDef { binding: StreamBinding::Hub(hub), .. }) => {
+                hub.push(t);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Queue an insertion into a finite table.
+    pub fn insert(&self, name: &str, t: Tuple) -> Result<(), SchemaError> {
+        match self.tables.get(name) {
+            Some(h) => {
+                h.insert(t);
+                Ok(())
+            }
+            None => Err(SchemaError::DuplicateRelation(format!("{name} (not defined)"))),
+        }
+    }
+
+    /// Queue a deletion from a finite table.
+    pub fn delete(&self, name: &str, t: Tuple) -> Result<(), SchemaError> {
+        match self.tables.get(name) {
+            Some(h) => {
+                h.delete(t);
+                Ok(())
+            }
+            None => Err(SchemaError::DuplicateRelation(format!("{name} (not defined)"))),
+        }
+    }
+
+    /// Drop a relation (table or stream). Returns whether it existed.
+    pub fn drop_relation(&mut self, name: &str) -> bool {
+        self.tables.remove(name).is_some() || self.streams.remove(name).is_some()
+    }
+
+    /// Build the [`SourceSet`] a continuous plan compiles against: shared
+    /// table handles plus a fresh subscription/instance per stream the plan
+    /// references.
+    pub fn source_set_for(&self, plan: &StreamPlan) -> SourceSet {
+        let mut sources = SourceSet::new();
+        let mut names = Vec::new();
+        collect_sources(plan, &mut names);
+        for name in names {
+            if let Some(handle) = self.tables.get(name) {
+                sources.add_table(name.to_string(), handle.clone());
+            } else if let Some(def) = self.streams.get(name) {
+                let source: Box<dyn StreamSource> = match &def.binding {
+                    StreamBinding::Hub(hub) => Box::new(hub.subscribe()),
+                    StreamBinding::Factory(f) => f(),
+                };
+                sources.add_stream(name.to_string(), def.schema.clone(), source);
+            }
+        }
+        sources
+    }
+
+    /// Snapshot every finite table into a one-shot [`Environment`]
+    /// (pending mutations included), for `EXECUTE` statements.
+    pub fn snapshot_environment(&self) -> Environment {
+        let mut env = Environment::new();
+        for p in self.prototypes.values() {
+            // prototypes were URSA-checked on declaration paths upstream;
+            // snapshotting must not fail on re-declaration order
+            let _ = env.declare_prototype(Arc::clone(p));
+        }
+        for (name, handle) in &self.tables {
+            let schema = handle.schema();
+            let mut rel = XRelation::empty(schema);
+            for t in handle.projected().sorted_occurrences() {
+                rel.insert(t);
+            }
+            let _ = env.define_relation(name.clone(), rel);
+        }
+        env
+    }
+}
+
+fn collect_sources<'a>(plan: &'a StreamPlan, out: &mut Vec<&'a str>) {
+    match plan {
+        StreamPlan::Source(n) => {
+            if !out.contains(&n.as_str()) {
+                out.push(n);
+            }
+        }
+        StreamPlan::Union(a, b)
+        | StreamPlan::Intersect(a, b)
+        | StreamPlan::Difference(a, b)
+        | StreamPlan::Join(a, b) => {
+            collect_sources(a, out);
+            collect_sources(b, out);
+        }
+        StreamPlan::Project(p, _)
+        | StreamPlan::Select(p, _)
+        | StreamPlan::Rename(p, _, _)
+        | StreamPlan::Assign(p, _, _)
+        | StreamPlan::Invoke(p, _, _)
+        | StreamPlan::Aggregate(p, _, _)
+        | StreamPlan::Window(p, _)
+        | StreamPlan::Stream(p, _)
+        | StreamPlan::SampleInvoke(p, _, _, _) => collect_sources(p, out),
+    }
+}
+
+impl XdCatalog for ExtendedTableManager {
+    fn xd_schema_of(&self, name: &str) -> Option<StreamSchema> {
+        if let Some(t) = self.tables.get(name) {
+            return Some(StreamSchema::finite(t.schema()));
+        }
+        self.streams
+            .get(name)
+            .map(|d| StreamSchema::infinite(d.schema.clone()))
+    }
+}
+
+impl SchemaCatalog for ExtendedTableManager {
+    fn schema_of(&self, name: &str) -> Option<SchemaRef> {
+        self.tables.get(name).map(|t| t.schema())
+    }
+}
+
+impl serena_ddl::PrototypeCatalog for ExtendedTableManager {
+    fn lookup_prototype(&self, name: &str) -> Option<Arc<Prototype>> {
+        self.prototypes.get(name).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serena_core::prototype::examples as protos;
+    use serena_core::schema::examples as schemas;
+    use serena_core::tuple;
+
+    fn manager() -> ExtendedTableManager {
+        let mut m = ExtendedTableManager::new();
+        m.declare_prototype(protos::send_message()).unwrap();
+        m.declare_prototype(protos::get_temperature()).unwrap();
+        m
+    }
+
+    #[test]
+    fn define_and_mutate_table() {
+        let mut m = manager();
+        m.define_table("contacts", schemas::contacts_schema()).unwrap();
+        m.insert("contacts", tuple!["Ada", "ada@l.org", "email"]).unwrap();
+        assert!(m.insert("ghost", tuple![1]).is_err());
+        let env = m.snapshot_environment();
+        assert_eq!(env.relation("contacts").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_rejected_across_kinds() {
+        let mut m = manager();
+        m.define_table("x", schemas::contacts_schema()).unwrap();
+        assert!(m.define_push_stream("x", schemas::contacts_schema()).is_err());
+        assert!(m
+            .define_table("x", schemas::contacts_schema())
+            .is_err());
+    }
+
+    #[test]
+    fn source_set_subscribes_streams_per_query() {
+        let mut m = manager();
+        let schema = serena_core::schema::XSchema::builder()
+            .real("x", serena_core::value::DataType::Int)
+            .build()
+            .unwrap();
+        let hub = m.define_push_stream("s", schema).unwrap();
+        let plan = StreamPlan::source("s").window(1);
+        let mut set1 = m.source_set_for(&plan);
+        let mut set2 = m.source_set_for(&plan);
+        let mut q1 = serena_stream::exec::ContinuousQuery::compile(&plan, &mut set1).unwrap();
+        let mut q2 = serena_stream::exec::ContinuousQuery::compile(&plan, &mut set2).unwrap();
+        let reg = serena_core::service::fixtures::example_registry();
+        hub.push(tuple![1]);
+        // both queries observe the same pushed tuple
+        assert_eq!(q1.tick(&reg).delta.inserts.len(), 1);
+        assert_eq!(q2.tick(&reg).delta.inserts.len(), 1);
+    }
+
+    #[test]
+    fn drop_relation_both_kinds() {
+        let mut m = manager();
+        m.define_table("t", schemas::contacts_schema()).unwrap();
+        m.define_push_stream(
+            "s",
+            serena_core::schema::XSchema::builder()
+                .real("x", serena_core::value::DataType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(m.drop_relation("t"));
+        assert!(m.drop_relation("s"));
+        assert!(!m.drop_relation("t"));
+    }
+
+    #[test]
+    fn xd_catalog_distinguishes_status() {
+        let mut m = manager();
+        m.define_table("t", schemas::contacts_schema()).unwrap();
+        m.define_push_stream(
+            "s",
+            serena_core::schema::XSchema::builder()
+                .real("x", serena_core::value::DataType::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(!m.xd_schema_of("t").unwrap().infinite);
+        assert!(m.xd_schema_of("s").unwrap().infinite);
+        assert!(m.xd_schema_of("nope").is_none());
+        // SchemaCatalog (one-shot) exposes finite tables only
+        assert!(m.schema_of("t").is_some());
+        assert!(m.schema_of("s").is_none());
+    }
+
+    #[test]
+    fn push_stream_only_for_hubs() {
+        let mut m = manager();
+        let schema = serena_core::schema::XSchema::builder()
+            .real("x", serena_core::value::DataType::Int)
+            .build()
+            .unwrap();
+        m.define_push_stream("hub", schema.clone()).unwrap();
+        m.define_stream_with("gen", schema, || {
+            Box::new(serena_stream::source::FnStream(|_at| Vec::new()))
+        })
+        .unwrap();
+        assert!(m.push_stream("hub", tuple![1]));
+        assert!(!m.push_stream("gen", tuple![1]));
+        assert!(!m.push_stream("nope", tuple![1]));
+    }
+
+    #[test]
+    fn service_declarations_recorded() {
+        let mut m = manager();
+        m.declare_service("email", vec!["sendMessage".into()]);
+        m.declare_service("camera01", vec!["checkPhoto".into(), "takePhoto".into()]);
+        let decls: Vec<(&str, usize)> = m
+            .service_declarations()
+            .map(|(n, p)| (n, p.len()))
+            .collect();
+        assert_eq!(decls, vec![("camera01", 2), ("email", 1)]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Black-box tests of the `pems_shell` binary: scripted sessions over
+//! stdin, asserting on stdout — the way a user (or a CI pipeline) drives
+//! the PEMS without writing Rust.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_shell(script: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pems_shell"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("shell binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let out = child.wait_with_output().expect("shell exits");
+    assert!(out.status.success(), "shell exited with {:?}", out.status);
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn demo_one_shot_query_via_algebra_language() {
+    let out = run_shell(
+        ".demo\n\
+         EXECUTE PROJECT[name](SELECT[messenger = 'email'](contacts));\n\
+         .quit\n",
+    );
+    assert!(out.contains("loaded the paper's running example"));
+    assert!(out.contains("Nicolas"));
+    assert!(out.contains("Carla"));
+    assert!(!out.contains("Francois"), "jabber contact must be filtered:\n{out}");
+}
+
+#[test]
+fn demo_sql_and_ticks() {
+    let out = run_shell(
+        ".demo\n\
+         SELECT location, avg(temperature) AS mean FROM sensors USING getTemperature[sensor] GROUP BY location;\n\
+         REGISTER QUERY watch AS sensors;\n\
+         .tick 3\n\
+         .queries\n\
+         .quit\n",
+    );
+    assert!(out.contains("mean"));
+    assert!(out.contains("office"));
+    assert!(out.contains("registered continuous query `watch`"));
+    assert!(out.contains("clock = τ=3"));
+    assert!(out.contains("watch: 3 ticks"));
+}
+
+#[test]
+fn errors_do_not_kill_the_session() {
+    let out = run_shell(
+        "EXECUTE PROJECT[name](ghost);\n\
+         .nonsense\n\
+         .demo\n\
+         .show contacts\n\
+         .quit\n",
+    );
+    assert!(out.contains("error:"));
+    assert!(out.contains("unknown command"));
+    // the session survived both errors and still loaded the demo
+    assert!(out.contains("nicolas@elysee.fr"));
+}
+
+#[test]
+fn tables_and_result_commands() {
+    let out = run_shell(
+        ".demo\n\
+         REGISTER QUERY emails AS SELECT[messenger = 'email'](contacts);\n\
+         .tick 1\n\
+         .result emails\n\
+         .tables\n\
+         .quit\n",
+    );
+    assert!(out.contains("carla@elysee.fr"));
+    assert!(out.contains("contacts (3 tuples)"));
+    assert!(out.contains("sensors (4 tuples)"));
+}

@@ -1,0 +1,185 @@
+//! Service-discovery queries: from registry state to X-Relation rows.
+//!
+//! §5.1: "The Query Processor also handles service discovery queries: it
+//! continuously updates some specific XD-Relations so that they represent
+//! the set of services (implementing some given prototypes) that are
+//! available" — like the `cameras` X-Relation of the surveillance scenario,
+//! or the sensor table of §1.2 whose rows appear and disappear with the
+//! devices.
+//!
+//! A [`DiscoveryQuery`] materializes one such relation: one row per
+//! currently-registered provider of a prototype, the service-reference
+//! attribute holding the provider's reference and the remaining real
+//! attributes filled from a [`ServiceDirectory`] of per-service metadata
+//! (e.g. a sensor's installed location).
+
+use std::collections::{BTreeMap, HashMap};
+
+use parking_lot::RwLock;
+
+use serena_core::attr::AttrName;
+use serena_core::error::SchemaError;
+use serena_core::schema::SchemaRef;
+use serena_core::service::Invoker;
+use serena_core::tuple::Tuple;
+use serena_core::value::{ServiceRef, Value};
+use serena_core::xrelation::XRelation;
+
+/// Per-service metadata: the static facts about a device that the network
+/// announcement carries alongside the reference (location, coverage, …).
+#[derive(Default)]
+pub struct ServiceDirectory {
+    metadata: RwLock<HashMap<ServiceRef, BTreeMap<String, Value>>>,
+}
+
+impl ServiceDirectory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set one metadata field for a service.
+    pub fn set(&self, reference: impl Into<ServiceRef>, key: impl Into<String>, value: Value) {
+        self.metadata
+            .write()
+            .entry(reference.into())
+            .or_default()
+            .insert(key.into(), value);
+    }
+
+    /// Get one metadata field.
+    pub fn get(&self, reference: &ServiceRef, key: &str) -> Option<Value> {
+        self.metadata.read().get(reference)?.get(key).cloned()
+    }
+
+    /// Forget everything about a service.
+    pub fn remove(&self, reference: &ServiceRef) {
+        self.metadata.write().remove(reference);
+    }
+}
+
+/// A continuously-refreshable discovery relation.
+pub struct DiscoveryQuery {
+    prototype: String,
+    schema: SchemaRef,
+    service_attr: AttrName,
+}
+
+impl DiscoveryQuery {
+    /// Discovery of providers of `prototype` into `schema`, whose
+    /// `service_attr` (a real attribute) receives the reference.
+    pub fn new(
+        prototype: impl Into<String>,
+        schema: SchemaRef,
+        service_attr: impl Into<AttrName>,
+    ) -> Result<Self, SchemaError> {
+        let service_attr = service_attr.into();
+        if !schema.is_real(service_attr.as_str()) {
+            return Err(SchemaError::ServiceAttrNotReal {
+                prototype: "discovery".into(),
+                attr: service_attr,
+            });
+        }
+        Ok(DiscoveryQuery { prototype: prototype.into(), schema, service_attr })
+    }
+
+    /// The target schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Materialize the current provider set. Services lacking metadata for
+    /// some required real attribute are skipped (they are discovered but
+    /// not yet describable — the next refresh after their metadata arrives
+    /// picks them up).
+    pub fn refresh(&self, invoker: &dyn Invoker, directory: &ServiceDirectory) -> XRelation {
+        let mut rel = XRelation::empty(self.schema.clone());
+        'providers: for reference in invoker.providers_of(&self.prototype) {
+            let mut values = Vec::with_capacity(self.schema.real_arity());
+            for attr in self.schema.attrs().iter().filter(|a| a.is_real()) {
+                if attr.name == self.service_attr {
+                    values.push(Value::Service(reference.clone()));
+                } else {
+                    match directory.get(&reference, attr.name.as_str()) {
+                        Some(v) => values.push(v),
+                        None => continue 'providers,
+                    }
+                }
+            }
+            rel.insert(Tuple::new(values));
+        }
+        rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::DynamicRegistry;
+    use serena_core::schema::examples::sensors_schema;
+    use serena_core::service::fixtures;
+    use serena_core::tuple;
+
+    fn setup() -> (DynamicRegistry, ServiceDirectory, DiscoveryQuery) {
+        let reg = DynamicRegistry::new();
+        reg.register("sensor01", fixtures::temperature_sensor(1));
+        reg.register("sensor06", fixtures::temperature_sensor(6));
+        let dir = ServiceDirectory::new();
+        dir.set("sensor01", "location", Value::str("corridor"));
+        dir.set("sensor06", "location", Value::str("office"));
+        let q = DiscoveryQuery::new("getTemperature", sensors_schema(), "sensor").unwrap();
+        (reg, dir, q)
+    }
+
+    #[test]
+    fn refresh_builds_sensor_table() {
+        let (reg, dir, q) = setup();
+        let rel = q.refresh(&reg, &dir);
+        assert_eq!(rel.len(), 2);
+        assert!(rel.contains(&tuple![Value::service("sensor01"), "corridor"]));
+        assert!(rel.contains(&tuple![Value::service("sensor06"), "office"]));
+        // the virtual `temperature` column and the BP travel with the schema
+        assert!(rel.schema().is_virtual("temperature"));
+        assert_eq!(rel.schema().binding_patterns().len(), 1);
+    }
+
+    #[test]
+    fn churn_is_reflected_on_refresh() {
+        let (reg, dir, q) = setup();
+        assert_eq!(q.refresh(&reg, &dir).len(), 2);
+        reg.register("sensor22", fixtures::temperature_sensor(22));
+        dir.set("sensor22", "location", Value::str("roof"));
+        assert_eq!(q.refresh(&reg, &dir).len(), 3);
+        reg.unregister(&ServiceRef::new("sensor01"));
+        assert_eq!(q.refresh(&reg, &dir).len(), 2);
+    }
+
+    #[test]
+    fn missing_metadata_skips_service() {
+        let (reg, dir, q) = setup();
+        reg.register("sensor99", fixtures::temperature_sensor(99));
+        // no location metadata yet → not describable → skipped
+        assert_eq!(q.refresh(&reg, &dir).len(), 2);
+        dir.set("sensor99", "location", Value::str("basement"));
+        assert_eq!(q.refresh(&reg, &dir).len(), 3);
+    }
+
+    #[test]
+    fn service_attr_must_be_real() {
+        let bad = serena_core::schema::XSchema::builder()
+            .virt("sensor", serena_core::value::DataType::Service)
+            .real("location", serena_core::value::DataType::Str)
+            .build()
+            .unwrap();
+        assert!(DiscoveryQuery::new("getTemperature", bad, "sensor").is_err());
+    }
+
+    #[test]
+    fn unrelated_prototypes_not_listed() {
+        let (reg, dir, q) = setup();
+        reg.register("camera01", fixtures::camera(1));
+        dir.set("camera01", "location", Value::str("office"));
+        // camera01 implements checkPhoto/takePhoto, not getTemperature
+        assert_eq!(q.refresh(&reg, &dir).len(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Failure injection for robustness testing.
+//!
+//! §5.2 closes with "further experiments need to be conducted to assess the
+//! scalability and the robustness of our proposal" — this module provides
+//! the fault models those robustness tests need: services that fail
+//! intermittently, fail during scripted outages, or answer slowly
+//! (reporting a simulated latency without blocking the test clock).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use serena_core::prototype::Prototype;
+use serena_core::service::Service;
+use serena_core::time::Instant;
+use serena_core::tuple::Tuple;
+
+/// When a wrapped service misbehaves.
+#[derive(Debug, Clone)]
+pub enum FaultPolicy {
+    /// Every `n`-th invocation fails (1-based; `n = 1` fails always).
+    EveryNth(u64),
+    /// Fails during the inclusive instant range.
+    Outage {
+        /// First failing instant.
+        from: Instant,
+        /// Last failing instant.
+        to: Instant,
+    },
+    /// Never fails (control case).
+    None,
+}
+
+/// A decorator injecting faults into any [`Service`].
+pub struct FaultyService {
+    inner: Arc<dyn Service>,
+    policy: FaultPolicy,
+    calls: Mutex<u64>,
+    error: String,
+}
+
+impl FaultyService {
+    /// Wrap `inner` with `policy`.
+    pub fn new(inner: Arc<dyn Service>, policy: FaultPolicy) -> Arc<Self> {
+        Arc::new(FaultyService {
+            inner,
+            policy,
+            calls: Mutex::new(0),
+            error: "injected fault: device unreachable".to_string(),
+        })
+    }
+
+    /// Wrap with a custom error message.
+    pub fn with_error(
+        inner: Arc<dyn Service>,
+        policy: FaultPolicy,
+        error: impl Into<String>,
+    ) -> Arc<Self> {
+        Arc::new(FaultyService {
+            inner,
+            policy,
+            calls: Mutex::new(0),
+            error: error.into(),
+        })
+    }
+
+    /// Total invocation attempts observed (including failed ones).
+    pub fn attempts(&self) -> u64 {
+        *self.calls.lock()
+    }
+
+    fn should_fail(&self, at: Instant) -> bool {
+        match &self.policy {
+            FaultPolicy::EveryNth(n) => {
+                let calls = *self.calls.lock();
+                *n > 0 && calls.is_multiple_of(*n)
+            }
+            FaultPolicy::Outage { from, to } => *from <= at && at <= *to,
+            FaultPolicy::None => false,
+        }
+    }
+}
+
+impl Service for FaultyService {
+    fn prototypes(&self) -> Vec<Arc<Prototype>> {
+        self.inner.prototypes()
+    }
+
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, String> {
+        let fail = self.should_fail(at);
+        *self.calls.lock() += 1;
+        if fail {
+            return Err(self.error.clone());
+        }
+        self.inner.invoke(prototype, input, at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serena_core::prototype::examples as protos;
+    use serena_core::service::fixtures;
+
+    #[test]
+    fn every_nth_fails_periodically() {
+        // n=2 → calls 0, 2, 4… fail
+        let svc = FaultyService::new(fixtures::temperature_sensor(1), FaultPolicy::EveryNth(2));
+        let mut outcomes = Vec::new();
+        for _ in 0..6 {
+            outcomes.push(
+                svc.invoke(&protos::get_temperature(), &Tuple::empty(), Instant(0))
+                    .is_ok(),
+            );
+        }
+        assert_eq!(outcomes, vec![false, true, false, true, false, true]);
+        assert_eq!(svc.attempts(), 6);
+    }
+
+    #[test]
+    fn outage_window() {
+        let svc = FaultyService::new(
+            fixtures::temperature_sensor(1),
+            FaultPolicy::Outage { from: Instant(5), to: Instant(7) },
+        );
+        assert!(svc
+            .invoke(&protos::get_temperature(), &Tuple::empty(), Instant(4))
+            .is_ok());
+        for t in 5..=7 {
+            assert!(svc
+                .invoke(&protos::get_temperature(), &Tuple::empty(), Instant(t))
+                .is_err());
+        }
+        assert!(svc
+            .invoke(&protos::get_temperature(), &Tuple::empty(), Instant(8))
+            .is_ok());
+    }
+
+    #[test]
+    fn none_policy_is_transparent() {
+        let svc = FaultyService::new(fixtures::temperature_sensor(1), FaultPolicy::None);
+        for t in 0..5 {
+            assert!(svc
+                .invoke(&protos::get_temperature(), &Tuple::empty(), Instant(t))
+                .is_ok());
+        }
+        assert_eq!(svc.prototypes().len(), 1);
+    }
+
+    #[test]
+    fn custom_error_propagates() {
+        let svc = FaultyService::with_error(
+            fixtures::temperature_sensor(1),
+            FaultPolicy::EveryNth(1),
+            "battery dead",
+        );
+        let err = svc
+            .invoke(&protos::get_temperature(), &Tuple::empty(), Instant(0))
+            .unwrap_err();
+        assert_eq!(err, "battery dead");
+    }
+}

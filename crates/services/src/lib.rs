@@ -1,0 +1,38 @@
+//! # serena-services
+//!
+//! The service substrate of the PEMS prototype (§5.1–5.2 of the paper):
+//! dynamic service registration, discovery and remote invocation, plus
+//! simulated stand-ins for every physical device the authors used.
+//!
+//! The paper's experimental environment was built from OSGi/UPnP networking,
+//! Thermochron iButton sensors, Logitech webcams, an Openfire IM server, a
+//! Clickatell SMS gateway, a mail server and live RSS feeds. None of that
+//! hardware is available to a reproduction, so this crate implements
+//! deterministic simulations that exercise the *same code paths* (see
+//! DESIGN.md §2 for the substitution table):
+//!
+//! * [`registry`] — a dynamic, thread-safe service registry implementing
+//!   the core [`serena_core::service::Invoker`] trait, with
+//!   registration/unregistration events;
+//! * [`bus`] — an in-process discovery bus: *Local Environment Resource
+//!   Managers* announce their services with configurable latency and churn;
+//!   the core ERM applies due announcements each logical tick (Figure 1's
+//!   distributed module layout, minus the real network);
+//! * [`devices`] — simulated temperature sensors (with scriptable heat
+//!   events), cameras, messengers (e-mail / jabber / SMS with an
+//!   inspectable outbox) and RSS feed wrappers;
+//! * [`faults`] — failure injection: flaky, delayed or dying services for
+//!   robustness tests;
+//! * [`discovery`] — turning "which services implement prototype ψ?" into
+//!   X-Relation rows, the data backing the PEMS service-discovery queries.
+
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod devices;
+pub mod discovery;
+pub mod faults;
+pub mod registry;
+
+pub use bus::{BusConfig, CoreErm, DiscoveryBus, LocalErm};
+pub use registry::{DynamicRegistry, RegistryEvent};

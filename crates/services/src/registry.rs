@@ -1,0 +1,269 @@
+//! Dynamic service registry (the core Environment Resource Manager's
+//! service table, §5.1).
+//!
+//! Extends the semantics of [`serena_core::service::StaticRegistry`] with:
+//!
+//! * registration/unregistration **events**, so discovery queries can react
+//!   to the set of available services changing mid-query ("new temperature
+//!   sensors have been dynamically discovered and integrated in the
+//!   temperature stream without the need to stop the continuous query");
+//! * per-service metadata (the Local ERM a service came from).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use serena_core::error::EvalError;
+use serena_core::prototype::Prototype;
+use serena_core::service::{validate_invocation_result, Invoker, Service};
+use serena_core::time::Instant;
+use serena_core::tuple::Tuple;
+use serena_core::value::ServiceRef;
+
+/// A registry change notification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryEvent {
+    /// A service joined (reference, prototype names, origin LERM).
+    Registered {
+        /// The service's reference.
+        reference: ServiceRef,
+        /// Names of the prototypes it implements.
+        prototypes: Vec<String>,
+        /// The Local ERM it was announced by (empty for direct
+        /// registration).
+        origin: String,
+    },
+    /// A service left.
+    Unregistered {
+        /// The departed service's reference.
+        reference: ServiceRef,
+    },
+}
+
+struct Entry {
+    service: Arc<dyn Service>,
+    origin: String,
+}
+
+/// Thread-safe dynamic service registry with change events.
+pub struct DynamicRegistry {
+    services: RwLock<HashMap<ServiceRef, Entry>>,
+    event_tx: Sender<RegistryEvent>,
+    event_rx: Receiver<RegistryEvent>,
+}
+
+impl Default for DynamicRegistry {
+    fn default() -> Self {
+        let (event_tx, event_rx) = unbounded();
+        DynamicRegistry { services: RwLock::new(HashMap::new()), event_tx, event_rx }
+    }
+}
+
+impl DynamicRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a service directly (no LERM origin).
+    pub fn register(&self, reference: impl Into<ServiceRef>, service: Arc<dyn Service>) {
+        self.register_from(reference, service, "");
+    }
+
+    /// Register a service announced by `origin` (a Local ERM id).
+    pub fn register_from(
+        &self,
+        reference: impl Into<ServiceRef>,
+        service: Arc<dyn Service>,
+        origin: impl Into<String>,
+    ) {
+        let reference = reference.into();
+        let origin = origin.into();
+        let prototypes = service
+            .prototypes()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        self.services
+            .write()
+            .insert(reference.clone(), Entry { service, origin: origin.clone() });
+        let _ = self.event_tx.send(RegistryEvent::Registered {
+            reference,
+            prototypes,
+            origin,
+        });
+    }
+
+    /// Unregister a service. Returns `true` if it was present.
+    pub fn unregister(&self, reference: &ServiceRef) -> bool {
+        let removed = self.services.write().remove(reference).is_some();
+        if removed {
+            let _ = self
+                .event_tx
+                .send(RegistryEvent::Unregistered { reference: reference.clone() });
+        }
+        removed
+    }
+
+    /// Drain all pending registry events (non-blocking).
+    pub fn drain_events(&self) -> Vec<RegistryEvent> {
+        let mut out = Vec::new();
+        while let Ok(ev) = self.event_rx.try_recv() {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.services.read().len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.services.read().is_empty()
+    }
+
+    /// Whether `reference` is currently registered.
+    pub fn contains(&self, reference: &ServiceRef) -> bool {
+        self.services.read().contains_key(reference)
+    }
+
+    /// Origin LERM of a service, if registered.
+    pub fn origin_of(&self, reference: &ServiceRef) -> Option<String> {
+        self.services.read().get(reference).map(|e| e.origin.clone())
+    }
+
+    /// All registered references (sorted — deterministic output).
+    pub fn references(&self) -> Vec<ServiceRef> {
+        let mut refs: Vec<ServiceRef> = self.services.read().keys().cloned().collect();
+        refs.sort();
+        refs
+    }
+}
+
+impl Invoker for DynamicRegistry {
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        service_ref: &ServiceRef,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, EvalError> {
+        let service = {
+            let guard = self.services.read();
+            guard.get(service_ref).map(|e| Arc::clone(&e.service))
+        }
+        .ok_or_else(|| EvalError::UnknownService { reference: service_ref.to_string() })?;
+        if !service
+            .prototypes()
+            .iter()
+            .any(|p| p.name() == prototype.name())
+        {
+            return Err(EvalError::PrototypeNotImplemented {
+                service: service_ref.to_string(),
+                prototype: prototype.name().to_string(),
+            });
+        }
+        let result = service.invoke(prototype, input, at).map_err(|reason| {
+            EvalError::InvocationFailed {
+                service: service_ref.to_string(),
+                prototype: prototype.name().to_string(),
+                reason,
+            }
+        })?;
+        validate_invocation_result(prototype, service_ref, &result)?;
+        Ok(result)
+    }
+
+    fn providers_of(&self, prototype: &str) -> Vec<ServiceRef> {
+        let guard = self.services.read();
+        let mut refs: Vec<ServiceRef> = guard
+            .iter()
+            .filter(|(_, e)| e.service.prototypes().iter().any(|p| p.name() == prototype))
+            .map(|(r, _)| r.clone())
+            .collect();
+        refs.sort();
+        refs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serena_core::prototype::examples as protos;
+    use serena_core::service::fixtures;
+
+    #[test]
+    fn register_unregister_with_events() {
+        let reg = DynamicRegistry::new();
+        reg.register_from("sensor01", fixtures::temperature_sensor(1), "lerm-A");
+        reg.register("sensor02", fixtures::temperature_sensor(2));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.origin_of(&ServiceRef::new("sensor01")).unwrap(), "lerm-A");
+
+        let events = reg.drain_events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(&events[0], RegistryEvent::Registered { reference, .. }
+            if reference.as_str() == "sensor01"));
+
+        assert!(reg.unregister(&ServiceRef::new("sensor01")));
+        assert!(!reg.unregister(&ServiceRef::new("sensor01")));
+        let events = reg.drain_events();
+        assert_eq!(
+            events,
+            vec![RegistryEvent::Unregistered { reference: ServiceRef::new("sensor01") }]
+        );
+    }
+
+    #[test]
+    fn invoker_trait_resolves() {
+        let reg = DynamicRegistry::new();
+        reg.register("sensor01", fixtures::temperature_sensor(1));
+        let out = reg
+            .invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("sensor01"),
+                &Tuple::empty(),
+                Instant(1),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(reg
+            .invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("ghost"),
+                &Tuple::empty(),
+                Instant(1),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn providers_of_updates_with_churn() {
+        let reg = DynamicRegistry::new();
+        reg.register("sensor01", fixtures::temperature_sensor(1));
+        reg.register("camera01", fixtures::camera(1));
+        assert_eq!(reg.providers_of("getTemperature").len(), 1);
+        reg.register("sensor02", fixtures::temperature_sensor(2));
+        assert_eq!(reg.providers_of("getTemperature").len(), 2);
+        reg.unregister(&ServiceRef::new("sensor01"));
+        let names: Vec<String> = reg
+            .providers_of("getTemperature")
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        assert_eq!(names, vec!["sensor02"]);
+    }
+
+    #[test]
+    fn replace_registration_keeps_single_entry() {
+        let reg = DynamicRegistry::new();
+        reg.register("s", fixtures::temperature_sensor(1));
+        reg.register("s", fixtures::temperature_sensor(9));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.references().len(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! # serena-stream
+//!
+//! The continuous extension of the Serena algebra (§4 of the paper):
+//! XD-Relations, window and streaming operators, and an incremental
+//! executor for continuous queries.
+//!
+//! * [`multiset`] — instantaneous states as tuple multisets and per-tick
+//!   deltas (§4.1's CQL-style semantics);
+//! * [`source`] — dynamic tables ([`source::TableHandle`]) and stream
+//!   producers ([`source::StreamSource`]);
+//! * [`plan`] — [`plan::StreamPlan`]: the Serena operators plus
+//!   `W[period]` and `S[insertion|deletion|heartbeat]`, with static
+//!   finite/infinite checking;
+//! * [`exec`] — [`exec::ContinuousQuery`]: tick-by-tick incremental
+//!   evaluation with §4.2's delta-only invocation semantics and per-tick
+//!   action sets.
+//!
+//! ```
+//! use serena_core::formula::Formula;
+//! use serena_core::schema::XSchema;
+//! use serena_core::service::fixtures::example_registry;
+//! use serena_core::tuple;
+//! use serena_core::value::DataType;
+//! use serena_stream::exec::{ContinuousQuery, SourceSet};
+//! use serena_stream::plan::StreamPlan;
+//! use serena_stream::source::PushStream;
+//!
+//! // a temperature stream, windowed and filtered
+//! let schema = XSchema::builder()
+//!     .real("location", DataType::Str)
+//!     .real("temperature", DataType::Real)
+//!     .build()
+//!     .unwrap();
+//! let push = PushStream::new();
+//! let mut sources = SourceSet::new();
+//! sources.add_stream("temps", schema, Box::new(push.clone()));
+//!
+//! let plan = StreamPlan::source("temps")
+//!     .window(1)
+//!     .select(Formula::gt_const("temperature", 35.5));
+//! let mut query = ContinuousQuery::compile(&plan, &mut sources).unwrap();
+//!
+//! let registry = example_registry();
+//! push.push(tuple!["office", 40.0]);
+//! let report = query.tick(&registry);
+//! assert_eq!(report.delta.inserts.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod multiset;
+pub mod plan;
+pub mod source;
+
+pub use exec::{ContinuousQuery, SourceSet, TickReport};
+pub use multiset::{Delta, Multiset};
+pub use plan::{StreamKind, StreamPlan, StreamSchema, XdCatalog};
+pub use source::{FnStream, PushStream, StreamSource, TableHandle};

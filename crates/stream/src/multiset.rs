@@ -1,0 +1,244 @@
+//! Tuple multisets and deltas.
+//!
+//! §4.1 defines XD-Relations as mappings from time instants to *multisets*
+//! of tuples (finite for dynamic relations, infinite append-only for
+//! streams), following CQL. The continuous executor manipulates
+//! instantaneous states as [`Multiset`]s and communicates changes between
+//! operators as [`Delta`]s (inserted/deleted multisets per tick).
+
+use std::collections::HashMap;
+
+use serena_core::tuple::Tuple;
+
+/// A finite multiset of tuples with positive counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Multiset {
+    counts: HashMap<Tuple, usize>,
+    total: usize,
+}
+
+impl Multiset {
+    /// The empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of tuples (each occurrence counts).
+    pub fn from_tuples(tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut m = Multiset::new();
+        for t in tuples {
+            m.insert(t, 1);
+        }
+        m
+    }
+
+    /// Number of tuple occurrences (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of *distinct* tuples.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Multiplicity of `t`.
+    pub fn count(&self, t: &Tuple) -> usize {
+        self.counts.get(t).copied().unwrap_or(0)
+    }
+
+    /// Whether `t` occurs at least once.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.count(t) > 0
+    }
+
+    /// Add `n` occurrences of `t`.
+    pub fn insert(&mut self, t: Tuple, n: usize) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(t).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Remove up to `n` occurrences; returns how many were removed.
+    pub fn remove(&mut self, t: &Tuple, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        match self.counts.get_mut(t) {
+            None => 0,
+            Some(c) => {
+                let removed = n.min(*c);
+                *c -= removed;
+                if *c == 0 {
+                    self.counts.remove(t);
+                }
+                self.total -= removed;
+                removed
+            }
+        }
+    }
+
+    /// Iterate `(tuple, count)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, usize)> {
+        self.counts.iter().map(|(t, &c)| (t, c))
+    }
+
+    /// Iterate tuples with multiplicity (each occurrence yielded).
+    pub fn iter_occurrences(&self) -> impl Iterator<Item = &Tuple> {
+        self.counts
+            .iter()
+            .flat_map(|(t, &c)| std::iter::repeat_n(t, c))
+    }
+
+    /// Apply a delta in place. Deletions of absent tuples are clamped (and
+    /// reported as a consistency violation count, which callers may assert
+    /// on in tests).
+    pub fn apply(&mut self, delta: &Delta) -> usize {
+        let mut missing = 0;
+        for (t, c) in delta.deletes.iter() {
+            let removed = self.remove(t, c);
+            missing += c - removed;
+        }
+        for (t, c) in delta.inserts.iter() {
+            self.insert(t.clone(), c);
+        }
+        missing
+    }
+
+    /// Multiset difference driving recompute-and-diff operators:
+    /// `self → target` as a [`Delta`].
+    pub fn diff_to(&self, target: &Multiset) -> Delta {
+        let mut delta = Delta::new();
+        for (t, new_c) in target.iter() {
+            let old_c = self.count(t);
+            if new_c > old_c {
+                delta.inserts.insert(t.clone(), new_c - old_c);
+            }
+        }
+        for (t, old_c) in self.iter() {
+            let new_c = target.count(t);
+            if old_c > new_c {
+                delta.deletes.insert(t.clone(), old_c - new_c);
+            }
+        }
+        delta
+    }
+
+    /// All tuples, sorted, with multiplicity — deterministic output for
+    /// tables and assertions.
+    pub fn sorted_occurrences(&self) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> = self.iter_occurrences().cloned().collect();
+        out.sort();
+        out
+    }
+}
+
+impl FromIterator<Tuple> for Multiset {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        Multiset::from_tuples(iter)
+    }
+}
+
+/// A per-tick change: inserted and deleted multisets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Delta {
+    /// Tuples inserted this tick.
+    pub inserts: Multiset,
+    /// Tuples deleted this tick.
+    pub deletes: Multiset,
+}
+
+impl Delta {
+    /// The empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Delta inserting the given tuples.
+    pub fn of_inserts(tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        Delta { inserts: Multiset::from_tuples(tuples), deletes: Multiset::new() }
+    }
+
+    /// True iff nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Total occurrences touched.
+    pub fn magnitude(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serena_core::tuple;
+
+    #[test]
+    fn counts_and_removal() {
+        let mut m = Multiset::new();
+        m.insert(tuple![1], 2);
+        m.insert(tuple![2], 1);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.distinct(), 2);
+        assert_eq!(m.count(&tuple![1]), 2);
+        assert_eq!(m.remove(&tuple![1], 5), 2);
+        assert!(!m.contains(&tuple![1]));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(&tuple![9], 1), 0);
+    }
+
+    #[test]
+    fn diff_round_trip() {
+        let a: Multiset = vec![tuple![1], tuple![1], tuple![2]].into_iter().collect();
+        let b: Multiset = vec![tuple![1], tuple![3]].into_iter().collect();
+        let d = a.diff_to(&b);
+        assert_eq!(d.inserts.count(&tuple![3]), 1);
+        assert_eq!(d.deletes.count(&tuple![1]), 1);
+        assert_eq!(d.deletes.count(&tuple![2]), 1);
+        let mut a2 = a.clone();
+        assert_eq!(a2.apply(&d), 0);
+        assert_eq!(a2, b);
+    }
+
+    #[test]
+    fn diff_of_equal_is_empty() {
+        let a: Multiset = vec![tuple![1], tuple![2]].into_iter().collect();
+        assert!(a.diff_to(&a.clone()).is_empty());
+    }
+
+    #[test]
+    fn apply_reports_missing_deletes() {
+        let mut a: Multiset = vec![tuple![1]].into_iter().collect();
+        let mut d = Delta::new();
+        d.deletes.insert(tuple![1], 2);
+        assert_eq!(a.apply(&d), 1);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn occurrences_iteration() {
+        let m: Multiset = vec![tuple![1], tuple![1], tuple![2]].into_iter().collect();
+        assert_eq!(m.iter_occurrences().count(), 3);
+        assert_eq!(
+            m.sorted_occurrences(),
+            vec![tuple![1], tuple![1], tuple![2]]
+        );
+    }
+
+    #[test]
+    fn delta_constructors() {
+        let d = Delta::of_inserts(vec![tuple![1], tuple![1]]);
+        assert_eq!(d.magnitude(), 2);
+        assert!(!d.is_empty());
+        assert!(Delta::new().is_empty());
+    }
+}

@@ -1,0 +1,286 @@
+//! XD-Relation sources: dynamic tables and streams.
+//!
+//! §4.1: relations and data streams are both XD-Relations; finite ones are
+//! updatable tables (the Extended Table Manager's insert/delete of tuples,
+//! §5.1), infinite ones are append-only streams fed by the environment
+//! (sensor samplers, RSS wrappers, …).
+//!
+//! * [`TableHandle`] — a shared, mutable finite XD-Relation; mutations are
+//!   buffered and become the table's delta at the next tick boundary;
+//! * [`StreamSource`] — the producer side of an infinite XD-Relation:
+//!   polled once per tick for the batch of newly appended tuples;
+//! * [`PushStream`] — a buffering `StreamSource` for manually pushed
+//!   tuples; [`FnStream`] — a source computed from the instant (e.g. a
+//!   simulated device sampler).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use serena_core::schema::SchemaRef;
+use serena_core::time::Instant;
+use serena_core::tuple::Tuple;
+
+use crate::multiset::{Delta, Multiset};
+
+/// Shared handle to a finite, updatable XD-Relation.
+#[derive(Clone)]
+pub struct TableHandle {
+    inner: Arc<Mutex<TableState>>,
+}
+
+struct TableState {
+    schema: SchemaRef,
+    current: Multiset,
+    pending: Delta,
+    /// The last committed tick, kept so several queries sharing this table
+    /// within the same global instant all observe the same delta.
+    committed: Option<(Instant, Delta)>,
+}
+
+impl TableHandle {
+    /// An empty table over `schema`.
+    pub fn new(schema: SchemaRef) -> Self {
+        TableHandle {
+            inner: Arc::new(Mutex::new(TableState {
+                schema,
+                current: Multiset::new(),
+                pending: Delta::new(),
+                committed: None,
+            })),
+        }
+    }
+
+    /// A table pre-loaded with `tuples` (they appear in the first tick's
+    /// delta, like any insertion).
+    pub fn with_tuples(schema: SchemaRef, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let h = TableHandle::new(schema);
+        for t in tuples {
+            h.insert(t);
+        }
+        h
+    }
+
+    /// The table's extended schema.
+    pub fn schema(&self) -> SchemaRef {
+        self.inner.lock().schema.clone()
+    }
+
+    /// Queue a tuple insertion (applied at the next tick).
+    pub fn insert(&self, t: Tuple) {
+        self.inner.lock().pending.inserts.insert(t, 1);
+    }
+
+    /// Queue a tuple deletion (applied at the next tick).
+    pub fn delete(&self, t: Tuple) {
+        self.inner.lock().pending.deletes.insert(t, 1);
+    }
+
+    /// Replace the table's contents wholesale (applied at the next tick) —
+    /// used by discovery queries refreshing provider tables.
+    pub fn replace_with(&self, tuples: impl IntoIterator<Item = Tuple>) {
+        let mut state = self.inner.lock();
+        let target: Multiset = tuples.into_iter().collect();
+        // desired delta from (current ⊕ already-pending) to target
+        let mut projected = state.current.clone();
+        let pending = std::mem::take(&mut state.pending);
+        projected.apply(&pending);
+        state.pending = projected.diff_to(&target);
+    }
+
+    /// Snapshot of the current (already-ticked) contents.
+    pub fn snapshot(&self) -> Multiset {
+        self.inner.lock().current.clone()
+    }
+
+    /// The contents the table will have once pending mutations commit —
+    /// what a one-shot query evaluated "now" should see (§4.2: one-shot
+    /// queries over finite XD-Relations).
+    pub fn projected(&self) -> Multiset {
+        let state = self.inner.lock();
+        let mut m = state.current.clone();
+        m.apply(&state.pending);
+        m
+    }
+
+    /// Advance the tick boundary at instant `at`: the first call for a
+    /// given instant commits the pending mutations; subsequent calls at the
+    /// same instant (other queries sharing the table) observe the same
+    /// delta. With `bootstrap` (a query's very first tick), the returned
+    /// delta instead inserts the whole current contents — the new query's
+    /// initial instantaneous relation.
+    pub(crate) fn tick_at(&self, at: Instant, bootstrap: bool) -> Delta {
+        let mut state = self.inner.lock();
+        let already = matches!(&state.committed, Some((t, _)) if *t == at);
+        if !already {
+            let delta = std::mem::take(&mut state.pending);
+            // Clamp deletions of absent tuples: the applied delta must be
+            // consistent with what downstream operators see.
+            let mut effective = Delta::new();
+            for (t, c) in delta.inserts.iter() {
+                effective.inserts.insert(t.clone(), c);
+            }
+            for (t, c) in delta.deletes.iter() {
+                let present = state.current.count(t);
+                let c = c.min(present);
+                if c > 0 {
+                    effective.deletes.insert(t.clone(), c);
+                }
+            }
+            state.current.apply(&effective);
+            state.committed = Some((at, effective));
+        }
+        if bootstrap {
+            return Delta {
+                inserts: state.current.clone(),
+                deletes: Multiset::new(),
+            };
+        }
+        state
+            .committed
+            .as_ref()
+            .map(|(_, d)| d.clone())
+            .expect("committed above")
+    }
+}
+
+/// The producer side of an infinite XD-Relation: per tick, the batch of
+/// newly appended tuples.
+pub trait StreamSource: Send {
+    /// Tuples appended at instant `at`. Called exactly once per instant, in
+    /// increasing order.
+    fn poll(&mut self, at: Instant) -> Vec<Tuple>;
+}
+
+/// A stream fed by explicit pushes (the manual/test source).
+#[derive(Clone, Default)]
+pub struct PushStream {
+    buffer: Arc<Mutex<Vec<Tuple>>>,
+}
+
+impl PushStream {
+    /// An empty push stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a tuple; it is emitted at the next poll.
+    pub fn push(&self, t: Tuple) {
+        self.buffer.lock().push(t);
+    }
+
+    /// Number of buffered (not yet polled) tuples.
+    pub fn pending(&self) -> usize {
+        self.buffer.lock().len()
+    }
+}
+
+impl StreamSource for PushStream {
+    fn poll(&mut self, _at: Instant) -> Vec<Tuple> {
+        std::mem::take(&mut *self.buffer.lock())
+    }
+}
+
+/// A stream computed from the instant — wrap any deterministic generator
+/// (sensor sampler, RSS schedule, workload driver).
+pub struct FnStream<F>(pub F);
+
+impl<F> StreamSource for FnStream<F>
+where
+    F: FnMut(Instant) -> Vec<Tuple> + Send,
+{
+    fn poll(&mut self, at: Instant) -> Vec<Tuple> {
+        (self.0)(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serena_core::schema::XSchema;
+    use serena_core::tuple;
+    use serena_core::value::DataType;
+
+    fn schema() -> SchemaRef {
+        XSchema::builder().real("x", DataType::Int).build().unwrap()
+    }
+
+    #[test]
+    fn table_buffers_until_tick() {
+        let t = TableHandle::new(schema());
+        t.insert(tuple![1]);
+        t.insert(tuple![2]);
+        assert!(t.snapshot().is_empty());
+        let d = t.tick_at(Instant(1), false);
+        assert_eq!(d.inserts.len(), 2);
+        assert_eq!(t.snapshot().len(), 2);
+        // idle tick → empty delta
+        assert!(t.tick_at(Instant(2), false).is_empty());
+    }
+
+    #[test]
+    fn delete_of_absent_tuple_is_clamped() {
+        let t = TableHandle::new(schema());
+        t.delete(tuple![9]);
+        let d = t.tick_at(Instant(3), false);
+        assert!(d.is_empty());
+        t.insert(tuple![1]);
+        t.tick_at(Instant(4), false);
+        t.delete(tuple![1]);
+        t.delete(tuple![1]); // second delete of a single occurrence
+        let d = t.tick_at(Instant(5), false);
+        assert_eq!(d.deletes.count(&tuple![1]), 1);
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn replace_with_computes_minimal_delta() {
+        let t = TableHandle::with_tuples(schema(), vec![tuple![1], tuple![2]]);
+        t.tick_at(Instant(6), false);
+        t.replace_with(vec![tuple![2], tuple![3]]);
+        let d = t.tick_at(Instant(7), false);
+        assert_eq!(d.inserts.count(&tuple![3]), 1);
+        assert_eq!(d.deletes.count(&tuple![1]), 1);
+        assert_eq!(d.magnitude(), 2);
+        assert_eq!(t.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn replace_with_accounts_for_pending() {
+        let t = TableHandle::new(schema());
+        t.insert(tuple![1]);
+        t.replace_with(vec![tuple![2]]);
+        t.tick_at(Instant(8), false);
+        let snap = t.snapshot();
+        assert!(snap.contains(&tuple![2]));
+        assert!(!snap.contains(&tuple![1]));
+        assert_eq!(snap.len(), 1);
+    }
+
+    #[test]
+    fn push_stream_drains_on_poll() {
+        let s = PushStream::new();
+        s.push(tuple![1]);
+        s.push(tuple![2]);
+        assert_eq!(s.pending(), 2);
+        let mut src: Box<dyn StreamSource> = Box::new(s.clone());
+        assert_eq!(src.poll(Instant(0)).len(), 2);
+        assert_eq!(src.poll(Instant(1)).len(), 0);
+        s.push(tuple![3]);
+        assert_eq!(src.poll(Instant(2)), vec![tuple![3]]);
+    }
+
+    #[test]
+    fn fn_stream_uses_instant() {
+        let mut src = FnStream(|at: Instant| {
+            if at.ticks().is_multiple_of(2) {
+                vec![tuple![at.ticks() as i64]]
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(src.poll(Instant(0)).len(), 1);
+        assert_eq!(src.poll(Instant(1)).len(), 0);
+        assert_eq!(src.poll(Instant(2)), vec![tuple![2]]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Query rewriting and optimization (§3.3, Table 5).
+//!
+//! Shows the optimizer turning the naive `Q2'` into the pushed-down `Q2`
+//! shape, the measured invocation savings, the cost-model ranking, and —
+//! the paper's central caveat — why `Q1'` must *not* be rewritten: its
+//! selection sits above an *active* invocation, and moving it would change
+//! the action set (Example 6).
+//!
+//! ```sh
+//! cargo run --example optimizer_tour
+//! ```
+
+use std::collections::BTreeMap;
+
+use serena::core::env::examples::example_environment;
+use serena::core::eval::{evaluate, CountingInvoker};
+use serena::core::plan::examples::{q1_prime, q2, q2_prime};
+use serena::core::prelude::*;
+use serena::core::rewrite::{estimate, optimize, CostParams};
+use serena::core::service::fixtures::example_registry;
+
+fn main() {
+    let env = example_environment();
+    let registry = example_registry();
+
+    // --- optimizing the passive pipeline Q2' ---
+    let naive = q2_prime();
+    println!("naive      : {naive}");
+    let report = optimize(&naive, &env);
+    println!("optimized  : {}", report.plan);
+    println!("rules applied:");
+    for (rule, n) in &report.applied {
+        println!("  {rule} ×{n}");
+    }
+
+    let count = |plan: &Plan| {
+        let counter = CountingInvoker::new(&registry);
+        evaluate(plan, &env, &counter, Instant::ZERO).expect("evaluates");
+        counter.snapshot()
+    };
+    println!("\ninvocations (naive)     : {:?}", count(&naive));
+    println!("invocations (optimized) : {:?}", count(&report.plan));
+    println!("invocations (paper's Q2): {:?}", count(&q2()));
+
+    // --- the cost model agrees ---
+    let cards: BTreeMap<String, usize> =
+        [("cameras".to_string(), 3usize), ("contacts".to_string(), 3)].into();
+    let params = CostParams::default();
+    let c_naive = estimate(&naive, &env, &cards, &params).expect("estimable");
+    let c_opt = estimate(&report.plan, &env, &cards, &params).expect("estimable");
+    println!(
+        "\ncost model: naive {:.0} (≈{:.0} invocations) vs optimized {:.0} (≈{:.0} invocations)",
+        c_naive.cost, c_naive.invocations, c_opt.cost, c_opt.invocations
+    );
+
+    // --- the active-invocation wall ---
+    let q1p = q1_prime();
+    println!("\nQ1' = {q1p}");
+    let report = optimize(&q1p, &env);
+    println!("optimized Q1' = {}", report.plan);
+    let before = evaluate(&q1p, &env, &registry, Instant::ZERO).unwrap();
+    let after = evaluate(&report.plan, &env, &registry, Instant::ZERO).unwrap();
+    assert_eq!(before.actions, after.actions);
+    println!(
+        "action set unchanged ({} messages — Carla is still messaged, exactly as Q1' demands)",
+        after.actions.len()
+    );
+}

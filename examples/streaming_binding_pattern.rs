@@ -1,0 +1,76 @@
+//! The paper's §7 future work, implemented: **streaming binding patterns**
+//! (`βˢ`) — "a new notion of streaming binding pattern to homogeneously
+//! integrate in our framework streams provided by services".
+//!
+//! Instead of wiring a hand-written sampler between the service layer and
+//! a stream source, the sampling becomes an *algebra operator*: every
+//! `period` instants, `βˢ[period] getTemperature[sensor] (sensors)`
+//! invokes the (passive) binding pattern over the whole finite `sensors`
+//! relation and streams the extended tuples — composable with `W`, σ and
+//! the rest of the algebra, and reacting to table churn like everything
+//! else.
+//!
+//! ```sh
+//! cargo run --example streaming_binding_pattern
+//! ```
+
+use serena::core::prelude::*;
+use serena::core::service::fixtures::example_registry;
+use serena::core::tuple;
+use serena::stream::{ContinuousQuery, SourceSet, StreamPlan, TableHandle};
+
+fn main() {
+    // the sensors table of §1.2 — a plain finite XD-Relation
+    let sensors = TableHandle::with_tuples(
+        serena::core::schema::examples::sensors_schema(),
+        vec![
+            tuple![Value::service("sensor01"), "corridor"],
+            tuple![Value::service("sensor06"), "office"],
+        ],
+    );
+    let mut sources = SourceSet::new();
+    sources.add_table("sensors", sensors.clone());
+
+    // sensors →βˢ[2]→ readings stream →W[1]→ σ hot
+    let plan = StreamPlan::source("sensors")
+        .sample_invoke("getTemperature", "sensor", 2)
+        .window(1)
+        .select(Formula::gt_const("temperature", 20.0))
+        .project(["location", "temperature"]);
+    println!("plan: {plan}\n");
+
+    let mut query = ContinuousQuery::compile(&plan, &mut sources).expect("plan is valid");
+    let registry = example_registry();
+
+    for t in 0..8u64 {
+        if t == 5 {
+            sensors.insert(tuple![Value::service("sensor22"), "roof"]);
+            println!("τ=5 >>> sensor22 (roof) inserted into the sensors table");
+        }
+        let report = query.tick(&registry);
+        for tup in report.delta.inserts.sorted_occurrences() {
+            println!("τ={t}  + hot reading {tup}");
+        }
+        for tup in report.delta.deletes.sorted_occurrences() {
+            println!("τ={t}  - expired     {tup}");
+        }
+    }
+
+    // an ACTIVE binding pattern cannot be sampled: the side effect would
+    // repeat every period — rejected statically.
+    let mut sources = SourceSet::new();
+    sources.add_table(
+        "contacts",
+        TableHandle::with_tuples(
+            serena::core::schema::examples::contacts_schema(),
+            serena::core::xrelation::examples::contacts().into_tuples(),
+        ),
+    );
+    let bad = StreamPlan::source("contacts")
+        .assign_const("text", "spam?")
+        .sample_invoke("sendMessage", "messenger", 1);
+    match ContinuousQuery::compile(&bad, &mut sources) {
+        Err(err) => println!("\nactive BP rejected statically:\n  {err}"),
+        Ok(_) => unreachable!("active streaming BPs must be rejected"),
+    }
+}

@@ -1,0 +1,98 @@
+//! Long-run stability: the continuous engine must hold bounded state over
+//! thousands of ticks (windows expire, invocation caches retract, outboxes
+//! only grow with real deliveries) — the "robustness" assessment §5.2
+//! leaves open.
+
+use serena::core::prelude::*;
+use serena::pems::scenario::{deploy_rss, deploy_surveillance, RssConfig, SurveillanceConfig};
+
+#[test]
+fn rss_window_state_is_bounded_over_5000_ticks() {
+    let config = RssConfig { window: 10, ..RssConfig::default() };
+    let mut pems = deploy_rss(&config).unwrap();
+    let mut max_held = 0usize;
+    let mut total_inserted = 0u64;
+    for _ in 0..5_000u64 {
+        let reports = pems.tick();
+        total_inserted += reports[0].1.delta.inserts.len() as u64;
+        let held = pems
+            .processor()
+            .current_relation("keyword_watch")
+            .map(|r| r.len())
+            .unwrap_or(0);
+        max_held = max_held.max(held);
+    }
+    // 3 feeds × ≤2 items/tick × 10-tick window = hard bound 60
+    assert!(max_held <= 60, "window state leaked: {max_held} items held");
+    assert!(total_inserted > 500, "the stream must stay live");
+    let stats = pems.processor().stats("keyword_watch").unwrap();
+    assert_eq!(stats.ticks, 5_000);
+    // every insertion that left the window was retracted
+    assert!(stats.deleted >= stats.inserted - 60);
+}
+
+#[test]
+fn surveillance_runs_1000_ticks_without_errors() {
+    let config = SurveillanceConfig {
+        sensors: 12,
+        cameras: 6,
+        contacts: 6,
+        threshold: 22.9, // intermittent alerts: plenty of churn
+        ..SurveillanceConfig::default()
+    };
+    let mut s = deploy_surveillance(&config).unwrap();
+    let mut errors = 0u64;
+    let mut actions = 0u64;
+    for _ in 0..1_000u64 {
+        for (_, r) in s.pems.tick() {
+            errors += r.errors.len() as u64;
+            actions += r.actions.len() as u64;
+        }
+    }
+    assert_eq!(errors, 0, "healthy deployment must not surface errors");
+    assert!(actions > 0, "the band-edge threshold must fire sometimes");
+    // every action corresponds to a delivered message
+    let delivered: usize = s.outboxes.values().map(|o| o.lock().len()).sum();
+    assert_eq!(delivered as u64, actions);
+    assert_eq!(s.pems.clock(), Instant(1_000));
+}
+
+#[test]
+fn invocation_cache_retracts_under_sensor_churn() {
+    // register/unregister a sensor repeatedly; the discovery table and the
+    // β cache must not accumulate stale rows.
+    use serena::pems::Pems;
+    use serena::services::bus::BusConfig;
+
+    let mut pems = Pems::new(BusConfig::instant());
+    pems.run_program(
+        "PROTOTYPE getTemperature( ) : ( temperature REAL );
+         EXTENDED RELATION sensors (
+           sensor SERVICE, location STRING, temperature REAL VIRTUAL
+         ) USING BINDING PATTERNS ( getTemperature[sensor] );
+         REGISTER QUERY temps AS INVOKE[getTemperature[sensor]](sensors);",
+    )
+    .unwrap();
+    pems.register_discovery("sensors", "getTemperature", "sensor").unwrap();
+    let lerm = pems.local_erm("wing");
+    pems.directory().set("s0", "location", Value::str("office"));
+
+    for round in 0..200u64 {
+        if round % 2 == 0 {
+            lerm.register_service(
+                "s0",
+                serena::core::service::fixtures::temperature_sensor(round),
+                pems.clock(),
+            );
+        } else {
+            lerm.unregister_service("s0", pems.clock());
+        }
+        pems.tick();
+        let held = pems
+            .processor()
+            .current_relation("temps")
+            .map(|r| r.len())
+            .unwrap_or(0);
+        assert!(held <= 1, "stale rows accumulated: {held} at round {round}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Property-based tests of the Serena algebra's laws.
+//!
+//! Randomized relations, formulas and plans check the algebraic identities
+//! the rewrite rules rely on, and the optimizer's core guarantee: every
+//! optimized plan is Definition 9-equivalent (same result X-Relation, same
+//! action set) to its input, across random environments and instants.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use serena::core::env::Environment;
+use serena::core::equiv::check_at;
+use serena::core::formula::{CmpOp, Formula};
+use serena::core::ops;
+use serena::core::prelude::*;
+use serena::core::rewrite::optimize;
+use serena::core::schema::XSchema;
+use serena::core::service::{FnService, StaticRegistry};
+use serena::core::tuple;
+
+fn int_schema() -> SchemaRef {
+    XSchema::builder()
+        .real("x", DataType::Int)
+        .real("y", DataType::Int)
+        .build()
+        .unwrap()
+}
+
+fn int_relation(pairs: &[(i64, i64)]) -> XRelation {
+    XRelation::from_tuples(int_schema(), pairs.iter().map(|&(x, y)| tuple![x, y]))
+}
+
+prop_compose! {
+    fn arb_int_relation()(pairs in prop::collection::vec((0i64..6, 0i64..6), 0..24)) -> XRelation {
+        int_relation(&pairs)
+    }
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (0i64..6).prop_map(|c| Formula::eq_const("x", c)),
+        (0i64..6).prop_map(|c| Formula::ne_const("y", c)),
+        (0i64..6).prop_map(|c| Formula::gt_const("x", c)),
+        (0i64..6).prop_map(|c| Formula::le_const("y", c)),
+        Just(Formula::cmp_attrs("x", CmpOp::Lt, "y")),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn set_operator_laws(a in arb_int_relation(), b in arb_int_relation(), c in arb_int_relation()) {
+        // commutativity
+        prop_assert_eq!(ops::union(&a, &b).unwrap(), ops::union(&b, &a).unwrap());
+        prop_assert_eq!(ops::intersect(&a, &b).unwrap(), ops::intersect(&b, &a).unwrap());
+        // associativity of ∪
+        prop_assert_eq!(
+            ops::union(&ops::union(&a, &b).unwrap(), &c).unwrap(),
+            ops::union(&a, &ops::union(&b, &c).unwrap()).unwrap()
+        );
+        // idempotence
+        prop_assert_eq!(ops::union(&a, &a).unwrap(), a.clone());
+        prop_assert_eq!(ops::intersect(&a, &a).unwrap(), a.clone());
+        prop_assert!(ops::difference(&a, &a).unwrap().is_empty());
+        // partition: (a − b) ∪ (a ∩ b) = a
+        let partitioned = ops::union(
+            &ops::difference(&a, &b).unwrap(),
+            &ops::intersect(&a, &b).unwrap(),
+        ).unwrap();
+        prop_assert_eq!(partitioned, a.clone());
+    }
+
+    #[test]
+    fn selection_laws(r in arb_int_relation(), f in arb_formula(), g in arb_formula()) {
+        let sf = ops::select(&r, &f).unwrap();
+        // σ_F(r) ⊆ r
+        prop_assert!(sf.iter().all(|t| r.contains(t)));
+        // idempotence
+        prop_assert_eq!(ops::select(&sf, &f).unwrap(), sf.clone());
+        // σ_{F∧G} = σ_F ∘ σ_G
+        let both = ops::select(&r, &f.clone().and(g.clone())).unwrap();
+        let cascade = ops::select(&ops::select(&r, &g).unwrap(), &f).unwrap();
+        prop_assert_eq!(both, cascade);
+        // σ_{F∨G} = σ_F ∪ σ_G
+        let either = ops::select(&r, &f.clone().or(g.clone())).unwrap();
+        let unioned = ops::union(&sf, &ops::select(&r, &g).unwrap()).unwrap();
+        prop_assert_eq!(either, unioned);
+        // σ_{¬F} = r − σ_F
+        let negated = ops::select(&r, &f.clone().not()).unwrap();
+        prop_assert_eq!(negated, ops::difference(&r, &sf).unwrap());
+    }
+
+    #[test]
+    fn projection_and_join_laws(a in arb_int_relation(), b in arb_int_relation()) {
+        let attrs = [serena::core::attr::attr("x")];
+        // projection absorbs itself
+        let p = ops::project(&a, &attrs).unwrap();
+        prop_assert_eq!(ops::project(&p, &attrs).unwrap(), p.clone());
+        prop_assert!(p.len() <= a.len());
+        // join: commutative (as sets), self-join is identity, bounded size
+        let ab = ops::join(&a, &b).unwrap();
+        prop_assert_eq!(ab.clone(), ops::join(&b, &a).unwrap());
+        prop_assert!(ab.len() <= a.len() * b.len());
+        prop_assert_eq!(ops::join(&a, &a).unwrap(), a.clone());
+        // join over identical schemas = intersection
+        prop_assert_eq!(ab, ops::intersect(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn rename_round_trip(r in arb_int_relation()) {
+        let from = serena::core::attr::attr("x");
+        let to = serena::core::attr::attr("z");
+        let there = ops::rename(&r, &from, &to).unwrap();
+        let back = ops::rename(&there, &to, &from).unwrap();
+        prop_assert_eq!(back, r);
+    }
+}
+
+// ---------------------------------------------------------------------
+// optimizer soundness over a service-enabled environment
+// ---------------------------------------------------------------------
+
+fn sensor_env(rows: &[(u64, &str)]) -> (Environment, StaticRegistry) {
+    let mut env = Environment::new();
+    let schema = serena::core::schema::examples::sensors_schema();
+    let rel = XRelation::from_tuples(
+        schema,
+        rows.iter()
+            .map(|(id, loc)| tuple![Value::service(format!("s{id}")), *loc]),
+    );
+    env.define_relation("sensors", rel).unwrap();
+    env.define_relation("contacts", serena::core::xrelation::examples::contacts())
+        .unwrap();
+
+    let reg = StaticRegistry::new();
+    for (id, _) in rows {
+        let seed = *id;
+        reg.register(
+            format!("s{seed}"),
+            Arc::new(FnService::new(
+                vec![serena::core::prototype::examples::get_temperature()],
+                move |_, _, at| {
+                    let v = 10.0 + ((seed * 31 + at.ticks() * 7) % 25) as f64;
+                    Ok(vec![Tuple::new(vec![Value::Real(v)])])
+                },
+            )),
+        );
+    }
+    (env, reg)
+}
+
+fn arb_location() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("office"), Just("corridor"), Just("roof")]
+}
+
+prop_compose! {
+    fn arb_sensor_rows()(rows in prop::collection::vec((0u64..12, arb_location()), 0..10)) -> Vec<(u64, &'static str)> {
+        rows
+    }
+}
+
+/// Random service-oriented plans: selections before/after a passive
+/// invocation, projections, joins with contacts.
+fn arb_sensor_plan() -> impl Strategy<Value = Plan> {
+    let pre = prop_oneof![
+        Just(None),
+        arb_location().prop_map(|l| Some(Formula::eq_const("location", l))),
+        arb_location().prop_map(|l| Some(Formula::ne_const("location", l))),
+    ];
+    let post = prop_oneof![
+        Just(None),
+        (15i64..30).prop_map(|c| Some(Formula::gt_const("temperature", c as f64))),
+    ];
+    let shape = 0..4u8;
+    (pre, post, shape).prop_map(|(pre, post, shape)| {
+        let mut plan = Plan::relation("sensors");
+        if shape == 2 {
+            plan = plan.join(Plan::relation("contacts").project(["name", "address"]));
+        }
+        plan = plan.invoke("getTemperature", "sensor");
+        // selections stacked *above* the invocation: pushdown fodder
+        if let Some(f) = pre {
+            plan = plan.select(f);
+        }
+        if let Some(f) = post {
+            plan = plan.select(f);
+        }
+        if shape == 3 {
+            plan = plan.project(["sensor", "location", "temperature"]);
+        }
+        plan
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimizer_is_sound_on_random_plans(
+        rows in arb_sensor_rows(),
+        plan in arb_sensor_plan(),
+        t in 0u64..6,
+    ) {
+        let (env, reg) = sensor_env(&rows);
+        prop_assume!(plan.schema(&env).is_ok());
+        let optimized = optimize(&plan, &env).plan;
+        let report = check_at(&plan, &optimized, &env, &reg, Instant(t)).unwrap();
+        prop_assert!(
+            report.equivalent(),
+            "{} vs {} at τ={t}: {:?}", plan, optimized, report
+        );
+    }
+
+    #[test]
+    fn optimizer_never_increases_invocations(
+        rows in arb_sensor_rows(),
+        plan in arb_sensor_plan(),
+    ) {
+        let (env, reg) = sensor_env(&rows);
+        prop_assume!(plan.schema(&env).is_ok());
+        let optimized = optimize(&plan, &env).plan;
+        let c_orig = serena::core::eval::CountingInvoker::new(&reg);
+        evaluate(&plan, &env, &c_orig, Instant::ZERO).unwrap();
+        let c_opt = serena::core::eval::CountingInvoker::new(&reg);
+        evaluate(&optimized, &env, &c_opt, Instant::ZERO).unwrap();
+        prop_assert!(c_opt.total() <= c_orig.total(),
+            "optimization increased invocations: {} → {} for {}",
+            c_orig.total(), c_opt.total(), plan);
+    }
+
+    #[test]
+    fn every_rewrite_rule_is_individually_sound(
+        rows in arb_sensor_rows(),
+        plan in arb_sensor_plan(),
+        t in 0u64..4,
+    ) {
+        let (env, reg) = sensor_env(&rows);
+        prop_assume!(plan.schema(&env).is_ok());
+        for rule in serena::core::rewrite::all_rules() {
+            let (rewritten, n) = serena::core::rewrite::apply_everywhere(&plan, rule.as_ref(), &env);
+            if n == 0 { continue; }
+            let report = check_at(&plan, &rewritten, &env, &reg, Instant(t)).unwrap();
+            prop_assert!(
+                report.equivalent(),
+                "rule {} broke equivalence: {} vs {}", rule.name(), plan, rewritten
+            );
+        }
+    }
+}

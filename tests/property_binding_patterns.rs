@@ -1,0 +1,241 @@
+//! Property suite for Table 3's schema/binding-pattern propagation — the
+//! paper's core technical content.
+//!
+//! Over randomized extended schemas (random real/virtual partitions,
+//! random binding patterns drawn from a prototype pool) and random
+//! operator applications, two invariants must hold:
+//!
+//! 1. **soundness** — every binding pattern in an operator's output schema
+//!    satisfies Definition 2 against that schema (service attribute real,
+//!    inputs present, outputs virtual);
+//! 2. **completeness** — every binding pattern of the input schema that
+//!    *would* satisfy Definition 2 against the output schema is still
+//!    there (operators drop no valid pattern).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use serena::core::attr::AttrName;
+use serena::core::binding::BindingPattern;
+use serena::core::ops;
+use serena::core::prelude::*;
+use serena::core::prototype::Prototype;
+use serena::core::schema::{Attribute, XSchema};
+
+/// The prototype pool: three shapes over a small attribute universe.
+fn prototype_pool() -> Vec<Arc<Prototype>> {
+    vec![
+        // no input, one output
+        Prototype::declare("readA", &[], &[("va", DataType::Real)], false).unwrap(),
+        // one real-able input, one output
+        Prototype::declare(
+            "deriveB",
+            &[("x", DataType::Int)],
+            &[("vb", DataType::Str)],
+            false,
+        )
+        .unwrap(),
+        // input may be virtual (va), two outputs
+        Prototype::declare(
+            "combineC",
+            &[("x", DataType::Int), ("va", DataType::Real)],
+            &[("vc", DataType::Bool), ("vd", DataType::Int)],
+            true,
+        )
+        .unwrap(),
+    ]
+}
+
+/// Definition 2, re-stated as a predicate: is `bp` valid against `schema`?
+fn bp_valid(bp: &BindingPattern, schema: &XSchema) -> bool {
+    schema.is_real(bp.service_attr().as_str())
+        && schema
+            .type_of(bp.service_attr().as_str())
+            .is_some_and(|t| t.can_reference_service())
+        && bp
+            .prototype()
+            .input()
+            .attrs()
+            .all(|(a, ty)| schema.type_of(a.as_str()) == Some(*ty))
+        && bp
+            .prototype()
+            .output()
+            .attrs()
+            .all(|(a, ty)| schema.is_virtual(a.as_str()) && schema.type_of(a.as_str()) == Some(*ty))
+}
+
+/// Check both invariants for an operator's input → output schema step.
+fn check_invariants(input: &XSchema, output: &XSchema) -> Result<(), String> {
+    for bp in output.binding_patterns() {
+        if !bp_valid(bp, output) {
+            return Err(format!("unsound: {} survived invalidly", bp.key()));
+        }
+    }
+    for bp in input.binding_patterns() {
+        if bp_valid(bp, output) && !output.binding_patterns().contains(bp) {
+            // renaming may have rewritten the service attr; accept a match
+            // modulo service attribute identity
+            let renamed = output
+                .binding_patterns()
+                .iter()
+                .any(|other| other.prototype().name() == bp.prototype().name());
+            if !renamed {
+                return Err(format!("incomplete: valid {} was dropped", bp.key()));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Random extended schema over the fixed attribute universe
+/// {s SERVICE, x INT, y STR, va REAL*, vb STR*, vc BOOL*, vd INT*}, where
+/// the virtual ones may randomly be real instead, plus the binding
+/// patterns from the pool that happen to be valid.
+fn arb_schema() -> impl Strategy<Value = SchemaRef> {
+    (
+        prop::bool::ANY, // include x?
+        prop::bool::ANY, // include y?
+        prop::collection::vec(prop::bool::ANY, 4), // va..vd virtual?
+        prop::collection::vec(prop::bool::ANY, 4), // va..vd included?
+    )
+        .prop_map(|(with_x, with_y, virts, included)| {
+            let mut attrs = vec![Attribute::real("s", DataType::Service)];
+            if with_x {
+                attrs.push(Attribute::real("x", DataType::Int));
+            }
+            if with_y {
+                attrs.push(Attribute::real("y", DataType::Str));
+            }
+            let vdefs = [
+                ("va", DataType::Real),
+                ("vb", DataType::Str),
+                ("vc", DataType::Bool),
+                ("vd", DataType::Int),
+            ];
+            for (i, (name, ty)) in vdefs.iter().enumerate() {
+                if included[i] {
+                    attrs.push(if virts[i] {
+                        Attribute::virt(*name, *ty)
+                    } else {
+                        Attribute::real(*name, *ty)
+                    });
+                }
+            }
+            // attach every pool pattern that is valid for this layout
+            let probe = XSchema::from_attrs(attrs.clone(), vec![]).unwrap();
+            let bps: Vec<BindingPattern> = prototype_pool()
+                .into_iter()
+                .map(|p| BindingPattern::new(p, "s"))
+                .filter(|bp| bp_valid(bp, &probe))
+                .collect();
+            XSchema::from_attrs(attrs, bps).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn projection_bp_invariants(schema in arb_schema(), keep_mask in prop::collection::vec(prop::bool::ANY, 8)) {
+        let kept: Vec<AttrName> = schema
+            .names()
+            .enumerate()
+            .filter(|(i, _)| *keep_mask.get(*i).unwrap_or(&true))
+            .map(|(_, a)| a.clone())
+            .collect();
+        prop_assume!(!kept.is_empty());
+        let rel = XRelation::empty(schema.clone());
+        let out = ops::project(&rel, &kept).unwrap();
+        check_invariants(&schema, out.schema()).map_err(|e| {
+            TestCaseError::fail(format!("{e}; π{kept:?} over {schema:?}"))
+        })?;
+    }
+
+    #[test]
+    fn rename_bp_invariants(schema in arb_schema(), idx in 0usize..8) {
+        let names: Vec<AttrName> = schema.names().cloned().collect();
+        prop_assume!(idx < names.len());
+        let from = names[idx].clone();
+        let to = AttrName::new("zz");
+        let rel = XRelation::empty(schema.clone());
+        let out = ops::rename(&rel, &from, &to).unwrap();
+        check_invariants(&schema, out.schema()).map_err(|e| {
+            TestCaseError::fail(format!("{e}; ρ{from}→zz over {schema:?}"))
+        })?;
+    }
+
+    #[test]
+    fn assign_bp_invariants(schema in arb_schema(), idx in 0usize..8) {
+        let virtuals: Vec<AttrName> = schema.virtual_names().cloned().collect();
+        prop_assume!(!virtuals.is_empty());
+        let target = virtuals[idx % virtuals.len()].clone();
+        let value: Value = match schema.type_of(target.as_str()).unwrap() {
+            DataType::Real => Value::Real(1.5),
+            DataType::Str => Value::str("v"),
+            DataType::Bool => Value::Bool(true),
+            DataType::Int => Value::Int(7),
+            _ => unreachable!("universe has no other virtual types"),
+        };
+        let rel = XRelation::empty(schema.clone());
+        let out = ops::assign(&rel, &target, &ops::AssignSource::Const(value)).unwrap();
+        check_invariants(&schema, out.schema()).map_err(|e| {
+            TestCaseError::fail(format!("{e}; α{target} over {schema:?}"))
+        })?;
+    }
+
+    #[test]
+    fn join_bp_invariants(a in arb_schema(), b in arb_schema()) {
+        let ra = XRelation::empty(a.clone());
+        let rb = XRelation::empty(b.clone());
+        // URSA holds by construction (shared universe, fixed types)
+        let out = ops::join(&ra, &rb).unwrap();
+        let out_schema = out.schema();
+        // soundness for the union of both inputs' patterns
+        for bp in out_schema.binding_patterns() {
+            prop_assert!(bp_valid(bp, out_schema), "unsound after ⋈: {}", bp.key());
+        }
+        // completeness: valid patterns from either side survive
+        for bp in a.binding_patterns().iter().chain(b.binding_patterns()) {
+            if bp_valid(bp, out_schema) {
+                prop_assert!(
+                    out_schema.binding_patterns().contains(bp),
+                    "dropped after ⋈: {}",
+                    bp.key()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invoke_bp_invariants(schema in arb_schema(), which in 0usize..4) {
+        let candidates: Vec<BindingPattern> = schema
+            .binding_patterns()
+            .iter()
+            .filter(|bp| {
+                bp.prototype()
+                    .input()
+                    .names()
+                    .all(|a| schema.is_real(a.as_str()))
+            })
+            .cloned()
+            .collect();
+        prop_assume!(!candidates.is_empty());
+        let bp = &candidates[which % candidates.len()];
+        let (out_schema, _) = ops::invoke_schema(
+            &schema,
+            bp.prototype().name(),
+            bp.service_attr().as_str(),
+        )
+        .unwrap();
+        check_invariants(&schema, &out_schema).map_err(|e| {
+            TestCaseError::fail(format!("{e}; β{} over {schema:?}", bp.key()))
+        })?;
+        // the invoked pattern itself must be consumed (its outputs became real)
+        prop_assert!(
+            !out_schema.binding_patterns().contains(bp),
+            "β did not consume {}",
+            bp.key()
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests of the textual front-ends: DDL round-trips and the
+//! Serena SQL lowering semantics.
+
+use proptest::prelude::*;
+
+use serena::core::prelude::*;
+use serena::core::schema::{Attribute, XSchema};
+use serena::ddl::sql::compile_select;
+use serena::ddl::{parse_program, resolve_relation_schema, to_one_shot, Statement};
+
+// ---------------------------------------------------------------------
+// DDL round-trip: schema → to_ddl → parse → resolve → compatible schema
+// ---------------------------------------------------------------------
+
+fn arb_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Str),
+        Just(DataType::Int),
+        Just(DataType::Real),
+        Just(DataType::Bool),
+        Just(DataType::Blob),
+        Just(DataType::Service),
+    ]
+}
+
+prop_compose! {
+    fn arb_plain_schema()(
+        specs in prop::collection::vec((0usize..12, arb_type(), prop::bool::ANY), 1..8)
+    ) -> SchemaRef {
+        let mut attrs: Vec<Attribute> = Vec::new();
+        for (i, ty, virt) in specs {
+            let name = format!("a{i}");
+            if attrs.iter().any(|a| a.name.as_str() == name) {
+                continue;
+            }
+            attrs.push(if virt {
+                Attribute::virt(name.as_str(), ty)
+            } else {
+                Attribute::real(name.as_str(), ty)
+            });
+        }
+        if attrs.is_empty() {
+            attrs.push(Attribute::real("a0", DataType::Int));
+        }
+        XSchema::from_attrs(attrs, vec![]).expect("no BPs → always valid")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ddl_round_trip_plain_schemas(schema in arb_plain_schema()) {
+        let ddl = schema.to_ddl("r");
+        let stmts = parse_program(&ddl).expect("rendered DDL parses");
+        let Statement::ExtendedRelation { attrs, bindings, .. } = &stmts[0] else {
+            panic!("unexpected statement for: {ddl}");
+        };
+        let catalog = serena::core::env::Environment::new();
+        let parsed = resolve_relation_schema(attrs, bindings, &catalog)
+            .expect("rendered DDL resolves");
+        prop_assert!(parsed.compatible_with(&schema), "round trip changed: {ddl}");
+    }
+}
+
+/// The running example's schemas (with binding patterns) round-trip too.
+#[test]
+fn ddl_round_trip_with_binding_patterns() {
+    let env = serena::core::env::examples::example_environment();
+    for schema in [
+        serena::core::schema::examples::contacts_schema(),
+        serena::core::schema::examples::cameras_schema(),
+        serena::core::schema::examples::sensors_schema(),
+    ] {
+        let ddl = schema.to_ddl("r");
+        let stmts = parse_program(&ddl).unwrap();
+        let Statement::ExtendedRelation { attrs, bindings, .. } = &stmts[0] else {
+            panic!()
+        };
+        let parsed = resolve_relation_schema(attrs, bindings, &env).unwrap();
+        assert!(parsed.compatible_with(&schema), "round trip changed:\n{ddl}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serena SQL: the WHERE split never changes passive-query semantics
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Conj {
+    Area(&'static str),
+    Quality(i64),
+    Delay(f64),
+}
+
+fn arb_conjs() -> impl Strategy<Value = Vec<Conj>> {
+    prop::collection::vec(
+        prop_oneof![
+            prop_oneof![Just("office"), Just("corridor"), Just("roof")].prop_map(Conj::Area),
+            (0i64..10).prop_map(Conj::Quality),
+            (0u8..10).prop_map(|d| Conj::Delay(d as f64 / 10.0)),
+        ],
+        0..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For passive USING chains, lowering with the WHERE split must be
+    /// equivalent (results + empty action sets) to the naive plan that
+    /// applies the whole WHERE after all invocations.
+    #[test]
+    fn sql_where_split_is_sound_for_passive_chains(conjs in arb_conjs(), t in 0u64..4) {
+        use serena::core::equiv::check_at;
+
+        let env = serena::core::env::examples::example_environment();
+        let reg = serena::core::service::fixtures::example_registry();
+
+        let mut where_parts = Vec::new();
+        let mut naive_formula: Option<Formula> = None;
+        for c in &conjs {
+            let (text, f) = match c {
+                Conj::Area(a) => (format!("area = '{a}'"), Formula::eq_const("area", *a)),
+                Conj::Quality(q) => (format!("quality >= {q}"), Formula::ge_const("quality", *q)),
+                Conj::Delay(d) => (format!("delay < {d:.1}"), Formula::lt_const("delay", *d)),
+            };
+            where_parts.push(text);
+            naive_formula = Some(match naive_formula {
+                None => f,
+                Some(acc) => acc.and(f),
+            });
+        }
+        let where_clause = if where_parts.is_empty() {
+            String::new()
+        } else {
+            format!("WHERE {}", where_parts.join(" AND "))
+        };
+        let sql = format!(
+            "SELECT photo FROM cameras USING checkPhoto[camera], takePhoto[camera] {where_clause}"
+        );
+        let split_plan = to_one_shot(&compile_select(&sql, &env).unwrap()).unwrap();
+
+        // naive: every conjunct after the full invocation chain
+        let mut naive = Plan::relation("cameras")
+            .invoke("checkPhoto", "camera")
+            .invoke("takePhoto", "camera");
+        if let Some(f) = naive_formula {
+            naive = naive.select(f);
+        }
+        let naive = naive.project(["photo"]);
+
+        let report = check_at(&split_plan, &naive, &env, &reg, Instant(t)).unwrap();
+        prop_assert!(report.equivalent(), "{sql}\nsplit: {split_plan}\nnaive: {naive}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser robustness: arbitrary input must error, never panic
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parsers_never_panic_on_arbitrary_input(input in "\\PC{0,120}") {
+        let _ = serena::ddl::parse_program(&input);
+        let _ = serena::ddl::parse_query(&input);
+        let _ = serena::ddl::sql::parse_select(&input);
+    }
+
+    /// Near-miss DDL: statement shapes with random identifiers/punctuation
+    /// — the parser must return positioned errors, not panic.
+    #[test]
+    fn parsers_never_panic_on_near_ddl(
+        kw in prop_oneof![
+            Just("PROTOTYPE"), Just("SERVICE"), Just("EXTENDED RELATION"),
+            Just("INSERT INTO"), Just("REGISTER QUERY"), Just("SELECT"),
+        ],
+        middle in "[a-zA-Z0-9_ ,:\\[\\]\\(\\)<>=']{0,60}",
+    ) {
+        let input = format!("{kw} {middle};");
+        let _ = serena::ddl::parse_program(&input);
+        let _ = serena::ddl::sql::parse_select(&input);
+    }
+}
+
+/// SQL aggregates match the algebra's γ.
+#[test]
+fn sql_aggregate_matches_algebra() {
+    use serena::core::eval::evaluate;
+    use serena::core::ops::{AggFun, AggSpec};
+    let env = serena::core::env::examples::example_environment();
+    let reg = serena::core::service::fixtures::example_registry();
+    let sql = to_one_shot(
+        &compile_select(
+            "SELECT location, avg(temperature) AS mean FROM sensors
+             USING getTemperature[sensor] GROUP BY location",
+            &env,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let algebra = Plan::relation("sensors")
+        .invoke("getTemperature", "sensor")
+        .aggregate(["location"], vec![AggSpec::new(AggFun::Avg, "temperature").named("mean")]);
+    let a = evaluate(&sql, &env, &reg, Instant(3)).unwrap();
+    let b = evaluate(&algebra, &env, &reg, Instant(3)).unwrap();
+    assert_eq!(a.relation, b.relation);
+}

@@ -1,0 +1,222 @@
+//! Property-based tests of the continuous layer (§4).
+//!
+//! The central invariant: **delta consistency** — for any random sequence
+//! of table mutations and stream batches, replaying every per-tick delta
+//! reconstructs exactly the operator's instantaneous state, and the
+//! continuous result of a query equals the one-shot evaluation of the same
+//! query over the final table contents.
+
+use proptest::prelude::*;
+
+use serena::core::formula::Formula;
+use serena::core::prelude::*;
+use serena::core::schema::XSchema;
+use serena::core::service::fixtures::example_registry;
+use serena::core::tuple;
+use serena::stream::{ContinuousQuery, Delta, Multiset, PushStream, SourceSet, StreamKind,
+    StreamPlan, TableHandle};
+
+fn int_schema() -> SchemaRef {
+    XSchema::builder()
+        .real("x", DataType::Int)
+        .real("y", DataType::Int)
+        .build()
+        .unwrap()
+}
+
+/// One scripted mutation.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, i64),
+    Delete(i64, i64),
+    TickOnly,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            ((0i64..5), (0i64..5)).prop_map(|(x, y)| Op::Insert(x, y)),
+            ((0i64..5), (0i64..5)).prop_map(|(x, y)| Op::Delete(x, y)),
+            Just(Op::TickOnly),
+        ],
+        1..30,
+    )
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    prop_oneof![
+        Just(Formula::True),
+        (0i64..5).prop_map(|c| Formula::gt_const("x", c)),
+        (0i64..5).prop_map(|c| Formula::ne_const("y", c)),
+        ((0i64..5), (0i64..5)).prop_map(|(a, b)| {
+            Formula::gt_const("x", a).and(Formula::le_const("y", b))
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Continuous σ/π over a mutating table: the accumulated deltas equal
+    /// the one-shot answer over the final state, at every prefix.
+    #[test]
+    fn continuous_select_equals_one_shot(ops in arb_ops(), f in arb_formula()) {
+        let table = TableHandle::new(int_schema());
+        let mut sources = SourceSet::new();
+        sources.add_table("t", table.clone());
+        let plan = StreamPlan::source("t").select(f.clone());
+        let mut q = ContinuousQuery::compile(&plan, &mut sources).unwrap();
+        let reg = example_registry();
+
+        let mut replayed = Multiset::new();
+        for op in &ops {
+            match op {
+                Op::Insert(x, y) => table.insert(tuple![*x, *y]),
+                Op::Delete(x, y) => table.delete(tuple![*x, *y]),
+                Op::TickOnly => {}
+            }
+            let report = q.tick(&reg);
+            // replaying deltas reconstructs the instantaneous state…
+            let missing = replayed.apply(&report.delta);
+            prop_assert_eq!(missing, 0, "delta deleted tuples that were absent");
+            let current = q.current_relation().unwrap();
+            prop_assert_eq!(current.len(), replayed.distinct());
+
+            // …and matches the one-shot evaluation over the table's state.
+            let mut env = serena::core::env::Environment::new();
+            let snapshot = XRelation::from_tuples(
+                int_schema(),
+                table.snapshot().iter_occurrences().cloned(),
+            );
+            env.define_relation("t", snapshot).unwrap();
+            let one_shot = evaluate(
+                &serena::core::plan::Plan::relation("t").select(f.clone()),
+                &env,
+                &reg,
+                Instant::ZERO,
+            ).unwrap();
+            prop_assert_eq!(current, one_shot.relation);
+        }
+    }
+
+    /// The window `W[p]` always contains exactly the batches of the last
+    /// `p` instants.
+    #[test]
+    fn window_contents_match_definition(
+        batches in prop::collection::vec(prop::collection::vec((0i64..9, 0i64..9), 0..4), 1..20),
+        period in 1u64..5,
+    ) {
+        let push = PushStream::new();
+        let mut sources = SourceSet::new();
+        sources.add_stream("s", int_schema(), Box::new(push.clone()));
+        let plan = StreamPlan::source("s").window(period);
+        let mut q = ContinuousQuery::compile(&plan, &mut sources).unwrap();
+        let reg = example_registry();
+
+        for (i, batch) in batches.iter().enumerate() {
+            for &(x, y) in batch {
+                push.push(tuple![x, y]);
+            }
+            q.tick(&reg);
+            // expected: the union of the last `period` batches
+            let lo = (i + 1).saturating_sub(period as usize);
+            let expected: Multiset = batches[lo..=i]
+                .iter()
+                .flatten()
+                .map(|&(x, y)| tuple![x, y])
+                .collect();
+            let current = q.current_relation().unwrap();
+            prop_assert_eq!(current.len(), expected.distinct());
+            for (t, _) in expected.iter() {
+                prop_assert!(current.contains(t), "missing {t} at tick {i}");
+            }
+        }
+    }
+
+    /// `S[insertion]` emits exactly the per-tick insert deltas;
+    /// `S[heartbeat]` repeats the full state.
+    #[test]
+    fn streaming_operators_echo_deltas(ops in arb_ops()) {
+        let table = TableHandle::new(int_schema());
+        let mut s1 = SourceSet::new();
+        s1.add_table("t", table.clone());
+        let mut ins = ContinuousQuery::compile(
+            &StreamPlan::source("t").stream(StreamKind::Insertion), &mut s1).unwrap();
+        let mut s2 = SourceSet::new();
+        s2.add_table("t", table.clone());
+        let mut hb = ContinuousQuery::compile(
+            &StreamPlan::source("t").stream(StreamKind::Heartbeat), &mut s2).unwrap();
+        let mut s3 = SourceSet::new();
+        s3.add_table("t", table.clone());
+        let mut raw = ContinuousQuery::compile(&StreamPlan::source("t"), &mut s3).unwrap();
+
+        let reg = example_registry();
+        let mut state = Multiset::new();
+        for op in &ops {
+            match op {
+                Op::Insert(x, y) => table.insert(tuple![*x, *y]),
+                Op::Delete(x, y) => table.delete(tuple![*x, *y]),
+                Op::TickOnly => {}
+            }
+            let r_raw = raw.tick(&reg);
+            let r_ins = ins.tick(&reg);
+            let r_hb = hb.tick(&reg);
+            state.apply(&r_raw.delta);
+            // S[insertion] batch == the finite node's insert delta
+            let expected: Vec<Tuple> = r_raw.delta.inserts.sorted_occurrences();
+            prop_assert_eq!(&r_ins.batch, &expected);
+            // S[heartbeat] batch == the full current *multiset* state
+            // (occurrences, not distinct tuples)
+            prop_assert_eq!(&r_hb.batch, &state.sorted_occurrences());
+        }
+    }
+
+    /// Join deltas are consistent: replaying them equals recomputing the
+    /// join of the final states.
+    #[test]
+    fn incremental_join_consistency(
+        left_ops in arb_ops(),
+        right_ops in arb_ops(),
+    ) {
+        let l = TableHandle::new(int_schema());
+        let r_schema = XSchema::builder()
+            .real("x", DataType::Int)
+            .real("z", DataType::Int)
+            .build()
+            .unwrap();
+        let r = TableHandle::new(r_schema.clone());
+        let mut sources = SourceSet::new();
+        sources.add_table("l", l.clone());
+        sources.add_table("r", r.clone());
+        let plan = StreamPlan::source("l").join(StreamPlan::source("r"));
+        let mut q = ContinuousQuery::compile(&plan, &mut sources).unwrap();
+        let reg = example_registry();
+
+        let steps = left_ops.len().max(right_ops.len());
+        let mut replayed = Multiset::new();
+        for i in 0..steps {
+            if let Some(op) = left_ops.get(i) {
+                match op {
+                    Op::Insert(x, y) => l.insert(tuple![*x, *y]),
+                    Op::Delete(x, y) => l.delete(tuple![*x, *y]),
+                    Op::TickOnly => {}
+                }
+            }
+            if let Some(op) = right_ops.get(i) {
+                match op {
+                    Op::Insert(x, z) => r.insert(tuple![*x, *z]),
+                    Op::Delete(x, z) => r.delete(tuple![*x, *z]),
+                    Op::TickOnly => {}
+                }
+            }
+            let report = q.tick(&reg);
+            prop_assert_eq!(replayed.apply(&report.delta), 0);
+        }
+        // recompute from scratch over the final snapshots
+        let l_rel = XRelation::from_tuples(int_schema(), l.snapshot().iter_occurrences().cloned());
+        let r_rel = XRelation::from_tuples(r_schema, r.snapshot().iter_occurrences().cloned());
+        let expected = serena::core::ops::join(&l_rel, &r_rel).unwrap();
+        prop_assert_eq!(q.current_relation().unwrap(), expected);
+        let _ = Delta::new();
+    }
+}
