@@ -5,7 +5,8 @@
 //! cargo bench -p serena-bench --bench continuous
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serena_bench::harness::{BenchmarkId, Criterion, Throughput};
+use serena_bench::{criterion_group, criterion_main};
 
 use serena_core::formula::Formula;
 use serena_core::schema::XSchema;

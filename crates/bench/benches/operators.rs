@@ -5,7 +5,8 @@
 //! cargo bench -p serena-bench --bench operators
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use serena_bench::harness::{BenchmarkId, Criterion, Throughput};
+use serena_bench::{criterion_group, criterion_main};
 
 use serena_bench::workload;
 use serena_core::attr::attr;

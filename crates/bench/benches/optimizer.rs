@@ -5,7 +5,8 @@
 //! cargo bench -p serena-bench --bench optimizer
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serena_bench::harness::{BenchmarkId, Criterion};
+use serena_bench::{criterion_group, criterion_main};
 
 use serena_bench::workload;
 use serena_core::eval::evaluate;

@@ -25,6 +25,8 @@ use serena_core::tuple::Tuple;
 use serena_core::value::Value;
 use serena_core::xrelation::XRelation;
 
+pub mod harness;
+
 /// Deterministic scaled workloads.
 pub mod workload {
     use super::*;

@@ -11,7 +11,7 @@
 use crate::action::ActionSet;
 use crate::env::Environment;
 use crate::error::EvalError;
-use crate::ops;
+use crate::exec::ExecContext;
 use crate::plan::Plan;
 use crate::service::Invoker;
 use crate::time::Instant;
@@ -29,74 +29,17 @@ pub struct EvalOutcome {
 
 /// Evaluate `plan` over `env` at instant `at`, using `invoker` for all
 /// service invocations.
+///
+/// Thin wrapper over [`ExecContext`] with the default (discarding) metrics
+/// sink; use [`ExecContext::with_metrics`] to observe per-operator
+/// statistics.
 pub fn evaluate(
     plan: &Plan,
     env: &Environment,
     invoker: &dyn Invoker,
     at: Instant,
 ) -> Result<EvalOutcome, EvalError> {
-    let mut actions = ActionSet::new();
-    let relation = eval_node(plan, env, invoker, at, &mut actions)?;
-    Ok(EvalOutcome { relation, actions })
-}
-
-fn eval_node(
-    plan: &Plan,
-    env: &Environment,
-    invoker: &dyn Invoker,
-    at: Instant,
-    actions: &mut ActionSet,
-) -> Result<XRelation, EvalError> {
-    match plan {
-        Plan::Relation(name) => env
-            .relation(name)
-            .cloned()
-            .ok_or_else(|| EvalError::Plan(crate::error::PlanError::UnknownRelation(name.clone()))),
-        Plan::Union(a, b) => {
-            let ra = eval_node(a, env, invoker, at, actions)?;
-            let rb = eval_node(b, env, invoker, at, actions)?;
-            Ok(ops::union(&ra, &rb)?)
-        }
-        Plan::Intersect(a, b) => {
-            let ra = eval_node(a, env, invoker, at, actions)?;
-            let rb = eval_node(b, env, invoker, at, actions)?;
-            Ok(ops::intersect(&ra, &rb)?)
-        }
-        Plan::Difference(a, b) => {
-            let ra = eval_node(a, env, invoker, at, actions)?;
-            let rb = eval_node(b, env, invoker, at, actions)?;
-            Ok(ops::difference(&ra, &rb)?)
-        }
-        Plan::Project(p, attrs) => {
-            let r = eval_node(p, env, invoker, at, actions)?;
-            Ok(ops::project(&r, attrs)?)
-        }
-        Plan::Select(p, f) => {
-            let r = eval_node(p, env, invoker, at, actions)?;
-            ops::select(&r, f)
-        }
-        Plan::Rename(p, from, to) => {
-            let r = eval_node(p, env, invoker, at, actions)?;
-            Ok(ops::rename(&r, from, to)?)
-        }
-        Plan::Join(a, b) => {
-            let ra = eval_node(a, env, invoker, at, actions)?;
-            let rb = eval_node(b, env, invoker, at, actions)?;
-            Ok(ops::join(&ra, &rb)?)
-        }
-        Plan::Assign(p, attr, src) => {
-            let r = eval_node(p, env, invoker, at, actions)?;
-            Ok(ops::assign(&r, attr, src)?)
-        }
-        Plan::Invoke(p, proto, service_attr) => {
-            let r = eval_node(p, env, invoker, at, actions)?;
-            ops::invoke(&r, proto, service_attr.as_str(), invoker, at, actions)
-        }
-        Plan::Aggregate(p, group, aggs) => {
-            let r = eval_node(p, env, invoker, at, actions)?;
-            ops::aggregate(&r, group, aggs)
-        }
-    }
+    ExecContext::new(env, invoker, at).execute(plan)
 }
 
 /// An [`Invoker`] decorator counting invocations per prototype — the
@@ -104,13 +47,13 @@ fn eval_node(
 /// plan actually make?).
 pub struct CountingInvoker<'a> {
     inner: &'a dyn Invoker,
-    counts: parking_lot::Mutex<std::collections::BTreeMap<String, u64>>,
+    counts: crate::sync::Mutex<std::collections::BTreeMap<String, u64>>,
 }
 
 impl<'a> CountingInvoker<'a> {
     /// Wrap an invoker.
     pub fn new(inner: &'a dyn Invoker) -> Self {
-        CountingInvoker { inner, counts: parking_lot::Mutex::new(Default::default()) }
+        CountingInvoker { inner, counts: crate::sync::Mutex::new(Default::default()) }
     }
 
     /// Total number of invocations across all prototypes.

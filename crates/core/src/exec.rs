@@ -1,0 +1,377 @@
+//! Instrumented one-shot execution: [`ExecContext`].
+//!
+//! An `ExecContext` bundles everything an evaluation needs — the
+//! [`Environment`] (the catalog of X-Relations), the [`Invoker`] resolving
+//! service calls, the evaluation [`Instant`] τ, and a [`MetricsSink`]
+//! receiving one [`OpObservation`] per operator application: tuples in/out,
+//! β invocation counts and failures, and wall-clock self-time per node.
+//!
+//! With the default [`NoopMetrics`] sink, [`ExecContext::execute`] is
+//! behaviourally identical to the historical free function
+//! [`crate::eval::evaluate`] (which is now a thin wrapper over it).
+//!
+//! Plan nodes are numbered by **pre-order index** (root = 0, children left
+//! to right) — the same numbering [`explain_analyze_text`] uses to line
+//! recorded statistics back up with the plan tree.
+
+use std::time::Instant as WallClock;
+
+use crate::action::ActionSet;
+use crate::env::Environment;
+use crate::error::EvalError;
+use crate::eval::EvalOutcome;
+use crate::metrics::{ExecStats, MetricsSink, NodeId, NoopMetrics, OpKind, OpObservation};
+use crate::ops::{self, InvokeTally};
+use crate::plan::Plan;
+use crate::service::Invoker;
+use crate::time::Instant;
+use crate::xrelation::XRelation;
+
+static NOOP: NoopMetrics = NoopMetrics;
+
+/// Everything a one-shot evaluation needs, plus where its per-operator
+/// observations go.
+pub struct ExecContext<'a> {
+    /// The relational pervasive environment `p`.
+    pub env: &'a Environment,
+    /// Service invocation resolver.
+    pub invoker: &'a dyn Invoker,
+    /// Evaluation instant τ.
+    pub at: Instant,
+    /// Observation sink ([`NoopMetrics`] by default).
+    pub metrics: &'a dyn MetricsSink,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Context with the default (discarding) metrics sink.
+    pub fn new(env: &'a Environment, invoker: &'a dyn Invoker, at: Instant) -> Self {
+        ExecContext { env, invoker, at, metrics: &NOOP }
+    }
+
+    /// Context reporting every operator application to `metrics`.
+    pub fn with_metrics(
+        env: &'a Environment,
+        invoker: &'a dyn Invoker,
+        at: Instant,
+        metrics: &'a dyn MetricsSink,
+    ) -> Self {
+        ExecContext { env, invoker, at, metrics }
+    }
+
+    /// Evaluate `plan`, reporting one observation per operator to the
+    /// context's sink. Node ids are assigned in pre-order.
+    pub fn execute(&self, plan: &Plan) -> Result<EvalOutcome, EvalError> {
+        let mut actions = ActionSet::new();
+        let mut next_id = 0usize;
+        let relation = self.eval_node(plan, &mut next_id, &mut actions)?;
+        Ok(EvalOutcome { relation, actions })
+    }
+
+    fn eval_node(
+        &self,
+        plan: &Plan,
+        next_id: &mut usize,
+        actions: &mut ActionSet,
+    ) -> Result<XRelation, EvalError> {
+        let mut obs = OpObservation::new(NodeId(*next_id), OpKind::of_plan(plan));
+        *next_id += 1;
+
+        // Children evaluate first (recording their own observations); the
+        // operator application itself is then timed, so `elapsed` is
+        // self-time, not subtree time.
+        let result = match plan {
+            Plan::Relation(name) => {
+                let started = WallClock::now();
+                let r = self.env.relation(name).cloned().ok_or_else(|| {
+                    EvalError::Plan(crate::error::PlanError::UnknownRelation(name.clone()))
+                });
+                obs.elapsed = started.elapsed();
+                r
+            }
+            Plan::Union(a, b) => {
+                let ra = self.eval_node(a, next_id, actions)?;
+                let rb = self.eval_node(b, next_id, actions)?;
+                obs.tuples_in = (ra.len() + rb.len()) as u64;
+                let started = WallClock::now();
+                let r = ops::union(&ra, &rb).map_err(EvalError::from);
+                obs.elapsed = started.elapsed();
+                r
+            }
+            Plan::Intersect(a, b) => {
+                let ra = self.eval_node(a, next_id, actions)?;
+                let rb = self.eval_node(b, next_id, actions)?;
+                obs.tuples_in = (ra.len() + rb.len()) as u64;
+                let started = WallClock::now();
+                let r = ops::intersect(&ra, &rb).map_err(EvalError::from);
+                obs.elapsed = started.elapsed();
+                r
+            }
+            Plan::Difference(a, b) => {
+                let ra = self.eval_node(a, next_id, actions)?;
+                let rb = self.eval_node(b, next_id, actions)?;
+                obs.tuples_in = (ra.len() + rb.len()) as u64;
+                let started = WallClock::now();
+                let r = ops::difference(&ra, &rb).map_err(EvalError::from);
+                obs.elapsed = started.elapsed();
+                r
+            }
+            Plan::Project(p, attrs) => {
+                let r = self.eval_node(p, next_id, actions)?;
+                obs.tuples_in = r.len() as u64;
+                let started = WallClock::now();
+                let out = ops::project(&r, attrs).map_err(EvalError::from);
+                obs.elapsed = started.elapsed();
+                out
+            }
+            Plan::Select(p, f) => {
+                let r = self.eval_node(p, next_id, actions)?;
+                obs.tuples_in = r.len() as u64;
+                let started = WallClock::now();
+                let out = ops::select(&r, f);
+                obs.elapsed = started.elapsed();
+                out
+            }
+            Plan::Rename(p, from, to) => {
+                let r = self.eval_node(p, next_id, actions)?;
+                obs.tuples_in = r.len() as u64;
+                let started = WallClock::now();
+                let out = ops::rename(&r, from, to).map_err(EvalError::from);
+                obs.elapsed = started.elapsed();
+                out
+            }
+            Plan::Join(a, b) => {
+                let ra = self.eval_node(a, next_id, actions)?;
+                let rb = self.eval_node(b, next_id, actions)?;
+                obs.tuples_in = (ra.len() + rb.len()) as u64;
+                let started = WallClock::now();
+                let r = ops::join(&ra, &rb).map_err(EvalError::from);
+                obs.elapsed = started.elapsed();
+                r
+            }
+            Plan::Assign(p, attr, src) => {
+                let r = self.eval_node(p, next_id, actions)?;
+                obs.tuples_in = r.len() as u64;
+                let started = WallClock::now();
+                let out = ops::assign(&r, attr, src).map_err(EvalError::from);
+                obs.elapsed = started.elapsed();
+                out
+            }
+            Plan::Invoke(p, proto, service_attr) => {
+                let r = self.eval_node(p, next_id, actions)?;
+                obs.tuples_in = r.len() as u64;
+                let mut tally = InvokeTally::default();
+                let started = WallClock::now();
+                let out = ops::invoke_observed(
+                    &r,
+                    proto,
+                    service_attr.as_str(),
+                    self.invoker,
+                    self.at,
+                    actions,
+                    &mut tally,
+                );
+                obs.elapsed = started.elapsed();
+                obs.invocations = tally.invocations;
+                obs.cache_misses = tally.invocations;
+                obs.failures = tally.failures;
+                out
+            }
+            Plan::Aggregate(p, group, aggs) => {
+                let r = self.eval_node(p, next_id, actions)?;
+                obs.tuples_in = r.len() as u64;
+                let started = WallClock::now();
+                let out = ops::aggregate(&r, group, aggs);
+                obs.elapsed = started.elapsed();
+                out
+            }
+        };
+
+        match result {
+            Ok(r) => {
+                obs.tuples_out = r.len() as u64;
+                self.metrics.record(&obs);
+                Ok(r)
+            }
+            Err(e) => {
+                // Invocation failures are already tallied; everything else
+                // counts as one failed application of this operator.
+                if obs.failures == 0 {
+                    obs.failures = 1;
+                }
+                self.metrics.record(&obs);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Render `plan` as an `EXPLAIN ANALYZE`-style tree: the plan's operators
+/// annotated with the statistics `stats` recorded for them (matched by
+/// pre-order [`NodeId`]). Nodes without recorded stats (e.g. never reached
+/// because an earlier sibling failed) are annotated `[not executed]`.
+pub fn explain_analyze_text(plan: &Plan, stats: &ExecStats) -> String {
+    let mut out = String::new();
+    let mut next_id = 0usize;
+    render_node(plan, stats, 0, &mut next_id, &mut out);
+    out
+}
+
+fn render_node(
+    plan: &Plan,
+    stats: &ExecStats,
+    depth: usize,
+    next_id: &mut usize,
+    out: &mut String,
+) {
+    let id = NodeId(*next_id);
+    *next_id += 1;
+    out.push_str(&"  ".repeat(depth));
+    out.push_str(&plan.explain_label());
+    match stats.node(id) {
+        Some(s) => {
+            out.push_str(&format!(
+                "  [rows={} in={} time={:?}",
+                s.tuples_out, s.tuples_in, s.elapsed
+            ));
+            if s.op == OpKind::Invoke || s.invocations > 0 {
+                out.push_str(&format!(
+                    " invocations={} cache_hits={} cache_misses={}",
+                    s.invocations, s.cache_hits, s.cache_misses
+                ));
+            }
+            if s.failures > 0 {
+                out.push_str(&format!(" failures={}", s.failures));
+            }
+            out.push(']');
+        }
+        None => out.push_str("  [not executed]"),
+    }
+    out.push('\n');
+    for c in plan.children() {
+        render_node(c, stats, depth + 1, next_id, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::examples::example_environment;
+    use crate::eval::evaluate;
+    use crate::formula::Formula;
+    use crate::ops::{AggFun, AggSpec};
+    use crate::plan::examples::{q1, q2};
+    use crate::service::fixtures::example_registry;
+
+    /// With the default sink, ExecContext is exactly the old evaluator.
+    #[test]
+    fn noop_context_matches_free_function() {
+        let env = example_environment();
+        let reg = example_registry();
+        for plan in [q1(), q2()] {
+            for t in 0..4 {
+                let a = ExecContext::new(&env, &reg, Instant(t)).execute(&plan).unwrap();
+                let b = evaluate(&plan, &env, &reg, Instant(t)).unwrap();
+                assert_eq!(a.relation, b.relation);
+                assert_eq!(a.actions, b.actions);
+            }
+        }
+    }
+
+    /// Per-operator counters: a σ/π/β/γ pipeline over the running example.
+    #[test]
+    fn exec_stats_counts_per_operator() {
+        let env = example_environment();
+        let reg = example_registry();
+        // γ(π(β(σ(sensors)))) — pre-order: 0=γ 1=π 2=β 3=σ 4=Relation
+        let plan = Plan::relation("sensors")
+            .select(Formula::ne_const("location", "roof"))
+            .invoke("getTemperature", "sensor")
+            .project(["location", "temperature"])
+            .aggregate(
+                ["location"],
+                vec![AggSpec::new(AggFun::Avg, "temperature").named("mean")],
+            );
+        let stats = ExecStats::new();
+        let out = ExecContext::with_metrics(&env, &reg, Instant(1), &stats)
+            .execute(&plan)
+            .unwrap();
+
+        let nodes = stats.nodes();
+        assert_eq!(nodes.len(), 5);
+        assert_eq!(nodes[&NodeId(0)].op, OpKind::Aggregate);
+        assert_eq!(nodes[&NodeId(1)].op, OpKind::Project);
+        assert_eq!(nodes[&NodeId(2)].op, OpKind::Invoke);
+        assert_eq!(nodes[&NodeId(3)].op, OpKind::Select);
+        assert_eq!(nodes[&NodeId(4)].op, OpKind::Relation);
+
+        // sensors has 4 rows, 3 of them off the roof
+        assert_eq!(nodes[&NodeId(4)].tuples_out, 4);
+        assert_eq!(nodes[&NodeId(3)].tuples_in, 4);
+        assert_eq!(nodes[&NodeId(3)].tuples_out, 3);
+        // β invokes once per surviving tuple — all cold misses one-shot
+        assert_eq!(nodes[&NodeId(2)].invocations, 3);
+        assert_eq!(nodes[&NodeId(2)].cache_misses, 3);
+        assert_eq!(nodes[&NodeId(2)].cache_hits, 0);
+        assert_eq!(nodes[&NodeId(2)].failures, 0);
+        assert_eq!(stats.total_invocations(), 3);
+        // the root observation matches the returned cardinality
+        assert_eq!(stats.root_tuples_out(), Some(out.relation.len() as u64));
+        assert_eq!(nodes[&NodeId(0)].applications, 1);
+    }
+
+    /// Binary operators report combined child cardinality as tuples_in.
+    #[test]
+    fn binary_operators_report_both_inputs() {
+        let env = example_environment();
+        let reg = example_registry();
+        let plan = Plan::relation("contacts")
+            .select(Formula::eq_const("messenger", "email"))
+            .union(Plan::relation("contacts"));
+        let stats = ExecStats::new();
+        ExecContext::with_metrics(&env, &reg, Instant::ZERO, &stats).execute(&plan).unwrap();
+        let union = stats.node(NodeId(0)).unwrap();
+        assert_eq!(union.op, OpKind::Union);
+        // contacts has 3 rows; 2 use email
+        assert_eq!(union.tuples_in, 2 + 3);
+        assert_eq!(union.tuples_out, 3);
+    }
+
+    /// A failing invocation is recorded (invocations attempted, failure
+    /// counted) before the error propagates.
+    #[test]
+    fn failures_are_recorded_before_error_propagates() {
+        let env = example_environment();
+        // q1 over an empty registry: sendMessage resolution fails on the
+        // first tuple.
+        let empty = crate::service::StaticRegistry::new();
+        let stats = ExecStats::new();
+        let err = ExecContext::with_metrics(&env, &empty, Instant::ZERO, &stats).execute(&q1());
+        assert!(err.is_err());
+        assert_eq!(stats.total_failures(), 1);
+        assert_eq!(stats.total_invocations(), 1);
+        // the noop path still errors identically
+        assert!(ExecContext::new(&env, &empty, Instant::ZERO).execute(&q1()).is_err());
+    }
+
+    #[test]
+    fn explain_analyze_text_lines_up_with_plan() {
+        let env = example_environment();
+        let reg = example_registry();
+        let plan = Plan::relation("cameras")
+            .select(Formula::eq_const("area", "office"))
+            .invoke("checkPhoto", "camera");
+        let stats = ExecStats::new();
+        ExecContext::with_metrics(&env, &reg, Instant(0), &stats).execute(&plan).unwrap();
+        let text = explain_analyze_text(&plan, &stats);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("Invoke checkPhoto[camera]"), "{text}");
+        assert!(lines[0].contains("invocations=2"), "{text}");
+        assert!(lines[1].trim_start().starts_with("Select"), "{text}");
+        assert!(lines[2].trim_start().starts_with("Relation cameras"), "{text}");
+        // a node never executed renders as such
+        let cold = ExecStats::new();
+        let cold_text = explain_analyze_text(&plan, &cold);
+        assert!(cold_text.contains("[not executed]"));
+    }
+}

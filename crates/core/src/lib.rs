@@ -54,13 +54,16 @@ pub mod env;
 pub mod equiv;
 pub mod error;
 pub mod eval;
+pub mod exec;
 pub mod formula;
+pub mod metrics;
 pub mod ops;
 pub mod plan;
 pub mod prototype;
 pub mod rewrite;
 pub mod schema;
 pub mod service;
+pub mod sync;
 pub mod time;
 pub mod tuple;
 pub mod value;
@@ -74,7 +77,11 @@ pub mod prelude {
     pub use crate::env::Environment;
     pub use crate::error::{EvalError, PlanError, SchemaError};
     pub use crate::eval::{evaluate, EvalOutcome};
+    pub use crate::exec::{explain_analyze_text, ExecContext};
     pub use crate::formula::{Expr, Formula};
+    pub use crate::metrics::{
+        ExecStats, MetricsSink, NodeId, NodeStats, NoopMetrics, OpKind, OpObservation,
+    };
     pub use crate::plan::Plan;
     pub use crate::prototype::{Prototype, RelationSchema};
     pub use crate::schema::{AttrKind, Attribute, SchemaRef, XSchema};

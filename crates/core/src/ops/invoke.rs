@@ -72,6 +72,19 @@ pub fn invoke_schema(
     Ok((out, bp))
 }
 
+/// Running tallies of one β application, consumed by the metrics layer
+/// ([`crate::metrics`]): how many live invocations were performed and how
+/// many of them failed. The plain [`invoke`]/[`invoke_delta`] entry points
+/// discard the tally; the instrumented executor reads it back into an
+/// [`crate::metrics::OpObservation`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct InvokeTally {
+    /// Invocations performed (one per input tuple reaching the invoker).
+    pub invocations: u64,
+    /// Invocations that returned an error.
+    pub failures: u64,
+}
+
 /// `β_bp(r)`: evaluate the invocation operator at instant `at`, resolving
 /// services through `invoker` and recording active invocations in
 /// `actions`.
@@ -83,8 +96,25 @@ pub fn invoke(
     at: Instant,
     actions: &mut ActionSet,
 ) -> Result<XRelation, EvalError> {
+    invoke_observed(r, prototype, service_attr, invoker, at, actions, &mut InvokeTally::default())
+}
+
+/// [`invoke`], additionally reporting invocation counts through `tally`.
+/// The tally is updated even when the result is an error, so instrumented
+/// callers can record partial progress before propagating the failure.
+#[allow(clippy::too_many_arguments)]
+pub fn invoke_observed(
+    r: &XRelation,
+    prototype: &str,
+    service_attr: &str,
+    invoker: &dyn Invoker,
+    at: Instant,
+    actions: &mut ActionSet,
+    tally: &mut InvokeTally,
+) -> Result<XRelation, EvalError> {
     let (out_schema, bp) = invoke_schema(r.schema(), prototype, service_attr)?;
-    let tuples = invoke_delta(r.schema(), &out_schema, &bp, r.iter(), invoker, at, actions)?;
+    let tuples =
+        invoke_delta_observed(r.schema(), &out_schema, &bp, r.iter(), invoker, at, actions, tally)?;
     Ok(XRelation::from_tuples(out_schema, tuples))
 }
 
@@ -101,6 +131,31 @@ pub fn invoke_delta<'a>(
     invoker: &dyn Invoker,
     at: Instant,
     actions: &mut ActionSet,
+) -> Result<Vec<Tuple>, EvalError> {
+    invoke_delta_observed(
+        in_schema,
+        out_schema,
+        bp,
+        tuples,
+        invoker,
+        at,
+        actions,
+        &mut InvokeTally::default(),
+    )
+}
+
+/// [`invoke_delta`], additionally reporting invocation counts through
+/// `tally` (updated even on error).
+#[allow(clippy::too_many_arguments)]
+pub fn invoke_delta_observed<'a>(
+    in_schema: &XSchema,
+    out_schema: &XSchema,
+    bp: &BindingPattern,
+    tuples: impl Iterator<Item = &'a Tuple>,
+    invoker: &dyn Invoker,
+    at: Instant,
+    actions: &mut ActionSet,
+    tally: &mut InvokeTally,
 ) -> Result<Vec<Tuple>, EvalError> {
     let proto = bp.prototype();
     // Input projection: prototype input attributes, in Input_ψ order.
@@ -141,7 +196,14 @@ pub fn invoke_delta<'a>(
         if bp.is_active() {
             actions.record(Action::new(bp.clone(), sref.clone(), input.clone()));
         }
-        let results = invoker.invoke(proto, &sref, &input, at)?;
+        tally.invocations += 1;
+        let results = match invoker.invoke(proto, &sref, &input, at) {
+            Ok(results) => results,
+            Err(e) => {
+                tally.failures += 1;
+                return Err(e);
+            }
+        };
         for o in &results {
             let new_t: Tuple = recipe
                 .iter()

@@ -28,15 +28,30 @@ impl SchemaCatalog for crate::env::Environment {
     }
 }
 
-impl SchemaCatalog for std::collections::HashMap<String, SchemaRef> {
+/// Map-like schema lookup. The std map types and [`MapCatalog`] implement
+/// this one-method trait; a single blanket impl below derives
+/// [`SchemaCatalog`] from it, so `name → schema` containers need no
+/// per-type catalog boilerplate.
+pub trait SchemaLookup {
+    /// The schema stored under `name`, if any.
+    fn lookup(&self, name: &str) -> Option<&SchemaRef>;
+}
+
+impl<T: SchemaLookup> SchemaCatalog for T {
     fn schema_of(&self, name: &str) -> Option<SchemaRef> {
-        self.get(name).cloned()
+        self.lookup(name).cloned()
     }
 }
 
-impl SchemaCatalog for std::collections::BTreeMap<String, SchemaRef> {
-    fn schema_of(&self, name: &str) -> Option<SchemaRef> {
-        self.get(name).cloned()
+impl SchemaLookup for std::collections::HashMap<String, SchemaRef> {
+    fn lookup(&self, name: &str) -> Option<&SchemaRef> {
+        self.get(name)
+    }
+}
+
+impl SchemaLookup for std::collections::BTreeMap<String, SchemaRef> {
+    fn lookup(&self, name: &str) -> Option<&SchemaRef> {
+        self.get(name)
     }
 }
 
@@ -338,9 +353,11 @@ impl Plan {
         out
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize, catalog: Option<&dyn SchemaCatalog>) {
-        let indent = "  ".repeat(depth);
-        let label = match self {
+    /// The one-line `EXPLAIN` label of this node (operator + arguments,
+    /// children excluded) — shared by [`Plan::explain`] and the
+    /// `EXPLAIN ANALYZE` rendering in [`crate::exec`].
+    pub fn explain_label(&self) -> String {
+        match self {
             Plan::Relation(n) => format!("Relation {n}"),
             Plan::Union(..) => "Union".to_string(),
             Plan::Intersect(..) => "Intersect".to_string(),
@@ -363,9 +380,12 @@ impl Plan {
                 g.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", "),
                 a.len()
             ),
-        };
-        out.push_str(&indent);
-        out.push_str(&label);
+        }
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize, catalog: Option<&dyn SchemaCatalog>) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&self.explain_label());
         if let Some(cat) = catalog {
             match self.schema(cat) {
                 Ok(s) => out.push_str(&format!("  {s:?}")),
@@ -410,9 +430,9 @@ impl MapCatalog {
     }
 }
 
-impl SchemaCatalog for MapCatalog {
-    fn schema_of(&self, name: &str) -> Option<SchemaRef> {
-        self.map.get(name).cloned()
+impl SchemaLookup for MapCatalog {
+    fn lookup(&self, name: &str) -> Option<&SchemaRef> {
+        self.map.get(name)
     }
 }
 

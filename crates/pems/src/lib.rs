@@ -42,6 +42,6 @@ pub mod scenario;
 pub mod table_manager;
 
 pub use hub::{RssStream, SensorSampler, StreamHub};
-pub use pems::{ExecOutcome, Pems, PemsError};
+pub use pems::{ExecOutcome, ExplainAnalyze, Pems, PemsBuilder, PemsError};
 pub use processor::{QueryProcessor, QueryStats};
 pub use table_manager::ExtendedTableManager;

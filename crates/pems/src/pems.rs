@@ -16,7 +16,9 @@ use std::sync::Arc;
 
 use serena_core::env::Environment;
 use serena_core::error::{EvalError, PlanError, SchemaError};
-use serena_core::eval::{evaluate, EvalOutcome};
+use serena_core::eval::EvalOutcome;
+use serena_core::exec::{explain_analyze_text, ExecContext};
+use serena_core::metrics::{ExecStats, MetricsSink, NoopMetrics};
 use serena_core::plan::Plan;
 use serena_core::time::Instant;
 use serena_ddl::ast::Statement;
@@ -98,6 +100,95 @@ pub enum ExecOutcome {
     Registered(String),
 }
 
+/// A one-shot plan annotated with what its evaluation actually did — the
+/// result of [`Pems::explain_analyze`].
+#[derive(Debug)]
+pub struct ExplainAnalyze {
+    /// The evaluation's result (relation + action set).
+    pub outcome: EvalOutcome,
+    /// Per-node observed statistics, keyed by pre-order node id.
+    pub stats: ExecStats,
+    /// The plan tree rendered with the observed counts inline.
+    pub rendered: String,
+}
+
+impl std::fmt::Display for ExplainAnalyze {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.rendered)
+    }
+}
+
+/// Step-by-step construction of a [`Pems`]: discovery-bus latency model,
+/// starting logical instant, and a PEMS-wide [`MetricsSink`] that observes
+/// every one-shot evaluation and every continuous tick.
+///
+/// ```
+/// # use serena_pems::pems::Pems;
+/// # use serena_services::bus::BusConfig;
+/// # use std::sync::Arc;
+/// let stats = Arc::new(serena_core::metrics::ExecStats::new());
+/// let pems = Pems::builder()
+///     .bus(BusConfig::instant())
+///     .metrics(stats.clone())
+///     .build();
+/// # let _ = pems;
+/// ```
+pub struct PemsBuilder {
+    bus: BusConfig,
+    clock: Instant,
+    metrics: Option<Arc<dyn MetricsSink>>,
+}
+
+impl PemsBuilder {
+    /// Defaults: default bus latency, clock at zero, no metrics sink.
+    pub fn new() -> Self {
+        PemsBuilder { bus: BusConfig::default(), clock: Instant::ZERO, metrics: None }
+    }
+
+    /// Discovery-network latency model.
+    pub fn bus(mut self, config: BusConfig) -> Self {
+        self.bus = config;
+        self
+    }
+
+    /// Logical instant the runtime starts at (first tick evaluates it).
+    pub fn clock(mut self, at: Instant) -> Self {
+        self.clock = at;
+        self
+    }
+
+    /// Sink observing every operator application across the runtime —
+    /// one-shot queries and continuous ticks alike.
+    pub fn metrics(mut self, sink: Arc<dyn MetricsSink>) -> Self {
+        self.metrics = Some(sink);
+        self
+    }
+
+    /// Assemble the runtime.
+    pub fn build(self) -> Pems {
+        let bus = DiscoveryBus::new(self.bus);
+        let erm = CoreErm::new(Arc::clone(&bus));
+        let mut processor = QueryProcessor::new();
+        processor.seek(self.clock);
+        Pems {
+            bus,
+            erm,
+            directory: Arc::new(ServiceDirectory::new()),
+            tables: ExtendedTableManager::new(),
+            processor,
+            discoveries: Vec::new(),
+            sql_counter: 0,
+            metrics: self.metrics.unwrap_or_else(|| Arc::new(NoopMetrics)),
+        }
+    }
+}
+
+impl Default for PemsBuilder {
+    fn default() -> Self {
+        PemsBuilder::new()
+    }
+}
+
 /// A Pervasive Environment Management System instance.
 pub struct Pems {
     bus: Arc<DiscoveryBus>,
@@ -107,6 +198,7 @@ pub struct Pems {
     processor: QueryProcessor,
     discoveries: Vec<(String, DiscoveryQuery)>,
     sql_counter: u64,
+    metrics: Arc<dyn MetricsSink>,
 }
 
 impl Default for Pems {
@@ -116,19 +208,15 @@ impl Default for Pems {
 }
 
 impl Pems {
-    /// A PEMS with the given discovery-network latency model.
+    /// Start building a PEMS (bus config, clock, metrics sink).
+    pub fn builder() -> PemsBuilder {
+        PemsBuilder::new()
+    }
+
+    /// A PEMS with the given discovery-network latency model — shorthand
+    /// for `Pems::builder().bus(bus_config).build()`.
     pub fn new(bus_config: BusConfig) -> Self {
-        let bus = DiscoveryBus::new(bus_config);
-        let erm = CoreErm::new(Arc::clone(&bus));
-        Pems {
-            bus,
-            erm,
-            directory: Arc::new(ServiceDirectory::new()),
-            tables: ExtendedTableManager::new(),
-            processor: QueryProcessor::new(),
-            discoveries: Vec::new(),
-            sql_counter: 0,
-        }
+        Pems::builder().bus(bus_config).build()
     }
 
     /// The shared dynamic registry queries invoke through.
@@ -309,9 +397,32 @@ impl Pems {
     /// Evaluate a one-shot query "now": against a snapshot of the finite
     /// tables, at the current logical instant, through the live registry.
     pub fn one_shot(&self, plan: &Plan) -> Result<EvalOutcome, PemsError> {
+        self.one_shot_with(plan, &*self.metrics)
+    }
+
+    /// [`Self::one_shot`], reporting per-operator observations to `sink`
+    /// instead of the PEMS-wide metrics sink.
+    pub fn one_shot_with(
+        &self,
+        plan: &Plan,
+        sink: &dyn MetricsSink,
+    ) -> Result<EvalOutcome, PemsError> {
         let env = self.snapshot_environment();
         let registry = self.registry();
-        Ok(evaluate(plan, &env, &*registry, self.clock())?)
+        let ctx = ExecContext::with_metrics(&env, &*registry, self.clock(), sink);
+        Ok(ctx.execute(plan)?)
+    }
+
+    /// Evaluate `plan` one-shot and return the plan tree annotated with the
+    /// observed per-node counts (rows out, tuples in, invocations, β-cache
+    /// hits/misses, failures, wall time) — the classic `EXPLAIN ANALYZE`.
+    /// Observations also flow to the PEMS-wide metrics sink.
+    pub fn explain_analyze(&self, plan: &Plan) -> Result<ExplainAnalyze, PemsError> {
+        let stats = ExecStats::new();
+        let tee = serena_core::metrics::Tee(&stats, &*self.metrics);
+        let outcome = self.one_shot_with(plan, &tee)?;
+        let rendered = explain_analyze_text(plan, &stats);
+        Ok(ExplainAnalyze { outcome, stats, rendered })
     }
 
     /// Snapshot the finite tables into a one-shot [`Environment`].
@@ -334,7 +445,7 @@ impl Pems {
             }
         }
         // 3. evaluate every continuous query at `now`
-        self.processor.tick_all(&*registry)
+        self.processor.tick_all_with(&*registry, &*self.metrics)
     }
 
     /// Run `n` ticks, returning all reports flattened.
@@ -539,5 +650,70 @@ mod tests {
             .push_stream("readings", tuple!["office", 35.0]));
         let reports = pems.tick();
         assert_eq!(reports[0].1.delta.inserts.len(), 1);
+    }
+
+    #[test]
+    fn explain_analyze_totals_match_result_cardinality() {
+        let mut pems = pems_with_messenger();
+        pems.run_program(SETUP).unwrap();
+        let plan = Plan::relation("contacts")
+            .select(serena_core::formula::Formula::eq_const(
+                "name",
+                Value::str("Nicolas"),
+            ))
+            .assign_const("text", Value::str("Hi"))
+            .invoke("sendMessage", "messenger");
+        let ea = pems.explain_analyze(&plan).unwrap();
+
+        // the annotated root agrees with the relation actually returned
+        assert_eq!(
+            ea.stats.root_tuples_out(),
+            Some(ea.outcome.relation.len() as u64)
+        );
+        // one tuple survived the select, so exactly one β invocation
+        assert_eq!(ea.stats.total_invocations(), 1);
+        assert_eq!(ea.stats.total_failures(), 0);
+        // rendering: one line per plan node, counts inline
+        let lines: Vec<&str> = ea.rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Invoke sendMessage[messenger]"));
+        assert!(lines[0].contains("rows=1"));
+        assert!(lines[0].contains("invocations=1"));
+        assert!(ea.to_string().contains("Relation contacts"));
+    }
+
+    #[test]
+    fn builder_configures_clock_and_metrics() {
+        let sink = Arc::new(serena_core::metrics::ExecStats::new());
+        let pems = Pems::builder()
+            .bus(BusConfig::instant())
+            .clock(Instant(7))
+            .metrics(sink.clone())
+            .build();
+        assert_eq!(pems.clock(), Instant(7));
+
+        let mut pems = pems;
+        let (svc, _outbox) = serena_services::devices::messenger::SimMessenger::new(
+            serena_services::devices::messenger::MessengerKind::Email,
+        )
+        .into_service();
+        pems.registry().register("email", svc);
+        pems.run_program(SETUP).unwrap();
+
+        // one-shot observations land in the PEMS-wide sink...
+        pems.one_shot(&Plan::relation("contacts")).unwrap();
+        assert_eq!(pems.run_ticks(1).len(), 0);
+        let scan = sink.node(serena_core::metrics::NodeId(0)).unwrap();
+        assert_eq!(scan.tuples_out, 2);
+
+        // ...and continuous ticks tee into it too
+        pems.run_program("REGISTER QUERY watch AS contacts;").unwrap();
+        sink.clear();
+        let reports = pems.tick();
+        assert_eq!(reports.len(), 1);
+        let node = sink.node(serena_core::metrics::NodeId(0)).unwrap();
+        assert_eq!(node.tuples_out, 2);
+        // ticks advanced the builder-seeded clock
+        assert_eq!(pems.clock(), Instant(9));
     }
 }

@@ -12,6 +12,7 @@
 use std::collections::BTreeMap;
 
 use serena_core::error::PlanError;
+use serena_core::metrics::{ExecStats, MetricsSink, NoopMetrics, Tee};
 use serena_core::service::Invoker;
 use serena_core::time::Instant;
 use serena_stream::exec::{ContinuousQuery, SourceSet, TickReport};
@@ -30,11 +31,19 @@ pub struct QueryStats {
     pub actions: u64,
     /// Total invocation errors survived.
     pub errors: u64,
+    /// Total live service invocations (β/βˢ) performed.
+    pub invocations: u64,
+    /// Total β-cache hits (re-inserted tuples served from cache).
+    pub cache_hits: u64,
+    /// Total β-cache misses (new tuples requiring a live invocation).
+    pub cache_misses: u64,
 }
 
 struct Registered {
     query: ContinuousQuery,
     stats: QueryStats,
+    /// Rolling per-node statistics across all of the query's ticks.
+    exec: ExecStats,
 }
 
 /// The continuous-query scheduler.
@@ -72,8 +81,10 @@ impl QueryProcessor {
         }
         let mut query = ContinuousQuery::compile(plan, sources)?;
         query.seek(self.clock);
-        self.queries
-            .insert(name, Registered { query, stats: QueryStats::default() });
+        self.queries.insert(
+            name,
+            Registered { query, stats: QueryStats::default(), exec: ExecStats::new() },
+        );
         Ok(())
     }
 
@@ -92,19 +103,48 @@ impl QueryProcessor {
         self.queries.get(name).map(|r| &r.stats)
     }
 
+    /// Rolling per-node statistics of a query (accumulated across all its
+    /// ticks), keyed by the stream plan's pre-order node ids.
+    pub fn exec_stats(&self, name: &str) -> Option<&ExecStats> {
+        self.queries.get(name).map(|r| &r.exec)
+    }
+
     /// Snapshot of a query's current finite result.
     pub fn current_relation(&self, name: &str) -> Option<serena_core::xrelation::XRelation> {
         self.queries.get(name)?.query.current_relation()
+    }
+
+    /// Align the global clock so the next tick evaluates `at` (and re-seek
+    /// every registered query to match) — used by the PEMS builder to start
+    /// a runtime at a nonzero instant.
+    pub fn seek(&mut self, at: Instant) {
+        self.clock = at;
+        for reg in self.queries.values_mut() {
+            reg.query.seek(at);
+        }
     }
 
     /// Advance the global clock by one instant, ticking every registered
     /// query at that instant (in parallel when there are several). Returns
     /// `(name, report)` pairs sorted by name.
     pub fn tick_all(&mut self, invoker: &dyn Invoker) -> Vec<(String, TickReport)> {
+        self.tick_all_with(invoker, &NoopMetrics)
+    }
+
+    /// [`Self::tick_all`], duplicating every query's per-node observations
+    /// into a shared `sink` as well (the PEMS-wide sink configured through
+    /// the builder). Each query's rolling stats accumulate regardless.
+    pub fn tick_all_with(
+        &mut self,
+        invoker: &dyn Invoker,
+        sink: &dyn MetricsSink,
+    ) -> Vec<(String, TickReport)> {
         let reports: Vec<(String, TickReport)> = if self.queries.len() <= 1 {
             self.queries
                 .iter_mut()
-                .map(|(name, reg)| (name.clone(), reg.query.tick(invoker)))
+                .map(|(name, reg)| {
+                    (name.clone(), reg.query.tick_with(invoker, &Tee(&reg.exec, sink)))
+                })
                 .collect()
         } else {
             std::thread::scope(|scope| {
@@ -113,7 +153,8 @@ impl QueryProcessor {
                     .iter_mut()
                     .map(|(name, reg)| {
                         let name = name.clone();
-                        scope.spawn(move || (name, reg.query.tick(invoker)))
+                        let Registered { query, exec, .. } = reg;
+                        scope.spawn(move || (name, query.tick_with(invoker, &Tee(&*exec, sink))))
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("query tick")).collect()
@@ -126,6 +167,9 @@ impl QueryProcessor {
             reg.stats.deleted += report.delta.deletes.len() as u64;
             reg.stats.actions += report.actions.len() as u64;
             reg.stats.errors += report.errors.len() as u64;
+            reg.stats.invocations += report.stats.total_invocations();
+            reg.stats.cache_hits += report.stats.total_cache_hits();
+            reg.stats.cache_misses += report.stats.total_cache_misses();
         }
         self.clock = self.clock.next();
         reports
@@ -209,6 +253,43 @@ mod tests {
         assert!(qp.deregister("q"));
         assert!(!qp.deregister("q"));
         assert!(qp.names().is_empty());
+    }
+
+    #[test]
+    fn rolling_stats_accumulate_beta_counters() {
+        use serena_core::value::Value;
+        let mut qp = QueryProcessor::new();
+        let table = TableHandle::new(serena_core::schema::examples::sensors_schema());
+        let mut sources = SourceSet::new();
+        sources.add_table("sensors", table.clone());
+        qp.register(
+            "temps",
+            &StreamPlan::source("sensors").invoke("getTemperature", "sensor"),
+            &mut sources,
+        )
+        .unwrap();
+        let reg = example_registry();
+
+        table.insert(tuple![Value::service("sensor01"), "corridor"]);
+        qp.tick_all(&reg); // miss
+        qp.tick_all(&reg); // quiet
+        table.insert(tuple![Value::service("sensor01"), "corridor"]);
+        qp.tick_all(&reg); // hit (still cached)
+        table.insert(tuple![Value::service("sensor06"), "office"]);
+        qp.tick_all(&reg); // miss
+
+        let stats = qp.stats("temps").unwrap();
+        assert_eq!(stats.ticks, 4);
+        assert_eq!(stats.invocations, 2);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.cache_hits, 1);
+
+        // the rolling per-node view agrees: node 0 is the β root
+        let exec = qp.exec_stats("temps").unwrap();
+        let beta = exec.node(serena_core::metrics::NodeId(0)).unwrap();
+        assert_eq!(beta.applications, 4);
+        assert_eq!(beta.invocations, 2);
+        assert_eq!(beta.cache_hits, 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use serena_core::sync::Mutex;
 
 use serena_core::attr::AttrName;
 use serena_core::formula::Formula;

@@ -20,7 +20,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use serena_core::sync::Mutex;
 
 use serena_core::service::Service;
 use serena_core::time::Instant;

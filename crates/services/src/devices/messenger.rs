@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use serena_core::sync::Mutex;
 
 use serena_core::prototype::{examples as protos, Prototype};
 use serena_core::service::Service;

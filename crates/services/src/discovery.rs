@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use parking_lot::RwLock;
+use serena_core::sync::RwLock;
 
 use serena_core::attr::AttrName;
 use serena_core::error::SchemaError;

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use serena_core::sync::Mutex;
 
 use serena_core::prototype::Prototype;
 use serena_core::service::Service;

@@ -12,8 +12,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
+use serena_core::sync::{Mutex, RwLock};
 
 use serena_core::error::EvalError;
 use serena_core::prototype::Prototype;
@@ -48,17 +47,10 @@ struct Entry {
 }
 
 /// Thread-safe dynamic service registry with change events.
+#[derive(Default)]
 pub struct DynamicRegistry {
     services: RwLock<HashMap<ServiceRef, Entry>>,
-    event_tx: Sender<RegistryEvent>,
-    event_rx: Receiver<RegistryEvent>,
-}
-
-impl Default for DynamicRegistry {
-    fn default() -> Self {
-        let (event_tx, event_rx) = unbounded();
-        DynamicRegistry { services: RwLock::new(HashMap::new()), event_tx, event_rx }
-    }
+    events: Mutex<Vec<RegistryEvent>>,
 }
 
 impl DynamicRegistry {
@@ -89,7 +81,7 @@ impl DynamicRegistry {
         self.services
             .write()
             .insert(reference.clone(), Entry { service, origin: origin.clone() });
-        let _ = self.event_tx.send(RegistryEvent::Registered {
+        self.events.lock().push(RegistryEvent::Registered {
             reference,
             prototypes,
             origin,
@@ -100,20 +92,16 @@ impl DynamicRegistry {
     pub fn unregister(&self, reference: &ServiceRef) -> bool {
         let removed = self.services.write().remove(reference).is_some();
         if removed {
-            let _ = self
-                .event_tx
-                .send(RegistryEvent::Unregistered { reference: reference.clone() });
+            self.events
+                .lock()
+                .push(RegistryEvent::Unregistered { reference: reference.clone() });
         }
         removed
     }
 
     /// Drain all pending registry events (non-blocking).
     pub fn drain_events(&self) -> Vec<RegistryEvent> {
-        let mut out = Vec::new();
-        while let Ok(ev) = self.event_rx.try_recv() {
-            out.push(ev);
-        }
-        out
+        std::mem::take(&mut *self.events.lock())
     }
 
     /// Number of registered services.

@@ -28,6 +28,9 @@ use serena_core::action::ActionSet;
 use serena_core::binding::BindingPattern;
 use serena_core::error::{EvalError, PlanError};
 use serena_core::formula::CompiledFormula;
+use serena_core::metrics::{
+    ExecStats, MetricsSink, NodeId, NoopMetrics, OpKind, OpObservation, Tee,
+};
 use serena_core::ops::{self, AggSpec, AssignSource};
 use serena_core::schema::SchemaRef;
 use serena_core::service::Invoker;
@@ -100,6 +103,10 @@ pub struct TickReport {
     pub actions: ActionSet,
     /// Invocation errors survived this tick.
     pub errors: Vec<EvalError>,
+    /// Per-node statistics of this tick (delta sizes, β invocations and
+    /// cache hits/misses, self-time), keyed by the plan's pre-order
+    /// [`NodeId`]s.
+    pub stats: ExecStats,
 }
 
 struct Ctx<'a> {
@@ -107,6 +114,8 @@ struct Ctx<'a> {
     invoker: &'a dyn Invoker,
     actions: &'a mut ActionSet,
     errors: &'a mut Vec<EvalError>,
+    metrics: &'a dyn MetricsSink,
+    next_id: usize,
 }
 
 /// Per-tick node output: a finite delta or a stream batch.
@@ -271,19 +280,37 @@ impl ContinuousQuery {
 
     /// Evaluate one instant.
     pub fn tick(&mut self, invoker: &dyn Invoker) -> TickReport {
+        self.tick_with(invoker, &NoopMetrics)
+    }
+
+    /// Evaluate one instant, additionally duplicating this tick's
+    /// per-node observations into `sink` — the hook the Query Processor
+    /// uses to accumulate rolling per-query statistics. The per-tick
+    /// statistics are always available in the returned
+    /// [`TickReport::stats`].
+    pub fn tick_with(&mut self, invoker: &dyn Invoker, sink: &dyn MetricsSink) -> TickReport {
         let at = self.next;
         self.next = at.next();
         let mut actions = ActionSet::new();
         let mut errors = Vec::new();
+        let stats = ExecStats::new();
         let out = {
-            let mut ctx = Ctx { at, invoker, actions: &mut actions, errors: &mut errors };
+            let tee = Tee(&stats, sink);
+            let mut ctx = Ctx {
+                at,
+                invoker,
+                actions: &mut actions,
+                errors: &mut errors,
+                metrics: &tee,
+                next_id: 0,
+            };
             tick_node(&mut self.root, &mut ctx)
         };
         let (delta, batch) = match out {
             Out::Finite(d) => (d, Vec::new()),
             Out::Batch(b) => (Delta::new(), b),
         };
-        TickReport { at, delta, batch, actions, errors }
+        TickReport { at, delta, batch, actions, errors, stats }
     }
 
     /// Run `n` ticks, collecting reports.
@@ -491,39 +518,100 @@ impl Node {
     }
 }
 
+fn op_kind_of(node: &Node) -> OpKind {
+    match node {
+        Node::Table { .. } => OpKind::Relation,
+        Node::Stream { .. } => OpKind::Source,
+        Node::Linear { op, .. } => match op {
+            LinearOp::Select(_) => OpKind::Select,
+            LinearOp::Project(_) => OpKind::Project,
+            LinearOp::Rename => OpKind::Rename,
+            LinearOp::Assign { .. } => OpKind::Assign,
+        },
+        Node::Recompute { op, .. } => match op {
+            RecomputeOp::Union => OpKind::Union,
+            RecomputeOp::Intersect => OpKind::Intersect,
+            RecomputeOp::Difference => OpKind::Difference,
+            RecomputeOp::Join(_) => OpKind::Join,
+            RecomputeOp::Aggregate { .. } => OpKind::Aggregate,
+        },
+        Node::Invoke { .. } => OpKind::Invoke,
+        Node::Window { .. } => OpKind::Window,
+        Node::StreamOf { .. } => OpKind::StreamOf,
+        Node::SampleInvoke { .. } => OpKind::SampleInvoke,
+    }
+}
+
+fn delta_size(d: &Delta) -> u64 {
+    (d.inserts.len() + d.deletes.len()) as u64
+}
+
+/// Tick one node, assigning its pre-order [`NodeId`] and recording one
+/// [`OpObservation`] (delta sizes, β counters, operator self-time).
 fn tick_node(node: &mut Node, ctx: &mut Ctx<'_>) -> Out {
+    let mut obs = OpObservation::new(NodeId(ctx.next_id), op_kind_of(node));
+    ctx.next_id += 1;
+    let out = tick_node_inner(node, ctx, &mut obs);
+    obs.tuples_out = match &out {
+        Out::Finite(d) => delta_size(d),
+        Out::Batch(b) => b.len() as u64,
+    };
+    ctx.metrics.record(&obs);
+    out
+}
+
+fn tick_node_inner(node: &mut Node, ctx: &mut Ctx<'_>, obs: &mut OpObservation) -> Out {
     match node {
         Node::Table { handle, current, started } => {
+            let started_at = std::time::Instant::now();
             let delta = handle.tick_at(ctx.at, !*started);
             *started = true;
             current.apply(&delta);
+            obs.elapsed = started_at.elapsed();
             Out::Finite(delta)
         }
-        Node::Stream { source } => Out::Batch(source.poll(ctx.at)),
+        Node::Stream { source } => {
+            let started_at = std::time::Instant::now();
+            let batch = source.poll(ctx.at);
+            obs.elapsed = started_at.elapsed();
+            Out::Batch(batch)
+        }
         Node::Linear { child, op, current } => {
             let child_delta = tick_node(child, ctx).finite();
+            obs.tuples_in = delta_size(&child_delta);
+            let started_at = std::time::Instant::now();
             let delta = apply_linear(op, &child_delta, ctx);
             current.apply(&delta);
+            obs.elapsed = started_at.elapsed();
             Out::Finite(delta)
         }
         Node::Recompute { left, right, op, current } => {
-            tick_node(left, ctx).finite();
+            let left_delta = tick_node(left, ctx).finite();
+            obs.tuples_in = delta_size(&left_delta);
             if let Some(r) = right {
-                tick_node(r, ctx).finite();
+                let right_delta = tick_node(r, ctx).finite();
+                obs.tuples_in += delta_size(&right_delta);
             }
+            let started_at = std::time::Instant::now();
             let new = recompute(op, left, right.as_deref(), ctx);
             let delta = current.diff_to(&new);
             *current = new;
+            obs.elapsed = started_at.elapsed();
             Out::Finite(delta)
         }
         Node::Invoke { child, bp, in_schema, out_schema, cache, current } => {
             let child_delta = tick_node(child, ctx).finite();
-            let delta = apply_invoke(bp, in_schema, out_schema, cache, &child_delta, ctx);
+            obs.tuples_in = delta_size(&child_delta);
+            let started_at = std::time::Instant::now();
+            let delta = apply_invoke(bp, in_schema, out_schema, cache, &child_delta, ctx, obs);
             current.apply(&delta);
+            obs.elapsed = started_at.elapsed();
             Out::Finite(delta)
         }
         Node::Window { child, period, ring, current } => {
             let batch = tick_node(child, ctx).batch();
+            obs.tuples_in = batch.len() as u64;
+            let started_at = std::time::Instant::now();
             let mut delta = Delta::new();
             for t in &batch {
                 delta.inserts.insert(t.clone(), 1);
@@ -536,10 +624,13 @@ fn tick_node(node: &mut Node, ctx: &mut Ctx<'_>) -> Out {
                 }
             }
             current.apply(&delta);
+            obs.elapsed = started_at.elapsed();
             Out::Finite(delta)
         }
         Node::StreamOf { child, kind } => {
             let child_delta = tick_node(child, ctx).finite();
+            obs.tuples_in = delta_size(&child_delta);
+            let started_at = std::time::Instant::now();
             let batch: Vec<Tuple> = match kind {
                 StreamKind::Insertion => {
                     child_delta.inserts.sorted_occurrences()
@@ -547,18 +638,22 @@ fn tick_node(node: &mut Node, ctx: &mut Ctx<'_>) -> Out {
                 StreamKind::Deletion => child_delta.deletes.sorted_occurrences(),
                 StreamKind::Heartbeat => child.current().sorted_occurrences(),
             };
+            obs.elapsed = started_at.elapsed();
             Out::Batch(batch)
         }
         Node::SampleInvoke { child, bp, in_schema, out_schema, period } => {
-            tick_node(child, ctx).finite();
+            let child_delta = tick_node(child, ctx).finite();
+            obs.tuples_in = delta_size(&child_delta);
             if !ctx.at.ticks().is_multiple_of(*period) {
                 return Out::Batch(Vec::new());
             }
             // sample the *whole* current relation (distinct tuples; each
             // occurrence contributes one output copy).
+            let started_at = std::time::Instant::now();
             let mut batch = Vec::new();
             for (t, count) in child.current().iter() {
                 let mut actions = ActionSet::new();
+                obs.invocations += 1;
                 match ops::invoke_delta(
                     in_schema,
                     out_schema,
@@ -575,10 +670,14 @@ fn tick_node(node: &mut Node, ctx: &mut Ctx<'_>) -> Out {
                             }
                         }
                     }
-                    Err(e) => ctx.errors.push(e),
+                    Err(e) => {
+                        obs.failures += 1;
+                        ctx.errors.push(e);
+                    }
                 }
             }
             batch.sort();
+            obs.elapsed = started_at.elapsed();
             Out::Batch(batch)
         }
     }
@@ -716,6 +815,7 @@ fn recompute(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_invoke(
     bp: &BindingPattern,
     in_schema: &SchemaRef,
@@ -723,6 +823,7 @@ fn apply_invoke(
     cache: &mut HashMap<Tuple, CacheEntry>,
     child_delta: &Delta,
     ctx: &mut Ctx<'_>,
+    obs: &mut OpObservation,
 ) -> Delta {
     let mut out = Delta::new();
     // Deletions first: retract the cached extensions.
@@ -742,12 +843,15 @@ fn apply_invoke(
     for (t, c) in child_delta.inserts.iter() {
         if let Some(entry) = cache.get_mut(t) {
             // the same tuple re-inserted reuses its cached invocation
+            obs.cache_hits += 1;
             entry.count += c;
             for o in &entry.outputs {
                 out.inserts.insert(o.clone(), c);
             }
             continue;
         }
+        obs.cache_misses += 1;
+        obs.invocations += 1;
         match ops::invoke_delta(
             in_schema,
             out_schema,
@@ -764,6 +868,7 @@ fn apply_invoke(
                 cache.insert(t.clone(), CacheEntry { count: c, outputs });
             }
             Err(e) => {
+                obs.failures += 1;
                 ctx.errors.push(e);
                 // failed invocation: tuple contributes nothing this tick
             }
@@ -1157,6 +1262,75 @@ mod tests {
         let reg = example_registry();
         let r = q.tick(&reg);
         assert_eq!(r.delta.inserts.len(), 1);
+    }
+
+    #[test]
+    fn tick_stats_track_beta_cache_hits_and_misses() {
+        let mut sources = SourceSet::new();
+        let table = TableHandle::new(serena_core::schema::examples::sensors_schema());
+        sources.add_table("sensors", table.clone());
+        let plan = StreamPlan::source("sensors").invoke("getTemperature", "sensor");
+        let mut q = ContinuousQuery::compile(&plan, &mut sources).unwrap();
+        let reg = example_registry();
+        // pre-order: 0 = Invoke (root), 1 = Table
+        let beta = NodeId(0);
+
+        // a brand-new tuple is a cache miss → one live invocation
+        table.insert(tuple![Value::service("sensor01"), "corridor"]);
+        let r = q.tick(&reg);
+        let s = r.stats.node(beta).unwrap();
+        assert_eq!(s.op, OpKind::Invoke);
+        assert_eq!((s.cache_misses, s.cache_hits, s.invocations), (1, 0, 1));
+        assert_eq!(r.stats.node(NodeId(1)).unwrap().op, OpKind::Relation);
+
+        // a quiet tick records the node with all-zero counters
+        let r = q.tick(&reg);
+        let s = r.stats.node(beta).unwrap();
+        assert_eq!((s.cache_misses, s.cache_hits, s.invocations), (0, 0, 0));
+
+        // re-inserting the same tuple (still cached) is a hit — no call
+        table.insert(tuple![Value::service("sensor01"), "corridor"]);
+        let r = q.tick(&reg);
+        let s = r.stats.node(beta).unwrap();
+        assert_eq!((s.cache_misses, s.cache_hits, s.invocations), (0, 1, 0));
+
+        // a different tuple is a miss again
+        table.insert(tuple![Value::service("sensor06"), "office"]);
+        let r = q.tick(&reg);
+        let s = r.stats.node(beta).unwrap();
+        assert_eq!((s.cache_misses, s.cache_hits, s.invocations), (1, 0, 1));
+
+        // a failed invocation is counted as miss + failure, no output
+        table.insert(tuple![Value::service("ghost"), "void"]);
+        let r = q.tick(&reg);
+        let s = r.stats.node(beta).unwrap();
+        assert_eq!((s.cache_misses, s.failures, s.invocations), (1, 1, 1));
+        assert_eq!(r.errors.len(), 1);
+    }
+
+    #[test]
+    fn tick_with_accumulates_into_external_sink() {
+        let mut sources = SourceSet::new();
+        let table = TableHandle::new(int_schema("x"));
+        sources.add_table("t", table.clone());
+        let plan = StreamPlan::source("t").select(Formula::gt_const("x", 0));
+        let mut q = ContinuousQuery::compile(&plan, &mut sources).unwrap();
+        let reg = example_registry();
+        let rolling = ExecStats::new();
+
+        table.insert(tuple![1]);
+        q.tick_with(&reg, &rolling);
+        table.insert(tuple![2]);
+        let r = q.tick_with(&reg, &rolling);
+
+        // the per-tick report sees only this tick…
+        assert_eq!(r.stats.node(NodeId(0)).unwrap().tuples_out, 1);
+        assert_eq!(r.stats.node(NodeId(0)).unwrap().applications, 1);
+        // …while the external sink accumulates across ticks
+        let total = rolling.node(NodeId(0)).unwrap();
+        assert_eq!(total.applications, 2);
+        assert_eq!(total.tuples_out, 2);
+        assert_eq!(total.op, OpKind::Select);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use serena_core::sync::Mutex;
 
 use serena_core::schema::SchemaRef;
 use serena_core::time::Instant;

@@ -5,10 +5,11 @@
 //! optimized plan is Definition 9-equivalent (same result X-Relation, same
 //! action set) to its input, across random environments and instants.
 
+mod common;
+
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
+use common::Rng;
 use serena::core::env::Environment;
 use serena::core::equiv::check_at;
 use serena::core::formula::{CmpOp, Formula};
@@ -31,99 +32,120 @@ fn int_relation(pairs: &[(i64, i64)]) -> XRelation {
     XRelation::from_tuples(int_schema(), pairs.iter().map(|&(x, y)| tuple![x, y]))
 }
 
-prop_compose! {
-    fn arb_int_relation()(pairs in prop::collection::vec((0i64..6, 0i64..6), 0..24)) -> XRelation {
-        int_relation(&pairs)
+fn gen_int_relation(rng: &mut Rng) -> XRelation {
+    let pairs = rng.vec_of(0, 24, |r| (r.i64_in(0, 6), r.i64_in(0, 6)));
+    int_relation(&pairs)
+}
+
+fn gen_formula(rng: &mut Rng, depth: usize) -> Formula {
+    if depth > 0 && rng.below(2) == 0 {
+        match rng.below(3) {
+            0 => gen_formula(rng, depth - 1).and(gen_formula(rng, depth - 1)),
+            1 => gen_formula(rng, depth - 1).or(gen_formula(rng, depth - 1)),
+            _ => gen_formula(rng, depth - 1).not(),
+        }
+    } else {
+        match rng.below(7) {
+            0 => Formula::True,
+            1 => Formula::False,
+            2 => Formula::eq_const("x", rng.i64_in(0, 6)),
+            3 => Formula::ne_const("y", rng.i64_in(0, 6)),
+            4 => Formula::gt_const("x", rng.i64_in(0, 6)),
+            5 => Formula::le_const("y", rng.i64_in(0, 6)),
+            _ => Formula::cmp_attrs("x", CmpOp::Lt, "y"),
+        }
     }
 }
 
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        Just(Formula::True),
-        Just(Formula::False),
-        (0i64..6).prop_map(|c| Formula::eq_const("x", c)),
-        (0i64..6).prop_map(|c| Formula::ne_const("y", c)),
-        (0i64..6).prop_map(|c| Formula::gt_const("x", c)),
-        (0i64..6).prop_map(|c| Formula::le_const("y", c)),
-        Just(Formula::cmp_attrs("x", CmpOp::Lt, "y")),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.prop_map(|a| a.not()),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn set_operator_laws(a in arb_int_relation(), b in arb_int_relation(), c in arb_int_relation()) {
+#[test]
+fn set_operator_laws() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x5E70 + case);
+        let a = gen_int_relation(&mut rng);
+        let b = gen_int_relation(&mut rng);
+        let c = gen_int_relation(&mut rng);
         // commutativity
-        prop_assert_eq!(ops::union(&a, &b).unwrap(), ops::union(&b, &a).unwrap());
-        prop_assert_eq!(ops::intersect(&a, &b).unwrap(), ops::intersect(&b, &a).unwrap());
+        assert_eq!(ops::union(&a, &b).unwrap(), ops::union(&b, &a).unwrap());
+        assert_eq!(
+            ops::intersect(&a, &b).unwrap(),
+            ops::intersect(&b, &a).unwrap()
+        );
         // associativity of ∪
-        prop_assert_eq!(
+        assert_eq!(
             ops::union(&ops::union(&a, &b).unwrap(), &c).unwrap(),
             ops::union(&a, &ops::union(&b, &c).unwrap()).unwrap()
         );
         // idempotence
-        prop_assert_eq!(ops::union(&a, &a).unwrap(), a.clone());
-        prop_assert_eq!(ops::intersect(&a, &a).unwrap(), a.clone());
-        prop_assert!(ops::difference(&a, &a).unwrap().is_empty());
+        assert_eq!(ops::union(&a, &a).unwrap(), a.clone());
+        assert_eq!(ops::intersect(&a, &a).unwrap(), a.clone());
+        assert!(ops::difference(&a, &a).unwrap().is_empty());
         // partition: (a − b) ∪ (a ∩ b) = a
         let partitioned = ops::union(
             &ops::difference(&a, &b).unwrap(),
             &ops::intersect(&a, &b).unwrap(),
-        ).unwrap();
-        prop_assert_eq!(partitioned, a.clone());
+        )
+        .unwrap();
+        assert_eq!(partitioned, a);
     }
+}
 
-    #[test]
-    fn selection_laws(r in arb_int_relation(), f in arb_formula(), g in arb_formula()) {
+#[test]
+fn selection_laws() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x5E1E + case);
+        let r = gen_int_relation(&mut rng);
+        let f = gen_formula(&mut rng, 3);
+        let g = gen_formula(&mut rng, 3);
         let sf = ops::select(&r, &f).unwrap();
         // σ_F(r) ⊆ r
-        prop_assert!(sf.iter().all(|t| r.contains(t)));
+        assert!(sf.iter().all(|t| r.contains(t)));
         // idempotence
-        prop_assert_eq!(ops::select(&sf, &f).unwrap(), sf.clone());
+        assert_eq!(ops::select(&sf, &f).unwrap(), sf.clone());
         // σ_{F∧G} = σ_F ∘ σ_G
         let both = ops::select(&r, &f.clone().and(g.clone())).unwrap();
         let cascade = ops::select(&ops::select(&r, &g).unwrap(), &f).unwrap();
-        prop_assert_eq!(both, cascade);
+        assert_eq!(both, cascade);
         // σ_{F∨G} = σ_F ∪ σ_G
         let either = ops::select(&r, &f.clone().or(g.clone())).unwrap();
         let unioned = ops::union(&sf, &ops::select(&r, &g).unwrap()).unwrap();
-        prop_assert_eq!(either, unioned);
+        assert_eq!(either, unioned);
         // σ_{¬F} = r − σ_F
         let negated = ops::select(&r, &f.clone().not()).unwrap();
-        prop_assert_eq!(negated, ops::difference(&r, &sf).unwrap());
+        assert_eq!(negated, ops::difference(&r, &sf).unwrap());
     }
+}
 
-    #[test]
-    fn projection_and_join_laws(a in arb_int_relation(), b in arb_int_relation()) {
+#[test]
+fn projection_and_join_laws() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x7010 + case);
+        let a = gen_int_relation(&mut rng);
+        let b = gen_int_relation(&mut rng);
         let attrs = [serena::core::attr::attr("x")];
         // projection absorbs itself
         let p = ops::project(&a, &attrs).unwrap();
-        prop_assert_eq!(ops::project(&p, &attrs).unwrap(), p.clone());
-        prop_assert!(p.len() <= a.len());
+        assert_eq!(ops::project(&p, &attrs).unwrap(), p.clone());
+        assert!(p.len() <= a.len());
         // join: commutative (as sets), self-join is identity, bounded size
         let ab = ops::join(&a, &b).unwrap();
-        prop_assert_eq!(ab.clone(), ops::join(&b, &a).unwrap());
-        prop_assert!(ab.len() <= a.len() * b.len());
-        prop_assert_eq!(ops::join(&a, &a).unwrap(), a.clone());
+        assert_eq!(ab.clone(), ops::join(&b, &a).unwrap());
+        assert!(ab.len() <= a.len() * b.len());
+        assert_eq!(ops::join(&a, &a).unwrap(), a.clone());
         // join over identical schemas = intersection
-        prop_assert_eq!(ab, ops::intersect(&a, &b).unwrap());
+        assert_eq!(ab, ops::intersect(&a, &b).unwrap());
     }
+}
 
-    #[test]
-    fn rename_round_trip(r in arb_int_relation()) {
+#[test]
+fn rename_round_trip() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0xE4AE + case);
+        let r = gen_int_relation(&mut rng);
         let from = serena::core::attr::attr("x");
         let to = serena::core::attr::attr("z");
         let there = ops::rename(&r, &from, &to).unwrap();
         let back = ops::rename(&there, &to, &from).unwrap();
-        prop_assert_eq!(back, r);
+        assert_eq!(back, r);
     }
 }
 
@@ -160,100 +182,108 @@ fn sensor_env(rows: &[(u64, &str)]) -> (Environment, StaticRegistry) {
     (env, reg)
 }
 
-fn arb_location() -> impl Strategy<Value = &'static str> {
-    prop_oneof![Just("office"), Just("corridor"), Just("roof")]
-}
+const LOCATIONS: [&str; 3] = ["office", "corridor", "roof"];
 
-prop_compose! {
-    fn arb_sensor_rows()(rows in prop::collection::vec((0u64..12, arb_location()), 0..10)) -> Vec<(u64, &'static str)> {
-        rows
-    }
+fn gen_sensor_rows(rng: &mut Rng) -> Vec<(u64, &'static str)> {
+    rng.vec_of(0, 10, |r| (r.u64_in(0, 12), *r.pick(&LOCATIONS)))
 }
 
 /// Random service-oriented plans: selections before/after a passive
 /// invocation, projections, joins with contacts.
-fn arb_sensor_plan() -> impl Strategy<Value = Plan> {
-    let pre = prop_oneof![
-        Just(None),
-        arb_location().prop_map(|l| Some(Formula::eq_const("location", l))),
-        arb_location().prop_map(|l| Some(Formula::ne_const("location", l))),
-    ];
-    let post = prop_oneof![
-        Just(None),
-        (15i64..30).prop_map(|c| Some(Formula::gt_const("temperature", c as f64))),
-    ];
-    let shape = 0..4u8;
-    (pre, post, shape).prop_map(|(pre, post, shape)| {
-        let mut plan = Plan::relation("sensors");
-        if shape == 2 {
-            plan = plan.join(Plan::relation("contacts").project(["name", "address"]));
-        }
-        plan = plan.invoke("getTemperature", "sensor");
-        // selections stacked *above* the invocation: pushdown fodder
-        if let Some(f) = pre {
-            plan = plan.select(f);
-        }
-        if let Some(f) = post {
-            plan = plan.select(f);
-        }
-        if shape == 3 {
-            plan = plan.project(["sensor", "location", "temperature"]);
-        }
-        plan
-    })
+fn gen_sensor_plan(rng: &mut Rng) -> Plan {
+    let pre = match rng.below(3) {
+        0 => None,
+        1 => Some(Formula::eq_const("location", *rng.pick(&LOCATIONS))),
+        _ => Some(Formula::ne_const("location", *rng.pick(&LOCATIONS))),
+    };
+    let post = match rng.below(2) {
+        0 => None,
+        _ => Some(Formula::gt_const("temperature", rng.i64_in(15, 30) as f64)),
+    };
+    let shape = rng.below(4);
+    let mut plan = Plan::relation("sensors");
+    if shape == 2 {
+        plan = plan.join(Plan::relation("contacts").project(["name", "address"]));
+    }
+    plan = plan.invoke("getTemperature", "sensor");
+    // selections stacked *above* the invocation: pushdown fodder
+    if let Some(f) = pre {
+        plan = plan.select(f);
+    }
+    if let Some(f) = post {
+        plan = plan.select(f);
+    }
+    if shape == 3 {
+        plan = plan.project(["sensor", "location", "temperature"]);
+    }
+    plan
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn optimizer_is_sound_on_random_plans(
-        rows in arb_sensor_rows(),
-        plan in arb_sensor_plan(),
-        t in 0u64..6,
-    ) {
+#[test]
+fn optimizer_is_sound_on_random_plans() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0x0971 + case);
+        let rows = gen_sensor_rows(&mut rng);
+        let plan = gen_sensor_plan(&mut rng);
+        let t = rng.u64_in(0, 6);
         let (env, reg) = sensor_env(&rows);
-        prop_assume!(plan.schema(&env).is_ok());
+        if plan.schema(&env).is_err() {
+            continue;
+        }
         let optimized = optimize(&plan, &env).plan;
         let report = check_at(&plan, &optimized, &env, &reg, Instant(t)).unwrap();
-        prop_assert!(
+        assert!(
             report.equivalent(),
-            "{} vs {} at τ={t}: {:?}", plan, optimized, report
+            "{plan} vs {optimized} at τ={t}: {report:?}"
         );
     }
+}
 
-    #[test]
-    fn optimizer_never_increases_invocations(
-        rows in arb_sensor_rows(),
-        plan in arb_sensor_plan(),
-    ) {
+#[test]
+fn optimizer_never_increases_invocations() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0x13B0 + case);
+        let rows = gen_sensor_rows(&mut rng);
+        let plan = gen_sensor_plan(&mut rng);
         let (env, reg) = sensor_env(&rows);
-        prop_assume!(plan.schema(&env).is_ok());
+        if plan.schema(&env).is_err() {
+            continue;
+        }
         let optimized = optimize(&plan, &env).plan;
         let c_orig = serena::core::eval::CountingInvoker::new(&reg);
         evaluate(&plan, &env, &c_orig, Instant::ZERO).unwrap();
         let c_opt = serena::core::eval::CountingInvoker::new(&reg);
         evaluate(&optimized, &env, &c_opt, Instant::ZERO).unwrap();
-        prop_assert!(c_opt.total() <= c_orig.total(),
-            "optimization increased invocations: {} → {} for {}",
-            c_orig.total(), c_opt.total(), plan);
+        assert!(
+            c_opt.total() <= c_orig.total(),
+            "optimization increased invocations: {} → {} for {plan}",
+            c_orig.total(),
+            c_opt.total()
+        );
     }
+}
 
-    #[test]
-    fn every_rewrite_rule_is_individually_sound(
-        rows in arb_sensor_rows(),
-        plan in arb_sensor_plan(),
-        t in 0u64..4,
-    ) {
+#[test]
+fn every_rewrite_rule_is_individually_sound() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0xA77E + case);
+        let rows = gen_sensor_rows(&mut rng);
+        let plan = gen_sensor_plan(&mut rng);
+        let t = rng.u64_in(0, 4);
         let (env, reg) = sensor_env(&rows);
-        prop_assume!(plan.schema(&env).is_ok());
+        if plan.schema(&env).is_err() {
+            continue;
+        }
         for rule in serena::core::rewrite::all_rules() {
             let (rewritten, n) = serena::core::rewrite::apply_everywhere(&plan, rule.as_ref(), &env);
-            if n == 0 { continue; }
+            if n == 0 {
+                continue;
+            }
             let report = check_at(&plan, &rewritten, &env, &reg, Instant(t)).unwrap();
-            prop_assert!(
+            assert!(
                 report.equivalent(),
-                "rule {} broke equivalence: {} vs {}", rule.name(), plan, rewritten
+                "rule {} broke equivalence: {plan} vs {rewritten}",
+                rule.name()
             );
         }
     }

@@ -12,10 +12,11 @@
 //!    *would* satisfy Definition 2 against the output schema is still
 //!    there (operators drop no valid pattern).
 
+mod common;
+
 use std::sync::Arc;
 
-use proptest::prelude::*;
-
+use common::Rng;
 use serena::core::attr::AttrName;
 use serena::core::binding::BindingPattern;
 use serena::core::ops;
@@ -92,84 +93,92 @@ fn check_invariants(input: &XSchema, output: &XSchema) -> Result<(), String> {
 /// {s SERVICE, x INT, y STR, va REAL*, vb STR*, vc BOOL*, vd INT*}, where
 /// the virtual ones may randomly be real instead, plus the binding
 /// patterns from the pool that happen to be valid.
-fn arb_schema() -> impl Strategy<Value = SchemaRef> {
-    (
-        prop::bool::ANY, // include x?
-        prop::bool::ANY, // include y?
-        prop::collection::vec(prop::bool::ANY, 4), // va..vd virtual?
-        prop::collection::vec(prop::bool::ANY, 4), // va..vd included?
-    )
-        .prop_map(|(with_x, with_y, virts, included)| {
-            let mut attrs = vec![Attribute::real("s", DataType::Service)];
-            if with_x {
-                attrs.push(Attribute::real("x", DataType::Int));
-            }
-            if with_y {
-                attrs.push(Attribute::real("y", DataType::Str));
-            }
-            let vdefs = [
-                ("va", DataType::Real),
-                ("vb", DataType::Str),
-                ("vc", DataType::Bool),
-                ("vd", DataType::Int),
-            ];
-            for (i, (name, ty)) in vdefs.iter().enumerate() {
-                if included[i] {
-                    attrs.push(if virts[i] {
-                        Attribute::virt(*name, *ty)
-                    } else {
-                        Attribute::real(*name, *ty)
-                    });
-                }
-            }
-            // attach every pool pattern that is valid for this layout
-            let probe = XSchema::from_attrs(attrs.clone(), vec![]).unwrap();
-            let bps: Vec<BindingPattern> = prototype_pool()
-                .into_iter()
-                .map(|p| BindingPattern::new(p, "s"))
-                .filter(|bp| bp_valid(bp, &probe))
-                .collect();
-            XSchema::from_attrs(attrs, bps).unwrap()
-        })
+fn gen_schema(rng: &mut Rng) -> SchemaRef {
+    let mut attrs = vec![Attribute::real("s", DataType::Service)];
+    if rng.bool() {
+        attrs.push(Attribute::real("x", DataType::Int));
+    }
+    if rng.bool() {
+        attrs.push(Attribute::real("y", DataType::Str));
+    }
+    let vdefs = [
+        ("va", DataType::Real),
+        ("vb", DataType::Str),
+        ("vc", DataType::Bool),
+        ("vd", DataType::Int),
+    ];
+    for (name, ty) in vdefs {
+        if rng.bool() {
+            attrs.push(if rng.bool() {
+                Attribute::virt(name, ty)
+            } else {
+                Attribute::real(name, ty)
+            });
+        }
+    }
+    // attach every pool pattern that is valid for this layout
+    let probe = XSchema::from_attrs(attrs.clone(), vec![]).unwrap();
+    let bps: Vec<BindingPattern> = prototype_pool()
+        .into_iter()
+        .map(|p| BindingPattern::new(p, "s"))
+        .filter(|bp| bp_valid(bp, &probe))
+        .collect();
+    XSchema::from_attrs(attrs, bps).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn projection_bp_invariants(schema in arb_schema(), keep_mask in prop::collection::vec(prop::bool::ANY, 8)) {
+#[test]
+fn projection_bp_invariants() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0xB101 + case);
+        let schema = gen_schema(&mut rng);
+        let keep_mask: Vec<bool> = (0..8).map(|_| rng.bool()).collect();
         let kept: Vec<AttrName> = schema
             .names()
             .enumerate()
             .filter(|(i, _)| *keep_mask.get(*i).unwrap_or(&true))
             .map(|(_, a)| a.clone())
             .collect();
-        prop_assume!(!kept.is_empty());
+        if kept.is_empty() {
+            continue;
+        }
         let rel = XRelation::empty(schema.clone());
         let out = ops::project(&rel, &kept).unwrap();
-        check_invariants(&schema, out.schema()).map_err(|e| {
-            TestCaseError::fail(format!("{e}; π{kept:?} over {schema:?}"))
-        })?;
+        if let Err(e) = check_invariants(&schema, out.schema()) {
+            panic!("{e}; π{kept:?} over {schema:?}");
+        }
     }
+}
 
-    #[test]
-    fn rename_bp_invariants(schema in arb_schema(), idx in 0usize..8) {
+#[test]
+fn rename_bp_invariants() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0xB102 + case);
+        let schema = gen_schema(&mut rng);
         let names: Vec<AttrName> = schema.names().cloned().collect();
-        prop_assume!(idx < names.len());
+        let idx = rng.below(8);
+        if idx >= names.len() {
+            continue;
+        }
         let from = names[idx].clone();
         let to = AttrName::new("zz");
         let rel = XRelation::empty(schema.clone());
         let out = ops::rename(&rel, &from, &to).unwrap();
-        check_invariants(&schema, out.schema()).map_err(|e| {
-            TestCaseError::fail(format!("{e}; ρ{from}→zz over {schema:?}"))
-        })?;
+        if let Err(e) = check_invariants(&schema, out.schema()) {
+            panic!("{e}; ρ{from}→zz over {schema:?}");
+        }
     }
+}
 
-    #[test]
-    fn assign_bp_invariants(schema in arb_schema(), idx in 0usize..8) {
+#[test]
+fn assign_bp_invariants() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0xB103 + case);
+        let schema = gen_schema(&mut rng);
         let virtuals: Vec<AttrName> = schema.virtual_names().cloned().collect();
-        prop_assume!(!virtuals.is_empty());
-        let target = virtuals[idx % virtuals.len()].clone();
+        if virtuals.is_empty() {
+            continue;
+        }
+        let target = virtuals[rng.below(8) % virtuals.len()].clone();
         let value: Value = match schema.type_of(target.as_str()).unwrap() {
             DataType::Real => Value::Real(1.5),
             DataType::Str => Value::str("v"),
@@ -179,13 +188,18 @@ proptest! {
         };
         let rel = XRelation::empty(schema.clone());
         let out = ops::assign(&rel, &target, &ops::AssignSource::Const(value)).unwrap();
-        check_invariants(&schema, out.schema()).map_err(|e| {
-            TestCaseError::fail(format!("{e}; α{target} over {schema:?}"))
-        })?;
+        if let Err(e) = check_invariants(&schema, out.schema()) {
+            panic!("{e}; α{target} over {schema:?}");
+        }
     }
+}
 
-    #[test]
-    fn join_bp_invariants(a in arb_schema(), b in arb_schema()) {
+#[test]
+fn join_bp_invariants() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0xB104 + case);
+        let a = gen_schema(&mut rng);
+        let b = gen_schema(&mut rng);
         let ra = XRelation::empty(a.clone());
         let rb = XRelation::empty(b.clone());
         // URSA holds by construction (shared universe, fixed types)
@@ -193,12 +207,12 @@ proptest! {
         let out_schema = out.schema();
         // soundness for the union of both inputs' patterns
         for bp in out_schema.binding_patterns() {
-            prop_assert!(bp_valid(bp, out_schema), "unsound after ⋈: {}", bp.key());
+            assert!(bp_valid(bp, out_schema), "unsound after ⋈: {}", bp.key());
         }
         // completeness: valid patterns from either side survive
         for bp in a.binding_patterns().iter().chain(b.binding_patterns()) {
             if bp_valid(bp, out_schema) {
-                prop_assert!(
+                assert!(
                     out_schema.binding_patterns().contains(bp),
                     "dropped after ⋈: {}",
                     bp.key()
@@ -206,9 +220,13 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn invoke_bp_invariants(schema in arb_schema(), which in 0usize..4) {
+#[test]
+fn invoke_bp_invariants() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0xB105 + case);
+        let schema = gen_schema(&mut rng);
         let candidates: Vec<BindingPattern> = schema
             .binding_patterns()
             .iter()
@@ -220,19 +238,21 @@ proptest! {
             })
             .cloned()
             .collect();
-        prop_assume!(!candidates.is_empty());
-        let bp = &candidates[which % candidates.len()];
+        if candidates.is_empty() {
+            continue;
+        }
+        let bp = &candidates[rng.below(4) % candidates.len()];
         let (out_schema, _) = ops::invoke_schema(
             &schema,
             bp.prototype().name(),
             bp.service_attr().as_str(),
         )
         .unwrap();
-        check_invariants(&schema, &out_schema).map_err(|e| {
-            TestCaseError::fail(format!("{e}; β{} over {schema:?}", bp.key()))
-        })?;
+        if let Err(e) = check_invariants(&schema, &out_schema) {
+            panic!("{e}; β{} over {schema:?}", bp.key());
+        }
         // the invoked pattern itself must be consumed (its outputs became real)
-        prop_assert!(
+        assert!(
             !out_schema.binding_patterns().contains(bp),
             "β did not consume {}",
             bp.key()

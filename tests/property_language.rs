@@ -1,8 +1,9 @@
 //! Property-based tests of the textual front-ends: DDL round-trips and the
 //! Serena SQL lowering semantics.
 
-use proptest::prelude::*;
+mod common;
 
+use common::Rng;
 use serena::core::prelude::*;
 use serena::core::schema::{Attribute, XSchema};
 use serena::ddl::sql::compile_select;
@@ -12,45 +13,40 @@ use serena::ddl::{parse_program, resolve_relation_schema, to_one_shot, Statement
 // DDL round-trip: schema → to_ddl → parse → resolve → compatible schema
 // ---------------------------------------------------------------------
 
-fn arb_type() -> impl Strategy<Value = DataType> {
-    prop_oneof![
-        Just(DataType::Str),
-        Just(DataType::Int),
-        Just(DataType::Real),
-        Just(DataType::Bool),
-        Just(DataType::Blob),
-        Just(DataType::Service),
-    ]
-}
+const TYPES: [DataType; 6] = [
+    DataType::Str,
+    DataType::Int,
+    DataType::Real,
+    DataType::Bool,
+    DataType::Blob,
+    DataType::Service,
+];
 
-prop_compose! {
-    fn arb_plain_schema()(
-        specs in prop::collection::vec((0usize..12, arb_type(), prop::bool::ANY), 1..8)
-    ) -> SchemaRef {
-        let mut attrs: Vec<Attribute> = Vec::new();
-        for (i, ty, virt) in specs {
-            let name = format!("a{i}");
-            if attrs.iter().any(|a| a.name.as_str() == name) {
-                continue;
-            }
-            attrs.push(if virt {
-                Attribute::virt(name.as_str(), ty)
-            } else {
-                Attribute::real(name.as_str(), ty)
-            });
+fn gen_plain_schema(rng: &mut Rng) -> SchemaRef {
+    let specs = rng.vec_of(1, 8, |r| (r.below(12), *r.pick(&TYPES), r.bool()));
+    let mut attrs: Vec<Attribute> = Vec::new();
+    for (i, ty, virt) in specs {
+        let name = format!("a{i}");
+        if attrs.iter().any(|a| a.name.as_str() == name) {
+            continue;
         }
-        if attrs.is_empty() {
-            attrs.push(Attribute::real("a0", DataType::Int));
-        }
-        XSchema::from_attrs(attrs, vec![]).expect("no BPs → always valid")
+        attrs.push(if virt {
+            Attribute::virt(name.as_str(), ty)
+        } else {
+            Attribute::real(name.as_str(), ty)
+        });
     }
+    if attrs.is_empty() {
+        attrs.push(Attribute::real("a0", DataType::Int));
+    }
+    XSchema::from_attrs(attrs, vec![]).expect("no BPs → always valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn ddl_round_trip_plain_schemas(schema in arb_plain_schema()) {
+#[test]
+fn ddl_round_trip_plain_schemas() {
+    for case in 0..128u64 {
+        let mut rng = Rng::new(0xDD10 + case);
+        let schema = gen_plain_schema(&mut rng);
         let ddl = schema.to_ddl("r");
         let stmts = parse_program(&ddl).expect("rendered DDL parses");
         let Statement::ExtendedRelation { attrs, bindings, .. } = &stmts[0] else {
@@ -59,7 +55,7 @@ proptest! {
         let catalog = serena::core::env::Environment::new();
         let parsed = resolve_relation_schema(attrs, bindings, &catalog)
             .expect("rendered DDL resolves");
-        prop_assert!(parsed.compatible_with(&schema), "round trip changed: {ddl}");
+        assert!(parsed.compatible_with(&schema), "round trip changed: {ddl}");
     }
 }
 
@@ -93,26 +89,26 @@ enum Conj {
     Delay(f64),
 }
 
-fn arb_conjs() -> impl Strategy<Value = Vec<Conj>> {
-    prop::collection::vec(
-        prop_oneof![
-            prop_oneof![Just("office"), Just("corridor"), Just("roof")].prop_map(Conj::Area),
-            (0i64..10).prop_map(Conj::Quality),
-            (0u8..10).prop_map(|d| Conj::Delay(d as f64 / 10.0)),
-        ],
-        0..4,
-    )
+fn gen_conjs(rng: &mut Rng) -> Vec<Conj> {
+    rng.vec_of(0, 4, |r| match r.below(3) {
+        #[allow(clippy::explicit_auto_deref)]
+        0 => Conj::Area(*r.pick(&["office", "corridor", "roof"])),
+        1 => Conj::Quality(r.i64_in(0, 10)),
+        _ => Conj::Delay(r.below(10) as f64 / 10.0),
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// For passive USING chains, lowering with the WHERE split must be
+/// equivalent (results + empty action sets) to the naive plan that
+/// applies the whole WHERE after all invocations.
+#[test]
+fn sql_where_split_is_sound_for_passive_chains() {
+    use serena::core::equiv::check_at;
 
-    /// For passive USING chains, lowering with the WHERE split must be
-    /// equivalent (results + empty action sets) to the naive plan that
-    /// applies the whole WHERE after all invocations.
-    #[test]
-    fn sql_where_split_is_sound_for_passive_chains(conjs in arb_conjs(), t in 0u64..4) {
-        use serena::core::equiv::check_at;
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0x5018 + case);
+        let conjs = gen_conjs(&mut rng);
+        let t = rng.u64_in(0, 4);
 
         let env = serena::core::env::examples::example_environment();
         let reg = serena::core::service::fixtures::example_registry();
@@ -151,7 +147,7 @@ proptest! {
         let naive = naive.project(["photo"]);
 
         let report = check_at(&split_plan, &naive, &env, &reg, Instant(t)).unwrap();
-        prop_assert!(report.equivalent(), "{sql}\nsplit: {split_plan}\nnaive: {naive}");
+        assert!(report.equivalent(), "{sql}\nsplit: {split_plan}\nnaive: {naive}");
     }
 }
 
@@ -159,26 +155,54 @@ proptest! {
 // Parser robustness: arbitrary input must error, never panic
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Characters drawn for fuzz inputs: printable ASCII plus a few multi-byte
+/// code points to exercise UTF-8 boundaries.
+fn gen_fuzz_string(rng: &mut Rng, max_len: usize) -> String {
+    const EXTRA: [char; 6] = ['é', 'λ', '⋈', '𝒳', '\t', '"'];
+    let len = rng.below(max_len + 1);
+    (0..len)
+        .map(|_| {
+            if rng.below(8) == 0 {
+                *rng.pick(&EXTRA)
+            } else {
+                (0x20u8 + rng.below(0x5F) as u8) as char
+            }
+        })
+        .collect()
+}
 
-    #[test]
-    fn parsers_never_panic_on_arbitrary_input(input in "\\PC{0,120}") {
+#[test]
+fn parsers_never_panic_on_arbitrary_input() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0xF022 + case);
+        let input = gen_fuzz_string(&mut rng, 120);
         let _ = serena::ddl::parse_program(&input);
         let _ = serena::ddl::parse_query(&input);
         let _ = serena::ddl::sql::parse_select(&input);
     }
+}
 
-    /// Near-miss DDL: statement shapes with random identifiers/punctuation
-    /// — the parser must return positioned errors, not panic.
-    #[test]
-    fn parsers_never_panic_on_near_ddl(
-        kw in prop_oneof![
-            Just("PROTOTYPE"), Just("SERVICE"), Just("EXTENDED RELATION"),
-            Just("INSERT INTO"), Just("REGISTER QUERY"), Just("SELECT"),
-        ],
-        middle in "[a-zA-Z0-9_ ,:\\[\\]\\(\\)<>=']{0,60}",
-    ) {
+/// Near-miss DDL: statement shapes with random identifiers/punctuation
+/// — the parser must return positioned errors, not panic.
+#[test]
+fn parsers_never_panic_on_near_ddl() {
+    const KEYWORDS: [&str; 6] = [
+        "PROTOTYPE",
+        "SERVICE",
+        "EXTENDED RELATION",
+        "INSERT INTO",
+        "REGISTER QUERY",
+        "SELECT",
+    ];
+    const MIDDLE: &[u8] =
+        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_ ,:[]()<>='";
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0xF023 + case);
+        let kw = *rng.pick(&KEYWORDS);
+        let len = rng.below(61);
+        let middle: String = (0..len)
+            .map(|_| MIDDLE[rng.below(MIDDLE.len())] as char)
+            .collect();
         let input = format!("{kw} {middle};");
         let _ = serena::ddl::parse_program(&input);
         let _ = serena::ddl::sql::parse_select(&input);

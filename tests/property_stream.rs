@@ -6,8 +6,9 @@
 //! continuous result of a query equals the one-shot evaluation of the same
 //! query over the final table contents.
 
-use proptest::prelude::*;
+mod common;
 
+use common::Rng;
 use serena::core::formula::Formula;
 use serena::core::prelude::*;
 use serena::core::schema::XSchema;
@@ -32,35 +33,33 @@ enum Op {
     TickOnly,
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            ((0i64..5), (0i64..5)).prop_map(|(x, y)| Op::Insert(x, y)),
-            ((0i64..5), (0i64..5)).prop_map(|(x, y)| Op::Delete(x, y)),
-            Just(Op::TickOnly),
-        ],
-        1..30,
-    )
+fn gen_ops(rng: &mut Rng) -> Vec<Op> {
+    rng.vec_of(1, 30, |r| match r.below(3) {
+        0 => Op::Insert(r.i64_in(0, 5), r.i64_in(0, 5)),
+        1 => Op::Delete(r.i64_in(0, 5), r.i64_in(0, 5)),
+        _ => Op::TickOnly,
+    })
 }
 
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    prop_oneof![
-        Just(Formula::True),
-        (0i64..5).prop_map(|c| Formula::gt_const("x", c)),
-        (0i64..5).prop_map(|c| Formula::ne_const("y", c)),
-        ((0i64..5), (0i64..5)).prop_map(|(a, b)| {
-            Formula::gt_const("x", a).and(Formula::le_const("y", b))
-        }),
-    ]
+fn gen_formula(rng: &mut Rng) -> Formula {
+    match rng.below(4) {
+        0 => Formula::True,
+        1 => Formula::gt_const("x", rng.i64_in(0, 5)),
+        2 => Formula::ne_const("y", rng.i64_in(0, 5)),
+        _ => Formula::gt_const("x", rng.i64_in(0, 5))
+            .and(Formula::le_const("y", rng.i64_in(0, 5))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Continuous σ/π over a mutating table: the accumulated deltas equal
+/// the one-shot answer over the final state, at every prefix.
+#[test]
+fn continuous_select_equals_one_shot() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x5100 + case);
+        let ops = gen_ops(&mut rng);
+        let f = gen_formula(&mut rng);
 
-    /// Continuous σ/π over a mutating table: the accumulated deltas equal
-    /// the one-shot answer over the final state, at every prefix.
-    #[test]
-    fn continuous_select_equals_one_shot(ops in arb_ops(), f in arb_formula()) {
         let table = TableHandle::new(int_schema());
         let mut sources = SourceSet::new();
         sources.add_table("t", table.clone());
@@ -78,9 +77,9 @@ proptest! {
             let report = q.tick(&reg);
             // replaying deltas reconstructs the instantaneous state…
             let missing = replayed.apply(&report.delta);
-            prop_assert_eq!(missing, 0, "delta deleted tuples that were absent");
+            assert_eq!(missing, 0, "delta deleted tuples that were absent");
             let current = q.current_relation().unwrap();
-            prop_assert_eq!(current.len(), replayed.distinct());
+            assert_eq!(current.len(), replayed.distinct());
 
             // …and matches the one-shot evaluation over the table's state.
             let mut env = serena::core::env::Environment::new();
@@ -94,18 +93,23 @@ proptest! {
                 &env,
                 &reg,
                 Instant::ZERO,
-            ).unwrap();
-            prop_assert_eq!(current, one_shot.relation);
+            )
+            .unwrap();
+            assert_eq!(current, one_shot.relation);
         }
     }
+}
 
-    /// The window `W[p]` always contains exactly the batches of the last
-    /// `p` instants.
-    #[test]
-    fn window_contents_match_definition(
-        batches in prop::collection::vec(prop::collection::vec((0i64..9, 0i64..9), 0..4), 1..20),
-        period in 1u64..5,
-    ) {
+/// The window `W[p]` always contains exactly the batches of the last
+/// `p` instants.
+#[test]
+fn window_contents_match_definition() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x5200 + case);
+        let batches: Vec<Vec<(i64, i64)>> =
+            rng.vec_of(1, 20, |r| r.vec_of(0, 4, |r| (r.i64_in(0, 9), r.i64_in(0, 9))));
+        let period = rng.u64_in(1, 5);
+
         let push = PushStream::new();
         let mut sources = SourceSet::new();
         sources.add_stream("s", int_schema(), Box::new(push.clone()));
@@ -126,17 +130,22 @@ proptest! {
                 .map(|&(x, y)| tuple![x, y])
                 .collect();
             let current = q.current_relation().unwrap();
-            prop_assert_eq!(current.len(), expected.distinct());
+            assert_eq!(current.len(), expected.distinct());
             for (t, _) in expected.iter() {
-                prop_assert!(current.contains(t), "missing {t} at tick {i}");
+                assert!(current.contains(t), "missing {t} at tick {i}");
             }
         }
     }
+}
 
-    /// `S[insertion]` emits exactly the per-tick insert deltas;
-    /// `S[heartbeat]` repeats the full state.
-    #[test]
-    fn streaming_operators_echo_deltas(ops in arb_ops()) {
+/// `S[insertion]` emits exactly the per-tick insert deltas;
+/// `S[heartbeat]` repeats the full state.
+#[test]
+fn streaming_operators_echo_deltas() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x5300 + case);
+        let ops = gen_ops(&mut rng);
+
         let table = TableHandle::new(int_schema());
         let mut s1 = SourceSet::new();
         s1.add_table("t", table.clone());
@@ -164,20 +173,23 @@ proptest! {
             state.apply(&r_raw.delta);
             // S[insertion] batch == the finite node's insert delta
             let expected: Vec<Tuple> = r_raw.delta.inserts.sorted_occurrences();
-            prop_assert_eq!(&r_ins.batch, &expected);
+            assert_eq!(&r_ins.batch, &expected);
             // S[heartbeat] batch == the full current *multiset* state
             // (occurrences, not distinct tuples)
-            prop_assert_eq!(&r_hb.batch, &state.sorted_occurrences());
+            assert_eq!(&r_hb.batch, &state.sorted_occurrences());
         }
     }
+}
 
-    /// Join deltas are consistent: replaying them equals recomputing the
-    /// join of the final states.
-    #[test]
-    fn incremental_join_consistency(
-        left_ops in arb_ops(),
-        right_ops in arb_ops(),
-    ) {
+/// Join deltas are consistent: replaying them equals recomputing the
+/// join of the final states.
+#[test]
+fn incremental_join_consistency() {
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x5400 + case);
+        let left_ops = gen_ops(&mut rng);
+        let right_ops = gen_ops(&mut rng);
+
         let l = TableHandle::new(int_schema());
         let r_schema = XSchema::builder()
             .real("x", DataType::Int)
@@ -210,13 +222,13 @@ proptest! {
                 }
             }
             let report = q.tick(&reg);
-            prop_assert_eq!(replayed.apply(&report.delta), 0);
+            assert_eq!(replayed.apply(&report.delta), 0);
         }
         // recompute from scratch over the final snapshots
         let l_rel = XRelation::from_tuples(int_schema(), l.snapshot().iter_occurrences().cloned());
         let r_rel = XRelation::from_tuples(r_schema, r.snapshot().iter_occurrences().cloned());
         let expected = serena::core::ops::join(&l_rel, &r_rel).unwrap();
-        prop_assert_eq!(q.current_relation().unwrap(), expected);
+        assert_eq!(q.current_relation().unwrap(), expected);
         let _ = Delta::new();
     }
 }
