@@ -88,5 +88,10 @@ fn bench_discovery_refresh(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_registry_ops, bench_bus_throughput, bench_discovery_refresh);
+criterion_group!(
+    benches,
+    bench_registry_ops,
+    bench_bus_throughput,
+    bench_discovery_refresh
+);
 criterion_main!(benches);

@@ -92,8 +92,15 @@ fn bench_invoke(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &rel, |b, rel| {
             b.iter(|| {
                 let mut actions = serena_core::action::ActionSet::new();
-                ops::invoke(rel, "getTemperature", "sensor", &reg, Instant(1), &mut actions)
-                    .unwrap()
+                ops::invoke(
+                    rel,
+                    "getTemperature",
+                    "sensor",
+                    &reg,
+                    Instant(1),
+                    &mut actions,
+                )
+                .unwrap()
             })
         });
     }
@@ -108,8 +115,15 @@ fn bench_aggregate(c: &mut Criterion) {
             let sensors = workload::sensors_relation(n);
             let reg = workload::scaled_registry(n, 0);
             let mut actions = serena_core::action::ActionSet::new();
-            ops::invoke(&sensors, "getTemperature", "sensor", &reg, Instant(1), &mut actions)
-                .unwrap()
+            ops::invoke(
+                &sensors,
+                "getTemperature",
+                "sensor",
+                &reg,
+                Instant(1),
+                &mut actions,
+            )
+            .unwrap()
         };
         let group_attrs = [attr("location")];
         let aggs = [ops::AggSpec::new(ops::AggFun::Avg, "temperature")];
@@ -128,16 +142,11 @@ fn bench_formula_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("formula_compiled_vs_interpreted");
     let n = 10_000usize;
     let rel = workload::sensors_relation(n);
-    let f = Formula::eq_const("location", "office")
-        .or(Formula::eq_const("location", "lab"));
+    let f = Formula::eq_const("location", "office").or(Formula::eq_const("location", "lab"));
     group.throughput(Throughput::Elements(n as u64));
     group.bench_function("compiled", |b| {
         let compiled = f.compile(rel.schema()).unwrap();
-        b.iter(|| {
-            rel.iter()
-                .filter(|t| compiled.matches(t).unwrap())
-                .count()
-        })
+        b.iter(|| rel.iter().filter(|t| compiled.matches(t).unwrap()).count())
     });
     group.bench_function("interpreted", |b| {
         b.iter(|| {

@@ -1,0 +1,127 @@
+//! E12 — physical-plan execution: compile-once vs recompile-per-call, and
+//! serial vs parallel β under slow services.
+//!
+//! ```sh
+//! cargo bench -p serena-bench --bench operators_physical
+//! ```
+//!
+//! Besides the usual printed report, this harness writes every measurement
+//! (plus the parallel-β speedup factors) to `BENCH_physical.json` in the
+//! invoking directory — override the path with `SERENA_BENCH_OUT`.
+
+use std::time::Duration;
+
+use serena_bench::criterion_group;
+use serena_bench::harness::{take_records, BenchRecord, BenchmarkId, Criterion, Throughput};
+use serena_bench::workload;
+
+use serena_core::exec::ExecContext;
+use serena_core::formula::Formula;
+use serena_core::physical::{ExecOptions, PhysicalPlan};
+use serena_core::plan::Plan;
+use serena_core::time::Instant;
+use serena_services::faults::SlowInvoker;
+
+/// How slow each simulated device answers in the parallel-β comparison.
+const SLOW_CALL: Duration = Duration::from_millis(5);
+/// Rows in the slow-device relation: 16 × 5 ms ≈ 80 ms serial per pass.
+const SLOW_ROWS: usize = 16;
+
+/// A service-free pipeline where per-call overhead is pure plan work:
+/// σ → π over the scaled sensors table.
+fn passive_plan() -> Plan {
+    Plan::relation("sensors")
+        .select(Formula::eq_const("location", "office"))
+        .project(["location"])
+}
+
+/// Compiling once and re-executing vs the convenience wrapper that
+/// recompiles the logical plan on every call.
+fn bench_compile_once_vs_recompile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("physical_compile");
+    for n in [100usize, 1_000, 10_000] {
+        let env = workload::scaled_environment(n, 0, 0);
+        let reg = workload::scaled_registry(0, 0);
+        let plan = passive_plan();
+        let ctx = ExecContext::new(&env, &reg, Instant(1));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("compile_once", n), &plan, |b, plan| {
+            let physical = PhysicalPlan::compile(plan, &env).unwrap();
+            b.iter(|| physical.execute(&ctx).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("recompile_each", n), &plan, |b, plan| {
+            b.iter(|| ctx.execute(plan).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// β over slow devices: one worker vs a bounded pool. Output is
+/// byte-identical either way; only the wall clock differs.
+fn bench_invoke_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("physical_invoke_parallel");
+    let env = workload::scaled_environment(SLOW_ROWS, 0, 0);
+    let slow = SlowInvoker::new(workload::scaled_registry(SLOW_ROWS, 0), SLOW_CALL);
+    let plan = Plan::relation("sensors").invoke("getTemperature", "sensor");
+    let physical = PhysicalPlan::compile(&plan, &env).unwrap();
+    group.throughput(Throughput::Elements(SLOW_ROWS as u64));
+    for workers in [1usize, 2, 8] {
+        let ctx =
+            ExecContext::new(&env, &slow, Instant(1)).with_options(ExecOptions::parallel(workers));
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &physical,
+            |b, physical| b.iter(|| physical.execute(&ctx).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compile_once_vs_recompile,
+    bench_invoke_parallelism
+);
+
+fn mean_of<'a>(records: &'a [BenchRecord], label: &str) -> Option<&'a BenchRecord> {
+    records.iter().find(|r| r.label == label)
+}
+
+fn main() {
+    benches();
+    let records = take_records();
+
+    // Hand-rolled JSON (the workspace is dependency-free): one entry per
+    // measurement, plus derived speedups for the parallel-β comparison.
+    let mut json = String::from("{\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 < records.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"mean_ns\": {}, \"best_ns\": {}}}{sep}\n",
+            r.label, r.mean_ns, r.best_ns
+        ));
+    }
+    json.push_str("  ]");
+    let serial = mean_of(&records, "physical_invoke_parallel/workers/1");
+    for workers in [2u32, 8] {
+        let parallel = mean_of(
+            &records,
+            &format!("physical_invoke_parallel/workers/{workers}"),
+        );
+        if let (Some(s), Some(p)) = (serial, parallel) {
+            let speedup = s.mean_ns as f64 / p.mean_ns.max(1) as f64;
+            println!("parallel β speedup ({workers} workers vs serial): {speedup:.2}x");
+            json.push_str(&format!(",\n  \"speedup_{workers}_workers\": {speedup:.3}"));
+        }
+    }
+    json.push_str(&format!(
+        ",\n  \"slow_call_ms\": {},\n  \"slow_rows\": {}\n}}\n",
+        SLOW_CALL.as_millis(),
+        SLOW_ROWS
+    ));
+
+    let path =
+        std::env::var("SERENA_BENCH_OUT").unwrap_or_else(|_| "BENCH_physical.json".to_string());
+    std::fs::write(&path, json).expect("write bench results");
+    println!("wrote {path}");
+}

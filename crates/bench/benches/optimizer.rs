@@ -35,9 +35,7 @@ fn bench_q2_family(c: &mut Criterion) {
 fn bench_optimize_latency(c: &mut Criterion) {
     let env = workload::scaled_environment(10, 10, 10);
     let plan = workload::q2_family(false, 5);
-    c.bench_function("optimize_q2_prime", |b| {
-        b.iter(|| optimize(&plan, &env))
-    });
+    c.bench_function("optimize_q2_prime", |b| b.iter(|| optimize(&plan, &env)));
     // a deeper plan: joins + renames + stacked selections
     let deep = serena_core::plan::Plan::relation("sensors")
         .join(serena_core::plan::Plan::relation("contacts").project(["name", "address"]))

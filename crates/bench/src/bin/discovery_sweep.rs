@@ -23,9 +23,13 @@ fn setup(bus: BusConfig) -> Pems {
          ) USING BINDING PATTERNS ( getTemperature[sensor] );",
     )
     .unwrap();
-    pems.register_discovery("sensors", "getTemperature", "sensor").unwrap();
-    pems.register_query("providers", &serena_stream::plan::StreamPlan::source("sensors"))
+    pems.register_discovery("sensors", "getTemperature", "sensor")
         .unwrap();
+    pems.register_query(
+        "providers",
+        &serena_stream::plan::StreamPlan::source("sensors"),
+    )
+    .unwrap();
     pems
 }
 
@@ -62,15 +66,27 @@ fn main() {
         }
         rows.push(vec![
             format!("{latency}"),
-            join_lag.map(|l| format!("{l} ticks")).unwrap_or("never".into()),
+            join_lag
+                .map(|l| format!("{l} ticks"))
+                .unwrap_or("never".into()),
         ]);
         assert_eq!(join_lag, Some(latency), "lag must equal the bus latency");
     }
-    println!("{}", report::table(&["announce latency", "observed join lag"], &rows));
+    println!(
+        "{}",
+        report::table(&["announce latency", "observed join lag"], &rows)
+    );
 
-    println!("{}", report::banner("E11b — table accuracy under churn (100 ticks)"));
+    println!(
+        "{}",
+        report::banner("E11b — table accuracy under churn (100 ticks)")
+    );
     let mut rows = Vec::new();
-    for (label, period) in [("slow (every 10 ticks)", 10u64), ("medium (every 4)", 4), ("fast (every 2)", 2)] {
+    for (label, period) in [
+        ("slow (every 10 ticks)", 10u64),
+        ("medium (every 4)", 4),
+        ("fast (every 2)", 2),
+    ] {
         let mut pems = setup(BusConfig {
             announce_latency: 1,
             leave_latency: 1,
@@ -92,7 +108,8 @@ fn main() {
                         serena_core::service::fixtures::temperature_sensor(next_id),
                         pems.clock(),
                     );
-                    pems.directory().set(name.clone(), "location", Value::str("office"));
+                    pems.directory()
+                        .set(name.clone(), "location", Value::str("office"));
                     live.push(name);
                 } else {
                     let name = live.remove(0);
@@ -115,7 +132,12 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["churn rate", "live services (end)", "table rows (end)", "ticks exactly in sync"],
+            &[
+                "churn rate",
+                "live services (end)",
+                "table rows (end)",
+                "ticks exactly in sync"
+            ],
             &rows
         )
     );

@@ -16,7 +16,10 @@ use serena_services::bus::BusConfig;
 use serena_services::devices::temperature::SimTemperatureSensor;
 
 fn main() {
-    println!("{}", report::banner("Figure 1 — PEMS architecture, assembled"));
+    println!(
+        "{}",
+        report::banner("Figure 1 — PEMS architecture, assembled")
+    );
     println!(
         "core modules: Environment Resource Manager (discovery bus + registry),\n\
          Extended Table Manager (XD-Relations + DDL), Query Processor (continuous queries)\n\
@@ -32,7 +35,12 @@ fn main() {
             (1, Instant(3), Instant(3), 41.0),
             (2, Instant(6), Instant(6), 39.0),
         ],
-        bus: BusConfig { announce_latency: 1, leave_latency: 1, jitter: 0, seed: 11 },
+        bus: BusConfig {
+            announce_latency: 1,
+            leave_latency: 1,
+            jitter: 0,
+            seed: 11,
+        },
         ..SurveillanceConfig::default()
     };
     let mut s = deploy_surveillance(&config).expect("deployment");
@@ -82,12 +90,23 @@ fn main() {
     println!(
         "\n{}",
         report::table(
-            &["τ", "services discovered", "alerts sent", "photos emitted", "errors"],
+            &[
+                "τ",
+                "services discovered",
+                "alerts sent",
+                "photos emitted",
+                "errors"
+            ],
             &rows
         )
     );
 
-    println!("{}", report::banner("delivered messages (the observable the paper verified by phone/mail client)"));
+    println!(
+        "{}",
+        report::banner(
+            "delivered messages (the observable the paper verified by phone/mail client)"
+        )
+    );
     for (service, outbox) in &s.outboxes {
         for msg in outbox.lock().iter() {
             println!("  [{service}] {} → {}: {:?}", msg.at, msg.address, msg.text);
@@ -116,7 +135,10 @@ fn main() {
     // message (contacts extended "with an additional attribute allowing to
     // send a picture with a message").
     // ------------------------------------------------------------------
-    println!("{}", report::banner("full scenario — photo alerts (one combined query)"));
+    println!(
+        "{}",
+        report::banner("full scenario — photo alerts (one combined query)")
+    );
     let config = SurveillanceConfig {
         sensors: 6,
         cameras: 6,
@@ -146,7 +168,10 @@ fn main() {
             m.attachment_bytes
         );
     }
-    assert!(!photo_msgs.is_empty(), "the combined query must deliver a photo message");
+    assert!(
+        !photo_msgs.is_empty(),
+        "the combined query must deliver a photo message"
+    );
     println!(
         "OK: {} photo message(s) — implicit realization carried the camera shot into the contacts' virtual `photo`.",
         photo_msgs.len()

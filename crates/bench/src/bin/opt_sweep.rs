@@ -17,7 +17,10 @@ use serena_core::prelude::*;
 use serena_core::rewrite::{estimate, optimize, CostParams};
 
 fn main() {
-    println!("{}", report::banner("E9a — invocations vs #cameras (selectivity fixed: 1 area of 5)"));
+    println!(
+        "{}",
+        report::banner("E9a — invocations vs #cameras (selectivity fixed: 1 area of 5)")
+    );
     let mut rows = Vec::new();
     for n in [5usize, 10, 20, 50, 100, 200] {
         let env = workload::scaled_environment(0, n, 0);
@@ -35,7 +38,10 @@ fn main() {
         let (inv_opt, t_opt) = measure(&optimized);
 
         let cards: BTreeMap<String, usize> = [("cameras".to_string(), n)].into();
-        let params = CostParams { selectivity: 1.0 / 5.0, ..CostParams::default() };
+        let params = CostParams {
+            selectivity: 1.0 / 5.0,
+            ..CostParams::default()
+        };
         let c_naive = estimate(&naive, &env, &cards, &params).unwrap();
         let c_opt = estimate(&optimized, &env, &cards, &params).unwrap();
 
@@ -53,12 +59,23 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["cameras", "invocations naive", "invocations optimized", "saving", "time naive", "time optimized", "cost-model inv (naive/opt)"],
+            &[
+                "cameras",
+                "invocations naive",
+                "invocations optimized",
+                "saving",
+                "time naive",
+                "time optimized",
+                "cost-model inv (naive/opt)"
+            ],
             &rows
         )
     );
 
-    println!("{}", report::banner("E9b — invocations vs selectivity (100 cameras)"));
+    println!(
+        "{}",
+        report::banner("E9b — invocations vs selectivity (100 cameras)")
+    );
     let n = 100usize;
     let env = workload::scaled_environment(0, n, 0);
     let reg = workload::scaled_registry(0, n);
@@ -72,7 +89,10 @@ fn main() {
         }
         let naive = Plan::relation("cameras")
             .invoke("checkPhoto", "camera")
-            .select(f.clone().and(serena_core::formula::Formula::ge_const("quality", 5)))
+            .select(
+                f.clone()
+                    .and(serena_core::formula::Formula::ge_const("quality", 5)),
+            )
             .invoke("takePhoto", "camera")
             .project(["photo"]);
         let optimized = optimize(&naive, &env).plan;
@@ -92,9 +112,16 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["selectivity", "checkPhoto naive", "checkPhoto optimized", "saving"],
+            &[
+                "selectivity",
+                "checkPhoto naive",
+                "checkPhoto optimized",
+                "saving"
+            ],
             &rows
         )
     );
-    println!("OK: savings shrink as selectivity approaches 1 — the crossover the cost model predicts.");
+    println!(
+        "OK: savings shrink as selectivity approaches 1 — the crossover the cost model predicts."
+    );
 }

@@ -13,7 +13,10 @@ use serena_pems::scenario::{deploy_rss, rss_expected_matches, RssConfig};
 use serena_services::devices::rss::SimRssFeed;
 
 fn main() {
-    let config = RssConfig { window: 8, ..RssConfig::default() };
+    let config = RssConfig {
+        window: 8,
+        ..RssConfig::default()
+    };
     let keyword = SimRssFeed::tracked_keyword();
     println!(
         "{}",

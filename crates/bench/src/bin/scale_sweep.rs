@@ -33,7 +33,10 @@ fn run(config: &SurveillanceConfig, ticks: u64) -> (f64, u64, u64) {
 fn main() {
     let ticks = 50u64;
 
-    println!("{}", report::banner("E10a — tick latency vs #sensors (idle: no alerts)"));
+    println!(
+        "{}",
+        report::banner("E10a — tick latency vs #sensors (idle: no alerts)")
+    );
     let mut rows = Vec::new();
     for sensors in [5usize, 10, 20, 50, 100, 200] {
         let config = SurveillanceConfig {
@@ -61,7 +64,10 @@ fn main() {
     // once per episode, while an *intermittently* hot area re-alerts every
     // time the threshold is re-crossed. Thresholds inside the sensors'
     // fluctuation band therefore maximise the action rate.
-    println!("{}", report::banner("E10b — tick latency vs alert activity (50 sensors)"));
+    println!(
+        "{}",
+        report::banner("E10b — tick latency vs alert activity (50 sensors)")
+    );
     let mut rows = Vec::new();
     for (label, threshold) in [
         ("never hot (θ=1000)", 1000.0),
@@ -85,10 +91,20 @@ fn main() {
     }
     println!(
         "{}",
-        report::table(&["alert activity", "tick latency", "actions/tick (post-warmup)"], &rows)
+        report::table(
+            &[
+                "alert activity",
+                "tick latency",
+                "actions/tick (post-warmup)"
+            ],
+            &rows
+        )
     );
 
-    println!("{}", report::banner("E10c — window size on the RSS scenario"));
+    println!(
+        "{}",
+        report::banner("E10c — window size on the RSS scenario")
+    );
     let mut rows = Vec::new();
     for window in [1u64, 4, 16, 64] {
         let config = serena_pems::scenario::RssConfig {

@@ -26,21 +26,33 @@ const TABLE_1: &str = "
 ";
 
 fn main() {
-    println!("{}", report::banner("Table 1 — Prototypes and Services (parsed from the paper's DDL)"));
+    println!(
+        "{}",
+        report::banner("Table 1 — Prototypes and Services (parsed from the paper's DDL)")
+    );
     let stmts = parse_program(TABLE_1).expect("Table 1 parses");
 
     let mut proto_rows = Vec::new();
     let mut service_rows = Vec::new();
     for stmt in &stmts {
         match stmt {
-            Statement::Prototype { name, input, output, active } => {
+            Statement::Prototype {
+                name,
+                input,
+                output,
+                active,
+            } => {
                 let p = resolve_prototype(name, input, output, *active)
                     .expect("Table 1 prototypes are valid");
                 proto_rows.push(vec![
                     p.name().to_string(),
                     format!("{}", p.input()),
                     format!("{}", p.output()),
-                    if p.is_active() { "ACTIVE".into() } else { "passive".into() },
+                    if p.is_active() {
+                        "ACTIVE".into()
+                    } else {
+                        "passive".into()
+                    },
                 ]);
                 println!("{}", p.to_ddl());
             }
@@ -51,8 +63,14 @@ fn main() {
         }
     }
 
-    println!("\n{}", report::table(&["prototype", "input", "output", "tag"], &proto_rows));
-    println!("{}", report::table(&["service", "implements"], &service_rows));
+    println!(
+        "\n{}",
+        report::table(&["prototype", "input", "output", "tag"], &proto_rows)
+    );
+    println!(
+        "{}",
+        report::table(&["service", "implements"], &service_rows)
+    );
 
     assert_eq!(proto_rows.len(), 4, "the paper declares 4 prototypes");
     assert_eq!(service_rows.len(), 9, "the paper declares 9 services");

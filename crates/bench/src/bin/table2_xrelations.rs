@@ -36,12 +36,21 @@ const TABLE_2: &str = "
 ";
 
 fn main() {
-    println!("{}", report::banner("Table 2 — X-Relations of the relational pervasive environment"));
+    println!(
+        "{}",
+        report::banner("Table 2 — X-Relations of the relational pervasive environment")
+    );
     let env = example_environment(); // provides the prototype catalog
     let stmts = parse_program(TABLE_2).expect("Table 2 parses");
 
     for stmt in &stmts {
-        let Statement::ExtendedRelation { name, attrs, bindings, .. } = stmt else {
+        let Statement::ExtendedRelation {
+            name,
+            attrs,
+            bindings,
+            ..
+        } = stmt
+        else {
             panic!("unexpected statement");
         };
         let schema = resolve_relation_schema(attrs, bindings, &env)
@@ -55,7 +64,11 @@ fn main() {
                 vec![
                     a.name.to_string(),
                     a.ty.to_string(),
-                    if a.is_real() { "real".into() } else { "virtual".into() },
+                    if a.is_real() {
+                        "real".into()
+                    } else {
+                        "virtual".into()
+                    },
                 ]
             })
             .collect();
@@ -67,16 +80,28 @@ fn main() {
                 vec![
                     bp.key(),
                     bp.to_ddl(),
-                    if bp.is_active() { "active".into() } else { "passive".into() },
+                    if bp.is_active() {
+                        "active".into()
+                    } else {
+                        "passive".into()
+                    },
                 ]
             })
             .collect();
-        println!("{}", report::table(&["binding pattern", "signature", "tag"], &bp_rows));
+        println!(
+            "{}",
+            report::table(&["binding pattern", "signature", "tag"], &bp_rows)
+        );
     }
 
     // sanity: the parsed schemas match the programmatic running example
     let contacts = serena_core::schema::examples::contacts_schema();
-    let Statement::ExtendedRelation { attrs, bindings, .. } = &stmts[0] else { panic!() };
+    let Statement::ExtendedRelation {
+        attrs, bindings, ..
+    } = &stmts[0]
+    else {
+        panic!()
+    };
     let parsed = resolve_relation_schema(attrs, bindings, &env).unwrap();
     assert!(parsed.compatible_with(&contacts));
     println!("OK: parsed schemas are identical to the running example's.");

@@ -40,13 +40,25 @@ fn main() {
     // (a) projection: π keeps exactly the surviving binding patterns
     let p = ops::project(
         &contacts(),
-        &[attr("address"), attr("messenger"), attr("text"), attr("sent")],
+        &[
+            attr("address"),
+            attr("messenger"),
+            attr("text"),
+            attr("sent"),
+        ],
     )
     .unwrap();
     show("(a) π address,messenger,text,sent (contacts)", &p);
-    assert_eq!(p.schema().binding_patterns().len(), 1, "sendMessage survives");
+    assert_eq!(
+        p.schema().binding_patterns().len(),
+        1,
+        "sendMessage survives"
+    );
     let p2 = ops::project(&contacts(), &[attr("name"), attr("address")]).unwrap();
-    assert!(p2.schema().binding_patterns().is_empty(), "BP dropped without messenger");
+    assert!(
+        p2.schema().binding_patterns().is_empty(),
+        "BP dropped without messenger"
+    );
 
     // (b) selection: formulas over real attributes only
     let s = ops::select(&contacts(), &Formula::ne_const("name", "Carla")).unwrap();
@@ -60,7 +72,10 @@ fn main() {
     // (c) renaming: service-attribute renames follow the BP
     let r = ops::rename(&sensors(), &attr("sensor"), &attr("probe")).unwrap();
     show("(c) ρ sensor→probe (sensors)", &r);
-    assert_eq!(r.schema().binding_patterns()[0].key(), "getTemperature[probe]");
+    assert_eq!(
+        r.schema().binding_patterns()[0].key(),
+        "getTemperature[probe]"
+    );
 
     // (d) natural join with implicit realization
     let reqs = serena_core::xrelation::XRelation::from_tuples(
@@ -73,9 +88,16 @@ fn main() {
     );
     let j = ops::join(&cameras(), &reqs).unwrap();
     show("(d) cameras ⋈ requirements(area, quality)", &j);
-    assert!(j.schema().is_real("quality"), "implicit realization: quality became real");
+    assert!(
+        j.schema().is_real("quality"),
+        "implicit realization: quality became real"
+    );
     assert_eq!(
-        j.schema().binding_patterns().iter().map(|bp| bp.key()).collect::<Vec<_>>(),
+        j.schema()
+            .binding_patterns()
+            .iter()
+            .map(|bp| bp.key())
+            .collect::<Vec<_>>(),
         vec!["takePhoto[camera]"],
         "checkPhoto eliminated (its output got realized)"
     );
@@ -93,8 +115,15 @@ fn main() {
 
     // (f) invocation: realizes the BP outputs, records actions if active
     let mut actions = ActionSet::new();
-    let i = ops::invoke(&a, "sendMessage", "messenger", &reg, Instant::ZERO, &mut actions)
-        .unwrap();
+    let i = ops::invoke(
+        &a,
+        "sendMessage",
+        "messenger",
+        &reg,
+        Instant::ZERO,
+        &mut actions,
+    )
+    .unwrap();
     show("(f) β sendMessage[messenger] (…)", &i);
     assert!(i.schema().is_real("sent"));
     assert!(i.schema().binding_patterns().is_empty());

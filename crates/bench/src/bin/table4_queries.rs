@@ -29,7 +29,10 @@ fn main() {
         println!("{name} = {plan}");
     }
 
-    println!("{}", report::banner("Example 6 — action sets of Q1 and Q1'"));
+    println!(
+        "{}",
+        report::banner("Example 6 — action sets of Q1 and Q1'")
+    );
     let out1 = evaluate(&q1(), &env, &reg, Instant::ZERO).unwrap();
     println!("Actions(Q1)  = {}", out1.actions);
     let out1p = evaluate(&q1_prime(), &env, &reg, Instant::ZERO).unwrap();
@@ -47,7 +50,11 @@ fn main() {
         "Q1 ≡ Q1'?  results_equal={} actions_equal={} → {}",
         r1.results_equal,
         r1.actions_equal,
-        if r1.equivalent() { "EQUIVALENT" } else { "NOT equivalent" }
+        if r1.equivalent() {
+            "EQUIVALENT"
+        } else {
+            "NOT equivalent"
+        }
     );
     assert!(r1.results_equal && !r1.actions_equal);
 
@@ -56,7 +63,11 @@ fn main() {
         "Q2 ≡ Q2'?  results_equal={} actions_equal={} → {}",
         r2.results_equal,
         r2.actions_equal,
-        if r2.equivalent() { "EQUIVALENT" } else { "NOT equivalent" }
+        if r2.equivalent() {
+            "EQUIVALENT"
+        } else {
+            "NOT equivalent"
+        }
     );
     assert!(r2.equivalent());
 
@@ -88,7 +99,11 @@ fn run_continuous() {
 
     println!("Q3 = {}", q3());
     let mut sources = SourceSet::new();
-    sources.add_stream("temperatures", temps_schema.clone(), Box::new(FnStream(script)));
+    sources.add_stream(
+        "temperatures",
+        temps_schema.clone(),
+        Box::new(FnStream(script)),
+    );
     sources.add_table(
         "contacts",
         TableHandle::with_tuples(

@@ -83,7 +83,10 @@ fn plan_family() -> Vec<(&'static str, Plan)> {
 }
 
 fn main() {
-    println!("{}", report::banner("Table 5 — rewrite rules, empirically verified"));
+    println!(
+        "{}",
+        report::banner("Table 5 — rewrite rules, empirically verified")
+    );
     let env = workload::scaled_environment(8, 5, 4);
     let reg = workload::scaled_registry(8, 5);
 
@@ -98,9 +101,8 @@ fn main() {
                 continue;
             }
             total_applications += n;
-            let verdict =
-                check_over_instants(&plan, &rewritten, &env, &reg, (0..4).map(Instant))
-                    .expect("evaluates");
+            let verdict = check_over_instants(&plan, &rewritten, &env, &reg, (0..4).map(Instant))
+                .expect("evaluates");
             total_checks += 1;
             assert!(
                 verdict.equivalent(),
@@ -121,7 +123,10 @@ fn main() {
     );
 
     // the negative space: rules that must NOT fire
-    println!("{}", report::banner("Precondition gating (rules must refuse)"));
+    println!(
+        "{}",
+        report::banner("Precondition gating (rules must refuse)")
+    );
     let blocked: Vec<(&str, &dyn serena_core::rewrite::rules::RewriteRule, Plan)> = vec![
         (
             "σ cannot cross an ACTIVE β (action set would shrink)",
@@ -151,9 +156,16 @@ fn main() {
         let (rewritten, n) = apply_everywhere(&plan, rule, &env);
         assert_eq!(n, 0, "{label}: the rule must refuse");
         assert_eq!(rewritten, plan);
-        gate_rows.push(vec![label.to_string(), rule.name().to_string(), "refused ✓".into()]);
+        gate_rows.push(vec![
+            label.to_string(),
+            rule.name().to_string(),
+            "refused ✓".into(),
+        ]);
     }
-    println!("{}", report::table(&["case", "rule", "outcome"], &gate_rows));
+    println!(
+        "{}",
+        report::table(&["case", "rule", "outcome"], &gate_rows)
+    );
 
     println!(
         "OK: {total_applications} rule applications across {total_checks} plans, all Definition 9-equivalent; all forbidden rewrites refused."

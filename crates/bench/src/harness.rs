@@ -10,7 +10,31 @@
 //! printed as one line per benchmark.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark measurement, as recorded by the timing loop.
+///
+/// Records accumulate in a process-wide buffer as benchmarks run; a bench
+/// binary's `main` can drain them with [`take_records`] to persist results
+/// (e.g. as JSON) in addition to the printed report.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark label (`group/bench/param`).
+    pub label: String,
+    /// Mean per-iteration time in nanoseconds across all batches.
+    pub mean_ns: u128,
+    /// Best (least-noise) batch's per-iteration time in nanoseconds.
+    pub best_ns: u128,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Drain every [`BenchRecord`] accumulated since the last call (or process
+/// start), in execution order.
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut RECORDS.lock().unwrap_or_else(|p| p.into_inner()))
+}
 
 /// Declared throughput of one benchmark, used to derive rates.
 #[derive(Debug, Clone, Copy)]
@@ -29,18 +53,24 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Identify a benchmark by name and parameter (`name/param`).
     pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { label: format!("{}/{parameter}", name.into()) }
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
     }
 
     /// Identify a benchmark by its parameter only.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { label: s.to_string() }
+        BenchmarkId {
+            label: s.to_string(),
+        }
     }
 }
 
@@ -75,7 +105,9 @@ impl Default for Criterion {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(200u64);
-        Criterion { measure_for: Duration::from_millis(ms) }
+        Criterion {
+            measure_for: Duration::from_millis(ms),
+        }
     }
 }
 
@@ -84,7 +116,11 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("\n== {name}");
-        BenchmarkGroup { criterion: self, name, throughput: None }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
     }
 
     /// Run one stand-alone benchmark.
@@ -126,7 +162,9 @@ impl BenchmarkGroup<'_> {
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.label);
-        run_bench(&label, self.criterion.measure_for, self.throughput, |b| f(b, input));
+        run_bench(&label, self.criterion.measure_for, self.throughput, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -153,7 +191,10 @@ fn run_bench(
 ) {
     // Calibrate: run single iterations until we know roughly how long one
     // takes (also serves as warm-up).
-    let mut probe = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let mut probe = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
     f(&mut probe);
     let mut per_iter = probe.elapsed.max(Duration::from_nanos(1));
     let iters = (measure_for.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
@@ -164,7 +205,10 @@ fn run_bench(
     let mut total = Duration::ZERO;
     let mut total_iters = 0u64;
     for _ in 0..batches {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         let batch_per_iter = b.elapsed / iters.max(1) as u32;
         best = best.min(batch_per_iter);
@@ -189,6 +233,14 @@ fn run_bench(
         fmt_duration(per_iter),
         fmt_duration(best)
     );
+    RECORDS
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .push(BenchRecord {
+            label: label.to_string(),
+            mean_ns: per_iter.as_nanos(),
+            best_ns: best.as_nanos(),
+        });
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -231,7 +283,9 @@ mod tests {
 
     #[test]
     fn bench_harness_runs_and_reports() {
-        let mut c = Criterion { measure_for: Duration::from_millis(5) };
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(5),
+        };
         let mut ran = 0u64;
         {
             let mut g = c.benchmark_group("smoke");
@@ -246,5 +300,11 @@ mod tests {
         }
         c.bench_function("standalone", |b| b.iter(|| 1 + 1));
         assert!(ran > 0);
+        let records = take_records();
+        assert!(records.iter().any(|r| r.label == "smoke/1"));
+        assert!(records.iter().any(|r| r.label == "standalone"));
+        assert!(records.iter().all(|r| r.mean_ns > 0));
+        // drained: a second take is empty
+        assert!(take_records().is_empty());
     }
 }

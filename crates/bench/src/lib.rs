@@ -83,9 +83,12 @@ pub mod workload {
         env.declare_prototype(protos::check_photo()).unwrap();
         env.declare_prototype(protos::take_photo()).unwrap();
         env.declare_prototype(protos::get_temperature()).unwrap();
-        env.define_relation("sensors", sensors_relation(sensors)).unwrap();
-        env.define_relation("cameras", cameras_relation(cameras)).unwrap();
-        env.define_relation("contacts", contacts_relation(contacts)).unwrap();
+        env.define_relation("sensors", sensors_relation(sensors))
+            .unwrap();
+        env.define_relation("cameras", cameras_relation(cameras))
+            .unwrap();
+        env.define_relation("contacts", contacts_relation(contacts))
+            .unwrap();
         env
     }
 

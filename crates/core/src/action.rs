@@ -145,7 +145,9 @@ impl fmt::Display for ActionSet {
 
 impl FromIterator<Action> for ActionSet {
     fn from_iter<I: IntoIterator<Item = Action>>(iter: I) -> Self {
-        ActionSet { actions: iter.into_iter().collect() }
+        ActionSet {
+            actions: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -218,10 +220,17 @@ mod tests {
     #[test]
     fn iteration_is_canonical_order() {
         let mut s = ActionSet::new();
-        s.record(Action::new(bp1(), ServiceRef::new("jabber"), tuple!["b", "x"]));
-        s.record(Action::new(bp1(), ServiceRef::new("email"), tuple!["a", "x"]));
-        let services: Vec<String> =
-            s.iter().map(|a| a.service().to_string()).collect();
+        s.record(Action::new(
+            bp1(),
+            ServiceRef::new("jabber"),
+            tuple!["b", "x"],
+        ));
+        s.record(Action::new(
+            bp1(),
+            ServiceRef::new("email"),
+            tuple!["a", "x"],
+        ));
+        let services: Vec<String> = s.iter().map(|a| a.service().to_string()).collect();
         assert_eq!(services, vec!["email", "jabber"]);
     }
 }

@@ -29,7 +29,10 @@ impl BindingPattern {
     /// Build a binding pattern. Schema-level validity is checked when the
     /// pattern is attached to a schema.
     pub fn new(prototype: Arc<Prototype>, service_attr: impl Into<AttrName>) -> Self {
-        BindingPattern { prototype, service_attr: service_attr.into() }
+        BindingPattern {
+            prototype,
+            service_attr: service_attr.into(),
+        }
     }
 
     /// `prototype_bp`.
@@ -50,7 +53,10 @@ impl BindingPattern {
     /// A copy of this pattern with its service attribute renamed, used by
     /// the renaming operator (Table 3(c)).
     pub fn with_service_attr(&self, service_attr: AttrName) -> Self {
-        BindingPattern { prototype: self.prototype.clone(), service_attr }
+        BindingPattern {
+            prototype: self.prototype.clone(),
+            service_attr,
+        }
     }
 
     /// Identity key used for display and lookup: `prototype[service_attr]`,
@@ -63,7 +69,10 @@ impl BindingPattern {
     /// `sendMessage[messenger] ( address, text ) : ( sent )`.
     pub fn to_ddl(&self) -> String {
         let names = |s: &crate::prototype::RelationSchema| {
-            s.names().map(|a| a.to_string()).collect::<Vec<_>>().join(", ")
+            s.names()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         };
         format!(
             "{}[{}] ( {} ) : ( {} )",
@@ -102,9 +111,15 @@ mod tests {
     #[test]
     fn ddl_matches_table_2() {
         let bp = BindingPattern::new(examples::send_message(), "messenger");
-        assert_eq!(bp.to_ddl(), "sendMessage[messenger] ( address, text ) : ( sent )");
+        assert_eq!(
+            bp.to_ddl(),
+            "sendMessage[messenger] ( address, text ) : ( sent )"
+        );
         let bp = BindingPattern::new(examples::check_photo(), "camera");
-        assert_eq!(bp.to_ddl(), "checkPhoto[camera] ( area ) : ( quality, delay )");
+        assert_eq!(
+            bp.to_ddl(),
+            "checkPhoto[camera] ( area ) : ( quality, delay )"
+        );
     }
 
     #[test]

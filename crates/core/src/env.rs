@@ -105,13 +105,11 @@ impl Environment {
 
     /// Replace the *contents* of an existing relation (schema must stay
     /// compatible). Used by discovery queries and the table manager.
-    pub fn replace_relation(
-        &mut self,
-        name: &str,
-        relation: XRelation,
-    ) -> Result<(), SchemaError> {
+    pub fn replace_relation(&mut self, name: &str, relation: XRelation) -> Result<(), SchemaError> {
         match self.relations.get_mut(name) {
-            None => Err(SchemaError::DuplicateRelation(format!("{name} (not defined)"))),
+            None => Err(SchemaError::DuplicateRelation(format!(
+                "{name} (not defined)"
+            ))),
             Some(slot) => {
                 *slot = relation;
                 Ok(())
@@ -256,9 +254,12 @@ mod tests {
         let empty = XRelation::empty(env.relation("contacts").unwrap().schema_ref());
         env.replace_relation("contacts", empty).unwrap();
         assert_eq!(env.relation("contacts").unwrap().len(), 0);
-        assert!(env.replace_relation("ghost", XRelation::empty(
-            crate::schema::examples::contacts_schema(),
-        )).is_err());
+        assert!(env
+            .replace_relation(
+                "ghost",
+                XRelation::empty(crate::schema::examples::contacts_schema(),)
+            )
+            .is_err());
 
         assert!(env.drop_relation("contacts").is_some());
         assert!(env.relation("contacts").is_none());

@@ -106,14 +106,8 @@ mod tests {
     fn q2_and_q2_prime_equivalent_example_7() {
         let env = example_environment();
         let reg = example_registry();
-        let report = check_over_instants(
-            &q2(),
-            &q2_prime(),
-            &env,
-            &reg,
-            (0..10).map(Instant),
-        )
-        .unwrap();
+        let report =
+            check_over_instants(&q2(), &q2_prime(), &env, &reg, (0..10).map(Instant)).unwrap();
         assert!(report.equivalent());
         assert_eq!(report.action_counts, (0, 0));
     }

@@ -318,11 +318,19 @@ impl fmt::Display for EvalError {
                 f,
                 "service `{service}` does not implement prototype `{prototype}`"
             ),
-            EvalError::InvocationFailed { service, prototype, reason } => write!(
+            EvalError::InvocationFailed {
+                service,
+                prototype,
+                reason,
+            } => write!(
                 f,
                 "invocation of `{prototype}` on `{service}` failed: {reason}"
             ),
-            EvalError::MalformedInvocationResult { service, prototype, detail } => write!(
+            EvalError::MalformedInvocationResult {
+                service,
+                prototype,
+                detail,
+            } => write!(
                 f,
                 "service `{service}` returned malformed result for `{prototype}`: {detail}"
             ),
@@ -377,7 +385,9 @@ mod tests {
     fn display_plan_and_eval_errors() {
         let p = PlanError::SelectionOnVirtual(AttrName::new("photo"));
         assert!(p.to_string().contains("photo"));
-        let e = EvalError::UnknownService { reference: "cam9".into() };
+        let e = EvalError::UnknownService {
+            reference: "cam9".into(),
+        };
         assert!(e.to_string().contains("cam9"));
     }
 }

@@ -45,6 +45,14 @@ pub fn evaluate(
 /// An [`Invoker`] decorator counting invocations per prototype — the
 /// instrument behind the optimizer benchmarks (how many service calls did a
 /// plan actually make?).
+///
+/// Like every [`Invoker`], this type is `Send + Sync` and safe to call from
+/// several threads at once: the counters live behind a mutex, so when
+/// parallel β ([`ExecOptions::invoke_parallelism`]) fans one batch across a
+/// worker pool, each concurrent call still increments exactly once and no
+/// count is lost.
+///
+/// [`ExecOptions::invoke_parallelism`]: crate::physical::ExecOptions
 pub struct CountingInvoker<'a> {
     inner: &'a dyn Invoker,
     counts: crate::sync::Mutex<std::collections::BTreeMap<String, u64>>,
@@ -53,7 +61,10 @@ pub struct CountingInvoker<'a> {
 impl<'a> CountingInvoker<'a> {
     /// Wrap an invoker.
     pub fn new(inner: &'a dyn Invoker) -> Self {
-        CountingInvoker { inner, counts: crate::sync::Mutex::new(Default::default()) }
+        CountingInvoker {
+            inner,
+            counts: crate::sync::Mutex::new(Default::default()),
+        }
     }
 
     /// Total number of invocations across all prototypes.
@@ -191,8 +202,10 @@ mod tests {
         // γ_{location; avg(temperature)}(β_{getTemperature[sensor]}(sensors))
         let p = Plan::relation("sensors")
             .invoke("getTemperature", "sensor")
-            .aggregate(["location"], vec![AggSpec::new(AggFun::Avg, "temperature")
-                .named("mean_temp")]);
+            .aggregate(
+                ["location"],
+                vec![AggSpec::new(AggFun::Avg, "temperature").named("mean_temp")],
+            );
         let out = evaluate(&p, &env, &reg, Instant(2)).unwrap();
         assert_eq!(out.relation.len(), 3); // corridor, office, roof
         assert!(out.actions.is_empty());
@@ -216,6 +229,8 @@ mod tests {
         let out = evaluate(&p, &env, &reg, Instant::ZERO).unwrap();
         assert!(out.relation.schema().is_real("who"));
         assert_eq!(out.relation.len(), 3);
-        assert!(out.relation.contains(&tuple!["Nicolas", "nicolas@elysee.fr"]));
+        assert!(out
+            .relation
+            .contains(&tuple!["Nicolas", "nicolas@elysee.fr"]));
     }
 }

@@ -14,18 +14,14 @@
 //! to right) — the same numbering [`explain_analyze_text`] uses to line
 //! recorded statistics back up with the plan tree.
 
-use std::time::Instant as WallClock;
-
-use crate::action::ActionSet;
 use crate::env::Environment;
 use crate::error::EvalError;
 use crate::eval::EvalOutcome;
-use crate::metrics::{ExecStats, MetricsSink, NodeId, NoopMetrics, OpKind, OpObservation};
-use crate::ops::{self, InvokeTally};
+use crate::metrics::{ExecStats, MetricsSink, NodeId, NoopMetrics, OpKind};
+use crate::physical::{ExecOptions, PhysicalPlan};
 use crate::plan::Plan;
 use crate::service::Invoker;
 use crate::time::Instant;
-use crate::xrelation::XRelation;
 
 static NOOP: NoopMetrics = NoopMetrics;
 
@@ -40,12 +36,20 @@ pub struct ExecContext<'a> {
     pub at: Instant,
     /// Observation sink ([`NoopMetrics`] by default).
     pub metrics: &'a dyn MetricsSink,
+    /// Execution knobs (β parallelism; serial by default).
+    pub options: ExecOptions,
 }
 
 impl<'a> ExecContext<'a> {
     /// Context with the default (discarding) metrics sink.
     pub fn new(env: &'a Environment, invoker: &'a dyn Invoker, at: Instant) -> Self {
-        ExecContext { env, invoker, at, metrics: &NOOP }
+        ExecContext {
+            env,
+            invoker,
+            at,
+            metrics: &NOOP,
+            options: ExecOptions::default(),
+        }
     }
 
     /// Context reporting every operator application to `metrics`.
@@ -55,153 +59,32 @@ impl<'a> ExecContext<'a> {
         at: Instant,
         metrics: &'a dyn MetricsSink,
     ) -> Self {
-        ExecContext { env, invoker, at, metrics }
-    }
-
-    /// Evaluate `plan`, reporting one observation per operator to the
-    /// context's sink. Node ids are assigned in pre-order.
-    pub fn execute(&self, plan: &Plan) -> Result<EvalOutcome, EvalError> {
-        let mut actions = ActionSet::new();
-        let mut next_id = 0usize;
-        let relation = self.eval_node(plan, &mut next_id, &mut actions)?;
-        Ok(EvalOutcome { relation, actions })
-    }
-
-    fn eval_node(
-        &self,
-        plan: &Plan,
-        next_id: &mut usize,
-        actions: &mut ActionSet,
-    ) -> Result<XRelation, EvalError> {
-        let mut obs = OpObservation::new(NodeId(*next_id), OpKind::of_plan(plan));
-        *next_id += 1;
-
-        // Children evaluate first (recording their own observations); the
-        // operator application itself is then timed, so `elapsed` is
-        // self-time, not subtree time.
-        let result = match plan {
-            Plan::Relation(name) => {
-                let started = WallClock::now();
-                let r = self.env.relation(name).cloned().ok_or_else(|| {
-                    EvalError::Plan(crate::error::PlanError::UnknownRelation(name.clone()))
-                });
-                obs.elapsed = started.elapsed();
-                r
-            }
-            Plan::Union(a, b) => {
-                let ra = self.eval_node(a, next_id, actions)?;
-                let rb = self.eval_node(b, next_id, actions)?;
-                obs.tuples_in = (ra.len() + rb.len()) as u64;
-                let started = WallClock::now();
-                let r = ops::union(&ra, &rb).map_err(EvalError::from);
-                obs.elapsed = started.elapsed();
-                r
-            }
-            Plan::Intersect(a, b) => {
-                let ra = self.eval_node(a, next_id, actions)?;
-                let rb = self.eval_node(b, next_id, actions)?;
-                obs.tuples_in = (ra.len() + rb.len()) as u64;
-                let started = WallClock::now();
-                let r = ops::intersect(&ra, &rb).map_err(EvalError::from);
-                obs.elapsed = started.elapsed();
-                r
-            }
-            Plan::Difference(a, b) => {
-                let ra = self.eval_node(a, next_id, actions)?;
-                let rb = self.eval_node(b, next_id, actions)?;
-                obs.tuples_in = (ra.len() + rb.len()) as u64;
-                let started = WallClock::now();
-                let r = ops::difference(&ra, &rb).map_err(EvalError::from);
-                obs.elapsed = started.elapsed();
-                r
-            }
-            Plan::Project(p, attrs) => {
-                let r = self.eval_node(p, next_id, actions)?;
-                obs.tuples_in = r.len() as u64;
-                let started = WallClock::now();
-                let out = ops::project(&r, attrs).map_err(EvalError::from);
-                obs.elapsed = started.elapsed();
-                out
-            }
-            Plan::Select(p, f) => {
-                let r = self.eval_node(p, next_id, actions)?;
-                obs.tuples_in = r.len() as u64;
-                let started = WallClock::now();
-                let out = ops::select(&r, f);
-                obs.elapsed = started.elapsed();
-                out
-            }
-            Plan::Rename(p, from, to) => {
-                let r = self.eval_node(p, next_id, actions)?;
-                obs.tuples_in = r.len() as u64;
-                let started = WallClock::now();
-                let out = ops::rename(&r, from, to).map_err(EvalError::from);
-                obs.elapsed = started.elapsed();
-                out
-            }
-            Plan::Join(a, b) => {
-                let ra = self.eval_node(a, next_id, actions)?;
-                let rb = self.eval_node(b, next_id, actions)?;
-                obs.tuples_in = (ra.len() + rb.len()) as u64;
-                let started = WallClock::now();
-                let r = ops::join(&ra, &rb).map_err(EvalError::from);
-                obs.elapsed = started.elapsed();
-                r
-            }
-            Plan::Assign(p, attr, src) => {
-                let r = self.eval_node(p, next_id, actions)?;
-                obs.tuples_in = r.len() as u64;
-                let started = WallClock::now();
-                let out = ops::assign(&r, attr, src).map_err(EvalError::from);
-                obs.elapsed = started.elapsed();
-                out
-            }
-            Plan::Invoke(p, proto, service_attr) => {
-                let r = self.eval_node(p, next_id, actions)?;
-                obs.tuples_in = r.len() as u64;
-                let mut tally = InvokeTally::default();
-                let started = WallClock::now();
-                let out = ops::invoke_observed(
-                    &r,
-                    proto,
-                    service_attr.as_str(),
-                    self.invoker,
-                    self.at,
-                    actions,
-                    &mut tally,
-                );
-                obs.elapsed = started.elapsed();
-                obs.invocations = tally.invocations;
-                obs.cache_misses = tally.invocations;
-                obs.failures = tally.failures;
-                out
-            }
-            Plan::Aggregate(p, group, aggs) => {
-                let r = self.eval_node(p, next_id, actions)?;
-                obs.tuples_in = r.len() as u64;
-                let started = WallClock::now();
-                let out = ops::aggregate(&r, group, aggs);
-                obs.elapsed = started.elapsed();
-                out
-            }
-        };
-
-        match result {
-            Ok(r) => {
-                obs.tuples_out = r.len() as u64;
-                self.metrics.record(&obs);
-                Ok(r)
-            }
-            Err(e) => {
-                // Invocation failures are already tallied; everything else
-                // counts as one failed application of this operator.
-                if obs.failures == 0 {
-                    obs.failures = 1;
-                }
-                self.metrics.record(&obs);
-                Err(e)
-            }
+        ExecContext {
+            env,
+            invoker,
+            at,
+            metrics,
+            options: ExecOptions::default(),
         }
+    }
+
+    /// Replace the execution options (builder style).
+    pub fn with_options(mut self, options: ExecOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Evaluate `plan`: compile it against the context's environment
+    /// ([`PhysicalPlan::compile`]) and execute the compiled form, reporting
+    /// one observation per operator to the context's sink. Node ids are
+    /// assigned in pre-order.
+    ///
+    /// Callers evaluating the same plan repeatedly should compile once and
+    /// call [`PhysicalPlan::execute`] directly; this convenience wrapper
+    /// recompiles on every call.
+    pub fn execute(&self, plan: &Plan) -> Result<EvalOutcome, EvalError> {
+        let physical = PhysicalPlan::compile(plan, self.env).map_err(EvalError::from)?;
+        physical.execute(self)
     }
 }
 
@@ -269,7 +152,9 @@ mod tests {
         let reg = example_registry();
         for plan in [q1(), q2()] {
             for t in 0..4 {
-                let a = ExecContext::new(&env, &reg, Instant(t)).execute(&plan).unwrap();
+                let a = ExecContext::new(&env, &reg, Instant(t))
+                    .execute(&plan)
+                    .unwrap();
                 let b = evaluate(&plan, &env, &reg, Instant(t)).unwrap();
                 assert_eq!(a.relation, b.relation);
                 assert_eq!(a.actions, b.actions);
@@ -328,7 +213,9 @@ mod tests {
             .select(Formula::eq_const("messenger", "email"))
             .union(Plan::relation("contacts"));
         let stats = ExecStats::new();
-        ExecContext::with_metrics(&env, &reg, Instant::ZERO, &stats).execute(&plan).unwrap();
+        ExecContext::with_metrics(&env, &reg, Instant::ZERO, &stats)
+            .execute(&plan)
+            .unwrap();
         let union = stats.node(NodeId(0)).unwrap();
         assert_eq!(union.op, OpKind::Union);
         // contacts has 3 rows; 2 use email
@@ -350,7 +237,9 @@ mod tests {
         assert_eq!(stats.total_failures(), 1);
         assert_eq!(stats.total_invocations(), 1);
         // the noop path still errors identically
-        assert!(ExecContext::new(&env, &empty, Instant::ZERO).execute(&q1()).is_err());
+        assert!(ExecContext::new(&env, &empty, Instant::ZERO)
+            .execute(&q1())
+            .is_err());
     }
 
     #[test]
@@ -361,14 +250,19 @@ mod tests {
             .select(Formula::eq_const("area", "office"))
             .invoke("checkPhoto", "camera");
         let stats = ExecStats::new();
-        ExecContext::with_metrics(&env, &reg, Instant(0), &stats).execute(&plan).unwrap();
+        ExecContext::with_metrics(&env, &reg, Instant(0), &stats)
+            .execute(&plan)
+            .unwrap();
         let text = explain_analyze_text(&plan, &stats);
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("Invoke checkPhoto[camera]"), "{text}");
         assert!(lines[0].contains("invocations=2"), "{text}");
         assert!(lines[1].trim_start().starts_with("Select"), "{text}");
-        assert!(lines[2].trim_start().starts_with("Relation cameras"), "{text}");
+        assert!(
+            lines[2].trim_start().starts_with("Relation cameras"),
+            "{text}"
+        );
         // a node never executed renders as such
         let cold = ExecStats::new();
         let cold_text = explain_analyze_text(&plan, &cold);

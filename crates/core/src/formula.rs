@@ -344,7 +344,11 @@ impl Formula {
             Formula::True => Formula::True,
             Formula::False => Formula::False,
             Formula::Contains(a, needle) => {
-                let a = if a.as_str() == from { to.clone() } else { a.clone() };
+                let a = if a.as_str() == from {
+                    to.clone()
+                } else {
+                    a.clone()
+                };
                 Formula::Contains(a, needle.clone())
             }
             Formula::Cmp(l, op, r) => Formula::Cmp(fix(l), *op, fix(r)),
@@ -365,7 +369,9 @@ impl Formula {
     /// idiom: hoist invariant work out of the per-tuple loop).
     pub fn compile(&self, schema: &XSchema) -> Result<CompiledFormula, PlanError> {
         self.validate(schema)?;
-        Ok(CompiledFormula { prog: CompiledNode::build(self, schema) })
+        Ok(CompiledFormula {
+            prog: CompiledNode::build(self, schema),
+        })
     }
 }
 
@@ -415,9 +421,9 @@ enum CompiledNode {
 impl CompiledNode {
     fn build(f: &Formula, schema: &XSchema) -> CompiledNode {
         let cexpr = |e: &Expr| match e {
-            Expr::Attr(a) => CompiledExpr::Coord(
-                schema.coord_of(a.as_str()).expect("validated: real attr"),
-            ),
+            Expr::Attr(a) => {
+                CompiledExpr::Coord(schema.coord_of(a.as_str()).expect("validated: real attr"))
+            }
             Expr::Const(v) => CompiledExpr::Const(v.clone()),
         };
         match f {
@@ -566,8 +572,7 @@ mod tests {
     #[test]
     fn compiled_formula_agrees_with_interpreted() {
         let s = contacts_schema();
-        let f = Formula::ne_const("name", "Carla")
-            .and(Formula::eq_const("messenger", "email"));
+        let f = Formula::ne_const("name", "Carla").and(Formula::eq_const("messenger", "email"));
         let c = f.compile(&s).unwrap();
         for t in crate::xrelation::examples::contacts().iter() {
             assert_eq!(c.matches(t).unwrap(), f.eval(&s, t).unwrap());

@@ -58,6 +58,7 @@ pub mod exec;
 pub mod formula;
 pub mod metrics;
 pub mod ops;
+pub mod physical;
 pub mod plan;
 pub mod prototype;
 pub mod rewrite;
@@ -82,6 +83,7 @@ pub mod prelude {
     pub use crate::metrics::{
         ExecStats, MetricsSink, NodeId, NodeStats, NoopMetrics, OpKind, OpObservation,
     };
+    pub use crate::physical::{ExecOptions, PhysicalPlan};
     pub use crate::plan::Plan;
     pub use crate::prototype::{Prototype, RelationSchema};
     pub use crate::schema::{AttrKind, Attribute, SchemaRef, XSchema};

@@ -318,7 +318,9 @@ impl ExecStats {
 
 impl Clone for ExecStats {
     fn clone(&self) -> Self {
-        ExecStats { nodes: Mutex::new(self.nodes.lock().clone()) }
+        ExecStats {
+            nodes: Mutex::new(self.nodes.lock().clone()),
+        }
     }
 }
 

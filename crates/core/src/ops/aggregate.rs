@@ -111,7 +111,9 @@ pub fn aggregate_schema(
     aggs: &[AggSpec],
 ) -> Result<SchemaRef, PlanError> {
     if aggs.is_empty() {
-        return Err(PlanError::Aggregate("at least one aggregate required".into()));
+        return Err(PlanError::Aggregate(
+            "at least one aggregate required".into(),
+        ));
     }
     let mut attrs = Vec::with_capacity(group.len() + aggs.len());
     for g in group {
@@ -145,7 +147,10 @@ pub fn aggregate_schema(
                 )))
             }
         };
-        attrs.push(Attribute::real(spec.as_name.clone(), spec.fun.output_type(input_ty)?));
+        attrs.push(Attribute::real(
+            spec.as_name.clone(),
+            spec.fun.output_type(input_ty)?,
+        ));
     }
     XSchema::from_attrs(attrs, Vec::new()).map_err(PlanError::Schema)
 }
@@ -161,7 +166,14 @@ struct Accumulator {
 
 impl Accumulator {
     fn new(fun: AggFun) -> Self {
-        Accumulator { fun, count: 0, sum: 0.0, int_only: true, min: None, max: None }
+        Accumulator {
+            fun,
+            count: 0,
+            sum: 0.0,
+            int_only: true,
+            min: None,
+            max: None,
+        }
     }
 
     fn push(&mut self, v: &Value) {
@@ -172,15 +184,17 @@ impl Accumulator {
         if !matches!(v, Value::Int(_)) {
             self.int_only = false;
         }
-        let better_min = self.min.as_ref().is_none_or(|m| {
-            v.partial_cmp_typed(m) == Some(std::cmp::Ordering::Less)
-        });
+        let better_min = self
+            .min
+            .as_ref()
+            .is_none_or(|m| v.partial_cmp_typed(m) == Some(std::cmp::Ordering::Less));
         if better_min {
             self.min = Some(v.clone());
         }
-        let better_max = self.max.as_ref().is_none_or(|m| {
-            v.partial_cmp_typed(m) == Some(std::cmp::Ordering::Greater)
-        });
+        let better_max = self
+            .max
+            .as_ref()
+            .is_none_or(|m| v.partial_cmp_typed(m) == Some(std::cmp::Ordering::Greater));
         if better_max {
             self.max = Some(v.clone());
         }
@@ -313,12 +327,7 @@ mod tests {
     #[test]
     fn group_attr_must_be_real() {
         let c = crate::xrelation::examples::contacts();
-        assert!(aggregate(
-            &c,
-            &[attr("sent")],
-            &[AggSpec::new(AggFun::Count, "name")]
-        )
-        .is_err());
+        assert!(aggregate(&c, &[attr("sent")], &[AggSpec::new(AggFun::Count, "name")]).is_err());
     }
 
     #[test]
@@ -331,8 +340,12 @@ mod tests {
     #[test]
     fn empty_input_yields_empty_output() {
         let r = XRelation::empty(readings().schema_ref());
-        let out = aggregate(&r, &[attr("location")], &[AggSpec::new(AggFun::Avg, "temperature")])
-            .unwrap();
+        let out = aggregate(
+            &r,
+            &[attr("location")],
+            &[AggSpec::new(AggFun::Avg, "temperature")],
+        )
+        .unwrap();
         assert!(out.is_empty());
     }
 

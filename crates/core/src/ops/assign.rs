@@ -85,7 +85,11 @@ pub fn assign_schema(
         .iter()
         .map(|a| {
             if a.name == *target {
-                Attribute { name: a.name.clone(), ty: a.ty, kind: AttrKind::Real }
+                Attribute {
+                    name: a.name.clone(),
+                    ty: a.ty,
+                    kind: AttrKind::Real,
+                }
             } else {
                 a.clone()
             }
@@ -163,7 +167,13 @@ mod tests {
         let c = contacts();
         let a = assign(&c, &attr("text"), &AssignSource::constant("Bonjour!")).unwrap();
         assert!(a.schema().is_real("text"));
-        assert_eq!(a.schema().virtual_name_set().into_iter().collect::<Vec<_>>(), vec!["sent"]);
+        assert_eq!(
+            a.schema()
+                .virtual_name_set()
+                .into_iter()
+                .collect::<Vec<_>>(),
+            vec!["sent"]
+        );
         // sendMessage's output is {sent}, untouched → BP survives
         assert_eq!(a.schema().binding_patterns().len(), 1);
         assert_eq!(a.len(), 3);

@@ -11,6 +11,8 @@
 //! Invocations of *active* binding patterns are recorded in the query's
 //! [`ActionSet`] (Definition 8).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use crate::action::{Action, ActionSet};
 use crate::binding::BindingPattern;
 use crate::error::{EvalError, PlanError};
@@ -18,6 +20,7 @@ use crate::schema::{AttrKind, Attribute, SchemaRef, XSchema};
 use crate::service::Invoker;
 use crate::time::Instant;
 use crate::tuple::Tuple;
+use crate::value::ServiceRef;
 use crate::xrelation::XRelation;
 
 /// Resolve the binding pattern named by `(prototype, service_attr)` on
@@ -33,7 +36,9 @@ pub fn invoke_schema(
     let bp = schema
         .find_bp_exact(prototype, service_attr)
         .cloned()
-        .ok_or_else(|| PlanError::UnknownBindingPattern { prototype: prototype.to_string() })?;
+        .ok_or_else(|| PlanError::UnknownBindingPattern {
+            prototype: prototype.to_string(),
+        })?;
     // All prototype inputs must be real.
     for a in bp.prototype().input().names() {
         if !schema.is_real(a.as_str()) {
@@ -43,13 +48,22 @@ pub fn invoke_schema(
             });
         }
     }
-    let outputs: Vec<&str> = bp.prototype().output().names().map(|a| a.as_str()).collect();
+    let outputs: Vec<&str> = bp
+        .prototype()
+        .output()
+        .names()
+        .map(|a| a.as_str())
+        .collect();
     let attrs: Vec<Attribute> = schema
         .attrs()
         .iter()
         .map(|a| {
             if outputs.contains(&a.name.as_str()) {
-                Attribute { name: a.name.clone(), ty: a.ty, kind: AttrKind::Real }
+                Attribute {
+                    name: a.name.clone(),
+                    ty: a.ty,
+                    kind: AttrKind::Real,
+                }
             } else {
                 a.clone()
             }
@@ -96,7 +110,15 @@ pub fn invoke(
     at: Instant,
     actions: &mut ActionSet,
 ) -> Result<XRelation, EvalError> {
-    invoke_observed(r, prototype, service_attr, invoker, at, actions, &mut InvokeTally::default())
+    invoke_observed(
+        r,
+        prototype,
+        service_attr,
+        invoker,
+        at,
+        actions,
+        &mut InvokeTally::default(),
+    )
 }
 
 /// [`invoke`], additionally reporting invocation counts through `tally`.
@@ -112,10 +134,260 @@ pub fn invoke_observed(
     actions: &mut ActionSet,
     tally: &mut InvokeTally,
 ) -> Result<XRelation, EvalError> {
-    let (out_schema, bp) = invoke_schema(r.schema(), prototype, service_attr)?;
-    let tuples =
-        invoke_delta_observed(r.schema(), &out_schema, &bp, r.iter(), invoker, at, actions, tally)?;
-    Ok(XRelation::from_tuples(out_schema, tuples))
+    let recipe = InvokeRecipe::prepare(r.schema(), prototype, service_attr)?;
+    let tuples = recipe.invoke_serial(r.iter(), invoker, at, actions, tally)?;
+    Ok(XRelation::from_tuples(recipe.out_schema().clone(), tuples))
+}
+
+/// Where one slot of a β output tuple comes from: carried over from the
+/// input tuple, or produced by the invocation result.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// Coordinate in the input tuple.
+    Carry(usize),
+    /// Index in the invocation result tuple (`Output_ψ` order).
+    Fresh(usize),
+}
+
+/// Everything `β_bp(r)` needs per call, resolved **once** against the input
+/// schema: the input-projection coordinates, the service-reference
+/// coordinate, and the output-assembly recipe. Historically all of this was
+/// re-derived on every δ-batch of every tick; an `InvokeRecipe` is computed
+/// at plan-compile time and reused by both the one-shot physical executor
+/// and the continuous executor.
+#[derive(Debug, Clone)]
+pub struct InvokeRecipe {
+    bp: BindingPattern,
+    out_schema: SchemaRef,
+    /// Prototype input attributes, as input-tuple coordinates (Input_ψ order).
+    input_coords: Vec<usize>,
+    /// Coordinate of the service-reference attribute in the input tuple.
+    service_coord: usize,
+    /// One entry per real attribute of the output schema.
+    slots: Vec<Slot>,
+}
+
+/// The raw outcome of one prepared-and-invoked input tuple, produced by
+/// [`InvokeRecipe::call_batch`]: the resolved service reference, the
+/// projected input (both needed to record an [`Action`]) and the
+/// invocation's result.
+#[derive(Debug)]
+pub struct TupleCall {
+    /// The service the tuple's service attribute referenced.
+    pub sref: ServiceRef,
+    /// The prototype input projected from the tuple.
+    pub input: Tuple,
+    /// What the invoker returned.
+    pub result: Result<Vec<Tuple>, EvalError>,
+}
+
+impl InvokeRecipe {
+    /// Resolve `(prototype, service_attr)` on `in_schema` and pre-compute
+    /// the full invocation recipe (schema derivation + coordinate maps).
+    pub fn prepare(
+        in_schema: &XSchema,
+        prototype: &str,
+        service_attr: &str,
+    ) -> Result<InvokeRecipe, PlanError> {
+        let (out_schema, bp) = invoke_schema(in_schema, prototype, service_attr)?;
+        Ok(InvokeRecipe::from_parts(in_schema, out_schema, bp))
+    }
+
+    /// Build a recipe from an already-derived output schema and binding
+    /// pattern (the pieces [`invoke_schema`] returns).
+    pub fn from_parts(in_schema: &XSchema, out_schema: SchemaRef, bp: BindingPattern) -> Self {
+        let proto = bp.prototype();
+        let input_coords: Vec<usize> = proto
+            .input()
+            .names()
+            .map(|a| in_schema.coord_of(a.as_str()).expect("validated real"))
+            .collect();
+        let service_coord = in_schema
+            .coord_of(bp.service_attr().as_str())
+            .expect("validated real");
+        let slots: Vec<Slot> = out_schema
+            .attrs()
+            .iter()
+            .filter(|a| a.is_real())
+            .map(|a| match proto.output().index_of(a.name.as_str()) {
+                Some(i) => Slot::Fresh(i),
+                None => Slot::Carry(in_schema.coord_of(a.name.as_str()).expect("was real")),
+            })
+            .collect();
+        InvokeRecipe {
+            bp,
+            out_schema,
+            input_coords,
+            service_coord,
+            slots,
+        }
+    }
+
+    /// The derived output schema of `β_bp(r)`.
+    pub fn out_schema(&self) -> &SchemaRef {
+        &self.out_schema
+    }
+
+    /// The resolved binding pattern.
+    pub fn binding_pattern(&self) -> &BindingPattern {
+        &self.bp
+    }
+
+    /// Extract the service reference and projected prototype input from one
+    /// input tuple. Fails (without invoking anything) when the service
+    /// attribute does not hold a service reference.
+    pub fn prepare_call(&self, t: &Tuple) -> Result<(ServiceRef, Tuple), EvalError> {
+        let sref = t[self.service_coord].as_service_ref().ok_or_else(|| {
+            EvalError::Value(format!(
+                "attribute `{}` does not hold a service reference: {}",
+                self.bp.service_attr(),
+                t[self.service_coord]
+            ))
+        })?;
+        Ok((sref, t.project_positions(&self.input_coords)))
+    }
+
+    /// Extend `out` with one output tuple per invocation result row,
+    /// duplicating the input tuple per the pre-resolved slot recipe.
+    pub fn assemble_into(&self, t: &Tuple, results: &[Tuple], out: &mut Vec<Tuple>) {
+        for o in results {
+            let new_t: Tuple = self
+                .slots
+                .iter()
+                .map(|s| match s {
+                    Slot::Carry(c) => t[*c].clone(),
+                    Slot::Fresh(i) => o[*i].clone(),
+                })
+                .collect();
+            out.push(new_t);
+        }
+    }
+
+    /// Prepare and invoke every tuple of the batch, fanning the live
+    /// invocations across at most `parallelism` worker threads (serial when
+    /// `parallelism <= 1`). The returned outcomes are **in input order**:
+    /// entry `i` belongs to `tuples[i]`. A `Err` entry means the tuple's
+    /// service reference could not be extracted (nothing was invoked); an
+    /// `Ok` entry carries the invocation's own result.
+    ///
+    /// Every tuple is invoked regardless of other tuples' failures; callers
+    /// wanting serial stop-at-first-failure semantics fold the outcomes in
+    /// order (see [`InvokeRecipe::invoke_batch_observed`]).
+    pub fn call_batch(
+        &self,
+        tuples: &[&Tuple],
+        invoker: &dyn Invoker,
+        at: Instant,
+        parallelism: usize,
+    ) -> Vec<Result<TupleCall, EvalError>> {
+        let call_one = |t: &Tuple| -> Result<TupleCall, EvalError> {
+            let (sref, input) = self.prepare_call(t)?;
+            let result = invoker.invoke(self.bp.prototype(), &sref, &input, at);
+            Ok(TupleCall {
+                sref,
+                input,
+                result,
+            })
+        };
+        let workers = parallelism.min(tuples.len());
+        if workers <= 1 {
+            return tuples.iter().map(|t| call_one(t)).collect();
+        }
+        // Bounded worker pool over a shared cursor: each worker claims the
+        // next unclaimed index, invokes outside any lock, and writes its
+        // outcome back into the tuple's slot — results stay in input order.
+        let mut results: Vec<Option<Result<TupleCall, EvalError>>> = Vec::new();
+        results.resize_with(tuples.len(), || None);
+        let slots = crate::sync::Mutex::new(&mut results);
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= tuples.len() {
+                        break;
+                    }
+                    let outcome = call_one(tuples[i]);
+                    slots.lock()[i] = Some(outcome);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every index was claimed by a worker"))
+            .collect()
+    }
+
+    /// Serial β over `tuples` with the paper's §3.2 one-shot semantics:
+    /// tuples are processed in order, active invocations are recorded in
+    /// `actions` *before* invoking, and the first failure aborts the batch
+    /// (the tally still counts the failed attempt).
+    pub fn invoke_serial<'a>(
+        &self,
+        tuples: impl Iterator<Item = &'a Tuple>,
+        invoker: &dyn Invoker,
+        at: Instant,
+        actions: &mut ActionSet,
+        tally: &mut InvokeTally,
+    ) -> Result<Vec<Tuple>, EvalError> {
+        let mut out = Vec::new();
+        for t in tuples {
+            let (sref, input) = self.prepare_call(t)?;
+            if self.bp.is_active() {
+                actions.record(Action::new(self.bp.clone(), sref.clone(), input.clone()));
+            }
+            tally.invocations += 1;
+            match invoker.invoke(self.bp.prototype(), &sref, &input, at) {
+                Ok(results) => self.assemble_into(t, &results, &mut out),
+                Err(e) => {
+                    tally.failures += 1;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// β over a batch with observable behaviour **identical** to
+    /// [`InvokeRecipe::invoke_serial`] — same output tuples in the same
+    /// order, same action set, same tally, same first-failure error — but
+    /// with the live invocations fanned across up to `parallelism` worker
+    /// threads. With `parallelism <= 1` this *is* the serial path.
+    ///
+    /// On a failure the parallel path may have invoked tuples past the
+    /// failing one (they were already in flight); their results are
+    /// discarded and neither the action set nor the tally observes them,
+    /// exactly as if execution had stopped at the failure.
+    pub fn invoke_batch_observed(
+        &self,
+        tuples: &[&Tuple],
+        invoker: &dyn Invoker,
+        at: Instant,
+        parallelism: usize,
+        actions: &mut ActionSet,
+        tally: &mut InvokeTally,
+    ) -> Result<Vec<Tuple>, EvalError> {
+        if parallelism <= 1 {
+            return self.invoke_serial(tuples.iter().copied(), invoker, at, actions, tally);
+        }
+        let outcomes = self.call_batch(tuples, invoker, at, parallelism);
+        let mut out = Vec::new();
+        for (t, outcome) in tuples.iter().zip(outcomes) {
+            let call = outcome?;
+            if self.bp.is_active() {
+                actions.record(Action::new(self.bp.clone(), call.sref, call.input));
+            }
+            tally.invocations += 1;
+            match call.result {
+                Ok(results) => self.assemble_into(t, &results, &mut out),
+                Err(e) => {
+                    tally.failures += 1;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// The tuple-level core of β, shared with the continuous executor (§4.2:
@@ -157,73 +429,17 @@ pub fn invoke_delta_observed<'a>(
     actions: &mut ActionSet,
     tally: &mut InvokeTally,
 ) -> Result<Vec<Tuple>, EvalError> {
-    let proto = bp.prototype();
-    // Input projection: prototype input attributes, in Input_ψ order.
-    let input_coords: Vec<usize> = proto
-        .input()
-        .names()
-        .map(|a| in_schema.coord_of(a.as_str()).expect("validated real"))
-        .collect();
-    let service_coord = in_schema
-        .coord_of(bp.service_attr().as_str())
-        .expect("validated real");
-    // Output recipe: each real attribute of the output schema comes either
-    // from the input tuple or from the invocation result.
-    enum Src {
-        Old(usize),
-        Out(usize),
-    }
-    let recipe: Vec<Src> = out_schema
-        .attrs()
-        .iter()
-        .filter(|a| a.is_real())
-        .map(|a| match proto.output().index_of(a.name.as_str()) {
-            Some(i) => Src::Out(i),
-            None => Src::Old(in_schema.coord_of(a.name.as_str()).expect("was real")),
-        })
-        .collect();
-
-    let mut out = Vec::new();
-    for t in tuples {
-        let sref = t[service_coord].as_service_ref().ok_or_else(|| {
-            EvalError::Value(format!(
-                "attribute `{}` does not hold a service reference: {}",
-                bp.service_attr(),
-                t[service_coord]
-            ))
-        })?;
-        let input = t.project_positions(&input_coords);
-        if bp.is_active() {
-            actions.record(Action::new(bp.clone(), sref.clone(), input.clone()));
-        }
-        tally.invocations += 1;
-        let results = match invoker.invoke(proto, &sref, &input, at) {
-            Ok(results) => results,
-            Err(e) => {
-                tally.failures += 1;
-                return Err(e);
-            }
-        };
-        for o in &results {
-            let new_t: Tuple = recipe
-                .iter()
-                .map(|s| match s {
-                    Src::Old(c) => t[*c].clone(),
-                    Src::Out(i) => o[*i].clone(),
-                })
-                .collect();
-            out.push(new_t);
-        }
-    }
-    Ok(out)
+    let recipe =
+        InvokeRecipe::from_parts(in_schema, SchemaRef::new(out_schema.clone()), bp.clone());
+    recipe.invoke_serial(tuples, invoker, at, actions, tally)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::{assign, select, AssignSource};
     use crate::attr::attr;
     use crate::formula::Formula;
+    use crate::ops::{assign, select, AssignSource};
     use crate::service::fixtures::example_registry;
     use crate::tuple;
     use crate::value::Value;
@@ -268,8 +484,15 @@ mod tests {
         let step1 = select(&contacts(), &Formula::ne_const("name", "Carla")).unwrap();
         let step2 = assign(&step1, &attr("text"), &AssignSource::constant("Bonjour!")).unwrap();
         let mut actions = ActionSet::new();
-        let out = invoke(&step2, "sendMessage", "messenger", &reg, Instant::ZERO, &mut actions)
-            .unwrap();
+        let out = invoke(
+            &step2,
+            "sendMessage",
+            "messenger",
+            &reg,
+            Instant::ZERO,
+            &mut actions,
+        )
+        .unwrap();
         assert_eq!(out.len(), 2);
         assert!(out.schema().is_real("sent"));
         // Example 6's action set for Q1:
@@ -308,11 +531,25 @@ mod tests {
         let reg = example_registry();
         let mut actions = ActionSet::new();
         assert!(matches!(
-            invoke(&contacts(), "takePhoto", "camera", &reg, Instant::ZERO, &mut actions),
+            invoke(
+                &contacts(),
+                "takePhoto",
+                "camera",
+                &reg,
+                Instant::ZERO,
+                &mut actions
+            ),
             Err(EvalError::Plan(PlanError::UnknownBindingPattern { .. }))
         ));
         assert!(matches!(
-            invoke(&contacts(), "sendMessage", "name", &reg, Instant::ZERO, &mut actions),
+            invoke(
+                &contacts(),
+                "sendMessage",
+                "name",
+                &reg,
+                Instant::ZERO,
+                &mut actions
+            ),
             Err(EvalError::Plan(PlanError::UnknownBindingPattern { .. }))
         ));
     }
@@ -323,23 +560,34 @@ mod tests {
         // quality+delay; takePhoto's input (area, quality) is then real.
         let reg = example_registry();
         let mut actions = ActionSet::new();
-        let checked = invoke(&cameras(), "checkPhoto", "camera", &reg, Instant(1), &mut actions)
-            .unwrap();
+        let checked = invoke(
+            &cameras(),
+            "checkPhoto",
+            "camera",
+            &reg,
+            Instant(1),
+            &mut actions,
+        )
+        .unwrap();
         assert!(checked.schema().is_real("quality"));
         // takePhoto survives checkPhoto's realization (photo still virtual)
         assert_eq!(checked.schema().binding_patterns().len(), 1);
-        let photos = invoke(&checked, "takePhoto", "camera", &reg, Instant(1), &mut actions)
-            .unwrap();
+        let photos = invoke(
+            &checked,
+            "takePhoto",
+            "camera",
+            &reg,
+            Instant(1),
+            &mut actions,
+        )
+        .unwrap();
         assert_eq!(photos.len(), 3);
         assert!(photos.schema().is_real("photo"));
         assert!(photos.schema().binding_patterns().is_empty());
         // both prototypes passive → no actions
         assert!(actions.is_empty());
         for t in photos.iter() {
-            let photo = photos
-                .schema()
-                .project_tuple_attr(t, "photo")
-                .unwrap();
+            let photo = photos.schema().project_tuple_attr(t, "photo").unwrap();
             assert!(matches!(photo, Value::Blob(_)));
         }
     }
@@ -353,13 +601,23 @@ mod tests {
         // a sensor that never answers (empty relation result)
         reg.register(
             "mute",
-            Arc::new(FnService::new(vec![protos::get_temperature()], |_, _, _| Ok(vec![]))),
+            Arc::new(FnService::new(
+                vec![protos::get_temperature()],
+                |_, _, _| Ok(vec![]),
+            )),
         );
         let schema = crate::schema::examples::sensors_schema();
         let r = XRelation::from_tuples(schema, vec![tuple!["mute", "cave"]]);
         let mut actions = ActionSet::new();
-        let out = invoke(&r, "getTemperature", "sensor", &reg, Instant::ZERO, &mut actions)
-            .unwrap();
+        let out = invoke(
+            &r,
+            "getTemperature",
+            "sensor",
+            &reg,
+            Instant::ZERO,
+            &mut actions,
+        )
+        .unwrap();
         assert!(out.is_empty());
     }
 
@@ -372,18 +630,28 @@ mod tests {
         // a sensor reporting two readings at once
         reg.register(
             "twin",
-            Arc::new(FnService::new(vec![protos::get_temperature()], |_, _, _| {
-                Ok(vec![
-                    Tuple::new(vec![Value::Real(20.0)]),
-                    Tuple::new(vec![Value::Real(21.0)]),
-                ])
-            })),
+            Arc::new(FnService::new(
+                vec![protos::get_temperature()],
+                |_, _, _| {
+                    Ok(vec![
+                        Tuple::new(vec![Value::Real(20.0)]),
+                        Tuple::new(vec![Value::Real(21.0)]),
+                    ])
+                },
+            )),
         );
         let schema = crate::schema::examples::sensors_schema();
         let r = XRelation::from_tuples(schema, vec![tuple!["twin", "lab"]]);
         let mut actions = ActionSet::new();
-        let out = invoke(&r, "getTemperature", "sensor", &reg, Instant::ZERO, &mut actions)
-            .unwrap();
+        let out = invoke(
+            &r,
+            "getTemperature",
+            "sensor",
+            &reg,
+            Instant::ZERO,
+            &mut actions,
+        )
+        .unwrap();
         assert_eq!(out.len(), 2);
         assert!(out.contains(&tuple!["twin", "lab", 20.0]));
         assert!(out.contains(&tuple!["twin", "lab", 21.0]));
@@ -395,8 +663,15 @@ mod tests {
         let schema = crate::schema::examples::sensors_schema();
         let r = XRelation::from_tuples(schema, vec![tuple!["sensor99", "void"]]);
         let mut actions = ActionSet::new();
-        let err = invoke(&r, "getTemperature", "sensor", &reg, Instant::ZERO, &mut actions)
-            .unwrap_err();
+        let err = invoke(
+            &r,
+            "getTemperature",
+            "sensor",
+            &reg,
+            Instant::ZERO,
+            &mut actions,
+        )
+        .unwrap_err();
         assert!(matches!(err, EvalError::UnknownService { .. }));
     }
 }

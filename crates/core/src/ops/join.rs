@@ -24,11 +24,13 @@ pub fn join_schema(s1: &XSchema, s2: &XSchema) -> Result<SchemaRef, PlanError> {
     for a in s1.attrs() {
         if let Some(b) = s2.attr_by_name(a.name.as_str()) {
             if a.ty != b.ty {
-                return Err(PlanError::Schema(crate::error::SchemaError::UrsaViolation {
-                    attr: a.name.clone(),
-                    first: a.ty,
-                    second: b.ty,
-                }));
+                return Err(PlanError::Schema(
+                    crate::error::SchemaError::UrsaViolation {
+                        attr: a.name.clone(),
+                        first: a.ty,
+                        second: b.ty,
+                    },
+                ));
             }
         }
     }
@@ -163,10 +165,7 @@ mod tests {
             .unwrap();
         XRelation::from_tuples(
             s,
-            vec![
-                tuple!["office", "Carla"],
-                tuple!["roof", "Nicolas"],
-            ],
+            vec![tuple!["office", "Carla"], tuple!["roof", "Nicolas"]],
         )
     }
 
@@ -252,7 +251,10 @@ mod tests {
     #[test]
     fn type_conflict_on_common_attr_rejected() {
         let bad = XRelation::from_tuples(
-            XSchema::builder().real("location", DataType::Int).build().unwrap(),
+            XSchema::builder()
+                .real("location", DataType::Int)
+                .build()
+                .unwrap(),
             vec![tuple![1]],
         );
         assert!(join(&sensors(), &bad).is_err());

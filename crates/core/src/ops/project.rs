@@ -87,8 +87,17 @@ mod tests {
     fn projection_reduces_both_partitions() {
         let c = contacts();
         let p = project(&c, &[attr("name"), attr("text")]).unwrap();
-        assert_eq!(p.schema().real_name_set().into_iter().collect::<Vec<_>>(), vec!["name"]);
-        assert_eq!(p.schema().virtual_name_set().into_iter().collect::<Vec<_>>(), vec!["text"]);
+        assert_eq!(
+            p.schema().real_name_set().into_iter().collect::<Vec<_>>(),
+            vec!["name"]
+        );
+        assert_eq!(
+            p.schema()
+                .virtual_name_set()
+                .into_iter()
+                .collect::<Vec<_>>(),
+            vec!["text"]
+        );
         assert_eq!(p.len(), 3);
         assert!(p.contains(&tuple!["Nicolas"]));
     }
@@ -97,8 +106,11 @@ mod tests {
     fn bp_dropped_when_service_attr_projected_away() {
         let c = contacts();
         // drop `messenger` → sendMessage[messenger] invalid
-        let p = project(&c, &[attr("name"), attr("address"), attr("text"), attr("sent")])
-            .unwrap();
+        let p = project(
+            &c,
+            &[attr("name"), attr("address"), attr("text"), attr("sent")],
+        )
+        .unwrap();
         assert!(p.schema().binding_patterns().is_empty());
     }
 
@@ -106,8 +118,11 @@ mod tests {
     fn bp_dropped_when_input_attr_projected_away() {
         let c = contacts();
         // drop `address` (input of sendMessage) → BP invalid
-        let p = project(&c, &[attr("name"), attr("messenger"), attr("text"), attr("sent")])
-            .unwrap();
+        let p = project(
+            &c,
+            &[attr("name"), attr("messenger"), attr("text"), attr("sent")],
+        )
+        .unwrap();
         assert!(p.schema().binding_patterns().is_empty());
     }
 
@@ -117,7 +132,12 @@ mod tests {
         // drop `sent` (output of sendMessage) → BP invalid
         let p = project(
             &c,
-            &[attr("name"), attr("address"), attr("messenger"), attr("text")],
+            &[
+                attr("name"),
+                attr("address"),
+                attr("messenger"),
+                attr("text"),
+            ],
         )
         .unwrap();
         assert!(p.schema().binding_patterns().is_empty());
@@ -128,7 +148,12 @@ mod tests {
         let c = contacts();
         let p = project(
             &c,
-            &[attr("address"), attr("messenger"), attr("text"), attr("sent")],
+            &[
+                attr("address"),
+                attr("messenger"),
+                attr("text"),
+                attr("sent"),
+            ],
         )
         .unwrap();
         assert_eq!(p.schema().binding_patterns().len(), 1);

@@ -30,7 +30,11 @@ pub fn rename_schema(
         .iter()
         .map(|a| {
             if a.name == *from {
-                Attribute { name: to.clone(), ty: a.ty, kind: a.kind }
+                Attribute {
+                    name: to.clone(),
+                    ty: a.ty,
+                    kind: a.kind,
+                }
             } else {
                 a.clone()
             }
@@ -44,8 +48,8 @@ pub fn rename_schema(
         .iter()
         .filter_map(|bp| {
             let proto = bp.prototype();
-            let mentions_renamed = proto.input().contains(from.as_str())
-                || proto.output().contains(from.as_str());
+            let mentions_renamed =
+                proto.input().contains(from.as_str()) || proto.output().contains(from.as_str());
             if mentions_renamed {
                 return None;
             }
@@ -98,7 +102,10 @@ mod tests {
         let s = sensors();
         let r = rename(&s, &attr("sensor"), &attr("probe")).unwrap();
         assert_eq!(r.schema().binding_patterns().len(), 1);
-        assert_eq!(r.schema().binding_patterns()[0].key(), "getTemperature[probe]");
+        assert_eq!(
+            r.schema().binding_patterns()[0].key(),
+            "getTemperature[probe]"
+        );
     }
 
     #[test]

@@ -1,0 +1,704 @@
+//! The physical execution layer: [`PhysicalPlan`].
+//!
+//! A logical [`Plan`] describes *what* to compute; compiling it against a
+//! [`SchemaCatalog`] produces a physical operator tree where everything the
+//! interpreter used to re-derive on every evaluation is resolved **once**:
+//! projection coordinate vectors, the β [`InvokeRecipe`] (input coordinates,
+//! service coordinate, output-assembly recipe), join column pairings and
+//! output slots, set-operator reorder maps, compiled selection formulas and
+//! derived output schemas. Executing the compiled plan then only moves
+//! tuples.
+//!
+//! Each physical node carries the **same pre-order [`NodeId`]** (root = 0,
+//! children left to right) the interpreter assigned, so recorded
+//! [`ExecStats`](crate::metrics::ExecStats) keep lining up with
+//! [`explain_analyze_text`](crate::exec::explain_analyze_text) over the
+//! logical plan — the NodeId stability contract.
+//!
+//! β invocation can additionally be fanned out across a bounded worker pool
+//! ([`ExecOptions::invoke_parallelism`], default serial): the batch is
+//! invoked on up to that many threads and reassembled in input-tuple order,
+//! so the output [`XRelation`] and [`ActionSet`] are identical to serial
+//! execution, as are the invocation/failure tallies.
+
+use std::collections::HashMap;
+use std::time::Instant as WallClock;
+
+use crate::action::ActionSet;
+use crate::attr::AttrName;
+use crate::error::{EvalError, PlanError};
+use crate::eval::EvalOutcome;
+use crate::exec::ExecContext;
+use crate::formula::CompiledFormula;
+use crate::metrics::{NodeId, OpKind, OpObservation};
+use crate::ops::{self, AggSpec, AssignSource, InvokeRecipe, InvokeTally};
+use crate::plan::{Plan, SchemaCatalog};
+use crate::schema::SchemaRef;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::xrelation::XRelation;
+
+/// Execution knobs, separate from the data-plane [`ExecContext`] fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Maximum number of worker threads one β δ-batch is fanned across.
+    /// `1` (the default) invokes serially — fully deterministic invocation
+    /// order, no threads spawned.
+    pub invoke_parallelism: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            invoke_parallelism: 1,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Serial execution (the default).
+    pub fn serial() -> Self {
+        ExecOptions::default()
+    }
+
+    /// Fan β invocations across up to `workers` threads (clamped to ≥ 1).
+    pub fn parallel(workers: usize) -> Self {
+        ExecOptions {
+            invoke_parallelism: workers.max(1),
+        }
+    }
+}
+
+/// A [`Plan`] compiled once against a [`SchemaCatalog`]: a tree of physical
+/// operators with all per-call state pre-resolved, reusable across
+/// arbitrarily many executions.
+pub struct PhysicalPlan {
+    root: PhysNode,
+    node_count: usize,
+}
+
+impl PhysicalPlan {
+    /// Validate `plan` against `catalog` and pre-resolve every operator.
+    /// Fails with exactly the [`PlanError`] static validation
+    /// ([`Plan::schema`]) would report.
+    pub fn compile(plan: &Plan, catalog: &dyn SchemaCatalog) -> Result<PhysicalPlan, PlanError> {
+        let mut next_id = 0usize;
+        let root = PhysNode::compile(plan, catalog, &mut next_id)?;
+        Ok(PhysicalPlan {
+            root,
+            node_count: next_id,
+        })
+    }
+
+    /// The derived output schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.root.schema
+    }
+
+    /// Number of physical nodes (= plan nodes; NodeIds are `0..node_count`).
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Execute against `ctx`, reporting one [`OpObservation`] per node to
+    /// the context's metrics sink under the node's compile-time [`NodeId`].
+    pub fn execute(&self, ctx: &ExecContext<'_>) -> Result<EvalOutcome, EvalError> {
+        let mut actions = ActionSet::new();
+        let relation = self.root.execute(ctx, &mut actions)?;
+        Ok(EvalOutcome { relation, actions })
+    }
+}
+
+/// One compiled operator: stable id, pre-derived output schema, resolved
+/// physical state, children in plan order.
+struct PhysNode {
+    id: NodeId,
+    kind: OpKind,
+    schema: SchemaRef,
+    op: PhysOp,
+    children: Vec<PhysNode>,
+}
+
+/// Where one slot of a join output tuple comes from.
+#[derive(Debug, Clone, Copy)]
+enum JoinSlot {
+    Left(usize),
+    Right(usize),
+}
+
+/// Where one slot of an assign output tuple comes from.
+#[derive(Debug, Clone, Copy)]
+enum AssignSlot {
+    Old(usize),
+    New,
+}
+
+/// The resolved right-hand side of an assignment.
+#[derive(Debug, Clone)]
+enum AssignBinding {
+    Coord(usize),
+    Const(Value),
+}
+
+enum PhysOp {
+    Scan {
+        name: String,
+    },
+    /// `rhs_reorder` permutes right-operand tuples into the output
+    /// coordinate order; `None` when the operands already agree.
+    Union {
+        rhs_reorder: Option<Vec<usize>>,
+    },
+    Intersect {
+        rhs_reorder: Option<Vec<usize>>,
+    },
+    Difference {
+        rhs_reorder: Option<Vec<usize>>,
+    },
+    Project {
+        coords: Vec<usize>,
+    },
+    Select {
+        formula: CompiledFormula,
+    },
+    /// Schema-only: tuples pass through untouched.
+    Rename,
+    Join {
+        key_left: Vec<usize>,
+        key_right: Vec<usize>,
+        slots: Vec<JoinSlot>,
+    },
+    Assign {
+        slots: Vec<AssignSlot>,
+        binding: AssignBinding,
+    },
+    Invoke {
+        recipe: InvokeRecipe,
+    },
+    Aggregate {
+        group: Vec<AttrName>,
+        aggs: Vec<AggSpec>,
+    },
+}
+
+impl PhysNode {
+    /// Pre-order compilation: this node takes the next id, then children
+    /// left to right — the same numbering the instrumented interpreter
+    /// assigned at runtime.
+    fn compile(
+        plan: &Plan,
+        catalog: &dyn SchemaCatalog,
+        next_id: &mut usize,
+    ) -> Result<PhysNode, PlanError> {
+        let id = NodeId(*next_id);
+        *next_id += 1;
+        let kind = OpKind::of_plan(plan);
+        let mut children = Vec::with_capacity(plan.children().len());
+        for c in plan.children() {
+            children.push(PhysNode::compile(c, catalog, next_id)?);
+        }
+
+        let set_op_state =
+            |children: &[PhysNode]| -> Result<(SchemaRef, Option<Vec<usize>>), PlanError> {
+                let schema = ops::set_op_schema(&children[0].schema, &children[1].schema)?;
+                let map = schema
+                    .reorder_map(&children[1].schema)
+                    .expect("checked compatible");
+                let identity: Vec<usize> = (0..schema.real_arity()).collect();
+                Ok((schema, if map == identity { None } else { Some(map) }))
+            };
+
+        let (schema, op) = match plan {
+            Plan::Relation(name) => {
+                let schema = catalog
+                    .schema_of(name)
+                    .ok_or_else(|| PlanError::UnknownRelation(name.clone()))?;
+                (schema, PhysOp::Scan { name: name.clone() })
+            }
+            Plan::Union(..) => {
+                let (schema, rhs_reorder) = set_op_state(&children)?;
+                (schema, PhysOp::Union { rhs_reorder })
+            }
+            Plan::Intersect(..) => {
+                let (schema, rhs_reorder) = set_op_state(&children)?;
+                (schema, PhysOp::Intersect { rhs_reorder })
+            }
+            Plan::Difference(..) => {
+                let (schema, rhs_reorder) = set_op_state(&children)?;
+                (schema, PhysOp::Difference { rhs_reorder })
+            }
+            Plan::Project(_, attrs) => {
+                let schema = ops::project_schema(&children[0].schema, attrs)?;
+                let coords: Vec<usize> = schema
+                    .attrs()
+                    .iter()
+                    .filter(|a| a.is_real())
+                    .map(|a| {
+                        children[0]
+                            .schema
+                            .coord_of(a.name.as_str())
+                            .expect("real in input schema")
+                    })
+                    .collect();
+                (schema, PhysOp::Project { coords })
+            }
+            Plan::Select(_, f) => {
+                let schema = ops::select_schema(&children[0].schema, f)?;
+                let formula = f.compile(&schema)?;
+                (schema, PhysOp::Select { formula })
+            }
+            Plan::Rename(_, from, to) => {
+                let schema = ops::rename_schema(&children[0].schema, from, to)?;
+                (schema, PhysOp::Rename)
+            }
+            Plan::Join(..) => {
+                let s1 = &children[0].schema;
+                let s2 = &children[1].schema;
+                let schema = ops::join_schema(s1, s2)?;
+                // Join predicate: attributes real in BOTH operands.
+                let key_attrs: Vec<&str> = s1
+                    .attrs()
+                    .iter()
+                    .filter(|a| a.is_real() && s2.is_real(a.name.as_str()))
+                    .map(|a| a.name.as_str())
+                    .collect();
+                let key_left: Vec<usize> = key_attrs
+                    .iter()
+                    .map(|a| s1.coord_of(a).expect("real in s1"))
+                    .collect();
+                let key_right: Vec<usize> = key_attrs
+                    .iter()
+                    .map(|a| s2.coord_of(a).expect("real in s2"))
+                    .collect();
+                // Output slots: pull from the left operand when real there.
+                let slots: Vec<JoinSlot> = schema
+                    .attrs()
+                    .iter()
+                    .filter(|a| a.is_real())
+                    .map(|a| match s1.coord_of(a.name.as_str()) {
+                        Some(c) => JoinSlot::Left(c),
+                        None => JoinSlot::Right(s2.coord_of(a.name.as_str()).expect("real in s2")),
+                    })
+                    .collect();
+                (
+                    schema,
+                    PhysOp::Join {
+                        key_left,
+                        key_right,
+                        slots,
+                    },
+                )
+            }
+            Plan::Assign(_, attr, src) => {
+                let in_schema = &children[0].schema;
+                let schema = ops::assign_schema(in_schema, attr, src)?;
+                let slots: Vec<AssignSlot> = schema
+                    .attrs()
+                    .iter()
+                    .filter(|a| a.is_real())
+                    .map(|a| {
+                        if a.name == *attr {
+                            AssignSlot::New
+                        } else {
+                            AssignSlot::Old(in_schema.coord_of(a.name.as_str()).expect("was real"))
+                        }
+                    })
+                    .collect();
+                let binding = match src {
+                    AssignSource::Attr(b) => AssignBinding::Coord(
+                        in_schema.coord_of(b.as_str()).expect("validated real"),
+                    ),
+                    AssignSource::Const(v) => AssignBinding::Const(v.clone()),
+                };
+                (schema, PhysOp::Assign { slots, binding })
+            }
+            Plan::Invoke(_, proto, service_attr) => {
+                let recipe =
+                    InvokeRecipe::prepare(&children[0].schema, proto, service_attr.as_str())?;
+                (recipe.out_schema().clone(), PhysOp::Invoke { recipe })
+            }
+            Plan::Aggregate(_, group, aggs) => {
+                let schema = ops::aggregate_schema(&children[0].schema, group, aggs)?;
+                (
+                    schema,
+                    PhysOp::Aggregate {
+                        group: group.clone(),
+                        aggs: aggs.clone(),
+                    },
+                )
+            }
+        };
+        Ok(PhysNode {
+            id,
+            kind,
+            schema,
+            op,
+            children,
+        })
+    }
+
+    /// Execute this node, recording one observation (children record their
+    /// own first). Mirrors the interpreter's accounting: binary operators
+    /// report combined child cardinality as `tuples_in`, `elapsed` is
+    /// self-time, a failed application records before the error propagates.
+    fn execute(
+        &self,
+        ctx: &ExecContext<'_>,
+        actions: &mut ActionSet,
+    ) -> Result<XRelation, EvalError> {
+        let mut obs = OpObservation::new(self.id, self.kind);
+        let result = self.apply(ctx, actions, &mut obs);
+        match result {
+            Ok(r) => {
+                obs.tuples_out = r.len() as u64;
+                ctx.metrics.record(&obs);
+                Ok(r)
+            }
+            Err(e) => {
+                // Invocation failures are already tallied; everything else
+                // counts as one failed application of this operator.
+                if obs.failures == 0 {
+                    obs.failures = 1;
+                }
+                ctx.metrics.record(&obs);
+                Err(e)
+            }
+        }
+    }
+
+    fn apply(
+        &self,
+        ctx: &ExecContext<'_>,
+        actions: &mut ActionSet,
+        obs: &mut OpObservation,
+    ) -> Result<XRelation, EvalError> {
+        match &self.op {
+            PhysOp::Scan { name } => {
+                let started = WallClock::now();
+                let r = self.scan(ctx, name);
+                obs.elapsed = started.elapsed();
+                r
+            }
+            PhysOp::Union { rhs_reorder } => {
+                let (ra, rb) = self.both(ctx, actions, obs)?;
+                let started = WallClock::now();
+                let mut out = ra;
+                for t in reordered(&rb, rhs_reorder) {
+                    out.insert(t);
+                }
+                obs.elapsed = started.elapsed();
+                Ok(out)
+            }
+            PhysOp::Intersect { rhs_reorder } => {
+                let (ra, rb) = self.both(ctx, actions, obs)?;
+                let started = WallClock::now();
+                let rhs: std::collections::HashSet<Tuple> = reordered(&rb, rhs_reorder).collect();
+                let mut out = XRelation::empty(self.schema.clone());
+                for t in ra.iter() {
+                    if rhs.contains(t) {
+                        out.insert(t.clone());
+                    }
+                }
+                obs.elapsed = started.elapsed();
+                Ok(out)
+            }
+            PhysOp::Difference { rhs_reorder } => {
+                let (ra, rb) = self.both(ctx, actions, obs)?;
+                let started = WallClock::now();
+                let rhs: std::collections::HashSet<Tuple> = reordered(&rb, rhs_reorder).collect();
+                let mut out = XRelation::empty(self.schema.clone());
+                for t in ra.iter() {
+                    if !rhs.contains(t) {
+                        out.insert(t.clone());
+                    }
+                }
+                obs.elapsed = started.elapsed();
+                Ok(out)
+            }
+            PhysOp::Project { coords } => {
+                let r = self.only(ctx, actions, obs)?;
+                let started = WallClock::now();
+                let mut out = XRelation::empty(self.schema.clone());
+                for t in r.iter() {
+                    out.insert(t.project_positions(coords));
+                }
+                obs.elapsed = started.elapsed();
+                Ok(out)
+            }
+            PhysOp::Select { formula } => {
+                let r = self.only(ctx, actions, obs)?;
+                let started = WallClock::now();
+                let run = || -> Result<XRelation, EvalError> {
+                    let mut out = XRelation::empty(self.schema.clone());
+                    for t in r.iter() {
+                        if formula.matches(t)? {
+                            out.insert(t.clone());
+                        }
+                    }
+                    Ok(out)
+                };
+                let out = run();
+                obs.elapsed = started.elapsed();
+                out
+            }
+            PhysOp::Rename => {
+                let r = self.only(ctx, actions, obs)?;
+                let started = WallClock::now();
+                let out = XRelation::from_tuples(self.schema.clone(), r.iter().cloned());
+                obs.elapsed = started.elapsed();
+                Ok(out)
+            }
+            PhysOp::Join {
+                key_left,
+                key_right,
+                slots,
+            } => {
+                let (ra, rb) = self.both(ctx, actions, obs)?;
+                let started = WallClock::now();
+                let build = |t1: &Tuple, t2: &Tuple| -> Tuple {
+                    slots
+                        .iter()
+                        .map(|s| match s {
+                            JoinSlot::Left(c) => t1[*c].clone(),
+                            JoinSlot::Right(c) => t2[*c].clone(),
+                        })
+                        .collect()
+                };
+                let mut out = XRelation::empty(self.schema.clone());
+                if key_left.is_empty() {
+                    for t1 in ra.iter() {
+                        for t2 in rb.iter() {
+                            out.insert(build(t1, t2));
+                        }
+                    }
+                } else {
+                    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+                    for t2 in rb.iter() {
+                        let k: Vec<Value> = key_right.iter().map(|&c| t2[c].clone()).collect();
+                        table.entry(k).or_default().push(t2);
+                    }
+                    for t1 in ra.iter() {
+                        let k: Vec<Value> = key_left.iter().map(|&c| t1[c].clone()).collect();
+                        if let Some(matches) = table.get(&k) {
+                            for t2 in matches {
+                                out.insert(build(t1, t2));
+                            }
+                        }
+                    }
+                }
+                obs.elapsed = started.elapsed();
+                Ok(out)
+            }
+            PhysOp::Assign { slots, binding } => {
+                let r = self.only(ctx, actions, obs)?;
+                let started = WallClock::now();
+                let mut out = XRelation::empty(self.schema.clone());
+                for t in r.iter() {
+                    let v = match binding {
+                        AssignBinding::Coord(c) => t[*c].clone(),
+                        AssignBinding::Const(v) => v.clone(),
+                    };
+                    let new_t: Tuple = slots
+                        .iter()
+                        .map(|s| match s {
+                            AssignSlot::Old(c) => t[*c].clone(),
+                            AssignSlot::New => v.clone(),
+                        })
+                        .collect();
+                    out.insert(new_t);
+                }
+                obs.elapsed = started.elapsed();
+                Ok(out)
+            }
+            PhysOp::Invoke { recipe } => {
+                let r = self.only(ctx, actions, obs)?;
+                let mut tally = InvokeTally::default();
+                let started = WallClock::now();
+                let tuples: Vec<&Tuple> = r.iter().collect();
+                let out = recipe
+                    .invoke_batch_observed(
+                        &tuples,
+                        ctx.invoker,
+                        ctx.at,
+                        ctx.options.invoke_parallelism,
+                        actions,
+                        &mut tally,
+                    )
+                    .map(|ts| XRelation::from_tuples(recipe.out_schema().clone(), ts));
+                obs.elapsed = started.elapsed();
+                obs.invocations = tally.invocations;
+                obs.cache_misses = tally.invocations;
+                obs.failures = tally.failures;
+                out
+            }
+            PhysOp::Aggregate { group, aggs } => {
+                let r = self.only(ctx, actions, obs)?;
+                let started = WallClock::now();
+                let out = ops::aggregate(&r, group, aggs);
+                obs.elapsed = started.elapsed();
+                out
+            }
+        }
+    }
+
+    /// Evaluate the single child and charge its cardinality to `tuples_in`.
+    fn only(
+        &self,
+        ctx: &ExecContext<'_>,
+        actions: &mut ActionSet,
+        obs: &mut OpObservation,
+    ) -> Result<XRelation, EvalError> {
+        let r = self.children[0].execute(ctx, actions)?;
+        obs.tuples_in = r.len() as u64;
+        Ok(r)
+    }
+
+    /// Evaluate both children and charge their combined cardinality.
+    fn both(
+        &self,
+        ctx: &ExecContext<'_>,
+        actions: &mut ActionSet,
+        obs: &mut OpObservation,
+    ) -> Result<(XRelation, XRelation), EvalError> {
+        let ra = self.children[0].execute(ctx, actions)?;
+        let rb = self.children[1].execute(ctx, actions)?;
+        obs.tuples_in = (ra.len() + rb.len()) as u64;
+        Ok((ra, rb))
+    }
+
+    /// Look up the scanned relation, normalizing its tuples into the
+    /// compile-time coordinate order if the stored schema instance was
+    /// replaced by an equivalent one since compilation. An incompatible
+    /// replacement is a runtime error: downstream coordinate maps would be
+    /// meaningless.
+    fn scan(&self, ctx: &ExecContext<'_>, name: &str) -> Result<XRelation, EvalError> {
+        let r = ctx
+            .env
+            .relation(name)
+            .ok_or_else(|| EvalError::Plan(PlanError::UnknownRelation(name.to_string())))?;
+        if SchemaRef::ptr_eq(&r.schema_ref(), &self.schema) {
+            return Ok(r.clone());
+        }
+        if !r.schema().compatible_with(&self.schema) {
+            return Err(EvalError::Value(format!(
+                "relation `{name}` schema changed since compilation"
+            )));
+        }
+        let map = self
+            .schema
+            .reorder_map(r.schema())
+            .expect("checked compatible");
+        let identity: Vec<usize> = (0..self.schema.real_arity()).collect();
+        if map == identity {
+            Ok(XRelation::from_tuples(
+                self.schema.clone(),
+                r.iter().cloned(),
+            ))
+        } else {
+            Ok(XRelation::from_tuples(
+                self.schema.clone(),
+                r.iter().map(|t| t.project_positions(&map)),
+            ))
+        }
+    }
+}
+
+/// Iterate `r`'s tuples permuted by `map` (cloned as-is when `None`).
+fn reordered<'r>(
+    r: &'r XRelation,
+    map: &'r Option<Vec<usize>>,
+) -> impl Iterator<Item = Tuple> + 'r {
+    r.iter().map(move |t| match map {
+        None => t.clone(),
+        Some(m) => t.project_positions(m),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::examples::example_environment;
+    use crate::eval::{evaluate, CountingInvoker};
+    use crate::metrics::ExecStats;
+    use crate::plan::examples::{q1, q1_prime, q2, q2_prime};
+    use crate::service::fixtures::example_registry;
+    use crate::time::Instant;
+
+    #[test]
+    fn compiled_plan_matches_interpreter_outputs() {
+        let env = example_environment();
+        let reg = example_registry();
+        for plan in [q1(), q1_prime(), q2(), q2_prime()] {
+            let physical = PhysicalPlan::compile(&plan, &env).unwrap();
+            for t in 0..4 {
+                let ctx = ExecContext::new(&env, &reg, Instant(t));
+                let a = physical.execute(&ctx).unwrap();
+                let b = evaluate(&plan, &env, &reg, Instant(t)).unwrap();
+                assert_eq!(a.relation, b.relation);
+                assert_eq!(a.actions, b.actions);
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_schema_matches_static_validation() {
+        let env = example_environment();
+        for plan in [q1(), q2()] {
+            let physical = PhysicalPlan::compile(&plan, &env).unwrap();
+            assert_eq!(*physical.schema(), plan.schema(&env).unwrap());
+        }
+    }
+
+    #[test]
+    fn compile_rejects_what_validation_rejects() {
+        let env = example_environment();
+        let bad = Plan::relation("no_such_relation");
+        assert!(matches!(
+            PhysicalPlan::compile(&bad, &env),
+            Err(PlanError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn node_ids_are_pre_order_and_stable_across_runs() {
+        let env = example_environment();
+        let reg = example_registry();
+        let physical = PhysicalPlan::compile(&q1(), &env).unwrap();
+        assert_eq!(physical.node_count(), 4);
+        let stats = ExecStats::new();
+        let ctx = ExecContext::with_metrics(&env, &reg, Instant(0), &stats);
+        physical.execute(&ctx).unwrap();
+        physical.execute(&ctx).unwrap();
+        // q1 pre-order: 0=β 1=α 2=σ 3=Relation — two applications each.
+        let nodes = stats.nodes();
+        assert_eq!(nodes.len(), 4);
+        assert_eq!(nodes[&NodeId(0)].op, OpKind::Invoke);
+        assert_eq!(nodes[&NodeId(3)].op, OpKind::Relation);
+        assert!(nodes.values().all(|n| n.applications == 2));
+    }
+
+    #[test]
+    fn parallel_invoke_is_output_identical_and_counts_once_per_tuple() {
+        let env = example_environment();
+        let reg = example_registry();
+        let plan = q2_prime(); // β before σ: invokes every camera
+        let physical = PhysicalPlan::compile(&plan, &env).unwrap();
+        let serial_counting = CountingInvoker::new(&reg);
+        let serial = {
+            let ctx = ExecContext::new(&env, &serial_counting, Instant(1));
+            physical.execute(&ctx).unwrap()
+        };
+        for workers in [2, 4, 16] {
+            let counting = CountingInvoker::new(&reg);
+            let stats = ExecStats::new();
+            let ctx = ExecContext::with_metrics(&env, &counting, Instant(1), &stats)
+                .with_options(ExecOptions::parallel(workers));
+            let out = physical.execute(&ctx).unwrap();
+            assert_eq!(out.relation, serial.relation);
+            assert_eq!(out.actions, serial.actions);
+            assert_eq!(counting.snapshot(), serial_counting.snapshot());
+            assert_eq!(stats.total_invocations(), serial_counting.total());
+            assert_eq!(stats.total_failures(), 0);
+        }
+    }
+}

@@ -138,7 +138,11 @@ impl Plan {
 
     /// `α_{A:=B}(self)`.
     pub fn assign_attr(self, attr: impl Into<AttrName>, source: impl Into<AttrName>) -> Plan {
-        Plan::Assign(Box::new(self), attr.into(), AssignSource::Attr(source.into()))
+        Plan::Assign(
+            Box::new(self),
+            attr.into(),
+            AssignSource::Attr(source.into()),
+        )
     }
 
     /// `β_{prototype[service_attr]}(self)`.
@@ -266,7 +270,11 @@ impl Plan {
 
     /// Number of operator nodes.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Names of the relations scanned by this plan (deduplicated, in
@@ -377,7 +385,10 @@ impl Plan {
             Plan::Invoke(_, p, sa) => format!("Invoke {p}[{sa}]"),
             Plan::Aggregate(_, g, a) => format!(
                 "Aggregate group=[{}] aggs={}",
-                g.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(", "),
+                g.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
                 a.len()
             ),
         }

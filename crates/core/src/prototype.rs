@@ -23,22 +23,24 @@ pub struct RelationSchema {
 
 impl RelationSchema {
     /// Build a schema, checking name injectivity.
-    pub fn new(
-        attrs: impl IntoIterator<Item = (AttrName, DataType)>,
-    ) -> Result<Self, SchemaError> {
+    pub fn new(attrs: impl IntoIterator<Item = (AttrName, DataType)>) -> Result<Self, SchemaError> {
         let attrs: Vec<_> = attrs.into_iter().collect();
         for (i, (a, _)) in attrs.iter().enumerate() {
             if attrs[..i].iter().any(|(b, _)| b == a) {
                 return Err(SchemaError::DuplicateAttribute(a.clone()));
             }
         }
-        Ok(RelationSchema { attrs: attrs.into() })
+        Ok(RelationSchema {
+            attrs: attrs.into(),
+        })
     }
 
     /// The empty schema (`D^0`), legal for prototype inputs such as
     /// `getTemperature()`.
     pub fn empty() -> Self {
-        RelationSchema { attrs: Arc::from(Vec::new()) }
+        RelationSchema {
+            attrs: Arc::from(Vec::new()),
+        }
     }
 
     /// Number of attributes (`type(R)`).
@@ -132,7 +134,12 @@ impl Prototype {
                 attr: a.clone(),
             });
         }
-        Ok(Arc::new(Prototype { name, input, output, active }))
+        Ok(Arc::new(Prototype {
+            name,
+            input,
+            output,
+            active,
+        }))
     }
 
     /// Convenience builder from `(name, type)` pairs.

@@ -67,34 +67,58 @@ pub fn estimate(
                 .get(name)
                 .map(|&n| n as f64)
                 .unwrap_or(params.default_cardinality);
-            Ok(CostEstimate { rows, invocations: 0.0, cost: rows })
+            Ok(CostEstimate {
+                rows,
+                invocations: 0.0,
+                cost: rows,
+            })
         }
         Plan::Union(a, b) => {
-            let (ea, eb) = (estimate(a, catalog, cardinalities, params)?, estimate(b, catalog, cardinalities, params)?);
+            let (ea, eb) = (
+                estimate(a, catalog, cardinalities, params)?,
+                estimate(b, catalog, cardinalities, params)?,
+            );
             let rows = ea.rows + eb.rows;
             Ok(combine2(ea, eb, rows))
         }
         Plan::Intersect(a, b) => {
-            let (ea, eb) = (estimate(a, catalog, cardinalities, params)?, estimate(b, catalog, cardinalities, params)?);
+            let (ea, eb) = (
+                estimate(a, catalog, cardinalities, params)?,
+                estimate(b, catalog, cardinalities, params)?,
+            );
             let rows = ea.rows.min(eb.rows) * params.selectivity;
             Ok(combine2(ea, eb, rows))
         }
         Plan::Difference(a, b) => {
-            let (ea, eb) = (estimate(a, catalog, cardinalities, params)?, estimate(b, catalog, cardinalities, params)?);
+            let (ea, eb) = (
+                estimate(a, catalog, cardinalities, params)?,
+                estimate(b, catalog, cardinalities, params)?,
+            );
             let rows = ea.rows * params.selectivity;
             Ok(combine2(ea, eb, rows))
         }
         Plan::Project(p, _) | Plan::Rename(p, _, _) | Plan::Assign(p, _, _) => {
             let e = estimate(p, catalog, cardinalities, params)?;
-            Ok(CostEstimate { rows: e.rows, invocations: e.invocations, cost: e.cost + e.rows })
+            Ok(CostEstimate {
+                rows: e.rows,
+                invocations: e.invocations,
+                cost: e.cost + e.rows,
+            })
         }
         Plan::Select(p, _) => {
             let e = estimate(p, catalog, cardinalities, params)?;
             let rows = e.rows * params.selectivity;
-            Ok(CostEstimate { rows, invocations: e.invocations, cost: e.cost + e.rows })
+            Ok(CostEstimate {
+                rows,
+                invocations: e.invocations,
+                cost: e.cost + e.rows,
+            })
         }
         Plan::Join(a, b) => {
-            let (ea, eb) = (estimate(a, catalog, cardinalities, params)?, estimate(b, catalog, cardinalities, params)?);
+            let (ea, eb) = (
+                estimate(a, catalog, cardinalities, params)?,
+                estimate(b, catalog, cardinalities, params)?,
+            );
             // does the join have a predicate? (common both-real attributes)
             let sa = a.schema(catalog)?;
             let sb = b.schema(catalog)?;
@@ -127,7 +151,11 @@ pub fn estimate(
             } else {
                 (e.rows * params.selectivity).max(1.0)
             };
-            Ok(CostEstimate { rows, invocations: e.invocations, cost: e.cost + e.rows })
+            Ok(CostEstimate {
+                rows,
+                invocations: e.invocations,
+                cost: e.cost + e.rows,
+            })
         }
     }
 }
@@ -147,9 +175,13 @@ mod tests {
     use crate::plan::examples::{q2, q2_prime};
 
     fn cards() -> BTreeMap<String, usize> {
-        [("cameras".to_string(), 3usize), ("contacts".to_string(), 3), ("sensors".to_string(), 4)]
-            .into_iter()
-            .collect()
+        [
+            ("cameras".to_string(), 3usize),
+            ("contacts".to_string(), 3),
+            ("sensors".to_string(), 4),
+        ]
+        .into_iter()
+        .collect()
     }
 
     #[test]
@@ -192,8 +224,8 @@ mod tests {
         let env = example_environment();
         let params = CostParams::default();
         // sensors ⋈ π_{name,address}(contacts): no common attrs → product
-        let p = Plan::relation("sensors")
-            .join(Plan::relation("contacts").project(["name", "address"]));
+        let p =
+            Plan::relation("sensors").join(Plan::relation("contacts").project(["name", "address"]));
         let e = estimate(&p, &env, &cards(), &params).unwrap();
         assert_eq!(e.rows, 12.0);
     }

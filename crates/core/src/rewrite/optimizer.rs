@@ -18,10 +18,10 @@
 use crate::plan::{Plan, SchemaCatalog};
 
 use super::rules::{
-    apply_everywhere, AssignIntoJoin, DropTrueSelect, InvokeIntoJoin, MergeProjects,
-    MergeSelects, ProjectPastAssign, ProjectPastInvoke, RewriteRule, SelectIntoJoin,
-    SelectIntoSetOp, SelectPastAssign, SelectPastInvoke, SelectPastProject, SelectPastRename,
-    SelectPastSelect, SplitConjunctiveSelect,
+    apply_everywhere, AssignIntoJoin, DropTrueSelect, InvokeIntoJoin, MergeProjects, MergeSelects,
+    ProjectPastAssign, ProjectPastInvoke, RewriteRule, SelectIntoJoin, SelectIntoSetOp,
+    SelectPastAssign, SelectPastInvoke, SelectPastProject, SelectPastRename, SelectPastSelect,
+    SplitConjunctiveSelect,
 };
 
 /// What the optimizer did to a plan.
@@ -98,14 +98,17 @@ pub fn optimize(plan: &Plan, catalog: &dyn SchemaCatalog) -> OptimizerReport {
     current = run(&current, &MergeSelects, &mut applied);
     current = run(&current, &MergeProjects, &mut applied);
 
-    OptimizerReport { plan: current, applied, iterations }
+    OptimizerReport {
+        plan: current,
+        applied,
+        iterations,
+    }
 }
 
 /// Convenience: optimize and return only the plan.
 pub fn optimize_plan(plan: &Plan, catalog: &dyn SchemaCatalog) -> Plan {
     optimize(plan, catalog).plan
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -139,8 +142,7 @@ mod tests {
         for plan in [q1(), q1_prime(), q2(), q2_prime()] {
             let optimized = optimize(&plan, &env).plan;
             let report =
-                check_over_instants(&plan, &optimized, &env, &reg, (0..5).map(Instant))
-                    .unwrap();
+                check_over_instants(&plan, &optimized, &env, &reg, (0..5).map(Instant)).unwrap();
             assert!(report.equivalent(), "{plan}  vs  {optimized}: {report:?}");
         }
     }
@@ -175,8 +177,7 @@ mod tests {
         let report = optimize(&plan, &env);
         assert!(report.total_applications() >= 3);
         let reg = example_registry();
-        let r = check_over_instants(&plan, &report.plan, &env, &reg, (0..3).map(Instant))
-            .unwrap();
+        let r = check_over_instants(&plan, &report.plan, &env, &reg, (0..3).map(Instant)).unwrap();
         assert!(r.equivalent());
         // the σ on place should now sit directly on sensors (below ⋈, ρ)
         let rendered = report.plan.to_algebra();

@@ -67,8 +67,12 @@ impl RewriteRule for SelectPastAssign {
     }
 
     fn try_apply(&self, plan: &Plan, catalog: &dyn SchemaCatalog) -> Option<Plan> {
-        let Plan::Select(inner, f) = plan else { return None };
-        let Plan::Assign(r, attr, src) = inner.as_ref() else { return None };
+        let Plan::Select(inner, f) = plan else {
+            return None;
+        };
+        let Plan::Assign(r, attr, src) = inner.as_ref() else {
+            return None;
+        };
         if f.references(attr.as_str()) {
             return None;
         }
@@ -91,8 +95,12 @@ impl RewriteRule for ProjectPastAssign {
     }
 
     fn try_apply(&self, plan: &Plan, catalog: &dyn SchemaCatalog) -> Option<Plan> {
-        let Plan::Project(inner, attrs) = plan else { return None };
-        let Plan::Assign(r, attr, src) = inner.as_ref() else { return None };
+        let Plan::Project(inner, attrs) = plan else {
+            return None;
+        };
+        let Plan::Assign(r, attr, src) = inner.as_ref() else {
+            return None;
+        };
         if !attrs.contains(attr) {
             return None;
         }
@@ -121,15 +129,18 @@ impl RewriteRule for AssignIntoJoin {
     }
 
     fn try_apply(&self, plan: &Plan, catalog: &dyn SchemaCatalog) -> Option<Plan> {
-        let Plan::Assign(inner, attr, src) = plan else { return None };
-        let Plan::Join(r1, r2) = inner.as_ref() else { return None };
+        let Plan::Assign(inner, attr, src) = plan else {
+            return None;
+        };
+        let Plan::Join(r1, r2) = inner.as_ref() else {
+            return None;
+        };
         let s1 = r1.schema(catalog).ok()?;
         let s2 = r2.schema(catalog).ok()?;
         // try each operand (the rule is symmetric in the join).
-        for (this, other, this_plan, other_plan, left) in [
-            (&s1, &s2, r1, r2, true),
-            (&s2, &s1, r2, r1, false),
-        ] {
+        for (this, other, this_plan, other_plan, left) in
+            [(&s1, &s2, r1, r2, true), (&s2, &s1, r2, r1, false)]
+        {
             if !this.is_virtual(attr.as_str()) || other.is_real(attr.as_str()) {
                 continue;
             }
@@ -168,8 +179,12 @@ impl RewriteRule for SelectPastInvoke {
     }
 
     fn try_apply(&self, plan: &Plan, catalog: &dyn SchemaCatalog) -> Option<Plan> {
-        let Plan::Select(inner, f) = plan else { return None };
-        let Plan::Invoke(r, proto, sa) = inner.as_ref() else { return None };
+        let Plan::Select(inner, f) = plan else {
+            return None;
+        };
+        let Plan::Invoke(r, proto, sa) = inner.as_ref() else {
+            return None;
+        };
         if !invoke_is_passive(r, proto, sa.as_str(), catalog).ok()? {
             return None;
         }
@@ -203,8 +218,12 @@ impl RewriteRule for ProjectPastInvoke {
     }
 
     fn try_apply(&self, plan: &Plan, catalog: &dyn SchemaCatalog) -> Option<Plan> {
-        let Plan::Project(inner, attrs) = plan else { return None };
-        let Plan::Invoke(r, proto, sa) = inner.as_ref() else { return None };
+        let Plan::Project(inner, attrs) = plan else {
+            return None;
+        };
+        let Plan::Invoke(r, proto, sa) = inner.as_ref() else {
+            return None;
+        };
         if !invoke_is_passive(r, proto, sa.as_str(), catalog).ok()? {
             return None;
         }
@@ -240,15 +259,18 @@ impl RewriteRule for InvokeIntoJoin {
     }
 
     fn try_apply(&self, plan: &Plan, catalog: &dyn SchemaCatalog) -> Option<Plan> {
-        let Plan::Invoke(inner, proto, sa) = plan else { return None };
-        let Plan::Join(r1, r2) = inner.as_ref() else { return None };
+        let Plan::Invoke(inner, proto, sa) = plan else {
+            return None;
+        };
+        let Plan::Join(r1, r2) = inner.as_ref() else {
+            return None;
+        };
         let s1 = r1.schema(catalog).ok()?;
         let s2 = r2.schema(catalog).ok()?;
         // try each operand (the rule is symmetric in the join).
-        for (this, other, this_plan, other_plan, left) in [
-            (&s1, &s2, r1, r2, true),
-            (&s2, &s1, r2, r1, false),
-        ] {
+        for (this, other, this_plan, other_plan, left) in
+            [(&s1, &s2, r1, r2, true), (&s2, &s1, r2, r1, false)]
+        {
             let Some(bp) = this.find_bp_exact(proto, sa.as_str()) else {
                 continue;
             };
@@ -300,7 +322,9 @@ impl RewriteRule for SplitConjunctiveSelect {
     }
 
     fn try_apply(&self, plan: &Plan, catalog: &dyn SchemaCatalog) -> Option<Plan> {
-        let Plan::Select(inner, Formula::And(f, g)) = plan else { return None };
+        let Plan::Select(inner, Formula::And(f, g)) = plan else {
+            return None;
+        };
         let rewritten = Plan::Select(
             Box::new(Plan::Select(inner.clone(), (**g).clone())),
             (**f).clone(),
@@ -318,8 +342,12 @@ impl RewriteRule for MergeSelects {
     }
 
     fn try_apply(&self, plan: &Plan, catalog: &dyn SchemaCatalog) -> Option<Plan> {
-        let Plan::Select(inner, f) = plan else { return None };
-        let Plan::Select(r, g) = inner.as_ref() else { return None };
+        let Plan::Select(inner, f) = plan else {
+            return None;
+        };
+        let Plan::Select(r, g) = inner.as_ref() else {
+            return None;
+        };
         let rewritten = Plan::Select(r.clone(), f.clone().and(g.clone()));
         checked(plan, rewritten, catalog)
     }
@@ -335,23 +363,21 @@ impl RewriteRule for SelectIntoJoin {
     }
 
     fn try_apply(&self, plan: &Plan, catalog: &dyn SchemaCatalog) -> Option<Plan> {
-        let Plan::Select(inner, f) = plan else { return None };
-        let Plan::Join(r1, r2) = inner.as_ref() else { return None };
+        let Plan::Select(inner, f) = plan else {
+            return None;
+        };
+        let Plan::Join(r1, r2) = inner.as_ref() else {
+            return None;
+        };
         let s1 = r1.schema(catalog).ok()?;
         let s2 = r2.schema(catalog).ok()?;
         let attrs = f.attrs();
         if attrs.iter().all(|a| s1.is_real(a.as_str())) {
-            let rewritten = Plan::Join(
-                Box::new(Plan::Select(r1.clone(), f.clone())),
-                r2.clone(),
-            );
+            let rewritten = Plan::Join(Box::new(Plan::Select(r1.clone(), f.clone())), r2.clone());
             return checked(plan, rewritten, catalog);
         }
         if attrs.iter().all(|a| s2.is_real(a.as_str())) {
-            let rewritten = Plan::Join(
-                r1.clone(),
-                Box::new(Plan::Select(r2.clone(), f.clone())),
-            );
+            let rewritten = Plan::Join(r1.clone(), Box::new(Plan::Select(r2.clone(), f.clone())));
             return checked(plan, rewritten, catalog);
         }
         None
@@ -367,7 +393,9 @@ impl RewriteRule for SelectIntoSetOp {
     }
 
     fn try_apply(&self, plan: &Plan, catalog: &dyn SchemaCatalog) -> Option<Plan> {
-        let Plan::Select(inner, f) = plan else { return None };
+        let Plan::Select(inner, f) = plan else {
+            return None;
+        };
         let push = |a: &Plan, b: &Plan, mk: fn(Box<Plan>, Box<Plan>) -> Plan| {
             mk(
                 Box::new(Plan::Select(Box::new(a.clone()), f.clone())),
@@ -393,8 +421,12 @@ impl RewriteRule for SelectPastRename {
     }
 
     fn try_apply(&self, plan: &Plan, catalog: &dyn SchemaCatalog) -> Option<Plan> {
-        let Plan::Select(inner, f) = plan else { return None };
-        let Plan::Rename(r, from, to) = inner.as_ref() else { return None };
+        let Plan::Select(inner, f) = plan else {
+            return None;
+        };
+        let Plan::Rename(r, from, to) = inner.as_ref() else {
+            return None;
+        };
         let pushed = f.rename_attr(to.as_str(), from);
         let rewritten = Plan::Rename(
             Box::new(Plan::Select(r.clone(), pushed)),
@@ -416,8 +448,12 @@ fn can_push_below(f: &Formula, node: &Plan, catalog: &dyn SchemaCatalog) -> bool
             let Ok(true) = invoke_is_passive(child, proto, sa.as_str(), catalog) else {
                 return false;
             };
-            let Ok(s) = child.schema(catalog) else { return false };
-            let Some(bp) = s.find_bp_exact(proto, sa.as_str()) else { return false };
+            let Ok(s) = child.schema(catalog) else {
+                return false;
+            };
+            let Some(bp) = s.find_bp_exact(proto, sa.as_str()) else {
+                return false;
+            };
             let crosses = !bp
                 .prototype()
                 .output()
@@ -451,15 +487,16 @@ impl RewriteRule for SelectPastSelect {
     }
 
     fn try_apply(&self, plan: &Plan, catalog: &dyn SchemaCatalog) -> Option<Plan> {
-        let Plan::Select(inner, f) = plan else { return None };
-        let Plan::Select(x, g) = inner.as_ref() else { return None };
+        let Plan::Select(inner, f) = plan else {
+            return None;
+        };
+        let Plan::Select(x, g) = inner.as_ref() else {
+            return None;
+        };
         if !can_push_below(f, x, catalog) || can_push_below(g, x, catalog) {
             return None;
         }
-        let rewritten = Plan::Select(
-            Box::new(Plan::Select(x.clone(), f.clone())),
-            g.clone(),
-        );
+        let rewritten = Plan::Select(Box::new(Plan::Select(x.clone(), f.clone())), g.clone());
         checked(plan, rewritten, catalog)
     }
 }
@@ -474,12 +511,13 @@ impl RewriteRule for SelectPastProject {
     }
 
     fn try_apply(&self, plan: &Plan, catalog: &dyn SchemaCatalog) -> Option<Plan> {
-        let Plan::Select(inner, f) = plan else { return None };
-        let Plan::Project(r, attrs) = inner.as_ref() else { return None };
-        let rewritten = Plan::Project(
-            Box::new(Plan::Select(r.clone(), f.clone())),
-            attrs.clone(),
-        );
+        let Plan::Select(inner, f) = plan else {
+            return None;
+        };
+        let Plan::Project(r, attrs) = inner.as_ref() else {
+            return None;
+        };
+        let rewritten = Plan::Project(Box::new(Plan::Select(r.clone(), f.clone())), attrs.clone());
         checked(plan, rewritten, catalog)
     }
 }
@@ -493,7 +531,9 @@ impl RewriteRule for DropTrueSelect {
     }
 
     fn try_apply(&self, plan: &Plan, catalog: &dyn SchemaCatalog) -> Option<Plan> {
-        let Plan::Select(inner, Formula::True) = plan else { return None };
+        let Plan::Select(inner, Formula::True) = plan else {
+            return None;
+        };
         checked(plan, (**inner).clone(), catalog)
     }
 }
@@ -508,8 +548,12 @@ impl RewriteRule for MergeProjects {
     }
 
     fn try_apply(&self, plan: &Plan, catalog: &dyn SchemaCatalog) -> Option<Plan> {
-        let Plan::Project(inner, l1) = plan else { return None };
-        let Plan::Project(r, _) = inner.as_ref() else { return None };
+        let Plan::Project(inner, l1) = plan else {
+            return None;
+        };
+        let Plan::Project(r, _) = inner.as_ref() else {
+            return None;
+        };
         let rewritten = Plan::Project(r.clone(), l1.clone());
         checked(plan, rewritten, catalog)
     }
@@ -565,8 +609,7 @@ mod tests {
     fn assert_equiv(p: &Plan, q: &Plan) {
         let env = example_environment();
         let reg = example_registry();
-        let report =
-            check_over_instants(p, q, &env, &reg, (0..5).map(Instant)).unwrap();
+        let report = check_over_instants(p, q, &env, &reg, (0..5).map(Instant)).unwrap();
         assert!(report.equivalent(), "{p} should ≡ {q}: {report:?}");
     }
 
@@ -708,7 +751,9 @@ mod tests {
             .join(Plan::relation("contacts"))
             .assign_const("text", "hi");
         let rewritten = AssignIntoJoin.try_apply(&p, &env).expect("fires on right");
-        let Plan::Join(_, r) = &rewritten else { panic!("expected join on top") };
+        let Plan::Join(_, r) = &rewritten else {
+            panic!("expected join on top")
+        };
         assert!(matches!(**r, Plan::Assign(..)));
         assert_equiv(&p, &rewritten);
 
@@ -717,7 +762,9 @@ mod tests {
             .join(Plan::relation("sensors"))
             .invoke("getTemperature", "sensor");
         let rewritten = InvokeIntoJoin.try_apply(&p, &env).expect("fires on right");
-        let Plan::Join(_, r) = &rewritten else { panic!("expected join on top") };
+        let Plan::Join(_, r) = &rewritten else {
+            panic!("expected join on top")
+        };
         assert!(matches!(**r, Plan::Invoke(..)));
         assert_equiv(&p, &rewritten);
     }
@@ -767,8 +814,8 @@ mod tests {
     #[test]
     fn select_into_join_left_and_right() {
         let env = example_environment();
-        let join = Plan::relation("sensors")
-            .join(Plan::relation("contacts").project(["name", "address"]));
+        let join =
+            Plan::relation("sensors").join(Plan::relation("contacts").project(["name", "address"]));
         // left-side predicate
         let p = join
             .clone()

@@ -43,12 +43,20 @@ pub struct Attribute {
 impl Attribute {
     /// A real attribute.
     pub fn real(name: impl Into<AttrName>, ty: DataType) -> Self {
-        Attribute { name: name.into(), ty, kind: AttrKind::Real }
+        Attribute {
+            name: name.into(),
+            ty,
+            kind: AttrKind::Real,
+        }
     }
 
     /// A virtual attribute.
     pub fn virt(name: impl Into<AttrName>, ty: DataType) -> Self {
-        Attribute { name: name.into(), ty, kind: AttrKind::Virtual }
+        Attribute {
+            name: name.into(),
+            ty,
+            kind: AttrKind::Virtual,
+        }
     }
 
     /// Whether this attribute is real.
@@ -102,7 +110,12 @@ impl XSchema {
                 delta.push(None);
             }
         }
-        let schema = XSchema { attrs, bps: Vec::new(), delta, real_count };
+        let schema = XSchema {
+            attrs,
+            bps: Vec::new(),
+            delta,
+            real_count,
+        };
         // Validate binding patterns against the finished attribute layout.
         let mut validated = Vec::with_capacity(bps.len());
         for bp in bps {
@@ -112,7 +125,10 @@ impl XSchema {
                 validated.push(bp);
             }
         }
-        Ok(Arc::new(XSchema { bps: validated, ..schema }))
+        Ok(Arc::new(XSchema {
+            bps: validated,
+            ..schema
+        }))
     }
 
     /// Validate one binding pattern against this schema's layout
@@ -287,7 +303,9 @@ impl XSchema {
 
     /// Find a binding pattern by prototype name (first match).
     pub fn find_bp(&self, prototype: &str) -> Option<&BindingPattern> {
-        self.bps.iter().find(|bp| bp.prototype().name() == prototype)
+        self.bps
+            .iter()
+            .find(|bp| bp.prototype().name() == prototype)
     }
 
     /// Find a binding pattern by prototype name *and* service attribute.
@@ -618,9 +636,7 @@ mod tests {
         let s = contacts_schema();
         assert!(s.check_tuple(&tuple!["Nicolas", "n@e.fr", "email"]).is_ok());
         assert!(s.check_tuple(&tuple!["Nicolas", "n@e.fr"]).is_err());
-        assert!(s
-            .check_tuple(&tuple!["Nicolas", "n@e.fr", true])
-            .is_err());
+        assert!(s.check_tuple(&tuple!["Nicolas", "n@e.fr", true]).is_err());
     }
 
     #[test]

@@ -124,11 +124,7 @@ pub fn validate_invocation_result(
             return Err(EvalError::MalformedInvocationResult {
                 service: service.to_string(),
                 prototype: prototype.name().to_string(),
-                detail: format!(
-                    "arity {} != output schema arity {}",
-                    t.arity(),
-                    out.arity()
-                ),
+                detail: format!("arity {} != output schema arity {}", t.arity(), out.arity()),
             });
         }
         for (i, (name, ty)) in out.attrs().enumerate() {
@@ -200,7 +196,9 @@ impl Invoker for StaticRegistry {
             let guard = self.services.read();
             guard.get(service_ref).cloned()
         }
-        .ok_or_else(|| EvalError::UnknownService { reference: service_ref.to_string() })?;
+        .ok_or_else(|| EvalError::UnknownService {
+            reference: service_ref.to_string(),
+        })?;
         if !service
             .prototypes()
             .iter()
@@ -211,13 +209,14 @@ impl Invoker for StaticRegistry {
                 prototype: prototype.name().to_string(),
             });
         }
-        let result = service.invoke(prototype, input, at).map_err(|reason| {
-            EvalError::InvocationFailed {
-                service: service_ref.to_string(),
-                prototype: prototype.name().to_string(),
-                reason,
-            }
-        })?;
+        let result =
+            service
+                .invoke(prototype, input, at)
+                .map_err(|reason| EvalError::InvocationFailed {
+                    service: service_ref.to_string(),
+                    prototype: prototype.name().to_string(),
+                    reason,
+                })?;
         validate_invocation_result(prototype, service_ref, &result)?;
         Ok(result)
     }
@@ -247,7 +246,10 @@ impl Invoker for NoServices {
         _at: Instant,
     ) -> Result<Vec<Tuple>, EvalError> {
         Err(EvalError::UnknownService {
-            reference: format!("{service_ref} (NoServices invoker, prototype {})", prototype.name()),
+            reference: format!(
+                "{service_ref} (NoServices invoker, prototype {})",
+                prototype.name()
+            ),
         })
     }
 
@@ -300,8 +302,7 @@ pub mod fixtures {
                 "takePhoto" => {
                     let area = input.get(0).and_then(|v| v.as_str()).unwrap_or("");
                     let quality = input.get(1).and_then(|v| v.as_int()).unwrap_or(0);
-                    let payload =
-                        format!("photo[{area}|q={quality}|s={seed}|t={}]", at.ticks());
+                    let payload = format!("photo[{area}|q={quality}|s={seed}|t={}]", at.ticks());
                     Ok(vec![Tuple::new(vec![Value::blob(payload.into_bytes())])])
                 }
                 other => Err(format!("camera does not implement {other}")),
@@ -406,9 +407,10 @@ mod tests {
         let reg = StaticRegistry::new();
         reg.register(
             "bad",
-            Arc::new(FnService::new(vec![protos::get_temperature()], |_, _, _| {
-                Ok(vec![tuple!["not a real"]])
-            })),
+            Arc::new(FnService::new(
+                vec![protos::get_temperature()],
+                |_, _, _| Ok(vec![tuple!["not a real"]]),
+            )),
         );
         let err = reg
             .invoke(
@@ -426,9 +428,10 @@ mod tests {
         let reg = StaticRegistry::new();
         reg.register(
             "flaky",
-            Arc::new(FnService::new(vec![protos::get_temperature()], |_, _, _| {
-                Err("device unreachable".to_string())
-            })),
+            Arc::new(FnService::new(
+                vec![protos::get_temperature()],
+                |_, _, _| Err("device unreachable".to_string()),
+            )),
         );
         let err = reg
             .invoke(
@@ -454,7 +457,10 @@ mod tests {
             .into_iter()
             .map(|r| r.to_string())
             .collect();
-        assert_eq!(sensors, vec!["sensor01", "sensor06", "sensor07", "sensor22"]);
+        assert_eq!(
+            sensors,
+            vec!["sensor01", "sensor06", "sensor07", "sensor22"]
+        );
         assert_eq!(reg.providers_of("checkPhoto").len(), 3);
         assert_eq!(reg.providers_of("noSuchProto").len(), 0);
     }

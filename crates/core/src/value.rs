@@ -526,10 +526,7 @@ mod tests {
 
     #[test]
     fn as_service_ref_variants() {
-        assert_eq!(
-            Value::Int(42).as_service_ref(),
-            Some(ServiceRef::new("42"))
-        );
+        assert_eq!(Value::Int(42).as_service_ref(), Some(ServiceRef::new("42")));
         assert_eq!(Value::Bool(false).as_service_ref(), None);
     }
 

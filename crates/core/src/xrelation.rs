@@ -26,7 +26,11 @@ pub struct XRelation {
 impl XRelation {
     /// The empty relation over `schema`.
     pub fn empty(schema: SchemaRef) -> Self {
-        XRelation { schema, tuples: Vec::new(), index: HashSet::new() }
+        XRelation {
+            schema,
+            tuples: Vec::new(),
+            index: HashSet::new(),
+        }
     }
 
     /// Build from tuples, dropping duplicates. Tuple/schema conformance is
@@ -134,8 +138,7 @@ impl XRelation {
     /// in virtual columns (cf. the tables of §1.2).
     pub fn to_table(&self) -> String {
         let schema = &self.schema;
-        let mut headers: Vec<String> =
-            schema.attrs().iter().map(|a| a.name.to_string()).collect();
+        let mut headers: Vec<String> = schema.attrs().iter().map(|a| a.name.to_string()).collect();
         let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.len());
         for t in &self.tuples {
             let row: Vec<String> = schema

@@ -108,7 +108,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -132,7 +136,11 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
         let c = chars[i];
         let (tline, tcol) = (line, col);
         let mut push = |t: Token, n: usize, i: &mut usize, col: &mut usize| {
-            out.push(Spanned { token: t, line: tline, col: tcol });
+            out.push(Spanned {
+                token: t,
+                line: tline,
+                col: tcol,
+            });
             *i += n;
             *col += n;
         };
@@ -189,7 +197,11 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 }
                 col += j - i;
                 i = j;
-                out.push(Spanned { token: Token::Str(s), line: tline, col: tcol });
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    line: tline,
+                    col: tcol,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut j = i;
@@ -219,7 +231,11 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 };
                 col += j - i;
                 i = j;
-                out.push(Spanned { token, line: tline, col: tcol });
+                out.push(Spanned {
+                    token,
+                    line: tline,
+                    col: tcol,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut j = i;
@@ -229,7 +245,11 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                 let text: String = chars[i..j].iter().collect();
                 col += j - i;
                 i = j;
-                out.push(Spanned { token: Token::Ident(text), line: tline, col: tcol });
+                out.push(Spanned {
+                    token: Token::Ident(text),
+                    line: tline,
+                    col: tcol,
+                });
             }
             other => return Err(err(&format!("unexpected character `{other}`"), tline, tcol)),
         }

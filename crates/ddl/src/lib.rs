@@ -34,6 +34,6 @@ pub mod sql;
 pub use ast::Statement;
 pub use parser::{parse_program, parse_query, ParseError};
 pub use resolve::{
-    literal_value, resolve_formula, resolve_prototype, resolve_query,
-    resolve_relation_schema, resolve_tuple, to_one_shot, DdlError, PrototypeCatalog,
+    literal_value, resolve_formula, resolve_prototype, resolve_query, resolve_relation_schema,
+    resolve_tuple, to_one_shot, DdlError, PrototypeCatalog,
 };

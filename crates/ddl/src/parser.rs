@@ -52,7 +52,11 @@ impl std::fmt::Display for ParseError {
         if self.line == 0 {
             write!(f, "parse error at end of input: {}", self.message)
         } else {
-            write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+            write!(
+                f,
+                "parse error at {}:{}: {}",
+                self.line, self.col, self.message
+            )
         }
     }
 }
@@ -161,7 +165,11 @@ impl Parser {
                 line: t.line,
                 col: t.col,
             },
-            None => ParseError { message: message.to_string(), line: 0, col: 0 },
+            None => ParseError {
+                message: message.to_string(),
+                line: 0,
+                col: 0,
+            },
         }
     }
 
@@ -222,8 +230,14 @@ impl Parser {
             "SERVICE" => Ok(DataType::Service),
             other => Err(ParseError {
                 message: format!("unknown data type `{other}`"),
-                line: self.tokens.get(self.pos.saturating_sub(1)).map_or(0, |t| t.line),
-                col: self.tokens.get(self.pos.saturating_sub(1)).map_or(0, |t| t.col),
+                line: self
+                    .tokens
+                    .get(self.pos.saturating_sub(1))
+                    .map_or(0, |t| t.line),
+                col: self
+                    .tokens
+                    .get(self.pos.saturating_sub(1))
+                    .map_or(0, |t| t.col),
             }),
         }
     }
@@ -299,7 +313,12 @@ impl Parser {
         let output = self.params()?;
         let active = self.try_kw("ACTIVE");
         self.eat(&Token::Semi)?;
-        Ok(Statement::Prototype { name, input, output, active })
+        Ok(Statement::Prototype {
+            name,
+            input,
+            output,
+            active,
+        })
     }
 
     fn service(&mut self) -> Result<Statement, ParseError> {
@@ -325,7 +344,11 @@ impl Parser {
             let aname = self.ident()?;
             let ty = self.data_type()?;
             let virtual_ = self.try_kw("VIRTUAL");
-            attrs.push(AttrDecl { name: aname, ty, virtual_ });
+            attrs.push(AttrDecl {
+                name: aname,
+                ty,
+                virtual_,
+            });
             if !matches!(self.peek(), Some(Token::Comma)) {
                 break;
             }
@@ -348,7 +371,12 @@ impl Parser {
         }
         let stream = self.try_kw("STREAM");
         self.eat(&Token::Semi)?;
-        Ok(Statement::ExtendedRelation { name, attrs, bindings, stream })
+        Ok(Statement::ExtendedRelation {
+            name,
+            attrs,
+            bindings,
+            stream,
+        })
     }
 
     fn name_list_parens(&mut self) -> Result<Vec<String>, ParseError> {
@@ -381,7 +409,12 @@ impl Parser {
                 output = self.name_list_parens()?;
             }
         }
-        Ok(BindingDecl { prototype, service_attr, input, output })
+        Ok(BindingDecl {
+            prototype,
+            service_attr,
+            input,
+            output,
+        })
     }
 
     fn tuple(&mut self) -> Result<Vec<Literal>, ParseError> {
@@ -653,7 +686,11 @@ impl Parser {
         self.eat(&Token::LParen)?;
         let attr = self.ident()?;
         self.eat(&Token::RParen)?;
-        let as_name = if self.try_kw("AS") { Some(self.ident()?) } else { None };
+        let as_name = if self.try_kw("AS") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
         Ok(AggAst { fun, attr, as_name })
     }
 
@@ -753,7 +790,12 @@ mod tests {
         let stmts = parse_program(program).unwrap();
         assert_eq!(stmts.len(), 4);
         match &stmts[0] {
-            Statement::Prototype { name, input, output, active } => {
+            Statement::Prototype {
+                name,
+                input,
+                output,
+                active,
+            } => {
                 assert_eq!(name, "sendMessage");
                 assert_eq!(input.len(), 2);
                 assert_eq!(output, &vec![("sent".to_string(), DataType::Bool)]);
@@ -798,7 +840,12 @@ mod tests {
         ";
         let stmts = parse_program(program).unwrap();
         match &stmts[0] {
-            Statement::ExtendedRelation { name, attrs, bindings, stream } => {
+            Statement::ExtendedRelation {
+                name,
+                attrs,
+                bindings,
+                stream,
+            } => {
                 assert_eq!(name, "contacts");
                 assert_eq!(attrs.len(), 5);
                 assert!(attrs[2].virtual_);
@@ -867,7 +914,9 @@ mod tests {
     #[test]
     fn parses_sample_invoke() {
         let q = parse_query("WINDOW[3](SAMPLE[getTemperature[sensor], 2](sensors))").unwrap();
-        let QueryExpr::Window(inner, 3) = q else { panic!("expected window") };
+        let QueryExpr::Window(inner, 3) = q else {
+            panic!("expected window")
+        };
         assert_eq!(
             *inner,
             QueryExpr::Sample(

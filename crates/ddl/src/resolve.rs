@@ -234,12 +234,8 @@ pub fn resolve_query(expr: &QueryExpr) -> StreamPlan {
     match expr {
         QueryExpr::Source(n) => StreamPlan::source(n.clone()),
         QueryExpr::Select(e, f) => resolve_query(e).select(resolve_formula(f)),
-        QueryExpr::Project(e, attrs) => {
-            resolve_query(e).project(attrs.iter().map(AttrName::new))
-        }
-        QueryExpr::Rename(e, from, to) => {
-            resolve_query(e).rename(from.as_str(), to.as_str())
-        }
+        QueryExpr::Project(e, attrs) => resolve_query(e).project(attrs.iter().map(AttrName::new)),
+        QueryExpr::Rename(e, from, to) => resolve_query(e).rename(from.as_str(), to.as_str()),
         QueryExpr::Join(a, b) => resolve_query(a).join(resolve_query(b)),
         QueryExpr::Union(a, b) => resolve_query(a).union(resolve_query(b)),
         QueryExpr::Intersect(a, b) => resolve_query(a).intersect(resolve_query(b)),
@@ -255,9 +251,7 @@ pub fn resolve_query(expr: &QueryExpr) -> StreamPlan {
                 ),
             }
         }
-        QueryExpr::Invoke(e, proto, sa) => {
-            resolve_query(e).invoke(proto.clone(), sa.as_str())
-        }
+        QueryExpr::Invoke(e, proto, sa) => resolve_query(e).invoke(proto.clone(), sa.as_str()),
         QueryExpr::Aggregate(e, group, aggs) => {
             let specs: Vec<AggSpec> = aggs
                 .iter()
@@ -308,9 +302,7 @@ pub fn to_one_shot(plan: &StreamPlan) -> Option<Plan> {
             Plan::Assign(Box::new(to_one_shot(p)?), a.clone(), s.clone())
         }
         StreamPlan::Invoke(p, proto, sa) => to_one_shot(p)?.invoke(proto.clone(), sa.clone()),
-        StreamPlan::Aggregate(p, g, a) => {
-            to_one_shot(p)?.aggregate(g.iter().cloned(), a.clone())
-        }
+        StreamPlan::Aggregate(p, g, a) => to_one_shot(p)?.aggregate(g.iter().cloned(), a.clone()),
         StreamPlan::Window(..) | StreamPlan::Stream(..) | StreamPlan::SampleInvoke(..) => {
             return None
         }
@@ -335,7 +327,10 @@ mod tests {
             );
         ";
         let stmts = parse_program(program).unwrap();
-        let Statement::ExtendedRelation { attrs, bindings, .. } = &stmts[0] else {
+        let Statement::ExtendedRelation {
+            attrs, bindings, ..
+        } = &stmts[0]
+        else {
             panic!()
         };
         let schema = resolve_relation_schema(attrs, bindings, &env).unwrap();
@@ -354,7 +349,10 @@ mod tests {
             );
         ";
         let stmts = parse_program(program).unwrap();
-        let Statement::ExtendedRelation { attrs, bindings, .. } = &stmts[0] else {
+        let Statement::ExtendedRelation {
+            attrs, bindings, ..
+        } = &stmts[0]
+        else {
             panic!()
         };
         let err = resolve_relation_schema(attrs, bindings, &env).unwrap_err();
@@ -369,7 +367,10 @@ mod tests {
             USING BINDING PATTERNS ( mystery[s] );
         ";
         let stmts = parse_program(program).unwrap();
-        let Statement::ExtendedRelation { attrs, bindings, .. } = &stmts[0] else {
+        let Statement::ExtendedRelation {
+            attrs, bindings, ..
+        } = &stmts[0]
+        else {
             panic!()
         };
         assert_eq!(
@@ -430,11 +431,11 @@ mod tests {
 
     #[test]
     fn formula_resolution_full_surface() {
-        let expr = parse_query(
-            "SELECT[NOT (a = 1 AND b <> 'x') OR c >= 2.5 AND d = TRUE](t)",
-        )
-        .unwrap();
-        let QueryExpr::Select(_, f) = expr else { panic!() };
+        let expr =
+            parse_query("SELECT[NOT (a = 1 AND b <> 'x') OR c >= 2.5 AND d = TRUE](t)").unwrap();
+        let QueryExpr::Select(_, f) = expr else {
+            panic!()
+        };
         let formula = resolve_formula(&f);
         let rendered = formula.to_string();
         assert!(rendered.contains("¬"));
@@ -447,7 +448,9 @@ mod tests {
     fn aggregate_resolution_defaults_names() {
         let expr = parse_query("AGGREGATE[location; avg(temperature)](readings)").unwrap();
         let plan = resolve_query(&expr);
-        let StreamPlan::Aggregate(_, group, aggs) = plan else { panic!() };
+        let StreamPlan::Aggregate(_, group, aggs) = plan else {
+            panic!()
+        };
         assert_eq!(group, vec![AttrName::new("location")]);
         assert_eq!(aggs[0].as_name.as_str(), "avg_temperature");
     }

@@ -100,7 +100,9 @@ pub fn parse_select(input: &str) -> Result<SelectAst, ParseError> {
         line: e.line,
         col: e.col,
     })?;
-    let mut p = SqlParser { inner: crate::parser::raw_parser(tokens) };
+    let mut p = SqlParser {
+        inner: crate::parser::raw_parser(tokens),
+    };
     let ast = p.select()?;
     if p.inner.peek_token() == Some(&Token::Semi) {
         p.inner.bump_token();
@@ -144,8 +146,7 @@ impl SqlParser {
                 p.expect_token(&Token::Assign)?;
                 let src = match p.peek_token() {
                     Some(Token::Ident(s))
-                        if !s.eq_ignore_ascii_case("true")
-                            && !s.eq_ignore_ascii_case("false") =>
+                        if !s.eq_ignore_ascii_case("true") && !s.eq_ignore_ascii_case("false") =>
                     {
                         AssignAst::Attr(p.expect_ident()?)
                     }
@@ -197,14 +198,20 @@ impl SqlParser {
                 "INSERTIONS" | "INSERTION" => StreamKindAst::Insertion,
                 "DELETIONS" | "DELETION" => StreamKindAst::Deletion,
                 "HEARTBEAT" => StreamKindAst::Heartbeat,
-                other => {
-                    return Err(p.error_here(&format!("unknown EMIT kind `{other}`")))
-                }
+                other => return Err(p.error_here(&format!("unknown EMIT kind `{other}`"))),
             })
         } else {
             None
         };
-        Ok(SelectAst { items, from, with, using, where_, group_by, emit })
+        Ok(SelectAst {
+            items,
+            from,
+            with,
+            using,
+            where_,
+            group_by,
+            emit,
+        })
     }
 
     fn select_item(p: &mut crate::parser::RawParser) -> Result<SelectItem, ParseError> {
@@ -222,8 +229,11 @@ impl SqlParser {
                 p.bump_token();
                 let attr = p.expect_ident()?;
                 p.expect_token(&Token::RParen)?;
-                let as_name =
-                    if p.accept_kw("AS") { Some(p.expect_ident()?) } else { None };
+                let as_name = if p.accept_kw("AS") {
+                    Some(p.expect_ident()?)
+                } else {
+                    None
+                };
                 return Ok(SelectItem::Agg { fun, attr, as_name });
             }
         }
@@ -252,7 +262,9 @@ pub fn lower_select(
 ) -> Result<StreamPlan, DdlError> {
     // FROM: natural joins left-to-right
     let mut iter = ast.from.iter();
-    let first = iter.next().ok_or_else(|| DdlError::Value("FROM list is empty".into()))?;
+    let first = iter
+        .next()
+        .ok_or_else(|| DdlError::Value("FROM list is empty".into()))?;
     let mut plan = lower_from(first);
     for item in iter {
         plan = plan.join(lower_from(item));
@@ -279,9 +291,7 @@ pub fn lower_select(
             let uses_output = attrs
                 .iter()
                 .any(|a| output_attrs.iter().any(|o| o == a.as_str()));
-            let uses_with = attrs
-                .iter()
-                .any(|a| with_targets.contains(&a.as_str()));
+            let uses_with = attrs.iter().any(|a| with_targets.contains(&a.as_str()));
             if uses_output {
                 post.push(conjunct);
             } else if uses_with {
@@ -330,7 +340,9 @@ pub fn lower_select(
         let specs: Vec<AggSpec> = aggs
             .iter()
             .map(|i| {
-                let SelectItem::Agg { fun, attr, as_name } = i else { unreachable!() };
+                let SelectItem::Agg { fun, attr, as_name } = i else {
+                    unreachable!()
+                };
                 let fun = match fun {
                     AggFunAst::Count => AggFun::Count,
                     AggFunAst::Sum => AggFun::Sum,
@@ -366,7 +378,9 @@ pub fn lower_select(
             .items
             .iter()
             .map(|i| {
-                let SelectItem::Attr(a) = i else { unreachable!() };
+                let SelectItem::Attr(a) = i else {
+                    unreachable!()
+                };
                 AttrName::new(a)
             })
             .collect();
@@ -403,10 +417,7 @@ fn split_conjuncts(f: Formula) -> Vec<Formula> {
 }
 
 /// Parse + lower in one step.
-pub fn compile_select(
-    input: &str,
-    catalog: &dyn PrototypeCatalog,
-) -> Result<StreamPlan, DdlError> {
+pub fn compile_select(input: &str, catalog: &dyn PrototypeCatalog) -> Result<StreamPlan, DdlError> {
     let ast = parse_select(input)?;
     lower_select(&ast, catalog)
 }
@@ -443,7 +454,8 @@ mod tests {
         .unwrap();
         let one_shot = to_one_shot(&plan).unwrap();
         // π over Q1 (the projection lists the full schema, harmless)
-        let expected = plan_examples::q1().project(["name", "address", "text", "messenger", "sent"]);
+        let expected =
+            plan_examples::q1().project(["name", "address", "text", "messenger", "sent"]);
         assert_eq!(one_shot, expected);
     }
 
@@ -531,11 +543,7 @@ mod tests {
     #[test]
     fn from_join_is_natural() {
         let env = example_environment();
-        let plan = compile_select(
-            "SELECT sensor, location FROM sensors, cameras",
-            &env,
-        )
-        .unwrap();
+        let plan = compile_select("SELECT sensor, location FROM sensors, cameras", &env).unwrap();
         assert!(plan.to_algebra().contains("⋈"));
     }
 
@@ -543,8 +551,8 @@ mod tests {
     fn errors_are_informative() {
         let env = example_environment();
         // unknown prototype in USING
-        let err = compile_select("SELECT FROM contacts USING teleport[messenger]", &env)
-            .unwrap_err();
+        let err =
+            compile_select("SELECT FROM contacts USING teleport[messenger]", &env).unwrap_err();
         assert!(matches!(err, DdlError::UnknownPrototype(p) if p == "teleport"));
         // non-grouped select item with aggregates
         let err = compile_select(

@@ -85,12 +85,21 @@ fn main() {
 /// explicit override, default to non-interactive when piped output is
 /// likely (we cannot know portably without libc; the prompt is cosmetic).
 fn atty_like() -> bool {
-    std::env::var("PEMS_SHELL_INTERACTIVE").map(|v| v != "0").unwrap_or(false)
+    std::env::var("PEMS_SHELL_INTERACTIVE")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 fn prompt(interactive: bool, buffer: &str) {
     if interactive {
-        print!("{}", if buffer.is_empty() { "serena> " } else { "   ...> " });
+        print!(
+            "{}",
+            if buffer.is_empty() {
+                "serena> "
+            } else {
+                "   ...> "
+            }
+        );
         let _ = io::stdout().flush();
     }
 }
@@ -193,7 +202,12 @@ fn load_demo(pems: &mut Pems) -> Result<(), serena_pems::PemsError> {
     let reg = pems.registry();
     reg.register("email", fixtures::messenger());
     reg.register("jabber", fixtures::messenger());
-    for (name, seed) in [("sensor01", 1u64), ("sensor06", 6), ("sensor07", 7), ("sensor22", 22)] {
+    for (name, seed) in [
+        ("sensor01", 1u64),
+        ("sensor06", 6),
+        ("sensor07", 7),
+        ("sensor22", 22),
+    ] {
         reg.register(name, fixtures::temperature_sensor(seed));
     }
     for (name, seed) in [("camera01", 1u64), ("camera02", 2), ("webcam07", 7)] {

@@ -58,7 +58,10 @@ impl StreamHub {
     /// A new subscription starting at the current end of the log (streams
     /// are append-only: history is not replayed).
     pub fn subscribe(&self) -> HubSubscription {
-        HubSubscription { log: Arc::clone(&self.log), offset: self.log.lock().len() }
+        HubSubscription {
+            log: Arc::clone(&self.log),
+            offset: self.log.lock().len(),
+        }
     }
 }
 

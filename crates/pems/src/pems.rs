@@ -19,6 +19,7 @@ use serena_core::error::{EvalError, PlanError, SchemaError};
 use serena_core::eval::EvalOutcome;
 use serena_core::exec::{explain_analyze_text, ExecContext};
 use serena_core::metrics::{ExecStats, MetricsSink, NoopMetrics};
+use serena_core::physical::ExecOptions;
 use serena_core::plan::Plan;
 use serena_core::time::Instant;
 use serena_ddl::ast::Statement;
@@ -137,12 +138,19 @@ pub struct PemsBuilder {
     bus: BusConfig,
     clock: Instant,
     metrics: Option<Arc<dyn MetricsSink>>,
+    exec_options: ExecOptions,
 }
 
 impl PemsBuilder {
-    /// Defaults: default bus latency, clock at zero, no metrics sink.
+    /// Defaults: default bus latency, clock at zero, no metrics sink,
+    /// serial execution.
     pub fn new() -> Self {
-        PemsBuilder { bus: BusConfig::default(), clock: Instant::ZERO, metrics: None }
+        PemsBuilder {
+            bus: BusConfig::default(),
+            clock: Instant::ZERO,
+            metrics: None,
+            exec_options: ExecOptions::default(),
+        }
     }
 
     /// Discovery-network latency model.
@@ -164,6 +172,14 @@ impl PemsBuilder {
         self
     }
 
+    /// Execution options applied to every one-shot evaluation and every
+    /// continuous query registered after construction (β parallelism;
+    /// serial by default).
+    pub fn exec_options(mut self, options: ExecOptions) -> Self {
+        self.exec_options = options;
+        self
+    }
+
     /// Assemble the runtime.
     pub fn build(self) -> Pems {
         let bus = DiscoveryBus::new(self.bus);
@@ -179,6 +195,7 @@ impl PemsBuilder {
             discoveries: Vec::new(),
             sql_counter: 0,
             metrics: self.metrics.unwrap_or_else(|| Arc::new(NoopMetrics)),
+            exec_options: self.exec_options,
         }
     }
 }
@@ -199,6 +216,7 @@ pub struct Pems {
     discoveries: Vec<(String, DiscoveryQuery)>,
     sql_counter: u64,
     metrics: Arc<dyn MetricsSink>,
+    exec_options: ExecOptions,
 }
 
 impl Default for Pems {
@@ -273,30 +291,43 @@ impl Pems {
         Ok(())
     }
 
-    /// Register a continuous query by name and plan.
+    /// Register a continuous query by name and plan. The query runs with
+    /// the runtime's configured [`ExecOptions`].
     pub fn register_query(
         &mut self,
         name: impl Into<String>,
         plan: &serena_stream::plan::StreamPlan,
     ) -> Result<(), PemsError> {
         let mut sources = self.tables.source_set_for(plan);
-        self.processor.register(name, plan, &mut sources)?;
+        self.processor
+            .register_with_options(name, plan, &mut sources, self.exec_options)?;
         Ok(())
     }
 
     /// Execute a parsed statement.
     pub fn run_statement(&mut self, stmt: &Statement) -> Result<ExecOutcome, PemsError> {
         match stmt {
-            Statement::Prototype { name, input, output, active } => {
+            Statement::Prototype {
+                name,
+                input,
+                output,
+                active,
+            } => {
                 let p = resolve_prototype(name, input, output, *active)?;
                 self.tables.declare_prototype(p)?;
                 Ok(ExecOutcome::Done)
             }
             Statement::Service { name, prototypes } => {
-                self.tables.declare_service(name.clone(), prototypes.clone());
+                self.tables
+                    .declare_service(name.clone(), prototypes.clone());
                 Ok(ExecOutcome::Done)
             }
-            Statement::ExtendedRelation { name, attrs, bindings, stream } => {
+            Statement::ExtendedRelation {
+                name,
+                attrs,
+                bindings,
+                stream,
+            } => {
                 let schema = resolve_relation_schema(attrs, bindings, &self.tables)?;
                 if *stream {
                     self.tables.define_push_stream(name.clone(), schema)?;
@@ -362,11 +393,7 @@ impl Pems {
     /// statement without window/streaming parts evaluates one-shot;
     /// otherwise it is registered as a continuous query (under `name`, or
     /// an auto-generated `sql_N`).
-    pub fn run_sql(
-        &mut self,
-        name: Option<&str>,
-        sql: &str,
-    ) -> Result<ExecOutcome, PemsError> {
+    pub fn run_sql(&mut self, name: Option<&str>, sql: &str) -> Result<ExecOutcome, PemsError> {
         let plan = serena_ddl::sql::compile_select(sql, &self.tables)?;
         match to_one_shot(&plan) {
             Some(one_shot) => Ok(ExecOutcome::OneShot(self.one_shot(&one_shot)?)),
@@ -409,7 +436,8 @@ impl Pems {
     ) -> Result<EvalOutcome, PemsError> {
         let env = self.snapshot_environment();
         let registry = self.registry();
-        let ctx = ExecContext::with_metrics(&env, &*registry, self.clock(), sink);
+        let ctx = ExecContext::with_metrics(&env, &*registry, self.clock(), sink)
+            .with_options(self.exec_options);
         Ok(ctx.execute(plan)?)
     }
 
@@ -422,7 +450,11 @@ impl Pems {
         let tee = serena_core::metrics::Tee(&stats, &*self.metrics);
         let outcome = self.one_shot_with(plan, &tee)?;
         let rendered = explain_analyze_text(plan, &stats);
-        Ok(ExplainAnalyze { outcome, stats, rendered })
+        Ok(ExplainAnalyze {
+            outcome,
+            stats,
+            rendered,
+        })
     }
 
     /// Snapshot the finite tables into a one-shot [`Environment`].
@@ -499,7 +531,9 @@ mod tests {
                 "EXECUTE INVOKE[sendMessage[messenger]](ASSIGN[text := 'Hi'](SELECT[name = 'Nicolas'](contacts)));",
             )
             .unwrap();
-        let ExecOutcome::OneShot(out) = &outcomes[0] else { panic!() };
+        let ExecOutcome::OneShot(out) = &outcomes[0] else {
+            panic!()
+        };
         assert_eq!(out.relation.len(), 1);
         assert_eq!(out.actions.len(), 1);
     }
@@ -508,10 +542,8 @@ mod tests {
     fn register_continuous_query_via_ddl() {
         let mut pems = pems_with_messenger();
         pems.run_program(SETUP).unwrap();
-        pems.run_program(
-            "REGISTER QUERY watch AS SELECT[messenger = 'email'](contacts);",
-        )
-        .unwrap();
+        pems.run_program("REGISTER QUERY watch AS SELECT[messenger = 'email'](contacts);")
+            .unwrap();
         let reports = pems.tick();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].1.delta.inserts.len(), 2);
@@ -530,7 +562,8 @@ mod tests {
              ) USING BINDING PATTERNS ( getTemperature[sensor] );",
         )
         .unwrap();
-        pems.register_discovery("sensors", "getTemperature", "sensor").unwrap();
+        pems.register_discovery("sensors", "getTemperature", "sensor")
+            .unwrap();
         pems.register_query(
             "all_sensors",
             &serena_stream::plan::StreamPlan::source("sensors"),
@@ -544,7 +577,8 @@ mod tests {
             serena_core::service::fixtures::temperature_sensor(1),
             pems.clock(),
         );
-        pems.directory().set("sensor01", "location", Value::str("corridor"));
+        pems.directory()
+            .set("sensor01", "location", Value::str("corridor"));
 
         let reports = pems.tick(); // discovery applies, table refreshes, query sees row
         assert_eq!(reports[0].1.delta.inserts.len(), 1);
@@ -558,16 +592,14 @@ mod tests {
     fn insert_delete_via_ddl_affect_queries() {
         let mut pems = pems_with_messenger();
         pems.run_program(SETUP).unwrap();
-        pems.run_program("REGISTER QUERY watch AS contacts;").unwrap();
+        pems.run_program("REGISTER QUERY watch AS contacts;")
+            .unwrap();
         pems.tick();
         pems.run_program("DELETE FROM contacts VALUES ('Carla', 'carla@elysee.fr', 'email');")
             .unwrap();
         let reports = pems.tick();
         assert_eq!(reports[0].1.delta.deletes.len(), 1);
-        assert_eq!(
-            pems.processor().current_relation("watch").unwrap().len(),
-            1
-        );
+        assert_eq!(pems.processor().current_relation("watch").unwrap().len(), 1);
     }
 
     #[test]
@@ -585,7 +617,8 @@ mod tests {
     fn unregister_query_statement() {
         let mut pems = pems_with_messenger();
         pems.run_program(SETUP).unwrap();
-        pems.run_program("REGISTER QUERY watch AS contacts;").unwrap();
+        pems.run_program("REGISTER QUERY watch AS contacts;")
+            .unwrap();
         assert_eq!(pems.processor().names(), vec!["watch"]);
         pems.run_program("UNREGISTER QUERY watch;").unwrap();
         assert!(pems.processor().names().is_empty());
@@ -606,7 +639,9 @@ mod tests {
                  WHERE name = 'Nicolas'",
             )
             .unwrap();
-        let ExecOutcome::OneShot(out) = outcome else { panic!() };
+        let ExecOutcome::OneShot(out) = outcome else {
+            panic!()
+        };
         assert_eq!(out.actions.len(), 1);
         assert_eq!(out.relation.len(), 1);
 
@@ -616,11 +651,17 @@ mod tests {
         )
         .unwrap();
         let outcome = pems
-            .run_sql(None, "SELECT location FROM readings WINDOW 2 WHERE temperature > 30.0")
+            .run_sql(
+                None,
+                "SELECT location FROM readings WINDOW 2 WHERE temperature > 30.0",
+            )
             .unwrap();
-        let ExecOutcome::Registered(name) = outcome else { panic!() };
+        let ExecOutcome::Registered(name) = outcome else {
+            panic!()
+        };
         assert_eq!(name, "sql_1");
-        pems.tables().push_stream("readings", tuple!["office", 35.0]);
+        pems.tables()
+            .push_stream("readings", tuple!["office", 35.0]);
         let reports = pems.tick();
         let r = reports.iter().find(|(n, _)| *n == name).unwrap();
         assert_eq!(r.1.delta.inserts.len(), 1);
@@ -683,6 +724,52 @@ mod tests {
     }
 
     #[test]
+    fn builder_exec_options_apply_to_one_shot_and_continuous() {
+        let build = |options: ExecOptions| {
+            let mut pems = Pems::builder()
+                .bus(BusConfig::instant())
+                .exec_options(options)
+                .build();
+            let (svc, _outbox) = serena_services::devices::messenger::SimMessenger::new(
+                serena_services::devices::messenger::MessengerKind::Email,
+            )
+            .into_service();
+            pems.registry().register("email", svc);
+            pems.run_program(SETUP).unwrap();
+            pems
+        };
+        let plan = Plan::relation("contacts")
+            .assign_const("text", Value::str("Hi"))
+            .invoke("sendMessage", "messenger");
+
+        let serial = build(ExecOptions::serial());
+        let parallel = build(ExecOptions::parallel(4));
+        let a = serial.one_shot(&plan).unwrap();
+        let b = parallel.one_shot(&plan).unwrap();
+        assert_eq!(a.relation, b.relation);
+        assert_eq!(a.actions, b.actions);
+
+        // continuous registration inherits the runtime's options and the
+        // parallel tick produces the same report as the serial one
+        let mut serial = serial;
+        let mut parallel = parallel;
+        for p in [&mut serial, &mut parallel] {
+            p.run_program(
+                "REGISTER QUERY send AS INVOKE[sendMessage[messenger]](ASSIGN[text := 'Hi'](contacts));",
+            )
+            .unwrap();
+        }
+        let ra = serial.tick();
+        let rb = parallel.tick();
+        assert_eq!(ra[0].1.delta, rb[0].1.delta);
+        assert_eq!(ra[0].1.actions, rb[0].1.actions);
+        assert_eq!(
+            ra[0].1.stats.total_invocations(),
+            rb[0].1.stats.total_invocations()
+        );
+    }
+
+    #[test]
     fn builder_configures_clock_and_metrics() {
         let sink = Arc::new(serena_core::metrics::ExecStats::new());
         let pems = Pems::builder()
@@ -707,7 +794,8 @@ mod tests {
         assert_eq!(scan.tuples_out, 2);
 
         // ...and continuous ticks tee into it too
-        pems.run_program("REGISTER QUERY watch AS contacts;").unwrap();
+        pems.run_program("REGISTER QUERY watch AS contacts;")
+            .unwrap();
         sink.clear();
         let reports = pems.tick();
         assert_eq!(reports.len(), 1);

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 
 use serena_core::error::PlanError;
 use serena_core::metrics::{ExecStats, MetricsSink, NoopMetrics, Tee};
+use serena_core::physical::ExecOptions;
 use serena_core::service::Invoker;
 use serena_core::time::Instant;
 use serena_stream::exec::{ContinuousQuery, SourceSet, TickReport};
@@ -73,17 +74,34 @@ impl QueryProcessor {
         plan: &StreamPlan,
         sources: &mut SourceSet,
     ) -> Result<(), PlanError> {
+        self.register_with_options(name, plan, sources, ExecOptions::default())
+    }
+
+    /// [`Self::register`] with explicit execution options: every tick of
+    /// this query fans its β invocations across
+    /// `options.invoke_parallelism` workers.
+    pub fn register_with_options(
+        &mut self,
+        name: impl Into<String>,
+        plan: &StreamPlan,
+        sources: &mut SourceSet,
+        options: ExecOptions,
+    ) -> Result<(), PlanError> {
         let name = name.into();
         if self.queries.contains_key(&name) {
             return Err(PlanError::UnknownRelation(format!(
                 "query `{name}` already registered"
             )));
         }
-        let mut query = ContinuousQuery::compile(plan, sources)?;
+        let mut query = ContinuousQuery::compile_with_options(plan, sources, options)?;
         query.seek(self.clock);
         self.queries.insert(
             name,
-            Registered { query, stats: QueryStats::default(), exec: ExecStats::new() },
+            Registered {
+                query,
+                stats: QueryStats::default(),
+                exec: ExecStats::new(),
+            },
         );
         Ok(())
     }
@@ -143,7 +161,10 @@ impl QueryProcessor {
             self.queries
                 .iter_mut()
                 .map(|(name, reg)| {
-                    (name.clone(), reg.query.tick_with(invoker, &Tee(&reg.exec, sink)))
+                    (
+                        name.clone(),
+                        reg.query.tick_with(invoker, &Tee(&reg.exec, sink)),
+                    )
                 })
                 .collect()
         } else {
@@ -157,7 +178,10 @@ impl QueryProcessor {
                         scope.spawn(move || (name, query.tick_with(invoker, &Tee(&*exec, sink))))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("query tick")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("query tick"))
+                    .collect()
             })
         };
         for (name, report) in &reports {
@@ -198,7 +222,8 @@ mod tests {
     fn lockstep_ticking_and_stats() {
         let mut qp = QueryProcessor::new();
         let (table, mut s1) = int_table();
-        qp.register("all", &StreamPlan::source("t"), &mut s1).unwrap();
+        qp.register("all", &StreamPlan::source("t"), &mut s1)
+            .unwrap();
         let mut s2 = SourceSet::new();
         s2.add_table("t", table.clone());
         qp.register(
@@ -225,7 +250,8 @@ mod tests {
     fn late_registration_bootstraps_from_current_state() {
         let mut qp = QueryProcessor::new();
         let (table, mut s1) = int_table();
-        qp.register("first", &StreamPlan::source("t"), &mut s1).unwrap();
+        qp.register("first", &StreamPlan::source("t"), &mut s1)
+            .unwrap();
         let reg = example_registry();
         table.insert(tuple![1]);
         qp.tick_all(&reg);
@@ -233,7 +259,8 @@ mod tests {
         // register a second query mid-run: it must see the existing tuple
         let mut s2 = SourceSet::new();
         s2.add_table("t", table.clone());
-        qp.register("late", &StreamPlan::source("t"), &mut s2).unwrap();
+        qp.register("late", &StreamPlan::source("t"), &mut s2)
+            .unwrap();
         let reports = qp.tick_all(&reg);
         let late = reports.iter().find(|(n, _)| n == "late").unwrap();
         assert_eq!(late.1.delta.inserts.len(), 1);
@@ -307,7 +334,10 @@ mod tests {
             table.insert(tuple![v]);
             let reports = qp.tick_all(&reg);
             let sizes: Vec<usize> = reports.iter().map(|(_, r)| r.delta.inserts.len()).collect();
-            assert!(sizes.iter().all(|&s| s == sizes[0]), "queries disagree: {sizes:?}");
+            assert!(
+                sizes.iter().all(|&s| s == sizes[0]),
+                "queries disagree: {sizes:?}"
+            );
         }
         for i in 0..8 {
             assert_eq!(qp.stats(&format!("q{i}")).unwrap().inserted, 10);

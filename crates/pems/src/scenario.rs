@@ -182,14 +182,16 @@ pub fn deploy_surveillance(config: &SurveillanceConfig) -> Result<Surveillance, 
     } else {
         serena_core::schema::examples::contacts_schema()
     };
-    pems.tables_mut().define_table("contacts", contacts_schema)?;
+    pems.tables_mut()
+        .define_table("contacts", contacts_schema)?;
     let cameras_schema = serena_core::schema::examples::cameras_schema();
     pems.tables_mut().define_table("cameras", cameras_schema)?;
     let surveillance_schema = XSchema::builder()
         .real("location", DataType::Str)
         .real("manager", DataType::Str)
         .build()?;
-    pems.tables_mut().define_table("surveillance", surveillance_schema)?;
+    pems.tables_mut()
+        .define_table("surveillance", surveillance_schema)?;
 
     // temperatures: a sampler over every *discovered* getTemperature
     // provider — new sensors join the stream automatically.
@@ -199,14 +201,15 @@ pub fn deploy_surveillance(config: &SurveillanceConfig) -> Result<Surveillance, 
         .build()?;
     let registry = pems.registry();
     let directory = pems.directory();
-    pems.tables_mut().define_stream_with("temperatures", temp_schema, move || {
-        Box::new(SensorSampler::new(
-            registry.clone() as Arc<dyn serena_core::service::Invoker>,
-            directory.clone(),
-            protos::get_temperature(),
-            &["location"],
-        )) as Box<dyn StreamSource>
-    })?;
+    pems.tables_mut()
+        .define_stream_with("temperatures", temp_schema, move || {
+            Box::new(SensorSampler::new(
+                registry.clone() as Arc<dyn serena_core::service::Invoker>,
+                directory.clone(),
+                protos::get_temperature(),
+                &["location"],
+            )) as Box<dyn StreamSource>
+        })?;
 
     // cameras table maintained by a discovery query (§5.1)
     pems.register_discovery("cameras", "checkPhoto", "camera")?;
@@ -238,7 +241,11 @@ pub fn deploy_surveillance(config: &SurveillanceConfig) -> Result<Surveillance, 
 
     // messengers + contacts + surveillance assignments
     let mut outboxes = BTreeMap::new();
-    let kinds = [MessengerKind::Email, MessengerKind::Jabber, MessengerKind::Sms];
+    let kinds = [
+        MessengerKind::Email,
+        MessengerKind::Jabber,
+        MessengerKind::Sms,
+    ];
     for (i, kind) in kinds.iter().enumerate() {
         let (svc, outbox) = SimMessenger::new(*kind).into_service();
         let reference = kind.label().to_string();
@@ -278,7 +285,11 @@ pub fn deploy_surveillance(config: &SurveillanceConfig) -> Result<Surveillance, 
     let sensor_areas = (0..config.sensors)
         .map(|i| (format!("sensor{i:02}"), area(i)))
         .collect();
-    Ok(Surveillance { pems, outboxes, sensor_areas })
+    Ok(Surveillance {
+        pems,
+        outboxes,
+        sensor_areas,
+    })
 }
 
 /// Total messages across all outboxes of a deployment.
@@ -324,14 +335,15 @@ pub fn deploy_rss(config: &RssConfig) -> Result<Pems, PemsError> {
         .real("title", DataType::Str)
         .build()?;
     let feeds = config.feeds.clone();
-    pems.tables_mut().define_stream_with("news", news_schema, move || {
-        Box::new(RssStream::new(
-            feeds
-                .iter()
-                .map(|(n, s, p, k)| SimRssFeed::new(n.clone(), *s, *p, *k))
-                .collect(),
-        )) as Box<dyn StreamSource>
-    })?;
+    pems.tables_mut()
+        .define_stream_with("news", news_schema, move || {
+            Box::new(RssStream::new(
+                feeds
+                    .iter()
+                    .map(|(n, s, p, k)| SimRssFeed::new(n.clone(), *s, *p, *k))
+                    .collect(),
+            )) as Box<dyn StreamSource>
+        })?;
     pems.register_query(
         "keyword_watch",
         &rss_keyword_query(SimRssFeed::tracked_keyword(), config.window),
@@ -373,7 +385,11 @@ mod tests {
         for _ in 0..5 {
             let reports = s.pems.tick();
             for (name, r) in &reports {
-                assert!(r.actions.is_empty(), "{name} acted during idle: {:?}", r.actions);
+                assert!(
+                    r.actions.is_empty(),
+                    "{name} acted during idle: {:?}",
+                    r.actions
+                );
             }
         }
         assert_eq!(total_messages(&s.outboxes), 0);
@@ -444,7 +460,9 @@ mod tests {
         let lerm = s.pems.local_erm("annex");
         let hot = SimTemperatureSensor::new(99, 50.0, 0.0); // always hot
         lerm.register_service("sensor99", hot.into_service(), s.pems.clock());
-        s.pems.directory().set("sensor99", "location", Value::str("office"));
+        s.pems
+            .directory()
+            .set("sensor99", "location", Value::str("office"));
         let mut alerts = 0;
         for _ in 0..3 {
             let reports = s.pems.tick();
@@ -478,13 +496,12 @@ mod tests {
         }
         // office is covered by camera01 — one shot, one manager, one message
         assert_eq!(actions, 1);
-        let delivered: Vec<_> = s
-            .outboxes
-            .values()
-            .flat_map(|o| o.lock().clone())
-            .collect();
+        let delivered: Vec<_> = s.outboxes.values().flat_map(|o| o.lock().clone()).collect();
         assert_eq!(delivered.len(), 1);
-        assert!(delivered[0].attachment_bytes > 0, "the photo must be attached");
+        assert!(
+            delivered[0].attachment_bytes > 0,
+            "the photo must be attached"
+        );
         assert!(delivered[0].address.contains("contact1"));
     }
 
@@ -524,13 +541,22 @@ mod tests {
         );
         let schema = full_alert_query(28.0).stream_schema(&cat).unwrap();
         assert!(!schema.infinite);
-        assert!(schema.schema.is_real("photo"), "join realized the virtual photo");
-        assert!(schema.schema.is_real("sent"), "β realized the sending result");
+        assert!(
+            schema.schema.is_real("photo"),
+            "join realized the virtual photo"
+        );
+        assert!(
+            schema.schema.is_real("sent"),
+            "β realized the sending result"
+        );
     }
 
     #[test]
     fn rss_scenario_matches_oracle() {
-        let config = RssConfig { window: 5, ..RssConfig::default() };
+        let config = RssConfig {
+            window: 5,
+            ..RssConfig::default()
+        };
         let mut pems = deploy_rss(&config).unwrap();
         let mut inserted = 0;
         let ticks = 20u64;
@@ -550,7 +576,10 @@ mod tests {
 
     #[test]
     fn rss_window_expires_old_news() {
-        let config = RssConfig { window: 2, ..RssConfig::default() };
+        let config = RssConfig {
+            window: 2,
+            ..RssConfig::default()
+        };
         let mut pems = deploy_rss(&config).unwrap();
         let mut deleted = 0;
         for _ in 0..15 {
@@ -559,10 +588,7 @@ mod tests {
         }
         assert!(deleted > 0, "expired items must be retracted");
         // current window is bounded by what the last 2 instants produced
-        let rel = pems
-            .processor()
-            .current_relation("keyword_watch")
-            .unwrap();
+        let rel = pems.processor().current_relation("keyword_watch").unwrap();
         let bound = rss_expected_matches(
             &config,
             SimRssFeed::tracked_keyword(),

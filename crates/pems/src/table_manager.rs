@@ -79,7 +79,9 @@ impl ExtendedTableManager {
 
     /// Declared services, sorted.
     pub fn service_declarations(&self) -> impl Iterator<Item = (&str, &[String])> {
-        self.service_decls.iter().map(|(n, p)| (n.as_str(), p.as_slice()))
+        self.service_decls
+            .iter()
+            .map(|(n, p)| (n.as_str(), p.as_slice()))
     }
 
     fn check_fresh_name(&self, name: &str) -> Result<(), SchemaError> {
@@ -114,7 +116,10 @@ impl ExtendedTableManager {
         let hub = StreamHub::new();
         self.streams.insert(
             name,
-            StreamDef { schema, binding: StreamBinding::Hub(hub.clone()) },
+            StreamDef {
+                schema,
+                binding: StreamBinding::Hub(hub.clone()),
+            },
         );
         Ok(hub)
     }
@@ -132,7 +137,10 @@ impl ExtendedTableManager {
         self.check_fresh_name(&name)?;
         self.streams.insert(
             name,
-            StreamDef { schema, binding: StreamBinding::Factory(Box::new(factory)) },
+            StreamDef {
+                schema,
+                binding: StreamBinding::Factory(Box::new(factory)),
+            },
         );
         Ok(())
     }
@@ -146,7 +154,10 @@ impl ExtendedTableManager {
     /// not exist or is factory-backed.
     pub fn push_stream(&self, name: &str, t: Tuple) -> bool {
         match self.streams.get(name) {
-            Some(StreamDef { binding: StreamBinding::Hub(hub), .. }) => {
+            Some(StreamDef {
+                binding: StreamBinding::Hub(hub),
+                ..
+            }) => {
                 hub.push(t);
                 true
             }
@@ -161,7 +172,9 @@ impl ExtendedTableManager {
                 h.insert(t);
                 Ok(())
             }
-            None => Err(SchemaError::DuplicateRelation(format!("{name} (not defined)"))),
+            None => Err(SchemaError::DuplicateRelation(format!(
+                "{name} (not defined)"
+            ))),
         }
     }
 
@@ -172,7 +185,9 @@ impl ExtendedTableManager {
                 h.delete(t);
                 Ok(())
             }
-            None => Err(SchemaError::DuplicateRelation(format!("{name} (not defined)"))),
+            None => Err(SchemaError::DuplicateRelation(format!(
+                "{name} (not defined)"
+            ))),
         }
     }
 
@@ -289,8 +304,10 @@ mod tests {
     #[test]
     fn define_and_mutate_table() {
         let mut m = manager();
-        m.define_table("contacts", schemas::contacts_schema()).unwrap();
-        m.insert("contacts", tuple!["Ada", "ada@l.org", "email"]).unwrap();
+        m.define_table("contacts", schemas::contacts_schema())
+            .unwrap();
+        m.insert("contacts", tuple!["Ada", "ada@l.org", "email"])
+            .unwrap();
         assert!(m.insert("ghost", tuple![1]).is_err());
         let env = m.snapshot_environment();
         assert_eq!(env.relation("contacts").unwrap().len(), 1);
@@ -300,10 +317,10 @@ mod tests {
     fn duplicate_names_rejected_across_kinds() {
         let mut m = manager();
         m.define_table("x", schemas::contacts_schema()).unwrap();
-        assert!(m.define_push_stream("x", schemas::contacts_schema()).is_err());
         assert!(m
-            .define_table("x", schemas::contacts_schema())
+            .define_push_stream("x", schemas::contacts_schema())
             .is_err());
+        assert!(m.define_table("x", schemas::contacts_schema()).is_err());
     }
 
     #[test]

@@ -33,7 +33,10 @@ fn demo_one_shot_query_via_algebra_language() {
     assert!(out.contains("loaded the paper's running example"));
     assert!(out.contains("Nicolas"));
     assert!(out.contains("Carla"));
-    assert!(!out.contains("Francois"), "jabber contact must be filtered:\n{out}");
+    assert!(
+        !out.contains("Francois"),
+        "jabber contact must be filtered:\n{out}"
+    );
 }
 
 #[test]

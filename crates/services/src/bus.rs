@@ -44,20 +44,36 @@ pub struct BusConfig {
 
 impl Default for BusConfig {
     fn default() -> Self {
-        BusConfig { announce_latency: 1, leave_latency: 1, jitter: 0, seed: 0x5EED }
+        BusConfig {
+            announce_latency: 1,
+            leave_latency: 1,
+            jitter: 0,
+            seed: 0x5EED,
+        }
     }
 }
 
 impl BusConfig {
     /// Zero-latency bus: announcements apply at the next tick boundary.
     pub fn instant() -> Self {
-        BusConfig { announce_latency: 0, leave_latency: 0, jitter: 0, seed: 0 }
+        BusConfig {
+            announce_latency: 0,
+            leave_latency: 0,
+            jitter: 0,
+            seed: 0,
+        }
     }
 }
 
 enum Payload {
-    Announce { reference: ServiceRef, service: Arc<dyn Service>, origin: String },
-    Leave { reference: ServiceRef },
+    Announce {
+        reference: ServiceRef,
+        service: Arc<dyn Service>,
+        origin: String,
+    },
+    Leave {
+        reference: ServiceRef,
+    },
 }
 
 struct Scheduled {
@@ -182,7 +198,9 @@ impl LocalErm {
         self.bus.push(
             now,
             self.bus.config.leave_latency,
-            Payload::Leave { reference: reference.into() },
+            Payload::Leave {
+                reference: reference.into(),
+            },
         );
     }
 }
@@ -197,7 +215,10 @@ pub struct CoreErm {
 impl CoreErm {
     /// Attach a core ERM to `bus` with a fresh registry.
     pub fn new(bus: Arc<DiscoveryBus>) -> Self {
-        CoreErm { bus, registry: Arc::new(DynamicRegistry::new()) }
+        CoreErm {
+            bus,
+            registry: Arc::new(DynamicRegistry::new()),
+        }
     }
 
     /// Attach to `bus` reusing an existing registry.
@@ -217,7 +238,11 @@ impl CoreErm {
         let n = due.len();
         for msg in due {
             match msg.payload {
-                Payload::Announce { reference, service, origin } => {
+                Payload::Announce {
+                    reference,
+                    service,
+                    origin,
+                } => {
                     self.registry.register_from(reference, service, origin);
                 }
                 Payload::Leave { reference } => {
@@ -253,7 +278,9 @@ mod tests {
         assert_eq!(core.tick(Instant(3)), 1);
         assert!(core.registry().contains(&ServiceRef::new("sensor01")));
         assert_eq!(
-            core.registry().origin_of(&ServiceRef::new("sensor01")).unwrap(),
+            core.registry()
+                .origin_of(&ServiceRef::new("sensor01"))
+                .unwrap(),
             "lerm-A"
         );
     }
@@ -283,11 +310,7 @@ mod tests {
             let lerm = LocalErm::new("L", Arc::clone(&bus));
             let core = CoreErm::new(Arc::clone(&bus));
             for i in 0..10u64 {
-                lerm.register_service(
-                    format!("s{i}"),
-                    fixtures::temperature_sensor(i),
-                    Instant(0),
-                );
+                lerm.register_service(format!("s{i}"), fixtures::temperature_sensor(i), Instant(0));
             }
             (0..10)
                 .map(|t| core.tick(Instant(t)))
@@ -308,7 +331,12 @@ mod tests {
         lerm_b.register_service("camera01", fixtures::camera(1), Instant(0));
         core.tick(Instant(0));
         assert_eq!(core.registry().len(), 2);
-        assert_eq!(core.registry().origin_of(&ServiceRef::new("camera01")).unwrap(), "B");
+        assert_eq!(
+            core.registry()
+                .origin_of(&ServiceRef::new("camera01"))
+                .unwrap(),
+            "B"
+        );
         assert_eq!(bus.pending(), 0);
     }
 

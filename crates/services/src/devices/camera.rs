@@ -152,7 +152,11 @@ mod tests {
         let quality = checked[0][0].as_int().unwrap();
         assert!(quality > 0);
         let photo = c
-            .invoke(&protos::take_photo(), &tuple!["office", quality], Instant(2))
+            .invoke(
+                &protos::take_photo(),
+                &tuple!["office", quality],
+                Instant(2),
+            )
             .unwrap();
         let blob = photo[0][0].as_blob().unwrap();
         assert_eq!(blob.len(), 256);

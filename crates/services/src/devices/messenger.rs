@@ -91,7 +91,10 @@ pub struct SimMessenger {
 impl SimMessenger {
     /// New messenger of the given kind with a fresh outbox.
     pub fn new(kind: MessengerKind) -> Self {
-        SimMessenger { kind, outbox: Arc::new(Mutex::new(Vec::new())) }
+        SimMessenger {
+            kind,
+            outbox: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// Handle to the outbox (clone to keep after moving the service into a
@@ -195,7 +198,11 @@ mod tests {
     fn invalid_address_reports_sent_false() {
         let (svc, outbox) = SimMessenger::new(MessengerKind::Email).into_service();
         let out = svc
-            .invoke(&protos::send_message(), &tuple!["not-an-address", "hi"], Instant(0))
+            .invoke(
+                &protos::send_message(),
+                &tuple!["not-an-address", "hi"],
+                Instant(0),
+            )
             .unwrap();
         assert_eq!(out[0][0], Value::Bool(false));
         assert!(outbox.lock().is_empty());

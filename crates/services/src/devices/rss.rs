@@ -44,16 +44,36 @@ pub fn fetch_news_prototype() -> Arc<Prototype> {
 }
 
 const SUBJECTS: &[&str] = &[
-    "Obama", "the Senate", "the EU", "Lyon", "the markets", "researchers",
-    "the ministry", "voters", "NASA", "the summit",
+    "Obama",
+    "the Senate",
+    "the EU",
+    "Lyon",
+    "the markets",
+    "researchers",
+    "the ministry",
+    "voters",
+    "NASA",
+    "the summit",
 ];
 const VERBS: &[&str] = &[
-    "announces", "debates", "rejects", "celebrates", "postpones", "reviews",
-    "approves", "questions",
+    "announces",
+    "debates",
+    "rejects",
+    "celebrates",
+    "postpones",
+    "reviews",
+    "approves",
+    "questions",
 ];
 const OBJECTS: &[&str] = &[
-    "a new treaty", "the budget", "climate measures", "the election results",
-    "a space mission", "energy prices", "the reform", "a trade accord",
+    "a new treaty",
+    "the budget",
+    "climate measures",
+    "the election results",
+    "a space mission",
+    "energy prices",
+    "the reform",
+    "a trade accord",
 ];
 
 /// A deterministic simulated RSS feed.
@@ -145,7 +165,11 @@ impl Service for SimRssFeed {
         at: Instant,
     ) -> Result<Vec<Tuple>, String> {
         if prototype.name() != "fetchNews" {
-            return Err(format!("RSS feed {} cannot serve {}", self.name, prototype.name()));
+            return Err(format!(
+                "RSS feed {} cannot serve {}",
+                self.name,
+                prototype.name()
+            ));
         }
         Ok(self
             .items_at(at)

@@ -43,7 +43,12 @@ pub struct SimTemperatureSensor {
 impl SimTemperatureSensor {
     /// A sensor reading around `base` °C with ±`fluctuation` seeded noise.
     pub fn new(seed: u64, base: f64, fluctuation: f64) -> Self {
-        SimTemperatureSensor { seed, base, fluctuation, events: Vec::new() }
+        SimTemperatureSensor {
+            seed,
+            base,
+            fluctuation,
+            events: Vec::new(),
+        }
     }
 
     /// Standard room sensor: 19–23 °C.
@@ -89,7 +94,10 @@ impl Service for SimTemperatureSensor {
         at: Instant,
     ) -> Result<Vec<Tuple>, String> {
         if prototype.name() != "getTemperature" {
-            return Err(format!("temperature sensor cannot serve {}", prototype.name()));
+            return Err(format!(
+                "temperature sensor cannot serve {}",
+                prototype.name()
+            ));
         }
         Ok(vec![Tuple::new(vec![Value::Real(self.reading_at(at))])])
     }

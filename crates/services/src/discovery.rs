@@ -80,7 +80,11 @@ impl DiscoveryQuery {
                 attr: service_attr,
             });
         }
-        Ok(DiscoveryQuery { prototype: prototype.into(), schema, service_attr })
+        Ok(DiscoveryQuery {
+            prototype: prototype.into(),
+            schema,
+            service_attr,
+        })
     }
 
     /// The target schema.

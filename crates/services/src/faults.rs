@@ -7,13 +7,16 @@
 //! (reporting a simulated latency without blocking the test clock).
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use serena_core::sync::Mutex;
 
+use serena_core::error::EvalError;
 use serena_core::prototype::Prototype;
-use serena_core::service::Service;
+use serena_core::service::{Invoker, Service};
 use serena_core::time::Instant;
 use serena_core::tuple::Tuple;
+use serena_core::value::ServiceRef;
 
 /// When a wrapped service misbehaves.
 #[derive(Debug, Clone)]
@@ -101,6 +104,50 @@ impl Service for FaultyService {
     }
 }
 
+/// An [`Invoker`] decorator that sleeps a fixed wall-clock latency before
+/// every invocation — the "slow device" model the parallel-β benchmarks are
+/// built on. Because the sleep happens on the calling thread, N tuples
+/// fanned across W workers take roughly `ceil(N / W) × latency` instead of
+/// `N × latency`.
+pub struct SlowInvoker<I> {
+    inner: I,
+    latency: Duration,
+}
+
+impl<I: Invoker> SlowInvoker<I> {
+    /// Wrap `inner`, delaying every [`Invoker::invoke`] by `latency`.
+    pub fn new(inner: I, latency: Duration) -> Self {
+        SlowInvoker { inner, latency }
+    }
+
+    /// The simulated per-call latency.
+    pub fn latency(&self) -> Duration {
+        self.latency
+    }
+
+    /// The wrapped invoker.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+}
+
+impl<I: Invoker> Invoker for SlowInvoker<I> {
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        service_ref: &ServiceRef,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, EvalError> {
+        std::thread::sleep(self.latency);
+        self.inner.invoke(prototype, service_ref, input, at)
+    }
+
+    fn providers_of(&self, prototype: &str) -> Vec<ServiceRef> {
+        self.inner.providers_of(prototype)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,7 +173,10 @@ mod tests {
     fn outage_window() {
         let svc = FaultyService::new(
             fixtures::temperature_sensor(1),
-            FaultPolicy::Outage { from: Instant(5), to: Instant(7) },
+            FaultPolicy::Outage {
+                from: Instant(5),
+                to: Instant(7),
+            },
         );
         assert!(svc
             .invoke(&protos::get_temperature(), &Tuple::empty(), Instant(4))
@@ -150,6 +200,27 @@ mod tests {
                 .is_ok());
         }
         assert_eq!(svc.prototypes().len(), 1);
+    }
+
+    #[test]
+    fn slow_invoker_delays_then_delegates() {
+        let reg = fixtures::example_registry();
+        let slow = SlowInvoker::new(reg, Duration::from_millis(5));
+        assert_eq!(slow.latency(), Duration::from_millis(5));
+        let sref = ServiceRef::new("sensor01");
+        let started = std::time::Instant::now();
+        let out = slow
+            .invoke(
+                &protos::get_temperature(),
+                &sref,
+                &Tuple::empty(),
+                Instant(0),
+            )
+            .unwrap();
+        assert!(started.elapsed() >= Duration::from_millis(5));
+        assert_eq!(out.len(), 1);
+        // provider listing is undelayed delegation
+        assert!(!slow.providers_of("getTemperature").is_empty());
     }
 
     #[test]

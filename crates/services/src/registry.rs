@@ -78,9 +78,13 @@ impl DynamicRegistry {
             .iter()
             .map(|p| p.name().to_string())
             .collect();
-        self.services
-            .write()
-            .insert(reference.clone(), Entry { service, origin: origin.clone() });
+        self.services.write().insert(
+            reference.clone(),
+            Entry {
+                service,
+                origin: origin.clone(),
+            },
+        );
         self.events.lock().push(RegistryEvent::Registered {
             reference,
             prototypes,
@@ -92,9 +96,9 @@ impl DynamicRegistry {
     pub fn unregister(&self, reference: &ServiceRef) -> bool {
         let removed = self.services.write().remove(reference).is_some();
         if removed {
-            self.events
-                .lock()
-                .push(RegistryEvent::Unregistered { reference: reference.clone() });
+            self.events.lock().push(RegistryEvent::Unregistered {
+                reference: reference.clone(),
+            });
         }
         removed
     }
@@ -121,7 +125,10 @@ impl DynamicRegistry {
 
     /// Origin LERM of a service, if registered.
     pub fn origin_of(&self, reference: &ServiceRef) -> Option<String> {
-        self.services.read().get(reference).map(|e| e.origin.clone())
+        self.services
+            .read()
+            .get(reference)
+            .map(|e| e.origin.clone())
     }
 
     /// All registered references (sorted — deterministic output).
@@ -144,7 +151,9 @@ impl Invoker for DynamicRegistry {
             let guard = self.services.read();
             guard.get(service_ref).map(|e| Arc::clone(&e.service))
         }
-        .ok_or_else(|| EvalError::UnknownService { reference: service_ref.to_string() })?;
+        .ok_or_else(|| EvalError::UnknownService {
+            reference: service_ref.to_string(),
+        })?;
         if !service
             .prototypes()
             .iter()
@@ -155,13 +164,14 @@ impl Invoker for DynamicRegistry {
                 prototype: prototype.name().to_string(),
             });
         }
-        let result = service.invoke(prototype, input, at).map_err(|reason| {
-            EvalError::InvocationFailed {
-                service: service_ref.to_string(),
-                prototype: prototype.name().to_string(),
-                reason,
-            }
-        })?;
+        let result =
+            service
+                .invoke(prototype, input, at)
+                .map_err(|reason| EvalError::InvocationFailed {
+                    service: service_ref.to_string(),
+                    prototype: prototype.name().to_string(),
+                    reason,
+                })?;
         validate_invocation_result(prototype, service_ref, &result)?;
         Ok(result)
     }
@@ -190,19 +200,26 @@ mod tests {
         reg.register_from("sensor01", fixtures::temperature_sensor(1), "lerm-A");
         reg.register("sensor02", fixtures::temperature_sensor(2));
         assert_eq!(reg.len(), 2);
-        assert_eq!(reg.origin_of(&ServiceRef::new("sensor01")).unwrap(), "lerm-A");
+        assert_eq!(
+            reg.origin_of(&ServiceRef::new("sensor01")).unwrap(),
+            "lerm-A"
+        );
 
         let events = reg.drain_events();
         assert_eq!(events.len(), 2);
-        assert!(matches!(&events[0], RegistryEvent::Registered { reference, .. }
-            if reference.as_str() == "sensor01"));
+        assert!(
+            matches!(&events[0], RegistryEvent::Registered { reference, .. }
+            if reference.as_str() == "sensor01")
+        );
 
         assert!(reg.unregister(&ServiceRef::new("sensor01")));
         assert!(!reg.unregister(&ServiceRef::new("sensor01")));
         let events = reg.drain_events();
         assert_eq!(
             events,
-            vec![RegistryEvent::Unregistered { reference: ServiceRef::new("sensor01") }]
+            vec![RegistryEvent::Unregistered {
+                reference: ServiceRef::new("sensor01")
+            }]
         );
     }
 

@@ -24,14 +24,14 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use serena_core::action::ActionSet;
-use serena_core::binding::BindingPattern;
+use serena_core::action::{Action, ActionSet};
 use serena_core::error::{EvalError, PlanError};
 use serena_core::formula::CompiledFormula;
 use serena_core::metrics::{
     ExecStats, MetricsSink, NodeId, NoopMetrics, OpKind, OpObservation, Tee,
 };
-use serena_core::ops::{self, AggSpec, AssignSource};
+use serena_core::ops::{self, AggSpec, AssignSource, InvokeRecipe};
+use serena_core::physical::ExecOptions;
 use serena_core::schema::SchemaRef;
 use serena_core::service::Invoker;
 use serena_core::time::Instant;
@@ -115,7 +115,8 @@ struct Ctx<'a> {
     actions: &'a mut ActionSet,
     errors: &'a mut Vec<EvalError>,
     metrics: &'a dyn MetricsSink,
-    next_id: usize,
+    /// β worker-pool width for one δ-batch (1 = serial).
+    parallelism: usize,
 }
 
 /// Per-tick node output: a finite delta or a stream batch.
@@ -140,7 +141,16 @@ impl Out {
     }
 }
 
-enum Node {
+/// One compiled physical node of a continuous query: its stable pre-order
+/// [`NodeId`] (assigned once at compile time, reused every tick so per-tick
+/// and rolling statistics line up across the query's lifetime) plus the
+/// operator state.
+struct Node {
+    id: NodeId,
+    kind: NodeKind,
+}
+
+enum NodeKind {
     Table {
         handle: TableHandle,
         current: Multiset,
@@ -165,9 +175,7 @@ enum Node {
     },
     Invoke {
         child: Box<Node>,
-        bp: BindingPattern,
-        in_schema: SchemaRef,
-        out_schema: SchemaRef,
+        recipe: InvokeRecipe,
         cache: HashMap<Tuple, CacheEntry>,
         current: Multiset,
     },
@@ -186,9 +194,7 @@ enum Node {
     /// stream the extended tuples.
     SampleInvoke {
         child: Box<Node>,
-        bp: BindingPattern,
-        in_schema: SchemaRef,
-        out_schema: SchemaRef,
+        recipe: InvokeRecipe,
         period: u64,
     },
 }
@@ -233,13 +239,13 @@ struct JoinRecipe {
 impl Node {
     /// The node's current instantaneous multiset (finite nodes only).
     fn current(&self) -> &Multiset {
-        match self {
-            Node::Table { current, .. }
-            | Node::Linear { current, .. }
-            | Node::Recompute { current, .. }
-            | Node::Invoke { current, .. }
-            | Node::Window { current, .. } => current,
-            Node::Stream { .. } | Node::StreamOf { .. } | Node::SampleInvoke { .. } => {
+        match &self.kind {
+            NodeKind::Table { current, .. }
+            | NodeKind::Linear { current, .. }
+            | NodeKind::Recompute { current, .. }
+            | NodeKind::Invoke { current, .. }
+            | NodeKind::Window { current, .. } => current,
+            NodeKind::Stream { .. } | NodeKind::StreamOf { .. } | NodeKind::SampleInvoke { .. } => {
                 unreachable!("type-checked: streams have no instantaneous state")
             }
         }
@@ -251,15 +257,32 @@ pub struct ContinuousQuery {
     root: Node,
     schema: StreamSchema,
     next: Instant,
+    options: ExecOptions,
 }
 
 impl ContinuousQuery {
     /// Compile `plan` against `sources`, consuming the stream sources it
     /// references. Performs full static validation first.
     pub fn compile(plan: &StreamPlan, sources: &mut SourceSet) -> Result<Self, PlanError> {
+        Self::compile_with_options(plan, sources, ExecOptions::default())
+    }
+
+    /// [`ContinuousQuery::compile`] with explicit execution options
+    /// (β worker-pool width).
+    pub fn compile_with_options(
+        plan: &StreamPlan,
+        sources: &mut SourceSet,
+        options: ExecOptions,
+    ) -> Result<Self, PlanError> {
         let schema = plan.stream_schema(sources)?;
-        let root = build(plan, sources)?;
-        Ok(ContinuousQuery { root, schema, next: Instant::ZERO })
+        let mut next_id = 0usize;
+        let root = build(plan, sources, &mut next_id)?;
+        Ok(ContinuousQuery {
+            root,
+            schema,
+            next: Instant::ZERO,
+            options,
+        })
     }
 
     /// The query's output schema and finite/infinite status.
@@ -302,7 +325,7 @@ impl ContinuousQuery {
                 actions: &mut actions,
                 errors: &mut errors,
                 metrics: &tee,
-                next_id: 0,
+                parallelism: self.options.invoke_parallelism,
             };
             tick_node(&mut self.root, &mut ctx)
         };
@@ -310,7 +333,14 @@ impl ContinuousQuery {
             Out::Finite(d) => (d, Vec::new()),
             Out::Batch(b) => (Delta::new(), b),
         };
-        TickReport { at, delta, batch, actions, errors, stats }
+        TickReport {
+            at,
+            delta,
+            batch,
+            actions,
+            errors,
+            stats,
+        }
     }
 
     /// Run `n` ticks, collecting reports.
@@ -332,17 +362,25 @@ impl ContinuousQuery {
     }
 }
 
-fn build(plan: &StreamPlan, sources: &mut SourceSet) -> Result<Node, PlanError> {
-    Ok(match plan {
+/// Compile one plan node, assigning pre-order [`NodeId`]s (this node first,
+/// then children left to right — the order [`tick_node`] visits them).
+fn build(
+    plan: &StreamPlan,
+    sources: &mut SourceSet,
+    next_id: &mut usize,
+) -> Result<Node, PlanError> {
+    let id = NodeId(*next_id);
+    *next_id += 1;
+    let kind = match plan {
         StreamPlan::Source(name) => {
             if let Some(handle) = sources.tables.get(name) {
-                Node::Table {
+                NodeKind::Table {
                     handle: handle.clone(),
                     current: Multiset::new(),
                     started: false,
                 }
             } else if let Some((_, source)) = sources.streams.remove(name) {
-                Node::Stream { source }
+                NodeKind::Stream { source }
             } else {
                 return Err(PlanError::UnknownRelation(name.clone()));
             }
@@ -350,8 +388,8 @@ fn build(plan: &StreamPlan, sources: &mut SourceSet) -> Result<Node, PlanError> 
         StreamPlan::Select(p, f) => {
             let child_schema = p.stream_schema(sources)?.schema;
             let compiled = f.compile(&child_schema)?;
-            Node::Linear {
-                child: Box::new(build(p, sources)?),
+            NodeKind::Linear {
+                child: Box::new(build(p, sources, next_id)?),
                 op: LinearOp::Select(compiled),
                 current: Multiset::new(),
             }
@@ -365,8 +403,8 @@ fn build(plan: &StreamPlan, sources: &mut SourceSet) -> Result<Node, PlanError> 
                 .filter(|a| a.is_real())
                 .map(|a| child_schema.coord_of(a.name.as_str()).expect("real"))
                 .collect();
-            Node::Linear {
-                child: Box::new(build(p, sources)?),
+            NodeKind::Linear {
+                child: Box::new(build(p, sources, next_id)?),
                 op: LinearOp::Project(coords),
                 current: Multiset::new(),
             }
@@ -374,8 +412,8 @@ fn build(plan: &StreamPlan, sources: &mut SourceSet) -> Result<Node, PlanError> 
         StreamPlan::Rename(p, from, to) => {
             let child_schema = p.stream_schema(sources)?.schema;
             ops::rename_schema(&child_schema, from, to)?;
-            Node::Linear {
-                child: Box::new(build(p, sources)?),
+            NodeKind::Linear {
+                child: Box::new(build(p, sources, next_id)?),
                 op: LinearOp::Rename,
                 current: Multiset::new(),
             }
@@ -401,9 +439,13 @@ fn build(plan: &StreamPlan, sources: &mut SourceSet) -> Result<Node, PlanError> 
                 }
                 AssignSource::Const(v) => (None, Some(v.clone())),
             };
-            Node::Linear {
-                child: Box::new(build(p, sources)?),
-                op: LinearOp::Assign { recipe, source_coord, constant },
+            NodeKind::Linear {
+                child: Box::new(build(p, sources, next_id)?),
+                op: LinearOp::Assign {
+                    recipe,
+                    source_coord,
+                    constant,
+                },
                 current: Multiset::new(),
             }
         }
@@ -416,9 +458,11 @@ fn build(plan: &StreamPlan, sources: &mut SourceSet) -> Result<Node, PlanError> 
                 StreamPlan::Intersect(..) => RecomputeOp::Intersect,
                 _ => RecomputeOp::Difference,
             };
-            Node::Recompute {
-                left: Box::new(build(a, sources)?),
-                right: Some(Box::new(build(b, sources)?)),
+            let left = Box::new(build(a, sources, next_id)?);
+            let right = Some(Box::new(build(b, sources, next_id)?));
+            NodeKind::Recompute {
+                left,
+                right,
                 op,
                 current: Multiset::new(),
             }
@@ -452,18 +496,20 @@ fn build(plan: &StreamPlan, sources: &mut SourceSet) -> Result<Node, PlanError> 
                     })
                     .collect(),
             };
-            Node::Recompute {
-                left: Box::new(build(a, sources)?),
-                right: Some(Box::new(build(b, sources)?)),
+            let left = Box::new(build(a, sources, next_id)?);
+            let right = Some(Box::new(build(b, sources, next_id)?));
+            NodeKind::Recompute {
+                left,
+                right,
                 op: RecomputeOp::Join(recipe),
                 current: Multiset::new(),
             }
         }
         StreamPlan::Aggregate(p, group, aggs) => {
             let child_schema = p.stream_schema(sources)?.schema;
-            let schema = ops::aggregate_schema(&child_schema, group, aggs)?;
-            Node::Recompute {
-                left: Box::new(build(p, sources)?),
+            ops::aggregate_schema(&child_schema, group, aggs)?;
+            NodeKind::Recompute {
+                left: Box::new(build(p, sources, next_id)?),
                 right: None,
                 op: RecomputeOp::Aggregate {
                     schema: child_schema,
@@ -472,73 +518,61 @@ fn build(plan: &StreamPlan, sources: &mut SourceSet) -> Result<Node, PlanError> 
                 },
                 current: Multiset::new(),
             }
-            .with_schema_note(schema)
         }
         StreamPlan::Invoke(p, proto, sa) => {
             let in_schema = p.stream_schema(sources)?.schema;
-            let (out_schema, bp) = ops::invoke_schema(&in_schema, proto, sa.as_str())?;
-            Node::Invoke {
-                child: Box::new(build(p, sources)?),
-                bp,
-                in_schema,
-                out_schema,
+            let recipe = InvokeRecipe::prepare(&in_schema, proto, sa.as_str())?;
+            NodeKind::Invoke {
+                child: Box::new(build(p, sources, next_id)?),
+                recipe,
                 cache: HashMap::new(),
                 current: Multiset::new(),
             }
         }
-        StreamPlan::Window(p, period) => Node::Window {
-            child: Box::new(build(p, sources)?),
+        StreamPlan::Window(p, period) => NodeKind::Window {
+            child: Box::new(build(p, sources, next_id)?),
             period: (*period).max(1),
             ring: VecDeque::new(),
             current: Multiset::new(),
         },
-        StreamPlan::Stream(p, kind) => Node::StreamOf {
-            child: Box::new(build(p, sources)?),
+        StreamPlan::Stream(p, kind) => NodeKind::StreamOf {
+            child: Box::new(build(p, sources, next_id)?),
             kind: *kind,
         },
         StreamPlan::SampleInvoke(p, proto, sa, period) => {
             let in_schema = p.stream_schema(sources)?.schema;
-            let (out_schema, bp) = ops::invoke_schema(&in_schema, proto, sa.as_str())?;
-            Node::SampleInvoke {
-                child: Box::new(build(p, sources)?),
-                bp,
-                in_schema,
-                out_schema,
+            let recipe = InvokeRecipe::prepare(&in_schema, proto, sa.as_str())?;
+            NodeKind::SampleInvoke {
+                child: Box::new(build(p, sources, next_id)?),
+                recipe,
                 period: (*period).max(1),
             }
         }
-    })
+    };
+    Ok(Node { id, kind })
 }
 
-impl Node {
-    /// No-op helper keeping the aggregate arm tidy (the output schema is
-    /// re-derived at snapshot time; nothing to store).
-    fn with_schema_note(self, _schema: SchemaRef) -> Node {
-        self
-    }
-}
-
-fn op_kind_of(node: &Node) -> OpKind {
-    match node {
-        Node::Table { .. } => OpKind::Relation,
-        Node::Stream { .. } => OpKind::Source,
-        Node::Linear { op, .. } => match op {
+fn op_kind_of(kind: &NodeKind) -> OpKind {
+    match kind {
+        NodeKind::Table { .. } => OpKind::Relation,
+        NodeKind::Stream { .. } => OpKind::Source,
+        NodeKind::Linear { op, .. } => match op {
             LinearOp::Select(_) => OpKind::Select,
             LinearOp::Project(_) => OpKind::Project,
             LinearOp::Rename => OpKind::Rename,
             LinearOp::Assign { .. } => OpKind::Assign,
         },
-        Node::Recompute { op, .. } => match op {
+        NodeKind::Recompute { op, .. } => match op {
             RecomputeOp::Union => OpKind::Union,
             RecomputeOp::Intersect => OpKind::Intersect,
             RecomputeOp::Difference => OpKind::Difference,
             RecomputeOp::Join(_) => OpKind::Join,
             RecomputeOp::Aggregate { .. } => OpKind::Aggregate,
         },
-        Node::Invoke { .. } => OpKind::Invoke,
-        Node::Window { .. } => OpKind::Window,
-        Node::StreamOf { .. } => OpKind::StreamOf,
-        Node::SampleInvoke { .. } => OpKind::SampleInvoke,
+        NodeKind::Invoke { .. } => OpKind::Invoke,
+        NodeKind::Window { .. } => OpKind::Window,
+        NodeKind::StreamOf { .. } => OpKind::StreamOf,
+        NodeKind::SampleInvoke { .. } => OpKind::SampleInvoke,
     }
 }
 
@@ -546,12 +580,11 @@ fn delta_size(d: &Delta) -> u64 {
     (d.inserts.len() + d.deletes.len()) as u64
 }
 
-/// Tick one node, assigning its pre-order [`NodeId`] and recording one
-/// [`OpObservation`] (delta sizes, β counters, operator self-time).
+/// Tick one node, recording one [`OpObservation`] under its compile-time
+/// pre-order [`NodeId`] (delta sizes, β counters, operator self-time).
 fn tick_node(node: &mut Node, ctx: &mut Ctx<'_>) -> Out {
-    let mut obs = OpObservation::new(NodeId(ctx.next_id), op_kind_of(node));
-    ctx.next_id += 1;
-    let out = tick_node_inner(node, ctx, &mut obs);
+    let mut obs = OpObservation::new(node.id, op_kind_of(&node.kind));
+    let out = tick_node_inner(&mut node.kind, ctx, &mut obs);
     obs.tuples_out = match &out {
         Out::Finite(d) => delta_size(d),
         Out::Batch(b) => b.len() as u64,
@@ -560,9 +593,13 @@ fn tick_node(node: &mut Node, ctx: &mut Ctx<'_>) -> Out {
     out
 }
 
-fn tick_node_inner(node: &mut Node, ctx: &mut Ctx<'_>, obs: &mut OpObservation) -> Out {
+fn tick_node_inner(node: &mut NodeKind, ctx: &mut Ctx<'_>, obs: &mut OpObservation) -> Out {
     match node {
-        Node::Table { handle, current, started } => {
+        NodeKind::Table {
+            handle,
+            current,
+            started,
+        } => {
             let started_at = std::time::Instant::now();
             let delta = handle.tick_at(ctx.at, !*started);
             *started = true;
@@ -570,13 +607,13 @@ fn tick_node_inner(node: &mut Node, ctx: &mut Ctx<'_>, obs: &mut OpObservation) 
             obs.elapsed = started_at.elapsed();
             Out::Finite(delta)
         }
-        Node::Stream { source } => {
+        NodeKind::Stream { source } => {
             let started_at = std::time::Instant::now();
             let batch = source.poll(ctx.at);
             obs.elapsed = started_at.elapsed();
             Out::Batch(batch)
         }
-        Node::Linear { child, op, current } => {
+        NodeKind::Linear { child, op, current } => {
             let child_delta = tick_node(child, ctx).finite();
             obs.tuples_in = delta_size(&child_delta);
             let started_at = std::time::Instant::now();
@@ -585,7 +622,12 @@ fn tick_node_inner(node: &mut Node, ctx: &mut Ctx<'_>, obs: &mut OpObservation) 
             obs.elapsed = started_at.elapsed();
             Out::Finite(delta)
         }
-        Node::Recompute { left, right, op, current } => {
+        NodeKind::Recompute {
+            left,
+            right,
+            op,
+            current,
+        } => {
             let left_delta = tick_node(left, ctx).finite();
             obs.tuples_in = delta_size(&left_delta);
             if let Some(r) = right {
@@ -599,16 +641,26 @@ fn tick_node_inner(node: &mut Node, ctx: &mut Ctx<'_>, obs: &mut OpObservation) 
             obs.elapsed = started_at.elapsed();
             Out::Finite(delta)
         }
-        Node::Invoke { child, bp, in_schema, out_schema, cache, current } => {
+        NodeKind::Invoke {
+            child,
+            recipe,
+            cache,
+            current,
+        } => {
             let child_delta = tick_node(child, ctx).finite();
             obs.tuples_in = delta_size(&child_delta);
             let started_at = std::time::Instant::now();
-            let delta = apply_invoke(bp, in_schema, out_schema, cache, &child_delta, ctx, obs);
+            let delta = apply_invoke(recipe, cache, &child_delta, ctx, obs);
             current.apply(&delta);
             obs.elapsed = started_at.elapsed();
             Out::Finite(delta)
         }
-        Node::Window { child, period, ring, current } => {
+        NodeKind::Window {
+            child,
+            period,
+            ring,
+            current,
+        } => {
             let batch = tick_node(child, ctx).batch();
             obs.tuples_in = batch.len() as u64;
             let started_at = std::time::Instant::now();
@@ -627,43 +679,42 @@ fn tick_node_inner(node: &mut Node, ctx: &mut Ctx<'_>, obs: &mut OpObservation) 
             obs.elapsed = started_at.elapsed();
             Out::Finite(delta)
         }
-        Node::StreamOf { child, kind } => {
+        NodeKind::StreamOf { child, kind } => {
             let child_delta = tick_node(child, ctx).finite();
             obs.tuples_in = delta_size(&child_delta);
             let started_at = std::time::Instant::now();
             let batch: Vec<Tuple> = match kind {
-                StreamKind::Insertion => {
-                    child_delta.inserts.sorted_occurrences()
-                }
+                StreamKind::Insertion => child_delta.inserts.sorted_occurrences(),
                 StreamKind::Deletion => child_delta.deletes.sorted_occurrences(),
                 StreamKind::Heartbeat => child.current().sorted_occurrences(),
             };
             obs.elapsed = started_at.elapsed();
             Out::Batch(batch)
         }
-        Node::SampleInvoke { child, bp, in_schema, out_schema, period } => {
+        NodeKind::SampleInvoke {
+            child,
+            recipe,
+            period,
+        } => {
             let child_delta = tick_node(child, ctx).finite();
             obs.tuples_in = delta_size(&child_delta);
             if !ctx.at.ticks().is_multiple_of(*period) {
                 return Out::Batch(Vec::new());
             }
             // sample the *whole* current relation (distinct tuples; each
-            // occurrence contributes one output copy).
+            // occurrence contributes one output copy). The BP is passive
+            // (statically checked), so no actions are recorded.
             let started_at = std::time::Instant::now();
+            let entries: Vec<(&Tuple, usize)> = child.current().iter().collect();
+            let tuples: Vec<&Tuple> = entries.iter().map(|(t, _)| *t).collect();
+            let outcomes = recipe.call_batch(&tuples, ctx.invoker, ctx.at, ctx.parallelism);
             let mut batch = Vec::new();
-            for (t, count) in child.current().iter() {
-                let mut actions = ActionSet::new();
+            for ((t, count), outcome) in entries.into_iter().zip(outcomes) {
                 obs.invocations += 1;
-                match ops::invoke_delta(
-                    in_schema,
-                    out_schema,
-                    bp,
-                    std::iter::once(t),
-                    ctx.invoker,
-                    ctx.at,
-                    &mut actions,
-                ) {
-                    Ok(outputs) => {
+                match outcome.and_then(|call| call.result) {
+                    Ok(results) => {
+                        let mut outputs = Vec::new();
+                        recipe.assemble_into(t, &results, &mut outputs);
                         for o in outputs {
                             for _ in 0..count {
                                 batch.push(o.clone());
@@ -685,57 +736,55 @@ fn tick_node_inner(node: &mut Node, ctx: &mut Ctx<'_>, obs: &mut OpObservation) 
 
 fn apply_linear(op: &LinearOp, child_delta: &Delta, ctx: &mut Ctx<'_>) -> Delta {
     let mut out = Delta::new();
-    let map_side =
-        |side: &Multiset, into_inserts: bool, out: &mut Delta, ctx: &mut Ctx<'_>| {
-            for (t, c) in side.iter() {
-                let mapped: Option<Tuple> = match op {
-                    LinearOp::Select(f) => match f.matches(t) {
-                        Ok(true) => Some(t.clone()),
-                        Ok(false) => None,
-                        Err(e) => {
-                            ctx.errors.push(e);
-                            None
-                        }
-                    },
-                    LinearOp::Project(coords) => Some(t.project_positions(coords)),
-                    LinearOp::Rename => Some(t.clone()),
-                    LinearOp::Assign { recipe, source_coord, constant } => {
-                        let v = match (source_coord, constant) {
-                            (Some(c), _) => t[*c].clone(),
-                            (None, Some(v)) => v.clone(),
-                            (None, None) => unreachable!("assign has a source"),
-                        };
-                        Some(
-                            recipe
-                                .iter()
-                                .map(|slot| match slot {
-                                    Some(c) => t[*c].clone(),
-                                    None => v.clone(),
-                                })
-                                .collect(),
-                        )
+    let map_side = |side: &Multiset, into_inserts: bool, out: &mut Delta, ctx: &mut Ctx<'_>| {
+        for (t, c) in side.iter() {
+            let mapped: Option<Tuple> = match op {
+                LinearOp::Select(f) => match f.matches(t) {
+                    Ok(true) => Some(t.clone()),
+                    Ok(false) => None,
+                    Err(e) => {
+                        ctx.errors.push(e);
+                        None
                     }
-                };
-                if let Some(m) = mapped {
-                    if into_inserts {
-                        out.inserts.insert(m, c);
-                    } else {
-                        out.deletes.insert(m, c);
-                    }
+                },
+                LinearOp::Project(coords) => Some(t.project_positions(coords)),
+                LinearOp::Rename => Some(t.clone()),
+                LinearOp::Assign {
+                    recipe,
+                    source_coord,
+                    constant,
+                } => {
+                    let v = match (source_coord, constant) {
+                        (Some(c), _) => t[*c].clone(),
+                        (None, Some(v)) => v.clone(),
+                        (None, None) => unreachable!("assign has a source"),
+                    };
+                    Some(
+                        recipe
+                            .iter()
+                            .map(|slot| match slot {
+                                Some(c) => t[*c].clone(),
+                                None => v.clone(),
+                            })
+                            .collect(),
+                    )
+                }
+            };
+            if let Some(m) = mapped {
+                if into_inserts {
+                    out.inserts.insert(m, c);
+                } else {
+                    out.deletes.insert(m, c);
                 }
             }
-        };
+        }
+    };
     map_side(&child_delta.inserts, true, &mut out, ctx);
     map_side(&child_delta.deletes, false, &mut out, ctx);
     out
 }
 
-fn recompute(
-    op: &RecomputeOp,
-    left: &Node,
-    right: Option<&Node>,
-    ctx: &mut Ctx<'_>,
-) -> Multiset {
+fn recompute(op: &RecomputeOp, left: &Node, right: Option<&Node>, ctx: &mut Ctx<'_>) -> Multiset {
     match op {
         RecomputeOp::Union => {
             let mut out = left.current().clone();
@@ -770,14 +819,12 @@ fn recompute(
             let r = right.expect("binary").current();
             let mut index: HashMap<Vec<Value>, Vec<(&Tuple, usize)>> = HashMap::new();
             for (t, c) in r.iter() {
-                let key: Vec<Value> =
-                    recipe.key_right.iter().map(|&i| t[i].clone()).collect();
+                let key: Vec<Value> = recipe.key_right.iter().map(|&i| t[i].clone()).collect();
                 index.entry(key).or_default().push((t, c));
             }
             let mut out = Multiset::new();
             for (tl, cl) in left.current().iter() {
-                let key: Vec<Value> =
-                    recipe.key_left.iter().map(|&i| tl[i].clone()).collect();
+                let key: Vec<Value> = recipe.key_left.iter().map(|&i| tl[i].clone()).collect();
                 if let Some(matches) = index.get(&key) {
                     for (tr, cr) in matches {
                         let joined: Tuple = recipe
@@ -797,7 +844,11 @@ fn recompute(
             }
             out
         }
-        RecomputeOp::Aggregate { schema, group, aggs } => {
+        RecomputeOp::Aggregate {
+            schema,
+            group,
+            aggs,
+        } => {
             // Aggregate over the child's *distinct* tuples (set semantics,
             // matching the one-shot operator).
             let rel = XRelation::from_tuples(
@@ -815,11 +866,8 @@ fn recompute(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn apply_invoke(
-    bp: &BindingPattern,
-    in_schema: &SchemaRef,
-    out_schema: &SchemaRef,
+    recipe: &InvokeRecipe,
     cache: &mut HashMap<Tuple, CacheEntry>,
     child_delta: &Delta,
     ctx: &mut Ctx<'_>,
@@ -839,7 +887,10 @@ fn apply_invoke(
             }
         }
     }
-    // Insertions: §4.2 — invoke only for newly inserted tuples.
+    // Insertions: §4.2 — invoke only for newly inserted tuples. Cache hits
+    // re-emit their cached extensions; the misses of one δ-batch are fanned
+    // across the worker pool together.
+    let mut misses: Vec<(&Tuple, usize)> = Vec::new();
     for (t, c) in child_delta.inserts.iter() {
         if let Some(entry) = cache.get_mut(t) {
             // the same tuple re-inserted reuses its cached invocation
@@ -850,27 +901,48 @@ fn apply_invoke(
             }
             continue;
         }
+        misses.push((t, c));
+    }
+    if misses.is_empty() {
+        return out;
+    }
+    let tuples: Vec<&Tuple> = misses.iter().map(|(t, _)| *t).collect();
+    let outcomes = recipe.call_batch(&tuples, ctx.invoker, ctx.at, ctx.parallelism);
+    for ((t, c), outcome) in misses.into_iter().zip(outcomes) {
         obs.cache_misses += 1;
         obs.invocations += 1;
-        match ops::invoke_delta(
-            in_schema,
-            out_schema,
-            bp,
-            std::iter::once(t),
-            ctx.invoker,
-            ctx.at,
-            ctx.actions,
-        ) {
-            Ok(outputs) => {
-                for o in &outputs {
-                    out.inserts.insert(o.clone(), c);
+        match outcome {
+            Ok(call) => {
+                // the action is recorded whether or not the call succeeded,
+                // matching the one-shot operator (record, then invoke)
+                if recipe.binding_pattern().is_active() {
+                    ctx.actions.record(Action::new(
+                        recipe.binding_pattern().clone(),
+                        call.sref,
+                        call.input,
+                    ));
                 }
-                cache.insert(t.clone(), CacheEntry { count: c, outputs });
+                match call.result {
+                    Ok(results) => {
+                        let mut outputs = Vec::new();
+                        recipe.assemble_into(t, &results, &mut outputs);
+                        for o in &outputs {
+                            out.inserts.insert(o.clone(), c);
+                        }
+                        cache.insert(t.clone(), CacheEntry { count: c, outputs });
+                    }
+                    Err(e) => {
+                        obs.failures += 1;
+                        ctx.errors.push(e);
+                        // failed invocation: tuple contributes nothing this tick
+                    }
+                }
             }
             Err(e) => {
+                // the tuple's service attribute held no service reference:
+                // nothing was invoked, no action recorded
                 obs.failures += 1;
                 ctx.errors.push(e);
-                // failed invocation: tuple contributes nothing this tick
             }
         }
     }
@@ -889,7 +961,10 @@ mod tests {
     use serena_core::value::DataType;
 
     fn int_schema(name: &str) -> SchemaRef {
-        XSchema::builder().real(name, DataType::Int).build().unwrap()
+        XSchema::builder()
+            .real(name, DataType::Int)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -1011,11 +1086,17 @@ mod tests {
 
         right.insert(tuple![1, "y"]);
         let r2 = q.tick(&reg);
-        assert_eq!(r2.delta.inserts.sorted_occurrences(), vec![tuple![1, "x", "y"]]);
+        assert_eq!(
+            r2.delta.inserts.sorted_occurrences(),
+            vec![tuple![1, "x", "y"]]
+        );
 
         left.delete(tuple![1, "x"]);
         let r3 = q.tick(&reg);
-        assert_eq!(r3.delta.deletes.sorted_occurrences(), vec![tuple![1, "x", "y"]]);
+        assert_eq!(
+            r3.delta.deletes.sorted_occurrences(),
+            vec![tuple![1, "x", "y"]]
+        );
     }
 
     #[test]
@@ -1091,9 +1172,7 @@ mod tests {
             .build()
             .unwrap();
         // synthetic stream: at tick t, one reading (office, 20+t)
-        let src = FnStream(move |at: Instant| {
-            vec![tuple!["office", 20.0 + at.ticks() as f64]]
-        });
+        let src = FnStream(move |at: Instant| vec![tuple!["office", 20.0 + at.ticks() as f64]]);
         sources.add_stream("temps", schema, Box::new(src));
         let plan = StreamPlan::source("temps").window(2).aggregate(
             ["location"],
@@ -1156,8 +1235,7 @@ mod tests {
             serena_core::xrelation::examples::contacts().into_tuples(),
         );
         sources.add_table("contacts", contacts);
-        let mut q =
-            ContinuousQuery::compile(&crate::plan::examples::q3(), &mut sources).unwrap();
+        let mut q = ContinuousQuery::compile(&crate::plan::examples::q3(), &mut sources).unwrap();
         let reg = example_registry();
 
         let mut total_actions = 0;
@@ -1354,8 +1432,7 @@ mod tests {
             serena_core::xrelation::examples::cameras().into_tuples(),
         );
         sources.add_table("cameras", cameras);
-        let mut q =
-            ContinuousQuery::compile(&crate::plan::examples::q4(), &mut sources).unwrap();
+        let mut q = ContinuousQuery::compile(&crate::plan::examples::q4(), &mut sources).unwrap();
         let reg = example_registry();
 
         for t in 0..5 {

@@ -163,7 +163,10 @@ impl Delta {
 
     /// Delta inserting the given tuples.
     pub fn of_inserts(tuples: impl IntoIterator<Item = Tuple>) -> Self {
-        Delta { inserts: Multiset::from_tuples(tuples), deletes: Multiset::new() }
+        Delta {
+            inserts: Multiset::from_tuples(tuples),
+            deletes: Multiset::new(),
+        }
     }
 
     /// True iff nothing changed.

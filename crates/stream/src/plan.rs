@@ -54,12 +54,18 @@ pub struct StreamSchema {
 impl StreamSchema {
     /// A finite XD-Relation schema.
     pub fn finite(schema: SchemaRef) -> Self {
-        StreamSchema { schema, infinite: false }
+        StreamSchema {
+            schema,
+            infinite: false,
+        }
     }
 
     /// An infinite XD-Relation schema.
     pub fn infinite(schema: SchemaRef) -> Self {
-        StreamSchema { schema, infinite: true }
+        StreamSchema {
+            schema,
+            infinite: true,
+        }
     }
 }
 
@@ -172,7 +178,11 @@ impl StreamPlan {
 
     /// `α_{A:=B}(self)`.
     pub fn assign_attr(self, attr: impl Into<AttrName>, source: impl Into<AttrName>) -> StreamPlan {
-        StreamPlan::Assign(Box::new(self), attr.into(), AssignSource::Attr(source.into()))
+        StreamPlan::Assign(
+            Box::new(self),
+            attr.into(),
+            AssignSource::Attr(source.into()),
+        )
     }
 
     /// `β_{prototype[service_attr]}(self)`.
@@ -241,7 +251,9 @@ impl StreamPlan {
             StreamPlan::Source(name) => catalog
                 .xd_schema_of(name)
                 .ok_or_else(|| PlanError::UnknownRelation(name.clone())),
-            StreamPlan::Union(a, b) | StreamPlan::Intersect(a, b) | StreamPlan::Difference(a, b) => {
+            StreamPlan::Union(a, b)
+            | StreamPlan::Intersect(a, b)
+            | StreamPlan::Difference(a, b) => {
                 let sa = finite_operand(a, "set operator")?;
                 let sb = finite_operand(b, "set operator")?;
                 Ok(StreamSchema::finite(ops::set_op_schema(&sa, &sb)?))
@@ -274,7 +286,9 @@ impl StreamPlan {
             }
             StreamPlan::Aggregate(p, group, aggs) => {
                 let s = finite_operand(p, "aggregation")?;
-                Ok(StreamSchema::finite(ops::aggregate_schema(&s, group, aggs)?))
+                Ok(StreamSchema::finite(ops::aggregate_schema(
+                    &s, group, aggs,
+                )?))
             }
             StreamPlan::Window(p, _) => {
                 let s = p.stream_schema(catalog)?;
@@ -317,7 +331,11 @@ impl StreamPlan {
             StreamPlan::Difference(a, b) => format!("({} − {})", a.to_algebra(), b.to_algebra()),
             StreamPlan::Project(p, attrs) => format!(
                 "π {} ({})",
-                attrs.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(","),
+                attrs
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
                 p.to_algebra()
             ),
             StreamPlan::Select(p, f) => format!("σ {f} ({})", p.to_algebra()),
@@ -329,7 +347,10 @@ impl StreamPlan {
             }
             StreamPlan::Aggregate(p, g, aggs) => format!(
                 "γ [{}; {} aggs] ({})",
-                g.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(","),
+                g.iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
                 aggs.len(),
                 p.to_algebra()
             ),
@@ -459,7 +480,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            PlanError::StreamStatusMismatch { operator: "selection", .. }
+            PlanError::StreamStatusMismatch {
+                operator: "selection",
+                ..
+            }
         ));
     }
 

@@ -81,7 +81,12 @@ fn main() {
     );
 
     println!("\n== Rolling per-node view of `greet` ==\n");
-    for (id, node) in pems.processor().exec_stats("greet").expect("registered").nodes() {
+    for (id, node) in pems
+        .processor()
+        .exec_stats("greet")
+        .expect("registered")
+        .nodes()
+    {
         println!(
             "{id} {:<10} applications={} in={} out={} invocations={}",
             node.op.to_string(),

@@ -38,7 +38,10 @@ fn main() {
         "outage",
         FaultyService::with_error(
             serena::core::service::fixtures::temperature_sensor(2),
-            FaultPolicy::Outage { from: Instant(2), to: Instant(4) },
+            FaultPolicy::Outage {
+                from: Instant(2),
+                to: Instant(4),
+            },
             "battery swap in progress",
         ),
     );
@@ -46,7 +49,10 @@ fn main() {
         serena::core::service::fixtures::temperature_sensor(3),
         FaultPolicy::EveryNth(2),
     );
-    registry.register("flaky", Arc::clone(&flaky) as Arc<dyn serena::core::service::Service>);
+    registry.register(
+        "flaky",
+        Arc::clone(&flaky) as Arc<dyn serena::core::service::Service>,
+    );
 
     for (sensor, loc) in [("steady", "office"), ("outage", "roof"), ("flaky", "lab")] {
         pems.tables_mut()

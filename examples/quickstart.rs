@@ -27,15 +27,26 @@ fn main() {
     let q1 = q1();
     println!("Q1  = {q1}");
     let out = evaluate(&q1, &env, &registry, Instant::ZERO).expect("Q1 evaluates");
-    println!("result ({} tuples):\n{}", out.relation.len(), out.relation.to_table());
+    println!(
+        "result ({} tuples):\n{}",
+        out.relation.len(),
+        out.relation.to_table()
+    );
     println!("action set (Definition 8): {}\n", out.actions);
 
     // Q2: photograph the office with quality ≥ 5.
     let q2 = q2();
     println!("Q2  = {q2}");
     let out = evaluate(&q2, &env, &registry, Instant(1)).expect("Q2 evaluates");
-    println!("result ({} tuples):\n{}", out.relation.len(), out.relation.to_table());
-    println!("action set: {} (checkPhoto/takePhoto are passive)\n", out.actions);
+    println!(
+        "result ({} tuples):\n{}",
+        out.relation.len(),
+        out.relation.to_table()
+    );
+    println!(
+        "action set: {} (checkPhoto/takePhoto are passive)\n",
+        out.actions
+    );
 
     // Static plan validation catches misuse before execution.
     let bad = Plan::relation("contacts").invoke("sendMessage", "messenger");

@@ -14,7 +14,10 @@ use serena::pems::scenario::{deploy_rss, RssConfig};
 use serena::services::devices::rss::SimRssFeed;
 
 fn main() {
-    let config = RssConfig { window: 6, ..RssConfig::default() };
+    let config = RssConfig {
+        window: 6,
+        ..RssConfig::default()
+    };
     let keyword = SimRssFeed::tracked_keyword();
     let mut pems = deploy_rss(&config).expect("deployment is valid");
 

@@ -29,7 +29,10 @@ fn main() {
     };
     let mut s = deploy_surveillance(&config).expect("deployment is valid");
 
-    println!("deployed: {} sensors, {} cameras, {} contacts; threshold {} °C", config.sensors, config.cameras, config.contacts, config.threshold);
+    println!(
+        "deployed: {} sensors, {} cameras, {} contacts; threshold {} °C",
+        config.sensors, config.cameras, config.contacts, config.threshold
+    );
     for (sensor, area) in &s.sensor_areas {
         println!("  {sensor} covers {area}");
     }
@@ -63,7 +66,10 @@ fn main() {
     println!("\n== delivered messages ==");
     for (service, outbox) in &s.outboxes {
         for msg in outbox.lock().iter() {
-            println!("  via {service} at {}: to {} — {:?}", msg.at, msg.address, msg.text);
+            println!(
+                "  via {service} at {}: to {} — {:?}",
+                msg.at, msg.address, msg.text
+            );
         }
     }
     println!("total: {} message(s)", total_messages(&s.outboxes));

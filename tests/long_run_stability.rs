@@ -8,7 +8,10 @@ use serena::pems::scenario::{deploy_rss, deploy_surveillance, RssConfig, Surveil
 
 #[test]
 fn rss_window_state_is_bounded_over_5000_ticks() {
-    let config = RssConfig { window: 10, ..RssConfig::default() };
+    let config = RssConfig {
+        window: 10,
+        ..RssConfig::default()
+    };
     let mut pems = deploy_rss(&config).unwrap();
     let mut max_held = 0usize;
     let mut total_inserted = 0u64;
@@ -73,7 +76,8 @@ fn invocation_cache_retracts_under_sensor_churn() {
          REGISTER QUERY temps AS INVOKE[getTemperature[sensor]](sensors);",
     )
     .unwrap();
-    pems.register_discovery("sensors", "getTemperature", "sensor").unwrap();
+    pems.register_discovery("sensors", "getTemperature", "sensor")
+        .unwrap();
     let lerm = pems.local_erm("wing");
     pems.directory().set("s0", "location", Value::str("office"));
 

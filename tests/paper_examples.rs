@@ -44,7 +44,13 @@ fn table_1_catalog_parses_and_matches() {
         .collect();
     assert_eq!(services.len(), 9);
     // round-trip: resolved prototypes print Table 1's DDL back
-    let serena::ddl::Statement::Prototype { name, input, output, active } = &stmts[0] else {
+    let serena::ddl::Statement::Prototype {
+        name,
+        input,
+        output,
+        active,
+    } = &stmts[0]
+    else {
         panic!()
     };
     let p = serena::ddl::resolve_prototype(name, input, output, *active).unwrap();
@@ -136,8 +142,7 @@ fn example_7_equivalence_verdicts() {
     assert!(!report.actions_equal, "the action sets differ");
     assert!(!report.equivalent());
 
-    let report =
-        check_over_instants(&q2(), &q2_prime(), &env, &reg, (0..8).map(Instant)).unwrap();
+    let report = check_over_instants(&q2(), &q2_prime(), &env, &reg, (0..8).map(Instant)).unwrap();
     assert!(report.equivalent());
 }
 
@@ -242,7 +247,10 @@ fn table_2_ddl_equals_programmatic_schemas() {
         );
     ";
     let stmts = serena::ddl::parse_program(program).unwrap();
-    let serena::ddl::Statement::ExtendedRelation { attrs, bindings, .. } = &stmts[0] else {
+    let serena::ddl::Statement::ExtendedRelation {
+        attrs, bindings, ..
+    } = &stmts[0]
+    else {
         panic!()
     };
     let schema = serena::ddl::resolve_relation_schema(attrs, bindings, &env).unwrap();

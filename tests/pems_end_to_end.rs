@@ -54,14 +54,21 @@ fn discovery_latency_delays_stream_membership() {
         sensors: 0,
         cameras: 0,
         contacts: 1,
-        bus: BusConfig { announce_latency: 3, leave_latency: 1, jitter: 0, seed: 7 },
+        bus: BusConfig {
+            announce_latency: 3,
+            leave_latency: 1,
+            jitter: 0,
+            seed: 7,
+        },
         ..SurveillanceConfig::default()
     };
     let mut s = deploy_surveillance(&config).unwrap();
     let lerm = s.pems.local_erm("wing");
     let hot = SimTemperatureSensor::new(5, 50.0, 0.5);
     lerm.register_service("hot", hot.into_service(), Instant(0));
-    s.pems.directory().set("hot", "location", Value::str("corridor"));
+    s.pems
+        .directory()
+        .set("hot", "location", Value::str("corridor"));
 
     let mut first_alert_tick = None;
     for t in 0..8u64 {
@@ -90,8 +97,10 @@ fn failing_sensor_degrades_gracefully() {
     )
     .unwrap();
     // one healthy, one permanently faulty
-    pems.registry()
-        .register("good", serena::core::service::fixtures::temperature_sensor(1));
+    pems.registry().register(
+        "good",
+        serena::core::service::fixtures::temperature_sensor(1),
+    );
     pems.registry().register(
         "bad",
         FaultyService::new(
@@ -116,7 +125,10 @@ fn failing_sensor_degrades_gracefully() {
 
 #[test]
 fn rss_scenario_against_generator_oracle() {
-    let config = RssConfig { window: 4, ..RssConfig::default() };
+    let config = RssConfig {
+        window: 4,
+        ..RssConfig::default()
+    };
     let mut pems = serena::pems::scenario::deploy_rss(&config).unwrap();
     let ticks = 30u64;
     let mut inserted = 0;
@@ -147,11 +159,11 @@ fn one_shot_queries_coexist_with_continuous_ones() {
 
     // one-shot Q1-style query, mid-run, through the same registry
     let outcomes = pems
-        .run_program(
-            "EXECUTE INVOKE[sendMessage[messenger]](ASSIGN[text := 'Hello'](contacts));",
-        )
+        .run_program("EXECUTE INVOKE[sendMessage[messenger]](ASSIGN[text := 'Hello'](contacts));")
         .unwrap();
-    let serena::pems::ExecOutcome::OneShot(out) = &outcomes[0] else { panic!() };
+    let serena::pems::ExecOutcome::OneShot(out) = &outcomes[0] else {
+        panic!()
+    };
     assert_eq!(out.actions.len(), 1);
     assert_eq!(outbox.lock().len(), 1);
     assert_eq!(outbox.lock()[0].text, "Hello");

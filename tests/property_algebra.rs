@@ -275,7 +275,8 @@ fn every_rewrite_rule_is_individually_sound() {
             continue;
         }
         for rule in serena::core::rewrite::all_rules() {
-            let (rewritten, n) = serena::core::rewrite::apply_everywhere(&plan, rule.as_ref(), &env);
+            let (rewritten, n) =
+                serena::core::rewrite::apply_everywhere(&plan, rule.as_ref(), &env);
             if n == 0 {
                 continue;
             }

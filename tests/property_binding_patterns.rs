@@ -242,12 +242,8 @@ fn invoke_bp_invariants() {
             continue;
         }
         let bp = &candidates[rng.below(4) % candidates.len()];
-        let (out_schema, _) = ops::invoke_schema(
-            &schema,
-            bp.prototype().name(),
-            bp.service_attr().as_str(),
-        )
-        .unwrap();
+        let (out_schema, _) =
+            ops::invoke_schema(&schema, bp.prototype().name(), bp.service_attr().as_str()).unwrap();
         if let Err(e) = check_invariants(&schema, &out_schema) {
             panic!("{e}; β{} over {schema:?}", bp.key());
         }

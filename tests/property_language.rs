@@ -49,12 +49,15 @@ fn ddl_round_trip_plain_schemas() {
         let schema = gen_plain_schema(&mut rng);
         let ddl = schema.to_ddl("r");
         let stmts = parse_program(&ddl).expect("rendered DDL parses");
-        let Statement::ExtendedRelation { attrs, bindings, .. } = &stmts[0] else {
+        let Statement::ExtendedRelation {
+            attrs, bindings, ..
+        } = &stmts[0]
+        else {
             panic!("unexpected statement for: {ddl}");
         };
         let catalog = serena::core::env::Environment::new();
-        let parsed = resolve_relation_schema(attrs, bindings, &catalog)
-            .expect("rendered DDL resolves");
+        let parsed =
+            resolve_relation_schema(attrs, bindings, &catalog).expect("rendered DDL resolves");
         assert!(parsed.compatible_with(&schema), "round trip changed: {ddl}");
     }
 }
@@ -70,11 +73,17 @@ fn ddl_round_trip_with_binding_patterns() {
     ] {
         let ddl = schema.to_ddl("r");
         let stmts = parse_program(&ddl).unwrap();
-        let Statement::ExtendedRelation { attrs, bindings, .. } = &stmts[0] else {
+        let Statement::ExtendedRelation {
+            attrs, bindings, ..
+        } = &stmts[0]
+        else {
             panic!()
         };
         let parsed = resolve_relation_schema(attrs, bindings, &env).unwrap();
-        assert!(parsed.compatible_with(&schema), "round trip changed:\n{ddl}");
+        assert!(
+            parsed.compatible_with(&schema),
+            "round trip changed:\n{ddl}"
+        );
     }
 }
 
@@ -147,7 +156,10 @@ fn sql_where_split_is_sound_for_passive_chains() {
         let naive = naive.project(["photo"]);
 
         let report = check_at(&split_plan, &naive, &env, &reg, Instant(t)).unwrap();
-        assert!(report.equivalent(), "{sql}\nsplit: {split_plan}\nnaive: {naive}");
+        assert!(
+            report.equivalent(),
+            "{sql}\nsplit: {split_plan}\nnaive: {naive}"
+        );
     }
 }
 
@@ -227,7 +239,10 @@ fn sql_aggregate_matches_algebra() {
     .unwrap();
     let algebra = Plan::relation("sensors")
         .invoke("getTemperature", "sensor")
-        .aggregate(["location"], vec![AggSpec::new(AggFun::Avg, "temperature").named("mean")]);
+        .aggregate(
+            ["location"],
+            vec![AggSpec::new(AggFun::Avg, "temperature").named("mean")],
+        );
     let a = evaluate(&sql, &env, &reg, Instant(3)).unwrap();
     let b = evaluate(&algebra, &env, &reg, Instant(3)).unwrap();
     assert_eq!(a.relation, b.relation);

@@ -14,8 +14,9 @@ use serena::core::prelude::*;
 use serena::core::schema::XSchema;
 use serena::core::service::fixtures::example_registry;
 use serena::core::tuple;
-use serena::stream::{ContinuousQuery, Delta, Multiset, PushStream, SourceSet, StreamKind,
-    StreamPlan, TableHandle};
+use serena::stream::{
+    ContinuousQuery, Delta, Multiset, PushStream, SourceSet, StreamKind, StreamPlan, TableHandle,
+};
 
 fn int_schema() -> SchemaRef {
     XSchema::builder()
@@ -46,8 +47,7 @@ fn gen_formula(rng: &mut Rng) -> Formula {
         0 => Formula::True,
         1 => Formula::gt_const("x", rng.i64_in(0, 5)),
         2 => Formula::ne_const("y", rng.i64_in(0, 5)),
-        _ => Formula::gt_const("x", rng.i64_in(0, 5))
-            .and(Formula::le_const("y", rng.i64_in(0, 5))),
+        _ => Formula::gt_const("x", rng.i64_in(0, 5)).and(Formula::le_const("y", rng.i64_in(0, 5))),
     }
 }
 
@@ -83,10 +83,8 @@ fn continuous_select_equals_one_shot() {
 
             // …and matches the one-shot evaluation over the table's state.
             let mut env = serena::core::env::Environment::new();
-            let snapshot = XRelation::from_tuples(
-                int_schema(),
-                table.snapshot().iter_occurrences().cloned(),
-            );
+            let snapshot =
+                XRelation::from_tuples(int_schema(), table.snapshot().iter_occurrences().cloned());
             env.define_relation("t", snapshot).unwrap();
             let one_shot = evaluate(
                 &serena::core::plan::Plan::relation("t").select(f.clone()),
@@ -106,8 +104,9 @@ fn continuous_select_equals_one_shot() {
 fn window_contents_match_definition() {
     for case in 0..64u64 {
         let mut rng = Rng::new(0x5200 + case);
-        let batches: Vec<Vec<(i64, i64)>> =
-            rng.vec_of(1, 20, |r| r.vec_of(0, 4, |r| (r.i64_in(0, 9), r.i64_in(0, 9))));
+        let batches: Vec<Vec<(i64, i64)>> = rng.vec_of(1, 20, |r| {
+            r.vec_of(0, 4, |r| (r.i64_in(0, 9), r.i64_in(0, 9)))
+        });
         let period = rng.u64_in(1, 5);
 
         let push = PushStream::new();
@@ -150,11 +149,17 @@ fn streaming_operators_echo_deltas() {
         let mut s1 = SourceSet::new();
         s1.add_table("t", table.clone());
         let mut ins = ContinuousQuery::compile(
-            &StreamPlan::source("t").stream(StreamKind::Insertion), &mut s1).unwrap();
+            &StreamPlan::source("t").stream(StreamKind::Insertion),
+            &mut s1,
+        )
+        .unwrap();
         let mut s2 = SourceSet::new();
         s2.add_table("t", table.clone());
         let mut hb = ContinuousQuery::compile(
-            &StreamPlan::source("t").stream(StreamKind::Heartbeat), &mut s2).unwrap();
+            &StreamPlan::source("t").stream(StreamKind::Heartbeat),
+            &mut s2,
+        )
+        .unwrap();
         let mut s3 = SourceSet::new();
         s3.add_table("t", table.clone());
         let mut raw = ContinuousQuery::compile(&StreamPlan::source("t"), &mut s3).unwrap();
