@@ -1,0 +1,210 @@
+//! E13 — telemetry overhead: the same physical pipeline executed with a
+//! [`NoopMetrics`] sink vs the full [`MetricsRegistry`]-backed
+//! [`RegistrySink`], plus log-linear histogram accuracy against exact
+//! quantiles.
+//!
+//! ```sh
+//! cargo bench -p serena-bench --bench telemetry_overhead
+//! ```
+//!
+//! Writes `BENCH_telemetry.json` (override with `SERENA_BENCH_OUT`). When
+//! `SERENA_BENCH_ASSERT_OVERHEAD_PCT` is set (CI smoke), the process exits
+//! nonzero if the measured relative overhead exceeds that bound.
+
+use serena_bench::criterion_group;
+use serena_bench::harness::{take_records, BenchRecord, BenchmarkId, Criterion, Throughput};
+use serena_bench::workload;
+
+use serena_core::exec::ExecContext;
+use serena_core::formula::Formula;
+use serena_core::metrics::NoopMetrics;
+use serena_core::physical::PhysicalPlan;
+use serena_core::plan::Plan;
+use serena_core::telemetry::{Histogram, MetricsRegistry, RegistrySink};
+use serena_core::time::Instant;
+
+/// Rows in the sensors table: enough real per-pass work that sink overhead
+/// is measured against a realistic denominator, small enough to iterate.
+const ROWS: usize = 1_000;
+/// Histogram-accuracy sample count (deterministic LCG-style sequence).
+const SAMPLES: usize = 100_000;
+
+fn pipeline() -> Plan {
+    Plan::relation("sensors")
+        .select(Formula::eq_const("location", "office"))
+        .project(["location"])
+}
+
+/// The identical compiled plan under both sinks. Per-pass work dominates;
+/// the sink sees one record per operator per pass.
+fn bench_sink_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    let env = workload::scaled_environment(ROWS, 0, 0);
+    let reg = workload::scaled_registry(0, 0);
+    let plan = pipeline();
+    let physical = PhysicalPlan::compile(&plan, &env).unwrap();
+    group.throughput(Throughput::Elements(ROWS as u64));
+
+    let noop = NoopMetrics;
+    let ctx = ExecContext::with_metrics(&env, &reg, Instant(1), &noop);
+    // warm caches/allocator before the first measured group, so ordering
+    // does not bias the comparison
+    let warmup = std::time::Instant::now();
+    while warmup.elapsed() < std::time::Duration::from_millis(200) {
+        physical.execute(&ctx).unwrap();
+    }
+    group.bench_with_input(BenchmarkId::new("sink", "noop"), &physical, |b, p| {
+        b.iter(|| p.execute(&ctx).unwrap())
+    });
+
+    let registry = std::sync::Arc::new(MetricsRegistry::new());
+    let sink = RegistrySink::new(&registry);
+    let ctx = ExecContext::with_metrics(&env, &reg, Instant(1), &sink);
+    group.bench_with_input(BenchmarkId::new("sink", "registry"), &physical, |b, p| {
+        b.iter(|| p.execute(&ctx).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sink_overhead);
+
+fn find<'a>(records: &'a [BenchRecord], label: &str) -> &'a BenchRecord {
+    records
+        .iter()
+        .find(|r| r.label == label)
+        .unwrap_or_else(|| panic!("missing record {label}"))
+}
+
+/// The headline overhead number. Sequential A-then-B benchmarking is biased
+/// by clock/allocator drift (B reliably measures faster than A on shared
+/// machines, whichever sink B is), so this interleaves short batches of
+/// both variants and compares the accumulated totals.
+fn interleaved_overhead_pct() -> (f64, f64, f64) {
+    const ROUNDS: usize = 100;
+    const PASSES: usize = 10;
+    let env = workload::scaled_environment(ROWS, 0, 0);
+    let reg = workload::scaled_registry(0, 0);
+    let physical = PhysicalPlan::compile(&pipeline(), &env).unwrap();
+    let noop = NoopMetrics;
+    let ctx_noop = ExecContext::with_metrics(&env, &reg, Instant(1), &noop);
+    let registry = std::sync::Arc::new(MetricsRegistry::new());
+    let sink = RegistrySink::new(&registry);
+    let ctx_registry = ExecContext::with_metrics(&env, &reg, Instant(1), &sink);
+
+    for _ in 0..PASSES * 4 {
+        physical.execute(&ctx_noop).unwrap();
+        physical.execute(&ctx_registry).unwrap();
+    }
+    // paired per-round ratios; the median is immune to the load spikes a
+    // mean-of-totals comparison absorbs wholesale
+    let mut ratios = Vec::with_capacity(ROUNDS);
+    let mut noop_rounds = Vec::with_capacity(ROUNDS);
+    let mut registry_rounds = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let start = std::time::Instant::now();
+        for _ in 0..PASSES {
+            physical.execute(&ctx_noop).unwrap();
+        }
+        let noop_ns = start.elapsed().as_nanos() as f64;
+        let start = std::time::Instant::now();
+        for _ in 0..PASSES {
+            physical.execute(&ctx_registry).unwrap();
+        }
+        let registry_ns = start.elapsed().as_nanos() as f64;
+        ratios.push(registry_ns / noop_ns);
+        noop_rounds.push(noop_ns / PASSES as f64);
+        registry_rounds.push(registry_ns / PASSES as f64);
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    (
+        (median(&mut ratios) - 1.0) * 100.0,
+        median(&mut noop_rounds),
+        median(&mut registry_rounds),
+    )
+}
+
+/// Worst relative error of the histogram's p50/p90/p99 against the exact
+/// quantiles of the same samples. The log-linear layout guarantees ≤ 1/8.
+fn histogram_accuracy() -> (f64, [(u64, u64); 3]) {
+    let h = Histogram::new();
+    let mut samples: Vec<u64> = (0..SAMPLES as u64)
+        .map(|i| (i.wrapping_mul(2_654_435_761) % 1_000_000) + 1)
+        .collect();
+    for &s in &samples {
+        h.record(s);
+    }
+    samples.sort_unstable();
+    let exact = |q: f64| samples[((q * SAMPLES as f64).ceil() as usize).max(1) - 1];
+    let mut worst = 0.0f64;
+    let mut pairs = [(0u64, 0u64); 3];
+    for (i, q) in [0.5, 0.9, 0.99].into_iter().enumerate() {
+        let estimated = h.quantile(q);
+        let truth = exact(q);
+        pairs[i] = (truth, estimated);
+        worst = worst.max((estimated as f64 - truth as f64).abs() / truth as f64);
+    }
+    (worst, pairs)
+}
+
+fn main() {
+    benches();
+    let records = take_records();
+
+    let noop = find(&records, "telemetry_overhead/sink/noop");
+    let instrumented = find(&records, "telemetry_overhead/sink/registry");
+    let sequential_pct =
+        (instrumented.mean_ns as f64 - noop.mean_ns as f64) / noop.mean_ns.max(1) as f64 * 100.0;
+    let (overhead_pct, noop_ns, registry_ns) = interleaved_overhead_pct();
+    println!(
+        "telemetry sink overhead vs NoopMetrics: {overhead_pct:.2}% interleaved \
+         ({noop_ns:.0} ns → {registry_ns:.0} ns/pass; sequential: {sequential_pct:.2}%)"
+    );
+
+    let (worst_err, quantiles) = histogram_accuracy();
+    println!("histogram worst quantile error (p50/p90/p99): {worst_err:.4}");
+
+    let mut json = String::from("{\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 < records.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"mean_ns\": {}, \"best_ns\": {}}}{sep}\n",
+            r.label, r.mean_ns, r.best_ns
+        ));
+    }
+    json.push_str("  ]");
+    json.push_str(&format!(",\n  \"overhead_pct\": {overhead_pct:.3}"));
+    json.push_str(&format!(
+        ",\n  \"noop_ns_per_pass\": {noop_ns:.0},\n  \"registry_ns_per_pass\": {registry_ns:.0}"
+    ));
+    json.push_str(&format!(
+        ",\n  \"histogram_worst_quantile_error\": {worst_err:.5}"
+    ));
+    for (i, q) in ["p50", "p90", "p99"].iter().enumerate() {
+        json.push_str(&format!(
+            ",\n  \"{q}_exact\": {}, \"{q}_estimated\": {}",
+            quantiles[i].0, quantiles[i].1
+        ));
+    }
+    json.push_str(&format!(
+        ",\n  \"rows\": {ROWS}, \"samples\": {SAMPLES}\n}}\n"
+    ));
+
+    let path =
+        std::env::var("SERENA_BENCH_OUT").unwrap_or_else(|_| "BENCH_telemetry.json".to_string());
+    std::fs::write(&path, json).expect("write bench results");
+    println!("wrote {path}");
+
+    if let Ok(bound) = std::env::var("SERENA_BENCH_ASSERT_OVERHEAD_PCT") {
+        let bound: f64 = bound.parse().expect("numeric overhead bound");
+        if overhead_pct > bound {
+            eprintln!("telemetry overhead {overhead_pct:.2}% exceeds bound {bound}%");
+            std::process::exit(1);
+        }
+        println!("overhead within {bound}% bound");
+    }
+    // histogram layout promises ≤ 1/8 relative error; fail loudly if not
+    assert!(worst_err <= 0.125, "histogram error {worst_err} > 0.125");
+}

@@ -3,7 +3,8 @@
 //! An `ExecContext` bundles everything an evaluation needs — the
 //! [`Environment`] (the catalog of X-Relations), the [`Invoker`] resolving
 //! service calls, the evaluation [`Instant`] τ, and a [`MetricsSink`]
-//! receiving one [`OpObservation`] per operator application: tuples in/out,
+//! receiving one [`crate::metrics::OpObservation`] per operator
+//! application: tuples in/out,
 //! β invocation counts and failures, and wall-clock self-time per node.
 //!
 //! With the default [`NoopMetrics`] sink, [`ExecContext::execute`] is
@@ -17,7 +18,7 @@
 use crate::env::Environment;
 use crate::error::EvalError;
 use crate::eval::EvalOutcome;
-use crate::metrics::{ExecStats, MetricsSink, NodeId, NoopMetrics, OpKind};
+use crate::metrics::{ExecStats, MetricsSink, NodeId, NoopMetrics};
 use crate::physical::{ExecOptions, PhysicalPlan};
 use crate::plan::Plan;
 use crate::service::Invoker;
@@ -112,20 +113,7 @@ fn render_node(
     out.push_str(&plan.explain_label());
     match stats.node(id) {
         Some(s) => {
-            out.push_str(&format!(
-                "  [rows={} in={} time={:?}",
-                s.tuples_out, s.tuples_in, s.elapsed
-            ));
-            if s.op == OpKind::Invoke || s.invocations > 0 {
-                out.push_str(&format!(
-                    " invocations={} cache_hits={} cache_misses={}",
-                    s.invocations, s.cache_hits, s.cache_misses
-                ));
-            }
-            if s.failures > 0 {
-                out.push_str(&format!(" failures={}", s.failures));
-            }
-            out.push(']');
+            out.push_str(&format!("  [{s}]"));
         }
         None => out.push_str("  [not executed]"),
     }
@@ -141,6 +129,7 @@ mod tests {
     use crate::env::examples::example_environment;
     use crate::eval::evaluate;
     use crate::formula::Formula;
+    use crate::metrics::OpKind;
     use crate::ops::{AggFun, AggSpec};
     use crate::plan::examples::{q1, q2};
     use crate::service::fixtures::example_registry;

@@ -65,6 +65,7 @@ pub mod rewrite;
 pub mod schema;
 pub mod service;
 pub mod sync;
+pub mod telemetry;
 pub mod time;
 pub mod tuple;
 pub mod value;
@@ -88,6 +89,10 @@ pub mod prelude {
     pub use crate::prototype::{Prototype, RelationSchema};
     pub use crate::schema::{AttrKind, Attribute, SchemaRef, XSchema};
     pub use crate::service::{Invoker, Service, StaticRegistry};
+    pub use crate::telemetry::{
+        Histogram, InstrumentedInvoker, InvocationObserver, JsonlTrace, MetricsRegistry,
+        RegistrySink, TraceEvent, TraceSink,
+    };
     pub use crate::time::Instant;
     pub use crate::tuple::Tuple;
     pub use crate::value::{DataType, ServiceRef, Value};

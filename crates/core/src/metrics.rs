@@ -66,6 +66,34 @@ pub enum OpKind {
 }
 
 impl OpKind {
+    /// Number of operator kinds.
+    pub const COUNT: usize = 15;
+
+    /// All operator kinds, in declaration order; `ALL[k.index()] == k`.
+    pub const ALL: [OpKind; OpKind::COUNT] = [
+        OpKind::Relation,
+        OpKind::Source,
+        OpKind::Union,
+        OpKind::Intersect,
+        OpKind::Difference,
+        OpKind::Project,
+        OpKind::Select,
+        OpKind::Rename,
+        OpKind::Join,
+        OpKind::Assign,
+        OpKind::Invoke,
+        OpKind::Aggregate,
+        OpKind::Window,
+        OpKind::StreamOf,
+        OpKind::SampleInvoke,
+    ];
+
+    /// Dense index of this kind within [`OpKind::ALL`] — lets per-operator
+    /// telemetry use a flat array instead of a map.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// The kind of a one-shot plan node.
     pub fn of_plan(plan: &crate::plan::Plan) -> OpKind {
         use crate::plan::Plan;
@@ -240,6 +268,33 @@ impl NodeStats {
         self.failures += other.failures;
         self.elapsed += other.elapsed;
     }
+
+    /// One-line summary of this node's counters — the annotation
+    /// `EXPLAIN ANALYZE` prints next to each operator. Invocation counters
+    /// appear only for β nodes (or when invocations were observed);
+    /// failures only when non-zero.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "rows={} in={} time={:?}",
+            self.tuples_out, self.tuples_in, self.elapsed
+        );
+        if self.op == OpKind::Invoke || self.op == OpKind::SampleInvoke || self.invocations > 0 {
+            out.push_str(&format!(
+                " invocations={} cache_hits={} cache_misses={}",
+                self.invocations, self.cache_hits, self.cache_misses
+            ));
+        }
+        if self.failures > 0 {
+            out.push_str(&format!(" failures={}", self.failures));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for NodeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
 }
 
 /// Thread-safe collector aggregating observations per node — the concrete
@@ -313,6 +368,28 @@ impl ExecStats {
     /// The root node's total output tuples (node 0), if observed.
     pub fn root_tuples_out(&self) -> Option<u64> {
         self.nodes.lock().get(&NodeId(0)).map(|s| s.tuples_out)
+    }
+}
+
+impl std::fmt::Display for ExecStats {
+    /// One-line roll-up across all nodes:
+    /// `nodes=5 rows_out=2 invocations=3 cache_hits=1 cache_misses=2 failures=0`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let nodes = self.nodes.lock();
+        let rows_out = nodes.get(&NodeId(0)).map(|s| s.tuples_out).unwrap_or(0);
+        let (mut inv, mut hits, mut misses, mut failures) = (0u64, 0u64, 0u64, 0u64);
+        for s in nodes.values() {
+            inv += s.invocations;
+            hits += s.cache_hits;
+            misses += s.cache_misses;
+            failures += s.failures;
+        }
+        write!(
+            f,
+            "nodes={} rows_out={rows_out} invocations={inv} cache_hits={hits} \
+             cache_misses={misses} failures={failures}",
+            nodes.len()
+        )
     }
 }
 

@@ -1,0 +1,279 @@
+//! Invocation-level instrumentation: latency, outcomes, health feed.
+//!
+//! [`InstrumentedInvoker`] decorates any [`Invoker`] and, per call, records
+//! wall-clock latency into per-service registry series, notifies an
+//! [`InvocationObserver`] (the hook service-health trackers implement), and
+//! emits [`TraceEvent::Invocation`]/[`TraceEvent::Failure`] trace events —
+//! without changing the call's result in any way. This sits *under* the β
+//! operator, so both the one-shot executor and the batched/parallel
+//! continuous path (`InvokeRecipe::call_batch`) are observed identically.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::EvalError;
+use crate::prototype::Prototype;
+use crate::service::Invoker;
+use crate::sync::RwLock;
+use crate::time::Instant;
+use crate::tuple::Tuple;
+use crate::value::ServiceRef;
+
+use super::histogram::Histogram;
+use super::registry::{Counter, MetricsRegistry};
+use super::trace::{TraceEvent, TraceSink};
+
+/// Receives the outcome of every β service invocation — the feed for
+/// service-health tracking. `error` is `None` on success.
+pub trait InvocationObserver: Send + Sync {
+    /// Report one completed invocation.
+    fn observe_invocation(
+        &self,
+        service: &ServiceRef,
+        prototype: &str,
+        at: Instant,
+        latency: Duration,
+        error: Option<&EvalError>,
+    );
+}
+
+/// Cached per-service series handles.
+#[derive(Clone)]
+struct ServiceSeries {
+    latency: Arc<Histogram>,
+    calls: Arc<Counter>,
+    failures: Arc<Counter>,
+}
+
+/// An [`Invoker`] decorator measuring every call.
+///
+/// Registry series (when a registry is attached):
+/// `serena_service_latency_ns{service}` (histogram),
+/// `serena_service_calls_total{service}` and
+/// `serena_service_failures_total{service}` (counters). Series handles are
+/// cached per [`ServiceRef`], so steady-state recording takes one read
+/// lock plus a few atomic updates.
+pub struct InstrumentedInvoker<'a> {
+    inner: &'a dyn Invoker,
+    registry: Option<&'a MetricsRegistry>,
+    observer: Option<&'a dyn InvocationObserver>,
+    trace: Option<&'a dyn TraceSink>,
+    series: RwLock<HashMap<ServiceRef, ServiceSeries>>,
+}
+
+impl<'a> InstrumentedInvoker<'a> {
+    /// Wrap `inner` with no outputs attached (a transparent pass-through
+    /// until [`Self::with_registry`] / [`Self::with_observer`] /
+    /// [`Self::with_trace`] add some).
+    pub fn new(inner: &'a dyn Invoker) -> Self {
+        InstrumentedInvoker {
+            inner,
+            registry: None,
+            observer: None,
+            trace: None,
+            series: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Record per-service latency/call/failure series into `registry`.
+    pub fn with_registry(mut self, registry: &'a MetricsRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Notify `observer` of every invocation outcome.
+    pub fn with_observer(mut self, observer: &'a dyn InvocationObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Emit invocation/failure trace events to `trace`.
+    pub fn with_trace(mut self, trace: &'a dyn TraceSink) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    fn series_for(&self, registry: &MetricsRegistry, service: &ServiceRef) -> ServiceSeries {
+        if let Some(series) = self.series.read().get(service) {
+            return series.clone();
+        }
+        let labels: [(&str, &str); 1] = [("service", service.as_str())];
+        let series = ServiceSeries {
+            latency: registry.histogram("serena_service_latency_ns", &labels),
+            calls: registry.counter("serena_service_calls_total", &labels),
+            failures: registry.counter("serena_service_failures_total", &labels),
+        };
+        self.series
+            .write()
+            .entry(service.clone())
+            .or_insert(series)
+            .clone()
+    }
+}
+
+impl Invoker for InstrumentedInvoker<'_> {
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        service_ref: &ServiceRef,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, EvalError> {
+        let started = std::time::Instant::now();
+        let result = self.inner.invoke(prototype, service_ref, input, at);
+        let latency = started.elapsed();
+
+        if let Some(registry) = self.registry {
+            let series = self.series_for(registry, service_ref);
+            series.latency.record_duration(latency);
+            series.calls.inc();
+            if result.is_err() {
+                series.failures.inc();
+            }
+        }
+        if let Some(observer) = self.observer {
+            observer.observe_invocation(
+                service_ref,
+                prototype.name(),
+                at,
+                latency,
+                result.as_ref().err(),
+            );
+        }
+        if let Some(trace) = self.trace {
+            trace.emit(&TraceEvent::Invocation {
+                service: service_ref.to_string(),
+                prototype: prototype.name().to_string(),
+                at,
+                latency_ns: u128::min(latency.as_nanos(), u64::MAX as u128) as u64,
+                ok: result.is_ok(),
+            });
+            if let Err(e) = &result {
+                trace.emit(&TraceEvent::Failure {
+                    scope: service_ref.to_string(),
+                    at,
+                    message: e.to_string(),
+                });
+            }
+        }
+        result
+    }
+
+    fn providers_of(&self, prototype: &str) -> Vec<ServiceRef> {
+        self.inner.providers_of(prototype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prototype::examples as protos;
+    use crate::service::fixtures::example_registry;
+    use crate::sync::Mutex;
+    use crate::telemetry::trace::MemoryTrace;
+
+    #[derive(Default)]
+    struct Outcomes(Mutex<Vec<(String, String, bool)>>);
+
+    impl InvocationObserver for Outcomes {
+        fn observe_invocation(
+            &self,
+            service: &ServiceRef,
+            prototype: &str,
+            _at: Instant,
+            _latency: Duration,
+            error: Option<&EvalError>,
+        ) {
+            self.0
+                .lock()
+                .push((service.to_string(), prototype.to_string(), error.is_none()));
+        }
+    }
+
+    #[test]
+    fn records_latency_outcomes_and_traces() {
+        let inner = example_registry();
+        let registry = MetricsRegistry::new();
+        let outcomes = Outcomes::default();
+        let trace = MemoryTrace::new();
+        let invoker = InstrumentedInvoker::new(&inner)
+            .with_registry(&registry)
+            .with_observer(&outcomes)
+            .with_trace(&trace);
+
+        let sref = ServiceRef::new("sensor01");
+        let ghost = ServiceRef::new("ghost");
+        invoker
+            .invoke(
+                &protos::get_temperature(),
+                &sref,
+                &Tuple::empty(),
+                Instant(1),
+            )
+            .unwrap();
+        invoker
+            .invoke(
+                &protos::get_temperature(),
+                &sref,
+                &Tuple::empty(),
+                Instant(2),
+            )
+            .unwrap();
+        let err = invoker.invoke(
+            &protos::get_temperature(),
+            &ghost,
+            &Tuple::empty(),
+            Instant(3),
+        );
+        assert!(err.is_err());
+
+        let s = [("service", "sensor01")];
+        assert_eq!(
+            registry.counter_value("serena_service_calls_total", &s),
+            Some(2)
+        );
+        assert_eq!(
+            registry.counter_value("serena_service_failures_total", &s),
+            Some(0)
+        );
+        assert_eq!(
+            registry.counter_value("serena_service_failures_total", &[("service", "ghost")]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.histogram("serena_service_latency_ns", &s).count(),
+            2
+        );
+
+        let seen = outcomes.0.lock().clone();
+        assert_eq!(seen.len(), 3);
+        assert!(seen[0].2 && seen[1].2 && !seen[2].2);
+        assert_eq!(seen[2].0, "ghost");
+
+        // 3 invocation events + 1 failure event
+        let events = trace.events();
+        assert_eq!(events.len(), 4);
+        assert!(matches!(
+            &events[3],
+            TraceEvent::Failure { scope, .. } if scope == "ghost"
+        ));
+        // pass-through: discovery is undisturbed
+        assert!(!invoker.providers_of("getTemperature").is_empty());
+    }
+
+    #[test]
+    fn bare_wrapper_is_transparent() {
+        let inner = example_registry();
+        let invoker = InstrumentedInvoker::new(&inner);
+        let out = invoker
+            .invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("sensor01"),
+                &Tuple::empty(),
+                Instant(0),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! The telemetry subsystem: metric series, service latency, traces.
+//!
+//! PR 1's [`crate::metrics`] layer answers "what did this *plan node* do"
+//! — per-node counters behind a [`crate::metrics::MetricsSink`]. This
+//! module answers the production questions a long-running PEMS is judged
+//! by (§5.2's robustness/scalability concerns):
+//!
+//! * [`registry`] — a lock-cheap [`MetricsRegistry`] of named counters,
+//!   gauges and log-linear [`Histogram`]s (p50/p90/p99/max), rendered in
+//!   the Prometheus text format by
+//!   [`MetricsRegistry::render_prometheus`];
+//! * [`sink`] — [`RegistrySink`], bridging per-operator observations into
+//!   per-`OpKind` wall-time histograms, tuple counters and β-cache
+//!   counters;
+//! * [`invoker`] — [`InstrumentedInvoker`], measuring every β service
+//!   call (per-service latency histograms, failure counters) and feeding
+//!   [`InvocationObserver`]s such as service-health trackers;
+//! * [`trace`] — span-style [`TraceEvent`]s (query registered, tick
+//!   start/end, invocation, failure) behind a [`TraceSink`], with a JSONL
+//!   writer ([`JsonlTrace`]) for machine-readable export.
+//!
+//! Everything here is optional and composable: executors keep talking to
+//! the `MetricsSink`/`Invoker` traits they already know; telemetry attaches
+//! by decoration (a `Tee` to a [`RegistrySink`], an [`InstrumentedInvoker`]
+//! around the service registry).
+
+pub mod histogram;
+pub mod invoker;
+pub mod registry;
+pub mod sink;
+pub mod trace;
+
+pub use histogram::Histogram;
+pub use invoker::{InstrumentedInvoker, InvocationObserver};
+pub use registry::{Counter, Gauge, MetricsRegistry};
+pub use sink::{beta_cache_hit_ratio, RegistrySink};
+pub use trace::{JsonlTrace, MemoryTrace, NoopTrace, TraceEvent, TraceSink};

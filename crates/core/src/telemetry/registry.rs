@@ -1,0 +1,340 @@
+//! Named metric series: counters, gauges, histograms, Prometheus text.
+//!
+//! A [`MetricsRegistry`] is a concurrent map from *(metric name, sorted
+//! label set)* to a shared metric instrument. Lookups take a read lock and
+//! return an [`Arc`] handle; hot paths resolve their handles once and then
+//! update them with plain atomic operations — the registry lock is never
+//! held while recording.
+//!
+//! [`MetricsRegistry::render_prometheus`] serialises every series in the
+//! [Prometheus text exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/):
+//! `# TYPE` headers, `name{label="value"} sample` lines, and cumulative
+//! `_bucket`/`_sum`/`_count` series for histograms.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::sync::RwLock;
+
+use super::histogram::Histogram;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// `(name, sorted labels)` — the identity of one series.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        SeriesKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// A concurrent registry of named counters, gauges and histograms with a
+/// Prometheus text renderer.
+///
+/// Names should follow Prometheus conventions (`snake_case`, counters
+/// ending in `_total`, unit suffixes like `_ns`). A name must be used for
+/// only one instrument kind.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<SeriesKey, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<SeriesKey, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<SeriesKey, Arc<Histogram>>>,
+}
+
+fn get_or_create<T: Default>(
+    map: &RwLock<BTreeMap<SeriesKey, Arc<T>>>,
+    name: &str,
+    labels: &[(&str, &str)],
+) -> Arc<T> {
+    let key = SeriesKey::new(name, labels);
+    if let Some(existing) = map.read().get(&key) {
+        return Arc::clone(existing);
+    }
+    Arc::clone(map.write().entry(key).or_default())
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handle to the counter `name{labels}` (created on first use).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        get_or_create(&self.counters, name, labels)
+    }
+
+    /// Handle to the gauge `name{labels}` (created on first use).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name, labels)
+    }
+
+    /// Handle to the histogram `name{labels}` (created on first use).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        get_or_create(&self.histograms, name, labels)
+    }
+
+    /// Current value of a counter series, if it exists.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters
+            .read()
+            .get(&SeriesKey::new(name, labels))
+            .map(|c| c.get())
+    }
+
+    /// Sum of all counter series sharing `name` (across label sets).
+    pub fn sum_counters(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, c)| c.get())
+            .sum()
+    }
+
+    /// Render every series in the Prometheus text exposition format.
+    ///
+    /// Series are ordered by name then label set; each family gets one
+    /// `# TYPE` header. Histograms emit cumulative `_bucket` lines for
+    /// their non-empty buckets plus the `+Inf` bucket, `_sum` and
+    /// `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+
+        let counters = self.counters.read();
+        let mut last = None::<&str>;
+        for (key, c) in counters.iter() {
+            type_header(&mut out, &mut last, &key.name, "counter");
+            let _ = writeln!(out, "{}{} {}", key.name, labels(&key.labels, None), c.get());
+        }
+        drop(counters);
+
+        let gauges = self.gauges.read();
+        let mut last = None::<&str>;
+        for (key, g) in gauges.iter() {
+            type_header(&mut out, &mut last, &key.name, "gauge");
+            let _ = writeln!(out, "{}{} {}", key.name, labels(&key.labels, None), g.get());
+        }
+        drop(gauges);
+
+        let histograms = self.histograms.read();
+        let mut last = None::<&str>;
+        for (key, h) in histograms.iter() {
+            type_header(&mut out, &mut last, &key.name, "histogram");
+            for (le, cum) in h.cumulative_buckets() {
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    key.name,
+                    labels(&key.labels, Some(&le.to_string())),
+                    cum
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                key.name,
+                labels(&key.labels, Some("+Inf")),
+                h.count()
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                key.name,
+                labels(&key.labels, None),
+                h.sum()
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                key.name,
+                labels(&key.labels, None),
+                h.count()
+            );
+        }
+        out
+    }
+}
+
+/// Write a `# TYPE` header the first time `name` is seen.
+fn type_header<'a>(out: &mut String, last: &mut Option<&'a str>, name: &'a str, kind: &str) {
+    if *last != Some(name) {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        *last = Some(name);
+    }
+}
+
+/// Format a label set as `{k="v",…}` (empty string for no labels); `le`
+/// appends the histogram bucket bound label.
+fn labels(pairs: &[(String, String)], le: Option<&str>) -> String {
+    if pairs.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in pairs {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Escape a label value per the Prometheus text format (`\`, `"`, `\n`).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_lock_free_to_update() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("serena_ticks_total", &[("query", "q1")]);
+        let b = reg.counter("serena_ticks_total", &[("query", "q1")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(
+            reg.counter_value("serena_ticks_total", &[("query", "q1")]),
+            Some(3)
+        );
+        // label order is normalised
+        let c = reg.counter("multi", &[("b", "2"), ("a", "1")]);
+        c.inc();
+        assert_eq!(
+            reg.counter_value("multi", &[("a", "1"), ("b", "2")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn sum_counters_spans_label_sets() {
+        let reg = MetricsRegistry::new();
+        reg.counter("calls_total", &[("service", "s1")]).add(2);
+        reg.counter("calls_total", &[("service", "s2")]).add(3);
+        reg.counter("other_total", &[]).add(100);
+        assert_eq!(reg.sum_counters("calls_total"), 5);
+        assert_eq!(reg.sum_counters("missing"), 0);
+    }
+
+    #[test]
+    fn render_prometheus_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serena_invocations_total", &[("service", "sensor01")])
+            .add(4);
+        reg.gauge("serena_services", &[]).set(2);
+        let h = reg.histogram("serena_latency_ns", &[("service", "sensor01")]);
+        h.record(100);
+        h.record(5_000);
+
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE serena_invocations_total counter"));
+        assert!(text.contains("serena_invocations_total{service=\"sensor01\"} 4"));
+        assert!(text.contains("# TYPE serena_services gauge"));
+        assert!(text.contains("serena_services 2"));
+        assert!(text.contains("# TYPE serena_latency_ns histogram"));
+        assert!(text.contains("serena_latency_ns_bucket{service=\"sensor01\",le=\"+Inf\"} 2"));
+        assert!(text.contains("serena_latency_ns_sum{service=\"sensor01\"} 5100"));
+        assert!(text.contains("serena_latency_ns_count{service=\"sensor01\"} 2"));
+
+        // Every non-comment line is `name_or_labels value` with a numeric
+        // sample — the grammar Prometheus scrapers expect.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("sample separator");
+            assert!(!series.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "bad sample in {line:?}");
+        }
+    }
+
+    #[test]
+    fn type_header_emitted_once_per_family() {
+        let reg = MetricsRegistry::new();
+        reg.counter("family_total", &[("k", "a")]).inc();
+        reg.counter("family_total", &[("k", "b")]).inc();
+        let text = reg.render_prometheus();
+        assert_eq!(text.matches("# TYPE family_total counter").count(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total", &[("name", "a\"b\\c\nd")]).inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains(r#"c_total{name="a\"b\\c\nd"} 1"#));
+    }
+}

@@ -11,9 +11,14 @@
 //!   * `.tables` — list relations; `.show <rel>` — print a table snapshot;
 //!   * `.queries` — registered queries with stats;
 //!   * `.result <query>` — current result of a finite continuous query;
+//!   * `.metrics` — every telemetry series in the Prometheus text format;
+//!   * `.health` — per-service health (attempts, failure rate, status);
 //!   * `.demo` — load the paper's running example (Tables 1–2, Example 4's
 //!     tuples, simulated services);
 //!   * `.help`, `.quit`.
+//!
+//! Every dot-command also accepts a backslash prefix (`\metrics`,
+//! `\health`, `\tick` …), psql-style.
 //!
 //! ```sh
 //! cargo run -p serena-pems --bin pems-shell            # interactive
@@ -43,8 +48,13 @@ fn main() {
             Err(_) => break,
         };
         let trimmed = line.trim();
-        if buffer.is_empty() && trimmed.starts_with('.') {
-            if !dot_command(trimmed, &mut pems) {
+        if buffer.is_empty() && (trimmed.starts_with('.') || trimmed.starts_with('\\')) {
+            // `\metrics` and `.metrics` are the same command
+            let cmd = match trimmed.strip_prefix('\\') {
+                Some(rest) => format!(".{rest}"),
+                None => trimmed.to_string(),
+            };
+            if !dot_command(&cmd, &mut pems) {
                 break;
             }
             prompt(interactive, &buffer);
@@ -123,7 +133,8 @@ fn dot_command(cmd: &str, pems: &mut Pems) -> bool {
         ".quit" | ".exit" => return false,
         ".help" => {
             println!(
-                ".tick [n] | .tables | .show <rel> | .queries | .result <query> | .demo | .quit\n\
+                ".tick [n] | .tables | .show <rel> | .queries | .result <query>\n\
+                 .metrics | .health | .demo | .quit   (backslash aliases work: \\metrics)\n\
                  …or any Serena DDL / algebra statement ending with `;`"
             );
         }
@@ -188,6 +199,29 @@ fn dot_command(cmd: &str, pems: &mut Pems) -> bool {
             },
             None => println!("usage: .result <query>"),
         },
+        ".metrics" => print!("{}", pems.render_metrics()),
+        ".health" => {
+            let report = pems.service_health();
+            if report.is_empty() {
+                println!("no services observed yet — run a query that invokes β");
+            } else {
+                println!(
+                    "{:<16} {:>8} {:>8} {:>6} {:>6}  status",
+                    "service", "attempts", "failures", "rate", "consec"
+                );
+                for h in report {
+                    println!(
+                        "{:<16} {:>8} {:>8} {:>5.0}% {:>6}  {}",
+                        h.reference.as_str(),
+                        h.attempts,
+                        h.failures,
+                        h.failure_rate * 100.0,
+                        h.consecutive_errors,
+                        h.status()
+                    );
+                }
+            }
+        }
         ".demo" => match load_demo(pems) {
             Ok(()) => println!("loaded the paper's running example (Tables 1–2, Example 4)"),
             Err(e) => println!("error: {e}"),

@@ -18,9 +18,12 @@ use serena_core::env::Environment;
 use serena_core::error::{EvalError, PlanError, SchemaError};
 use serena_core::eval::EvalOutcome;
 use serena_core::exec::{explain_analyze_text, ExecContext};
-use serena_core::metrics::{ExecStats, MetricsSink, NoopMetrics};
+use serena_core::metrics::{ExecStats, MetricsSink, NoopMetrics, Tee};
 use serena_core::physical::ExecOptions;
 use serena_core::plan::Plan;
+use serena_core::telemetry::{
+    InstrumentedInvoker, MetricsRegistry, NoopTrace, RegistrySink, TraceSink,
+};
 use serena_core::time::Instant;
 use serena_ddl::ast::Statement;
 use serena_ddl::resolve::{
@@ -29,6 +32,7 @@ use serena_ddl::resolve::{
 use serena_ddl::DdlError;
 use serena_services::bus::{BusConfig, CoreErm, DiscoveryBus, LocalErm};
 use serena_services::discovery::{DiscoveryQuery, ServiceDirectory};
+use serena_services::health::{HealthTracker, ServiceHealth};
 use serena_services::registry::DynamicRegistry;
 use serena_stream::exec::TickReport;
 
@@ -139,17 +143,21 @@ pub struct PemsBuilder {
     clock: Instant,
     metrics: Option<Arc<dyn MetricsSink>>,
     exec_options: ExecOptions,
+    trace: Option<Arc<dyn TraceSink>>,
+    health_window: usize,
 }
 
 impl PemsBuilder {
     /// Defaults: default bus latency, clock at zero, no metrics sink,
-    /// serial execution.
+    /// serial execution, no trace sink, default health window.
     pub fn new() -> Self {
         PemsBuilder {
             bus: BusConfig::default(),
             clock: Instant::ZERO,
             metrics: None,
             exec_options: ExecOptions::default(),
+            trace: None,
+            health_window: serena_services::health::DEFAULT_WINDOW,
         }
     }
 
@@ -180,12 +188,32 @@ impl PemsBuilder {
         self
     }
 
+    /// Structured trace sink receiving span-style [`TraceEvent`]s (query
+    /// registered, tick start/end, invocation, failure) — e.g. a
+    /// [`serena_core::telemetry::JsonlTrace`] over a file.
+    ///
+    /// [`TraceEvent`]: serena_core::telemetry::TraceEvent
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Rolling-window length (outcomes per service) for health tracking.
+    pub fn health_window(mut self, window: usize) -> Self {
+        self.health_window = window;
+        self
+    }
+
     /// Assemble the runtime.
     pub fn build(self) -> Pems {
         let bus = DiscoveryBus::new(self.bus);
         let erm = CoreErm::new(Arc::clone(&bus));
+        let telemetry = Arc::new(MetricsRegistry::new());
+        let telemetry_sink = RegistrySink::new(&telemetry);
+        let trace: Arc<dyn TraceSink> = self.trace.unwrap_or_else(|| Arc::new(NoopTrace));
         let mut processor = QueryProcessor::new();
         processor.seek(self.clock);
+        processor.set_telemetry(Arc::clone(&telemetry), Arc::clone(&trace));
         Pems {
             bus,
             erm,
@@ -196,6 +224,10 @@ impl PemsBuilder {
             sql_counter: 0,
             metrics: self.metrics.unwrap_or_else(|| Arc::new(NoopMetrics)),
             exec_options: self.exec_options,
+            telemetry,
+            telemetry_sink,
+            health: Arc::new(HealthTracker::new(self.health_window)),
+            trace,
         }
     }
 }
@@ -217,6 +249,14 @@ pub struct Pems {
     sql_counter: u64,
     metrics: Arc<dyn MetricsSink>,
     exec_options: ExecOptions,
+    /// Named metric series for the whole runtime (always on; lock-cheap).
+    telemetry: Arc<MetricsRegistry>,
+    /// Bridges per-operator observations into `telemetry`.
+    telemetry_sink: RegistrySink,
+    /// Rolling per-service health fed by every β invocation outcome.
+    health: Arc<HealthTracker>,
+    /// Structured trace sink ([`NoopTrace`] unless configured).
+    trace: Arc<dyn TraceSink>,
 }
 
 impl Default for Pems {
@@ -245,6 +285,33 @@ impl Pems {
     /// The per-service metadata directory.
     pub fn directory(&self) -> Arc<ServiceDirectory> {
         Arc::clone(&self.directory)
+    }
+
+    /// The runtime-wide metric registry: operator counters, β-invocation
+    /// latency histograms, per-query tick/lag series. Always on.
+    pub fn metrics_registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// Every metric series rendered in the Prometheus text exposition
+    /// format — what the shell's `\metrics` command prints.
+    pub fn render_metrics(&self) -> String {
+        self.telemetry.render_prometheus()
+    }
+
+    /// Health snapshot of every service observed by a β invocation so far,
+    /// ordered by service reference — what the shell's `\health` command
+    /// prints. Reflects injected faults: a service wrapped in a
+    /// [`serena_services::faults::FaultyService`] shows its failure rate
+    /// here.
+    pub fn service_health(&self) -> Vec<ServiceHealth> {
+        self.health.report()
+    }
+
+    /// The rolling per-service health tracker behind
+    /// [`Self::service_health`].
+    pub fn health_tracker(&self) -> Arc<HealthTracker> {
+        Arc::clone(&self.health)
     }
 
     /// Create a Local Environment Resource Manager attached to this PEMS's
@@ -436,7 +503,12 @@ impl Pems {
     ) -> Result<EvalOutcome, PemsError> {
         let env = self.snapshot_environment();
         let registry = self.registry();
-        let ctx = ExecContext::with_metrics(&env, &*registry, self.clock(), sink)
+        let invoker = InstrumentedInvoker::new(&*registry)
+            .with_registry(&self.telemetry)
+            .with_observer(&*self.health)
+            .with_trace(&*self.trace);
+        let tee = Tee(&self.telemetry_sink, sink);
+        let ctx = ExecContext::with_metrics(&env, &invoker, self.clock(), &tee)
             .with_options(self.exec_options);
         Ok(ctx.execute(plan)?)
     }
@@ -477,7 +549,12 @@ impl Pems {
             }
         }
         // 3. evaluate every continuous query at `now`
-        self.processor.tick_all_with(&*registry, &*self.metrics)
+        let invoker = InstrumentedInvoker::new(&*registry)
+            .with_registry(&self.telemetry)
+            .with_observer(&*self.health)
+            .with_trace(&*self.trace);
+        self.processor
+            .tick_all_with(&invoker, &Tee(&self.telemetry_sink, &*self.metrics))
     }
 
     /// Run `n` ticks, returning all reports flattened.
@@ -803,5 +880,62 @@ mod tests {
         assert_eq!(node.tuples_out, 2);
         // ticks advanced the builder-seeded clock
         assert_eq!(pems.clock(), Instant(9));
+    }
+
+    /// Acceptance (PR 3): `service_health()` reflects injected
+    /// [`FaultPolicy`] failures and `render_metrics()` produces valid
+    /// Prometheus text for a scenario run.
+    #[test]
+    fn telemetry_health_and_prometheus_render() {
+        use serena_core::telemetry::{MemoryTrace, TraceEvent};
+        use serena_services::faults::{FaultPolicy, FaultyService};
+        use serena_services::health::HealthStatus;
+
+        let trace = Arc::new(MemoryTrace::new());
+        let mut pems = Pems::builder()
+            .bus(BusConfig::instant())
+            .trace(trace.clone())
+            .build();
+        let (svc, _outbox) = serena_services::devices::messenger::SimMessenger::new(
+            serena_services::devices::messenger::MessengerKind::Email,
+        )
+        .into_service();
+        // every invocation fails → health must notice through β
+        let faulty = FaultyService::new(svc, FaultPolicy::EveryNth(1));
+        pems.registry().register("email", faulty.clone());
+        pems.run_program(SETUP).unwrap();
+
+        // a clean scan populates the per-operator series...
+        pems.one_shot(&Plan::relation("contacts")).unwrap();
+        // ...and a failing β invocation is a hard one-shot error, but the
+        // instrumented invoker observed it on the way out
+        let plan = Plan::relation("contacts")
+            .assign_const("text", Value::str("Hi"))
+            .invoke("sendMessage", "messenger");
+        let err = pems.one_shot(&plan).unwrap_err();
+        assert!(matches!(err, PemsError::Eval(_)));
+
+        let health = pems.service_health();
+        assert_eq!(health.len(), 1);
+        let h = &health[0];
+        assert_eq!(h.reference.as_str(), "email");
+        assert_eq!(h.attempts, faulty.attempts());
+        assert!(h.failures > 0);
+        assert_ne!(h.status(), HealthStatus::Healthy);
+        assert!(h.last_error.is_some());
+
+        // Prometheus text: counters, histogram buckets, per-service series
+        let text = pems.render_metrics();
+        assert!(text.contains("# TYPE serena_op_applications_total counter"));
+        assert!(text.contains("# TYPE serena_service_latency_ns histogram"));
+        assert!(text.contains("serena_service_latency_ns_bucket"));
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains("serena_service_failures_total{service=\"email\"}"));
+
+        // the configured trace sink saw the failed invocations
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Invocation { ok: false, .. })));
     }
 }

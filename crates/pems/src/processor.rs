@@ -10,11 +10,14 @@
 //! in one query do not serialize behind another query's.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
 
 use serena_core::error::PlanError;
 use serena_core::metrics::{ExecStats, MetricsSink, NoopMetrics, Tee};
 use serena_core::physical::ExecOptions;
 use serena_core::service::Invoker;
+use serena_core::telemetry::{Counter, Histogram, MetricsRegistry, TraceEvent, TraceSink};
 use serena_core::time::Instant;
 use serena_stream::exec::{ContinuousQuery, SourceSet, TickReport};
 use serena_stream::plan::StreamPlan;
@@ -40,11 +43,42 @@ pub struct QueryStats {
     pub cache_misses: u64,
 }
 
+/// Pre-resolved per-query telemetry series, all labelled `query=<name>`.
+struct QuerySeries {
+    ticks: Arc<Counter>,
+    tuples: Arc<Counter>,
+    errors: Arc<Counter>,
+    tick_ns: Arc<Histogram>,
+    lag_ns: Arc<Histogram>,
+    miss_batch: Arc<Histogram>,
+}
+
+impl QuerySeries {
+    fn new(registry: &MetricsRegistry, query: &str) -> Self {
+        let labels: [(&str, &str); 1] = [("query", query)];
+        QuerySeries {
+            ticks: registry.counter("serena_query_ticks_total", &labels),
+            tuples: registry.counter("serena_query_tuples_total", &labels),
+            errors: registry.counter("serena_query_errors_total", &labels),
+            tick_ns: registry.histogram("serena_query_tick_duration_ns", &labels),
+            lag_ns: registry.histogram("serena_query_lag_ns", &labels),
+            miss_batch: registry.histogram("serena_query_cache_miss_batch_size", &labels),
+        }
+    }
+}
+
+struct Telemetry {
+    registry: Arc<MetricsRegistry>,
+    trace: Arc<dyn TraceSink>,
+}
+
 struct Registered {
     query: ContinuousQuery,
     stats: QueryStats,
     /// Rolling per-node statistics across all of the query's ticks.
     exec: ExecStats,
+    /// Registry series for this query, when telemetry is attached.
+    series: Option<QuerySeries>,
 }
 
 /// The continuous-query scheduler.
@@ -52,6 +86,7 @@ struct Registered {
 pub struct QueryProcessor {
     queries: BTreeMap<String, Registered>,
     clock: Instant,
+    telemetry: Option<Telemetry>,
 }
 
 impl QueryProcessor {
@@ -95,20 +130,53 @@ impl QueryProcessor {
         }
         let mut query = ContinuousQuery::compile_with_options(plan, sources, options)?;
         query.seek(self.clock);
+        let series = self.telemetry.as_ref().map(|t| {
+            t.trace.emit(&TraceEvent::QueryRegistered {
+                query: name.clone(),
+            });
+            QuerySeries::new(&t.registry, &name)
+        });
         self.queries.insert(
             name,
             Registered {
                 query,
                 stats: QueryStats::default(),
                 exec: ExecStats::new(),
+                series,
             },
         );
+        self.update_registered_gauge();
         Ok(())
+    }
+
+    /// Attach continuous-query telemetry: per-query tick-duration,
+    /// freshness-lag and cache-miss-batch histograms plus tick/tuple/error
+    /// counters in `registry` (labelled `query=<name>`), and span-style
+    /// [`TraceEvent`]s to `trace`. Applies to already-registered queries
+    /// and everything registered afterwards.
+    pub fn set_telemetry(&mut self, registry: Arc<MetricsRegistry>, trace: Arc<dyn TraceSink>) {
+        for (name, reg) in &mut self.queries {
+            reg.series = Some(QuerySeries::new(&registry, name));
+        }
+        self.telemetry = Some(Telemetry { registry, trace });
+        self.update_registered_gauge();
+    }
+
+    fn update_registered_gauge(&self) {
+        if let Some(t) = &self.telemetry {
+            t.registry
+                .gauge("serena_queries_registered", &[])
+                .set(self.queries.len() as i64);
+        }
     }
 
     /// Deregister a query. Returns whether it existed.
     pub fn deregister(&mut self, name: &str) -> bool {
-        self.queries.remove(name).is_some()
+        let removed = self.queries.remove(name).is_some();
+        if removed {
+            self.update_registered_gauge();
+        }
+        removed
     }
 
     /// Registered query names, sorted.
@@ -157,14 +225,23 @@ impl QueryProcessor {
         invoker: &dyn Invoker,
         sink: &dyn MetricsSink,
     ) -> Vec<(String, TickReport)> {
-        let reports: Vec<(String, TickReport)> = if self.queries.len() <= 1 {
+        // Freshness lag: every query in this round is *scheduled* now; a
+        // query's lag is the wall-clock from here to its tick completing.
+        let scheduled = std::time::Instant::now();
+        let at = self.clock;
+        let trace: Option<&dyn TraceSink> = self.telemetry.as_ref().map(|t| &*t.trace);
+        let reports: Vec<(String, TickReport, Duration)> = if self.queries.len() <= 1 {
             self.queries
                 .iter_mut()
                 .map(|(name, reg)| {
-                    (
-                        name.clone(),
-                        reg.query.tick_with(invoker, &Tee(&reg.exec, sink)),
-                    )
+                    if let Some(trace) = trace {
+                        trace.emit(&TraceEvent::TickStart {
+                            query: name.clone(),
+                            at,
+                        });
+                    }
+                    let report = reg.query.tick_with(invoker, &Tee(&reg.exec, sink));
+                    (name.clone(), report, scheduled.elapsed())
                 })
                 .collect()
         } else {
@@ -175,7 +252,16 @@ impl QueryProcessor {
                     .map(|(name, reg)| {
                         let name = name.clone();
                         let Registered { query, exec, .. } = reg;
-                        scope.spawn(move || (name, query.tick_with(invoker, &Tee(&*exec, sink))))
+                        scope.spawn(move || {
+                            if let Some(trace) = trace {
+                                trace.emit(&TraceEvent::TickStart {
+                                    query: name.clone(),
+                                    at,
+                                });
+                            }
+                            let report = query.tick_with(invoker, &Tee(&*exec, sink));
+                            (name, report, scheduled.elapsed())
+                        })
                     })
                     .collect();
                 handles
@@ -184,19 +270,53 @@ impl QueryProcessor {
                     .collect()
             })
         };
-        for (name, report) in &reports {
+        for (name, report, lag) in &reports {
             let reg = self.queries.get_mut(name).expect("registered");
+            let inserted = (report.delta.inserts.len() + report.batch.len()) as u64;
+            let deleted = report.delta.deletes.len() as u64;
             reg.stats.ticks += 1;
-            reg.stats.inserted += (report.delta.inserts.len() + report.batch.len()) as u64;
-            reg.stats.deleted += report.delta.deletes.len() as u64;
+            reg.stats.inserted += inserted;
+            reg.stats.deleted += deleted;
             reg.stats.actions += report.actions.len() as u64;
             reg.stats.errors += report.errors.len() as u64;
             reg.stats.invocations += report.stats.total_invocations();
             reg.stats.cache_hits += report.stats.total_cache_hits();
             reg.stats.cache_misses += report.stats.total_cache_misses();
+            if let Some(series) = &reg.series {
+                series.ticks.inc();
+                series.tuples.add(inserted);
+                series.errors.add(report.errors.len() as u64);
+                series.tick_ns.record_duration(report.elapsed);
+                series.lag_ns.record_duration(*lag);
+                // only live β batches are meaningful batch-size samples
+                let misses = report.stats.total_cache_misses();
+                if misses > 0 {
+                    series.miss_batch.record(misses);
+                }
+            }
+            if let Some(t) = &self.telemetry {
+                t.trace.emit(&TraceEvent::TickEnd {
+                    query: name.clone(),
+                    at: report.at,
+                    duration_ns: u128::min(report.elapsed.as_nanos(), u64::MAX as u128) as u64,
+                    inserted,
+                    deleted,
+                    errors: report.errors.len() as u64,
+                });
+                for e in &report.errors {
+                    t.trace.emit(&TraceEvent::Failure {
+                        scope: name.clone(),
+                        at: report.at,
+                        message: e.to_string(),
+                    });
+                }
+            }
         }
         self.clock = self.clock.next();
         reports
+            .into_iter()
+            .map(|(name, report, _)| (name, report))
+            .collect()
     }
 }
 
@@ -317,6 +437,69 @@ mod tests {
         assert_eq!(beta.applications, 4);
         assert_eq!(beta.invocations, 2);
         assert_eq!(beta.cache_hits, 1);
+    }
+
+    #[test]
+    fn telemetry_series_and_trace_events() {
+        use serena_core::telemetry::MemoryTrace;
+        let mut qp = QueryProcessor::new();
+        let registry = Arc::new(MetricsRegistry::new());
+        let trace = Arc::new(MemoryTrace::new());
+        // one query registered before telemetry attaches, one after — both
+        // must get series
+        let (table, mut s1) = int_table();
+        qp.register("early", &StreamPlan::source("t"), &mut s1)
+            .unwrap();
+        qp.set_telemetry(registry.clone(), trace.clone());
+        let mut s2 = SourceSet::new();
+        s2.add_table("t", table.clone());
+        qp.register("late", &StreamPlan::source("t"), &mut s2)
+            .unwrap();
+
+        let reg = example_registry();
+        table.insert(tuple![1]);
+        qp.tick_all(&reg);
+        qp.tick_all(&reg);
+
+        for query in ["early", "late"] {
+            let q = [("query", query)];
+            assert_eq!(
+                registry.counter_value("serena_query_ticks_total", &q),
+                Some(2),
+                "{query}"
+            );
+            assert_eq!(
+                registry.counter_value("serena_query_tuples_total", &q),
+                Some(1),
+                "{query}"
+            );
+            assert_eq!(
+                registry
+                    .histogram("serena_query_tick_duration_ns", &q)
+                    .count(),
+                2
+            );
+            assert_eq!(registry.histogram("serena_query_lag_ns", &q).count(), 2);
+        }
+        assert_eq!(registry.gauge("serena_queries_registered", &[]).get(), 2);
+
+        let events = trace.events();
+        assert!(
+            matches!(&events[0], TraceEvent::QueryRegistered { query } if query == "late"),
+            "{events:?}"
+        );
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TickStart { .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::TickEnd { .. }))
+            .count();
+        assert_eq!((starts, ends), (4, 4));
+
+        qp.deregister("late");
+        assert_eq!(registry.gauge("serena_queries_registered", &[]).get(), 1);
     }
 
     #[test]

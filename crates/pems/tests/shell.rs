@@ -71,6 +71,36 @@ fn errors_do_not_kill_the_session() {
     assert!(out.contains("nicolas@elysee.fr"));
 }
 
+/// Acceptance (PR 3): `\metrics` renders valid Prometheus text (counters +
+/// histogram buckets) for a scenario run, and `\health` reports every
+/// service the run invoked. Backslash aliases exercise the psql-style
+/// prefix; the query invokes β so service series exist.
+#[test]
+fn metrics_and_health_commands() {
+    let out = run_shell(
+        ".demo\n\
+         REGISTER QUERY temps AS INVOKE[getTemperature[sensor]](sensors);\n\
+         \\tick 2\n\
+         \\metrics\n\
+         \\health\n\
+         .quit\n",
+    );
+    // Prometheus text: TYPE headers, counters, histogram buckets
+    assert!(out.contains("# TYPE serena_op_applications_total counter"));
+    assert!(out.contains("# TYPE serena_service_latency_ns histogram"));
+    assert!(out.contains("serena_service_latency_ns_bucket"));
+    assert!(out.contains("le=\"+Inf\""));
+    assert!(out.contains("serena_query_ticks_total{query=\"temps\"} 2"));
+    assert!(out.contains("serena_queries_registered 1"));
+    // health table: every sensor invoked, all healthy
+    assert!(out.contains("service"));
+    for sensor in ["sensor01", "sensor06", "sensor07", "sensor22"] {
+        assert!(out.contains(sensor), "missing {sensor} in:\n{out}");
+    }
+    assert!(out.contains("healthy"));
+    assert!(!out.contains("unknown command"), "alias failed:\n{out}");
+}
+
 #[test]
 fn tables_and_result_commands() {
     let out = run_shell(

@@ -30,6 +30,16 @@ pub enum FaultPolicy {
         /// Last failing instant.
         to: Instant,
     },
+    /// A repeating duty cycle: `fail` consecutive failing calls, then `ok`
+    /// consecutive successful calls. Long-run failure rate is
+    /// `fail / (fail + ok)` — the predictable signal health trackers are
+    /// tested against.
+    Intermittent {
+        /// Failing calls at the start of each cycle.
+        fail: u64,
+        /// Successful calls completing each cycle.
+        ok: u64,
+    },
     /// Never fails (control case).
     None,
 }
@@ -79,6 +89,10 @@ impl FaultyService {
                 *n > 0 && calls.is_multiple_of(*n)
             }
             FaultPolicy::Outage { from, to } => *from <= at && at <= *to,
+            FaultPolicy::Intermittent { fail, ok } => {
+                let period = fail + ok;
+                period > 0 && *self.calls.lock() % period < *fail
+            }
             FaultPolicy::None => false,
         }
     }
@@ -189,6 +203,26 @@ mod tests {
         assert!(svc
             .invoke(&protos::get_temperature(), &Tuple::empty(), Instant(8))
             .is_ok());
+    }
+
+    #[test]
+    fn intermittent_duty_cycle() {
+        // 2 failures then 2 successes, repeating
+        let svc = FaultyService::new(
+            fixtures::temperature_sensor(1),
+            FaultPolicy::Intermittent { fail: 2, ok: 2 },
+        );
+        let outcomes: Vec<bool> = (0..8)
+            .map(|_| {
+                svc.invoke(&protos::get_temperature(), &Tuple::empty(), Instant(0))
+                    .is_ok()
+            })
+            .collect();
+        assert_eq!(
+            outcomes,
+            vec![false, false, true, true, false, false, true, true]
+        );
+        assert_eq!(svc.attempts(), 8);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   inspectable outbox) and RSS feed wrappers;
 //! * [`faults`] — failure injection: flaky, delayed or dying services for
 //!   robustness tests;
+//! * [`health`] — rolling per-service health (failure rate,
+//!   consecutive-error count, last-seen instant) fed by invocation
+//!   outcomes through [`serena_core::telemetry::InvocationObserver`];
 //! * [`discovery`] — turning "which services implement prototype ψ?" into
 //!   X-Relation rows, the data backing the PEMS service-discovery queries.
 
@@ -32,7 +35,9 @@ pub mod bus;
 pub mod devices;
 pub mod discovery;
 pub mod faults;
+pub mod health;
 pub mod registry;
 
 pub use bus::{BusConfig, CoreErm, DiscoveryBus, LocalErm};
+pub use health::{HealthStatus, HealthTracker, ServiceHealth};
 pub use registry::{DynamicRegistry, RegistryEvent};

@@ -107,6 +107,9 @@ pub struct TickReport {
     /// cache hits/misses, self-time), keyed by the plan's pre-order
     /// [`NodeId`]s.
     pub stats: ExecStats,
+    /// Wall-clock duration of the whole tick (all nodes, β calls
+    /// included) — the sample behind per-query tick-duration histograms.
+    pub elapsed: std::time::Duration,
 }
 
 struct Ctx<'a> {
@@ -312,6 +315,7 @@ impl ContinuousQuery {
     /// statistics are always available in the returned
     /// [`TickReport::stats`].
     pub fn tick_with(&mut self, invoker: &dyn Invoker, sink: &dyn MetricsSink) -> TickReport {
+        let started = std::time::Instant::now();
         let at = self.next;
         self.next = at.next();
         let mut actions = ActionSet::new();
@@ -340,6 +344,7 @@ impl ContinuousQuery {
             actions,
             errors,
             stats,
+            elapsed: started.elapsed(),
         }
     }
 
@@ -1384,6 +1389,93 @@ mod tests {
         let s = r.stats.node(beta).unwrap();
         assert_eq!((s.cache_misses, s.failures, s.invocations), (1, 1, 1));
         assert_eq!(r.errors.len(), 1);
+    }
+
+    /// Satellite regression (PR 3): the batched β path
+    /// (`InvokeRecipe::call_batch`) must record cache hits/misses and
+    /// failures in `ExecStats` identically to the serial path — stats are
+    /// a function of the input, not of `invoke_parallelism`.
+    #[test]
+    fn batched_beta_stats_identical_across_parallelism() {
+        use serena_core::metrics::NodeStats;
+        fn run(parallelism: usize) -> Vec<std::collections::BTreeMap<NodeId, NodeStats>> {
+            let mut sources = SourceSet::new();
+            let table = TableHandle::new(serena_core::schema::examples::sensors_schema());
+            sources.add_table("sensors", table.clone());
+            let plan = StreamPlan::source("sensors").invoke("getTemperature", "sensor");
+            let mut q = ContinuousQuery::compile_with_options(
+                &plan,
+                &mut sources,
+                ExecOptions::parallel(parallelism),
+            )
+            .unwrap();
+            let reg = example_registry();
+            let mut per_tick = Vec::new();
+
+            // tick 0: a cold batch with two failures mixed in
+            for (sref, loc) in [
+                ("sensor01", "corridor"),
+                ("sensor06", "office"),
+                ("sensor07", "roof"),
+                ("ghost", "void"),
+                ("deadbeef", "void"),
+            ] {
+                table.insert(tuple![Value::service(sref), loc]);
+            }
+            per_tick.push(q.tick(&reg).stats.nodes());
+            // tick 1: re-insert a cached tuple (hit) + one new miss
+            table.insert(tuple![Value::service("sensor01"), "corridor"]);
+            table.insert(tuple![Value::service("sensor22"), "kitchen"]);
+            per_tick.push(q.tick(&reg).stats.nodes());
+            // tick 2: quiet
+            per_tick.push(q.tick(&reg).stats.nodes());
+            per_tick
+        }
+
+        let serial = run(1);
+        // sanity: the scenario exercises every counter we compare
+        let beta0 = &serial[0][&NodeId(0)];
+        assert_eq!((beta0.cache_misses, beta0.failures), (5, 2));
+        let beta1 = &serial[1][&NodeId(0)];
+        assert_eq!((beta1.cache_hits, beta1.cache_misses), (1, 1));
+
+        for workers in [1usize, 8] {
+            let batched = run(workers);
+            assert_eq!(batched.len(), serial.len());
+            for (tick, (a, b)) in serial.iter().zip(&batched).enumerate() {
+                assert_eq!(
+                    a.keys().collect::<Vec<_>>(),
+                    b.keys().collect::<Vec<_>>(),
+                    "node set diverged at tick {tick} (workers={workers})"
+                );
+                for (id, sa) in a {
+                    let sb = &b[id];
+                    assert_eq!(
+                        (
+                            sa.op,
+                            sa.applications,
+                            sa.tuples_in,
+                            sa.tuples_out,
+                            sa.invocations,
+                            sa.cache_hits,
+                            sa.cache_misses,
+                            sa.failures
+                        ),
+                        (
+                            sb.op,
+                            sb.applications,
+                            sb.tuples_in,
+                            sb.tuples_out,
+                            sb.invocations,
+                            sb.cache_hits,
+                            sb.cache_misses,
+                            sb.failures
+                        ),
+                        "node {id} diverged at tick {tick} (workers={workers})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Cross-crate telemetry integration: a PEMS scenario with injected faults
+//! drives the whole observability pipeline — per-service health, the metric
+//! registry's Prometheus export, and structured JSONL traces (PR 3).
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use serena::core::telemetry::{JsonlTrace, MemoryTrace, TraceEvent};
+use serena::pems::Pems;
+use serena::services::bus::BusConfig;
+use serena::services::faults::{FaultPolicy, FaultyService};
+use serena::services::health::HealthStatus;
+
+/// Registers a healthy and an always-failing temperature sensor, an
+/// extended `sensors` relation bound to `getTemperature`, and a continuous
+/// query invoking it.
+fn deploy(pems: &mut Pems) -> Arc<FaultyService> {
+    use serena::core::service::fixtures;
+    let reg = pems.registry();
+    reg.register("steady", fixtures::temperature_sensor(1));
+    let flaky = FaultyService::new(
+        fixtures::temperature_sensor(2),
+        // period 1, zero successes → every call fails
+        FaultPolicy::Intermittent { fail: 1, ok: 0 },
+    );
+    reg.register("flaky", flaky.clone());
+    pems.run_program(
+        "PROTOTYPE getTemperature( ) : ( temperature REAL );
+         EXTENDED RELATION sensors (
+           sensor SERVICE, location STRING, temperature REAL VIRTUAL
+         ) USING BINDING PATTERNS ( getTemperature[sensor] );
+         INSERT INTO sensors VALUES ('steady', 'office'), ('flaky', 'roof');
+         REGISTER QUERY temps AS INVOKE[getTemperature[sensor]](sensors);",
+    )
+    .unwrap();
+    flaky
+}
+
+#[test]
+fn faulty_service_health_and_prometheus_through_ticks() {
+    let trace = Arc::new(MemoryTrace::new());
+    let mut pems = Pems::builder()
+        .bus(BusConfig::instant())
+        .trace(trace.clone())
+        .build();
+    let flaky = deploy(&mut pems);
+
+    let ticks = 4u64;
+    for _ in 0..ticks {
+        pems.tick();
+    }
+
+    // -- health reflects the injected fault policy exactly --
+    let health = pems.service_health();
+    assert_eq!(health.len(), 2);
+    let by_name = |n: &str| health.iter().find(|h| h.reference.as_str() == n).unwrap();
+    let steady = by_name("steady");
+    assert_eq!(steady.status(), HealthStatus::Healthy);
+    assert_eq!(steady.failures, 0);
+    let bad = by_name("flaky");
+    assert_eq!(bad.attempts, flaky.attempts(), "tracker sees every attempt");
+    assert!(bad.failures > 0);
+    assert_eq!(bad.failure_rate, 1.0);
+    if bad.consecutive_errors >= 3 {
+        assert_eq!(bad.status(), HealthStatus::Down);
+    } else {
+        assert_eq!(bad.status(), HealthStatus::Degraded);
+    }
+
+    // -- the trace saw the whole lifecycle --
+    let events = trace.events();
+    let count = |k: &str| events.iter().filter(|e| e.kind() == k).count();
+    assert_eq!(count("query_registered"), 1);
+    assert_eq!(count("tick_start"), ticks as usize);
+    assert_eq!(count("tick_end"), ticks as usize);
+    assert!(count("invocation") >= 2, "β invocations traced");
+    assert!(count("failure") > 0, "injected faults traced");
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Invocation { ok: false, .. })));
+
+    // -- Prometheus export is well-formed and carries the query series --
+    let text = pems.render_metrics();
+    assert_prometheus_well_formed(&text);
+    assert!(text.contains(&format!(
+        "serena_query_ticks_total{{query=\"temps\"}} {ticks}"
+    )));
+    assert!(text.contains("serena_query_tick_duration_ns_bucket{query=\"temps\""));
+    assert!(text.contains("serena_query_lag_ns_count{query=\"temps\"}"));
+    assert!(text.contains("serena_service_failures_total{service=\"flaky\"}"));
+    assert!(text.contains("serena_queries_registered 1"));
+}
+
+/// Minimal Prometheus text-format validator: every line is a comment or
+/// `name{labels} value`; histogram buckets are cumulative, end at `+Inf`,
+/// and agree with their `_count` series.
+fn assert_prometheus_well_formed(text: &str) {
+    use std::collections::HashMap;
+    let mut last_bucket: HashMap<String, u64> = HashMap::new();
+    let mut inf_bucket: HashMap<String, u64> = HashMap::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("not `series value`: {line}");
+        });
+        let value: f64 = value.parse().unwrap_or_else(|_| {
+            panic!("non-numeric sample value in: {line}");
+        });
+        assert!(value >= 0.0, "negative sample in: {line}");
+        if let Some((name, rest)) = series.split_once('{') {
+            assert!(rest.ends_with('}'), "unterminated labels: {line}");
+            if let Some(stripped) = name.strip_suffix("_bucket") {
+                // key the bucket run by series-without-le
+                let labels: Vec<&str> = rest[..rest.len() - 1]
+                    .split(',')
+                    .filter(|l| !l.starts_with("le="))
+                    .collect();
+                let key = format!("{stripped}{{{}}}", labels.join(","));
+                let cum = value as u64;
+                let prev = last_bucket.insert(key.clone(), cum).unwrap_or(0);
+                assert!(cum >= prev, "non-cumulative bucket in: {line}");
+                if rest.contains("le=\"+Inf\"") {
+                    inf_bucket.insert(key, cum);
+                }
+            }
+        }
+    }
+    assert!(!inf_bucket.is_empty(), "no histogram rendered");
+    for (key, cum) in &inf_bucket {
+        let (name, labels) = key.split_once('{').unwrap();
+        let count_line = format!("{name}_count{{{labels} {cum}");
+        assert!(
+            text.contains(&count_line),
+            "`+Inf` bucket disagrees with _count for {key}"
+        );
+    }
+}
+
+/// A `Write` handle tests can keep a second reference to, so the bytes a
+/// [`JsonlTrace`] produced stay readable after the PEMS is dropped.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn jsonl_trace_writes_one_parseable_line_per_event() {
+    let buf = SharedBuf::default();
+    let mut pems = Pems::builder()
+        .bus(BusConfig::instant())
+        .trace(Arc::new(JsonlTrace::new(buf.clone())))
+        .build();
+    deploy(&mut pems);
+    pems.tick();
+    pems.tick();
+    drop(pems);
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 5, "registered + 2×(start,end) at minimum");
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"ts_us\":"), "{line}");
+        assert!(line.contains("\"event\":\""), "{line}");
+    }
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.contains("\"event\":\"tick_end\""))
+            .count(),
+        2
+    );
+    assert!(lines.iter().any(|l| l.contains("\"event\":\"failure\"")));
+}
