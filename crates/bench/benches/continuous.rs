@@ -9,6 +9,7 @@ use serena_bench::harness::{BenchmarkId, Criterion, Throughput};
 use serena_bench::{criterion_group, criterion_main};
 
 use serena_core::formula::Formula;
+use serena_core::metrics::NoopMetrics;
 use serena_core::schema::XSchema;
 use serena_core::service::fixtures::example_registry;
 use serena_core::time::Instant;
@@ -49,7 +50,7 @@ fn bench_windowed_select(c: &mut Criterion) {
                 .select(Formula::gt_const("temperature", 30.0));
             let mut q = ContinuousQuery::compile(&plan, &mut sources).unwrap();
             let reg = example_registry();
-            b.iter(|| q.tick(&reg));
+            b.iter(|| q.tick_with(&reg, &NoopMetrics));
         });
     }
     group.finish();
@@ -100,7 +101,7 @@ fn bench_incremental_join(c: &mut Criterion) {
                     .join(StreamPlan::source("r"));
                 let mut q = ContinuousQuery::compile(&plan, &mut sources).unwrap();
                 let reg = example_registry();
-                b.iter(|| q.tick(&reg));
+                b.iter(|| q.tick_with(&reg, &NoopMetrics));
             },
         );
     }

@@ -9,7 +9,7 @@ use serena_bench::harness::{BenchmarkId, Criterion};
 use serena_bench::{criterion_group, criterion_main};
 
 use serena_bench::workload;
-use serena_core::eval::evaluate;
+use serena_core::exec::ExecContext;
 use serena_core::rewrite::optimize;
 use serena_core::time::Instant;
 
@@ -23,10 +23,18 @@ fn bench_q2_family(c: &mut Criterion) {
         let optimized = optimize(&naive, &env).plan;
 
         group.bench_with_input(BenchmarkId::new("naive", n), &naive, |b, plan| {
-            b.iter(|| evaluate(plan, &env, &reg, Instant(1)).unwrap())
+            b.iter(|| {
+                ExecContext::new(&env, &reg, Instant(1))
+                    .execute(plan)
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("optimized", n), &optimized, |b, plan| {
-            b.iter(|| evaluate(plan, &env, &reg, Instant(1)).unwrap())
+            b.iter(|| {
+                ExecContext::new(&env, &reg, Instant(1))
+                    .execute(plan)
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -15,7 +15,7 @@ use serena_pems::Pems;
 use serena_services::bus::BusConfig;
 
 fn setup(bus: BusConfig) -> Pems {
-    let mut pems = Pems::new(bus);
+    let mut pems = Pems::builder().bus(bus).build();
     pems.run_program(
         "PROTOTYPE getTemperature( ) : ( temperature REAL );
          EXTENDED RELATION sensors (

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::time::Instant as WallClock;
 
 use serena_bench::{report, workload};
-use serena_core::eval::{evaluate, CountingInvoker};
+use serena_core::eval::CountingInvoker;
 use serena_core::prelude::*;
 use serena_core::rewrite::{estimate, optimize, CostParams};
 
@@ -31,7 +31,9 @@ fn main() {
         let measure = |plan: &Plan| {
             let counter = CountingInvoker::new(&reg);
             let t0 = WallClock::now();
-            evaluate(plan, &env, &counter, serena_core::time::Instant(1)).unwrap();
+            ExecContext::new(&env, &counter, serena_core::time::Instant(1))
+                .execute(plan)
+                .unwrap();
             (counter.total(), t0.elapsed())
         };
         let (inv_naive, t_naive) = measure(&naive);
@@ -98,7 +100,9 @@ fn main() {
         let optimized = optimize(&naive, &env).plan;
         let count = |plan: &Plan| {
             let counter = CountingInvoker::new(&reg);
-            evaluate(plan, &env, &counter, serena_core::time::Instant(1)).unwrap();
+            ExecContext::new(&env, &counter, serena_core::time::Instant(1))
+                .execute(plan)
+                .unwrap();
             counter.count_of("checkPhoto")
         };
         let (cn, co) = (count(&naive), count(&optimized));

@@ -9,7 +9,7 @@
 use serena_bench::report;
 use serena_core::env::examples::example_environment;
 use serena_core::equiv::{check_at, check_over_instants};
-use serena_core::eval::evaluate;
+use serena_core::exec::ExecContext;
 use serena_core::plan::examples::{q1, q1_prime, q2, q2_prime};
 use serena_core::prelude::*;
 use serena_core::service::fixtures::example_registry;
@@ -33,9 +33,13 @@ fn main() {
         "{}",
         report::banner("Example 6 — action sets of Q1 and Q1'")
     );
-    let out1 = evaluate(&q1(), &env, &reg, Instant::ZERO).unwrap();
+    let out1 = ExecContext::new(&env, &reg, Instant::ZERO)
+        .execute(&q1())
+        .unwrap();
     println!("Actions(Q1)  = {}", out1.actions);
-    let out1p = evaluate(&q1_prime(), &env, &reg, Instant::ZERO).unwrap();
+    let out1p = ExecContext::new(&env, &reg, Instant::ZERO)
+        .execute(&q1_prime())
+        .unwrap();
     println!("Actions(Q1') = {}", out1p.actions);
     assert_eq!(out1.actions.len(), 2);
     assert_eq!(out1p.actions.len(), 3);
@@ -113,7 +117,7 @@ fn run_continuous() {
     );
     let mut q3 = ContinuousQuery::compile(&q3(), &mut sources).unwrap();
     for t in 0..6u64 {
-        let r = q3.tick(&reg);
+        let r = q3.tick_with(&reg, &NoopMetrics);
         if !r.actions.is_empty() {
             println!("  τ={t}: {} alert(s): {}", r.actions.len(), r.actions);
         }
@@ -131,7 +135,7 @@ fn run_continuous() {
     );
     let mut q4 = ContinuousQuery::compile(&q4(), &mut sources).unwrap();
     for t in 0..6u64 {
-        let r = q4.tick(&reg);
+        let r = q4.tick_with(&reg, &NoopMetrics);
         if !r.batch.is_empty() {
             println!("  τ={t}: photo stream emitted {} blob(s)", r.batch.len());
         }

@@ -188,7 +188,7 @@ pub mod report {
 mod tests {
     use super::workload::*;
     use super::*;
-    use serena_core::eval::evaluate;
+    use serena_core::exec::ExecContext;
     use serena_core::time::Instant;
 
     #[test]
@@ -196,7 +196,9 @@ mod tests {
         let env = scaled_environment(10, 6, 4);
         let reg = scaled_registry(10, 6);
         let plan = Plan::relation("sensors").invoke("getTemperature", "sensor");
-        let out = evaluate(&plan, &env, &reg, Instant(1)).unwrap();
+        let out = ExecContext::new(&env, &reg, Instant(1))
+            .execute(&plan)
+            .unwrap();
         assert_eq!(out.relation.len(), 10);
     }
 
@@ -204,8 +206,12 @@ mod tests {
     fn q2_family_is_equivalent_between_variants() {
         let env = scaled_environment(0, 10, 0);
         let reg = scaled_registry(0, 10);
-        let a = evaluate(&q2_family(true, 5), &env, &reg, Instant(0)).unwrap();
-        let b = evaluate(&q2_family(false, 5), &env, &reg, Instant(0)).unwrap();
+        let a = ExecContext::new(&env, &reg, Instant(0))
+            .execute(&q2_family(true, 5))
+            .unwrap();
+        let b = ExecContext::new(&env, &reg, Instant(0))
+            .execute(&q2_family(false, 5))
+            .unwrap();
         assert_eq!(a.relation, b.relation);
         assert_eq!(a.actions, b.actions);
     }

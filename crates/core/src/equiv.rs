@@ -14,7 +14,7 @@
 
 use crate::env::Environment;
 use crate::error::EvalError;
-use crate::eval::evaluate;
+use crate::exec::ExecContext;
 use crate::plan::Plan;
 use crate::service::Invoker;
 use crate::time::Instant;
@@ -51,8 +51,9 @@ pub fn check_at(
     invoker: &dyn Invoker,
     at: Instant,
 ) -> Result<EquivalenceReport, EvalError> {
-    let o1 = evaluate(q1, env, invoker, at)?;
-    let o2 = evaluate(q2, env, invoker, at)?;
+    let ctx = ExecContext::new(env, invoker, at);
+    let o1 = ctx.execute(q1)?;
+    let o2 = ctx.execute(q2)?;
     Ok(EquivalenceReport {
         results_equal: o1.relation == o2.relation,
         actions_equal: o1.actions == o2.actions,
@@ -127,13 +128,14 @@ mod tests {
         // simulate the mismatch by comparing q2 against itself shifted.
         let env = example_environment();
         let reg = example_registry();
-        let a = evaluate(&q2(), &env, &reg, Instant(0)).unwrap();
-        let b = evaluate(&q2(), &env, &reg, Instant(1)).unwrap();
+        let eval_at = |at: Instant| ExecContext::new(&env, &reg, at).execute(&q2()).unwrap();
+        let a = eval_at(Instant(0));
+        let b = eval_at(Instant(1));
         // (not asserting inequality universally — but the quality function
         // varies with t, so photo sets differ at least between some pair)
         let differs = (0..5).any(|t| {
-            let x = evaluate(&q2(), &env, &reg, Instant(t)).unwrap();
-            let y = evaluate(&q2(), &env, &reg, Instant(t + 1)).unwrap();
+            let x = eval_at(Instant(t));
+            let y = eval_at(Instant(t + 1));
             x.relation != y.relation
         });
         assert!(differs || a.relation == b.relation);

@@ -296,6 +296,20 @@ pub enum EvalError {
         /// Human-readable detail.
         detail: String,
     },
+    /// The resilience layer rejected the call without invoking anything:
+    /// the service's circuit breaker is open after repeated failures.
+    CircuitOpen {
+        /// The service reference involved.
+        service: String,
+    },
+    /// The invocation exceeded the per-call deadline configured in the
+    /// resilience layer (the call's result, if any, was discarded).
+    DeadlineExceeded {
+        /// The service reference involved.
+        service: String,
+        /// The prototype involved.
+        prototype: String,
+    },
     /// A tuple's arity or value types disagree with the relation schema.
     TupleSchemaMismatch {
         /// The relation involved.
@@ -333,6 +347,13 @@ impl fmt::Display for EvalError {
             } => write!(
                 f,
                 "service `{service}` returned malformed result for `{prototype}`: {detail}"
+            ),
+            EvalError::CircuitOpen { service } => {
+                write!(f, "circuit breaker open for service `{service}`")
+            }
+            EvalError::DeadlineExceeded { service, prototype } => write!(
+                f,
+                "invocation of `{prototype}` on `{service}` exceeded its deadline"
             ),
             EvalError::TupleSchemaMismatch { relation, detail } => {
                 write!(f, "tuple does not match schema of `{relation}`: {detail}")

@@ -33,6 +33,10 @@ pub struct EvalOutcome {
 /// Thin wrapper over [`ExecContext`] with the default (discarding) metrics
 /// sink; use [`ExecContext::with_metrics`] to observe per-operator
 /// statistics.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `ExecContext::new(env, invoker, at).execute(plan)` instead"
+)]
 pub fn evaluate(
     plan: &Plan,
     env: &Environment,
@@ -106,6 +110,9 @@ impl Invoker for CountingInvoker<'_> {
 
 #[cfg(test)]
 mod tests {
+    // These tests deliberately exercise the deprecated `evaluate` wrapper to
+    // keep its behaviour pinned to `ExecContext::execute`.
+    #![allow(deprecated)]
     use super::*;
     use crate::env::examples::example_environment;
     use crate::formula::Formula;

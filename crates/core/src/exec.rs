@@ -127,6 +127,7 @@ fn render_node(
 mod tests {
     use super::*;
     use crate::env::examples::example_environment;
+    #[allow(deprecated)]
     use crate::eval::evaluate;
     use crate::formula::Formula;
     use crate::metrics::OpKind;
@@ -136,6 +137,7 @@ mod tests {
 
     /// With the default sink, ExecContext is exactly the old evaluator.
     #[test]
+    #[allow(deprecated)]
     fn noop_context_matches_free_function() {
         let env = example_environment();
         let reg = example_registry();

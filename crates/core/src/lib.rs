@@ -40,7 +40,9 @@
 //! env.define_relation("contacts", contacts()).unwrap();
 //!
 //! let registry = example_registry();
-//! let outcome = evaluate(&q1, &env, &registry, Instant::ZERO).unwrap();
+//! let outcome = ExecContext::new(&env, &registry, Instant::ZERO)
+//!     .execute(&q1)
+//!     .unwrap();
 //! assert_eq!(outcome.relation.len(), 2);      // Nicolas + Francois
 //! assert_eq!(outcome.actions.len(), 2);       // two messages actually sent
 //! ```
@@ -78,20 +80,24 @@ pub mod prelude {
     pub use crate::binding::BindingPattern;
     pub use crate::env::Environment;
     pub use crate::error::{EvalError, PlanError, SchemaError};
-    pub use crate::eval::{evaluate, EvalOutcome};
+    #[allow(deprecated)]
+    pub use crate::eval::evaluate;
+    pub use crate::eval::EvalOutcome;
     pub use crate::exec::{explain_analyze_text, ExecContext};
     pub use crate::formula::{Expr, Formula};
     pub use crate::metrics::{
         ExecStats, MetricsSink, NodeId, NodeStats, NoopMetrics, OpKind, OpObservation,
     };
+    pub use crate::ops::DegradePolicy;
     pub use crate::physical::{ExecOptions, PhysicalPlan};
     pub use crate::plan::Plan;
     pub use crate::prototype::{Prototype, RelationSchema};
     pub use crate::schema::{AttrKind, Attribute, SchemaRef, XSchema};
-    pub use crate::service::{Invoker, Service, StaticRegistry};
+    pub use crate::service::{Invoker, InvokerLayer, InvokerStack, Service, StaticRegistry};
     pub use crate::telemetry::{
-        Histogram, InstrumentedInvoker, InvocationObserver, JsonlTrace, MetricsRegistry,
-        RegistrySink, TraceEvent, TraceSink,
+        beta_cache_hit_ratio, Counter, Gauge, Histogram, InstrumentedInvoker, InstrumentedLayer,
+        InvocationObserver, JsonlTrace, MemoryTrace, MetricsRegistry, NoopTrace, RegistrySink,
+        TraceEvent, TraceSink,
     };
     pub use crate::time::Instant;
     pub use crate::tuple::Tuple;

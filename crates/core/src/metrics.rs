@@ -159,6 +159,10 @@ pub struct OpObservation {
     pub cache_misses: u64,
     /// Invocation failures (survived in continuous mode, fatal one-shot).
     pub failures: u64,
+    /// Tuples degraded under a non-failing
+    /// [`DegradePolicy`](crate::ops::DegradePolicy): dropped or null-filled
+    /// instead of failing the query (β/βˢ only).
+    pub degraded: u64,
     /// Wall-clock self-time of the operator application (children
     /// excluded).
     pub elapsed: Duration,
@@ -176,6 +180,7 @@ impl OpObservation {
             cache_hits: 0,
             cache_misses: 0,
             failures: 0,
+            degraded: 0,
             elapsed: Duration::ZERO,
         }
     }
@@ -228,6 +233,8 @@ pub struct NodeStats {
     pub cache_misses: u64,
     /// Total failures.
     pub failures: u64,
+    /// Total degraded tuples (dropped or null-filled instead of failing).
+    pub degraded: u64,
     /// Total wall-clock self-time.
     pub elapsed: Duration,
 }
@@ -243,6 +250,7 @@ impl NodeStats {
             cache_hits: 0,
             cache_misses: 0,
             failures: 0,
+            degraded: 0,
             elapsed: Duration::ZERO,
         }
     }
@@ -255,6 +263,7 @@ impl NodeStats {
         self.cache_hits += obs.cache_hits;
         self.cache_misses += obs.cache_misses;
         self.failures += obs.failures;
+        self.degraded += obs.degraded;
         self.elapsed += obs.elapsed;
     }
 
@@ -266,6 +275,7 @@ impl NodeStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.failures += other.failures;
+        self.degraded += other.degraded;
         self.elapsed += other.elapsed;
     }
 
@@ -286,6 +296,9 @@ impl NodeStats {
         }
         if self.failures > 0 {
             out.push_str(&format!(" failures={}", self.failures));
+        }
+        if self.degraded > 0 {
+            out.push_str(&format!(" degraded={}", self.degraded));
         }
         out
     }
@@ -363,6 +376,11 @@ impl ExecStats {
     /// Total failures across all nodes.
     pub fn total_failures(&self) -> u64 {
         self.nodes.lock().values().map(|s| s.failures).sum()
+    }
+
+    /// Total degraded tuples (dropped or null-filled) across all nodes.
+    pub fn total_degraded(&self) -> u64 {
+        self.nodes.lock().values().map(|s| s.degraded).sum()
     }
 
     /// The root node's total output tuples (node 0), if observed.

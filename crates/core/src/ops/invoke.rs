@@ -97,6 +97,41 @@ pub struct InvokeTally {
     pub invocations: u64,
     /// Invocations that returned an error.
     pub failures: u64,
+    /// Failed tuples degraded (dropped or null-filled) instead of failing
+    /// the whole query, per the active [`DegradePolicy`].
+    pub degraded: u64,
+}
+
+/// How β/βˢ reacts when one tuple's invocation fails — the graceful
+/// degradation knob of the resilience layer.
+///
+/// The paper's services are "dynamic, volatile" (§2.1); with the default
+/// [`DegradePolicy::FailQuery`], one dead sensor makes a whole one-shot
+/// query error out (and surfaces a per-tick error in continuous mode). The
+/// other policies trade completeness for availability: the query keeps its
+/// healthy tuples and the failure is only visible in the `degraded`
+/// counters ([`InvokeTally`], [`NodeStats`](crate::metrics::NodeStats)).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum DegradePolicy {
+    /// A failed invocation fails the query (one-shot) or surfaces as a
+    /// tick error (continuous) — the historical behaviour, and the default.
+    #[default]
+    FailQuery,
+    /// Drop the failed input tuple: it contributes no output rows, the
+    /// rest of the batch proceeds.
+    DropTuple,
+    /// Keep the failed input tuple, extending it with each output
+    /// attribute's type-default filler value
+    /// ([`DataType::default_value`](crate::value::DataType::default_value)).
+    NullFill,
+}
+
+impl DegradePolicy {
+    /// Whether a failed invocation under this policy aborts/errors the
+    /// query (i.e. the policy performs no degradation).
+    pub fn fails_query(&self) -> bool {
+        matches!(self, DegradePolicy::FailQuery)
+    }
 }
 
 /// `β_bp(r)`: evaluate the invocation operator at instant `at`, resolving
@@ -135,7 +170,14 @@ pub fn invoke_observed(
     tally: &mut InvokeTally,
 ) -> Result<XRelation, EvalError> {
     let recipe = InvokeRecipe::prepare(r.schema(), prototype, service_attr)?;
-    let tuples = recipe.invoke_serial(r.iter(), invoker, at, actions, tally)?;
+    let tuples = recipe.invoke_serial(
+        r.iter(),
+        invoker,
+        at,
+        actions,
+        tally,
+        DegradePolicy::FailQuery,
+    )?;
     Ok(XRelation::from_tuples(recipe.out_schema().clone(), tuples))
 }
 
@@ -318,10 +360,24 @@ impl InvokeRecipe {
             .collect()
     }
 
+    /// One filler row for [`DegradePolicy::NullFill`]: the prototype's
+    /// output attributes, each holding its type's default value.
+    pub fn null_fill_row(&self) -> Tuple {
+        self.bp
+            .prototype()
+            .output()
+            .attrs()
+            .map(|(_, ty)| ty.default_value())
+            .collect()
+    }
+
     /// Serial β over `tuples` with the paper's §3.2 one-shot semantics:
     /// tuples are processed in order, active invocations are recorded in
-    /// `actions` *before* invoking, and the first failure aborts the batch
-    /// (the tally still counts the failed attempt).
+    /// `actions` *before* invoking, and — under [`DegradePolicy::FailQuery`]
+    /// — the first failure aborts the batch (the tally still counts the
+    /// failed attempt). Under the degrading policies a failed tuple is
+    /// dropped or null-filled instead and the batch continues.
+    #[allow(clippy::too_many_arguments)]
     pub fn invoke_serial<'a>(
         &self,
         tuples: impl Iterator<Item = &'a Tuple>,
@@ -329,7 +385,9 @@ impl InvokeRecipe {
         at: Instant,
         actions: &mut ActionSet,
         tally: &mut InvokeTally,
+        degrade: DegradePolicy,
     ) -> Result<Vec<Tuple>, EvalError> {
+        let filler = matches!(degrade, DegradePolicy::NullFill).then(|| self.null_fill_row());
         let mut out = Vec::new();
         for t in tuples {
             let (sref, input) = self.prepare_call(t)?;
@@ -341,7 +399,15 @@ impl InvokeRecipe {
                 Ok(results) => self.assemble_into(t, &results, &mut out),
                 Err(e) => {
                     tally.failures += 1;
-                    return Err(e);
+                    match (degrade, &filler) {
+                        (DegradePolicy::FailQuery, _) => return Err(e),
+                        (DegradePolicy::DropTuple, _) => tally.degraded += 1,
+                        (_, Some(row)) => {
+                            tally.degraded += 1;
+                            self.assemble_into(t, std::slice::from_ref(row), &mut out);
+                        }
+                        (DegradePolicy::NullFill, None) => unreachable!("filler precomputed"),
+                    }
                 }
             }
         }
@@ -354,10 +420,11 @@ impl InvokeRecipe {
     /// with the live invocations fanned across up to `parallelism` worker
     /// threads. With `parallelism <= 1` this *is* the serial path.
     ///
-    /// On a failure the parallel path may have invoked tuples past the
-    /// failing one (they were already in flight); their results are
-    /// discarded and neither the action set nor the tally observes them,
-    /// exactly as if execution had stopped at the failure.
+    /// On a [`DegradePolicy::FailQuery`] failure the parallel path may have
+    /// invoked tuples past the failing one (they were already in flight);
+    /// their results are discarded and neither the action set nor the tally
+    /// observes them, exactly as if execution had stopped at the failure.
+    #[allow(clippy::too_many_arguments)]
     pub fn invoke_batch_observed(
         &self,
         tuples: &[&Tuple],
@@ -366,10 +433,19 @@ impl InvokeRecipe {
         parallelism: usize,
         actions: &mut ActionSet,
         tally: &mut InvokeTally,
+        degrade: DegradePolicy,
     ) -> Result<Vec<Tuple>, EvalError> {
         if parallelism <= 1 {
-            return self.invoke_serial(tuples.iter().copied(), invoker, at, actions, tally);
+            return self.invoke_serial(
+                tuples.iter().copied(),
+                invoker,
+                at,
+                actions,
+                tally,
+                degrade,
+            );
         }
+        let filler = matches!(degrade, DegradePolicy::NullFill).then(|| self.null_fill_row());
         let outcomes = self.call_batch(tuples, invoker, at, parallelism);
         let mut out = Vec::new();
         for (t, outcome) in tuples.iter().zip(outcomes) {
@@ -382,7 +458,15 @@ impl InvokeRecipe {
                 Ok(results) => self.assemble_into(t, &results, &mut out),
                 Err(e) => {
                     tally.failures += 1;
-                    return Err(e);
+                    match (degrade, &filler) {
+                        (DegradePolicy::FailQuery, _) => return Err(e),
+                        (DegradePolicy::DropTuple, _) => tally.degraded += 1,
+                        (_, Some(row)) => {
+                            tally.degraded += 1;
+                            self.assemble_into(t, std::slice::from_ref(row), &mut out);
+                        }
+                        (DegradePolicy::NullFill, None) => unreachable!("filler precomputed"),
+                    }
                 }
             }
         }
@@ -431,7 +515,14 @@ pub fn invoke_delta_observed<'a>(
 ) -> Result<Vec<Tuple>, EvalError> {
     let recipe =
         InvokeRecipe::from_parts(in_schema, SchemaRef::new(out_schema.clone()), bp.clone());
-    recipe.invoke_serial(tuples, invoker, at, actions, tally)
+    recipe.invoke_serial(
+        tuples,
+        invoker,
+        at,
+        actions,
+        tally,
+        DegradePolicy::FailQuery,
+    )
 }
 
 #[cfg(test)]
@@ -655,6 +746,105 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert!(out.contains(&tuple!["twin", "lab", 20.0]));
         assert!(out.contains(&tuple!["twin", "lab", 21.0]));
+    }
+
+    /// Registry where `sensor06` always fails; other sensors answer normally.
+    fn flaky_registry() -> crate::service::StaticRegistry {
+        use crate::prototype::examples as protos;
+        use crate::service::FnService;
+        use std::sync::Arc;
+        let reg = example_registry();
+        reg.register(
+            "sensor06",
+            Arc::new(FnService::new(
+                vec![protos::get_temperature()],
+                |_, _, _| Err("sensor06 is on fire".to_string()),
+            )),
+        );
+        reg
+    }
+
+    fn invoke_degraded(degrade: DegradePolicy) -> (Result<Vec<Tuple>, EvalError>, InvokeTally) {
+        let reg = flaky_registry();
+        let r = sensors();
+        let recipe = InvokeRecipe::prepare(r.schema(), "getTemperature", "sensor").unwrap();
+        let mut actions = ActionSet::new();
+        let mut tally = InvokeTally::default();
+        let out = recipe.invoke_serial(
+            r.iter(),
+            &reg,
+            Instant(3),
+            &mut actions,
+            &mut tally,
+            degrade,
+        );
+        (out, tally)
+    }
+
+    #[test]
+    fn fail_query_policy_propagates_error() {
+        let (out, tally) = invoke_degraded(DegradePolicy::FailQuery);
+        assert!(matches!(out, Err(EvalError::InvocationFailed { .. })));
+        assert_eq!(tally.failures, 1);
+        assert_eq!(tally.degraded, 0);
+    }
+
+    #[test]
+    fn drop_tuple_policy_keeps_healthy_tuples() {
+        let (out, tally) = invoke_degraded(DegradePolicy::DropTuple);
+        let out = out.unwrap();
+        assert_eq!(out.len(), 3); // 4 sensors, one dropped
+        assert_eq!(tally.invocations, 4);
+        assert_eq!(tally.failures, 1);
+        assert_eq!(tally.degraded, 1);
+    }
+
+    #[test]
+    fn null_fill_policy_fills_type_defaults() {
+        let (out, tally) = invoke_degraded(DegradePolicy::NullFill);
+        let out = out.unwrap();
+        assert_eq!(out.len(), 4); // every input tuple survives
+        assert_eq!(tally.failures, 1);
+        assert_eq!(tally.degraded, 1);
+        // the failed sensor's temperature slot holds Real's default
+        let filled: Vec<&Tuple> = out
+            .iter()
+            .filter(|t| {
+                t[0].as_service_ref()
+                    .is_some_and(|s| s.as_str() == "sensor06")
+            })
+            .collect();
+        assert_eq!(filled.len(), 1);
+        assert_eq!(filled[0][2], Value::Real(0.0));
+    }
+
+    #[test]
+    fn degraded_batches_match_across_parallelism() {
+        for degrade in [DegradePolicy::DropTuple, DegradePolicy::NullFill] {
+            let reg = flaky_registry();
+            let r = sensors();
+            let recipe = InvokeRecipe::prepare(r.schema(), "getTemperature", "sensor").unwrap();
+            let tuples: Vec<&Tuple> = r.iter().collect();
+            let mut outs = Vec::new();
+            for parallelism in [1usize, 8] {
+                let mut actions = ActionSet::new();
+                let mut tally = InvokeTally::default();
+                let out = recipe
+                    .invoke_batch_observed(
+                        &tuples,
+                        &reg,
+                        Instant(3),
+                        parallelism,
+                        &mut actions,
+                        &mut tally,
+                        degrade,
+                    )
+                    .unwrap();
+                assert_eq!(tally.degraded, 1);
+                outs.push(out);
+            }
+            assert_eq!(outs[0], outs[1], "parallel path diverged for {degrade:?}");
+        }
     }
 
     #[test]

@@ -33,8 +33,8 @@ mod set;
 pub use aggregate::{aggregate, aggregate_schema, AggFun, AggSpec};
 pub use assign::{assign, assign_schema, AssignSource};
 pub use invoke::{
-    invoke, invoke_delta, invoke_delta_observed, invoke_observed, invoke_schema, InvokeRecipe,
-    InvokeTally, TupleCall,
+    invoke, invoke_delta, invoke_delta_observed, invoke_observed, invoke_schema, DegradePolicy,
+    InvokeRecipe, InvokeTally, TupleCall,
 };
 pub use join::{join, join_schema};
 pub use project::{project, project_schema};

@@ -31,7 +31,7 @@ use crate::eval::EvalOutcome;
 use crate::exec::ExecContext;
 use crate::formula::CompiledFormula;
 use crate::metrics::{NodeId, OpKind, OpObservation};
-use crate::ops::{self, AggSpec, AssignSource, InvokeRecipe, InvokeTally};
+use crate::ops::{self, AggSpec, AssignSource, DegradePolicy, InvokeRecipe, InvokeTally};
 use crate::plan::{Plan, SchemaCatalog};
 use crate::schema::SchemaRef;
 use crate::tuple::Tuple;
@@ -45,12 +45,17 @@ pub struct ExecOptions {
     /// `1` (the default) invokes serially — fully deterministic invocation
     /// order, no threads spawned.
     pub invoke_parallelism: usize,
+    /// How β reacts when one tuple's invocation fails (default:
+    /// [`DegradePolicy::FailQuery`], the historical fail-the-query
+    /// behaviour).
+    pub degrade: DegradePolicy,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
             invoke_parallelism: 1,
+            degrade: DegradePolicy::FailQuery,
         }
     }
 }
@@ -65,7 +70,14 @@ impl ExecOptions {
     pub fn parallel(workers: usize) -> Self {
         ExecOptions {
             invoke_parallelism: workers.max(1),
+            ..ExecOptions::default()
         }
+    }
+
+    /// Replace the β degradation policy.
+    pub fn with_degrade(mut self, degrade: DegradePolicy) -> Self {
+        self.degrade = degrade;
+        self
     }
 }
 
@@ -523,12 +535,14 @@ impl PhysNode {
                         ctx.options.invoke_parallelism,
                         actions,
                         &mut tally,
+                        ctx.options.degrade,
                     )
                     .map(|ts| XRelation::from_tuples(recipe.out_schema().clone(), ts));
                 obs.elapsed = started.elapsed();
                 obs.invocations = tally.invocations;
                 obs.cache_misses = tally.invocations;
                 obs.failures = tally.failures;
+                obs.degraded = tally.degraded;
                 out
             }
             PhysOp::Aggregate { group, aggs } => {
@@ -618,7 +632,7 @@ fn reordered<'r>(
 mod tests {
     use super::*;
     use crate::env::examples::example_environment;
-    use crate::eval::{evaluate, CountingInvoker};
+    use crate::eval::CountingInvoker;
     use crate::metrics::ExecStats;
     use crate::plan::examples::{q1, q1_prime, q2, q2_prime};
     use crate::service::fixtures::example_registry;
@@ -633,7 +647,7 @@ mod tests {
             for t in 0..4 {
                 let ctx = ExecContext::new(&env, &reg, Instant(t));
                 let a = physical.execute(&ctx).unwrap();
-                let b = evaluate(&plan, &env, &reg, Instant(t)).unwrap();
+                let b = ctx.execute(&plan).unwrap();
                 assert_eq!(a.relation, b.relation);
                 assert_eq!(a.actions, b.actions);
             }

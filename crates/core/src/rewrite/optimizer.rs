@@ -115,7 +115,8 @@ mod tests {
     use super::*;
     use crate::env::examples::example_environment;
     use crate::equiv::check_over_instants;
-    use crate::eval::{evaluate, CountingInvoker};
+    use crate::eval::CountingInvoker;
+    use crate::exec::ExecContext;
     use crate::formula::Formula;
     use crate::plan::examples::{q1, q1_prime, q2, q2_prime};
     use crate::service::fixtures::example_registry;
@@ -129,9 +130,13 @@ mod tests {
         // invocation counts now match the hand-written Q2
         let reg = example_registry();
         let c_opt = CountingInvoker::new(&reg);
-        evaluate(&report.plan, &env, &c_opt, Instant::ZERO).unwrap();
+        ExecContext::new(&env, &c_opt, Instant::ZERO)
+            .execute(&report.plan)
+            .unwrap();
         let c_q2 = CountingInvoker::new(&reg);
-        evaluate(&q2(), &env, &c_q2, Instant::ZERO).unwrap();
+        ExecContext::new(&env, &c_q2, Instant::ZERO)
+            .execute(&q2())
+            .unwrap();
         assert_eq!(c_opt.snapshot(), c_q2.snapshot());
     }
 
@@ -153,8 +158,9 @@ mod tests {
         // Q1' has σ above an active β — it must stay above.
         let report = optimize(&q1_prime(), &env);
         let reg = example_registry();
-        let before = evaluate(&q1_prime(), &env, &reg, Instant::ZERO).unwrap();
-        let after = evaluate(&report.plan, &env, &reg, Instant::ZERO).unwrap();
+        let ctx = ExecContext::new(&env, &reg, Instant::ZERO);
+        let before = ctx.execute(&q1_prime()).unwrap();
+        let after = ctx.execute(&report.plan).unwrap();
         assert_eq!(before.actions, after.actions);
         assert_eq!(before.actions.len(), 3); // Carla still messaged
     }

@@ -832,10 +832,11 @@ mod tests {
     fn q1_admits_no_rule_that_changes_its_action_set() {
         let env = example_environment();
         let reg = example_registry();
-        let before = crate::eval::evaluate(&q1(), &env, &reg, Instant::ZERO).unwrap();
+        let ctx = crate::exec::ExecContext::new(&env, &reg, Instant::ZERO);
+        let before = ctx.execute(&q1()).unwrap();
         for rule in all_rules() {
             let (rewritten, _) = apply_everywhere(&q1(), rule.as_ref(), &env);
-            let after = crate::eval::evaluate(&rewritten, &env, &reg, Instant::ZERO).unwrap();
+            let after = ctx.execute(&rewritten).unwrap();
             assert_eq!(
                 before.actions,
                 after.actions,
@@ -857,9 +858,13 @@ mod tests {
             plan = next;
         }
         let c1 = crate::eval::CountingInvoker::new(&reg);
-        crate::eval::evaluate(&q2_prime(), &env, &c1, Instant::ZERO).unwrap();
+        crate::exec::ExecContext::new(&env, &c1, Instant::ZERO)
+            .execute(&q2_prime())
+            .unwrap();
         let c2 = crate::eval::CountingInvoker::new(&reg);
-        crate::eval::evaluate(&plan, &env, &c2, Instant::ZERO).unwrap();
+        crate::exec::ExecContext::new(&env, &c2, Instant::ZERO)
+            .execute(&plan)
+            .unwrap();
         assert!(
             c2.count_of("checkPhoto") < c1.count_of("checkPhoto"),
             "rewritten plan {plan} should invoke checkPhoto less"
@@ -867,7 +872,9 @@ mod tests {
         assert_equiv(&q2_prime(), &plan);
         // and matches the hand-optimized Q2's invocation count
         let c3 = crate::eval::CountingInvoker::new(&reg);
-        crate::eval::evaluate(&q2(), &env, &c3, Instant::ZERO).unwrap();
+        crate::exec::ExecContext::new(&env, &c3, Instant::ZERO)
+            .execute(&q2())
+            .unwrap();
         assert_eq!(c2.count_of("checkPhoto"), c3.count_of("checkPhoto"));
     }
 }

@@ -111,6 +111,133 @@ pub trait Invoker: Send + Sync {
     fn providers_of(&self, prototype: &str) -> Vec<ServiceRef>;
 }
 
+impl<I: Invoker + ?Sized> Invoker for &I {
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        service_ref: &ServiceRef,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, EvalError> {
+        (**self).invoke(prototype, service_ref, input, at)
+    }
+
+    fn providers_of(&self, prototype: &str) -> Vec<ServiceRef> {
+        (**self).providers_of(prototype)
+    }
+}
+
+impl<I: Invoker + ?Sized> Invoker for Box<I> {
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        service_ref: &ServiceRef,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, EvalError> {
+        (**self).invoke(prototype, service_ref, input, at)
+    }
+
+    fn providers_of(&self, prototype: &str) -> Vec<ServiceRef> {
+        (**self).providers_of(prototype)
+    }
+}
+
+impl<I: Invoker + ?Sized> Invoker for Arc<I> {
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        service_ref: &ServiceRef,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, EvalError> {
+        (**self).invoke(prototype, service_ref, input, at)
+    }
+
+    fn providers_of(&self, prototype: &str) -> Vec<ServiceRef> {
+        (**self).providers_of(prototype)
+    }
+}
+
+/// One middleware layer of an [`InvokerStack`]: consumes the invoker built
+/// so far and returns the decorated one.
+///
+/// Any `FnOnce(Box<dyn Invoker + 'a>) -> Box<dyn Invoker + 'a>` closure is a
+/// layer, so decorators expose a `layer(...)` constructor returning such a
+/// closure instead of hand-nesting wrappers:
+///
+/// ```
+/// use serena_core::service::{fixtures::example_registry, Invoker, InvokerStack};
+/// use serena_core::telemetry::InstrumentedLayer;
+///
+/// let base = example_registry();
+/// let stack = InvokerStack::new(&base).layer(InstrumentedLayer::new());
+/// assert!(!stack.providers_of("getTemperature").is_empty());
+/// ```
+pub trait InvokerLayer<'a> {
+    /// Wrap `inner`, returning the decorated invoker.
+    fn wrap(self, inner: Box<dyn Invoker + 'a>) -> Box<dyn Invoker + 'a>;
+}
+
+impl<'a, F> InvokerLayer<'a> for F
+where
+    F: FnOnce(Box<dyn Invoker + 'a>) -> Box<dyn Invoker + 'a>,
+{
+    fn wrap(self, inner: Box<dyn Invoker + 'a>) -> Box<dyn Invoker + 'a> {
+        self(inner)
+    }
+}
+
+/// A composable middleware stack over an [`Invoker`]: a base invoker plus
+/// zero or more [`InvokerLayer`]s applied bottom-up, so the **last** layer
+/// added is the outermost decorator (the first to see each call).
+///
+/// The stack replaces ad-hoc hand-nesting of decorators (instrumentation,
+/// simulated latency, resilience): each decorator contributes a layer and
+/// callers assemble them uniformly with [`InvokerStack::layer`]. The stack
+/// itself implements [`Invoker`], so it drops in anywhere an invoker is
+/// expected.
+pub struct InvokerStack<'a> {
+    top: Box<dyn Invoker + 'a>,
+}
+
+impl<'a> InvokerStack<'a> {
+    /// A stack holding just the base invoker.
+    pub fn new(base: impl Invoker + 'a) -> Self {
+        InvokerStack {
+            top: Box::new(base),
+        }
+    }
+
+    /// Add `layer` as the new outermost decorator.
+    pub fn layer(self, layer: impl InvokerLayer<'a>) -> Self {
+        InvokerStack {
+            top: layer.wrap(self.top),
+        }
+    }
+
+    /// Unwrap into the composed invoker.
+    pub fn into_inner(self) -> Box<dyn Invoker + 'a> {
+        self.top
+    }
+}
+
+impl Invoker for InvokerStack<'_> {
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        service_ref: &ServiceRef,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, EvalError> {
+        self.top.invoke(prototype, service_ref, input, at)
+    }
+
+    fn providers_of(&self, prototype: &str) -> Vec<ServiceRef> {
+        self.top.providers_of(prototype)
+    }
+}
+
 /// Validate an invocation result against `Output_ψ` — arity and value
 /// types. Shared by every `Invoker` implementation.
 pub fn validate_invocation_result(
@@ -486,6 +613,84 @@ mod tests {
             )
             .is_err());
         assert!(inv.providers_of("getTemperature").is_empty());
+    }
+
+    #[test]
+    fn invoker_stack_layers_apply_outermost_last() {
+        use crate::sync::Mutex;
+        // a layer that logs its tag on every call — order of tags shows
+        // which decorator is outermost
+        struct Tagger<'a> {
+            inner: Box<dyn Invoker + 'a>,
+            tag: &'static str,
+            log: &'a Mutex<Vec<&'static str>>,
+        }
+        impl Invoker for Tagger<'_> {
+            fn invoke(
+                &self,
+                prototype: &Prototype,
+                service_ref: &ServiceRef,
+                input: &Tuple,
+                at: Instant,
+            ) -> Result<Vec<Tuple>, EvalError> {
+                self.log.lock().push(self.tag);
+                self.inner.invoke(prototype, service_ref, input, at)
+            }
+            fn providers_of(&self, prototype: &str) -> Vec<ServiceRef> {
+                self.inner.providers_of(prototype)
+            }
+        }
+        let log = Mutex::new(Vec::new());
+        let base = example_registry();
+        let stack = InvokerStack::new(&base)
+            .layer(|inner| {
+                Box::new(Tagger {
+                    inner,
+                    tag: "inner",
+                    log: &log,
+                }) as Box<dyn Invoker + '_>
+            })
+            .layer(|inner| {
+                Box::new(Tagger {
+                    inner,
+                    tag: "outer",
+                    log: &log,
+                }) as Box<dyn Invoker + '_>
+            });
+        let out = stack
+            .invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("sensor01"),
+                &Tuple::empty(),
+                Instant(1),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        // last layer added sees the call first
+        assert_eq!(*log.lock(), vec!["outer", "inner"]);
+        assert_eq!(stack.providers_of("getTemperature").len(), 4);
+    }
+
+    #[test]
+    fn invoker_blanket_impls_delegate() {
+        use std::sync::Arc as StdArc;
+        let base = example_registry();
+        let call = |inv: &dyn Invoker| {
+            inv.invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("sensor01"),
+                &Tuple::empty(),
+                Instant(2),
+            )
+            .unwrap()
+        };
+        let direct = call(&base);
+        let by_ref: &StaticRegistry = &base;
+        assert_eq!(call(&&by_ref), direct);
+        let boxed: Box<dyn Invoker> = Box::new(example_registry());
+        assert_eq!(call(&boxed), direct);
+        let arced: StdArc<dyn Invoker> = StdArc::new(example_registry());
+        assert_eq!(call(&arced), direct);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use crate::error::EvalError;
 use crate::prototype::Prototype;
-use crate::service::Invoker;
+use crate::service::{Invoker, InvokerLayer};
 use crate::sync::RwLock;
 use crate::time::Instant;
 use crate::tuple::Tuple;
@@ -54,19 +54,24 @@ struct ServiceSeries {
 /// `serena_service_failures_total{service}` (counters). Series handles are
 /// cached per [`ServiceRef`], so steady-state recording takes one read
 /// lock plus a few atomic updates.
-pub struct InstrumentedInvoker<'a> {
-    inner: &'a dyn Invoker,
+///
+/// Generic over the wrapped invoker `I` (a `&dyn Invoker`, a concrete
+/// registry, or a `Box<dyn Invoker>` from an
+/// [`InvokerStack`](crate::service::InvokerStack) — see
+/// [`InstrumentedLayer`]).
+pub struct InstrumentedInvoker<'a, I> {
+    inner: I,
     registry: Option<&'a MetricsRegistry>,
     observer: Option<&'a dyn InvocationObserver>,
     trace: Option<&'a dyn TraceSink>,
     series: RwLock<HashMap<ServiceRef, ServiceSeries>>,
 }
 
-impl<'a> InstrumentedInvoker<'a> {
+impl<'a, I: Invoker> InstrumentedInvoker<'a, I> {
     /// Wrap `inner` with no outputs attached (a transparent pass-through
     /// until [`Self::with_registry`] / [`Self::with_observer`] /
     /// [`Self::with_trace`] add some).
-    pub fn new(inner: &'a dyn Invoker) -> Self {
+    pub fn new(inner: I) -> Self {
         InstrumentedInvoker {
             inner,
             registry: None,
@@ -112,7 +117,7 @@ impl<'a> InstrumentedInvoker<'a> {
     }
 }
 
-impl Invoker for InstrumentedInvoker<'_> {
+impl<I: Invoker> Invoker for InstrumentedInvoker<'_, I> {
     fn invoke(
         &self,
         prototype: &Prototype,
@@ -162,6 +167,68 @@ impl Invoker for InstrumentedInvoker<'_> {
 
     fn providers_of(&self, prototype: &str) -> Vec<ServiceRef> {
         self.inner.providers_of(prototype)
+    }
+}
+
+/// The [`InvokerLayer`] form of [`InstrumentedInvoker`], for use with
+/// [`InvokerStack`](crate::service::InvokerStack): the layer holds the
+/// instrumentation config and, when the stack is built, wraps the invoker
+/// below it.
+///
+/// ```
+/// use serena_core::prelude::*;
+/// use serena_core::telemetry::InstrumentedLayer;
+///
+/// let base = serena_core::service::fixtures::example_registry();
+/// let registry = MetricsRegistry::new();
+/// let stack = InvokerStack::new(base).layer(InstrumentedLayer::new().registry(&registry));
+/// assert!(!stack.providers_of("getTemperature").is_empty());
+/// ```
+#[derive(Default, Clone, Copy)]
+pub struct InstrumentedLayer<'a> {
+    registry: Option<&'a MetricsRegistry>,
+    observer: Option<&'a dyn InvocationObserver>,
+    trace: Option<&'a dyn TraceSink>,
+}
+
+impl<'a> InstrumentedLayer<'a> {
+    /// A layer with no outputs attached yet.
+    pub fn new() -> Self {
+        InstrumentedLayer::default()
+    }
+
+    /// Record per-service latency/call/failure series into `registry`.
+    pub fn registry(mut self, registry: &'a MetricsRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Notify `observer` of every invocation outcome.
+    pub fn observer(mut self, observer: &'a dyn InvocationObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Emit invocation/failure trace events to `trace`.
+    pub fn trace(mut self, trace: &'a dyn TraceSink) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+}
+
+impl<'a> InvokerLayer<'a> for InstrumentedLayer<'a> {
+    fn wrap(self, inner: Box<dyn Invoker + 'a>) -> Box<dyn Invoker + 'a> {
+        let mut invoker = InstrumentedInvoker::new(inner);
+        if let Some(registry) = self.registry {
+            invoker = invoker.with_registry(registry);
+        }
+        if let Some(observer) = self.observer {
+            invoker = invoker.with_observer(observer);
+        }
+        if let Some(trace) = self.trace {
+            invoker = invoker.with_trace(trace);
+        }
+        Box::new(invoker)
     }
 }
 

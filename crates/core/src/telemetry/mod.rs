@@ -31,7 +31,7 @@ pub mod sink;
 pub mod trace;
 
 pub use histogram::Histogram;
-pub use invoker::{InstrumentedInvoker, InvocationObserver};
+pub use invoker::{InstrumentedInvoker, InstrumentedLayer, InvocationObserver};
 pub use registry::{Counter, Gauge, MetricsRegistry};
 pub use sink::{beta_cache_hit_ratio, RegistrySink};
 pub use trace::{JsonlTrace, MemoryTrace, NoopTrace, TraceEvent, TraceSink};

@@ -24,6 +24,7 @@ struct OpSeries {
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     failures: Arc<Counter>,
+    degraded: Arc<Counter>,
 }
 
 /// A [`MetricsSink`] forwarding every observation into per-operator series
@@ -35,6 +36,8 @@ struct OpSeries {
 /// * `serena_beta_invocations_total{op}` /
 ///   `serena_beta_cache_hits_total{op}` /
 ///   `serena_beta_cache_misses_total{op}` — β cache behaviour
+/// * `serena_beta_degraded_total{op}` — tuples degraded (dropped or
+///   null-filled) under a non-fatal [`crate::ops::DegradePolicy`]
 pub struct RegistrySink {
     per_op: Vec<OpSeries>,
 }
@@ -56,6 +59,7 @@ impl RegistrySink {
                     cache_hits: registry.counter("serena_beta_cache_hits_total", &labels),
                     cache_misses: registry.counter("serena_beta_cache_misses_total", &labels),
                     failures: registry.counter("serena_op_failures_total", &labels),
+                    degraded: registry.counter("serena_beta_degraded_total", &labels),
                 }
             })
             .collect();
@@ -81,6 +85,9 @@ impl MetricsSink for RegistrySink {
         }
         if obs.failures > 0 {
             s.failures.add(obs.failures);
+        }
+        if obs.degraded > 0 {
+            s.degraded.add(obs.degraded);
         }
     }
 }
@@ -115,6 +122,7 @@ mod tests {
         obs.cache_hits = 1;
         obs.cache_misses = 2;
         obs.failures = 1;
+        obs.degraded = 1;
         obs.elapsed = Duration::from_micros(5);
         sink.record(&obs);
         sink.record(&OpObservation::new(NodeId(0), OpKind::Select));
@@ -134,6 +142,10 @@ mod tests {
         );
         assert_eq!(
             registry.counter_value("serena_op_failures_total", &op),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("serena_beta_degraded_total", &op),
             Some(1)
         );
         let hist = registry.histogram("serena_op_self_time_ns", &op);

@@ -161,6 +161,22 @@ impl DataType {
     pub fn can_reference_service(&self) -> bool {
         matches!(self, DataType::Service | DataType::Str | DataType::Int)
     }
+
+    /// The neutral filler value of this type, used by
+    /// [`DegradePolicy::NullFill`](crate::ops::DegradePolicy) when a failed
+    /// β invocation is degraded into a placeholder output. The domain `D`
+    /// has no NULL (the paper's `*` marks absent coordinates, not a null
+    /// value), so degradation substitutes each type's zero value.
+    pub fn default_value(&self) -> Value {
+        match self {
+            DataType::Bool => Value::Bool(false),
+            DataType::Int => Value::Int(0),
+            DataType::Real => Value::Real(0.0),
+            DataType::Str => Value::str(""),
+            DataType::Blob => Value::blob(Vec::new()),
+            DataType::Service => Value::service(""),
+        }
+    }
 }
 
 impl fmt::Display for DataType {

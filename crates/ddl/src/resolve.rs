@@ -408,7 +408,7 @@ mod tests {
 
     #[test]
     fn q1_text_round_trips_to_plan_and_evaluates() {
-        use serena_core::eval::evaluate;
+        use serena_core::exec::ExecContext;
         use serena_core::service::fixtures::example_registry;
         use serena_core::time::Instant;
         let env = example_environment();
@@ -418,7 +418,9 @@ mod tests {
         .unwrap();
         let plan = to_one_shot(&resolve_query(&expr)).unwrap();
         assert_eq!(plan, serena_core::plan::examples::q1());
-        let out = evaluate(&plan, &env, &example_registry(), Instant::ZERO).unwrap();
+        let out = ExecContext::new(&env, &example_registry(), Instant::ZERO)
+            .execute(&plan)
+            .unwrap();
         assert_eq!(out.actions.len(), 2);
     }
 

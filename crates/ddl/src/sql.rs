@@ -571,7 +571,7 @@ mod tests {
     fn where_split_respects_active_semantics() {
         // For active USING prototypes, output-free WHERE conjuncts filter
         // first → the action set excludes filtered rows (Q1 semantics).
-        use serena_core::eval::evaluate;
+        use serena_core::exec::ExecContext;
         use serena_core::service::fixtures::example_registry;
         use serena_core::time::Instant;
         let env = example_environment();
@@ -586,7 +586,9 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        let out = evaluate(&plan, &env, &example_registry(), Instant::ZERO).unwrap();
+        let out = ExecContext::new(&env, &example_registry(), Instant::ZERO)
+            .execute(&plan)
+            .unwrap();
         assert_eq!(out.actions.len(), 2, "Carla must not be messaged");
     }
 }

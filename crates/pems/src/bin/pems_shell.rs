@@ -34,7 +34,7 @@ use serena_services::bus::BusConfig;
 
 fn main() {
     let stdin = io::stdin();
-    let mut pems = Pems::new(BusConfig::instant());
+    let mut pems = Pems::builder().bus(BusConfig::instant()).build();
     let mut buffer = String::new();
     let interactive = atty_like();
 
@@ -205,19 +205,33 @@ fn dot_command(cmd: &str, pems: &mut Pems) -> bool {
             if report.is_empty() {
                 println!("no services observed yet — run a query that invokes β");
             } else {
+                let breakers: std::collections::HashMap<_, _> =
+                    pems.breakers().into_iter().collect();
                 println!(
-                    "{:<16} {:>8} {:>8} {:>6} {:>6}  status",
-                    "service", "attempts", "failures", "rate", "consec"
+                    "{:<16} {:>8} {:>8} {:>6} {:>6}  {:<10} status",
+                    "service", "attempts", "failures", "rate", "consec", "breaker"
                 );
                 for h in report {
+                    let breaker = breakers
+                        .get(&h.reference)
+                        .copied()
+                        .unwrap_or(serena_services::resilience::BreakerState::Closed);
                     println!(
-                        "{:<16} {:>8} {:>8} {:>5.0}% {:>6}  {}",
+                        "{:<16} {:>8} {:>8} {:>5.0}% {:>6}  {:<10} {}",
                         h.reference.as_str(),
                         h.attempts,
                         h.failures,
                         h.failure_rate * 100.0,
                         h.consecutive_errors,
+                        format!("{breaker}"),
                         h.status()
+                    );
+                }
+                let c = pems.resilience_counters();
+                if !pems.resilience_policy().is_disabled() {
+                    println!(
+                        "resilience: {} retries, {} timeouts, breaker opened {}×, {} rejected",
+                        c.retries, c.timeouts, c.breaker_opened, c.rejected
                     );
                 }
             }

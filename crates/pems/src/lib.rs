@@ -21,7 +21,7 @@
 //! use serena_pems::pems::Pems;
 //! use serena_services::bus::BusConfig;
 //!
-//! let mut pems = Pems::new(BusConfig::instant());
+//! let mut pems = Pems::builder().bus(BusConfig::instant()).build();
 //! pems.run_program("
 //!     PROTOTYPE getTemperature( ) : ( temperature REAL );
 //!     EXTENDED RELATION sensors (

@@ -21,10 +21,12 @@ use serena_core::exec::{explain_analyze_text, ExecContext};
 use serena_core::metrics::{ExecStats, MetricsSink, NoopMetrics, Tee};
 use serena_core::physical::ExecOptions;
 use serena_core::plan::Plan;
+use serena_core::service::{Invoker, InvokerStack};
 use serena_core::telemetry::{
-    InstrumentedInvoker, MetricsRegistry, NoopTrace, RegistrySink, TraceSink,
+    InstrumentedLayer, MetricsRegistry, NoopTrace, RegistrySink, TraceSink,
 };
 use serena_core::time::Instant;
+use serena_core::value::ServiceRef;
 use serena_ddl::ast::Statement;
 use serena_ddl::resolve::{
     resolve_prototype, resolve_query, resolve_relation_schema, resolve_tuple, to_one_shot,
@@ -34,6 +36,9 @@ use serena_services::bus::{BusConfig, CoreErm, DiscoveryBus, LocalErm};
 use serena_services::discovery::{DiscoveryQuery, ServiceDirectory};
 use serena_services::health::{HealthTracker, ServiceHealth};
 use serena_services::registry::DynamicRegistry;
+use serena_services::resilience::{
+    BreakerState, ResilienceCounters, ResiliencePolicy, ResilienceState, ResilientLayer,
+};
 use serena_stream::exec::TickReport;
 
 use crate::processor::QueryProcessor;
@@ -145,11 +150,13 @@ pub struct PemsBuilder {
     exec_options: ExecOptions,
     trace: Option<Arc<dyn TraceSink>>,
     health_window: usize,
+    resilience: ResiliencePolicy,
 }
 
 impl PemsBuilder {
     /// Defaults: default bus latency, clock at zero, no metrics sink,
-    /// serial execution, no trace sink, default health window.
+    /// serial execution, no trace sink, default health window, resilience
+    /// disabled.
     pub fn new() -> Self {
         PemsBuilder {
             bus: BusConfig::default(),
@@ -158,6 +165,7 @@ impl PemsBuilder {
             exec_options: ExecOptions::default(),
             trace: None,
             health_window: serena_services::health::DEFAULT_WINDOW,
+            resilience: ResiliencePolicy::disabled(),
         }
     }
 
@@ -204,6 +212,17 @@ impl PemsBuilder {
         self
     }
 
+    /// Resilience policy applied to every β invocation (one-shot and
+    /// continuous): per-service deadline, bounded retry with jittered
+    /// exponential backoff, and a circuit breaker. Disabled by default —
+    /// a disabled policy adds no layer to the invoker stack. Pair with
+    /// [`ExecOptions::with_degrade`] (via [`Self::exec_options`]) to let
+    /// queries survive the failures that remain after retries.
+    pub fn resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = policy;
+        self
+    }
+
     /// Assemble the runtime.
     pub fn build(self) -> Pems {
         let bus = DiscoveryBus::new(self.bus);
@@ -228,6 +247,8 @@ impl PemsBuilder {
             telemetry_sink,
             health: Arc::new(HealthTracker::new(self.health_window)),
             trace,
+            resilience_policy: self.resilience,
+            resilience: Arc::new(ResilienceState::new()),
         }
     }
 }
@@ -257,11 +278,15 @@ pub struct Pems {
     health: Arc<HealthTracker>,
     /// Structured trace sink ([`NoopTrace`] unless configured).
     trace: Arc<dyn TraceSink>,
+    /// Resilience policy the invoker stack is built with.
+    resilience_policy: ResiliencePolicy,
+    /// Breakers and retry/timeout counters, shared across rebuilt stacks.
+    resilience: Arc<ResilienceState>,
 }
 
 impl Default for Pems {
     fn default() -> Self {
-        Pems::new(BusConfig::default())
+        Pems::builder().build()
     }
 }
 
@@ -273,6 +298,10 @@ impl Pems {
 
     /// A PEMS with the given discovery-network latency model — shorthand
     /// for `Pems::builder().bus(bus_config).build()`.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `Pems::builder().bus(config).build()` instead"
+    )]
     pub fn new(bus_config: BusConfig) -> Self {
         Pems::builder().bus(bus_config).build()
     }
@@ -312,6 +341,36 @@ impl Pems {
     /// [`Self::service_health`].
     pub fn health_tracker(&self) -> Arc<HealthTracker> {
         Arc::clone(&self.health)
+    }
+
+    /// Runtime-wide resilience counters: retries, converted deadline
+    /// timeouts, breaker trips and breaker-rejected calls. All zero when
+    /// no [`PemsBuilder::resilience`] policy was configured.
+    pub fn resilience_counters(&self) -> ResilienceCounters {
+        self.resilience.counters()
+    }
+
+    /// Per-service circuit-breaker states, ordered by service reference —
+    /// shown by the shell's `\health` command next to the health report.
+    pub fn breakers(&self) -> Vec<(ServiceRef, BreakerState)> {
+        self.resilience.breakers()
+    }
+
+    /// The resilience policy the invoker stack is built with.
+    pub fn resilience_policy(&self) -> ResiliencePolicy {
+        self.resilience_policy
+    }
+
+    /// The full β invoker stack — see [`build_invoker_stack`].
+    fn invoker_stack<'r>(&'r self, registry: &'r DynamicRegistry) -> Box<dyn Invoker + 'r> {
+        build_invoker_stack(
+            registry,
+            &self.telemetry,
+            &self.health,
+            &*self.trace,
+            self.resilience_policy,
+            Arc::clone(&self.resilience),
+        )
     }
 
     /// Create a Local Environment Resource Manager attached to this PEMS's
@@ -503,12 +562,9 @@ impl Pems {
     ) -> Result<EvalOutcome, PemsError> {
         let env = self.snapshot_environment();
         let registry = self.registry();
-        let invoker = InstrumentedInvoker::new(&*registry)
-            .with_registry(&self.telemetry)
-            .with_observer(&*self.health)
-            .with_trace(&*self.trace);
+        let invoker = self.invoker_stack(&registry);
         let tee = Tee(&self.telemetry_sink, sink);
-        let ctx = ExecContext::with_metrics(&env, &invoker, self.clock(), &tee)
+        let ctx = ExecContext::with_metrics(&env, &*invoker, self.clock(), &tee)
             .with_options(self.exec_options);
         Ok(ctx.execute(plan)?)
     }
@@ -548,13 +604,20 @@ impl Pems {
                 handle.replace_with(rel.into_tuples());
             }
         }
-        // 3. evaluate every continuous query at `now`
-        let invoker = InstrumentedInvoker::new(&*registry)
-            .with_registry(&self.telemetry)
-            .with_observer(&*self.health)
-            .with_trace(&*self.trace);
+        // 3. evaluate every continuous query at `now`, through the same
+        // instrumented + resilient stack one-shot queries use (disjoint
+        // field borrows: the stack must not borrow all of `self` while the
+        // processor ticks mutably)
+        let invoker = build_invoker_stack(
+            &registry,
+            &self.telemetry,
+            &self.health,
+            &*self.trace,
+            self.resilience_policy,
+            Arc::clone(&self.resilience),
+        );
         self.processor
-            .tick_all_with(&invoker, &Tee(&self.telemetry_sink, &*self.metrics))
+            .tick_all_with(&*invoker, &Tee(&self.telemetry_sink, &*self.metrics))
     }
 
     /// Run `n` ticks, returning all reports flattened.
@@ -568,6 +631,33 @@ impl Pems {
         }
         out
     }
+}
+
+/// The full β invoker stack: registry → instrumentation (metrics, health,
+/// trace) → resilience (retry/deadline/breaker, outermost, so every retry
+/// attempt is individually observed and counted). The resilient layer is a
+/// no-op pass-through when `policy` is disabled.
+fn build_invoker_stack<'r>(
+    registry: &'r DynamicRegistry,
+    telemetry: &'r MetricsRegistry,
+    health: &'r HealthTracker,
+    trace: &'r dyn TraceSink,
+    policy: ResiliencePolicy,
+    state: Arc<ResilienceState>,
+) -> Box<dyn Invoker + 'r> {
+    InvokerStack::new(registry)
+        .layer(
+            InstrumentedLayer::new()
+                .registry(telemetry)
+                .observer(health)
+                .trace(trace),
+        )
+        .layer(
+            ResilientLayer::new(policy, state)
+                .health(health)
+                .registry(telemetry),
+        )
+        .into_inner()
 }
 
 #[cfg(test)]
@@ -590,7 +680,7 @@ mod tests {
     ";
 
     fn pems_with_messenger() -> Pems {
-        let pems = Pems::new(BusConfig::instant());
+        let pems = Pems::builder().bus(BusConfig::instant()).build();
         let (svc, _outbox) = serena_services::devices::messenger::SimMessenger::new(
             serena_services::devices::messenger::MessengerKind::Email,
         )
@@ -631,7 +721,7 @@ mod tests {
 
     #[test]
     fn discovery_query_maintains_provider_table() {
-        let mut pems = Pems::new(BusConfig::instant());
+        let mut pems = Pems::builder().bus(BusConfig::instant()).build();
         pems.run_program(
             "PROTOTYPE getTemperature( ) : ( temperature REAL );
              EXTENDED RELATION sensors (

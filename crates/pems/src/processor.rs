@@ -213,6 +213,10 @@ impl QueryProcessor {
     /// Advance the global clock by one instant, ticking every registered
     /// query at that instant (in parallel when there are several). Returns
     /// `(name, report)` pairs sorted by name.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `tick_all_with(invoker, &NoopMetrics)` (or a real sink) instead"
+    )]
     pub fn tick_all(&mut self, invoker: &dyn Invoker) -> Vec<(String, TickReport)> {
         self.tick_all_with(invoker, &NoopMetrics)
     }
@@ -356,7 +360,7 @@ mod tests {
         let reg = example_registry();
         table.insert(tuple![5]);
         table.insert(tuple![20]);
-        let reports = qp.tick_all(&reg);
+        let reports = qp.tick_all_with(&reg, &NoopMetrics);
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0].0, "all");
         assert_eq!(reports[0].1.delta.inserts.len(), 2);
@@ -374,14 +378,14 @@ mod tests {
             .unwrap();
         let reg = example_registry();
         table.insert(tuple![1]);
-        qp.tick_all(&reg);
-        qp.tick_all(&reg);
+        qp.tick_all_with(&reg, &NoopMetrics);
+        qp.tick_all_with(&reg, &NoopMetrics);
         // register a second query mid-run: it must see the existing tuple
         let mut s2 = SourceSet::new();
         s2.add_table("t", table.clone());
         qp.register("late", &StreamPlan::source("t"), &mut s2)
             .unwrap();
-        let reports = qp.tick_all(&reg);
+        let reports = qp.tick_all_with(&reg, &NoopMetrics);
         let late = reports.iter().find(|(n, _)| n == "late").unwrap();
         assert_eq!(late.1.delta.inserts.len(), 1);
         assert_eq!(
@@ -418,12 +422,12 @@ mod tests {
         let reg = example_registry();
 
         table.insert(tuple![Value::service("sensor01"), "corridor"]);
-        qp.tick_all(&reg); // miss
-        qp.tick_all(&reg); // quiet
+        qp.tick_all_with(&reg, &NoopMetrics); // miss
+        qp.tick_all_with(&reg, &NoopMetrics); // quiet
         table.insert(tuple![Value::service("sensor01"), "corridor"]);
-        qp.tick_all(&reg); // hit (still cached)
+        qp.tick_all_with(&reg, &NoopMetrics); // hit (still cached)
         table.insert(tuple![Value::service("sensor06"), "office"]);
-        qp.tick_all(&reg); // miss
+        qp.tick_all_with(&reg, &NoopMetrics); // miss
 
         let stats = qp.stats("temps").unwrap();
         assert_eq!(stats.ticks, 4);
@@ -458,8 +462,8 @@ mod tests {
 
         let reg = example_registry();
         table.insert(tuple![1]);
-        qp.tick_all(&reg);
-        qp.tick_all(&reg);
+        qp.tick_all_with(&reg, &NoopMetrics);
+        qp.tick_all_with(&reg, &NoopMetrics);
 
         for query in ["early", "late"] {
             let q = [("query", query)];
@@ -515,7 +519,7 @@ mod tests {
         let reg = example_registry();
         for v in 0..10 {
             table.insert(tuple![v]);
-            let reports = qp.tick_all(&reg);
+            let reports = qp.tick_all_with(&reg, &NoopMetrics);
             let sizes: Vec<usize> = reports.iter().map(|(_, r)| r.delta.inserts.len()).collect();
             assert!(
                 sizes.iter().all(|&s| s == sizes[0]),

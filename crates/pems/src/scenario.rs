@@ -158,7 +158,7 @@ pub fn photo_query(threshold: f64) -> StreamPlan {
 
 /// Deploy the temperature-surveillance scenario.
 pub fn deploy_surveillance(config: &SurveillanceConfig) -> Result<Surveillance, PemsError> {
-    let mut pems = Pems::new(config.bus);
+    let mut pems = Pems::builder().bus(config.bus).build();
     let area = |i: usize| config.areas[i % config.areas.len()].clone();
 
     // --- prototypes (Table 1, plus the full scenario's photo messaging) ---
@@ -329,7 +329,7 @@ pub fn rss_keyword_query(keyword: &str, window: u64) -> StreamPlan {
 
 /// Deploy the RSS scenario: a `news` stream over the configured feeds.
 pub fn deploy_rss(config: &RssConfig) -> Result<Pems, PemsError> {
-    let mut pems = Pems::new(BusConfig::instant());
+    let mut pems = Pems::builder().bus(BusConfig::instant()).build();
     let news_schema = XSchema::builder()
         .real("source", DataType::Str)
         .real("title", DataType::Str)

@@ -336,11 +336,12 @@ mod tests {
         let mut set2 = m.source_set_for(&plan);
         let mut q1 = serena_stream::exec::ContinuousQuery::compile(&plan, &mut set1).unwrap();
         let mut q2 = serena_stream::exec::ContinuousQuery::compile(&plan, &mut set2).unwrap();
+        use serena_core::metrics::NoopMetrics;
         let reg = serena_core::service::fixtures::example_registry();
         hub.push(tuple![1]);
         // both queries observe the same pushed tuple
-        assert_eq!(q1.tick(&reg).delta.inserts.len(), 1);
-        assert_eq!(q2.tick(&reg).delta.inserts.len(), 1);
+        assert_eq!(q1.tick_with(&reg, &NoopMetrics).delta.inserts.len(), 1);
+        assert_eq!(q2.tick_with(&reg, &NoopMetrics).delta.inserts.len(), 1);
     }
 
     #[test]

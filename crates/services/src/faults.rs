@@ -13,7 +13,7 @@ use serena_core::sync::Mutex;
 
 use serena_core::error::EvalError;
 use serena_core::prototype::Prototype;
-use serena_core::service::{Invoker, Service};
+use serena_core::service::{Invoker, InvokerLayer, Service};
 use serena_core::time::Instant;
 use serena_core::tuple::Tuple;
 use serena_core::value::ServiceRef;
@@ -34,6 +34,10 @@ pub enum FaultPolicy {
     /// consecutive successful calls. Long-run failure rate is
     /// `fail / (fail + ok)` — the predictable signal health trackers are
     /// tested against.
+    ///
+    /// Zero-length phases degenerate cleanly: `fail = 0` never fails
+    /// (whatever `ok` is, including 0), and `ok = 0` with `fail > 0` always
+    /// fails.
     Intermittent {
         /// Failing calls at the start of each cycle.
         fail: u64,
@@ -82,16 +86,16 @@ impl FaultyService {
         *self.calls.lock()
     }
 
-    fn should_fail(&self, at: Instant) -> bool {
+    /// Whether the call with 0-based index `call` at instant `at` fails.
+    fn should_fail(&self, call: u64, at: Instant) -> bool {
         match &self.policy {
-            FaultPolicy::EveryNth(n) => {
-                let calls = *self.calls.lock();
-                *n > 0 && calls.is_multiple_of(*n)
-            }
+            FaultPolicy::EveryNth(n) => *n > 0 && call.is_multiple_of(*n),
             FaultPolicy::Outage { from, to } => *from <= at && at <= *to,
             FaultPolicy::Intermittent { fail, ok } => {
-                let period = fail + ok;
-                period > 0 && *self.calls.lock() % period < *fail
+                // saturating: a cycle longer than u64::MAX never wraps back
+                // into the failing phase within one counter lifetime.
+                let period = fail.saturating_add(*ok);
+                period > 0 && call % period < *fail
             }
             FaultPolicy::None => false,
         }
@@ -109,8 +113,16 @@ impl Service for FaultyService {
         input: &Tuple,
         at: Instant,
     ) -> Result<Vec<Tuple>, String> {
-        let fail = self.should_fail(at);
-        *self.calls.lock() += 1;
+        // Claim this call's index and bump the counter under one lock, so
+        // concurrent invocations (parallel β) each see a distinct position
+        // in the duty cycle.
+        let call = {
+            let mut calls = self.calls.lock();
+            let i = *calls;
+            *calls += 1;
+            i
+        };
+        let fail = self.should_fail(call, at);
         if fail {
             return Err(self.error.clone());
         }
@@ -142,6 +154,17 @@ impl<I: Invoker> SlowInvoker<I> {
     /// The wrapped invoker.
     pub fn inner(&self) -> &I {
         &self.inner
+    }
+}
+
+impl<'a> SlowInvoker<Box<dyn Invoker + 'a>> {
+    /// The [`InvokerLayer`] form, for use with
+    /// [`InvokerStack`](serena_core::service::InvokerStack):
+    /// `InvokerStack::new(base).layer(SlowInvoker::layer(latency))`.
+    pub fn layer(latency: Duration) -> impl InvokerLayer<'a> {
+        move |inner: Box<dyn Invoker + 'a>| -> Box<dyn Invoker + 'a> {
+            Box::new(SlowInvoker::new(inner, latency))
+        }
     }
 }
 
@@ -223,6 +246,80 @@ mod tests {
             vec![false, false, true, true, false, false, true, true]
         );
         assert_eq!(svc.attempts(), 8);
+    }
+
+    fn outcomes_of(policy: FaultPolicy, calls: usize) -> Vec<bool> {
+        let svc = FaultyService::new(fixtures::temperature_sensor(1), policy);
+        (0..calls)
+            .map(|_| {
+                svc.invoke(&protos::get_temperature(), &Tuple::empty(), Instant(0))
+                    .is_ok()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn intermittent_zero_fail_phase_never_fails() {
+        let outcomes = outcomes_of(FaultPolicy::Intermittent { fail: 0, ok: 3 }, 7);
+        assert!(outcomes.iter().all(|ok| *ok));
+    }
+
+    #[test]
+    fn intermittent_zero_ok_phase_always_fails() {
+        let outcomes = outcomes_of(FaultPolicy::Intermittent { fail: 3, ok: 0 }, 7);
+        assert!(outcomes.iter().all(|ok| !*ok));
+    }
+
+    #[test]
+    fn intermittent_both_phases_zero_never_fails() {
+        let outcomes = outcomes_of(FaultPolicy::Intermittent { fail: 0, ok: 0 }, 5);
+        assert!(outcomes.iter().all(|ok| *ok));
+    }
+
+    #[test]
+    fn intermittent_phase_boundaries_are_exact() {
+        // fail=1, ok=2: exactly call 0 of every 3-call cycle fails.
+        let outcomes = outcomes_of(FaultPolicy::Intermittent { fail: 1, ok: 2 }, 9);
+        assert_eq!(
+            outcomes,
+            vec![false, true, true, false, true, true, false, true, true]
+        );
+        // fail=3, ok=1: only the last call of every 4-call cycle succeeds.
+        let outcomes = outcomes_of(FaultPolicy::Intermittent { fail: 3, ok: 1 }, 8);
+        assert_eq!(
+            outcomes,
+            vec![false, false, false, true, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn intermittent_huge_phases_do_not_overflow() {
+        // fail + ok would overflow u64; the first calls sit in the failing
+        // phase and must not panic.
+        let outcomes = outcomes_of(
+            FaultPolicy::Intermittent {
+                fail: u64::MAX,
+                ok: 2,
+            },
+            3,
+        );
+        assert!(outcomes.iter().all(|ok| !*ok));
+    }
+
+    #[test]
+    fn slow_invoker_as_layer_composes() {
+        use serena_core::service::InvokerStack;
+        let reg = fixtures::example_registry();
+        let stack = InvokerStack::new(reg).layer(SlowInvoker::layer(Duration::from_millis(1)));
+        let out = stack
+            .invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("sensor01"),
+                &Tuple::empty(),
+                Instant(0),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //! * [`health`] — rolling per-service health (failure rate,
 //!   consecutive-error count, last-seen instant) fed by invocation
 //!   outcomes through [`serena_core::telemetry::InvocationObserver`];
+//! * [`resilience`] — the β resilience middleware: per-service deadline,
+//!   bounded retry with jittered exponential backoff, and a
+//!   health-informed circuit breaker, composable onto any invoker via
+//!   [`serena_core::service::InvokerStack`];
 //! * [`discovery`] — turning "which services implement prototype ψ?" into
 //!   X-Relation rows, the data backing the PEMS service-discovery queries.
 
@@ -37,7 +41,12 @@ pub mod discovery;
 pub mod faults;
 pub mod health;
 pub mod registry;
+pub mod resilience;
 
 pub use bus::{BusConfig, CoreErm, DiscoveryBus, LocalErm};
 pub use health::{HealthStatus, HealthTracker, ServiceHealth};
 pub use registry::{DynamicRegistry, RegistryEvent};
+pub use resilience::{
+    BreakerState, ResilienceCounters, ResiliencePolicy, ResilienceState, ResilientInvoker,
+    ResilientLayer,
+};

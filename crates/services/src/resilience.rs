@@ -1,0 +1,784 @@
+//! The resilience layer for β invocations: deadline, retry/backoff,
+//! circuit breaking.
+//!
+//! The paper's services are "dynamic, volatile" (§2.1) and §5.2 calls for
+//! robustness experiments — yet a raw [`Invoker`] surfaces every transient
+//! fault straight into the query. [`ResilientInvoker`] is an
+//! [`InvokerLayer`] that wraps any invoker with three independent,
+//! per-service mechanisms, all configured by a [`ResiliencePolicy`]:
+//!
+//! * **deadline** — invocations taking longer than
+//!   [`ResiliencePolicy::deadline`] are converted into
+//!   [`EvalError::DeadlineExceeded`] (a *soft* deadline: the call is not
+//!   cancelled, its late result is discarded);
+//! * **retry with backoff** — errors classified transient
+//!   ([`EvalError::InvocationFailed`], [`EvalError::DeadlineExceeded`]) are
+//!   retried up to [`ResiliencePolicy::max_retries`] times, sleeping an
+//!   exponentially growing, deterministically jittered backoff between
+//!   attempts;
+//! * **circuit breaking** — after
+//!   [`ResiliencePolicy::breaker_threshold`] consecutive failures (the
+//!   larger of the layer's own count and the [`HealthTracker`]'s view, when
+//!   one is attached) the service's breaker opens: calls fail fast with
+//!   [`EvalError::CircuitOpen`] without touching the service, until
+//!   [`ResiliencePolicy::breaker_cooldown`] logical instants pass and the
+//!   breaker half-opens to let probe calls through (closed → open →
+//!   half-open).
+//!
+//! Breaker state and counters live in a shared [`ResilienceState`] so they
+//! survive across ticks (the invoker stack is rebuilt per tick in the PEMS
+//! runtime). Graceful degradation of the β *output* — emitting partial
+//! results instead of erroring — is the executor's side of the contract:
+//! see [`DegradePolicy`](serena_core::ops::DegradePolicy).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serena_core::error::EvalError;
+use serena_core::prototype::Prototype;
+use serena_core::service::{Invoker, InvokerLayer};
+use serena_core::sync::{Mutex, RwLock};
+use serena_core::telemetry::{Counter, MetricsRegistry};
+use serena_core::time::Instant;
+use serena_core::tuple::Tuple;
+use serena_core::value::ServiceRef;
+
+use crate::health::HealthTracker;
+
+/// Everything the resilience layer is allowed to do on behalf of one
+/// invocation, per service. The default ([`ResiliencePolicy::disabled`]) is
+/// fully transparent: no deadline, no retries, no breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResiliencePolicy {
+    /// Retries after the first failed attempt (0 = no retries).
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry (0 = no sleeping).
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff delay.
+    pub backoff_cap: Duration,
+    /// Soft per-invocation deadline (None = unbounded).
+    pub deadline: Option<Duration>,
+    /// Consecutive failures that open a service's breaker (0 = breaker
+    /// disabled).
+    pub breaker_threshold: u32,
+    /// Logical instants an open breaker waits before half-opening.
+    pub breaker_cooldown: u64,
+    /// Probe invocations admitted while half-open (clamped to ≥ 1).
+    pub half_open_probes: u32,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy::disabled()
+    }
+}
+
+impl ResiliencePolicy {
+    /// Fully transparent: no deadline, no retries, no breaker. The invoker
+    /// stack skips the resilience layer entirely under this policy.
+    pub fn disabled() -> Self {
+        ResiliencePolicy {
+            max_retries: 0,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+            deadline: None,
+            breaker_threshold: 0,
+            breaker_cooldown: 0,
+            half_open_probes: 1,
+        }
+    }
+
+    /// A reasonable starting point: 2 retries with 1 ms → 20 ms backoff,
+    /// breaker opening after 5 consecutive failures for 4 instants.
+    pub fn standard() -> Self {
+        ResiliencePolicy {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(20),
+            deadline: None,
+            breaker_threshold: 5,
+            breaker_cooldown: 4,
+            half_open_probes: 1,
+        }
+    }
+
+    /// Whether this policy does nothing at all (lets the stack skip the
+    /// layer).
+    pub fn is_disabled(&self) -> bool {
+        self.max_retries == 0 && self.deadline.is_none() && self.breaker_threshold == 0
+    }
+
+    /// Replace the retry budget.
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Replace the backoff schedule (`base` doubling per retry, capped).
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Replace the soft per-invocation deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Replace the breaker configuration (`threshold` consecutive failures
+    /// → open for `cooldown` instants).
+    pub fn with_breaker(mut self, threshold: u32, cooldown: u64) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// The backoff delay before retry number `attempt` (1-based), before
+    /// jitter: `base × 2^(attempt-1)`, capped.
+    fn backoff_for(&self, attempt: u32) -> Duration {
+        if self.backoff_base.is_zero() {
+            return Duration::ZERO;
+        }
+        let raw = match 1u32.checked_shl(attempt.saturating_sub(1)) {
+            Some(factor) => self
+                .backoff_base
+                .checked_mul(factor)
+                .unwrap_or(self.backoff_cap),
+            None => self.backoff_cap, // 2^31+ × base saturates at the cap
+        };
+        raw.min(self.backoff_cap)
+    }
+}
+
+/// Where one service's circuit breaker currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow through normally.
+    Closed,
+    /// Calls are rejected with [`EvalError::CircuitOpen`] until `until`.
+    Open {
+        /// First instant at which the breaker will half-open.
+        until: Instant,
+    },
+    /// A limited number of probe calls are admitted; one success closes
+    /// the breaker, one failure reopens it.
+    HalfOpen {
+        /// Probe admissions left at this state snapshot.
+        probes_left: u32,
+    },
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open { until } => write!(f, "open(until {until})"),
+            BreakerState::HalfOpen { probes_left } => {
+                write!(f, "half-open({probes_left} probes left)")
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u64,
+}
+
+impl Default for Breaker {
+    fn default() -> Self {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+        }
+    }
+}
+
+/// Totals accumulated by a [`ResilienceState`] across all services.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceCounters {
+    /// Retry attempts performed (beyond each invocation's first attempt).
+    pub retries: u64,
+    /// Invocations converted to [`EvalError::DeadlineExceeded`].
+    pub timeouts: u64,
+    /// Breaker transitions into [`BreakerState::Open`].
+    pub breaker_opened: u64,
+    /// Calls rejected fast with [`EvalError::CircuitOpen`].
+    pub rejected: u64,
+}
+
+/// Shared, tick-surviving state of the resilience layer: per-service
+/// breakers plus global counters. One `Arc<ResilienceState>` is created per
+/// PEMS (or per test) and handed to every [`ResilientInvoker`] built over
+/// it, so breakers keep their memory even though the invoker stack itself
+/// is rebuilt per tick.
+#[derive(Debug, Default)]
+pub struct ResilienceState {
+    breakers: Mutex<HashMap<ServiceRef, Breaker>>,
+    /// Number of services currently holding a (non-default) breaker record.
+    /// While zero — the steady state of a healthy environment — the breaker
+    /// fast-paths skip the map lock entirely.
+    engaged: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    breaker_opened: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl ResilienceState {
+    /// Fresh state: all breakers closed, all counters zero.
+    pub fn new() -> Self {
+        ResilienceState::default()
+    }
+
+    /// Snapshot the global counters.
+    pub fn counters(&self) -> ResilienceCounters {
+        ResilienceCounters {
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            breaker_opened: self.breaker_opened.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The breaker state of one service ([`BreakerState::Closed`] if the
+    /// service has never tripped anything).
+    pub fn breaker_of(&self, service: &ServiceRef) -> BreakerState {
+        self.breakers
+            .lock()
+            .get(service)
+            .map(|b| b.state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Every service with a non-default breaker record, ordered by
+    /// reference.
+    pub fn breakers(&self) -> Vec<(ServiceRef, BreakerState)> {
+        let mut v: Vec<(ServiceRef, BreakerState)> = self
+            .breakers
+            .lock()
+            .iter()
+            .map(|(s, b)| (s.clone(), b.state))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+/// Cached per-service registry series.
+#[derive(Clone)]
+struct ResilienceSeries {
+    retries: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    breaker_opened: Arc<Counter>,
+    rejected: Arc<Counter>,
+}
+
+/// The resilience middleware: deadline + retry/backoff + circuit breaker
+/// around any [`Invoker`]. See the [module docs](self) for the semantics
+/// and [`ResilientLayer`] for the [`InvokerStack`]-friendly constructor.
+///
+/// [`InvokerStack`]: serena_core::service::InvokerStack
+pub struct ResilientInvoker<'a, I> {
+    inner: I,
+    policy: ResiliencePolicy,
+    state: Arc<ResilienceState>,
+    health: Option<&'a HealthTracker>,
+    registry: Option<&'a MetricsRegistry>,
+    series: RwLock<HashMap<ServiceRef, ResilienceSeries>>,
+}
+
+impl<'a, I: Invoker> ResilientInvoker<'a, I> {
+    /// Wrap `inner` under `policy` with fresh private state.
+    pub fn new(inner: I, policy: ResiliencePolicy) -> Self {
+        Self::with_state(inner, policy, Arc::new(ResilienceState::new()))
+    }
+
+    /// Wrap `inner` under `policy`, sharing `state` (breakers + counters)
+    /// with other invokers built over it.
+    pub fn with_state(inner: I, policy: ResiliencePolicy, state: Arc<ResilienceState>) -> Self {
+        ResilientInvoker {
+            inner,
+            policy,
+            state,
+            health: None,
+            registry: None,
+            series: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Let the breaker also consult `health`'s consecutive-error count, and
+    /// record deadline conversions as failures there.
+    pub fn with_health(mut self, health: &'a HealthTracker) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// Publish per-service `serena_resilience_*_total{service}` counters
+    /// into `registry`.
+    pub fn with_registry(mut self, registry: &'a MetricsRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// The shared state (for snapshots).
+    pub fn state(&self) -> &Arc<ResilienceState> {
+        &self.state
+    }
+
+    fn series_for(&self, registry: &MetricsRegistry, service: &ServiceRef) -> ResilienceSeries {
+        if let Some(series) = self.series.read().get(service) {
+            return series.clone();
+        }
+        let labels: [(&str, &str); 1] = [("service", service.as_str())];
+        let series = ResilienceSeries {
+            retries: registry.counter("serena_resilience_retries_total", &labels),
+            timeouts: registry.counter("serena_resilience_timeouts_total", &labels),
+            breaker_opened: registry.counter("serena_resilience_breaker_opened_total", &labels),
+            rejected: registry.counter("serena_resilience_rejected_total", &labels),
+        };
+        self.series
+            .write()
+            .entry(service.clone())
+            .or_insert(series)
+            .clone()
+    }
+
+    fn bump(&self, service: &ServiceRef, pick: impl Fn(&ResilienceSeries) -> &Arc<Counter>) {
+        if let Some(registry) = self.registry {
+            pick(&self.series_for(registry, service)).inc();
+        }
+    }
+
+    /// Gate one invocation through `service`'s breaker. Transitions
+    /// open → half-open when the cooldown has elapsed at `at`.
+    ///
+    /// Services without a breaker record are implicitly
+    /// [`BreakerState::Closed`]; while no record exists anywhere (no
+    /// failure observed yet) this is a single relaxed atomic load.
+    fn admit(&self, service: &ServiceRef, at: Instant) -> Result<(), EvalError> {
+        if self.policy.breaker_threshold == 0 || self.state.engaged.load(Ordering::Relaxed) == 0 {
+            return Ok(());
+        }
+        let mut breakers = self.state.breakers.lock();
+        let Some(b) = breakers.get_mut(service) else {
+            return Ok(());
+        };
+        match b.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open { until } if at >= until => {
+                b.state = BreakerState::HalfOpen {
+                    probes_left: self.policy.half_open_probes.max(1) - 1,
+                };
+                Ok(())
+            }
+            BreakerState::HalfOpen { probes_left } if probes_left > 0 => {
+                b.state = BreakerState::HalfOpen {
+                    probes_left: probes_left - 1,
+                };
+                Ok(())
+            }
+            _ => {
+                drop(breakers);
+                self.state.rejected.fetch_add(1, Ordering::Relaxed);
+                self.bump(service, |s| &s.rejected);
+                Err(EvalError::CircuitOpen {
+                    service: service.to_string(),
+                })
+            }
+        }
+    }
+
+    /// One successful call: close the breaker, reset the failure streak.
+    /// A reset breaker is back at the default, so its record is dropped
+    /// (keeping the `engaged == 0` fast path reachable again).
+    fn on_success(&self, service: &ServiceRef) {
+        if self.policy.breaker_threshold == 0 || self.state.engaged.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut breakers = self.state.breakers.lock();
+        if breakers.remove(service).is_some() {
+            self.state.engaged.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One failed attempt: extend the failure streak (also consulting the
+    /// health tracker's view when attached) and open the breaker when the
+    /// threshold is reached — immediately when half-open.
+    fn on_failure(&self, service: &ServiceRef, at: Instant) {
+        if self.policy.breaker_threshold == 0 {
+            return;
+        }
+        let mut breakers = self.state.breakers.lock();
+        let b = match breakers.entry(service.clone()) {
+            std::collections::hash_map::Entry::Occupied(o) => o.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.state.engaged.fetch_add(1, Ordering::Relaxed);
+                v.insert(Breaker::default())
+            }
+        };
+        b.consecutive_failures += 1;
+        let health_view = self
+            .health
+            .and_then(|h| h.health_of(service))
+            .map(|h| h.consecutive_errors)
+            .unwrap_or(0);
+        let streak = b.consecutive_failures.max(health_view);
+        let half_open = matches!(b.state, BreakerState::HalfOpen { .. });
+        if half_open || streak >= u64::from(self.policy.breaker_threshold) {
+            b.state = BreakerState::Open {
+                until: at + self.policy.breaker_cooldown,
+            };
+            b.consecutive_failures = 0;
+            drop(breakers);
+            self.state.breaker_opened.fetch_add(1, Ordering::Relaxed);
+            self.bump(service, |s| &s.breaker_opened);
+        }
+    }
+
+    /// Deterministic jitter factor in `[0.5, 1.0)` for one (service,
+    /// instant, attempt) triple — stable across runs, decorrelated across
+    /// services and attempts.
+    fn jitter(service: &ServiceRef, at: Instant, attempt: u32) -> f64 {
+        let mut hasher = DefaultHasher::new();
+        service.as_str().hash(&mut hasher);
+        at.ticks().hash(&mut hasher);
+        attempt.hash(&mut hasher);
+        let unit = (hasher.finish() >> 11) as f64 / (1u64 << 53) as f64;
+        0.5 + unit / 2.0
+    }
+}
+
+/// An error worth retrying: the service exists and speaks the prototype,
+/// it just failed (or timed out) this time.
+fn is_transient(e: &EvalError) -> bool {
+    matches!(
+        e,
+        EvalError::InvocationFailed { .. } | EvalError::DeadlineExceeded { .. }
+    )
+}
+
+impl<I: Invoker> Invoker for ResilientInvoker<'_, I> {
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        service_ref: &ServiceRef,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, EvalError> {
+        if self.policy.is_disabled() {
+            return self.inner.invoke(prototype, service_ref, input, at);
+        }
+        self.admit(service_ref, at)?;
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            // the wall clock is only consulted when a deadline is armed
+            let started = self.policy.deadline.map(|_| std::time::Instant::now());
+            let mut result = self.inner.invoke(prototype, service_ref, input, at);
+            if let (Some(deadline), Some(started)) = (self.policy.deadline, started) {
+                if result.is_ok() && started.elapsed() > deadline {
+                    // Soft deadline: the call completed but too late — its
+                    // result is discarded. The instrumented layer below saw
+                    // a success, so feed the failure to health directly
+                    // (one extra attempt in its window).
+                    self.state.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.bump(service_ref, |s| &s.timeouts);
+                    let err = EvalError::DeadlineExceeded {
+                        service: service_ref.to_string(),
+                        prototype: prototype.name().to_string(),
+                    };
+                    if let Some(health) = self.health {
+                        health.record(service_ref, at, Some(&err.to_string()));
+                    }
+                    result = Err(err);
+                }
+            }
+            match result {
+                Ok(rows) => {
+                    self.on_success(service_ref);
+                    return Ok(rows);
+                }
+                Err(e) => {
+                    self.on_failure(service_ref, at);
+                    if attempt > self.policy.max_retries || !is_transient(&e) {
+                        return Err(e);
+                    }
+                    // A breaker opened by this streak stops the retry loop:
+                    // the service is presumed gone, fail fast.
+                    if matches!(
+                        self.state.breaker_of(service_ref),
+                        BreakerState::Open { .. }
+                    ) {
+                        return Err(e);
+                    }
+                    self.state.retries.fetch_add(1, Ordering::Relaxed);
+                    self.bump(service_ref, |s| &s.retries);
+                    let delay = self.policy.backoff_for(attempt);
+                    if !delay.is_zero() {
+                        let jittered = delay.mul_f64(Self::jitter(service_ref, at, attempt));
+                        std::thread::sleep(jittered);
+                    }
+                }
+            }
+        }
+    }
+
+    fn providers_of(&self, prototype: &str) -> Vec<ServiceRef> {
+        self.inner.providers_of(prototype)
+    }
+}
+
+/// The [`InvokerLayer`] form of [`ResilientInvoker`], for use with
+/// [`InvokerStack`](serena_core::service::InvokerStack):
+///
+/// ```
+/// use std::sync::Arc;
+/// use serena_core::prelude::*;
+/// use serena_services::resilience::{ResiliencePolicy, ResilienceState, ResilientLayer};
+///
+/// let base = serena_core::service::fixtures::example_registry();
+/// let state = Arc::new(ResilienceState::new());
+/// let stack = InvokerStack::new(base)
+///     .layer(InstrumentedLayer::new())
+///     .layer(ResilientLayer::new(ResiliencePolicy::standard(), state));
+/// assert!(!stack.providers_of("getTemperature").is_empty());
+/// ```
+pub struct ResilientLayer<'a> {
+    policy: ResiliencePolicy,
+    state: Arc<ResilienceState>,
+    health: Option<&'a HealthTracker>,
+    registry: Option<&'a MetricsRegistry>,
+}
+
+impl<'a> ResilientLayer<'a> {
+    /// A layer applying `policy`, sharing `state` across rebuilds.
+    pub fn new(policy: ResiliencePolicy, state: Arc<ResilienceState>) -> Self {
+        ResilientLayer {
+            policy,
+            state,
+            health: None,
+            registry: None,
+        }
+    }
+
+    /// See [`ResilientInvoker::with_health`].
+    pub fn health(mut self, health: &'a HealthTracker) -> Self {
+        self.health = Some(health);
+        self
+    }
+
+    /// See [`ResilientInvoker::with_registry`].
+    pub fn registry(mut self, registry: &'a MetricsRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+}
+
+impl<'a> InvokerLayer<'a> for ResilientLayer<'a> {
+    fn wrap(self, inner: Box<dyn Invoker + 'a>) -> Box<dyn Invoker + 'a> {
+        if self.policy.is_disabled() {
+            // Nothing to do — keep the stack free of a dead layer.
+            return inner;
+        }
+        let mut invoker = ResilientInvoker::with_state(inner, self.policy, self.state);
+        if let Some(health) = self.health {
+            invoker = invoker.with_health(health);
+        }
+        if let Some(registry) = self.registry {
+            invoker = invoker.with_registry(registry);
+        }
+        Box::new(invoker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultPolicy, FaultyService};
+    use crate::registry::DynamicRegistry;
+    use serena_core::prototype::examples as protos;
+    use serena_core::service::fixtures;
+
+    fn flaky(policy: FaultPolicy) -> (DynamicRegistry, Arc<FaultyService>) {
+        let faulty = FaultyService::new(fixtures::temperature_sensor(1), policy);
+        let reg = DynamicRegistry::new();
+        reg.register("flaky", faulty.clone());
+        (reg, faulty)
+    }
+
+    fn call(invoker: &dyn Invoker, at: Instant) -> Result<Vec<Tuple>, EvalError> {
+        invoker.invoke(
+            &protos::get_temperature(),
+            &ServiceRef::new("flaky"),
+            &Tuple::empty(),
+            at,
+        )
+    }
+
+    #[test]
+    fn disabled_policy_is_transparent() {
+        let (reg, faulty) = flaky(FaultPolicy::EveryNth(2));
+        let invoker = ResilientInvoker::new(&reg, ResiliencePolicy::disabled());
+        assert!(call(&invoker, Instant(0)).is_err()); // call 0 fails
+        assert!(call(&invoker, Instant(0)).is_ok());
+        assert_eq!(faulty.attempts(), 2); // no retries happened
+        assert_eq!(invoker.state().counters(), ResilienceCounters::default());
+    }
+
+    #[test]
+    fn retries_recover_transient_faults() {
+        // every cycle: 1 failure then 3 successes; one retry suffices
+        let (reg, faulty) = flaky(FaultPolicy::Intermittent { fail: 1, ok: 3 });
+        let invoker = ResilientInvoker::new(&reg, ResiliencePolicy::disabled().with_retries(2));
+        for t in 0..8u64 {
+            assert!(call(&invoker, Instant(t)).is_ok(), "t={t}");
+        }
+        let c = invoker.state().counters();
+        assert_eq!(c.retries, 3); // faults at raw calls 0, 4 and 8
+        assert_eq!(faulty.attempts(), 11); // 8 logical + 3 retries
+    }
+
+    #[test]
+    fn retry_budget_exhausts_on_persistent_faults() {
+        let (reg, faulty) = flaky(FaultPolicy::EveryNth(1)); // always fails
+        let invoker = ResilientInvoker::new(&reg, ResiliencePolicy::disabled().with_retries(3));
+        let err = call(&invoker, Instant(0)).unwrap_err();
+        assert!(matches!(err, EvalError::InvocationFailed { .. }));
+        assert_eq!(faulty.attempts(), 4); // 1 + 3 retries
+        assert_eq!(invoker.state().counters().retries, 3);
+    }
+
+    #[test]
+    fn non_transient_errors_are_not_retried() {
+        let reg = DynamicRegistry::new();
+        let invoker = ResilientInvoker::new(&reg, ResiliencePolicy::disabled().with_retries(5));
+        // unknown service → not transient
+        let err = call(&invoker, Instant(0)).unwrap_err();
+        assert!(matches!(err, EvalError::UnknownService { .. }));
+        assert_eq!(invoker.state().counters().retries, 0);
+    }
+
+    #[test]
+    fn breaker_opens_then_half_opens_then_closes() {
+        let (reg, faulty) = flaky(FaultPolicy::Intermittent { fail: 3, ok: 100 });
+        let policy = ResiliencePolicy::disabled().with_breaker(3, 4);
+        let state = Arc::new(ResilienceState::new());
+        let invoker = ResilientInvoker::with_state(&reg, policy, state.clone());
+        let sref = ServiceRef::new("flaky");
+
+        // three consecutive failures trip the breaker at τ=2
+        for t in 0..3u64 {
+            assert!(call(&invoker, Instant(t)).is_err());
+        }
+        assert_eq!(
+            state.breaker_of(&sref),
+            BreakerState::Open { until: Instant(6) }
+        );
+        assert_eq!(state.counters().breaker_opened, 1);
+
+        // during cooldown: rejected fast, the service is never touched
+        let attempts_before = faulty.attempts();
+        let err = call(&invoker, Instant(4)).unwrap_err();
+        assert!(matches!(err, EvalError::CircuitOpen { .. }));
+        assert_eq!(faulty.attempts(), attempts_before);
+        assert_eq!(state.counters().rejected, 1);
+
+        // cooldown over: the probe goes through (fault cycle is in its ok
+        // phase now) and the breaker closes
+        assert!(call(&invoker, Instant(6)).is_ok());
+        assert_eq!(state.breaker_of(&sref), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let (reg, _faulty) = flaky(FaultPolicy::EveryNth(1)); // always fails
+        let policy = ResiliencePolicy::disabled().with_breaker(2, 3);
+        let state = Arc::new(ResilienceState::new());
+        let invoker = ResilientInvoker::with_state(&reg, policy, state.clone());
+        let sref = ServiceRef::new("flaky");
+
+        assert!(call(&invoker, Instant(0)).is_err());
+        assert!(call(&invoker, Instant(1)).is_err());
+        assert_eq!(
+            state.breaker_of(&sref),
+            BreakerState::Open { until: Instant(4) }
+        );
+        // probe at τ=4 fails → immediately reopen until τ=7
+        assert!(call(&invoker, Instant(4)).is_err());
+        assert_eq!(
+            state.breaker_of(&sref),
+            BreakerState::Open { until: Instant(7) }
+        );
+        assert_eq!(state.counters().breaker_opened, 2);
+    }
+
+    #[test]
+    fn deadline_converts_slow_success() {
+        use crate::faults::SlowInvoker;
+        let reg = fixtures::example_registry();
+        let slow = SlowInvoker::new(reg, Duration::from_millis(10));
+        let policy = ResiliencePolicy::disabled().with_deadline(Duration::from_millis(1));
+        let health = HealthTracker::default();
+        let invoker = ResilientInvoker::new(slow, policy).with_health(&health);
+        let sref = ServiceRef::new("sensor01");
+        let err = invoker
+            .invoke(
+                &protos::get_temperature(),
+                &sref,
+                &Tuple::empty(),
+                Instant(0),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EvalError::DeadlineExceeded { .. }));
+        assert_eq!(invoker.state().counters().timeouts, 1);
+        // the conversion is visible to health
+        let h = health.health_of(&sref).unwrap();
+        assert_eq!(h.failures, 1);
+    }
+
+    #[test]
+    fn registry_series_are_published() {
+        let (reg, _faulty) = flaky(FaultPolicy::EveryNth(1));
+        let registry = MetricsRegistry::new();
+        let invoker = ResilientInvoker::new(&reg, ResiliencePolicy::disabled().with_retries(1))
+            .with_registry(&registry);
+        let _ = call(&invoker, Instant(0));
+        assert_eq!(
+            registry.counter_value("serena_resilience_retries_total", &[("service", "flaky")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let s = ServiceRef::new("svc");
+        let a = ResilientInvoker::<&DynamicRegistry>::jitter(&s, Instant(7), 2);
+        let b = ResilientInvoker::<&DynamicRegistry>::jitter(&s, Instant(7), 2);
+        assert_eq!(a, b);
+        for at in 0..50u64 {
+            for attempt in 1..4u32 {
+                let j = ResilientInvoker::<&DynamicRegistry>::jitter(&s, Instant(at), attempt);
+                assert!((0.5..1.0).contains(&j), "{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = ResiliencePolicy::disabled()
+            .with_backoff(Duration::from_millis(2), Duration::from_millis(5));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(2));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(4));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(5)); // capped
+        assert_eq!(p.backoff_for(60), Duration::from_millis(5)); // no overflow
+        assert_eq!(ResiliencePolicy::disabled().backoff_for(3), Duration::ZERO);
+    }
+}

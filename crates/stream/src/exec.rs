@@ -30,7 +30,7 @@ use serena_core::formula::CompiledFormula;
 use serena_core::metrics::{
     ExecStats, MetricsSink, NodeId, NoopMetrics, OpKind, OpObservation, Tee,
 };
-use serena_core::ops::{self, AggSpec, AssignSource, InvokeRecipe};
+use serena_core::ops::{self, AggSpec, AssignSource, DegradePolicy, InvokeRecipe};
 use serena_core::physical::ExecOptions;
 use serena_core::schema::SchemaRef;
 use serena_core::service::Invoker;
@@ -120,6 +120,8 @@ struct Ctx<'a> {
     metrics: &'a dyn MetricsSink,
     /// β worker-pool width for one δ-batch (1 = serial).
     parallelism: usize,
+    /// How β/βˢ reacts when one tuple's invocation fails.
+    degrade: DegradePolicy,
 }
 
 /// Per-tick node output: a finite delta or a stream batch.
@@ -305,6 +307,10 @@ impl ContinuousQuery {
     }
 
     /// Evaluate one instant.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `tick_with(invoker, &NoopMetrics)` (or a real sink) instead"
+    )]
     pub fn tick(&mut self, invoker: &dyn Invoker) -> TickReport {
         self.tick_with(invoker, &NoopMetrics)
     }
@@ -330,6 +336,7 @@ impl ContinuousQuery {
                 errors: &mut errors,
                 metrics: &tee,
                 parallelism: self.options.invoke_parallelism,
+                degrade: self.options.degrade,
             };
             tick_node(&mut self.root, &mut ctx)
         };
@@ -350,7 +357,9 @@ impl ContinuousQuery {
 
     /// Run `n` ticks, collecting reports.
     pub fn run(&mut self, invoker: &dyn Invoker, n: u64) -> Vec<TickReport> {
-        (0..n).map(|_| self.tick(invoker)).collect()
+        (0..n)
+            .map(|_| self.tick_with(invoker, &NoopMetrics))
+            .collect()
     }
 
     /// Snapshot the current instantaneous result as an [`XRelation`]
@@ -716,19 +725,36 @@ fn tick_node_inner(node: &mut NodeKind, ctx: &mut Ctx<'_>, obs: &mut OpObservati
             let mut batch = Vec::new();
             for ((t, count), outcome) in entries.into_iter().zip(outcomes) {
                 obs.invocations += 1;
+                let emit = |outputs: Vec<Tuple>, batch: &mut Vec<Tuple>| {
+                    for o in outputs {
+                        for _ in 0..count {
+                            batch.push(o.clone());
+                        }
+                    }
+                };
                 match outcome.and_then(|call| call.result) {
                     Ok(results) => {
                         let mut outputs = Vec::new();
                         recipe.assemble_into(t, &results, &mut outputs);
-                        for o in outputs {
-                            for _ in 0..count {
-                                batch.push(o.clone());
-                            }
-                        }
+                        emit(outputs, &mut batch);
                     }
                     Err(e) => {
                         obs.failures += 1;
-                        ctx.errors.push(e);
+                        match ctx.degrade {
+                            DegradePolicy::FailQuery => ctx.errors.push(e),
+                            DegradePolicy::DropTuple => obs.degraded += 1,
+                            DegradePolicy::NullFill => {
+                                obs.degraded += 1;
+                                let mut outputs = Vec::new();
+                                let filler = recipe.null_fill_row();
+                                recipe.assemble_into(
+                                    t,
+                                    std::slice::from_ref(&filler),
+                                    &mut outputs,
+                                );
+                                emit(outputs, &mut batch);
+                            }
+                        }
                     }
                 }
             }
@@ -938,8 +964,34 @@ fn apply_invoke(
                     }
                     Err(e) => {
                         obs.failures += 1;
-                        ctx.errors.push(e);
-                        // failed invocation: tuple contributes nothing this tick
+                        match ctx.degrade {
+                            DegradePolicy::FailQuery => {
+                                // failed invocation: tuple contributes
+                                // nothing this tick, error surfaces
+                                ctx.errors.push(e);
+                            }
+                            DegradePolicy::DropTuple => {
+                                // degraded: silently dropped, not cached —
+                                // a later re-insertion retries the service
+                                obs.degraded += 1;
+                            }
+                            DegradePolicy::NullFill => {
+                                obs.degraded += 1;
+                                let mut outputs = Vec::new();
+                                let filler = recipe.null_fill_row();
+                                recipe.assemble_into(
+                                    t,
+                                    std::slice::from_ref(&filler),
+                                    &mut outputs,
+                                );
+                                for o in &outputs {
+                                    out.inserts.insert(o.clone(), c);
+                                }
+                                // cache the filler extension so a later
+                                // deletion retracts exactly what was emitted
+                                cache.insert(t.clone(), CacheEntry { count: c, outputs });
+                            }
+                        }
                     }
                 }
             }
@@ -991,11 +1043,11 @@ mod tests {
 
         table.insert(tuple![5, "small"]);
         table.insert(tuple![20, "big"]);
-        let r = q.tick(&reg);
+        let r = q.tick_with(&reg, &NoopMetrics);
         assert_eq!(r.delta.inserts.sorted_occurrences(), vec![tuple!["big"]]);
 
         table.delete(tuple![20, "big"]);
-        let r = q.tick(&reg);
+        let r = q.tick_with(&reg, &NoopMetrics);
         assert_eq!(r.delta.deletes.sorted_occurrences(), vec![tuple!["big"]]);
         assert!(q.current_relation().unwrap().is_empty());
     }
@@ -1010,22 +1062,22 @@ mod tests {
         let reg = example_registry();
 
         push.push(tuple![1]);
-        let r = q.tick(&reg); // window {1}
+        let r = q.tick_with(&reg, &NoopMetrics); // window {1}
         assert_eq!(r.delta.inserts.len(), 1);
 
         push.push(tuple![2]);
-        let r = q.tick(&reg); // window {1, 2}
+        let r = q.tick_with(&reg, &NoopMetrics); // window {1, 2}
         assert_eq!(r.delta.inserts.len(), 1);
         assert!(r.delta.deletes.is_empty());
 
         push.push(tuple![3]);
-        let r = q.tick(&reg); // window {2, 3}; 1 expires
+        let r = q.tick_with(&reg, &NoopMetrics); // window {2, 3}; 1 expires
         assert_eq!(r.delta.inserts.sorted_occurrences(), vec![tuple![3]]);
         assert_eq!(r.delta.deletes.sorted_occurrences(), vec![tuple![1]]);
 
-        let r = q.tick(&reg); // window {3}; 2 expires
+        let r = q.tick_with(&reg, &NoopMetrics); // window {3}; 2 expires
         assert_eq!(r.delta.deletes.sorted_occurrences(), vec![tuple![2]]);
-        let r = q.tick(&reg); // window {}; 3 expires
+        let r = q.tick_with(&reg, &NoopMetrics); // window {}; 3 expires
         assert_eq!(r.delta.deletes.sorted_occurrences(), vec![tuple![3]]);
         assert!(q.current_relation().unwrap().is_empty());
     }
@@ -1040,11 +1092,11 @@ mod tests {
         let reg = example_registry();
 
         table.insert(tuple![1]);
-        assert_eq!(q.tick(&reg).batch, vec![tuple![1]]);
+        assert_eq!(q.tick_with(&reg, &NoopMetrics).batch, vec![tuple![1]]);
         // no change → empty batch
-        assert!(q.tick(&reg).batch.is_empty());
+        assert!(q.tick_with(&reg, &NoopMetrics).batch.is_empty());
         table.delete(tuple![1]);
-        assert!(q.tick(&reg).batch.is_empty()); // deletions invisible to S[insertion]
+        assert!(q.tick_with(&reg, &NoopMetrics).batch.is_empty()); // deletions invisible to S[insertion]
     }
 
     #[test]
@@ -1056,10 +1108,10 @@ mod tests {
         let mut q = ContinuousQuery::compile(&plan, &mut sources).unwrap();
         let reg = example_registry();
         table.insert(tuple![1]);
-        assert_eq!(q.tick(&reg).batch.len(), 1);
-        assert_eq!(q.tick(&reg).batch.len(), 1); // repeated while present
+        assert_eq!(q.tick_with(&reg, &NoopMetrics).batch.len(), 1);
+        assert_eq!(q.tick_with(&reg, &NoopMetrics).batch.len(), 1); // repeated while present
         table.delete(tuple![1]);
-        assert!(q.tick(&reg).batch.is_empty());
+        assert!(q.tick_with(&reg, &NoopMetrics).batch.is_empty());
     }
 
     #[test]
@@ -1086,18 +1138,18 @@ mod tests {
         let reg = example_registry();
 
         left.insert(tuple![1, "x"]);
-        let r1 = q.tick(&reg);
+        let r1 = q.tick_with(&reg, &NoopMetrics);
         assert!(r1.delta.is_empty()); // no right match yet
 
         right.insert(tuple![1, "y"]);
-        let r2 = q.tick(&reg);
+        let r2 = q.tick_with(&reg, &NoopMetrics);
         assert_eq!(
             r2.delta.inserts.sorted_occurrences(),
             vec![tuple![1, "x", "y"]]
         );
 
         left.delete(tuple![1, "x"]);
-        let r3 = q.tick(&reg);
+        let r3 = q.tick_with(&reg, &NoopMetrics);
         assert_eq!(
             r3.delta.deletes.sorted_occurrences(),
             vec![tuple![1, "x", "y"]]
@@ -1116,15 +1168,15 @@ mod tests {
         let counting = serena_core::eval::CountingInvoker::new(&reg);
 
         table.insert(tuple![Value::service("sensor01"), "corridor"]);
-        q.tick(&counting);
+        q.tick_with(&counting, &NoopMetrics);
         assert_eq!(counting.count_of("getTemperature"), 1);
         // stable table → no further invocations despite more ticks
-        q.tick(&counting);
-        q.tick(&counting);
+        q.tick_with(&counting, &NoopMetrics);
+        q.tick_with(&counting, &NoopMetrics);
         assert_eq!(counting.count_of("getTemperature"), 1);
         // new sensor → exactly one more invocation
         table.insert(tuple![Value::service("sensor06"), "office"]);
-        q.tick(&counting);
+        q.tick_with(&counting, &NoopMetrics);
         assert_eq!(counting.count_of("getTemperature"), 2);
         let _ = ServiceRef::new("sensor01");
     }
@@ -1139,12 +1191,12 @@ mod tests {
         let reg = example_registry();
 
         table.insert(tuple![Value::service("sensor01"), "corridor"]);
-        let r = q.tick(&reg);
+        let r = q.tick_with(&reg, &NoopMetrics);
         let produced = r.delta.inserts.sorted_occurrences();
         assert_eq!(produced.len(), 1);
 
         table.delete(tuple![Value::service("sensor01"), "corridor"]);
-        let r = q.tick(&reg);
+        let r = q.tick_with(&reg, &NoopMetrics);
         // the retracted tuple is exactly the cached extension (same value,
         // even though the *current* instant would read differently)
         assert_eq!(r.delta.deletes.sorted_occurrences(), produced);
@@ -1162,7 +1214,7 @@ mod tests {
 
         table.insert(tuple![Value::service("deadbeef"), "void"]);
         table.insert(tuple![Value::service("sensor01"), "corridor"]);
-        let r = q.tick(&reg);
+        let r = q.tick_with(&reg, &NoopMetrics);
         assert_eq!(r.errors.len(), 1);
         assert_eq!(r.delta.inserts.len(), 1); // the healthy sensor got through
     }
@@ -1186,13 +1238,13 @@ mod tests {
         let mut q = ContinuousQuery::compile(&plan, &mut sources).unwrap();
         let reg = example_registry();
 
-        q.tick(&reg); // window {20} → mean 20
+        q.tick_with(&reg, &NoopMetrics); // window {20} → mean 20
         let rel = q.current_relation().unwrap();
         assert!(rel.contains(&tuple!["office", 20.0]));
-        q.tick(&reg); // window {20, 21} → mean 20.5
+        q.tick_with(&reg, &NoopMetrics); // window {20, 21} → mean 20.5
         let rel = q.current_relation().unwrap();
         assert!(rel.contains(&tuple!["office", 20.5]));
-        q.tick(&reg); // window {21, 22} → mean 21.5
+        q.tick_with(&reg, &NoopMetrics); // window {21, 22} → mean 21.5
         let rel = q.current_relation().unwrap();
         assert!(rel.contains(&tuple!["office", 21.5]));
     }
@@ -1209,10 +1261,10 @@ mod tests {
         let reg = example_registry();
         a.insert(tuple![1]);
         a.insert(tuple![2]);
-        q.tick(&reg);
+        q.tick_with(&reg, &NoopMetrics);
         assert_eq!(q.current_relation().unwrap().len(), 2);
         b.insert(tuple![1]);
-        let r = q.tick(&reg);
+        let r = q.tick_with(&reg, &NoopMetrics);
         assert_eq!(r.delta.deletes.sorted_occurrences(), vec![tuple![1]]);
         assert_eq!(q.current_relation().unwrap().len(), 1);
     }
@@ -1245,7 +1297,7 @@ mod tests {
 
         let mut total_actions = 0;
         for t in 0..6 {
-            let r = q.tick(&reg);
+            let r = q.tick_with(&reg, &NoopMetrics);
             if t == 3 {
                 // 3 contacts × 1 hot reading
                 assert_eq!(r.actions.len(), 3, "tick {t}");
@@ -1277,14 +1329,14 @@ mod tests {
         let reg = example_registry();
 
         // τ0: sample (2 sensors); τ1: quiet; τ2: sample again
-        assert_eq!(q.tick(&reg).batch.len(), 2);
-        assert_eq!(q.tick(&reg).batch.len(), 0);
-        let b2 = q.tick(&reg).batch;
+        assert_eq!(q.tick_with(&reg, &NoopMetrics).batch.len(), 2);
+        assert_eq!(q.tick_with(&reg, &NoopMetrics).batch.len(), 0);
+        let b2 = q.tick_with(&reg, &NoopMetrics).batch;
         assert_eq!(b2.len(), 2);
         // new sensor joins → next sampling includes it
         table.insert(tuple![Value::service("sensor22"), "roof"]);
-        assert_eq!(q.tick(&reg).batch.len(), 0); // τ3 off-period
-        assert_eq!(q.tick(&reg).batch.len(), 3); // τ4
+        assert_eq!(q.tick_with(&reg, &NoopMetrics).batch.len(), 0); // τ3 off-period
+        assert_eq!(q.tick_with(&reg, &NoopMetrics).batch.len(), 3); // τ4
     }
 
     #[test]
@@ -1320,7 +1372,7 @@ mod tests {
         );
         let plan = StreamPlan::source("sensors").sample_invoke("getTemperature", "sensor", 1);
         let mut q = ContinuousQuery::compile(&plan, &mut sources).unwrap();
-        let r = q.tick(&example_registry());
+        let r = q.tick_with(&example_registry(), &NoopMetrics);
         assert_eq!(r.batch.len(), 1);
         assert_eq!(r.errors.len(), 1);
     }
@@ -1343,7 +1395,7 @@ mod tests {
         let mut q = ContinuousQuery::compile(&plan, &mut sources).unwrap();
         assert!(!q.schema().infinite);
         let reg = example_registry();
-        let r = q.tick(&reg);
+        let r = q.tick_with(&reg, &NoopMetrics);
         assert_eq!(r.delta.inserts.len(), 1);
     }
 
@@ -1360,32 +1412,32 @@ mod tests {
 
         // a brand-new tuple is a cache miss → one live invocation
         table.insert(tuple![Value::service("sensor01"), "corridor"]);
-        let r = q.tick(&reg);
+        let r = q.tick_with(&reg, &NoopMetrics);
         let s = r.stats.node(beta).unwrap();
         assert_eq!(s.op, OpKind::Invoke);
         assert_eq!((s.cache_misses, s.cache_hits, s.invocations), (1, 0, 1));
         assert_eq!(r.stats.node(NodeId(1)).unwrap().op, OpKind::Relation);
 
         // a quiet tick records the node with all-zero counters
-        let r = q.tick(&reg);
+        let r = q.tick_with(&reg, &NoopMetrics);
         let s = r.stats.node(beta).unwrap();
         assert_eq!((s.cache_misses, s.cache_hits, s.invocations), (0, 0, 0));
 
         // re-inserting the same tuple (still cached) is a hit — no call
         table.insert(tuple![Value::service("sensor01"), "corridor"]);
-        let r = q.tick(&reg);
+        let r = q.tick_with(&reg, &NoopMetrics);
         let s = r.stats.node(beta).unwrap();
         assert_eq!((s.cache_misses, s.cache_hits, s.invocations), (0, 1, 0));
 
         // a different tuple is a miss again
         table.insert(tuple![Value::service("sensor06"), "office"]);
-        let r = q.tick(&reg);
+        let r = q.tick_with(&reg, &NoopMetrics);
         let s = r.stats.node(beta).unwrap();
         assert_eq!((s.cache_misses, s.cache_hits, s.invocations), (1, 0, 1));
 
         // a failed invocation is counted as miss + failure, no output
         table.insert(tuple![Value::service("ghost"), "void"]);
-        let r = q.tick(&reg);
+        let r = q.tick_with(&reg, &NoopMetrics);
         let s = r.stats.node(beta).unwrap();
         assert_eq!((s.cache_misses, s.failures, s.invocations), (1, 1, 1));
         assert_eq!(r.errors.len(), 1);
@@ -1398,7 +1450,10 @@ mod tests {
     #[test]
     fn batched_beta_stats_identical_across_parallelism() {
         use serena_core::metrics::NodeStats;
-        fn run(parallelism: usize) -> Vec<std::collections::BTreeMap<NodeId, NodeStats>> {
+        fn run(
+            parallelism: usize,
+            degrade: DegradePolicy,
+        ) -> Vec<std::collections::BTreeMap<NodeId, NodeStats>> {
             let mut sources = SourceSet::new();
             let table = TableHandle::new(serena_core::schema::examples::sensors_schema());
             sources.add_table("sensors", table.clone());
@@ -1406,7 +1461,7 @@ mod tests {
             let mut q = ContinuousQuery::compile_with_options(
                 &plan,
                 &mut sources,
-                ExecOptions::parallel(parallelism),
+                ExecOptions::parallel(parallelism).with_degrade(degrade),
             )
             .unwrap();
             let reg = example_registry();
@@ -1422,60 +1477,120 @@ mod tests {
             ] {
                 table.insert(tuple![Value::service(sref), loc]);
             }
-            per_tick.push(q.tick(&reg).stats.nodes());
+            per_tick.push(q.tick_with(&reg, &NoopMetrics).stats.nodes());
             // tick 1: re-insert a cached tuple (hit) + one new miss
             table.insert(tuple![Value::service("sensor01"), "corridor"]);
             table.insert(tuple![Value::service("sensor22"), "kitchen"]);
-            per_tick.push(q.tick(&reg).stats.nodes());
+            per_tick.push(q.tick_with(&reg, &NoopMetrics).stats.nodes());
             // tick 2: quiet
-            per_tick.push(q.tick(&reg).stats.nodes());
+            per_tick.push(q.tick_with(&reg, &NoopMetrics).stats.nodes());
             per_tick
         }
 
-        let serial = run(1);
+        let serial = run(1, DegradePolicy::FailQuery);
         // sanity: the scenario exercises every counter we compare
         let beta0 = &serial[0][&NodeId(0)];
         assert_eq!((beta0.cache_misses, beta0.failures), (5, 2));
         let beta1 = &serial[1][&NodeId(0)];
         assert_eq!((beta1.cache_hits, beta1.cache_misses), (1, 1));
+        // and the degrading policies account every failure as degraded
+        let dropped = run(1, DegradePolicy::DropTuple);
+        assert_eq!(dropped[0][&NodeId(0)].degraded, 2);
 
-        for workers in [1usize, 8] {
-            let batched = run(workers);
-            assert_eq!(batched.len(), serial.len());
-            for (tick, (a, b)) in serial.iter().zip(&batched).enumerate() {
-                assert_eq!(
-                    a.keys().collect::<Vec<_>>(),
-                    b.keys().collect::<Vec<_>>(),
-                    "node set diverged at tick {tick} (workers={workers})"
-                );
-                for (id, sa) in a {
-                    let sb = &b[id];
+        for degrade in [
+            DegradePolicy::FailQuery,
+            DegradePolicy::DropTuple,
+            DegradePolicy::NullFill,
+        ] {
+            let serial = run(1, degrade);
+            for workers in [1usize, 8] {
+                let batched = run(workers, degrade);
+                assert_eq!(batched.len(), serial.len());
+                for (tick, (a, b)) in serial.iter().zip(&batched).enumerate() {
                     assert_eq!(
-                        (
-                            sa.op,
-                            sa.applications,
-                            sa.tuples_in,
-                            sa.tuples_out,
-                            sa.invocations,
-                            sa.cache_hits,
-                            sa.cache_misses,
-                            sa.failures
-                        ),
-                        (
-                            sb.op,
-                            sb.applications,
-                            sb.tuples_in,
-                            sb.tuples_out,
-                            sb.invocations,
-                            sb.cache_hits,
-                            sb.cache_misses,
-                            sb.failures
-                        ),
-                        "node {id} diverged at tick {tick} (workers={workers})"
+                        a.keys().collect::<Vec<_>>(),
+                        b.keys().collect::<Vec<_>>(),
+                        "node set diverged at tick {tick} (workers={workers})"
                     );
+                    for (id, sa) in a {
+                        let sb = &b[id];
+                        assert_eq!(
+                            (
+                                sa.op,
+                                sa.applications,
+                                sa.tuples_in,
+                                sa.tuples_out,
+                                sa.invocations,
+                                sa.cache_hits,
+                                sa.cache_misses,
+                                sa.failures,
+                                sa.degraded
+                            ),
+                            (
+                                sb.op,
+                                sb.applications,
+                                sb.tuples_in,
+                                sb.tuples_out,
+                                sb.invocations,
+                                sb.cache_hits,
+                                sb.cache_misses,
+                                sb.failures,
+                                sb.degraded
+                            ),
+                            "node {id} diverged at tick {tick} \
+                             (workers={workers}, degrade={degrade:?})"
+                        );
+                    }
                 }
             }
         }
+    }
+
+    /// Tentpole: β degradation in the incremental executor. `DropTuple`
+    /// suppresses the error and contributes nothing; `NullFill` emits (and
+    /// caches) a type-default filler extension so a later deletion retracts
+    /// exactly what was emitted.
+    #[test]
+    fn degrade_policies_shape_stream_deltas() {
+        fn query(degrade: DegradePolicy) -> (TableHandle, ContinuousQuery) {
+            let mut sources = SourceSet::new();
+            let table = TableHandle::new(serena_core::schema::examples::sensors_schema());
+            sources.add_table("sensors", table.clone());
+            let plan = StreamPlan::source("sensors").invoke("getTemperature", "sensor");
+            let q = ContinuousQuery::compile_with_options(
+                &plan,
+                &mut sources,
+                ExecOptions::default().with_degrade(degrade),
+            )
+            .unwrap();
+            (table, q)
+        }
+        let reg = example_registry();
+
+        // DropTuple: the dead sensor vanishes, the healthy one survives.
+        let (table, mut q) = query(DegradePolicy::DropTuple);
+        table.insert(tuple![Value::service("sensor01"), "corridor"]);
+        table.insert(tuple![Value::service("ghost"), "void"]);
+        let r = q.tick_with(&reg, &NoopMetrics);
+        assert!(r.errors.is_empty());
+        assert_eq!(r.delta.inserts.len(), 1);
+        let s = r.stats.node(NodeId(0)).unwrap();
+        assert_eq!((s.failures, s.degraded), (1, 1));
+
+        // NullFill: the dead sensor yields a type-default extension…
+        let (table, mut q) = query(DegradePolicy::NullFill);
+        table.insert(tuple![Value::service("ghost"), "void"]);
+        let r = q.tick_with(&reg, &NoopMetrics);
+        assert!(r.errors.is_empty());
+        let filler = tuple![Value::service("ghost"), "void", 0.0];
+        assert_eq!(r.delta.inserts.iter().collect::<Vec<_>>(), [(&filler, 1)]);
+        assert_eq!(r.stats.node(NodeId(0)).unwrap().degraded, 1);
+
+        // …which is cached: deleting the input retracts the filler exactly.
+        table.delete(tuple![Value::service("ghost"), "void"]);
+        let r = q.tick_with(&reg, &NoopMetrics);
+        assert!(r.errors.is_empty());
+        assert_eq!(r.delta.deletes.iter().collect::<Vec<_>>(), [(&filler, 1)]);
     }
 
     #[test]
@@ -1528,7 +1643,7 @@ mod tests {
         let reg = example_registry();
 
         for t in 0..5 {
-            let r = q.tick(&reg);
+            let r = q.tick_with(&reg, &NoopMetrics);
             if t == 2 {
                 // two cameras cover "office" (camera01, webcam07)
                 assert_eq!(r.batch.len(), 2, "tick {t}");

@@ -17,6 +17,7 @@
 //!
 //! ```
 //! use serena_core::formula::Formula;
+//! use serena_core::metrics::NoopMetrics;
 //! use serena_core::schema::XSchema;
 //! use serena_core::service::fixtures::example_registry;
 //! use serena_core::tuple;
@@ -42,7 +43,7 @@
 //!
 //! let registry = example_registry();
 //! push.push(tuple!["office", 40.0]);
-//! let report = query.tick(&registry);
+//! let report = query.tick_with(&registry, &NoopMetrics);
 //! assert_eq!(report.delta.inserts.len(), 1);
 //! ```
 

@@ -46,7 +46,7 @@ const PROGRAM: &str = "
 ";
 
 fn main() {
-    let mut pems = Pems::new(BusConfig::instant());
+    let mut pems = Pems::builder().bus(BusConfig::instant()).build();
     // bind the declared messenger services to simulated implementations
     for kind in [MessengerKind::Email, MessengerKind::Jabber] {
         let (svc, _outbox) = SimMessenger::new(kind).into_service();

@@ -19,7 +19,7 @@ use serena::services::bus::BusConfig;
 use serena::services::faults::{FaultPolicy, FaultyService};
 
 fn main() {
-    let mut pems = Pems::new(BusConfig::instant());
+    let mut pems = Pems::builder().bus(BusConfig::instant()).build();
     pems.run_program(
         "PROTOTYPE getTemperature( ) : ( temperature REAL );
          EXTENDED RELATION sensors (

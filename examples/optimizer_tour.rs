@@ -13,7 +13,7 @@
 use std::collections::BTreeMap;
 
 use serena::core::env::examples::example_environment;
-use serena::core::eval::{evaluate, CountingInvoker};
+use serena::core::eval::CountingInvoker;
 use serena::core::plan::examples::{q1_prime, q2, q2_prime};
 use serena::core::prelude::*;
 use serena::core::rewrite::{estimate, optimize, CostParams};
@@ -35,7 +35,9 @@ fn main() {
 
     let count = |plan: &Plan| {
         let counter = CountingInvoker::new(&registry);
-        evaluate(plan, &env, &counter, Instant::ZERO).expect("evaluates");
+        ExecContext::new(&env, &counter, Instant::ZERO)
+            .execute(plan)
+            .expect("evaluates");
         counter.snapshot()
     };
     println!("\ninvocations (naive)     : {:?}", count(&naive));
@@ -58,8 +60,12 @@ fn main() {
     println!("\nQ1' = {q1p}");
     let report = optimize(&q1p, &env);
     println!("optimized Q1' = {}", report.plan);
-    let before = evaluate(&q1p, &env, &registry, Instant::ZERO).unwrap();
-    let after = evaluate(&report.plan, &env, &registry, Instant::ZERO).unwrap();
+    let before = ExecContext::new(&env, &registry, Instant::ZERO)
+        .execute(&q1p)
+        .unwrap();
+    let after = ExecContext::new(&env, &registry, Instant::ZERO)
+        .execute(&report.plan)
+        .unwrap();
     assert_eq!(before.actions, after.actions);
     println!(
         "action set unchanged ({} messages — Carla is still messaged, exactly as Q1' demands)",

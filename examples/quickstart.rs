@@ -26,7 +26,9 @@ fn main() {
     // Q1: send "Bonjour!" to every contact except Carla.
     let q1 = q1();
     println!("Q1  = {q1}");
-    let out = evaluate(&q1, &env, &registry, Instant::ZERO).expect("Q1 evaluates");
+    let out = ExecContext::new(&env, &registry, Instant::ZERO)
+        .execute(&q1)
+        .expect("Q1 evaluates");
     println!(
         "result ({} tuples):\n{}",
         out.relation.len(),
@@ -37,7 +39,9 @@ fn main() {
     // Q2: photograph the office with quality ≥ 5.
     let q2 = q2();
     println!("Q2  = {q2}");
-    let out = evaluate(&q2, &env, &registry, Instant(1)).expect("Q2 evaluates");
+    let out = ExecContext::new(&env, &registry, Instant(1))
+        .execute(&q2)
+        .expect("Q2 evaluates");
     println!(
         "result ({} tuples):\n{}",
         out.relation.len(),

@@ -47,7 +47,7 @@ fn main() {
             sensors.insert(tuple![Value::service("sensor22"), "roof"]);
             println!("τ=5 >>> sensor22 (roof) inserted into the sensors table");
         }
-        let report = query.tick(&registry);
+        let report = query.tick_with(&registry, &NoopMetrics);
         for tup in report.delta.inserts.sorted_occurrences() {
             println!("τ={t}  + hot reading {tup}");
         }

@@ -39,7 +39,9 @@
 //!
 //! let env = example_environment();
 //! let registry = example_registry();
-//! let out = evaluate(&q1, &env, &registry, Instant::ZERO).unwrap();
+//! let out = ExecContext::new(&env, &registry, Instant::ZERO)
+//!     .execute(&q1)
+//!     .unwrap();
 //! assert_eq!(out.actions.len(), 2); // the action set of Example 6
 //! ```
 
@@ -55,6 +57,10 @@ pub use serena_stream as stream;
 pub mod prelude {
     pub use serena_core::prelude::*;
     pub use serena_pems::{ExecOutcome, ExplainAnalyze, Pems, PemsBuilder, PemsError, QueryStats};
+    pub use serena_services::{
+        BreakerState, HealthStatus, HealthTracker, ResilienceCounters, ResiliencePolicy,
+        ResilienceState, ResilientInvoker, ResilientLayer, ServiceHealth,
+    };
     pub use serena_stream::{
         ContinuousQuery, SourceSet, StreamKind, StreamPlan, TableHandle, TickReport,
     };

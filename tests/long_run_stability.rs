@@ -67,7 +67,7 @@ fn invocation_cache_retracts_under_sensor_churn() {
     use serena::pems::Pems;
     use serena::services::bus::BusConfig;
 
-    let mut pems = Pems::new(BusConfig::instant());
+    let mut pems = Pems::builder().bus(BusConfig::instant()).build();
     pems.run_program(
         "PROTOTYPE getTemperature( ) : ( temperature REAL );
          EXTENDED RELATION sensors (

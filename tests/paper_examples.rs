@@ -7,7 +7,6 @@
 
 use serena::core::env::examples::example_environment;
 use serena::core::equiv::{check_at, check_over_instants};
-use serena::core::eval::evaluate;
 use serena::core::plan::examples::{q1, q1_prime, q2, q2_prime};
 use serena::core::prelude::*;
 use serena::core::service::fixtures::example_registry;
@@ -108,7 +107,9 @@ fn example_6_action_sets() {
     let env = example_environment();
     let reg = example_registry();
 
-    let out = evaluate(&q1(), &env, &reg, Instant::ZERO).unwrap();
+    let out = ExecContext::new(&env, &reg, Instant::ZERO)
+        .execute(&q1())
+        .unwrap();
     let rendered: Vec<String> = out.actions.iter().map(|a| a.to_string()).collect();
     assert_eq!(
         rendered,
@@ -118,7 +119,9 @@ fn example_6_action_sets() {
         ]
     );
 
-    let out = evaluate(&q1_prime(), &env, &reg, Instant::ZERO).unwrap();
+    let out = ExecContext::new(&env, &reg, Instant::ZERO)
+        .execute(&q1_prime())
+        .unwrap();
     let rendered: Vec<String> = out.actions.iter().map(|a| a.to_string()).collect();
     assert_eq!(
         rendered,
@@ -152,12 +155,20 @@ fn example_7_equivalence_verdicts() {
 fn time_dependence_and_instant_determinism() {
     let env = example_environment();
     let reg = example_registry();
-    let a = evaluate(&q2(), &env, &reg, Instant(2)).unwrap();
-    let b = evaluate(&q2(), &env, &reg, Instant(2)).unwrap();
+    let a = ExecContext::new(&env, &reg, Instant(2))
+        .execute(&q2())
+        .unwrap();
+    let b = ExecContext::new(&env, &reg, Instant(2))
+        .execute(&q2())
+        .unwrap();
     assert_eq!(a.relation, b.relation);
     let differs = (0..6).any(|t| {
-        let x = evaluate(&q2(), &env, &reg, Instant(t)).unwrap();
-        let y = evaluate(&q2(), &env, &reg, Instant(t + 1)).unwrap();
+        let x = ExecContext::new(&env, &reg, Instant(t))
+            .execute(&q2())
+            .unwrap();
+        let y = ExecContext::new(&env, &reg, Instant(t + 1))
+            .execute(&q2())
+            .unwrap();
         x.relation != y.relation
     });
     assert!(differs, "photo quality varies over time by construction");
@@ -200,7 +211,9 @@ fn example_8_continuous_queries() {
     let mut q3 = ContinuousQuery::compile(&q3(), &mut sources).unwrap();
     assert!(!q3.schema().infinite, "Q3's result is finite (ends in β)");
     let reg = example_registry();
-    let actions: Vec<usize> = (0..4).map(|_| q3.tick(&reg).actions.len()).collect();
+    let actions: Vec<usize> = (0..4)
+        .map(|_| q3.tick_with(&reg, &NoopMetrics).actions.len())
+        .collect();
     assert_eq!(actions, vec![0, 0, 3, 0]);
 
     // Q4: cold at τ=1 → photos from the office cameras
@@ -225,7 +238,9 @@ fn example_8_continuous_queries() {
     );
     let mut q4 = ContinuousQuery::compile(&q4(), &mut sources).unwrap();
     assert!(q4.schema().infinite, "Q4's result is a stream (ends in S)");
-    let batches: Vec<usize> = (0..4).map(|_| q4.tick(&reg).batch.len()).collect();
+    let batches: Vec<usize> = (0..4)
+        .map(|_| q4.tick_with(&reg, &NoopMetrics).batch.len())
+        .collect();
     assert_eq!(batches, vec![0, 2, 0, 0]); // camera01 + webcam07 cover office
 }
 

@@ -87,7 +87,7 @@ fn discovery_latency_delays_stream_membership() {
 
 #[test]
 fn failing_sensor_degrades_gracefully() {
-    let mut pems = Pems::new(BusConfig::instant());
+    let mut pems = Pems::builder().bus(BusConfig::instant()).build();
     pems.run_program(
         "PROTOTYPE getTemperature( ) : ( temperature REAL );
          EXTENDED RELATION sensors (
@@ -142,7 +142,7 @@ fn rss_scenario_against_generator_oracle() {
 
 #[test]
 fn one_shot_queries_coexist_with_continuous_ones() {
-    let mut pems = Pems::new(BusConfig::instant());
+    let mut pems = Pems::builder().bus(BusConfig::instant()).build();
     let (svc, outbox) = SimMessenger::new(MessengerKind::Email).into_service();
     pems.registry().register("email", svc);
     pems.run_program(
@@ -177,7 +177,7 @@ fn one_shot_queries_coexist_with_continuous_ones() {
 fn service_replacement_changes_behaviour_not_schema() {
     // swap a sensor implementation under the same reference mid-query: the
     // query keeps running, values change — services are bound late (§2.1).
-    let mut pems = Pems::new(BusConfig::instant());
+    let mut pems = Pems::builder().bus(BusConfig::instant()).build();
     pems.run_program(
         "PROTOTYPE getTemperature( ) : ( temperature REAL );
          EXTENDED RELATION sensors (

@@ -67,7 +67,8 @@ fn compiled_parallel_matches_reference_evaluator() {
         let physical = PhysicalPlan::compile(&plan, &env)
             .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
         for t in 0..=5u64 {
-            let reference = evaluate(&plan, &env, &reg, Instant(t))
+            let reference = ExecContext::new(&env, &reg, Instant(t))
+                .execute(&plan)
                 .unwrap_or_else(|e| panic!("{name} reference failed at t={t}: {e}"));
             for parallelism in [1usize, 4, 16] {
                 let ctx = ExecContext::new(&env, &reg, Instant(t))
@@ -163,6 +164,8 @@ fn counting_invoker_is_exact_under_concurrency() {
     assert_eq!(counting.count_of("getTemperature"), N as u64);
 
     // and the parallel result is still the serial result
-    let serial = evaluate(&plan, &env, &reg, Instant(1)).unwrap();
+    let serial = ExecContext::new(&env, &reg, Instant(1))
+        .execute(&plan)
+        .unwrap();
     assert_eq!(out.relation, serial.relation);
 }

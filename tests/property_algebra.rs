@@ -251,9 +251,13 @@ fn optimizer_never_increases_invocations() {
         }
         let optimized = optimize(&plan, &env).plan;
         let c_orig = serena::core::eval::CountingInvoker::new(&reg);
-        evaluate(&plan, &env, &c_orig, Instant::ZERO).unwrap();
+        ExecContext::new(&env, &c_orig, Instant::ZERO)
+            .execute(&plan)
+            .unwrap();
         let c_opt = serena::core::eval::CountingInvoker::new(&reg);
-        evaluate(&optimized, &env, &c_opt, Instant::ZERO).unwrap();
+        ExecContext::new(&env, &c_opt, Instant::ZERO)
+            .execute(&optimized)
+            .unwrap();
         assert!(
             c_opt.total() <= c_orig.total(),
             "optimization increased invocations: {} → {} for {plan}",

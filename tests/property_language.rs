@@ -224,7 +224,6 @@ fn parsers_never_panic_on_near_ddl() {
 /// SQL aggregates match the algebra's γ.
 #[test]
 fn sql_aggregate_matches_algebra() {
-    use serena::core::eval::evaluate;
     use serena::core::ops::{AggFun, AggSpec};
     let env = serena::core::env::examples::example_environment();
     let reg = serena::core::service::fixtures::example_registry();
@@ -243,7 +242,11 @@ fn sql_aggregate_matches_algebra() {
             ["location"],
             vec![AggSpec::new(AggFun::Avg, "temperature").named("mean")],
         );
-    let a = evaluate(&sql, &env, &reg, Instant(3)).unwrap();
-    let b = evaluate(&algebra, &env, &reg, Instant(3)).unwrap();
+    let a = ExecContext::new(&env, &reg, Instant(3))
+        .execute(&sql)
+        .unwrap();
+    let b = ExecContext::new(&env, &reg, Instant(3))
+        .execute(&algebra)
+        .unwrap();
     assert_eq!(a.relation, b.relation);
 }

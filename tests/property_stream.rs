@@ -74,7 +74,7 @@ fn continuous_select_equals_one_shot() {
                 Op::Delete(x, y) => table.delete(tuple![*x, *y]),
                 Op::TickOnly => {}
             }
-            let report = q.tick(&reg);
+            let report = q.tick_with(&reg, &NoopMetrics);
             // replaying deltas reconstructs the instantaneous state…
             let missing = replayed.apply(&report.delta);
             assert_eq!(missing, 0, "delta deleted tuples that were absent");
@@ -86,13 +86,9 @@ fn continuous_select_equals_one_shot() {
             let snapshot =
                 XRelation::from_tuples(int_schema(), table.snapshot().iter_occurrences().cloned());
             env.define_relation("t", snapshot).unwrap();
-            let one_shot = evaluate(
-                &serena::core::plan::Plan::relation("t").select(f.clone()),
-                &env,
-                &reg,
-                Instant::ZERO,
-            )
-            .unwrap();
+            let one_shot = ExecContext::new(&env, &reg, Instant::ZERO)
+                .execute(&serena::core::plan::Plan::relation("t").select(f.clone()))
+                .unwrap();
             assert_eq!(current, one_shot.relation);
         }
     }
@@ -120,7 +116,7 @@ fn window_contents_match_definition() {
             for &(x, y) in batch {
                 push.push(tuple![x, y]);
             }
-            q.tick(&reg);
+            q.tick_with(&reg, &NoopMetrics);
             // expected: the union of the last `period` batches
             let lo = (i + 1).saturating_sub(period as usize);
             let expected: Multiset = batches[lo..=i]
@@ -172,9 +168,9 @@ fn streaming_operators_echo_deltas() {
                 Op::Delete(x, y) => table.delete(tuple![*x, *y]),
                 Op::TickOnly => {}
             }
-            let r_raw = raw.tick(&reg);
-            let r_ins = ins.tick(&reg);
-            let r_hb = hb.tick(&reg);
+            let r_raw = raw.tick_with(&reg, &NoopMetrics);
+            let r_ins = ins.tick_with(&reg, &NoopMetrics);
+            let r_hb = hb.tick_with(&reg, &NoopMetrics);
             state.apply(&r_raw.delta);
             // S[insertion] batch == the finite node's insert delta
             let expected: Vec<Tuple> = r_raw.delta.inserts.sorted_occurrences();
@@ -226,7 +222,7 @@ fn incremental_join_consistency() {
                     Op::TickOnly => {}
                 }
             }
-            let report = q.tick(&reg);
+            let report = q.tick_with(&reg, &NoopMetrics);
             assert_eq!(replayed.apply(&report.delta), 0);
         }
         // recompute from scratch over the final snapshots
