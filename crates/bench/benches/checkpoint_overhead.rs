@@ -1,0 +1,222 @@
+//! Checkpoint overhead: what one snapshot of a steady-state runtime costs
+//! relative to one tick of the same runtime — the price of enabling
+//! per-tick recovery.
+//!
+//! ```sh
+//! cargo bench -p serena-bench --bench checkpoint_overhead
+//! ```
+//!
+//! Writes `BENCH_recovery.json` (override with `SERENA_BENCH_OUT`). When
+//! `SERENA_BENCH_ASSERT_OVERHEAD_PCT` is set (CI smoke), the process exits
+//! nonzero if snapshot encoding costs more than that percentage of a tick.
+
+use serena_bench::criterion_group;
+use serena_bench::harness::{take_records, BenchRecord, BenchmarkId, Criterion, Throughput};
+
+use serena_core::physical::ExecOptions;
+use serena_core::time::Instant;
+use serena_pems::pems::Pems;
+use serena_pems::recovery::RecoveryManager;
+use serena_services::bus::BusConfig;
+
+/// Window period of the hot query — the dominant snapshot payload (the
+/// ring holds `WINDOW` batches of `ROWS_PER_TICK` tuples at steady state).
+const WINDOW: u64 = 64;
+/// Tuples the deterministic stream emits per tick.
+const ROWS_PER_TICK: usize = 2;
+/// Sensors sampled live (βˢ, period 1) every tick — the paper's
+/// continuous-sensing workload, where per-tick service invocations
+/// dominate tick time.
+const SENSORS: usize = 16;
+
+/// A runtime in steady state: a windowed stream query whose ring is full,
+/// a β query whose cache holds every sensor, and a βˢ query re-sampling
+/// every sensor each tick.
+fn steady_pems() -> Pems {
+    use serena_core::service::fixtures;
+    let mut pems = Pems::builder()
+        .bus(BusConfig::instant())
+        .exec_options(ExecOptions::parallel(4))
+        .build();
+    let reg = pems.registry();
+    let mut inserts = String::new();
+    for i in 0..SENSORS {
+        reg.register(format!("s{i}"), fixtures::temperature_sensor(i as u64));
+        let sep = if i + 1 < SENSORS { "," } else { ";" };
+        inserts.push_str(&format!("('s{i}', 'room{i}'){sep}\n"));
+    }
+    pems.run_program(&format!(
+        "PROTOTYPE getTemperature( ) : ( temperature REAL );
+         EXTENDED RELATION sensors (
+           sensor SERVICE, location STRING, temperature REAL VIRTUAL
+         ) USING BINDING PATTERNS ( getTemperature[sensor] );
+         INSERT INTO sensors VALUES {inserts}"
+    ))
+    .expect("setup program");
+    let schema = serena_core::schema::XSchema::builder()
+        .real("location", serena_core::value::DataType::Str)
+        .real("temperature", serena_core::value::DataType::Real)
+        .build()
+        .expect("readings schema");
+    pems.tables_mut()
+        .define_stream_with("readings", schema, || {
+            Box::new(serena_stream::FnStream(|at: Instant| {
+                let t = at.ticks();
+                (0..ROWS_PER_TICK)
+                    .map(|i| {
+                        serena_core::tuple![format!("room{i}"), 10.0 + ((t + i as u64) % 17) as f64]
+                    })
+                    .collect()
+            }))
+        })
+        .expect("readings stream");
+    pems.register_query(
+        "hot",
+        &serena_stream::StreamPlan::source("readings").window(WINDOW),
+    )
+    .expect("hot query");
+    pems.register_query(
+        "temps",
+        &serena_stream::StreamPlan::source("sensors").invoke("getTemperature", "sensor"),
+    )
+    .expect("temps query");
+    pems.register_query(
+        "sampled",
+        &serena_stream::StreamPlan::source("sensors").sample_invoke("getTemperature", "sensor", 1),
+    )
+    .expect("sampled query");
+    // fill the window ring and warm the β cache
+    pems.run_ticks(WINDOW + 8);
+    pems
+}
+
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_overhead");
+    group.throughput(Throughput::Elements(ROWS_PER_TICK as u64));
+
+    let mut ticking = steady_pems();
+    group.bench_with_input(BenchmarkId::new("tick", "plain"), &(), |b, ()| {
+        b.iter(|| ticking.tick())
+    });
+
+    let frozen = steady_pems();
+    group.bench_with_input(BenchmarkId::new("checkpoint", "encode"), &(), |b, ()| {
+        b.iter(|| frozen.snapshot_bytes())
+    });
+
+    let dir = std::env::temp_dir().join(format!("serena-bench-ckpt-{}", std::process::id()));
+    let mut rm = RecoveryManager::new(&dir, 1);
+    let bytes = frozen.snapshot_bytes();
+    group.bench_with_input(BenchmarkId::new("checkpoint", "write"), &(), |b, ()| {
+        b.iter(|| rm.write(&bytes).expect("checkpoint write"))
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_overhead);
+
+fn find<'a>(records: &'a [BenchRecord], label: &str) -> &'a BenchRecord {
+    records
+        .iter()
+        .find(|r| r.label == label)
+        .unwrap_or_else(|| panic!("missing record {label}"))
+}
+
+/// The headline number: snapshot-encode cost as a percentage of tick cost,
+/// from interleaved batches (robust against clock/allocator drift), taken
+/// as the median of paired per-round ratios.
+fn interleaved_overhead_pct() -> (f64, f64, f64) {
+    const ROUNDS: usize = 60;
+    const PASSES: usize = 5;
+    let mut pems = steady_pems();
+    for _ in 0..PASSES * 4 {
+        pems.tick();
+        let _ = pems.snapshot_bytes();
+    }
+    let mut ratios = Vec::with_capacity(ROUNDS);
+    let mut tick_rounds = Vec::with_capacity(ROUNDS);
+    let mut snap_rounds = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let start = std::time::Instant::now();
+        for _ in 0..PASSES {
+            pems.tick();
+        }
+        let tick_ns = start.elapsed().as_nanos() as f64;
+        let start = std::time::Instant::now();
+        for _ in 0..PASSES {
+            let _ = pems.snapshot_bytes();
+        }
+        let snap_ns = start.elapsed().as_nanos() as f64;
+        ratios.push(snap_ns / tick_ns);
+        tick_rounds.push(tick_ns / PASSES as f64);
+        snap_rounds.push(snap_ns / PASSES as f64);
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    (
+        median(&mut ratios) * 100.0,
+        median(&mut tick_rounds),
+        median(&mut snap_rounds),
+    )
+}
+
+fn main() {
+    benches();
+    let records = take_records();
+
+    let tick = find(&records, "checkpoint_overhead/tick/plain");
+    let encode = find(&records, "checkpoint_overhead/checkpoint/encode");
+    let sequential_pct = encode.mean_ns as f64 / tick.mean_ns.max(1) as f64 * 100.0;
+    let (overhead_pct, tick_ns, snap_ns) = interleaved_overhead_pct();
+    let snapshot_len = steady_pems().snapshot_bytes().len();
+    println!(
+        "checkpoint encode vs tick (window={WINDOW}, {ROWS_PER_TICK} rows/tick, \
+         {SENSORS} sensors): {overhead_pct:.2}% interleaved \
+         ({tick_ns:.0} ns tick, {snap_ns:.0} ns snapshot, {snapshot_len} bytes; \
+         sequential: {sequential_pct:.2}%)"
+    );
+
+    // sanity: the snapshot really is a valid recovery point
+    let frozen = steady_pems();
+    let bytes = frozen.snapshot_bytes();
+    let mut recovered = steady_pems();
+    recovered
+        .restore_bytes(&bytes)
+        .expect("bench snapshot restores");
+    assert_eq!(recovered.clock(), frozen.clock());
+
+    let mut json = String::from("{\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 < records.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"mean_ns\": {}, \"best_ns\": {}}}{sep}\n",
+            r.label, r.mean_ns, r.best_ns
+        ));
+    }
+    json.push_str("  ]");
+    json.push_str(&format!(",\n  \"overhead_pct\": {overhead_pct:.3}"));
+    json.push_str(&format!(
+        ",\n  \"tick_ns_per_pass\": {tick_ns:.0},\n  \"snapshot_ns_per_pass\": {snap_ns:.0}"
+    ));
+    json.push_str(&format!(
+        ",\n  \"snapshot_bytes\": {snapshot_len},\n  \"window\": {WINDOW},\n  \
+         \"rows_per_tick\": {ROWS_PER_TICK},\n  \"sensors\": {SENSORS}\n}}\n"
+    ));
+
+    let path =
+        std::env::var("SERENA_BENCH_OUT").unwrap_or_else(|_| "BENCH_recovery.json".to_string());
+    std::fs::write(&path, json).expect("write bench results");
+    println!("wrote {path}");
+
+    if let Ok(bound) = std::env::var("SERENA_BENCH_ASSERT_OVERHEAD_PCT") {
+        let bound: f64 = bound.parse().expect("numeric overhead bound");
+        if overhead_pct > bound {
+            eprintln!("checkpoint overhead {overhead_pct:.2}% exceeds bound {bound}%");
+            std::process::exit(1);
+        }
+        println!("overhead within {bound}% bound");
+    }
+}

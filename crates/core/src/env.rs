@@ -170,14 +170,20 @@ pub mod examples {
     /// Environment with the 4 prototypes of Table 1 and the three example
     /// X-Relations (`contacts`, `cameras`, `sensors`).
     pub fn example_environment() -> Environment {
+        let fixture = "example environment is statically valid";
         let mut env = Environment::new();
-        env.declare_prototype(protos::send_message()).unwrap();
-        env.declare_prototype(protos::check_photo()).unwrap();
-        env.declare_prototype(protos::take_photo()).unwrap();
-        env.declare_prototype(protos::get_temperature()).unwrap();
-        env.define_relation("contacts", rels::contacts()).unwrap();
-        env.define_relation("cameras", rels::cameras()).unwrap();
-        env.define_relation("sensors", rels::sensors()).unwrap();
+        env.declare_prototype(protos::send_message())
+            .expect(fixture);
+        env.declare_prototype(protos::check_photo()).expect(fixture);
+        env.declare_prototype(protos::take_photo()).expect(fixture);
+        env.declare_prototype(protos::get_temperature())
+            .expect(fixture);
+        env.define_relation("contacts", rels::contacts())
+            .expect(fixture);
+        env.define_relation("cameras", rels::cameras())
+            .expect(fixture);
+        env.define_relation("sensors", rels::sensors())
+            .expect(fixture);
         env
     }
 }

@@ -310,6 +310,18 @@ pub enum EvalError {
         /// The prototype involved.
         prototype: String,
     },
+    /// The service implementation panicked during the invocation. The
+    /// panic was contained (`catch_unwind`) instead of aborting the
+    /// process; the payload, when it was a string, is carried as `reason`.
+    Panicked {
+        /// The service reference involved.
+        service: String,
+        /// The prototype involved.
+        prototype: String,
+        /// The panic payload, if it was a string (`"<non-string panic>"`
+        /// otherwise).
+        reason: String,
+    },
     /// A tuple's arity or value types disagree with the relation schema.
     TupleSchemaMismatch {
         /// The relation involved.
@@ -354,6 +366,14 @@ impl fmt::Display for EvalError {
             EvalError::DeadlineExceeded { service, prototype } => write!(
                 f,
                 "invocation of `{prototype}` on `{service}` exceeded its deadline"
+            ),
+            EvalError::Panicked {
+                service,
+                prototype,
+                reason,
+            } => write!(
+                f,
+                "invocation of `{prototype}` on `{service}` panicked: {reason}"
             ),
             EvalError::TupleSchemaMismatch { relation, detail } => {
                 write!(f, "tuple does not match schema of `{relation}`: {detail}")

@@ -48,6 +48,8 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod action;
 pub mod attr;
@@ -66,6 +68,7 @@ pub mod prototype;
 pub mod rewrite;
 pub mod schema;
 pub mod service;
+pub mod snapshot;
 pub mod sync;
 pub mod telemetry;
 pub mod time;

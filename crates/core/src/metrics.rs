@@ -163,6 +163,10 @@ pub struct OpObservation {
     /// [`DegradePolicy`](crate::ops::DegradePolicy): dropped or null-filled
     /// instead of failing the query (β/βˢ only).
     pub degraded: u64,
+    /// Invocations whose service implementation panicked; the panic was
+    /// contained and surfaced as
+    /// [`EvalError::Panicked`](crate::error::EvalError) (β/βˢ only).
+    pub panics: u64,
     /// Wall-clock self-time of the operator application (children
     /// excluded).
     pub elapsed: Duration,
@@ -181,6 +185,7 @@ impl OpObservation {
             cache_misses: 0,
             failures: 0,
             degraded: 0,
+            panics: 0,
             elapsed: Duration::ZERO,
         }
     }
@@ -235,6 +240,8 @@ pub struct NodeStats {
     pub failures: u64,
     /// Total degraded tuples (dropped or null-filled instead of failing).
     pub degraded: u64,
+    /// Total contained service panics.
+    pub panics: u64,
     /// Total wall-clock self-time.
     pub elapsed: Duration,
 }
@@ -251,6 +258,7 @@ impl NodeStats {
             cache_misses: 0,
             failures: 0,
             degraded: 0,
+            panics: 0,
             elapsed: Duration::ZERO,
         }
     }
@@ -264,6 +272,7 @@ impl NodeStats {
         self.cache_misses += obs.cache_misses;
         self.failures += obs.failures;
         self.degraded += obs.degraded;
+        self.panics += obs.panics;
         self.elapsed += obs.elapsed;
     }
 
@@ -276,6 +285,7 @@ impl NodeStats {
         self.cache_misses += other.cache_misses;
         self.failures += other.failures;
         self.degraded += other.degraded;
+        self.panics += other.panics;
         self.elapsed += other.elapsed;
     }
 
@@ -299,6 +309,9 @@ impl NodeStats {
         }
         if self.degraded > 0 {
             out.push_str(&format!(" degraded={}", self.degraded));
+        }
+        if self.panics > 0 {
+            out.push_str(&format!(" panics={}", self.panics));
         }
         out
     }
@@ -383,9 +396,67 @@ impl ExecStats {
         self.nodes.lock().values().map(|s| s.degraded).sum()
     }
 
+    /// Total contained service panics across all nodes.
+    pub fn total_panics(&self) -> u64 {
+        self.nodes.lock().values().map(|s| s.panics).sum()
+    }
+
     /// The root node's total output tuples (node 0), if observed.
     pub fn root_tuples_out(&self) -> Option<u64> {
         self.nodes.lock().get(&NodeId(0)).map(|s| s.tuples_out)
+    }
+
+    /// Serialize every per-node aggregate into `w` — the checkpoint form of
+    /// a query's rolling statistics. Self-time is persisted in nanoseconds
+    /// (saturating at `u64::MAX`).
+    pub fn encode(&self, w: &mut crate::snapshot::Writer) {
+        let nodes = self.nodes.lock();
+        w.usize(nodes.len());
+        for (id, s) in nodes.iter() {
+            w.usize(id.0);
+            w.u8(s.op.index() as u8);
+            w.u64(s.applications)
+                .u64(s.tuples_in)
+                .u64(s.tuples_out)
+                .u64(s.invocations)
+                .u64(s.cache_hits)
+                .u64(s.cache_misses)
+                .u64(s.failures)
+                .u64(s.degraded)
+                .u64(s.panics)
+                .u64(u64::try_from(s.elapsed.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Rebuild a collector from [`Self::encode`]'s output.
+    pub fn decode(
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<ExecStats, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let n = r.usize()?;
+        let mut nodes = BTreeMap::new();
+        for _ in 0..n {
+            let id = NodeId(r.usize()?);
+            let op_index = r.u8()? as usize;
+            let op = *OpKind::ALL
+                .get(op_index)
+                .ok_or_else(|| SnapshotError::Corrupt(format!("unknown op index {op_index}")))?;
+            let mut s = NodeStats::new(op);
+            s.applications = r.u64()?;
+            s.tuples_in = r.u64()?;
+            s.tuples_out = r.u64()?;
+            s.invocations = r.u64()?;
+            s.cache_hits = r.u64()?;
+            s.cache_misses = r.u64()?;
+            s.failures = r.u64()?;
+            s.degraded = r.u64()?;
+            s.panics = r.u64()?;
+            s.elapsed = Duration::from_nanos(r.u64()?);
+            nodes.insert(id, s);
+        }
+        Ok(ExecStats {
+            nodes: Mutex::new(nodes),
+        })
     }
 }
 
@@ -482,5 +553,48 @@ mod tests {
         assert!(!a.is_empty());
         a.clear();
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn panics_counter_aggregates_and_shows_in_summary() {
+        let stats = ExecStats::new();
+        let mut obs = OpObservation::new(NodeId(0), OpKind::Invoke);
+        obs.invocations = 2;
+        obs.panics = 1;
+        stats.record(&obs);
+        stats.record(&obs);
+        let node = stats.node(NodeId(0)).unwrap();
+        assert_eq!(node.panics, 2);
+        assert_eq!(stats.total_panics(), 2);
+        assert!(node.summary().contains("panics=2"));
+        // zero panics stay out of the summary
+        let quiet = ExecStats::new();
+        quiet.record(&OpObservation::new(NodeId(0), OpKind::Invoke));
+        assert!(!quiet.node(NodeId(0)).unwrap().summary().contains("panics"));
+    }
+
+    #[test]
+    fn exec_stats_snapshot_round_trip() {
+        let stats = ExecStats::new();
+        let mut obs = OpObservation::new(NodeId(0), OpKind::Invoke);
+        obs.tuples_in = 5;
+        obs.tuples_out = 5;
+        obs.invocations = 4;
+        obs.cache_hits = 1;
+        obs.cache_misses = 3;
+        obs.failures = 1;
+        obs.degraded = 1;
+        obs.panics = 1;
+        obs.elapsed = Duration::from_micros(12);
+        stats.record(&obs);
+        stats.record(&OpObservation::new(NodeId(3), OpKind::Window));
+
+        let mut w = crate::snapshot::Writer::new();
+        stats.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::snapshot::Reader::new(&bytes);
+        let restored = ExecStats::decode(&mut r).unwrap();
+        assert!(r.is_at_end());
+        assert_eq!(restored.nodes(), stats.nodes());
     }
 }

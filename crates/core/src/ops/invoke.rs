@@ -100,6 +100,9 @@ pub struct InvokeTally {
     /// Failed tuples degraded (dropped or null-filled) instead of failing
     /// the whole query, per the active [`DegradePolicy`].
     pub degraded: u64,
+    /// Invocations whose service implementation panicked. The panic was
+    /// contained ([`EvalError::Panicked`]) and also counts as a failure.
+    pub panics: u64,
 }
 
 /// How β/βˢ reacts when one tuple's invocation fails — the graceful
@@ -324,7 +327,11 @@ impl InvokeRecipe {
     ) -> Vec<Result<TupleCall, EvalError>> {
         let call_one = |t: &Tuple| -> Result<TupleCall, EvalError> {
             let (sref, input) = self.prepare_call(t)?;
-            let result = invoker.invoke(self.bp.prototype(), &sref, &input, at);
+            // Contain panics here rather than letting them unwind through a
+            // scoped worker: a panicking service must surface as
+            // `EvalError::Panicked`, never poison the β pool or the process.
+            let result =
+                crate::service::invoke_contained(invoker, self.bp.prototype(), &sref, &input, at);
             Ok(TupleCall {
                 sref,
                 input,
@@ -395,10 +402,14 @@ impl InvokeRecipe {
                 actions.record(Action::new(self.bp.clone(), sref.clone(), input.clone()));
             }
             tally.invocations += 1;
-            match invoker.invoke(self.bp.prototype(), &sref, &input, at) {
+            match crate::service::invoke_contained(invoker, self.bp.prototype(), &sref, &input, at)
+            {
                 Ok(results) => self.assemble_into(t, &results, &mut out),
                 Err(e) => {
                     tally.failures += 1;
+                    if matches!(e, EvalError::Panicked { .. }) {
+                        tally.panics += 1;
+                    }
                     match (degrade, &filler) {
                         (DegradePolicy::FailQuery, _) => return Err(e),
                         (DegradePolicy::DropTuple, _) => tally.degraded += 1,
@@ -458,6 +469,9 @@ impl InvokeRecipe {
                 Ok(results) => self.assemble_into(t, &results, &mut out),
                 Err(e) => {
                     tally.failures += 1;
+                    if matches!(e, EvalError::Panicked { .. }) {
+                        tally.panics += 1;
+                    }
                     match (degrade, &filler) {
                         (DegradePolicy::FailQuery, _) => return Err(e),
                         (DegradePolicy::DropTuple, _) => tally.degraded += 1,
@@ -845,6 +859,106 @@ mod tests {
             }
             assert_eq!(outs[0], outs[1], "parallel path diverged for {degrade:?}");
         }
+    }
+
+    /// Registry where `sensor06` panics on every call; other sensors answer
+    /// normally.
+    fn panicky_registry() -> crate::service::StaticRegistry {
+        let reg = example_registry();
+        reg.register("sensor06", crate::service::fixtures::panicking_sensor());
+        reg
+    }
+
+    /// Run `f` with the default panic hook silenced, restoring it after.
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn panicking_service_is_contained_and_counted() {
+        let reg = panicky_registry();
+        let r = sensors();
+        let recipe = InvokeRecipe::prepare(r.schema(), "getTemperature", "sensor").unwrap();
+        let tuples: Vec<&Tuple> = r.iter().collect();
+        quiet_panics(|| {
+            // FailQuery: the contained panic is the query's error
+            for parallelism in [1usize, 8] {
+                let mut actions = ActionSet::new();
+                let mut tally = InvokeTally::default();
+                let err = recipe
+                    .invoke_batch_observed(
+                        &tuples,
+                        &reg,
+                        Instant(3),
+                        parallelism,
+                        &mut actions,
+                        &mut tally,
+                        DegradePolicy::FailQuery,
+                    )
+                    .unwrap_err();
+                assert!(
+                    matches!(err, EvalError::Panicked { ref service, .. } if service == "sensor06"),
+                    "workers={parallelism}: {err:?}"
+                );
+                assert_eq!(tally.panics, 1, "workers={parallelism}");
+                assert_eq!(tally.failures, 1, "workers={parallelism}");
+            }
+            // DropTuple: the panicking tuple degrades, the rest survive,
+            // and the parallel pool stays usable for a second batch
+            for parallelism in [1usize, 8] {
+                let mut actions = ActionSet::new();
+                let mut tally = InvokeTally::default();
+                let out = recipe
+                    .invoke_batch_observed(
+                        &tuples,
+                        &reg,
+                        Instant(3),
+                        parallelism,
+                        &mut actions,
+                        &mut tally,
+                        DegradePolicy::DropTuple,
+                    )
+                    .unwrap();
+                assert_eq!(out.len(), 3, "workers={parallelism}");
+                assert_eq!(tally.panics, 1);
+                assert_eq!(tally.degraded, 1);
+                // pool reuse after a contained panic: same call again
+                let mut tally2 = InvokeTally::default();
+                let out2 = recipe
+                    .invoke_batch_observed(
+                        &tuples,
+                        &reg,
+                        Instant(3),
+                        parallelism,
+                        &mut actions,
+                        &mut tally2,
+                        DegradePolicy::DropTuple,
+                    )
+                    .unwrap();
+                assert_eq!(out, out2);
+            }
+        });
+    }
+
+    #[test]
+    fn panic_reason_carries_string_payload() {
+        let reg = panicky_registry();
+        let r = sensors();
+        let recipe = InvokeRecipe::prepare(r.schema(), "getTemperature", "sensor").unwrap();
+        let tuples: Vec<&Tuple> = r.iter().collect();
+        let outcomes = quiet_panics(|| recipe.call_batch(&tuples, &reg, Instant(1), 8));
+        let panicked: Vec<&EvalError> = outcomes
+            .iter()
+            .filter_map(|o| o.as_ref().ok())
+            .filter_map(|c| c.result.as_ref().err())
+            .filter(|e| matches!(e, EvalError::Panicked { .. }))
+            .collect();
+        assert_eq!(panicked.len(), 1);
+        assert!(panicked[0].to_string().contains("sensor firmware bug"));
     }
 
     #[test]

@@ -543,6 +543,7 @@ impl PhysNode {
                 obs.cache_misses = tally.invocations;
                 obs.failures = tally.failures;
                 obs.degraded = tally.degraded;
+                obs.panics = tally.panics;
                 out
             }
             PhysOp::Aggregate { group, aggs } => {

@@ -238,6 +238,92 @@ impl Invoker for InvokerStack<'_> {
     }
 }
 
+/// Run one invocation with panic containment: a panicking service becomes
+/// [`EvalError::Panicked`] instead of unwinding into (and aborting) the
+/// execution engine. Used by the β batch executor and by
+/// [`CatchPanicInvoker`]; string panic payloads are preserved as the
+/// error's `reason`.
+pub fn invoke_contained(
+    invoker: &dyn Invoker,
+    prototype: &Prototype,
+    service_ref: &ServiceRef,
+    input: &Tuple,
+    at: Instant,
+) -> Result<Vec<Tuple>, EvalError> {
+    let call = std::panic::AssertUnwindSafe(|| invoker.invoke(prototype, service_ref, input, at));
+    match std::panic::catch_unwind(call) {
+        Ok(result) => result,
+        Err(payload) => Err(EvalError::Panicked {
+            service: service_ref.to_string(),
+            prototype: prototype.name().to_string(),
+            reason: panic_reason(payload.as_ref()),
+        }),
+    }
+}
+
+/// Extract a human-readable reason from a panic payload.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+/// An [`Invoker`] decorator containing panics: any panic raised by the
+/// wrapped invoker (typically a buggy service implementation) is caught and
+/// surfaced as [`EvalError::Panicked`]. Placed *innermost* in an
+/// [`InvokerStack`] — directly over the registry — so outer layers
+/// (instrumentation, health, resilience) observe the panic as an ordinary
+/// invocation error.
+pub struct CatchPanicInvoker<I> {
+    inner: I,
+}
+
+impl<I: Invoker> CatchPanicInvoker<I> {
+    /// Wrap `inner` with panic containment.
+    pub fn new(inner: I) -> Self {
+        CatchPanicInvoker { inner }
+    }
+}
+
+impl<I: Invoker> Invoker for CatchPanicInvoker<I> {
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        service_ref: &ServiceRef,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, EvalError> {
+        invoke_contained(&self.inner, prototype, service_ref, input, at)
+    }
+
+    fn providers_of(&self, prototype: &str) -> Vec<ServiceRef> {
+        self.inner.providers_of(prototype)
+    }
+}
+
+/// The [`InvokerLayer`] form of [`CatchPanicInvoker`]. Add it *first* when
+/// building a stack so it wraps the base registry and every outer layer
+/// sees contained panics as errors.
+#[derive(Default, Clone, Copy)]
+pub struct CatchPanicLayer;
+
+impl CatchPanicLayer {
+    /// The layer (unit struct; exists for call-site symmetry).
+    pub fn new() -> Self {
+        CatchPanicLayer
+    }
+}
+
+impl<'a> InvokerLayer<'a> for CatchPanicLayer {
+    fn wrap(self, inner: Box<dyn Invoker + 'a>) -> Box<dyn Invoker + 'a> {
+        Box::new(CatchPanicInvoker::new(inner))
+    }
+}
+
 /// Validate an invocation result against `Output_ψ` — arity and value
 /// types. Shared by every `Invoker` implementation.
 pub fn validate_invocation_result(
@@ -434,6 +520,17 @@ pub mod fixtures {
                 }
                 other => Err(format!("camera does not implement {other}")),
             },
+        ))
+    }
+
+    /// A temperature sensor whose implementation panics on every call —
+    /// the fixture for panic-containment tests. A well-behaved engine
+    /// surfaces it as [`EvalError::Panicked`](crate::error::EvalError)
+    /// instead of aborting.
+    pub fn panicking_sensor() -> Arc<dyn Service> {
+        Arc::new(FnService::new(
+            vec![protos::get_temperature()],
+            move |_p, _in, _at| -> Result<Vec<Tuple>, String> { panic!("sensor firmware bug") },
         ))
     }
 
@@ -691,6 +788,52 @@ mod tests {
         assert_eq!(call(&boxed), direct);
         let arced: StdArc<dyn Invoker> = StdArc::new(example_registry());
         assert_eq!(call(&arced), direct);
+    }
+
+    #[test]
+    fn catch_panic_layer_contains_service_panics() {
+        let reg = StaticRegistry::new();
+        reg.register("boom", panicking_sensor());
+        reg.register("sensor01", temperature_sensor(1));
+        let stack = InvokerStack::new(&reg).layer(CatchPanicLayer::new());
+
+        // silence the default panic hook's stderr backtrace for this test
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = stack
+            .invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("boom"),
+                &Tuple::empty(),
+                Instant(1),
+            )
+            .unwrap_err();
+        std::panic::set_hook(prev);
+
+        match err {
+            EvalError::Panicked {
+                service,
+                prototype,
+                reason,
+            } => {
+                assert_eq!(service, "boom");
+                assert_eq!(prototype, "getTemperature");
+                assert_eq!(reason, "sensor firmware bug");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // the invoker is still usable after the contained panic
+        let out = stack
+            .invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("sensor01"),
+                &Tuple::empty(),
+                Instant(1),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        // discovery passes through
+        assert_eq!(stack.providers_of("getTemperature").len(), 2);
     }
 
     #[test]

@@ -25,6 +25,7 @@ struct OpSeries {
     cache_misses: Arc<Counter>,
     failures: Arc<Counter>,
     degraded: Arc<Counter>,
+    panics: Arc<Counter>,
 }
 
 /// A [`MetricsSink`] forwarding every observation into per-operator series
@@ -38,6 +39,8 @@ struct OpSeries {
 ///   `serena_beta_cache_misses_total{op}` — β cache behaviour
 /// * `serena_beta_degraded_total{op}` — tuples degraded (dropped or
 ///   null-filled) under a non-fatal [`crate::ops::DegradePolicy`]
+/// * `serena_beta_panic_total{op}` — invocations whose service panicked;
+///   the panic was contained and surfaced as an error
 pub struct RegistrySink {
     per_op: Vec<OpSeries>,
 }
@@ -60,6 +63,7 @@ impl RegistrySink {
                     cache_misses: registry.counter("serena_beta_cache_misses_total", &labels),
                     failures: registry.counter("serena_op_failures_total", &labels),
                     degraded: registry.counter("serena_beta_degraded_total", &labels),
+                    panics: registry.counter("serena_beta_panic_total", &labels),
                 }
             })
             .collect();
@@ -88,6 +92,9 @@ impl MetricsSink for RegistrySink {
         }
         if obs.degraded > 0 {
             s.degraded.add(obs.degraded);
+        }
+        if obs.panics > 0 {
+            s.panics.add(obs.panics);
         }
     }
 }
@@ -123,6 +130,7 @@ mod tests {
         obs.cache_misses = 2;
         obs.failures = 1;
         obs.degraded = 1;
+        obs.panics = 1;
         obs.elapsed = Duration::from_micros(5);
         sink.record(&obs);
         sink.record(&OpObservation::new(NodeId(0), OpKind::Select));
@@ -146,6 +154,10 @@ mod tests {
         );
         assert_eq!(
             registry.counter_value("serena_beta_degraded_total", &op),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("serena_beta_panic_total", &op),
             Some(1)
         );
         let hist = registry.histogram("serena_op_self_time_ns", &op);

@@ -15,6 +15,9 @@
 //!   * `.health` — per-service health (attempts, failure rate, status);
 //!   * `.demo` — load the paper's running example (Tables 1–2, Example 4's
 //!     tuples, simulated services);
+//!   * `.checkpoint <dir>` — write a snapshot of the dynamic state;
+//!     `.restore <dir>` — rehydrate it (after re-running the static
+//!     setup, e.g. `.demo` and the `REGISTER QUERY` statements);
 //!   * `.help`, `.quit`.
 //!
 //! Every dot-command also accepts a backslash prefix (`\metrics`,
@@ -134,7 +137,8 @@ fn dot_command(cmd: &str, pems: &mut Pems) -> bool {
         ".help" => {
             println!(
                 ".tick [n] | .tables | .show <rel> | .queries | .result <query>\n\
-                 .metrics | .health | .demo | .quit   (backslash aliases work: \\metrics)\n\
+                 .metrics | .health | .checkpoint <dir> | .restore <dir> | .demo | .quit\n\
+                 (backslash aliases work: \\metrics)\n\
                  …or any Serena DDL / algebra statement ending with `;`"
             );
         }
@@ -236,6 +240,20 @@ fn dot_command(cmd: &str, pems: &mut Pems) -> bool {
                 }
             }
         }
+        ".checkpoint" => match parts.next() {
+            Some(dir) => match pems.checkpoint_to(dir) {
+                Ok(path) => println!("checkpoint written to {}", path.display()),
+                Err(e) => println!("error: {e}"),
+            },
+            None => println!("usage: .checkpoint <dir>"),
+        },
+        ".restore" => match parts.next() {
+            Some(dir) => match pems.restore_from(dir) {
+                Ok(()) => println!("restored; clock = {}", pems.clock()),
+                Err(e) => println!("error: {e}"),
+            },
+            None => println!("usage: .restore <dir>"),
+        },
         ".demo" => match load_demo(pems) {
             Ok(()) => println!("loaded the paper's running example (Tables 1–2, Example 4)"),
             Err(e) => println!("error: {e}"),

@@ -14,6 +14,9 @@
 //!   lock-step, ticked in parallel;
 //! * [`hub`] — stream plumbing (broadcast hubs, sensor samplers, RSS
 //!   adapters);
+//! * [`recovery`] — periodic checkpoints of the runtime's dynamic state
+//!   and crash recovery ([`pems::PemsBuilder::checkpoint`],
+//!   [`pems::Pems::restore_from`]);
 //! * [`scenario`] — the paper's two experiments (§5.2) as reusable
 //!   deployments.
 //!
@@ -34,14 +37,18 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod hub;
 pub mod pems;
 pub mod processor;
+pub mod recovery;
 pub mod scenario;
 pub mod table_manager;
 
 pub use hub::{RssStream, SensorSampler, StreamHub};
 pub use pems::{ExecOutcome, ExplainAnalyze, Pems, PemsBuilder, PemsError};
 pub use processor::{QueryProcessor, QueryStats};
+pub use recovery::RecoveryManager;
 pub use table_manager::ExtendedTableManager;

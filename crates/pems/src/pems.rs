@@ -12,6 +12,7 @@
 //! 2. discovery queries refresh their provider tables;
 //! 3. every registered continuous query evaluates the instant.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use serena_core::env::Environment;
@@ -21,7 +22,8 @@ use serena_core::exec::{explain_analyze_text, ExecContext};
 use serena_core::metrics::{ExecStats, MetricsSink, NoopMetrics, Tee};
 use serena_core::physical::ExecOptions;
 use serena_core::plan::Plan;
-use serena_core::service::{Invoker, InvokerStack};
+use serena_core::service::{CatchPanicLayer, Invoker, InvokerStack};
+use serena_core::snapshot::{self, Reader, SnapshotError, Writer};
 use serena_core::telemetry::{
     InstrumentedLayer, MetricsRegistry, NoopTrace, RegistrySink, TraceSink,
 };
@@ -42,6 +44,7 @@ use serena_services::resilience::{
 use serena_stream::exec::TickReport;
 
 use crate::processor::QueryProcessor;
+use crate::recovery::{read_checkpoint, RecoveryManager};
 use crate::table_manager::ExtendedTableManager;
 
 /// Errors surfaced by the PEMS API.
@@ -55,6 +58,8 @@ pub enum PemsError {
     Eval(EvalError),
     /// Schema/catalog failure.
     Schema(SchemaError),
+    /// Checkpoint encoding/decoding or recovery failure.
+    Snapshot(SnapshotError),
     /// Anything else.
     Other(String),
 }
@@ -66,6 +71,7 @@ impl std::fmt::Display for PemsError {
             PemsError::Plan(e) => write!(f, "{e}"),
             PemsError::Eval(e) => write!(f, "{e}"),
             PemsError::Schema(e) => write!(f, "{e}"),
+            PemsError::Snapshot(e) => write!(f, "{e}"),
             PemsError::Other(s) => write!(f, "{s}"),
         }
     }
@@ -96,6 +102,11 @@ impl From<SchemaError> for PemsError {
 impl From<serena_ddl::ParseError> for PemsError {
     fn from(e: serena_ddl::ParseError) -> Self {
         PemsError::Ddl(DdlError::Parse(e))
+    }
+}
+impl From<SnapshotError> for PemsError {
+    fn from(e: SnapshotError) -> Self {
+        PemsError::Snapshot(e)
     }
 }
 
@@ -151,6 +162,7 @@ pub struct PemsBuilder {
     trace: Option<Arc<dyn TraceSink>>,
     health_window: usize,
     resilience: ResiliencePolicy,
+    checkpoint: Option<(PathBuf, u64)>,
 }
 
 impl PemsBuilder {
@@ -166,6 +178,7 @@ impl PemsBuilder {
             trace: None,
             health_window: serena_services::health::DEFAULT_WINDOW,
             resilience: ResiliencePolicy::disabled(),
+            checkpoint: None,
         }
     }
 
@@ -223,6 +236,17 @@ impl PemsBuilder {
         self
     }
 
+    /// Periodically checkpoint the runtime's dynamic state into `dir`:
+    /// after every `every_n_ticks` completed ticks, a versioned snapshot
+    /// (tables, query executors & stats, logical clock, breakers, health)
+    /// is written atomically to `dir/serena.ckpt`. A crashed process
+    /// recovers by re-running its static setup on a fresh [`Pems`] and
+    /// calling [`Pems::restore_from`]. See [`crate::recovery`].
+    pub fn checkpoint(mut self, dir: impl Into<PathBuf>, every_n_ticks: u64) -> Self {
+        self.checkpoint = Some((dir.into(), every_n_ticks));
+        self
+    }
+
     /// Assemble the runtime.
     pub fn build(self) -> Pems {
         let bus = DiscoveryBus::new(self.bus);
@@ -249,6 +273,10 @@ impl PemsBuilder {
             trace,
             resilience_policy: self.resilience,
             resilience: Arc::new(ResilienceState::new()),
+            recovery: self
+                .checkpoint
+                .map(|(dir, every)| RecoveryManager::new(dir, every)),
+            snapshot_size_hint: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 }
@@ -282,6 +310,11 @@ pub struct Pems {
     resilience_policy: ResiliencePolicy,
     /// Breakers and retry/timeout counters, shared across rebuilt stacks.
     resilience: Arc<ResilienceState>,
+    /// Periodic checkpoint writer, when configured via
+    /// [`PemsBuilder::checkpoint`].
+    recovery: Option<RecoveryManager>,
+    /// Size of the last snapshot, used to preallocate the next one.
+    snapshot_size_hint: std::sync::atomic::AtomicUsize,
 }
 
 impl Default for Pems {
@@ -590,6 +623,83 @@ impl Pems {
         self.tables.snapshot_environment()
     }
 
+    /// The periodic checkpoint writer, when one was configured via
+    /// [`PemsBuilder::checkpoint`].
+    pub fn recovery(&self) -> Option<&RecoveryManager> {
+        self.recovery.as_ref()
+    }
+
+    /// Serialize the runtime's full dynamic state into one versioned
+    /// snapshot: table contents, per-query executor state and statistics,
+    /// the logical clock, circuit breakers and service-health windows.
+    /// Static setup (DDL, service registrations, query registrations) is
+    /// *not* captured — see [`crate::recovery`] for the recovery model.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        use std::sync::atomic::Ordering;
+        let hint = self.snapshot_size_hint.load(Ordering::Relaxed);
+        let mut w = Writer::with_capacity(hint + hint / 4 + 256);
+        snapshot::write_header(&mut w);
+        self.tables.export_tables(&mut w);
+        self.processor.write_snapshot(&mut w);
+        self.resilience.export_state(&mut w);
+        self.health.export_state(&mut w);
+        self.snapshot_size_hint.store(w.len(), Ordering::Relaxed);
+        w.into_bytes()
+    }
+
+    /// Restore dynamic state from [`Self::snapshot_bytes`] output. The
+    /// static setup must already have been re-run on this instance (same
+    /// tables, same queries, same plans); a disagreement surfaces as
+    /// [`SnapshotError::Mismatch`].
+    pub fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), PemsError> {
+        let mut r = Reader::new(bytes);
+        snapshot::read_header(&mut r)?;
+        self.tables.import_tables(&mut r)?;
+        self.processor.read_snapshot(&mut r)?;
+        self.resilience.import_state(&mut r)?;
+        self.health.import_state(&mut r)?;
+        if !r.is_at_end() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after snapshot",
+                r.remaining()
+            ))
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Restore from the checkpoint in `dir` (a checkpoint directory, or a
+    /// direct path to a snapshot file). Call after re-running the static
+    /// setup; the next [`Self::tick`] then evaluates exactly the instant
+    /// the checkpointed runtime would have evaluated next.
+    pub fn restore_from(&mut self, dir: impl AsRef<Path>) -> Result<(), PemsError> {
+        let bytes = read_checkpoint(dir)?;
+        self.restore_bytes(&bytes)
+    }
+
+    /// Write a checkpoint immediately through the configured
+    /// [`RecoveryManager`] (error if [`PemsBuilder::checkpoint`] was not
+    /// set). Returns the checkpoint path.
+    pub fn checkpoint_now(&mut self) -> Result<PathBuf, PemsError> {
+        let bytes = self.snapshot_bytes();
+        let rm = self.recovery.as_mut().ok_or_else(|| {
+            PemsError::Other("no checkpoint directory configured (PemsBuilder::checkpoint)".into())
+        })?;
+        let path = rm.write(&bytes)?;
+        self.telemetry.counter("serena_checkpoint_total", &[]).inc();
+        Ok(path)
+    }
+
+    /// Write a one-off checkpoint of the current state into `dir`,
+    /// independent of any configured cadence — the shell's `.checkpoint`
+    /// command.
+    pub fn checkpoint_to(&self, dir: impl AsRef<Path>) -> Result<PathBuf, PemsError> {
+        let mut rm = RecoveryManager::new(dir.as_ref(), 1);
+        let path = rm.write(&self.snapshot_bytes())?;
+        self.telemetry.counter("serena_checkpoint_total", &[]).inc();
+        Ok(path)
+    }
+
     /// Advance one logical instant (see the module docs for the phase
     /// order). Returns each registered query's tick report.
     pub fn tick(&mut self) -> Vec<(String, TickReport)> {
@@ -616,8 +726,31 @@ impl Pems {
             self.resilience_policy,
             Arc::clone(&self.resilience),
         );
-        self.processor
-            .tick_all_with(&*invoker, &Tee(&self.telemetry_sink, &*self.metrics))
+        let reports = self
+            .processor
+            .tick_all_with(&*invoker, &Tee(&self.telemetry_sink, &*self.metrics));
+        drop(invoker);
+        // 4. the tick is complete — the snapshot cut is consistent here —
+        // so write a checkpoint if the cadence says one is due. A failed
+        // write must not take the runtime down: it is counted and traced.
+        let due = self
+            .recovery
+            .as_mut()
+            .is_some_and(RecoveryManager::tick_completed);
+        if due {
+            if let Err(e) = self.checkpoint_now() {
+                self.telemetry
+                    .counter("serena_checkpoint_errors_total", &[])
+                    .inc();
+                self.trace
+                    .emit(&serena_core::telemetry::TraceEvent::Failure {
+                        scope: "checkpoint".into(),
+                        at: self.processor.clock(),
+                        message: e.to_string(),
+                    });
+            }
+        }
+        reports
     }
 
     /// Run `n` ticks, returning all reports flattened.
@@ -633,7 +766,9 @@ impl Pems {
     }
 }
 
-/// The full β invoker stack: registry → instrumentation (metrics, health,
+/// The full β invoker stack: registry → panic containment (innermost, so
+/// a panicking service body becomes an [`EvalError::Panicked`] every outer
+/// layer sees as an ordinary failure) → instrumentation (metrics, health,
 /// trace) → resilience (retry/deadline/breaker, outermost, so every retry
 /// attempt is individually observed and counted). The resilient layer is a
 /// no-op pass-through when `policy` is disabled.
@@ -646,6 +781,7 @@ fn build_invoker_stack<'r>(
     state: Arc<ResilienceState>,
 ) -> Box<dyn Invoker + 'r> {
     InvokerStack::new(registry)
+        .layer(CatchPanicLayer::new())
         .layer(
             InstrumentedLayer::new()
                 .registry(telemetry)
@@ -970,6 +1106,114 @@ mod tests {
         assert_eq!(node.tuples_out, 2);
         // ticks advanced the builder-seeded clock
         assert_eq!(pems.clock(), Instant(9));
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("serena-pems-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn periodic_checkpoints_follow_the_cadence() {
+        let dir = temp_dir("cadence");
+        let mut pems = Pems::builder()
+            .bus(BusConfig::instant())
+            .checkpoint(&dir, 2)
+            .build();
+        let (svc, _outbox) = serena_services::devices::messenger::SimMessenger::new(
+            serena_services::devices::messenger::MessengerKind::Email,
+        )
+        .into_service();
+        pems.registry().register("email", svc);
+        pems.run_program(SETUP).unwrap();
+        pems.run_program("REGISTER QUERY watch AS contacts;")
+            .unwrap();
+        pems.run_ticks(5);
+        let rm = pems.recovery().expect("configured");
+        assert_eq!(rm.checkpoints_written(), 2); // after ticks 2 and 4
+        assert!(rm.checkpoint_path().exists());
+        assert_eq!(
+            pems.metrics_registry()
+                .counter_value("serena_checkpoint_total", &[]),
+            Some(2)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_resumes_exactly_where_the_checkpoint_cut() {
+        let dir = temp_dir("restore");
+        let setup = || {
+            let mut pems = pems_with_messenger();
+            pems.run_program(SETUP).unwrap();
+            pems.run_program("REGISTER QUERY watch AS SELECT[messenger = 'email'](contacts);")
+                .unwrap();
+            pems
+        };
+
+        let mut original = setup();
+        original.run_ticks(2);
+        original
+            .run_program("DELETE FROM contacts VALUES ('Carla', 'carla@elysee.fr', 'email');")
+            .unwrap();
+        original.checkpoint_to(&dir).unwrap(); // pending delete captured
+
+        // crash: re-run the static setup on a fresh process, rehydrate
+        let mut recovered = setup();
+        recovered.restore_from(&dir).unwrap();
+        assert_eq!(recovered.clock(), original.clock());
+        assert_eq!(
+            recovered.processor().stats("watch"),
+            original.processor().stats("watch")
+        );
+
+        // both runtimes tick forward in lock-step: the pending delete
+        // commits identically
+        let a = original.tick();
+        let b = recovered.tick();
+        assert_eq!(a[0].1.delta, b[0].1.delta);
+        assert_eq!(a[0].1.delta.deletes.len(), 1);
+        assert_eq!(
+            recovered.processor().current_relation("watch").unwrap(),
+            original.processor().current_relation("watch").unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_errors_are_reported_not_fatal() {
+        // no configured manager → checkpoint_now is a typed error
+        let mut pems = pems_with_messenger();
+        assert!(matches!(pems.checkpoint_now(), Err(PemsError::Other(_))));
+        // restoring garbage is a typed snapshot error
+        assert!(matches!(
+            pems.restore_bytes(b"not a snapshot"),
+            Err(PemsError::Snapshot(_))
+        ));
+        // a checkpoint directory that cannot be created is counted and
+        // traced, and the tick still succeeds
+        use serena_core::telemetry::MemoryTrace;
+        let trace = Arc::new(MemoryTrace::new());
+        let mut pems = Pems::builder()
+            .bus(BusConfig::instant())
+            .trace(trace.clone())
+            .checkpoint("/proc/serena-cannot-write-here", 1)
+            .build();
+        pems.run_program("EXTENDED RELATION t ( x INTEGER );")
+            .unwrap();
+        pems.run_program("REGISTER QUERY q AS t;").unwrap();
+        let reports = pems.tick();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(
+            pems.metrics_registry()
+                .counter_value("serena_checkpoint_errors_total", &[]),
+            Some(1)
+        );
+        assert!(trace.events().iter().any(|e| matches!(
+            e,
+            serena_core::telemetry::TraceEvent::Failure { scope, .. } if scope == "checkpoint"
+        )));
     }
 
     /// Acceptance (PR 3): `service_health()` reflects injected

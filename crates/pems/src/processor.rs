@@ -17,6 +17,7 @@ use serena_core::error::PlanError;
 use serena_core::metrics::{ExecStats, MetricsSink, NoopMetrics, Tee};
 use serena_core::physical::ExecOptions;
 use serena_core::service::Invoker;
+use serena_core::snapshot::{Reader, SnapshotError, Writer};
 use serena_core::telemetry::{Counter, Histogram, MetricsRegistry, TraceEvent, TraceSink};
 use serena_core::time::Instant;
 use serena_stream::exec::{ContinuousQuery, SourceSet, TickReport};
@@ -208,6 +209,68 @@ impl QueryProcessor {
         for reg in self.queries.values_mut() {
             reg.query.seek(at);
         }
+    }
+
+    /// Serialize the processor's dynamic state — the global clock plus,
+    /// per registered query (in name order): executor state, aggregated
+    /// [`QueryStats`] and rolling per-node [`ExecStats`]. Telemetry series
+    /// are intentionally *not* captured: a restored processor keeps (or
+    /// re-creates) its own registry series.
+    pub fn write_snapshot(&self, w: &mut Writer) {
+        w.u64(self.clock.ticks());
+        w.usize(self.queries.len());
+        for (name, reg) in &self.queries {
+            w.str(name);
+            reg.query.write_snapshot(w);
+            let s = &reg.stats;
+            w.u64(s.ticks)
+                .u64(s.inserted)
+                .u64(s.deleted)
+                .u64(s.actions)
+                .u64(s.errors)
+                .u64(s.invocations)
+                .u64(s.cache_hits)
+                .u64(s.cache_misses);
+            reg.exec.encode(w);
+        }
+    }
+
+    /// Restore state written by [`Self::write_snapshot`]. The same queries
+    /// (by name, with structurally identical plans) must already be
+    /// registered — recovery re-runs the static setup, then rehydrates the
+    /// dynamic state. Errors with [`SnapshotError::Mismatch`] when the
+    /// registered query set disagrees with the snapshot.
+    pub fn read_snapshot(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let clock = r.u64()?;
+        let n = r.usize()?;
+        if n != self.queries.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot holds {n} queries, {} registered",
+                self.queries.len()
+            )));
+        }
+        for (name, reg) in &mut self.queries {
+            let stored = r.str()?;
+            if stored != *name {
+                return Err(SnapshotError::Mismatch(format!(
+                    "snapshot query `{stored}` does not match registered `{name}`"
+                )));
+            }
+            reg.query.read_snapshot(r)?;
+            reg.stats = QueryStats {
+                ticks: r.u64()?,
+                inserted: r.u64()?,
+                deleted: r.u64()?,
+                actions: r.u64()?,
+                errors: r.u64()?,
+                invocations: r.u64()?,
+                cache_hits: r.u64()?,
+                cache_misses: r.u64()?,
+            };
+            reg.exec = ExecStats::decode(r)?;
+        }
+        self.clock = Instant(clock);
+        Ok(())
     }
 
     /// Advance the global clock by one instant, ticking every registered
@@ -504,6 +567,67 @@ mod tests {
 
         qp.deregister("late");
         assert_eq!(registry.gauge("serena_queries_registered", &[]).get(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_clock_queries_and_stats() {
+        let reg = example_registry();
+        let build = |table: &TableHandle| {
+            let mut qp = QueryProcessor::new();
+            let mut s = SourceSet::new();
+            s.add_table("t", table.clone());
+            qp.register(
+                "big",
+                &StreamPlan::source("t").select(Formula::gt_const("x", 10)),
+                &mut s,
+            )
+            .unwrap();
+            qp
+        };
+
+        let (table, _) = int_table();
+        let mut qp = build(&table);
+        table.insert(tuple![20]);
+        qp.tick_all_with(&reg, &NoopMetrics);
+        qp.tick_all_with(&reg, &NoopMetrics);
+
+        let mut w = Writer::new();
+        qp.write_snapshot(&mut w);
+        let mut tw = Writer::new();
+        table.export_state(&mut tw);
+        let (qbytes, tbytes) = (w.into_bytes(), tw.into_bytes());
+
+        // fresh runtime: static setup re-run, dynamic state rehydrated
+        let table2 = TableHandle::new(table.schema());
+        let mut qp2 = build(&table2);
+        table2
+            .import_state(&mut Reader::new(&tbytes))
+            .expect("table state");
+        qp2.read_snapshot(&mut Reader::new(&qbytes))
+            .expect("processor state");
+
+        assert_eq!(qp2.clock(), Instant(2));
+        assert_eq!(qp2.stats("big"), qp.stats("big"));
+        assert_eq!(
+            qp2.current_relation("big").unwrap(),
+            qp.current_relation("big").unwrap()
+        );
+        // both resume in lock-step: delete the tuple, identical retraction
+        table.delete(tuple![20]);
+        table2.delete(tuple![20]);
+        let a = qp.tick_all_with(&reg, &NoopMetrics);
+        let b = qp2.tick_all_with(&reg, &NoopMetrics);
+        assert_eq!(a[0].1.delta, b[0].1.delta);
+
+        // a mismatched query set is a typed error, not a crash
+        let (t3, mut s3) = int_table();
+        let mut other = QueryProcessor::new();
+        other
+            .register("different", &StreamPlan::source("t"), &mut s3)
+            .unwrap();
+        let _ = t3;
+        let err = other.read_snapshot(&mut Reader::new(&qbytes)).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch(_)), "{err}");
     }
 
     #[test]

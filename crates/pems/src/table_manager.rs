@@ -15,6 +15,7 @@ use serena_core::error::SchemaError;
 use serena_core::plan::SchemaCatalog;
 use serena_core::prototype::Prototype;
 use serena_core::schema::SchemaRef;
+use serena_core::snapshot::{Reader, SnapshotError, Writer};
 use serena_core::tuple::Tuple;
 use serena_core::xrelation::XRelation;
 use serena_stream::exec::SourceSet;
@@ -215,6 +216,40 @@ impl ExtendedTableManager {
             }
         }
         sources
+    }
+
+    /// Serialize every finite table's dynamic contents (committed state +
+    /// pending mutations), in name order. Schemas and stream definitions
+    /// are *not* captured — recovery re-runs the DDL, then rehydrates.
+    pub fn export_tables(&self, w: &mut Writer) {
+        w.usize(self.tables.len());
+        for (name, handle) in &self.tables {
+            w.str(name);
+            handle.export_state(w);
+        }
+    }
+
+    /// Restore table contents written by [`Self::export_tables`] into the
+    /// already-defined tables. Errors with [`SnapshotError::Mismatch`]
+    /// when the defined table set disagrees with the snapshot.
+    pub fn import_tables(&self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let n = r.usize()?;
+        if n != self.tables.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot holds {n} tables, {} defined",
+                self.tables.len()
+            )));
+        }
+        for (name, handle) in &self.tables {
+            let stored = r.str()?;
+            if stored != *name {
+                return Err(SnapshotError::Mismatch(format!(
+                    "snapshot table `{stored}` does not match defined `{name}`"
+                )));
+            }
+            handle.import_state(r)?;
+        }
+        Ok(())
     }
 
     /// Snapshot every finite table into a one-shot [`Environment`]

@@ -17,6 +17,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 use serena_core::error::EvalError;
+use serena_core::snapshot::{Reader, SnapshotError, Writer};
 use serena_core::sync::Mutex;
 use serena_core::telemetry::InvocationObserver;
 use serena_core::time::Instant;
@@ -170,6 +171,84 @@ impl HealthTracker {
     pub fn is_empty(&self) -> bool {
         self.entries.lock().is_empty()
     }
+
+    /// Serialize every per-service record (totals, streaks, rolling
+    /// windows) into a checkpoint, in sorted service order.
+    pub fn export_state(&self, w: &mut Writer) {
+        let entries = self.entries.lock();
+        w.usize(entries.len());
+        let mut packed = Vec::new();
+        for (s, e) in entries.iter() {
+            w.str(s.as_str())
+                .u64(e.attempts)
+                .u64(e.failures)
+                .u64(e.consecutive_errors);
+            match e.last_seen {
+                Some(at) => w.bool(true).u64(at.ticks()),
+                None => w.bool(false),
+            };
+            match &e.last_error {
+                Some(msg) => w.bool(true).str(msg),
+                None => w.bool(false),
+            };
+            // same wire format as one bool byte per outcome, written as a
+            // single length-prefixed run instead of per-byte pushes
+            packed.clear();
+            packed.extend(e.recent.iter().map(|&ok| ok as u8));
+            w.bytes(&packed);
+        }
+    }
+
+    /// Restore records written by [`HealthTracker::export_state`],
+    /// replacing all entries wholesale. Rolling windows longer than this
+    /// tracker's configured window keep only their most recent outcomes.
+    pub fn import_state(&self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let n = r.usize()?;
+        let mut map = BTreeMap::new();
+        for _ in 0..n {
+            let sref = ServiceRef::new(r.str()?);
+            let attempts = r.u64()?;
+            let failures = r.u64()?;
+            let consecutive_errors = r.u64()?;
+            let last_seen = if r.bool()? {
+                Some(Instant(r.u64()?))
+            } else {
+                None
+            };
+            let last_error = if r.bool()? {
+                Some(r.str()?.to_string())
+            } else {
+                None
+            };
+            let packed = r.bytes()?;
+            let mut recent = VecDeque::with_capacity(packed.len());
+            for &b in packed {
+                recent.push_back(match b {
+                    0 => false,
+                    1 => true,
+                    b => {
+                        return Err(SnapshotError::Corrupt(format!("bad outcome byte {b}")));
+                    }
+                });
+            }
+            while recent.len() > self.window {
+                recent.pop_front();
+            }
+            map.insert(
+                sref,
+                HealthEntry {
+                    attempts,
+                    failures,
+                    consecutive_errors,
+                    last_seen,
+                    last_error,
+                    recent,
+                },
+            );
+        }
+        *self.entries.lock() = map;
+        Ok(())
+    }
 }
 
 fn snapshot(reference: ServiceRef, e: &HealthEntry) -> ServiceHealth {
@@ -275,6 +354,30 @@ mod tests {
         assert_eq!(h.window_len, 16);
         assert_eq!(h.status(), HealthStatus::Degraded);
         assert!(h.last_error.is_some());
+    }
+
+    #[test]
+    fn health_state_round_trips_through_snapshot() {
+        let tracker = HealthTracker::new(4);
+        let s = ServiceRef::new("s");
+        tracker.record(&s, Instant(0), Some("boom"));
+        tracker.record(&s, Instant(1), None);
+        tracker.record(&s, Instant(2), Some("boom again"));
+        tracker.record(&ServiceRef::new("quiet"), Instant(2), None);
+
+        let mut w = Writer::new();
+        tracker.export_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let restored = HealthTracker::new(4);
+        restored.import_state(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(restored.report(), tracker.report());
+        // narrower windows keep the most recent outcomes
+        let narrow = HealthTracker::new(2);
+        narrow.import_state(&mut Reader::new(&bytes)).unwrap();
+        let h = narrow.health_of(&s).unwrap();
+        assert_eq!(h.window_len, 2);
+        assert_eq!(h.failure_rate, 0.5); // [ok, fail]
     }
 
     #[test]

@@ -34,6 +34,8 @@
 //!   X-Relation rows, the data backing the PEMS service-discovery queries.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod bus;
 pub mod devices;

@@ -41,6 +41,7 @@ use std::time::Duration;
 use serena_core::error::EvalError;
 use serena_core::prototype::Prototype;
 use serena_core::service::{Invoker, InvokerLayer};
+use serena_core::snapshot::{Reader, SnapshotError, Writer};
 use serena_core::sync::{Mutex, RwLock};
 use serena_core::telemetry::{Counter, MetricsRegistry};
 use serena_core::time::Instant;
@@ -269,6 +270,77 @@ impl ResilienceState {
             .collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
+    }
+
+    /// Serialize counters and per-service breakers into a checkpoint
+    /// (breakers in sorted service order, so the encoding is
+    /// deterministic).
+    pub fn export_state(&self, w: &mut Writer) {
+        let c = self.counters();
+        w.u64(c.retries)
+            .u64(c.timeouts)
+            .u64(c.breaker_opened)
+            .u64(c.rejected);
+        let breakers = self.breakers.lock();
+        let mut entries: Vec<(&ServiceRef, &Breaker)> = breakers.iter().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        w.usize(entries.len());
+        for (s, b) in entries {
+            w.str(s.as_str()).u64(b.consecutive_failures);
+            match b.state {
+                BreakerState::Closed => {
+                    w.u8(0);
+                }
+                BreakerState::Open { until } => {
+                    w.u8(1).u64(until.ticks());
+                }
+                BreakerState::HalfOpen { probes_left } => {
+                    w.u8(2).u32(probes_left);
+                }
+            }
+        }
+    }
+
+    /// Restore state written by [`ResilienceState::export_state`],
+    /// replacing counters and breakers wholesale.
+    pub fn import_state(&self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let retries = r.u64()?;
+        let timeouts = r.u64()?;
+        let breaker_opened = r.u64()?;
+        let rejected = r.u64()?;
+        let n = r.usize()?;
+        let mut map = HashMap::with_capacity(n.min(r.remaining()));
+        for _ in 0..n {
+            let sref = ServiceRef::new(r.str()?);
+            let consecutive_failures = r.u64()?;
+            let state = match r.u8()? {
+                0 => BreakerState::Closed,
+                1 => BreakerState::Open {
+                    until: Instant(r.u64()?),
+                },
+                2 => BreakerState::HalfOpen {
+                    probes_left: r.u32()?,
+                },
+                t => {
+                    return Err(SnapshotError::Corrupt(format!("unknown breaker tag {t}")));
+                }
+            };
+            map.insert(
+                sref,
+                Breaker {
+                    state,
+                    consecutive_failures,
+                },
+            );
+        }
+        self.retries.store(retries, Ordering::Relaxed);
+        self.timeouts.store(timeouts, Ordering::Relaxed);
+        self.breaker_opened.store(breaker_opened, Ordering::Relaxed);
+        self.rejected.store(rejected, Ordering::Relaxed);
+        let mut breakers = self.breakers.lock();
+        self.engaged.store(map.len() as u64, Ordering::Relaxed);
+        *breakers = map;
+        Ok(())
     }
 }
 
@@ -755,6 +827,30 @@ mod tests {
             registry.counter_value("serena_resilience_retries_total", &[("service", "flaky")]),
             Some(1)
         );
+    }
+
+    #[test]
+    fn resilience_state_round_trips_through_snapshot() {
+        let (reg, _faulty) = flaky(FaultPolicy::EveryNth(1));
+        let policy = ResiliencePolicy::disabled().with_breaker(2, 3);
+        let state = Arc::new(ResilienceState::new());
+        let invoker = ResilientInvoker::with_state(&reg, policy, state.clone());
+        assert!(call(&invoker, Instant(0)).is_err());
+        assert!(call(&invoker, Instant(1)).is_err()); // opens the breaker
+
+        let mut w = Writer::new();
+        state.export_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let restored = Arc::new(ResilienceState::new());
+        restored.import_state(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(restored.counters(), state.counters());
+        assert_eq!(restored.breakers(), state.breakers());
+        // the restored breaker still rejects during cooldown, without any
+        // warm-up calls — the engaged fast path was rebuilt too
+        let invoker = ResilientInvoker::with_state(&reg, policy, restored.clone());
+        let err = call(&invoker, Instant(2)).unwrap_err();
+        assert!(matches!(err, EvalError::CircuitOpen { .. }));
     }
 
     #[test]

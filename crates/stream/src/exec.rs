@@ -34,6 +34,7 @@ use serena_core::ops::{self, AggSpec, AssignSource, DegradePolicy, InvokeRecipe}
 use serena_core::physical::ExecOptions;
 use serena_core::schema::SchemaRef;
 use serena_core::service::Invoker;
+use serena_core::snapshot::{Reader, SnapshotError, Writer};
 use serena_core::time::Instant;
 use serena_core::tuple::Tuple;
 use serena_core::value::Value;
@@ -374,6 +375,224 @@ impl ContinuousQuery {
         }
         Some(rel)
     }
+
+    /// Serialize the query's dynamic state into a checkpoint: the logical
+    /// clock plus, per node in pre-order, whatever the operator carries
+    /// across ticks (instantaneous multisets, the β cache, window rings,
+    /// the table bootstrap flag). Static structure — the plan shape,
+    /// schemas, compiled recipes — is *not* captured: restore recompiles
+    /// the plan and [`ContinuousQuery::read_snapshot`] verifies the shapes
+    /// agree.
+    ///
+    /// Table *contents* are shared state owned by [`TableHandle`]s and are
+    /// checkpointed separately (see [`TableHandle::export_state`]).
+    pub fn write_snapshot(&self, w: &mut Writer) {
+        w.u64(self.next.ticks());
+        snapshot_node(&self.root, w);
+    }
+
+    /// Restore dynamic state written by [`ContinuousQuery::write_snapshot`]
+    /// into a freshly compiled query over the same plan. Fails with
+    /// [`SnapshotError::Mismatch`] if the snapshot's node tree does not
+    /// match this query's shape; on any error the query's state is
+    /// unspecified and the query should be discarded.
+    pub fn read_snapshot(&mut self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let next = r.u64()?;
+        restore_node(&mut self.root, r)?;
+        self.next = Instant(next);
+        Ok(())
+    }
+}
+
+/// Stable operator tag for shape verification across checkpoint/restore.
+fn node_tag(kind: &NodeKind) -> u8 {
+    match kind {
+        NodeKind::Table { .. } => 0,
+        NodeKind::Stream { .. } => 1,
+        NodeKind::Linear { .. } => 2,
+        NodeKind::Recompute { .. } => 3,
+        NodeKind::Invoke { .. } => 4,
+        NodeKind::Window { .. } => 5,
+        NodeKind::StreamOf { .. } => 6,
+        NodeKind::SampleInvoke { .. } => 7,
+    }
+}
+
+fn snapshot_node(node: &Node, w: &mut Writer) {
+    w.u8(node_tag(&node.kind));
+    match &node.kind {
+        NodeKind::Table {
+            // at a tick boundary the node's instantaneous state equals the
+            // table's committed contents, which the table manager already
+            // persists — only the bootstrap flag is node-local
+            started,
+            ..
+        } => {
+            w.bool(*started);
+        }
+        // stream sources are driven by the environment; they carry no
+        // executor state of their own
+        NodeKind::Stream { .. } => {}
+        NodeKind::Linear { child, current, .. } => {
+            current.encode(w);
+            snapshot_node(child, w);
+        }
+        NodeKind::Recompute {
+            left,
+            right,
+            current,
+            ..
+        } => {
+            current.encode(w);
+            snapshot_node(left, w);
+            if let Some(r) = right {
+                snapshot_node(r, w);
+            }
+        }
+        NodeKind::Invoke {
+            child,
+            cache,
+            // every β emission is mirrored in the cache (fillers included),
+            // so `current` is Σ count × outputs over the entries — derived
+            // on restore rather than encoded
+            current: _,
+            ..
+        } => {
+            let mut entries: Vec<(&Tuple, &CacheEntry)> = cache.iter().collect();
+            entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+            w.usize(entries.len());
+            for (t, e) in entries {
+                w.tuple(t).usize(e.count).usize(e.outputs.len());
+                for o in &e.outputs {
+                    w.tuple(o);
+                }
+            }
+            snapshot_node(child, w);
+        }
+        NodeKind::Window {
+            child,
+            period,
+            ring,
+            // `current` is exactly the multiset of the ring's tuples (each
+            // tick inserts the new batch and deletes the expired one), so
+            // it is derived on restore rather than encoded — the dominant
+            // term of a windowed query's snapshot, halved
+            current: _,
+        } => {
+            w.u64(*period);
+            w.usize(ring.len());
+            for batch in ring {
+                w.usize(batch.len());
+                for t in batch {
+                    w.tuple(t);
+                }
+            }
+            snapshot_node(child, w);
+        }
+        NodeKind::StreamOf { child, .. } | NodeKind::SampleInvoke { child, .. } => {
+            snapshot_node(child, w);
+        }
+    }
+}
+
+fn restore_node(node: &mut Node, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+    let tag = r.u8()?;
+    let expected = node_tag(&node.kind);
+    if tag != expected {
+        return Err(SnapshotError::Mismatch(format!(
+            "node {}: plan has operator tag {expected}, snapshot has {tag}",
+            node.id
+        )));
+    }
+    match &mut node.kind {
+        NodeKind::Table {
+            handle,
+            current,
+            started,
+        } => {
+            *started = r.bool()?;
+            // derived: the table manager restored the handle's committed
+            // contents before the processor restore reached this node
+            *current = handle.snapshot();
+        }
+        NodeKind::Stream { .. } => {}
+        NodeKind::Linear { child, current, .. } => {
+            *current = Multiset::decode(r)?;
+            restore_node(child, r)?;
+        }
+        NodeKind::Recompute {
+            left,
+            right,
+            current,
+            ..
+        } => {
+            *current = Multiset::decode(r)?;
+            restore_node(left, r)?;
+            if let Some(right) = right {
+                restore_node(right, r)?;
+            }
+        }
+        NodeKind::Invoke {
+            child,
+            cache,
+            current,
+            ..
+        } => {
+            let entries = r.usize()?;
+            cache.clear();
+            *current = Multiset::new();
+            for _ in 0..entries {
+                let t = r.tuple()?;
+                let count = r.usize()?;
+                let n_outputs = r.usize()?;
+                let mut outputs = Vec::with_capacity(n_outputs.min(r.remaining()));
+                for _ in 0..n_outputs {
+                    let o = r.tuple()?;
+                    // derived: the β output is the cached extensions, one
+                    // occurrence per cached occurrence of the input tuple
+                    current.insert(o.clone(), count);
+                    outputs.push(o);
+                }
+                cache.insert(t, CacheEntry { count, outputs });
+            }
+            restore_node(child, r)?;
+        }
+        NodeKind::Window {
+            child,
+            period,
+            ring,
+            current,
+        } => {
+            let stored = r.u64()?;
+            if stored != *period {
+                return Err(SnapshotError::Mismatch(format!(
+                    "node {}: window period {period} vs snapshot {stored}",
+                    node.id
+                )));
+            }
+            let batches = r.usize()?;
+            ring.clear();
+            *current = Multiset::new();
+            for _ in 0..batches {
+                let len = r.usize()?;
+                let mut batch = Vec::with_capacity(len.min(r.remaining()));
+                for _ in 0..len {
+                    batch.push(r.tuple()?);
+                }
+                // the instantaneous window content is derived, not stored:
+                // it is the multiset union of the ring's batches
+                for t in &batch {
+                    current.insert(t.clone(), 1);
+                }
+                ring.push_back(batch);
+            }
+            restore_node(child, r)?;
+        }
+        NodeKind::StreamOf { child, .. } | NodeKind::SampleInvoke { child, .. } => {
+            restore_node(child, r)?;
+        }
+    }
+    Ok(())
 }
 
 /// Compile one plan node, assigning pre-order [`NodeId`]s (this node first,
@@ -740,6 +959,9 @@ fn tick_node_inner(node: &mut NodeKind, ctx: &mut Ctx<'_>, obs: &mut OpObservati
                     }
                     Err(e) => {
                         obs.failures += 1;
+                        if matches!(e, EvalError::Panicked { .. }) {
+                            obs.panics += 1;
+                        }
                         match ctx.degrade {
                             DegradePolicy::FailQuery => ctx.errors.push(e),
                             DegradePolicy::DropTuple => obs.degraded += 1,
@@ -964,6 +1186,9 @@ fn apply_invoke(
                     }
                     Err(e) => {
                         obs.failures += 1;
+                        if matches!(e, EvalError::Panicked { .. }) {
+                            obs.panics += 1;
+                        }
                         match ctx.degrade {
                             DegradePolicy::FailQuery => {
                                 // failed invocation: tuple contributes
@@ -1616,6 +1841,116 @@ mod tests {
         assert_eq!(total.applications, 2);
         assert_eq!(total.tuples_out, 2);
         assert_eq!(total.op, OpKind::Select);
+    }
+
+    #[test]
+    fn snapshot_restores_window_and_clock_mid_stream() {
+        // deterministic stream: one reading per tick, value = tick
+        fn make() -> (SourceSet, StreamPlan) {
+            let mut sources = SourceSet::new();
+            let src = FnStream(|at: Instant| vec![tuple![at.ticks() as i64]]);
+            sources.add_stream("s", int_schema("x"), Box::new(src));
+            (sources, StreamPlan::source("s").window(2))
+        }
+        let reg = example_registry();
+
+        // uninterrupted run: 6 ticks
+        let (mut sources, plan) = make();
+        let mut baseline = ContinuousQuery::compile(&plan, &mut sources).unwrap();
+        let mut expected = Vec::new();
+        for t in 0..6u64 {
+            let r = baseline.tick_with(&reg, &NoopMetrics);
+            if t >= 3 {
+                expected.push((
+                    r.delta.inserts.sorted_occurrences(),
+                    r.delta.deletes.sorted_occurrences(),
+                ));
+            }
+        }
+
+        // interrupted run: 3 ticks, snapshot, "crash", restore, 3 more
+        let (mut sources, plan) = make();
+        let mut q = ContinuousQuery::compile(&plan, &mut sources).unwrap();
+        for _ in 0..3 {
+            q.tick_with(&reg, &NoopMetrics);
+        }
+        let mut w = Writer::new();
+        q.write_snapshot(&mut w);
+        let bytes = w.into_bytes();
+        drop(q);
+
+        let (mut sources, plan) = make();
+        let mut restored = ContinuousQuery::compile(&plan, &mut sources).unwrap();
+        restored.read_snapshot(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(restored.next_instant(), Instant(3));
+        let got: Vec<_> = (0..3)
+            .map(|_| {
+                let r = restored.tick_with(&reg, &NoopMetrics);
+                (
+                    r.delta.inserts.sorted_occurrences(),
+                    r.delta.deletes.sorted_occurrences(),
+                )
+            })
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn snapshot_restores_beta_cache_exactly() {
+        // the cached extension (not a re-invocation) must be retracted
+        // after restore, even though a live call would read differently
+        fn make(table: &TableHandle) -> ContinuousQuery {
+            let mut sources = SourceSet::new();
+            sources.add_table("sensors", table.clone());
+            let plan = StreamPlan::source("sensors").invoke("getTemperature", "sensor");
+            ContinuousQuery::compile(&plan, &mut sources).unwrap()
+        }
+        let reg = example_registry();
+        let table = TableHandle::new(serena_core::schema::examples::sensors_schema());
+        let mut q = make(&table);
+        table.insert(tuple![Value::service("sensor01"), "corridor"]);
+        let produced = q
+            .tick_with(&reg, &NoopMetrics)
+            .delta
+            .inserts
+            .sorted_occurrences();
+        let mut w = Writer::new();
+        q.write_snapshot(&mut w);
+        let mut tw = Writer::new();
+        table.export_state(&mut tw);
+        let (qb, tb) = (w.into_bytes(), tw.into_bytes());
+        drop((q, table));
+
+        let table = TableHandle::new(serena_core::schema::examples::sensors_schema());
+        table.import_state(&mut Reader::new(&tb)).unwrap();
+        let mut q = make(&table);
+        q.read_snapshot(&mut Reader::new(&qb)).unwrap();
+        let counting = serena_core::eval::CountingInvoker::new(&reg);
+        table.delete(tuple![Value::service("sensor01"), "corridor"]);
+        let r = q.tick_with(&counting, &NoopMetrics);
+        assert_eq!(r.delta.deletes.sorted_occurrences(), produced);
+        assert_eq!(counting.count_of("getTemperature"), 0); // served from cache
+    }
+
+    #[test]
+    fn snapshot_shape_mismatch_is_a_typed_error() {
+        let mut sources = SourceSet::new();
+        let table = TableHandle::new(int_schema("x"));
+        sources.add_table("t", table.clone());
+        let q = ContinuousQuery::compile(&StreamPlan::source("t"), &mut sources).unwrap();
+        let mut w = Writer::new();
+        q.write_snapshot(&mut w);
+        let bytes = w.into_bytes();
+
+        // restore into a structurally different query
+        let mut sources = SourceSet::new();
+        sources.add_table("t", table.clone());
+        let plan = StreamPlan::source("t").select(Formula::gt_const("x", 0));
+        let mut other = ContinuousQuery::compile(&plan, &mut sources).unwrap();
+        assert!(matches!(
+            other.read_snapshot(&mut Reader::new(&bytes)),
+            Err(SnapshotError::Mismatch(_))
+        ));
     }
 
     #[test]

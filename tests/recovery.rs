@@ -1,0 +1,326 @@
+//! Crash-injection differential tests for checkpoint/recovery, plus the
+//! panic-containment acceptance test.
+//!
+//! The contract under test: a runtime killed after any tick and recovered
+//! from its snapshot (static setup re-run, dynamic state rehydrated)
+//! produces **byte-identical** output from that point on — same per-tick
+//! deltas (compared through their canonical snapshot encoding), same
+//! batches, same action sets, same β invocation/cache counters — at every
+//! kill point and at β parallelism 1 and 8. And: a service whose body
+//! panics never takes the process down; the panic surfaces as a contained
+//! error visible in health, Prometheus and the tick report, honoring the
+//! configured degradation policy.
+
+use serena::core::snapshot::Writer;
+use serena::core::tuple;
+use serena::prelude::*;
+use serena::services::bus::BusConfig;
+
+/// The number of ticks every differential run covers.
+const TICKS: u64 = 6;
+
+/// A deterministic PEMS: four simulated sensors, a finite `sensors` table
+/// mutated by [`apply_script`], a `readings` stream that is a pure
+/// function of the instant, and five continuous queries covering every
+/// stateful executor node kind (table delta, β cache, window ring,
+/// projection pipeline, βˢ sampling).
+fn recovery_pems(parallelism: usize) -> Pems {
+    use serena::core::service::fixtures;
+    let mut pems = Pems::builder()
+        .bus(BusConfig::instant())
+        .exec_options(ExecOptions::parallel(parallelism))
+        .build();
+    let reg = pems.registry();
+    for (name, seed) in [
+        ("sensor01", 1u64),
+        ("sensor06", 6),
+        ("sensor07", 7),
+        ("sensor22", 22),
+    ] {
+        reg.register(name, fixtures::temperature_sensor(seed));
+    }
+    pems.run_program(
+        "PROTOTYPE getTemperature( ) : ( temperature REAL );
+         EXTENDED RELATION sensors (
+           sensor SERVICE, location STRING, temperature REAL VIRTUAL
+         ) USING BINDING PATTERNS ( getTemperature[sensor] );",
+    )
+    .unwrap();
+    let schema = serena::core::schema::XSchema::builder()
+        .real("location", serena::core::value::DataType::Str)
+        .real("temperature", serena::core::value::DataType::Real)
+        .build()
+        .unwrap();
+    pems.tables_mut()
+        .define_stream_with("readings", schema, || {
+            Box::new(serena::stream::FnStream(|at: Instant| {
+                let t = at.ticks();
+                vec![
+                    tuple!["office", 15.0 + t as f64],
+                    tuple!["roof", 5.0 + (t % 3) as f64],
+                ]
+            }))
+        })
+        .unwrap();
+    pems.register_query("all", &StreamPlan::source("sensors"))
+        .unwrap();
+    pems.register_query(
+        "temps",
+        &StreamPlan::source("sensors").invoke("getTemperature", "sensor"),
+    )
+    .unwrap();
+    pems.register_query(
+        "hot",
+        &StreamPlan::source("readings")
+            .window(2)
+            .select(Formula::gt_const("temperature", 16.0)),
+    )
+    .unwrap();
+    pems.register_query(
+        "recent",
+        &StreamPlan::source("readings")
+            .window(3)
+            .project(["location"]),
+    )
+    .unwrap();
+    pems.register_query(
+        "sampled",
+        &StreamPlan::source("sensors").sample_invoke("getTemperature", "sensor", 2),
+    )
+    .unwrap();
+    pems
+}
+
+/// The scripted table mutations applied *before* tick `t` — the input the
+/// driver keeps replaying after a recovery.
+fn apply_script(pems: &mut Pems, t: u64) {
+    let program = match t {
+        0 => "INSERT INTO sensors VALUES ('sensor01', 'corridor'), ('sensor06', 'office');",
+        2 => "INSERT INTO sensors VALUES ('sensor07', 'office');",
+        // exercises exact retraction from a *restored* β cache
+        3 => "DELETE FROM sensors VALUES ('sensor06', 'office');",
+        4 => {
+            "INSERT INTO sensors VALUES ('sensor22', 'roof');
+              DELETE FROM sensors VALUES ('sensor01', 'corridor');"
+        }
+        _ => return,
+    };
+    pems.run_program(program).unwrap();
+}
+
+/// Everything observable about one query's tick, in comparable form. The
+/// delta goes through its canonical snapshot encoding so equality is
+/// byte-level, not just structural.
+#[derive(Debug, PartialEq)]
+struct Obs {
+    query: String,
+    at: Instant,
+    delta_bytes: Vec<u8>,
+    batch: Vec<serena::core::tuple::Tuple>,
+    actions: String,
+    errors: Vec<String>,
+    invocations: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    failures: u64,
+}
+
+fn observe(reports: Vec<(String, TickReport)>) -> Vec<Obs> {
+    reports
+        .into_iter()
+        .map(|(query, r)| {
+            let mut w = Writer::new();
+            r.delta.encode(&mut w);
+            Obs {
+                query,
+                at: r.at,
+                delta_bytes: w.into_bytes(),
+                batch: r.batch.clone(),
+                actions: r.actions.to_string(),
+                errors: r.errors.iter().map(|e| e.to_string()).collect(),
+                invocations: r.stats.total_invocations(),
+                cache_hits: r.stats.total_cache_hits(),
+                cache_misses: r.stats.total_cache_misses(),
+                failures: r.stats.total_failures(),
+            }
+        })
+        .collect()
+}
+
+/// Tentpole acceptance: kill the runtime after every instant `0..TICKS`,
+/// recover from the snapshot, and compare every remaining tick against the
+/// uninterrupted baseline — at β parallelism 1 and 8.
+#[test]
+fn recovery_is_byte_identical_at_every_kill_point() {
+    for parallelism in [1usize, 8] {
+        // the uninterrupted run
+        let mut baseline = recovery_pems(parallelism);
+        let mut expected = Vec::new();
+        for t in 0..TICKS {
+            apply_script(&mut baseline, t);
+            expected.push(observe(baseline.tick()));
+        }
+
+        for kill in 0..TICKS {
+            // run a fresh instance up to the kill point, snapshot, "crash"
+            let mut doomed = recovery_pems(parallelism);
+            for t in 0..kill {
+                apply_script(&mut doomed, t);
+                doomed.tick();
+            }
+            let snapshot = doomed.snapshot_bytes();
+            drop(doomed);
+
+            // recover: re-run the static setup, rehydrate, resume
+            let mut recovered = recovery_pems(parallelism);
+            recovered.restore_bytes(&snapshot).unwrap_or_else(|e| {
+                panic!("restore failed (kill={kill}, workers={parallelism}): {e}")
+            });
+            assert_eq!(recovered.clock(), Instant(kill));
+            for t in kill..TICKS {
+                apply_script(&mut recovered, t);
+                let got = observe(recovered.tick());
+                assert_eq!(
+                    got, expected[t as usize],
+                    "tick {t} diverged after kill={kill} workers={parallelism}"
+                );
+            }
+
+            // final aggregates agree with the uninterrupted run too
+            for query in ["all", "temps", "hot", "recent", "sampled"] {
+                assert_eq!(
+                    recovered.processor().stats(query),
+                    baseline.processor().stats(query),
+                    "stats for `{query}` diverged after kill={kill} workers={parallelism}"
+                );
+                assert_eq!(
+                    recovered.processor().current_relation(query),
+                    baseline.processor().current_relation(query),
+                    "result of `{query}` diverged after kill={kill} workers={parallelism}"
+                );
+            }
+        }
+    }
+}
+
+/// The periodic checkpoint a running PEMS writes is itself a valid
+/// recovery point: restore from the *file* (not in-memory bytes) and the
+/// remaining ticks match the baseline.
+#[test]
+fn recovery_from_checkpoint_file_resumes_identically() {
+    let dir = std::env::temp_dir().join(format!("serena-recovery-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut baseline = recovery_pems(4);
+    let mut expected = Vec::new();
+    for t in 0..TICKS {
+        apply_script(&mut baseline, t);
+        expected.push(observe(baseline.tick()));
+    }
+
+    // checkpoint every second tick; crash after 4 ticks — the file on
+    // disk was last cut after tick 3 completed (clock = 4)
+    let mut doomed = recovery_pems(4);
+    for t in 0..4u64 {
+        apply_script(&mut doomed, t);
+        doomed.tick();
+        if (t + 1) % 2 == 0 {
+            doomed.checkpoint_to(&dir).unwrap();
+        }
+    }
+    drop(doomed);
+
+    let mut recovered = recovery_pems(4);
+    recovered.restore_from(&dir).unwrap();
+    let resume = recovered.clock().ticks();
+    assert_eq!(resume, 4, "checkpoint cut after tick 3");
+    for t in resume..TICKS {
+        apply_script(&mut recovered, t);
+        let got = observe(recovered.tick());
+        assert_eq!(
+            got, expected[t as usize],
+            "tick {t} diverged after file recovery"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite acceptance: a panicking service never aborts the process.
+/// The panic is contained into an error, counted in health and
+/// `serena_beta_panic_total`, honors the degradation policy, and the β
+/// pool stays usable for subsequent ticks.
+#[test]
+fn panicking_service_is_contained_through_the_full_stack() {
+    use serena::core::service::fixtures;
+
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // keep the contained panics quiet
+
+    let run = |degrade: DegradePolicy| {
+        let mut pems = Pems::builder()
+            .bus(BusConfig::instant())
+            .exec_options(ExecOptions::parallel(8).with_degrade(degrade))
+            .build();
+        let reg = pems.registry();
+        reg.register("sensor01", fixtures::temperature_sensor(1));
+        reg.register("sensor06", fixtures::panicking_sensor());
+        pems.run_program(
+            "PROTOTYPE getTemperature( ) : ( temperature REAL );
+             EXTENDED RELATION sensors (
+               sensor SERVICE, location STRING, temperature REAL VIRTUAL
+             ) USING BINDING PATTERNS ( getTemperature[sensor] );
+             INSERT INTO sensors VALUES
+               ('sensor01', 'corridor'), ('sensor06', 'office');
+             REGISTER QUERY temps AS INVOKE[getTemperature[sensor]](sensors);",
+        )
+        .unwrap();
+        pems
+    };
+
+    // DropTuple: the panicking sensor's tuple is dropped, the healthy
+    // sensor's survives — across several ticks (the pool is not poisoned)
+    let mut pems = run(DegradePolicy::DropTuple);
+    let first = pems.tick();
+    assert_eq!(first[0].1.delta.inserts.len(), 1, "healthy tuple survives");
+    pems.run_program("INSERT INTO sensors VALUES ('sensor06', 'roof');")
+        .unwrap();
+    let second = pems.tick();
+    assert_eq!(
+        second[0].1.delta.inserts.len(),
+        0,
+        "panicking tuple dropped again"
+    );
+
+    // the panic is visible end to end: health, Prometheus, breakers intact
+    let health = pems.service_health();
+    let bad = health
+        .iter()
+        .find(|h| h.reference.as_str() == "sensor06")
+        .expect("panicking service observed by health");
+    assert!(bad.failures >= 2, "{bad:?}");
+    assert!(
+        bad.last_error.as_deref().unwrap_or("").contains("panicked"),
+        "{:?}",
+        bad.last_error
+    );
+    let metrics = pems.metrics_registry();
+    let panics = metrics
+        .counter_value("serena_beta_panic_total", &[("op", "Invoke")])
+        .unwrap_or(0);
+    assert!(panics >= 2, "serena_beta_panic_total = {panics}");
+    let rendered = pems.render_metrics();
+    assert!(rendered.contains("serena_beta_panic_total"));
+
+    // FailQuery (the default): the tick survives, the error carries the
+    // panic, and the process is — evidently — still alive
+    let mut strict = run(DegradePolicy::FailQuery);
+    let reports = strict.tick();
+    assert_eq!(reports[0].1.errors.len(), 1);
+    assert!(
+        reports[0].1.errors[0].to_string().contains("panicked"),
+        "{}",
+        reports[0].1.errors[0]
+    );
+
+    std::panic::set_hook(prev);
+}
