@@ -1,0 +1,100 @@
+//! Massive-scale benchmark (ROADMAP item 1, §7's "benchmark for pervasive
+//! environments"): a 10⁴-device zipf-skewed fleet, trace-driven arrivals,
+//! and 120 concurrent continuous queries, measured end to end.
+//!
+//! ```sh
+//! cargo bench -p serena-bench --bench scale
+//! ```
+//!
+//! Writes `BENCH_scale.json` (override with `SERENA_BENCH_OUT`) with the
+//! objective indicators: tuples/sec, merged p99 tick latency and memory per
+//! query. Scale down for smokes with `SERENA_SCALE_DEVICES`,
+//! `SERENA_SCALE_QUERIES`, `SERENA_SCALE_TICKS` … (see
+//! [`serena_bench::envgen::ScaleConfig::from_env`]).
+
+use serena_bench::criterion_group;
+use serena_bench::envgen::{run_scale, ScaleConfig};
+use serena_bench::harness::{take_records, BenchmarkId, Criterion};
+
+fn bench_scale(c: &mut Criterion) {
+    let config = ScaleConfig::from_env();
+    let mut group = c.benchmark_group("scale");
+
+    // Steady-state tick cost of the full environment under load.
+    let (mut pems, _names) = config.deploy();
+    pems.run_ticks(4); // fill windows, warm β caches, settle discovery
+    group.bench_with_input(
+        BenchmarkId::new("tick", format!("{}dev-{}q", config.devices, config.queries)),
+        &(),
+        |b, ()| {
+            b.iter(|| pems.tick());
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+
+fn main() {
+    let config = ScaleConfig::from_env();
+    println!(
+        "scale run: {} sensors + {} cameras + {} messengers, {} queries, {} ticks",
+        config.devices, config.cameras, config.messengers, config.queries, config.ticks
+    );
+
+    benches();
+    let records = take_records();
+
+    let outcome = run_scale(&config);
+    println!(
+        "{} devices / {} queries over {} ticks: {:.0} tuples/s in \
+         ({} ingested, {} emitted, {} errors survived), p99 tick {:.3} ms, \
+         {} B snapshot ({} B/query)",
+        outcome.devices,
+        outcome.queries,
+        outcome.ticks,
+        outcome.tuples_per_sec,
+        outcome.tuples_in,
+        outcome.tuples_out,
+        outcome.errors,
+        outcome.p99_tick_ns as f64 / 1e6,
+        outcome.mem_bytes,
+        outcome.mem_per_query,
+    );
+
+    // Sanity gates: an empty run must fail loudly, not write plausible JSON.
+    if outcome.tuples_in == 0 || outcome.tuples_out == 0 || outcome.p99_tick_ns == 0 {
+        eprintln!("scale run produced no work: {outcome:?}");
+        std::process::exit(1);
+    }
+
+    let mut json = String::from("{\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 < records.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"mean_ns\": {}, \"best_ns\": {}}}{sep}\n",
+            r.label, r.mean_ns, r.best_ns
+        ));
+    }
+    json.push_str("  ]");
+    json.push_str(&format!(
+        ",\n  \"devices\": {},\n  \"queries\": {},\n  \"ticks\": {}",
+        outcome.devices, outcome.queries, outcome.ticks
+    ));
+    json.push_str(&format!(
+        ",\n  \"tuples_per_sec\": {:.1},\n  \"tuples_in\": {},\n  \"tuples_out\": {}",
+        outcome.tuples_per_sec, outcome.tuples_in, outcome.tuples_out
+    ));
+    json.push_str(&format!(
+        ",\n  \"errors\": {},\n  \"elapsed_ns\": {}",
+        outcome.errors, outcome.elapsed_ns
+    ));
+    json.push_str(&format!(
+        ",\n  \"p99_tick_ns\": {},\n  \"mem_bytes\": {},\n  \"mem_per_query_bytes\": {}\n}}\n",
+        outcome.p99_tick_ns, outcome.mem_bytes, outcome.mem_per_query
+    ));
+
+    let path = std::env::var("SERENA_BENCH_OUT").unwrap_or_else(|_| "BENCH_scale.json".to_string());
+    std::fs::write(&path, json).expect("write bench results");
+    println!("wrote {path}");
+}

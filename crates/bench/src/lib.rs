@@ -12,6 +12,8 @@
 //! tuples, selectivities and churn rates, all deterministic.
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 use std::sync::Arc;
 
@@ -25,6 +27,7 @@ use serena_core::tuple::Tuple;
 use serena_core::value::Value;
 use serena_core::xrelation::XRelation;
 
+pub mod envgen;
 pub mod harness;
 
 /// Deterministic scaled workloads.
@@ -79,16 +82,20 @@ pub mod workload {
     /// relations.
     pub fn scaled_environment(sensors: usize, cameras: usize, contacts: usize) -> Environment {
         let mut env = Environment::new();
-        env.declare_prototype(protos::send_message()).unwrap();
-        env.declare_prototype(protos::check_photo()).unwrap();
-        env.declare_prototype(protos::take_photo()).unwrap();
-        env.declare_prototype(protos::get_temperature()).unwrap();
+        env.declare_prototype(protos::send_message())
+            .expect("fresh environment accepts prototypes");
+        env.declare_prototype(protos::check_photo())
+            .expect("fresh environment accepts prototypes");
+        env.declare_prototype(protos::take_photo())
+            .expect("fresh environment accepts prototypes");
+        env.declare_prototype(protos::get_temperature())
+            .expect("fresh environment accepts prototypes");
         env.define_relation("sensors", sensors_relation(sensors))
-            .unwrap();
+            .expect("sensors relation is schema-valid");
         env.define_relation("cameras", cameras_relation(cameras))
-            .unwrap();
+            .expect("cameras relation is schema-valid");
         env.define_relation("contacts", contacts_relation(contacts))
-            .unwrap();
+            .expect("contacts relation is schema-valid");
         env
     }
 

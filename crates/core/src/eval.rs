@@ -3,16 +3,16 @@
 //! "The evaluation of query q over a relational pervasive environment p
 //! occurs at a given instant τ: service invocations, through invocation
 //! operators, are defined by the corresponding invocation functions at the
-//! given instant." The evaluator interprets a [`Plan`] against an
-//! [`Environment`], resolving service invocations through an [`Invoker`] at
-//! a fixed [`Instant`], and collects the query's action set (Definition 8)
-//! along the way.
+//! given instant." The evaluator — [`ExecContext`](crate::exec::ExecContext)
+//! — interprets a [`Plan`](crate::plan::Plan) against an
+//! [`Environment`](crate::env::Environment), resolving service invocations
+//! through an [`Invoker`] at a fixed [`Instant`], and collects the query's
+//! action set (Definition 8) along the way. This module keeps the shared
+//! evaluation vocabulary: [`EvalOutcome`] and the [`CountingInvoker`]
+//! instrument.
 
 use crate::action::ActionSet;
-use crate::env::Environment;
 use crate::error::EvalError;
-use crate::exec::ExecContext;
-use crate::plan::Plan;
 use crate::service::Invoker;
 use crate::time::Instant;
 use crate::xrelation::XRelation;
@@ -25,25 +25,6 @@ pub struct EvalOutcome {
     pub relation: XRelation,
     /// `Actions_p(q)` (Definition 8).
     pub actions: ActionSet,
-}
-
-/// Evaluate `plan` over `env` at instant `at`, using `invoker` for all
-/// service invocations.
-///
-/// Thin wrapper over [`ExecContext`] with the default (discarding) metrics
-/// sink; use [`ExecContext::with_metrics`] to observe per-operator
-/// statistics.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `ExecContext::new(env, invoker, at).execute(plan)` instead"
-)]
-pub fn evaluate(
-    plan: &Plan,
-    env: &Environment,
-    invoker: &dyn Invoker,
-    at: Instant,
-) -> Result<EvalOutcome, EvalError> {
-    ExecContext::new(env, invoker, at).execute(plan)
 }
 
 /// An [`Invoker`] decorator counting invocations per prototype — the
@@ -110,10 +91,21 @@ impl Invoker for CountingInvoker<'_> {
 
 #[cfg(test)]
 mod tests {
-    // These tests deliberately exercise the deprecated `evaluate` wrapper to
-    // keep its behaviour pinned to `ExecContext::execute`.
-    #![allow(deprecated)]
     use super::*;
+    use crate::env::Environment;
+    use crate::exec::ExecContext;
+    use crate::plan::Plan;
+
+    /// Test-local shorthand for the one-shot evaluation path — the public
+    /// entrypoint is `ExecContext::new(env, invoker, at).execute(plan)`.
+    fn evaluate(
+        plan: &Plan,
+        env: &Environment,
+        invoker: &dyn Invoker,
+        at: Instant,
+    ) -> Result<EvalOutcome, EvalError> {
+        ExecContext::new(env, invoker, at).execute(plan)
+    }
     use crate::env::examples::example_environment;
     use crate::formula::Formula;
     use crate::plan::examples::{q1, q1_prime, q2, q2_prime};

@@ -7,9 +7,9 @@
 //! application: tuples in/out,
 //! β invocation counts and failures, and wall-clock self-time per node.
 //!
-//! With the default [`NoopMetrics`] sink, [`ExecContext::execute`] is
-//! behaviourally identical to the historical free function
-//! [`crate::eval::evaluate`] (which is now a thin wrapper over it).
+//! [`ExecContext::new(env, invoker, at).execute(plan)`](ExecContext::execute)
+//! is *the* one-shot evaluation entrypoint (the historical free function
+//! `evaluate` was a thin wrapper over it and has been removed).
 //!
 //! Plan nodes are numbered by **pre-order index** (root = 0, children left
 //! to right) — the same numbering [`explain_analyze_text`] uses to line
@@ -127,31 +127,11 @@ fn render_node(
 mod tests {
     use super::*;
     use crate::env::examples::example_environment;
-    #[allow(deprecated)]
-    use crate::eval::evaluate;
     use crate::formula::Formula;
     use crate::metrics::OpKind;
     use crate::ops::{AggFun, AggSpec};
-    use crate::plan::examples::{q1, q2};
+    use crate::plan::examples::q1;
     use crate::service::fixtures::example_registry;
-
-    /// With the default sink, ExecContext is exactly the old evaluator.
-    #[test]
-    #[allow(deprecated)]
-    fn noop_context_matches_free_function() {
-        let env = example_environment();
-        let reg = example_registry();
-        for plan in [q1(), q2()] {
-            for t in 0..4 {
-                let a = ExecContext::new(&env, &reg, Instant(t))
-                    .execute(&plan)
-                    .unwrap();
-                let b = evaluate(&plan, &env, &reg, Instant(t)).unwrap();
-                assert_eq!(a.relation, b.relation);
-                assert_eq!(a.actions, b.actions);
-            }
-        }
-    }
 
     /// Per-operator counters: a σ/π/β/γ pipeline over the running example.
     #[test]

@@ -83,8 +83,6 @@ pub mod prelude {
     pub use crate::binding::BindingPattern;
     pub use crate::env::Environment;
     pub use crate::error::{EvalError, PlanError, SchemaError};
-    #[allow(deprecated)]
-    pub use crate::eval::evaluate;
     pub use crate::eval::EvalOutcome;
     pub use crate::exec::{explain_analyze_text, ExecContext};
     pub use crate::formula::{Expr, Formula};

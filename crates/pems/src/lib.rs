@@ -18,7 +18,11 @@
 //!   and crash recovery ([`pems::PemsBuilder::checkpoint`],
 //!   [`pems::Pems::restore_from`]);
 //! * [`scenario`] — the paper's two experiments (§5.2) as reusable
-//!   deployments.
+//!   deployments;
+//! * [`envspec`] — the typed [`envspec::EnvSpec`] / [`envspec::WorkloadSpec`]
+//!   builders: the one public way to construct device fleets and batches of
+//!   continuous queries, from the §5.2 scenario up to 10⁴⁺-device scale
+//!   benchmarks, deterministically from a seed.
 //!
 //! ```
 //! use serena_pems::pems::Pems;
@@ -40,6 +44,7 @@
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod envspec;
 pub mod hub;
 pub mod pems;
 pub mod processor;
@@ -47,6 +52,7 @@ pub mod recovery;
 pub mod scenario;
 pub mod table_manager;
 
+pub use envspec::{ArrivalTrace, EnvSpec, Fleet, MessengerFleet, QueryTemplate, WorkloadSpec};
 pub use hub::{RssStream, SensorSampler, StreamHub};
 pub use pems::{ExecOutcome, ExplainAnalyze, Pems, PemsBuilder, PemsError};
 pub use processor::{QueryProcessor, QueryStats};

@@ -329,16 +329,6 @@ impl Pems {
         PemsBuilder::new()
     }
 
-    /// A PEMS with the given discovery-network latency model — shorthand
-    /// for `Pems::builder().bus(bus_config).build()`.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `Pems::builder().bus(config).build()` instead"
-    )]
-    pub fn new(bus_config: BusConfig) -> Self {
-        Pems::builder().bus(bus_config).build()
-    }
-
     /// The shared dynamic registry queries invoke through.
     pub fn registry(&self) -> Arc<DynamicRegistry> {
         Arc::clone(self.erm.registry())
@@ -461,6 +451,24 @@ impl Pems {
         self.processor
             .register_with_options(name, plan, &mut sources, self.exec_options)?;
         Ok(())
+    }
+
+    /// Register a batch of continuous queries in declaration order,
+    /// returning the registered names — the ergonomic path for
+    /// [`crate::envspec::WorkloadSpec`]-sized workloads (hundreds of
+    /// queries).
+    pub fn register_queries<I, S>(&mut self, queries: I) -> Result<Vec<String>, PemsError>
+    where
+        I: IntoIterator<Item = (S, serena_stream::plan::StreamPlan)>,
+        S: Into<String>,
+    {
+        let mut names = Vec::new();
+        for (name, plan) in queries {
+            let name = name.into();
+            self.register_query(name.clone(), &plan)?;
+            names.push(name);
+        }
+        Ok(names)
     }
 
     /// Execute a parsed statement.

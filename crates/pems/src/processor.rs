@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use serena_core::error::PlanError;
-use serena_core::metrics::{ExecStats, MetricsSink, NoopMetrics, Tee};
+use serena_core::metrics::{ExecStats, MetricsSink, Tee};
 use serena_core::physical::ExecOptions;
 use serena_core::service::Invoker;
 use serena_core::snapshot::{Reader, SnapshotError, Writer};
@@ -274,17 +274,8 @@ impl QueryProcessor {
     }
 
     /// Advance the global clock by one instant, ticking every registered
-    /// query at that instant (in parallel when there are several). Returns
-    /// `(name, report)` pairs sorted by name.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `tick_all_with(invoker, &NoopMetrics)` (or a real sink) instead"
-    )]
-    pub fn tick_all(&mut self, invoker: &dyn Invoker) -> Vec<(String, TickReport)> {
-        self.tick_all_with(invoker, &NoopMetrics)
-    }
-
-    /// [`Self::tick_all`], duplicating every query's per-node observations
+    /// query at that instant (in parallel when there are several),
+    /// duplicating every query's per-node observations
     /// into a shared `sink` as well (the PEMS-wide sink configured through
     /// the builder). Each query's rolling stats accumulate regardless.
     pub fn tick_all_with(
@@ -391,6 +382,7 @@ impl QueryProcessor {
 mod tests {
     use super::*;
     use serena_core::formula::Formula;
+    use serena_core::metrics::NoopMetrics;
     use serena_core::schema::XSchema;
     use serena_core::service::fixtures::example_registry;
     use serena_core::tuple;

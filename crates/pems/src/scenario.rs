@@ -24,13 +24,12 @@ use serena_core::time::Instant;
 use serena_core::tuple::Tuple;
 use serena_core::value::{DataType, Value};
 use serena_services::bus::BusConfig;
-use serena_services::devices::camera::SimCamera;
-use serena_services::devices::messenger::{MessengerKind, SentMessage, SimMessenger};
+use serena_services::devices::messenger::{MessengerKind, SentMessage};
 use serena_services::devices::rss::SimRssFeed;
-use serena_services::devices::temperature::SimTemperatureSensor;
 use serena_stream::plan::{StreamKind, StreamPlan};
 use serena_stream::source::StreamSource;
 
+use crate::envspec::EnvSpec;
 use crate::hub::{RssStream, SensorSampler};
 use crate::pems::{Pems, PemsError};
 
@@ -157,9 +156,18 @@ pub fn photo_query(threshold: f64) -> StreamPlan {
 }
 
 /// Deploy the temperature-surveillance scenario.
+///
+/// Devices are described and registered through the one public fleet
+/// path, [`EnvSpec`]; the scenario owns only its catalog (the §5.2
+/// XD-Relations), the contact/surveillance data and the queries.
 pub fn deploy_surveillance(config: &SurveillanceConfig) -> Result<Surveillance, PemsError> {
     let mut pems = Pems::builder().bus(config.bus).build();
-    let area = |i: usize| config.areas[i % config.areas.len()].clone();
+    // Seed 1 keeps the historical per-device seeds (sensor/camera i → i+1).
+    let spec = EnvSpec::new(1)
+        .sensors(config.sensors)
+        .cameras(config.cameras)
+        .areas(config.areas.clone())
+        .heat_events(config.heat_events.clone());
 
     // --- prototypes (Table 1, plus the full scenario's photo messaging) ---
     for p in [
@@ -214,48 +222,13 @@ pub fn deploy_surveillance(config: &SurveillanceConfig) -> Result<Surveillance, 
     // cameras table maintained by a discovery query (§5.1)
     pems.register_discovery("cameras", "checkPhoto", "camera")?;
 
-    // --- devices behind a Local ERM ---
-    let lerm = pems.local_erm("building");
-    let now = pems.clock();
-    for i in 0..config.sensors {
-        let name = format!("sensor{i:02}");
-        let mut sensor = SimTemperatureSensor::room(i as u64 + 1);
-        for (idx, from, to, peak) in &config.heat_events {
-            if *idx == i {
-                sensor = sensor.with_heat_event(*from, *to, *peak);
-            }
-        }
-        lerm.register_service(name.clone(), sensor.into_service(), now);
-        pems.directory().set(name, "location", Value::str(area(i)));
-    }
-    for i in 0..config.cameras {
-        let name = format!("camera{i:02}");
-        let a = area(i);
-        lerm.register_service(
-            name.clone(),
-            SimCamera::new(&name, i as u64 + 1, &[a.as_str()]).into_service(),
-            now,
-        );
-        pems.directory().set(name.clone(), "area", Value::str(a));
-    }
+    // --- devices behind a Local ERM: the EnvSpec fleet path ---
+    let fleet = spec.deploy_into(&pems);
 
-    // messengers + contacts + surveillance assignments
-    let mut outboxes = BTreeMap::new();
-    let kinds = [
-        MessengerKind::Email,
-        MessengerKind::Jabber,
-        MessengerKind::Sms,
-    ];
-    for (i, kind) in kinds.iter().enumerate() {
-        let (svc, outbox) = SimMessenger::new(*kind).into_service();
-        let reference = kind.label().to_string();
-        lerm.register_service(reference.clone(), svc, now);
-        outboxes.insert(reference, outbox);
-        let _ = i;
-    }
+    // contacts + surveillance assignments (data, not devices)
     for i in 0..config.contacts {
         let name = format!("contact{i}");
-        let kind = kinds[i % kinds.len()];
+        let kind = spec.messenger_kind(i);
         let address = match kind {
             MessengerKind::Sms => format!("+336000000{i:02}"),
             _ => format!("{name}@example.org"),
@@ -270,7 +243,7 @@ pub fn deploy_surveillance(config: &SurveillanceConfig) -> Result<Surveillance, 
         )?;
         pems.tables_mut().insert(
             "surveillance",
-            Tuple::new(vec![Value::str(area(i)), Value::str(&name)]),
+            Tuple::new(vec![Value::str(spec.area_of(i)), Value::str(&name)]),
         )?;
     }
 
@@ -282,13 +255,10 @@ pub fn deploy_surveillance(config: &SurveillanceConfig) -> Result<Surveillance, 
     }
     pems.register_query("photos", &photo_query(config.threshold))?;
 
-    let sensor_areas = (0..config.sensors)
-        .map(|i| (format!("sensor{i:02}"), area(i)))
-        .collect();
     Ok(Surveillance {
         pems,
-        outboxes,
-        sensor_areas,
+        outboxes: fleet.outboxes,
+        sensor_areas: fleet.sensors,
     })
 }
 
@@ -378,6 +348,7 @@ use AttrName as _AttrNameUsedInDocs;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serena_services::devices::temperature::SimTemperatureSensor;
 
     #[test]
     fn surveillance_deploys_and_idles_quietly() {

@@ -1,0 +1,341 @@
+//! Deterministic fleet parameterization for massive simulated
+//! environments.
+//!
+//! §7 of the paper names a "benchmark for pervasive environments" as future
+//! work; building one needs fleets of 10⁴–10⁶ devices whose per-service
+//! latencies and failure rates follow realistic, *skewed* distributions —
+//! a handful of slow or flaky devices, a long tail of fast healthy ones.
+//! This module provides those draws as pure functions of `(seed, index)`:
+//! no RNG state, no wall clock, so the same specification replays
+//! byte-identically (the property the scale benchmarks and the determinism
+//! regression tests are built on).
+//!
+//! * [`mix64`] — the splitmix64 finalizer shared with the simulated
+//!   devices, exported for downstream spec builders;
+//! * [`LatencyProfile`] — zipf-skewed per-service wall-clock latencies;
+//! * [`FailureProfile`] — zipf-skewed per-service failure rates, realized
+//!   either as replayable [`FaultPolicy::Intermittent`] duty cycles or (for
+//!   fleets shared by concurrent queries) as the pure-per-instant
+//!   [`FlakyService`];
+//! * [`FlakyService`] — a failure decorator whose outcome is a pure
+//!   function of `(seed, instant)`. Unlike
+//!   [`FaultyService`](crate::faults::FaultyService), whose attempt counter
+//!   is shared mutable state (so *which* of several concurrent queries
+//!   observes a duty-cycle failure is a race), a flaky service fails
+//!   identically for every caller at a given instant — the property the
+//!   determinism regression relies on;
+//! * [`SlowService`] — a per-*service* latency decorator (unlike
+//!   [`SlowInvoker`](crate::faults::SlowInvoker), which delays every call
+//!   of an invoker uniformly). Sleeping never affects logical outputs, so
+//!   latency injection preserves determinism.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use serena_core::prototype::Prototype;
+use serena_core::service::Service;
+use serena_core::time::Instant;
+use serena_core::tuple::Tuple;
+
+use crate::faults::FaultPolicy;
+
+/// Deterministic 64-bit mix (splitmix64 finalizer) — the same derivation
+/// the simulated devices use, exported so environment generators can draw
+/// per-device parameters from `(seed, index, salt)` without an RNG.
+pub fn mix64(seed: u64, t: u64, salt: u64) -> u64 {
+    crate::devices::mix(seed, t, salt)
+}
+
+/// A device's zipf rank in a fleet of `n`: a deterministic pseudo-random
+/// value in `1..=n` drawn from `(seed, index, salt)`. Rank 1 is the "head"
+/// of the distribution (slowest / flakiest); most devices land deep in the
+/// tail.
+fn zipf_rank(seed: u64, index: u64, n: u64, salt: u64) -> u64 {
+    1 + mix64(seed, index, salt) % n.max(1)
+}
+
+/// Zipf-skewed per-service latencies: the rank-1 service sleeps `max`, the
+/// rank-r service sleeps `max / r^exponent`. With the default exponent of
+/// 1.0 a 10⁴-device fleet has a handful of millisecond-slow devices and a
+/// long tail of effectively instant ones — the traffic shape a pervasive
+/// deployment actually presents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyProfile {
+    /// Latency of the rank-1 (slowest) service.
+    pub max: Duration,
+    /// Zipf exponent `s` (≥ 0; 0 makes every service equally slow).
+    pub exponent: f64,
+}
+
+impl LatencyProfile {
+    /// A profile with the given head latency and exponent.
+    pub fn new(max: Duration, exponent: f64) -> Self {
+        LatencyProfile { max, exponent }
+    }
+
+    /// The latency of device `index` in a fleet of `fleet_size`, drawn
+    /// deterministically from `seed`.
+    pub fn latency_for(&self, seed: u64, index: u64, fleet_size: u64) -> Duration {
+        let rank = zipf_rank(seed, index, fleet_size, 0x1A7E) as f64;
+        let ns = self.max.as_nanos() as f64 / rank.powf(self.exponent);
+        Duration::from_nanos(ns as u64)
+    }
+}
+
+/// Zipf-skewed per-service failure rates: the rank-1 service fails at
+/// `max_rate`, the rank-r service at `max_rate / r^exponent`.
+///
+/// Rates are *realized* as [`FaultPolicy::Intermittent`] duty cycles over a
+/// 100-call period, so the failures a query observes are a replayable
+/// function of the invocation sequence — not a per-call coin flip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureProfile {
+    /// Failure rate of the rank-1 (flakiest) service, in `0.0..=1.0`.
+    pub max_rate: f64,
+    /// Zipf exponent `s` (≥ 0; 0 makes every service equally flaky).
+    pub exponent: f64,
+}
+
+impl FailureProfile {
+    /// A profile with the given head failure rate and exponent.
+    pub fn new(max_rate: f64, exponent: f64) -> Self {
+        FailureProfile {
+            max_rate: max_rate.clamp(0.0, 1.0),
+            exponent,
+        }
+    }
+
+    /// The long-run failure rate of device `index` in a fleet of
+    /// `fleet_size`, drawn deterministically from `seed`.
+    pub fn rate_for(&self, seed: u64, index: u64, fleet_size: u64) -> f64 {
+        let rank = zipf_rank(seed, index, fleet_size, 0xFA11) as f64;
+        self.max_rate / rank.powf(self.exponent)
+    }
+
+    /// The rate realized as a [`FaultPolicy`]: an `Intermittent` duty cycle
+    /// whose long-run rate rounds to [`Self::rate_for`] over a 100-call
+    /// period, or [`FaultPolicy::None`] when the rate rounds to zero.
+    pub fn policy_for(&self, seed: u64, index: u64, fleet_size: u64) -> FaultPolicy {
+        let fail = (self.rate_for(seed, index, fleet_size) * 100.0).round() as u64;
+        match fail.min(100) {
+            0 => FaultPolicy::None,
+            f => FaultPolicy::Intermittent {
+                fail: f,
+                ok: 100 - f,
+            },
+        }
+    }
+}
+
+/// A failure decorator that is a **pure function of the logical instant**:
+/// at instant τ the service either fails for *every* caller or for none,
+/// decided by `mix64(seed, τ)` against the configured rate. Concurrent
+/// queries invoking the same device therefore observe identical outcomes
+/// regardless of scheduling — the fault realization massive-scale specs
+/// use ([`FailureProfile`] supplies the per-device rate and seed).
+pub struct FlakyService {
+    inner: Arc<dyn Service>,
+    seed: u64,
+    rate_pct: u64,
+}
+
+impl FlakyService {
+    /// Wrap `inner` so invocations at instant τ fail with long-run
+    /// frequency `rate` (clamped to `0.0..=1.0`, rounded to whole
+    /// percent). A rate rounding to zero returns `inner` unwrapped.
+    pub fn wrap(inner: Arc<dyn Service>, seed: u64, rate: f64) -> Arc<dyn Service> {
+        let rate_pct = (rate.clamp(0.0, 1.0) * 100.0).round() as u64;
+        if rate_pct == 0 {
+            inner
+        } else {
+            Arc::new(FlakyService {
+                inner,
+                seed,
+                rate_pct,
+            })
+        }
+    }
+
+    /// Whether the service fails at `at` — pure, so callers (and test
+    /// oracles) can predict the schedule.
+    pub fn fails_at(&self, at: Instant) -> bool {
+        mix64(self.seed, at.ticks(), 0xF1A6) % 100 < self.rate_pct
+    }
+}
+
+impl Service for FlakyService {
+    fn prototypes(&self) -> Vec<Arc<Prototype>> {
+        self.inner.prototypes()
+    }
+
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, String> {
+        if self.fails_at(at) {
+            Err("injected fault: device unreachable".to_string())
+        } else {
+            self.inner.invoke(prototype, input, at)
+        }
+    }
+}
+
+/// A decorator adding a fixed wall-clock latency to one [`Service`]. The
+/// sleep happens on the invoking thread and never changes the inner
+/// service's logical output, so injected latency is invisible to the
+/// algebra — only to the clock.
+pub struct SlowService {
+    inner: Arc<dyn Service>,
+    delay: Duration,
+}
+
+impl SlowService {
+    /// Wrap `inner` so every invocation sleeps `delay` first. A zero delay
+    /// returns `inner` unwrapped (no decoration cost for the fleet tail).
+    pub fn wrap(inner: Arc<dyn Service>, delay: Duration) -> Arc<dyn Service> {
+        if delay.is_zero() {
+            inner
+        } else {
+            Arc::new(SlowService { inner, delay })
+        }
+    }
+
+    /// The injected per-call latency.
+    pub fn delay(&self) -> Duration {
+        self.delay
+    }
+}
+
+impl Service for SlowService {
+    fn prototypes(&self) -> Vec<Arc<Prototype>> {
+        self.inner.prototypes()
+    }
+
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, String> {
+        std::thread::sleep(self.delay);
+        self.inner.invoke(prototype, input, at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serena_core::prototype::examples as protos;
+    use serena_core::service::fixtures;
+
+    #[test]
+    fn mix64_is_deterministic() {
+        assert_eq!(mix64(7, 3, 1), mix64(7, 3, 1));
+        assert_ne!(mix64(7, 3, 1), mix64(7, 3, 2));
+    }
+
+    #[test]
+    fn latency_profile_is_skewed_and_replayable() {
+        let p = LatencyProfile::new(Duration::from_millis(10), 1.0);
+        let n = 1000u64;
+        let draws: Vec<Duration> = (0..n).map(|i| p.latency_for(42, i, n)).collect();
+        // replayable
+        assert_eq!(
+            draws,
+            (0..n).map(|i| p.latency_for(42, i, n)).collect::<Vec<_>>()
+        );
+        // every draw is bounded by the head latency
+        assert!(draws.iter().all(|d| *d <= Duration::from_millis(10)));
+        // skew: the median is far below the mean (long tail of fast devices)
+        let mut sorted = draws.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let mean_ns: u64 = draws.iter().map(|d| d.as_nanos() as u64).sum::<u64>() / n;
+        assert!(
+            median.as_nanos() < mean_ns as u128,
+            "median {median:?} not below mean {mean_ns}ns"
+        );
+        // a different seed draws a different assignment
+        assert_ne!(
+            draws,
+            (0..n).map(|i| p.latency_for(43, i, n)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn failure_profile_rates_decay_with_rank() {
+        let p = FailureProfile::new(0.5, 1.0);
+        let n = 500u64;
+        let rates: Vec<f64> = (0..n).map(|i| p.rate_for(9, i, n)).collect();
+        assert!(rates.iter().all(|r| (0.0..=0.5).contains(r)));
+        // most devices round to a zero-failure policy under the skew
+        let healthy = (0..n)
+            .filter(|i| matches!(p.policy_for(9, *i, n), FaultPolicy::None))
+            .count();
+        assert!(
+            healthy > n as usize / 2,
+            "only {healthy}/{n} devices healthy"
+        );
+        // at least the head of the distribution does fail
+        assert!((0..n).any(|i| !matches!(p.policy_for(9, i, n), FaultPolicy::None)));
+    }
+
+    #[test]
+    fn failure_policy_realizes_the_rate() {
+        let p = FailureProfile::new(1.0, 0.0); // every device at 100%
+        let policy = p.policy_for(1, 0, 10);
+        assert!(matches!(
+            policy,
+            FaultPolicy::Intermittent { fail: 100, ok: 0 }
+        ));
+        let none = FailureProfile::new(0.0, 1.0).policy_for(1, 0, 10);
+        assert!(matches!(none, FaultPolicy::None));
+    }
+
+    #[test]
+    fn flaky_service_is_pure_per_instant() {
+        let flaky = FlakyService::wrap(fixtures::temperature_sensor(2), 9, 0.5);
+        let proto = protos::get_temperature();
+        let mut failures = 0;
+        for t in 0..100 {
+            let a = flaky.invoke(&proto, &Tuple::empty(), Instant(t));
+            let b = flaky.invoke(&proto, &Tuple::empty(), Instant(t));
+            // every caller at the same instant sees the same outcome
+            assert_eq!(a.is_err(), b.is_err());
+            if a.is_err() {
+                failures += 1;
+            }
+        }
+        // the long-run rate is in the right ballpark for a 50% draw
+        assert!((25..=75).contains(&failures), "{failures} failures");
+        // zero rate is the identity
+        let inner = fixtures::temperature_sensor(2);
+        let plain = FlakyService::wrap(Arc::clone(&inner), 9, 0.001);
+        assert!(Arc::ptr_eq(&inner, &plain));
+    }
+
+    #[test]
+    fn slow_service_delays_but_preserves_output() {
+        let inner = fixtures::temperature_sensor(4);
+        let plain = inner
+            .invoke(&protos::get_temperature(), &Tuple::empty(), Instant(3))
+            .unwrap();
+        let slow = SlowService::wrap(fixtures::temperature_sensor(4), Duration::from_millis(3));
+        let started = std::time::Instant::now();
+        let out = slow
+            .invoke(&protos::get_temperature(), &Tuple::empty(), Instant(3))
+            .unwrap();
+        assert!(started.elapsed() >= Duration::from_millis(3));
+        assert_eq!(out, plain);
+        assert_eq!(slow.prototypes().len(), 1);
+    }
+
+    #[test]
+    fn zero_delay_wrap_is_identity() {
+        let inner = fixtures::temperature_sensor(4);
+        let wrapped = SlowService::wrap(Arc::clone(&inner), Duration::ZERO);
+        assert!(Arc::ptr_eq(&inner, &wrapped));
+    }
+}

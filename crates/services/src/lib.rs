@@ -23,6 +23,9 @@
 //!   inspectable outbox) and RSS feed wrappers;
 //! * [`faults`] — failure injection: flaky, delayed or dying services for
 //!   robustness tests;
+//! * [`fleet`] — deterministic fleet parameterization for massive
+//!   environments: zipf-skewed per-service latency and failure draws, all
+//!   pure functions of `(seed, index)`;
 //! * [`health`] — rolling per-service health (failure rate,
 //!   consecutive-error count, last-seen instant) fed by invocation
 //!   outcomes through [`serena_core::telemetry::InvocationObserver`];
@@ -41,6 +44,7 @@ pub mod bus;
 pub mod devices;
 pub mod discovery;
 pub mod faults;
+pub mod fleet;
 pub mod health;
 pub mod registry;
 pub mod resilience;

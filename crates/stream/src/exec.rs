@@ -307,15 +307,6 @@ impl ContinuousQuery {
         self.next = at;
     }
 
-    /// Evaluate one instant.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `tick_with(invoker, &NoopMetrics)` (or a real sink) instead"
-    )]
-    pub fn tick(&mut self, invoker: &dyn Invoker) -> TickReport {
-        self.tick_with(invoker, &NoopMetrics)
-    }
-
     /// Evaluate one instant, additionally duplicating this tick's
     /// per-node observations into `sink` — the hook the Query Processor
     /// uses to accumulate rolling per-query statistics. The per-tick

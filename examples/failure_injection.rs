@@ -1,73 +1,50 @@
 //! Robustness under failing devices — the assessment §5.2 leaves open.
 //!
-//! A surveillance-style deployment where one sensor suffers a scripted
-//! outage and another fails every other call: invocation errors surface in
-//! the tick reports, healthy sensors keep flowing, and when the flaky
-//! device recovers, its readings resume — the continuous query never
+//! A surveillance-style deployment built entirely from an [`EnvSpec`]:
+//! three sensors, one suffering a scripted outage and one failing every
+//! other call (per-device fault overrides on the spec). Invocation errors
+//! surface in the tick reports, healthy sensors keep flowing, and when the
+//! flaky device recovers, its readings resume — the continuous query never
 //! stops.
 //!
 //! ```sh
 //! cargo run --example failure_injection
 //! ```
 
-use std::sync::Arc;
-
 use serena::core::prelude::*;
-use serena::core::tuple;
-use serena::pems::Pems;
-use serena::services::bus::BusConfig;
-use serena::services::faults::{FaultPolicy, FaultyService};
+use serena::pems::envspec::{EnvSpec, QueryTemplate, WorkloadSpec};
+use serena::services::faults::FaultPolicy;
 
 fn main() {
-    let mut pems = Pems::builder().bus(BusConfig::instant()).build();
-    pems.run_program(
-        "PROTOTYPE getTemperature( ) : ( temperature REAL );
-         EXTENDED RELATION sensors (
-           sensor SERVICE, location STRING, temperature REAL VIRTUAL
-         ) USING BINDING PATTERNS ( getTemperature[sensor] );
-         REGISTER QUERY temps AS INVOKE[getTemperature[sensor]](sensors);",
-    )
-    .expect("setup");
-
-    let registry = pems.registry();
-    registry.register(
-        "steady",
-        serena::core::service::fixtures::temperature_sensor(1),
-    );
-    registry.register(
-        "outage",
-        FaultyService::with_error(
-            serena::core::service::fixtures::temperature_sensor(2),
+    let spec = EnvSpec::new(1)
+        .sensors(3)
+        .areas(["office", "roof", "lab"])
+        .sensor_fault(
+            1,
             FaultPolicy::Outage {
                 from: Instant(2),
                 to: Instant(4),
             },
-            "battery swap in progress",
-        ),
-    );
-    let flaky = FaultyService::new(
-        serena::core::service::fixtures::temperature_sensor(3),
-        FaultPolicy::EveryNth(2),
-    );
-    registry.register(
-        "flaky",
-        Arc::clone(&flaky) as Arc<dyn serena::core::service::Service>,
-    );
+        )
+        .sensor_fault(2, FaultPolicy::EveryNth(2));
+    let (mut pems, fleet) = spec.build().expect("setup");
+    let names = WorkloadSpec::new()
+        .queries(QueryTemplate::SampledTemperatures { every: 1 }, 1)
+        .register_into(&mut pems, &spec)
+        .expect("register");
+    let query = &names[0];
 
-    for (sensor, loc) in [("steady", "office"), ("outage", "roof"), ("flaky", "lab")] {
-        pems.tables_mut()
-            .insert("sensors", tuple![Value::service(sensor), loc])
-            .expect("insert");
+    println!("3 sensors: sensor00 steady | sensor01 down τ2–τ4 | sensor02 every 2nd call fails\n");
+    for (sensor, area) in &fleet.sensors {
+        println!("  {sensor} covers {area}");
     }
-
-    println!("3 sensors: steady | outage (down τ2–τ4) | flaky (every 2nd call fails)\n");
+    println!();
     for t in 0..7u64 {
-        // churn the table so the delta-driven β re-invokes each tick
         let reports = pems.tick();
         let (_, report) = &reports[0];
         println!(
             "τ={t}: +{} readings, {} error(s){}",
-            report.delta.inserts.len(),
+            report.batch.len() + report.delta.inserts.len(),
             report.errors.len(),
             if report.errors.is_empty() {
                 String::new()
@@ -75,16 +52,18 @@ fn main() {
                 format!(" — e.g. {}", report.errors[0])
             }
         );
-        // force re-sampling next tick by cycling one row
-        let probe = tuple![Value::service("outage"), "roof"];
-        pems.tables_mut().delete("sensors", probe.clone()).unwrap();
-        pems.tables_mut().insert("sensors", probe).unwrap();
     }
 
-    let stats = pems.processor().stats("temps").expect("registered");
+    let stats = pems.processor().stats(query).expect("registered");
     println!(
         "\nquery survived: {} ticks, {} readings, {} errors — and it is still registered.",
         stats.ticks, stats.inserted, stats.errors
     );
-    println!("flaky device saw {} invocation attempts.", flaky.attempts());
+    println!("\n== service health (β-observed failure rates) ==");
+    for h in pems.service_health() {
+        println!(
+            "  {}: {}/{} calls failed",
+            h.reference, h.failures, h.attempts
+        );
+    }
 }

@@ -2,7 +2,9 @@
 //! end-to-end.
 //!
 //! Deploys simulated sensors, cameras and messengers behind a Local
-//! Environment Resource Manager; registers the continuous alert and photo
+//! Environment Resource Manager (the scenario builds its fleet through
+//! the [`serena::pems::envspec::EnvSpec`] builder — the one public
+//! fleet-construction path); registers the continuous alert and photo
 //! queries; scripts two heat events; and — while the query is running —
 //! hot-plugs a new sensor, which is discovered and integrated into the
 //! temperature stream "without the need to stop the continuous query".
