@@ -8,12 +8,16 @@
 //!
 //! Writes `BENCH_scale.json` (override with `SERENA_BENCH_OUT`) with the
 //! objective indicators: tuples/sec, merged p99 tick latency and memory per
-//! query. Scale down for smokes with `SERENA_SCALE_DEVICES`,
+//! query, plus a `scaling` curve — the same workload re-run at each
+//! scheduler width in `SERENA_SCALE_WORKER_COUNTS` (default `1,2,4,8`),
+//! gated so the widest pool is at least as fast as the single-worker run
+//! and (on overlapping workloads) cross-query β dedup actually fired.
+//! Scale down for smokes with `SERENA_SCALE_DEVICES`,
 //! `SERENA_SCALE_QUERIES`, `SERENA_SCALE_TICKS` … (see
 //! [`serena_bench::envgen::ScaleConfig::from_env`]).
 
 use serena_bench::criterion_group;
-use serena_bench::envgen::{run_scale, ScaleConfig};
+use serena_bench::envgen::{run_scale, ScaleConfig, ScaleOutcome};
 use serena_bench::harness::{take_records, BenchmarkId, Criterion};
 
 fn bench_scale(c: &mut Criterion) {
@@ -35,6 +39,17 @@ fn bench_scale(c: &mut Criterion) {
 
 criterion_group!(benches, bench_scale);
 
+/// Scheduler widths for the scaling curve: `SERENA_SCALE_WORKER_COUNTS`
+/// (comma-separated), default `1,2,4,8` — the CI smoke uses `1,4`.
+fn worker_counts() -> Vec<usize> {
+    std::env::var("SERENA_SCALE_WORKER_COUNTS")
+        .unwrap_or_else(|_| "1,2,4,8".to_string())
+        .split(',')
+        .filter_map(|w| w.trim().parse().ok())
+        .filter(|&w| w > 0)
+        .collect()
+}
+
 fn main() {
     let config = ScaleConfig::from_env();
     println!(
@@ -45,7 +60,28 @@ fn main() {
     benches();
     let records = take_records();
 
-    let outcome = run_scale(&config);
+    // The scaling curve: the identical workload at each scheduler width.
+    let counts = worker_counts();
+    let mut curve: Vec<ScaleOutcome> = Vec::new();
+    for &workers in &counts {
+        let outcome = run_scale(&config.with_workers(workers));
+        println!(
+            "  {workers} worker(s): {:.0} tuples/s, p99 tick {:.3} ms, \
+             {} tasks stolen, {} β calls deduped",
+            outcome.tuples_per_sec,
+            outcome.p99_tick_ns as f64 / 1e6,
+            outcome.sched_steals,
+            outcome.beta_dedup,
+        );
+        curve.push(outcome);
+    }
+    // Headline = the best point on the curve (the widest pool on real
+    // multi-core hardware; the single worker on a one-core host).
+    let outcome = curve
+        .iter()
+        .max_by(|a, b| a.tuples_per_sec.total_cmp(&b.tuples_per_sec))
+        .expect("at least one worker count")
+        .clone();
     println!(
         "{} devices / {} queries over {} ticks: {:.0} tuples/s in \
          ({} ingested, {} emitted, {} errors survived), p99 tick {:.3} ms, \
@@ -65,6 +101,34 @@ fn main() {
     // Sanity gates: an empty run must fail loudly, not write plausible JSON.
     if outcome.tuples_in == 0 || outcome.tuples_out == 0 || outcome.p99_tick_ns == 0 {
         eprintln!("scale run produced no work: {outcome:?}");
+        std::process::exit(1);
+    }
+
+    // Scaling gate: the widest pool must not be slower than one worker.
+    // Only meaningful where the host can actually run workers side by
+    // side — on a single-core machine extra workers just interleave the
+    // same CPU-bound ticks and the curve is legitimately flat-to-negative.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let single = curve.iter().find(|o| o.workers == 1);
+    let widest = curve.iter().max_by_key(|o| o.workers);
+    if cores < 2 {
+        println!("single-core host: scaling gate skipped (curve still recorded)");
+    } else if let (Some(single), Some(widest)) = (single, widest) {
+        if widest.workers > 1 && widest.tuples_per_sec < single.tuples_per_sec {
+            eprintln!(
+                "scaling regression: {} workers ran at {:.0} tuples/s, \
+                 below the single-worker {:.0}",
+                widest.workers, widest.tuples_per_sec, single.tuples_per_sec
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // Dedup gate: with ≥ 2 overlapping `sampled` queries the cross-query
+    // memo must have fired somewhere along the curve.
+    let overlapping = config.queries / 20 >= 2;
+    if overlapping && curve.iter().all(|o| o.beta_dedup == 0) {
+        eprintln!("overlapping workload saw zero cross-query β dedup");
         std::process::exit(1);
     }
 
@@ -90,9 +154,19 @@ fn main() {
         outcome.errors, outcome.elapsed_ns
     ));
     json.push_str(&format!(
-        ",\n  \"p99_tick_ns\": {},\n  \"mem_bytes\": {},\n  \"mem_per_query_bytes\": {}\n}}\n",
+        ",\n  \"p99_tick_ns\": {},\n  \"mem_bytes\": {},\n  \"mem_per_query_bytes\": {}",
         outcome.p99_tick_ns, outcome.mem_bytes, outcome.mem_per_query
     ));
+    json.push_str(",\n  \"scaling\": [\n");
+    for (i, o) in curve.iter().enumerate() {
+        let sep = if i + 1 < curve.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"tuples_per_sec\": {:.1}, \"p99_tick_ns\": {}, \
+             \"elapsed_ns\": {}, \"sched_steals\": {}, \"beta_dedup\": {}}}{sep}\n",
+            o.workers, o.tuples_per_sec, o.p99_tick_ns, o.elapsed_ns, o.sched_steals, o.beta_dedup
+        ));
+    }
+    json.push_str("  ]\n}\n");
 
     let path = std::env::var("SERENA_BENCH_OUT").unwrap_or_else(|_| "BENCH_scale.json".to_string());
     std::fs::write(&path, json).expect("write bench results");

@@ -19,6 +19,7 @@ use std::time::Duration;
 
 use serena_pems::envspec::{ArrivalTrace, EnvSpec, QueryTemplate, WorkloadSpec};
 use serena_pems::pems::Pems;
+use serena_pems::scheduler::SchedulerConfig;
 use serena_services::fleet::{FailureProfile, LatencyProfile};
 
 /// Parameters of one scale-benchmark run.
@@ -38,6 +39,10 @@ pub struct ScaleConfig {
     pub ticks: u64,
     /// Mean tuple arrivals per instant on the `temperatures` stream.
     pub mean_arrivals: usize,
+    /// Scheduler worker-pool width for the multi-query tick rounds
+    /// (`0` keeps the runtime's own default — `SERENA_SCHED_WORKERS` or
+    /// the machine's available parallelism).
+    pub workers: usize,
 }
 
 impl Default for ScaleConfig {
@@ -53,14 +58,15 @@ impl Default for ScaleConfig {
             queries: 120,
             ticks: 20,
             mean_arrivals: 256,
+            workers: 0,
         }
     }
 }
 
 impl ScaleConfig {
     /// The default configuration with `SERENA_SCALE_{SEED, DEVICES,
-    /// CAMERAS, MESSENGERS, QUERIES, TICKS, ARRIVALS}` overrides applied —
-    /// how the CI smoke shrinks the run to 2·10³ devices / 16 queries.
+    /// CAMERAS, MESSENGERS, QUERIES, TICKS, ARRIVALS, WORKERS}` overrides
+    /// applied — how the CI smoke shrinks the run to 2·10³ devices.
     pub fn from_env() -> Self {
         fn read<T: std::str::FromStr>(var: &str, default: T) -> T {
             std::env::var(var)
@@ -77,7 +83,14 @@ impl ScaleConfig {
             queries: read("SERENA_SCALE_QUERIES", d.queries),
             ticks: read("SERENA_SCALE_TICKS", d.ticks),
             mean_arrivals: read("SERENA_SCALE_ARRIVALS", d.mean_arrivals),
+            workers: read("SERENA_SCALE_WORKERS", d.workers),
         }
+    }
+
+    /// This run's configuration with a different scheduler width — the
+    /// scaling-curve sweep in `benches/scale.rs`.
+    pub fn with_workers(&self, workers: usize) -> Self {
+        ScaleConfig { workers, ..*self }
     }
 
     /// The environment this configuration describes: a zipf-skewed fleet
@@ -129,6 +142,9 @@ impl ScaleConfig {
     pub fn deploy(&self) -> (Pems, Vec<String>) {
         let spec = self.spec();
         let (mut pems, _fleet) = spec.build().expect("scale spec deploys");
+        if self.workers > 0 {
+            pems.set_scheduler(SchedulerConfig::new(self.workers));
+        }
         let names = self
             .workload()
             .register_into(&mut pems, &spec)
@@ -164,6 +180,13 @@ pub struct ScaleOutcome {
     pub mem_bytes: usize,
     /// Snapshot bytes per registered query.
     pub mem_per_query: usize,
+    /// Scheduler worker-pool width the run executed on (0 = runtime default).
+    pub workers: usize,
+    /// Cross-query β invocations coalesced onto an identical in-flight or
+    /// memoized call (`serena_beta_dedup_total`).
+    pub beta_dedup: u64,
+    /// Tick tasks stolen across scheduler workers (`serena_sched_steals_total`).
+    pub sched_steals: u64,
 }
 
 /// Run the scale benchmark: deploy, register, tick, measure.
@@ -203,6 +226,11 @@ pub fn run_scale(config: &ScaleConfig) -> ScaleOutcome {
 
     let p99_tick_ns = merged_p99_tick_ns(&pems, &names);
     let mem_bytes = pems.snapshot_bytes().len();
+    let (beta_dedup, _misses) = pems.dedup_stats();
+    let sched_steals = pems
+        .metrics_registry()
+        .counter_value("serena_sched_steals_total", &[])
+        .unwrap_or(0);
 
     ScaleOutcome {
         devices: config.devices + config.cameras + config.messengers,
@@ -216,6 +244,9 @@ pub fn run_scale(config: &ScaleConfig) -> ScaleOutcome {
         p99_tick_ns,
         mem_bytes,
         mem_per_query: mem_bytes / names.len().max(1),
+        workers: config.workers,
+        beta_dedup,
+        sched_steals,
     }
 }
 
@@ -261,6 +292,7 @@ mod tests {
             queries: 12,
             ticks: 6,
             mean_arrivals: 16,
+            workers: 2,
         }
     }
 
@@ -295,5 +327,33 @@ mod tests {
         assert_eq!(a.tuples_out, b.tuples_out);
         assert_eq!(a.errors, b.errors);
         assert_eq!(a.mem_bytes, b.mem_bytes);
+        assert_eq!(a.beta_dedup, b.beta_dedup);
+    }
+
+    #[test]
+    fn overlapping_sampled_queries_coalesce_invocations() {
+        // 40 queries ⇒ two `sampled` instances issuing the identical
+        // getTemperature fan-out at the same instants — the second one
+        // must ride the first one's calls.
+        let config = ScaleConfig {
+            queries: 40,
+            ..tiny()
+        };
+        let outcome = run_scale(&config);
+        assert!(
+            outcome.beta_dedup > 0,
+            "no cross-query dedup on an overlapping workload: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_scale_indicators() {
+        let serial = run_scale(&tiny().with_workers(1));
+        let wide = run_scale(&tiny().with_workers(8));
+        assert_eq!(serial.tuples_in, wide.tuples_in);
+        assert_eq!(serial.tuples_out, wide.tuples_out);
+        assert_eq!(serial.errors, wide.errors);
+        assert_eq!(serial.mem_bytes, wide.mem_bytes);
+        assert_eq!(serial.sched_steals, 0, "a 1-wide pool has nothing to steal");
     }
 }

@@ -1,0 +1,531 @@
+//! Cross-query β invocation dedup (multi-query common-subexpression
+//! sharing for the service layer).
+//!
+//! The dominant pervasive-environment traffic shape is *many queries
+//! watching the same sensors* (§5.1): at every instant, several registered
+//! continuous queries issue the **same** `invoke_ψ(s, t)` call. Services
+//! are deterministic at a given instant (§3.2, [`Service`] contract), and
+//! the continuous executor invokes only for δ-batch tuples (§4.2's
+//! delta-only discipline) — so two invocations with identical
+//! `(prototype, service, input, instant)` are guaranteed to return the
+//! same relation, and performing the upstream call once is semantically
+//! invisible.
+//!
+//! [`DedupInvoker`] exploits this: placed **outermost** in the PEMS
+//! [`InvokerStack`](crate::service::InvokerStack) (above resilience, so
+//! retries of a genuinely failing call still re-invoke), it keeps a
+//! per-instant table keyed on `(prototype, service, input)`. The first
+//! caller of a key performs the real call; concurrent callers of the same
+//! key block on an in-flight latch and receive a clone of the result;
+//! later callers within the same instant are served from the completed
+//! entry. Advancing to a new instant clears the table — the memo never
+//! outlives the instant whose determinism justifies it.
+//!
+//! Every coalesced call is counted per logical caller in
+//! `serena_beta_dedup_total{service=…}` (when a registry is attached) and
+//! in [`DedupState::hits`]; physical upstream calls remain individually
+//! observed by the instrumented layer below.
+//!
+//! [`Service`]: crate::service::Service
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
+
+use crate::sync::Mutex;
+
+use crate::error::EvalError;
+use crate::prototype::Prototype;
+use crate::service::{Invoker, InvokerLayer};
+use crate::telemetry::MetricsRegistry;
+use crate::time::Instant;
+use crate::tuple::Tuple;
+use crate::value::ServiceRef;
+
+/// The identity of one β invocation within an instant.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct DedupKey {
+    prototype: String,
+    service: ServiceRef,
+    input: Tuple,
+}
+
+type CallResult = Result<Vec<Tuple>, EvalError>;
+
+/// A latch one in-flight upstream call publishes its result through;
+/// concurrent callers of the same key wait here instead of re-invoking.
+struct Latch {
+    slot: Mutex<Option<CallResult>>,
+    ready: Condvar,
+}
+
+impl Latch {
+    fn new() -> Arc<Self> {
+        Arc::new(Latch {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn publish(&self, result: CallResult) {
+        *self.slot.lock() = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> CallResult {
+        let mut guard = self.slot.lock();
+        loop {
+            if let Some(result) = guard.as_ref() {
+                return result.clone();
+            }
+            guard = self.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+enum Entry {
+    /// The first caller is performing the upstream call; wait on the latch.
+    InFlight(Arc<Latch>),
+    /// The upstream call completed with this result.
+    Done(CallResult),
+}
+
+struct Table {
+    /// Instant the entries belong to; a call at any other instant clears
+    /// the table first (per-instant scoping, no external hook needed).
+    at: Option<Instant>,
+    entries: HashMap<DedupKey, Entry>,
+}
+
+/// Shared dedup memo + counters, surviving rebuilt invoker stacks (one per
+/// PEMS runtime, like `ResilienceState`). Cheap to share: one mutex around
+/// the per-instant table, atomics for the counters.
+#[derive(Default)]
+pub struct DedupState {
+    table: Mutex<Option<Table>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DedupState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Coalesced calls served without an upstream invocation (cumulative).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Upstream calls actually performed through the dedup layer
+    /// (cumulative).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// What the table lookup decided a caller must do.
+enum Claim {
+    /// Serve this already-completed result.
+    Serve(CallResult),
+    /// Wait on this latch for the in-flight caller's result.
+    Wait(Arc<Latch>),
+    /// Perform the upstream call and publish through this latch.
+    Call(Arc<Latch>),
+}
+
+impl DedupState {
+    fn claim(&self, key: &DedupKey, at: Instant) -> Claim {
+        let mut guard = self.table.lock();
+        let table = guard.get_or_insert_with(|| Table {
+            at: None,
+            entries: HashMap::new(),
+        });
+        if table.at != Some(at) {
+            table.entries.clear();
+            table.at = Some(at);
+        }
+        match table.entries.get(key) {
+            Some(Entry::Done(result)) => Claim::Serve(result.clone()),
+            Some(Entry::InFlight(latch)) => Claim::Wait(Arc::clone(latch)),
+            None => {
+                let latch = Latch::new();
+                table
+                    .entries
+                    .insert(key.clone(), Entry::InFlight(Arc::clone(&latch)));
+                Claim::Call(latch)
+            }
+        }
+    }
+
+    fn complete(&self, key: &DedupKey, at: Instant, result: CallResult) {
+        let mut guard = self.table.lock();
+        if let Some(table) = guard.as_mut() {
+            // Only memoize if the table still belongs to this instant — a
+            // concurrent call at a newer instant may have cleared it.
+            if table.at == Some(at) {
+                table.entries.insert(key.clone(), Entry::Done(result));
+            }
+        }
+    }
+}
+
+/// The dedup decorator: coalesces identical invocations issued within one
+/// instant into a single upstream call. See the module docs for placement
+/// and the soundness argument.
+pub struct DedupInvoker<I> {
+    inner: I,
+    state: Arc<DedupState>,
+    registry: Option<Arc<MetricsRegistry>>,
+}
+
+impl<I: Invoker> DedupInvoker<I> {
+    /// Wrap `inner`, memoizing through `state`.
+    pub fn new(inner: I, state: Arc<DedupState>) -> Self {
+        DedupInvoker {
+            inner,
+            state,
+            registry: None,
+        }
+    }
+
+    /// Count coalesced calls in `registry` as
+    /// `serena_beta_dedup_total{service=…}` — one increment per logical
+    /// caller whose call was served without an upstream invocation.
+    pub fn registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    fn count_dedup(&self, service: &ServiceRef) {
+        self.state.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(registry) = &self.registry {
+            registry
+                .counter("serena_beta_dedup_total", &[("service", service.as_str())])
+                .inc();
+        }
+    }
+}
+
+impl<I: Invoker> Invoker for DedupInvoker<I> {
+    fn invoke(
+        &self,
+        prototype: &Prototype,
+        service_ref: &ServiceRef,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, EvalError> {
+        let key = DedupKey {
+            prototype: prototype.name().to_string(),
+            service: service_ref.clone(),
+            input: input.clone(),
+        };
+        match self.state.claim(&key, at) {
+            Claim::Serve(result) => {
+                self.count_dedup(service_ref);
+                result
+            }
+            Claim::Wait(latch) => {
+                let result = latch.wait();
+                self.count_dedup(service_ref);
+                result
+            }
+            Claim::Call(latch) => {
+                let result = self.inner.invoke(prototype, service_ref, input, at);
+                self.state.misses.fetch_add(1, Ordering::Relaxed);
+                self.state.complete(&key, at, result.clone());
+                latch.publish(result.clone());
+                result
+            }
+        }
+    }
+
+    fn providers_of(&self, prototype: &str) -> Vec<ServiceRef> {
+        self.inner.providers_of(prototype)
+    }
+}
+
+/// The [`InvokerLayer`] form of [`DedupInvoker`]. Add it **last** (making
+/// it the outermost decorator) so resilience retries underneath it still
+/// reach the service, while logical callers above share one result per
+/// `(prototype, service, input, instant)`. A disabled layer is an exact
+/// pass-through.
+pub struct DedupLayer {
+    state: Arc<DedupState>,
+    registry: Option<Arc<MetricsRegistry>>,
+    enabled: bool,
+}
+
+impl DedupLayer {
+    /// A layer memoizing through `state` (enabled).
+    pub fn new(state: Arc<DedupState>) -> Self {
+        DedupLayer {
+            state,
+            registry: None,
+            enabled: true,
+        }
+    }
+
+    /// Count coalesced calls in `registry` (see
+    /// [`DedupInvoker::registry`]).
+    pub fn registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Enable or disable the layer; a disabled layer adds no decorator at
+    /// all, leaving the stack byte-for-byte as it was.
+    pub fn enabled(mut self, enabled: bool) -> Self {
+        self.enabled = enabled;
+        self
+    }
+}
+
+impl<'a> InvokerLayer<'a> for DedupLayer {
+    fn wrap(self, inner: Box<dyn Invoker + 'a>) -> Box<dyn Invoker + 'a> {
+        if !self.enabled {
+            return inner;
+        }
+        let mut invoker = DedupInvoker::new(inner, self.state);
+        if let Some(registry) = self.registry {
+            invoker = invoker.registry(registry);
+        }
+        Box::new(invoker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prototype::examples as protos;
+    use crate::service::fixtures::example_registry;
+    use crate::service::{FnService, InvokerStack, StaticRegistry};
+    use crate::value::Value;
+
+    /// A registry whose sensor counts every physical invocation.
+    fn counting_registry() -> (StaticRegistry, Arc<AtomicU64>) {
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&calls);
+        let reg = StaticRegistry::new();
+        reg.register(
+            "sensor01",
+            Arc::new(FnService::new(
+                vec![protos::get_temperature()],
+                move |_p, input, at| {
+                    seen.fetch_add(1, Ordering::SeqCst);
+                    let salt = input.arity() as u64;
+                    Ok(vec![Tuple::new(vec![Value::Real(
+                        (at.ticks() + salt) as f64,
+                    )])])
+                },
+            )),
+        );
+        (reg, calls)
+    }
+
+    fn stack<'a>(state: &Arc<DedupState>, reg: &'a StaticRegistry) -> Box<dyn Invoker + 'a> {
+        InvokerStack::new(reg)
+            .layer(DedupLayer::new(Arc::clone(state)))
+            .into_inner()
+    }
+
+    #[test]
+    fn identical_calls_within_an_instant_coalesce() {
+        let (reg, calls) = counting_registry();
+        let state = Arc::new(DedupState::new());
+        let inv = stack(&state, &reg);
+        let call = |at| {
+            inv.invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("sensor01"),
+                &Tuple::empty(),
+                at,
+            )
+            .unwrap()
+        };
+        let a = call(Instant(3));
+        let b = call(Instant(3));
+        let c = call(Instant(3));
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "one upstream call");
+        assert_eq!((state.hits(), state.misses()), (2, 1));
+    }
+
+    #[test]
+    fn a_new_instant_clears_the_memo() {
+        let (reg, calls) = counting_registry();
+        let state = Arc::new(DedupState::new());
+        let inv = stack(&state, &reg);
+        for at in [Instant(0), Instant(0), Instant(1), Instant(1)] {
+            inv.invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("sensor01"),
+                &Tuple::empty(),
+                at,
+            )
+            .unwrap();
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "one call per instant");
+        // regressing to an old instant is also a fresh table (defensive:
+        // PEMS never does this, but the memo must not serve stale results)
+        inv.invoke(
+            &protos::get_temperature(),
+            &ServiceRef::new("sensor01"),
+            &Tuple::empty(),
+            Instant(0),
+        )
+        .unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn distinct_inputs_do_not_coalesce() {
+        let (reg, calls) = counting_registry();
+        let state = Arc::new(DedupState::new());
+        let inv = stack(&state, &reg);
+        let proto = protos::get_temperature();
+        let sref = ServiceRef::new("sensor01");
+        let a = inv
+            .invoke(&proto, &sref, &Tuple::new(vec![Value::Int(1)]), Instant(0))
+            .unwrap();
+        let b = inv
+            .invoke(&proto, &sref, &Tuple::new(vec![Value::Int(2)]), Instant(0))
+            .unwrap();
+        // different inputs both reached the service (salt differs per arity
+        // only, so equal outputs are fine — the call count is the contract)
+        let _ = (a, b);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(state.hits(), 0);
+    }
+
+    #[test]
+    fn errors_are_shared_like_results() {
+        let reg = StaticRegistry::new();
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&calls);
+        reg.register(
+            "flaky",
+            Arc::new(FnService::new(
+                vec![protos::get_temperature()],
+                move |_p, _in, _at| {
+                    seen.fetch_add(1, Ordering::SeqCst);
+                    Err("device unreachable".to_string())
+                },
+            )),
+        );
+        let state = Arc::new(DedupState::new());
+        let inv = stack(&state, &reg);
+        let call = || {
+            inv.invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("flaky"),
+                &Tuple::empty(),
+                Instant(5),
+            )
+            .unwrap_err()
+        };
+        let a = call();
+        let b = call();
+        assert_eq!(a, b, "second caller sees the identical error");
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_callers_share_one_inflight_call() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&calls);
+        let reg = StaticRegistry::new();
+        reg.register(
+            "slow",
+            Arc::new(FnService::new(
+                vec![protos::get_temperature()],
+                move |_p, _in, at| {
+                    seen.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    Ok(vec![Tuple::new(vec![Value::Real(at.ticks() as f64)])])
+                },
+            )),
+        );
+        let state = Arc::new(DedupState::new());
+        let inv = stack(&state, &reg);
+        let results: Vec<Vec<Tuple>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let inv = &inv;
+                    scope.spawn(move || {
+                        inv.invoke(
+                            &protos::get_temperature(),
+                            &ServiceRef::new("slow"),
+                            &Tuple::empty(),
+                            Instant(9),
+                        )
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("caller thread"))
+                .collect()
+        });
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "calls coalesced");
+        assert_eq!(state.hits() + state.misses(), 8);
+        assert_eq!(state.misses(), 1);
+    }
+
+    #[test]
+    fn disabled_layer_is_a_pass_through() {
+        let (reg, calls) = counting_registry();
+        let state = Arc::new(DedupState::new());
+        let inv = InvokerStack::new(&reg)
+            .layer(DedupLayer::new(Arc::clone(&state)).enabled(false))
+            .into_inner();
+        for _ in 0..3 {
+            inv.invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("sensor01"),
+                &Tuple::empty(),
+                Instant(1),
+            )
+            .unwrap();
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!((state.hits(), state.misses()), (0, 0));
+    }
+
+    #[test]
+    fn dedup_counter_lands_in_the_registry() {
+        let (reg, _calls) = counting_registry();
+        let state = Arc::new(DedupState::new());
+        let metrics = Arc::new(MetricsRegistry::new());
+        let inv = InvokerStack::new(&reg)
+            .layer(DedupLayer::new(Arc::clone(&state)).registry(Arc::clone(&metrics)))
+            .into_inner();
+        for _ in 0..4 {
+            inv.invoke(
+                &protos::get_temperature(),
+                &ServiceRef::new("sensor01"),
+                &Tuple::empty(),
+                Instant(2),
+            )
+            .unwrap();
+        }
+        assert_eq!(
+            metrics.counter_value("serena_beta_dedup_total", &[("service", "sensor01")]),
+            Some(3)
+        );
+        let text = metrics.render_prometheus();
+        assert!(text.contains("# TYPE serena_beta_dedup_total counter"));
+    }
+
+    #[test]
+    fn providers_pass_through() {
+        let reg = example_registry();
+        let state = Arc::new(DedupState::new());
+        let inv = stack(&state, &reg);
+        assert_eq!(inv.providers_of("getTemperature").len(), 4);
+    }
+}

@@ -54,6 +54,7 @@
 pub mod action;
 pub mod attr;
 pub mod binding;
+pub mod dedup;
 pub mod env;
 pub mod equiv;
 pub mod error;
@@ -81,6 +82,7 @@ pub mod prelude {
     pub use crate::action::{Action, ActionSet};
     pub use crate::attr::{attr, AttrName};
     pub use crate::binding::BindingPattern;
+    pub use crate::dedup::{DedupInvoker, DedupLayer, DedupState};
     pub use crate::env::Environment;
     pub use crate::error::{EvalError, PlanError, SchemaError};
     pub use crate::eval::EvalOutcome;

@@ -12,6 +12,9 @@
 //!   execution, one-shot environment snapshots;
 //! * [`processor::QueryProcessor`] — registered continuous queries in
 //!   lock-step, ticked in parallel;
+//! * [`scheduler`] — the persistent work-stealing worker pool the
+//!   processor runs multi-query tick rounds on ([`scheduler::WorkerPool`],
+//!   sized by [`scheduler::SchedulerConfig`] / `SERENA_SCHED_WORKERS`);
 //! * [`hub`] — stream plumbing (broadcast hubs, sensor samplers, RSS
 //!   adapters);
 //! * [`recovery`] — periodic checkpoints of the runtime's dynamic state
@@ -50,6 +53,7 @@ pub mod pems;
 pub mod processor;
 pub mod recovery;
 pub mod scenario;
+pub mod scheduler;
 pub mod table_manager;
 
 pub use envspec::{ArrivalTrace, EnvSpec, Fleet, MessengerFleet, QueryTemplate, WorkloadSpec};
@@ -57,4 +61,5 @@ pub use hub::{RssStream, SensorSampler, StreamHub};
 pub use pems::{ExecOutcome, ExplainAnalyze, Pems, PemsBuilder, PemsError};
 pub use processor::{QueryProcessor, QueryStats};
 pub use recovery::RecoveryManager;
+pub use scheduler::{SchedulerConfig, WorkerPool};
 pub use table_manager::ExtendedTableManager;

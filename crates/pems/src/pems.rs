@@ -15,6 +15,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use serena_core::dedup::{DedupLayer, DedupState};
 use serena_core::env::Environment;
 use serena_core::error::{EvalError, PlanError, SchemaError};
 use serena_core::eval::EvalOutcome;
@@ -45,6 +46,7 @@ use serena_stream::exec::TickReport;
 
 use crate::processor::QueryProcessor;
 use crate::recovery::{read_checkpoint, RecoveryManager};
+use crate::scheduler::SchedulerConfig;
 use crate::table_manager::ExtendedTableManager;
 
 /// Errors surfaced by the PEMS API.
@@ -163,12 +165,15 @@ pub struct PemsBuilder {
     health_window: usize,
     resilience: ResiliencePolicy,
     checkpoint: Option<(PathBuf, u64)>,
+    scheduler: Option<SchedulerConfig>,
+    dedup: Option<bool>,
 }
 
 impl PemsBuilder {
     /// Defaults: default bus latency, clock at zero, no metrics sink,
     /// serial execution, no trace sink, default health window, resilience
-    /// disabled.
+    /// disabled, scheduler and β dedup from the environment
+    /// (`SERENA_SCHED_WORKERS` / `SERENA_SCHED_DEDUP`).
     pub fn new() -> Self {
         PemsBuilder {
             bus: BusConfig::default(),
@@ -179,6 +184,8 @@ impl PemsBuilder {
             health_window: serena_services::health::DEFAULT_WINDOW,
             resilience: ResiliencePolicy::disabled(),
             checkpoint: None,
+            scheduler: None,
+            dedup: None,
         }
     }
 
@@ -247,6 +254,27 @@ impl PemsBuilder {
         self
     }
 
+    /// Multi-query tick scheduler configuration: the width of the
+    /// persistent work-stealing worker pool query ticks run on. Defaults
+    /// to [`SchedulerConfig::from_env`] (`SERENA_SCHED_WORKERS`, else one
+    /// worker per core). Worker count never changes query output — see
+    /// `tests/envgen_determinism.rs`.
+    pub fn scheduler(mut self, config: SchedulerConfig) -> Self {
+        self.scheduler = Some(config);
+        self
+    }
+
+    /// Arm or disarm the cross-query β dedup layer
+    /// ([`serena_core::dedup::DedupLayer`]): identical `(service, args)`
+    /// invocations issued by different queries within one instant coalesce
+    /// into a single upstream call. Sound because services are
+    /// deterministic at an instant (§3.2). Defaults to the
+    /// `SERENA_SCHED_DEDUP` environment variable (`0` disables), else on.
+    pub fn dedup(mut self, enabled: bool) -> Self {
+        self.dedup = Some(enabled);
+        self
+    }
+
     /// Assemble the runtime.
     pub fn build(self) -> Pems {
         let bus = DiscoveryBus::new(self.bus);
@@ -257,6 +285,15 @@ impl PemsBuilder {
         let mut processor = QueryProcessor::new();
         processor.seek(self.clock);
         processor.set_telemetry(Arc::clone(&telemetry), Arc::clone(&trace));
+        processor.set_scheduler(self.scheduler.unwrap_or_else(SchedulerConfig::from_env));
+        let dedup_enabled = self
+            .dedup
+            .unwrap_or_else(|| std::env::var("SERENA_SCHED_DEDUP").map_or(true, |v| v != "0"));
+        // Eagerly register the scheduler/dedup series so they render (at
+        // zero) from the first `.metrics` call, armed or not.
+        telemetry.counter("serena_sched_steals_total", &[]);
+        telemetry.gauge("serena_sched_queue_depth", &[]);
+        telemetry.counter("serena_beta_dedup_total", &[]);
         Pems {
             bus,
             erm,
@@ -273,6 +310,8 @@ impl PemsBuilder {
             trace,
             resilience_policy: self.resilience,
             resilience: Arc::new(ResilienceState::new()),
+            dedup: Arc::new(DedupState::new()),
+            dedup_enabled,
             recovery: self
                 .checkpoint
                 .map(|(dir, every)| RecoveryManager::new(dir, every)),
@@ -310,6 +349,12 @@ pub struct Pems {
     resilience_policy: ResiliencePolicy,
     /// Breakers and retry/timeout counters, shared across rebuilt stacks.
     resilience: Arc<ResilienceState>,
+    /// Cross-query β dedup memo + counters, shared across rebuilt stacks
+    /// (the memo is per-instant; the counters are cumulative).
+    dedup: Arc<DedupState>,
+    /// Whether the dedup layer is armed ([`PemsBuilder::dedup`] /
+    /// `SERENA_SCHED_DEDUP`).
+    dedup_enabled: bool,
     /// Periodic checkpoint writer, when configured via
     /// [`PemsBuilder::checkpoint`].
     recovery: Option<RecoveryManager>,
@@ -384,7 +429,11 @@ impl Pems {
         self.resilience_policy
     }
 
-    /// The full β invoker stack — see [`build_invoker_stack`].
+    /// The full β invoker stack for *one-shot* evaluations — see
+    /// [`build_invoker_stack`]. One-shots run between ticks and must
+    /// observe registry hot-swaps immediately, so the cross-query dedup
+    /// memo (valid only within one atomic tick round, where the registry
+    /// is stable) is never armed here.
     fn invoker_stack<'r>(&'r self, registry: &'r DynamicRegistry) -> Box<dyn Invoker + 'r> {
         build_invoker_stack(
             registry,
@@ -393,7 +442,28 @@ impl Pems {
             &*self.trace,
             self.resilience_policy,
             Arc::clone(&self.resilience),
+            Arc::clone(&self.dedup),
+            false,
         )
+    }
+
+    /// Cumulative cross-query β dedup counters: `(hits, misses)` — calls
+    /// served without an upstream invocation vs. upstream calls actually
+    /// performed through the dedup layer. Both zero when dedup is
+    /// disarmed.
+    pub fn dedup_stats(&self) -> (u64, u64) {
+        (self.dedup.hits(), self.dedup.misses())
+    }
+
+    /// Replace the tick scheduler configuration (worker-pool width) on a
+    /// built runtime — how the scale bench sweeps its worker axis.
+    pub fn set_scheduler(&mut self, config: SchedulerConfig) {
+        self.processor.set_scheduler(config);
+    }
+
+    /// Arm or disarm the cross-query β dedup layer on a built runtime.
+    pub fn set_dedup(&mut self, enabled: bool) {
+        self.dedup_enabled = enabled;
     }
 
     /// Create a Local Environment Resource Manager attached to this PEMS's
@@ -733,6 +803,8 @@ impl Pems {
             &*self.trace,
             self.resilience_policy,
             Arc::clone(&self.resilience),
+            Arc::clone(&self.dedup),
+            self.dedup_enabled,
         );
         let reports = self
             .processor
@@ -777,29 +849,42 @@ impl Pems {
 /// The full β invoker stack: registry → panic containment (innermost, so
 /// a panicking service body becomes an [`EvalError::Panicked`] every outer
 /// layer sees as an ordinary failure) → instrumentation (metrics, health,
-/// trace) → resilience (retry/deadline/breaker, outermost, so every retry
-/// attempt is individually observed and counted). The resilient layer is a
-/// no-op pass-through when `policy` is disabled.
+/// trace) → resilience (retry/deadline/breaker, so every retry attempt is
+/// individually observed and counted) → cross-query β dedup (outermost:
+/// only the *first* logical caller of a `(service, args)` key at an
+/// instant descends into resilience and performs — possibly retries — the
+/// upstream call; coalesced callers share its final result and are
+/// counted in `serena_beta_dedup_total`). The resilient layer is a no-op
+/// pass-through when `policy` is disabled, the dedup layer when
+/// `dedup_enabled` is false.
+#[allow(clippy::too_many_arguments)]
 fn build_invoker_stack<'r>(
     registry: &'r DynamicRegistry,
-    telemetry: &'r MetricsRegistry,
+    telemetry: &'r Arc<MetricsRegistry>,
     health: &'r HealthTracker,
     trace: &'r dyn TraceSink,
     policy: ResiliencePolicy,
     state: Arc<ResilienceState>,
+    dedup: Arc<DedupState>,
+    dedup_enabled: bool,
 ) -> Box<dyn Invoker + 'r> {
     InvokerStack::new(registry)
         .layer(CatchPanicLayer::new())
         .layer(
             InstrumentedLayer::new()
-                .registry(telemetry)
+                .registry(telemetry.as_ref())
                 .observer(health)
                 .trace(trace),
         )
         .layer(
             ResilientLayer::new(policy, state)
                 .health(health)
-                .registry(telemetry),
+                .registry(telemetry.as_ref()),
+        )
+        .layer(
+            DedupLayer::new(dedup)
+                .registry(Arc::clone(telemetry))
+                .enabled(dedup_enabled),
         )
         .into_inner()
 }
@@ -1273,6 +1358,11 @@ mod tests {
         assert!(text.contains("serena_service_latency_ns_bucket"));
         assert!(text.contains("le=\"+Inf\""));
         assert!(text.contains("serena_service_failures_total{service=\"email\"}"));
+        // the scheduler/dedup series render (zero-valued) from the start,
+        // so scrapes and the shell's `.metrics` always expose them
+        assert!(text.contains("# TYPE serena_sched_steals_total counter"));
+        assert!(text.contains("# TYPE serena_sched_queue_depth gauge"));
+        assert!(text.contains("# TYPE serena_beta_dedup_total counter"));
 
         // the configured trace sink saw the failed invocations
         assert!(trace

@@ -6,6 +6,19 @@
 //! [`TableHandle`]s; infinite ones by *stream bindings* — either a
 //! broadcast [`StreamHub`] (externally pushed) or a factory creating a
 //! fresh deterministic source per subscribing query.
+//!
+//! State is **sharded by relation name**: each of [`SHARDS`] shards holds
+//! its own lock over its slice of the table and stream maps, so
+//! concurrent query ticks (or DDL from the shell while queries run)
+//! touching disjoint relations never serialize on a whole-manager lock.
+//! Every method takes `&self` — the manager is interior-mutable and
+//! freely shareable with the scheduler's worker pool. A name's tables
+//! *and* streams land in the same shard (the hash only sees the name),
+//! so the cross-kind freshness check stays shard-local.
+//!
+//! Serialization (`export_tables` / `snapshot_environment`) collects
+//! across shards and sorts globally by name, keeping the encoding
+//! byte-identical to the pre-sharding single-map layout.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -16,6 +29,7 @@ use serena_core::plan::SchemaCatalog;
 use serena_core::prototype::Prototype;
 use serena_core::schema::SchemaRef;
 use serena_core::snapshot::{Reader, SnapshotError, Writer};
+use serena_core::sync::RwLock;
 use serena_core::tuple::Tuple;
 use serena_core::xrelation::XRelation;
 use serena_stream::exec::SourceSet;
@@ -23,6 +37,11 @@ use serena_stream::plan::{StreamPlan, StreamSchema, XdCatalog};
 use serena_stream::source::{StreamSource, TableHandle};
 
 use crate::hub::StreamHub;
+
+/// Shards in the catalog. A modest power of two: enough that 8–16
+/// workers rarely collide, small enough that full scans (exports,
+/// snapshots) stay cheap.
+pub const SHARDS: usize = 16;
 
 /// How an infinite XD-Relation obtains its tuples.
 enum StreamBinding {
@@ -37,15 +56,44 @@ struct StreamDef {
     binding: StreamBinding,
 }
 
-/// The PEMS table catalog: named finite tables and infinite streams.
+/// One shard's slice of the catalog. Tables and streams share the shard
+/// (and its locks are taken together on definition) so duplicate-name
+/// checks across the two kinds need no global lock.
 #[derive(Default)]
+struct Shard {
+    tables: RwLock<BTreeMap<String, TableHandle>>,
+    streams: RwLock<BTreeMap<String, StreamDef>>,
+}
+
+/// FNV-1a — deterministic (no per-process `RandomState`) and fast for
+/// the short relation names we key shards on.
+fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % SHARDS as u64) as usize
+}
+
+/// The PEMS table catalog: named finite tables and infinite streams,
+/// sharded by name (see the module docs).
 pub struct ExtendedTableManager {
-    prototypes: BTreeMap<String, Arc<Prototype>>,
-    tables: BTreeMap<String, TableHandle>,
-    streams: BTreeMap<String, StreamDef>,
+    shards: Vec<Shard>,
+    prototypes: RwLock<BTreeMap<String, Arc<Prototype>>>,
     /// `SERVICE name IMPLEMENTS …` declarations (Table 1) — metadata the
     /// registry is validated against.
-    service_decls: BTreeMap<String, Vec<String>>,
+    service_decls: RwLock<BTreeMap<String, Vec<String>>>,
+}
+
+impl Default for ExtendedTableManager {
+    fn default() -> Self {
+        ExtendedTableManager {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+            prototypes: RwLock::new(BTreeMap::new()),
+            service_decls: RwLock::new(BTreeMap::new()),
+        }
+    }
 }
 
 impl ExtendedTableManager {
@@ -54,74 +102,77 @@ impl ExtendedTableManager {
         Self::default()
     }
 
+    fn shard(&self, name: &str) -> &Shard {
+        &self.shards[shard_of(name)]
+    }
+
     /// Declare a prototype.
-    pub fn declare_prototype(&mut self, p: Arc<Prototype>) -> Result<(), SchemaError> {
-        if self.prototypes.contains_key(p.name()) {
+    pub fn declare_prototype(&self, p: Arc<Prototype>) -> Result<(), SchemaError> {
+        let mut protos = self.prototypes.write();
+        if protos.contains_key(p.name()) {
             return Err(SchemaError::DuplicatePrototype(p.name().to_string()));
         }
-        self.prototypes.insert(p.name().to_string(), p);
+        protos.insert(p.name().to_string(), p);
         Ok(())
     }
 
     /// Look up a declared prototype.
-    pub fn prototype(&self, name: &str) -> Option<&Arc<Prototype>> {
-        self.prototypes.get(name)
+    pub fn prototype(&self, name: &str) -> Option<Arc<Prototype>> {
+        self.prototypes.read().get(name).cloned()
     }
 
     /// All declared prototypes, sorted by name.
-    pub fn prototypes(&self) -> impl Iterator<Item = &Arc<Prototype>> {
-        self.prototypes.values()
+    pub fn prototypes(&self) -> Vec<Arc<Prototype>> {
+        self.prototypes.read().values().cloned().collect()
     }
 
     /// Record a `SERVICE … IMPLEMENTS …` declaration.
-    pub fn declare_service(&mut self, name: impl Into<String>, prototypes: Vec<String>) {
-        self.service_decls.insert(name.into(), prototypes);
+    pub fn declare_service(&self, name: impl Into<String>, prototypes: Vec<String>) {
+        self.service_decls.write().insert(name.into(), prototypes);
     }
 
-    /// Declared services, sorted.
-    pub fn service_declarations(&self) -> impl Iterator<Item = (&str, &[String])> {
+    /// Declared services, sorted by name.
+    pub fn service_declarations(&self) -> Vec<(String, Vec<String>)> {
         self.service_decls
+            .read()
             .iter()
-            .map(|(n, p)| (n.as_str(), p.as_slice()))
-    }
-
-    fn check_fresh_name(&self, name: &str) -> Result<(), SchemaError> {
-        if self.tables.contains_key(name) || self.streams.contains_key(name) {
-            return Err(SchemaError::DuplicateRelation(name.to_string()));
-        }
-        Ok(())
+            .map(|(n, p)| (n.clone(), p.clone()))
+            .collect()
     }
 
     /// Define a finite XD-Relation. Returns its shared handle.
     pub fn define_table(
-        &mut self,
+        &self,
         name: impl Into<String>,
         schema: SchemaRef,
     ) -> Result<TableHandle, SchemaError> {
         let name = name.into();
-        self.check_fresh_name(&name)?;
+        let shard = self.shard(&name);
+        let mut tables = shard.tables.write();
+        if tables.contains_key(&name) || shard.streams.read().contains_key(&name) {
+            return Err(SchemaError::DuplicateRelation(name));
+        }
         let handle = TableHandle::new(schema);
-        self.tables.insert(name, handle.clone());
+        tables.insert(name, handle.clone());
         Ok(handle)
     }
 
     /// Define an infinite XD-Relation fed by external pushes. Returns its
     /// hub.
     pub fn define_push_stream(
-        &mut self,
+        &self,
         name: impl Into<String>,
         schema: SchemaRef,
     ) -> Result<StreamHub, SchemaError> {
         let name = name.into();
-        self.check_fresh_name(&name)?;
         let hub = StreamHub::new();
-        self.streams.insert(
+        self.define_stream(
             name,
             StreamDef {
                 schema,
                 binding: StreamBinding::Hub(hub.clone()),
             },
-        );
+        )?;
         Ok(hub)
     }
 
@@ -129,32 +180,40 @@ impl ExtendedTableManager {
     /// subscribing query gets `factory()` (sources must be deterministic
     /// functions of the instant for queries to agree).
     pub fn define_stream_with(
-        &mut self,
+        &self,
         name: impl Into<String>,
         schema: SchemaRef,
         factory: impl Fn() -> Box<dyn StreamSource> + Send + Sync + 'static,
     ) -> Result<(), SchemaError> {
-        let name = name.into();
-        self.check_fresh_name(&name)?;
-        self.streams.insert(
-            name,
+        self.define_stream(
+            name.into(),
             StreamDef {
                 schema,
                 binding: StreamBinding::Factory(Box::new(factory)),
             },
-        );
+        )
+    }
+
+    fn define_stream(&self, name: String, def: StreamDef) -> Result<(), SchemaError> {
+        let shard = self.shard(&name);
+        let mut streams = shard.streams.write();
+        if streams.contains_key(&name) || shard.tables.read().contains_key(&name) {
+            return Err(SchemaError::DuplicateRelation(name));
+        }
+        streams.insert(name, def);
         Ok(())
     }
 
-    /// Handle of a finite table.
-    pub fn table(&self, name: &str) -> Option<&TableHandle> {
-        self.tables.get(name)
+    /// Handle of a finite table (a cheap `Arc` clone of the shared
+    /// state).
+    pub fn table(&self, name: &str) -> Option<TableHandle> {
+        self.shard(name).tables.read().get(name).cloned()
     }
 
     /// Push a tuple into a hub-backed stream. `false` if the stream does
     /// not exist or is factory-backed.
     pub fn push_stream(&self, name: &str, t: Tuple) -> bool {
-        match self.streams.get(name) {
+        match self.shard(name).streams.read().get(name) {
             Some(StreamDef {
                 binding: StreamBinding::Hub(hub),
                 ..
@@ -168,7 +227,7 @@ impl ExtendedTableManager {
 
     /// Queue an insertion into a finite table.
     pub fn insert(&self, name: &str, t: Tuple) -> Result<(), SchemaError> {
-        match self.tables.get(name) {
+        match self.table(name) {
             Some(h) => {
                 h.insert(t);
                 Ok(())
@@ -181,7 +240,7 @@ impl ExtendedTableManager {
 
     /// Queue a deletion from a finite table.
     pub fn delete(&self, name: &str, t: Tuple) -> Result<(), SchemaError> {
-        match self.tables.get(name) {
+        match self.table(name) {
             Some(h) => {
                 h.delete(t);
                 Ok(())
@@ -193,8 +252,9 @@ impl ExtendedTableManager {
     }
 
     /// Drop a relation (table or stream). Returns whether it existed.
-    pub fn drop_relation(&mut self, name: &str) -> bool {
-        self.tables.remove(name).is_some() || self.streams.remove(name).is_some()
+    pub fn drop_relation(&self, name: &str) -> bool {
+        let shard = self.shard(name);
+        shard.tables.write().remove(name).is_some() || shard.streams.write().remove(name).is_some()
     }
 
     /// Build the [`SourceSet`] a continuous plan compiles against: shared
@@ -205,25 +265,53 @@ impl ExtendedTableManager {
         let mut names = Vec::new();
         collect_sources(plan, &mut names);
         for name in names {
-            if let Some(handle) = self.tables.get(name) {
-                sources.add_table(name.to_string(), handle.clone());
-            } else if let Some(def) = self.streams.get(name) {
-                let source: Box<dyn StreamSource> = match &def.binding {
-                    StreamBinding::Hub(hub) => Box::new(hub.subscribe()),
-                    StreamBinding::Factory(f) => f(),
-                };
-                sources.add_stream(name.to_string(), def.schema.clone(), source);
+            if let Some(handle) = self.table(name) {
+                sources.add_table(name.to_string(), handle);
+            } else if let Some((schema, source)) = self.subscribe(name) {
+                sources.add_stream(name.to_string(), schema, source);
             }
         }
         sources
+    }
+
+    /// A fresh subscription/instance of stream `name`, with its schema.
+    fn subscribe(&self, name: &str) -> Option<(SchemaRef, Box<dyn StreamSource>)> {
+        let shard = self.shard(name);
+        let streams = shard.streams.read();
+        let def = streams.get(name)?;
+        let source: Box<dyn StreamSource> = match &def.binding {
+            StreamBinding::Hub(hub) => Box::new(hub.subscribe()),
+            StreamBinding::Factory(f) => f(),
+        };
+        Some((def.schema.clone(), source))
+    }
+
+    /// Every finite table, globally sorted by name — shard layout is an
+    /// implementation detail that must never leak into encodings or
+    /// one-shot snapshots.
+    fn tables_by_name(&self) -> Vec<(String, TableHandle)> {
+        let mut all: Vec<(String, TableHandle)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.tables
+                    .read()
+                    .iter()
+                    .map(|(n, h)| (n.clone(), h.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
     }
 
     /// Serialize every finite table's dynamic contents (committed state +
     /// pending mutations), in name order. Schemas and stream definitions
     /// are *not* captured — recovery re-runs the DDL, then rehydrates.
     pub fn export_tables(&self, w: &mut Writer) {
-        w.usize(self.tables.len());
-        for (name, handle) in &self.tables {
+        let tables = self.tables_by_name();
+        w.usize(tables.len());
+        for (name, handle) in &tables {
             w.str(name);
             handle.export_state(w);
         }
@@ -233,14 +321,15 @@ impl ExtendedTableManager {
     /// already-defined tables. Errors with [`SnapshotError::Mismatch`]
     /// when the defined table set disagrees with the snapshot.
     pub fn import_tables(&self, r: &mut Reader<'_>) -> Result<(), SnapshotError> {
+        let tables = self.tables_by_name();
         let n = r.usize()?;
-        if n != self.tables.len() {
+        if n != tables.len() {
             return Err(SnapshotError::Mismatch(format!(
                 "snapshot holds {n} tables, {} defined",
-                self.tables.len()
+                tables.len()
             )));
         }
-        for (name, handle) in &self.tables {
+        for (name, handle) in &tables {
             let stored = r.str()?;
             if stored != *name {
                 return Err(SnapshotError::Mismatch(format!(
@@ -256,18 +345,18 @@ impl ExtendedTableManager {
     /// (pending mutations included), for `EXECUTE` statements.
     pub fn snapshot_environment(&self) -> Environment {
         let mut env = Environment::new();
-        for p in self.prototypes.values() {
+        for p in self.prototypes() {
             // prototypes were URSA-checked on declaration paths upstream;
             // snapshotting must not fail on re-declaration order
-            let _ = env.declare_prototype(Arc::clone(p));
+            let _ = env.declare_prototype(p);
         }
-        for (name, handle) in &self.tables {
+        for (name, handle) in self.tables_by_name() {
             let schema = handle.schema();
             let mut rel = XRelation::empty(schema);
             for t in handle.projected().sorted_occurrences() {
                 rel.insert(t);
             }
-            let _ = env.define_relation(name.clone(), rel);
+            let _ = env.define_relation(name, rel);
         }
         env
     }
@@ -301,10 +390,13 @@ fn collect_sources<'a>(plan: &'a StreamPlan, out: &mut Vec<&'a str>) {
 
 impl XdCatalog for ExtendedTableManager {
     fn xd_schema_of(&self, name: &str) -> Option<StreamSchema> {
-        if let Some(t) = self.tables.get(name) {
+        let shard = self.shard(name);
+        if let Some(t) = shard.tables.read().get(name) {
             return Some(StreamSchema::finite(t.schema()));
         }
-        self.streams
+        shard
+            .streams
+            .read()
             .get(name)
             .map(|d| StreamSchema::infinite(d.schema.clone()))
     }
@@ -312,13 +404,13 @@ impl XdCatalog for ExtendedTableManager {
 
 impl SchemaCatalog for ExtendedTableManager {
     fn schema_of(&self, name: &str) -> Option<SchemaRef> {
-        self.tables.get(name).map(|t| t.schema())
+        self.table(name).map(|t| t.schema())
     }
 }
 
 impl serena_ddl::PrototypeCatalog for ExtendedTableManager {
     fn lookup_prototype(&self, name: &str) -> Option<Arc<Prototype>> {
-        self.prototypes.get(name).cloned()
+        self.prototype(name)
     }
 }
 
@@ -330,7 +422,7 @@ mod tests {
     use serena_core::tuple;
 
     fn manager() -> ExtendedTableManager {
-        let mut m = ExtendedTableManager::new();
+        let m = ExtendedTableManager::new();
         m.declare_prototype(protos::send_message()).unwrap();
         m.declare_prototype(protos::get_temperature()).unwrap();
         m
@@ -338,7 +430,7 @@ mod tests {
 
     #[test]
     fn define_and_mutate_table() {
-        let mut m = manager();
+        let m = manager();
         m.define_table("contacts", schemas::contacts_schema())
             .unwrap();
         m.insert("contacts", tuple!["Ada", "ada@l.org", "email"])
@@ -350,7 +442,7 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected_across_kinds() {
-        let mut m = manager();
+        let m = manager();
         m.define_table("x", schemas::contacts_schema()).unwrap();
         assert!(m
             .define_push_stream("x", schemas::contacts_schema())
@@ -360,7 +452,7 @@ mod tests {
 
     #[test]
     fn source_set_subscribes_streams_per_query() {
-        let mut m = manager();
+        let m = manager();
         let schema = serena_core::schema::XSchema::builder()
             .real("x", serena_core::value::DataType::Int)
             .build()
@@ -381,7 +473,7 @@ mod tests {
 
     #[test]
     fn drop_relation_both_kinds() {
-        let mut m = manager();
+        let m = manager();
         m.define_table("t", schemas::contacts_schema()).unwrap();
         m.define_push_stream(
             "s",
@@ -398,7 +490,7 @@ mod tests {
 
     #[test]
     fn xd_catalog_distinguishes_status() {
-        let mut m = manager();
+        let m = manager();
         m.define_table("t", schemas::contacts_schema()).unwrap();
         m.define_push_stream(
             "s",
@@ -418,7 +510,7 @@ mod tests {
 
     #[test]
     fn push_stream_only_for_hubs() {
-        let mut m = manager();
+        let m = manager();
         let schema = serena_core::schema::XSchema::builder()
             .real("x", serena_core::value::DataType::Int)
             .build()
@@ -435,13 +527,70 @@ mod tests {
 
     #[test]
     fn service_declarations_recorded() {
-        let mut m = manager();
+        let m = manager();
         m.declare_service("email", vec!["sendMessage".into()]);
         m.declare_service("camera01", vec!["checkPhoto".into(), "takePhoto".into()]);
-        let decls: Vec<(&str, usize)> = m
+        let decls: Vec<(String, usize)> = m
             .service_declarations()
+            .into_iter()
             .map(|(n, p)| (n, p.len()))
             .collect();
-        assert_eq!(decls, vec![("camera01", 2), ("email", 1)]);
+        assert_eq!(
+            decls,
+            vec![("camera01".to_string(), 2), ("email".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn exports_are_name_ordered_across_shards() {
+        // Names chosen to scatter across shards; the export must still be
+        // globally name-ordered (the pre-sharding byte layout).
+        let m = manager();
+        let names = ["zeta", "alpha", "mu", "kappa", "beta17", "omega"];
+        for n in names {
+            m.define_table(n, schemas::contacts_schema()).unwrap();
+        }
+        let mut w = Writer::new();
+        m.export_tables(&mut w);
+        let bytes = w.into_bytes();
+        let mut sorted = names;
+        sorted.sort_unstable();
+        // name order in the byte stream follows the sorted order
+        let mut pos = Vec::new();
+        for n in sorted {
+            let at = bytes
+                .windows(n.len())
+                .position(|win| win == n.as_bytes())
+                .expect("name present in export");
+            pos.push(at);
+        }
+        assert!(pos.windows(2).all(|w| w[0] < w[1]), "{pos:?}");
+        // and a fresh identically-defined manager imports it cleanly
+        let m2 = manager();
+        for n in names {
+            m2.define_table(n, schemas::contacts_schema()).unwrap();
+        }
+        m2.import_tables(&mut Reader::new(&bytes)).unwrap();
+    }
+
+    #[test]
+    fn concurrent_definitions_on_disjoint_names() {
+        let m = Arc::new(manager());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let m = Arc::clone(&m);
+                scope.spawn(move || {
+                    for i in 0..16 {
+                        let name = format!("rel_{t}_{i}");
+                        m.define_table(&name, schemas::contacts_schema()).unwrap();
+                        m.insert(&name, tuple!["Ada", "ada@l.org", "email"])
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.tables_by_name().len(), 128);
+        let env = m.snapshot_environment();
+        assert_eq!(env.relation("rel_7_15").unwrap().len(), 1);
     }
 }

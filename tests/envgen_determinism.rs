@@ -1,6 +1,8 @@
 //! Determinism regression for the environment generator (ISSUE 6
 //! acceptance): the same `EnvSpec` seed replays **byte-identically** —
-//! across independent runs and across β invocation parallelism {1, 8}.
+//! across independent runs, across β invocation parallelism {1, 8},
+//! across scheduler worker counts {1, 2, 8} and with cross-query β dedup
+//! on or off (ISSUE 7).
 //!
 //! This is the property that lets future scheduler/operator PRs claim
 //! "byte-identical output vs serial" on realistic massive-scale workloads:
@@ -16,7 +18,7 @@ use serena::core::physical::ExecOptions;
 use serena::core::snapshot::Writer;
 use serena::core::time::Instant;
 use serena::pems::envspec::{ArrivalTrace, EnvSpec, QueryTemplate, WorkloadSpec};
-use serena::pems::Pems;
+use serena::pems::{Pems, SchedulerConfig};
 use serena::services::fleet::FailureProfile;
 use serena::stream::exec::TickReport;
 
@@ -96,9 +98,21 @@ fn observe(reports: Vec<(String, TickReport)>) -> Vec<Obs> {
 /// a canonical rendering of the final runtime state: each query's current
 /// relation (sorted occurrences) and the full service-health report.
 fn run(parallelism: usize) -> (Vec<Obs>, Vec<String>) {
+    run_with(parallelism, 1, true)
+}
+
+/// [`run`] generalised over the multi-query scheduler axes: pool width
+/// (`SERENA_SCHED_WORKERS`) and cross-query β dedup. The returned state
+/// keeps the service-health report *last*, after one entry per query, so
+/// callers can strip it when comparing dedup on/off (dedup changes how
+/// many *physical* calls back the same logical result — health attempt
+/// counts legitimately differ; everything a query observes must not).
+fn run_with(parallelism: usize, workers: usize, dedup: bool) -> (Vec<Obs>, Vec<String>) {
     let s = spec();
     let mut pems = Pems::builder()
         .exec_options(ExecOptions::parallel(parallelism))
+        .scheduler(SchedulerConfig::new(workers))
+        .dedup(dedup)
         .build();
     s.install_catalog(&mut pems).expect("catalog installs");
     s.deploy_into(&pems);
@@ -168,6 +182,42 @@ fn parallel_replay_is_byte_identical_to_serial() {
         serial_state, par_state,
         "parallel final runtime state diverged from serial"
     );
+}
+
+#[test]
+fn worker_counts_replay_byte_identically() {
+    // ISSUE 7 acceptance: per-query deltas, actions and final relations
+    // are byte-identical whether the tick round runs on one worker or
+    // on a stealing pool — and so is the health report, because with the
+    // dedup memo armed the *physical* call set is deterministic too.
+    let (base_obs, base_state) = run_with(4, 1, true);
+    for workers in [2, 8] {
+        let (obs, state) = run_with(4, workers, true);
+        assert_eq!(
+            base_obs, obs,
+            "workers={workers} diverged from the single-worker run"
+        );
+        assert_eq!(
+            base_state, state,
+            "workers={workers} final state diverged from the single-worker run"
+        );
+    }
+}
+
+#[test]
+fn dedup_toggle_changes_no_query_observable() {
+    let queries = workload().total();
+    let (on_obs, on_state) = run_with(4, 4, true);
+    let (off_obs, off_state) = run_with(4, 4, false);
+    assert_eq!(on_obs, off_obs, "β dedup changed a query's tick output");
+    // Final relations must agree entry for entry; the trailing health
+    // report is excluded — coalescing shrinks physical attempt counts.
+    assert_eq!(
+        on_state[..queries],
+        off_state[..queries],
+        "β dedup changed a final relation"
+    );
+    assert!(on_state.len() > queries, "health report missing from state");
 }
 
 #[test]

@@ -13,6 +13,7 @@
 
 use serena::core::snapshot::Writer;
 use serena::core::tuple;
+use serena::pems::SchedulerConfig;
 use serena::prelude::*;
 use serena::services::bus::BusConfig;
 
@@ -25,11 +26,20 @@ const TICKS: u64 = 6;
 /// stateful executor node kind (table delta, β cache, window ring,
 /// projection pipeline, βˢ sampling).
 fn recovery_pems(parallelism: usize) -> Pems {
+    recovery_pems_on(parallelism, None)
+}
+
+/// [`recovery_pems`] with an explicit multi-query scheduler width
+/// (`None` keeps the runtime default).
+fn recovery_pems_on(parallelism: usize, workers: Option<usize>) -> Pems {
     use serena::core::service::fixtures;
-    let mut pems = Pems::builder()
+    let mut builder = Pems::builder()
         .bus(BusConfig::instant())
-        .exec_options(ExecOptions::parallel(parallelism))
-        .build();
+        .exec_options(ExecOptions::parallel(parallelism));
+    if let Some(w) = workers {
+        builder = builder.scheduler(SchedulerConfig::new(w));
+    }
+    let mut pems = builder.build();
     let reg = pems.registry();
     for (name, seed) in [
         ("sensor01", 1u64),
@@ -197,6 +207,56 @@ fn recovery_is_byte_identical_at_every_kill_point() {
                     recovered.processor().current_relation(query),
                     baseline.processor().current_relation(query),
                     "result of `{query}` diverged after kill={kill} workers={parallelism}"
+                );
+            }
+        }
+    }
+}
+
+/// ISSUE 7 satellite: a checkpoint cut while the multi-query scheduler is
+/// running a 4-wide stealing pool restores byte-identically — whether the
+/// recovered runtime resumes on 4 workers or on a single one. The
+/// snapshot format is scheduler-agnostic, so the uninterrupted
+/// single-worker run is the ground truth for both resume widths.
+#[test]
+fn multi_worker_kill_restore_matches_single_worker_baseline() {
+    let mut baseline = recovery_pems_on(4, Some(1));
+    let mut expected = Vec::new();
+    for t in 0..TICKS {
+        apply_script(&mut baseline, t);
+        expected.push(observe(baseline.tick()));
+    }
+
+    for kill in [2u64, 4] {
+        // crash a 4-worker runtime mid-run…
+        let mut doomed = recovery_pems_on(4, Some(4));
+        for t in 0..kill {
+            apply_script(&mut doomed, t);
+            doomed.tick();
+        }
+        let snapshot = doomed.snapshot_bytes();
+        drop(doomed);
+
+        // …and resume on both pool widths: same bytes, same future.
+        for resume_workers in [1usize, 4] {
+            let mut recovered = recovery_pems_on(4, Some(resume_workers));
+            recovered.restore_bytes(&snapshot).unwrap_or_else(|e| {
+                panic!("restore failed (kill={kill}, resume workers={resume_workers}): {e}")
+            });
+            assert_eq!(recovered.clock(), Instant(kill));
+            for t in kill..TICKS {
+                apply_script(&mut recovered, t);
+                let got = observe(recovered.tick());
+                assert_eq!(
+                    got, expected[t as usize],
+                    "tick {t} diverged (kill={kill}, resume workers={resume_workers})"
+                );
+            }
+            for query in ["all", "temps", "hot", "recent", "sampled"] {
+                assert_eq!(
+                    recovered.processor().current_relation(query),
+                    baseline.processor().current_relation(query),
+                    "result of `{query}` diverged (kill={kill}, resume workers={resume_workers})"
                 );
             }
         }
