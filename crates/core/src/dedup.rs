@@ -37,7 +37,7 @@ use crate::sync::Mutex;
 use crate::error::EvalError;
 use crate::prototype::Prototype;
 use crate::service::{Invoker, InvokerLayer};
-use crate::telemetry::MetricsRegistry;
+use crate::telemetry::{FlightRecorder, MetricsRegistry};
 use crate::time::Instant;
 use crate::tuple::Tuple;
 use crate::value::ServiceRef;
@@ -178,6 +178,7 @@ pub struct DedupInvoker<I> {
     inner: I,
     state: Arc<DedupState>,
     registry: Option<Arc<MetricsRegistry>>,
+    tracer: Option<Arc<FlightRecorder>>,
 }
 
 impl<I: Invoker> DedupInvoker<I> {
@@ -187,6 +188,7 @@ impl<I: Invoker> DedupInvoker<I> {
             inner,
             state,
             registry: None,
+            tracer: None,
         }
     }
 
@@ -195,6 +197,13 @@ impl<I: Invoker> DedupInvoker<I> {
     /// caller whose call was served without an upstream invocation.
     pub fn registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
         self.registry = Some(registry);
+        self
+    }
+
+    /// Record one `beta` span per logical call into `tracer`, annotated
+    /// with how the memo resolved it (`dedup` = `hit`/`wait`/`call`).
+    pub fn tracer(mut self, tracer: Arc<FlightRecorder>) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -221,24 +230,39 @@ impl<I: Invoker> Invoker for DedupInvoker<I> {
             service: service_ref.clone(),
             input: input.clone(),
         };
-        match self.state.claim(&key, at) {
+        let mut span = self.tracer.as_deref().and_then(|t| t.start("beta", at));
+        if let Some(s) = span.as_mut() {
+            s.attr_str("service", service_ref.as_str());
+            s.attr_str("prototype", prototype.name());
+        }
+        let (result, how) = match self.state.claim(&key, at) {
             Claim::Serve(result) => {
                 self.count_dedup(service_ref);
-                result
+                (result, "hit")
             }
             Claim::Wait(latch) => {
                 let result = latch.wait();
                 self.count_dedup(service_ref);
-                result
+                (result, "wait")
             }
             Claim::Call(latch) => {
-                let result = self.inner.invoke(prototype, service_ref, input, at);
+                let result = {
+                    // layers below (resilience, per-attempt
+                    // instrumentation) nest under this logical β span
+                    let _in_span = span.as_ref().map(|s| s.enter());
+                    self.inner.invoke(prototype, service_ref, input, at)
+                };
                 self.state.misses.fetch_add(1, Ordering::Relaxed);
                 self.state.complete(&key, at, result.clone());
                 latch.publish(result.clone());
-                result
+                (result, "call")
             }
+        };
+        if let Some(s) = span.as_mut() {
+            s.attr_str("dedup", how);
+            s.attr_u64("ok", result.is_ok() as u64);
         }
+        result
     }
 
     fn providers_of(&self, prototype: &str) -> Vec<ServiceRef> {
@@ -254,6 +278,7 @@ impl<I: Invoker> Invoker for DedupInvoker<I> {
 pub struct DedupLayer {
     state: Arc<DedupState>,
     registry: Option<Arc<MetricsRegistry>>,
+    tracer: Option<Arc<FlightRecorder>>,
     enabled: bool,
 }
 
@@ -263,6 +288,7 @@ impl DedupLayer {
         DedupLayer {
             state,
             registry: None,
+            tracer: None,
             enabled: true,
         }
     }
@@ -271,6 +297,12 @@ impl DedupLayer {
     /// [`DedupInvoker::registry`]).
     pub fn registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
         self.registry = Some(registry);
+        self
+    }
+
+    /// Record `beta` spans into `tracer` (see [`DedupInvoker::tracer`]).
+    pub fn tracer(mut self, tracer: Arc<FlightRecorder>) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -290,6 +322,9 @@ impl<'a> InvokerLayer<'a> for DedupLayer {
         let mut invoker = DedupInvoker::new(inner, self.state);
         if let Some(registry) = self.registry {
             invoker = invoker.registry(registry);
+        }
+        if let Some(tracer) = self.tracer {
+            invoker = invoker.tracer(tracer);
         }
         Box::new(invoker)
     }

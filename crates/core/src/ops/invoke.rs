@@ -349,15 +349,21 @@ impl InvokeRecipe {
         results.resize_with(tuples.len(), || None);
         let slots = crate::sync::Mutex::new(&mut results);
         let cursor = AtomicUsize::new(0);
+        // Span context is thread-local; capture the operator span here so
+        // β spans recorded on worker threads still nest under it.
+        let parent_span = crate::telemetry::span::current();
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= tuples.len() {
-                        break;
+                scope.spawn(|| {
+                    let _in_span = crate::telemetry::span::enter(parent_span);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= tuples.len() {
+                            break;
+                        }
+                        let outcome = call_one(tuples[i]);
+                        slots.lock()[i] = Some(outcome);
                     }
-                    let outcome = call_one(tuples[i]);
-                    slots.lock()[i] = Some(outcome);
                 });
             }
         });

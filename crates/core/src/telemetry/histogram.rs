@@ -50,6 +50,9 @@ fn bucket_upper_bound(i: usize) -> u64 {
 #[derive(Debug)]
 pub struct Histogram {
     buckets: Vec<AtomicU64>,
+    /// Last span id recorded into each bucket (0 = none) — **exemplars**:
+    /// a quantile estimate links back to a concrete recorded span tree.
+    exemplars: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
@@ -66,6 +69,7 @@ impl Histogram {
     pub fn new() -> Self {
         Histogram {
             buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            exemplars: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
@@ -78,6 +82,40 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record one sample and stamp `span_id` as its bucket's exemplar, so
+    /// quantile lookups can link back to the span that produced an
+    /// outlier. A `span_id` of 0 records the sample without an exemplar.
+    pub fn record_with_exemplar(&self, v: u64, span_id: u64) {
+        let idx = bucket_index(v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        if span_id != 0 {
+            self.exemplars[idx].store(span_id, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The exemplar span id for the bucket holding the `q`-quantile rank
+    /// (`None` when the histogram is empty or no exemplar was stamped
+    /// there).
+    pub fn exemplar_for_quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                let id = self.exemplars[i].load(Ordering::Relaxed);
+                return (id != 0).then_some(id);
+            }
+        }
+        None
     }
 
     /// Record a [`std::time::Duration`] in nanoseconds.
@@ -241,6 +279,21 @@ mod tests {
             assert!(w[0].0 < w[1].0);
             assert!(w[0].1 <= w[1].1);
         }
+    }
+
+    #[test]
+    fn exemplars_link_quantiles_to_spans() {
+        let h = Histogram::new();
+        assert_eq!(h.exemplar_for_quantile(0.99), None);
+        for _ in 0..99 {
+            h.record_with_exemplar(10, 7); // fast bucket, exemplar 7
+        }
+        h.record_with_exemplar(1 << 20, 42); // the outlier
+        assert_eq!(h.exemplar_for_quantile(0.5), Some(7));
+        assert_eq!(h.exemplar_for_quantile(1.0), Some(42));
+        // recording without a span id keeps the previous exemplar
+        h.record_with_exemplar(1 << 20, 0);
+        assert_eq!(h.exemplar_for_quantile(1.0), Some(42));
     }
 
     #[test]

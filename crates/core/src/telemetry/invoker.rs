@@ -22,6 +22,7 @@ use crate::value::ServiceRef;
 
 use super::histogram::Histogram;
 use super::registry::{Counter, MetricsRegistry};
+use super::span::FlightRecorder;
 use super::trace::{TraceEvent, TraceSink};
 
 /// Receives the outcome of every β service invocation — the feed for
@@ -64,6 +65,7 @@ pub struct InstrumentedInvoker<'a, I> {
     registry: Option<&'a MetricsRegistry>,
     observer: Option<&'a dyn InvocationObserver>,
     trace: Option<&'a dyn TraceSink>,
+    tracer: Option<&'a FlightRecorder>,
     series: RwLock<HashMap<ServiceRef, ServiceSeries>>,
 }
 
@@ -77,6 +79,7 @@ impl<'a, I: Invoker> InstrumentedInvoker<'a, I> {
             registry: None,
             observer: None,
             trace: None,
+            tracer: None,
             series: RwLock::new(HashMap::new()),
         }
     }
@@ -96,6 +99,13 @@ impl<'a, I: Invoker> InstrumentedInvoker<'a, I> {
     /// Emit invocation/failure trace events to `trace`.
     pub fn with_trace(mut self, trace: &'a dyn TraceSink) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Record one `beta.attempt` span per call into `tracer`, and stamp
+    /// the span id as the latency histogram's exemplar.
+    pub fn with_tracer(mut self, tracer: &'a FlightRecorder) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -125,13 +135,32 @@ impl<I: Invoker> Invoker for InstrumentedInvoker<'_, I> {
         input: &Tuple,
         at: Instant,
     ) -> Result<Vec<Tuple>, EvalError> {
+        let mut span = self.tracer.and_then(|t| t.start("beta.attempt", at));
+        if let Some(s) = span.as_mut() {
+            s.attr_str("service", service_ref.as_str());
+            s.attr_str("prototype", prototype.name());
+        }
         let started = std::time::Instant::now();
-        let result = self.inner.invoke(prototype, service_ref, input, at);
+        let result = {
+            let _in_span = span.as_ref().map(|s| s.enter());
+            self.inner.invoke(prototype, service_ref, input, at)
+        };
         let latency = started.elapsed();
+        let span_id = span.as_ref().map_or(0, |s| s.id());
+        if let Some(s) = span.as_mut() {
+            s.attr_u64("ok", result.is_ok() as u64);
+            if let Err(e) = &result {
+                s.attr_str("error", e.to_string());
+            }
+        }
+        drop(span); // close before the latency sample so the exemplar resolves
 
         if let Some(registry) = self.registry {
             let series = self.series_for(registry, service_ref);
-            series.latency.record_duration(latency);
+            series.latency.record_with_exemplar(
+                u128::min(latency.as_nanos(), u64::MAX as u128) as u64,
+                span_id,
+            );
             series.calls.inc();
             if result.is_err() {
                 series.failures.inc();
@@ -189,6 +218,7 @@ pub struct InstrumentedLayer<'a> {
     registry: Option<&'a MetricsRegistry>,
     observer: Option<&'a dyn InvocationObserver>,
     trace: Option<&'a dyn TraceSink>,
+    tracer: Option<&'a FlightRecorder>,
 }
 
 impl<'a> InstrumentedLayer<'a> {
@@ -214,6 +244,13 @@ impl<'a> InstrumentedLayer<'a> {
         self.trace = Some(trace);
         self
     }
+
+    /// Record `beta.attempt` spans into `tracer` (see
+    /// [`InstrumentedInvoker::with_tracer`]).
+    pub fn tracer(mut self, tracer: &'a FlightRecorder) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
 }
 
 impl<'a> InvokerLayer<'a> for InstrumentedLayer<'a> {
@@ -227,6 +264,9 @@ impl<'a> InvokerLayer<'a> for InstrumentedLayer<'a> {
         }
         if let Some(trace) = self.trace {
             invoker = invoker.with_trace(trace);
+        }
+        if let Some(tracer) = self.tracer {
+            invoker = invoker.with_tracer(tracer);
         }
         Box::new(invoker)
     }

@@ -17,7 +17,11 @@
 //!   [`InvocationObserver`]s such as service-health trackers;
 //! * [`trace`] — span-style [`TraceEvent`]s (query registered, tick
 //!   start/end, invocation, failure) behind a [`TraceSink`], with a JSONL
-//!   writer ([`JsonlTrace`]) for machine-readable export.
+//!   writer ([`JsonlTrace`]) for machine-readable export;
+//! * [`span`] — hierarchical wall-time spans in a bounded in-memory
+//!   [`FlightRecorder`] (scheduler round → worker job → query tick →
+//!   operator → β call/attempt), exportable as Chrome/Perfetto
+//!   `trace.json` via [`span::chrome_trace`].
 //!
 //! Everything here is optional and composable: executors keep talking to
 //! the `MetricsSink`/`Invoker` traits they already know; telemetry attaches
@@ -28,10 +32,12 @@ pub mod histogram;
 pub mod invoker;
 pub mod registry;
 pub mod sink;
+pub mod span;
 pub mod trace;
 
 pub use histogram::Histogram;
 pub use invoker::{InstrumentedInvoker, InstrumentedLayer, InvocationObserver};
 pub use registry::{Counter, Gauge, MetricsRegistry};
 pub use sink::{beta_cache_hit_ratio, RegistrySink};
+pub use span::{chrome_trace, ActiveSpan, AttrValue, FlightRecorder, SpanRecord};
 pub use trace::{JsonlTrace, MemoryTrace, NoopTrace, TraceEvent, TraceSink};

@@ -147,6 +147,33 @@ impl MetricsRegistry {
             .sum()
     }
 
+    /// Remove every series (counter, gauge or histogram, any metric name)
+    /// carrying the label `label_key="label_value"`, returning how many
+    /// series were dropped.
+    ///
+    /// This is how per-entity series are retired when the entity goes
+    /// away — e.g. deregistering a continuous query must not leave its
+    /// `query="…"` gauges frozen at their last values forever.
+    pub fn remove_matching(&self, label_key: &str, label_value: &str) -> usize {
+        fn sweep<T>(
+            map: &RwLock<BTreeMap<SeriesKey, Arc<T>>>,
+            label_key: &str,
+            label_value: &str,
+        ) -> usize {
+            let mut map = map.write();
+            let before = map.len();
+            map.retain(|k, _| {
+                !k.labels
+                    .iter()
+                    .any(|(lk, lv)| lk == label_key && lv == label_value)
+            });
+            before - map.len()
+        }
+        sweep(&self.counters, label_key, label_value)
+            + sweep(&self.gauges, label_key, label_value)
+            + sweep(&self.histograms, label_key, label_value)
+    }
+
     /// Render every series in the Prometheus text exposition format.
     ///
     /// Series are ordered by name then label set; each family gets one
@@ -245,6 +272,11 @@ fn labels(pairs: &[(String, String)], le: Option<&str>) -> String {
 }
 
 /// Escape a label value per the Prometheus text format (`\`, `"`, `\n`).
+///
+/// A raw carriage return would also break the line-oriented exposition
+/// format (the spec defines no escape for it), so `\r` is rendered as the
+/// two characters `\r` too — scrapers stay parseable even when a hostile
+/// service name embeds one.
 fn escape_label(v: &str) -> String {
     let mut out = String::with_capacity(v.len());
     for c in v.chars() {
@@ -252,6 +284,7 @@ fn escape_label(v: &str) -> String {
             '\\' => out.push_str("\\\\"),
             '"' => out.push_str("\\\""),
             '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
             other => out.push(other),
         }
     }
@@ -333,8 +366,28 @@ mod tests {
     #[test]
     fn label_values_are_escaped() {
         let reg = MetricsRegistry::new();
-        reg.counter("c_total", &[("name", "a\"b\\c\nd")]).inc();
+        reg.counter("c_total", &[("name", "a\"b\\c\nd\re")]).inc();
         let text = reg.render_prometheus();
-        assert!(text.contains(r#"c_total{name="a\"b\\c\nd"} 1"#));
+        assert!(text.contains(r#"c_total{name="a\"b\\c\nd\re"} 1"#));
+        // the rendered text stays strictly line-oriented
+        assert!(!text.contains('\r'));
+    }
+
+    #[test]
+    fn remove_matching_retires_an_entitys_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ticks_total", &[("query", "q1")]).inc();
+        reg.counter("ticks_total", &[("query", "q2")]).inc();
+        reg.gauge("freshness", &[("query", "q1")]).set(5);
+        reg.histogram("tick_ns", &[("query", "q1")]).record(100);
+        reg.counter("global_total", &[]).inc();
+
+        assert_eq!(reg.remove_matching("query", "q1"), 3);
+        let text = reg.render_prometheus();
+        assert!(!text.contains("query=\"q1\""), "q1 series linger:\n{text}");
+        assert!(text.contains("ticks_total{query=\"q2\"} 1"));
+        assert!(text.contains("global_total 1"));
+        // removing again is a no-op
+        assert_eq!(reg.remove_matching("query", "q1"), 0);
     }
 }

@@ -13,6 +13,13 @@
 //!   * `.result <query>` — current result of a finite continuous query;
 //!   * `.metrics` — every telemetry series in the Prometheus text format;
 //!   * `.health` — per-service health (attempts, failure rate, status);
+//!   * `.top` — live dashboard: worker utilization, queue depth, per-query
+//!     tick latency, per-service health and breakers;
+//!   * `.profile <query>` — per-query tick timeline and slowest operators
+//!     from the flight recorder;
+//!   * `.trace <file>` — export the retained spans as a Chrome/Perfetto
+//!     `trace.json` (`SERENA_TRACE=0` disarms the recorder,
+//!     `SERENA_TRACE_CAPACITY` bounds it);
 //!   * `.demo` — load the paper's running example (Tables 1–2, Example 4's
 //!     tuples, simulated services);
 //!   * `.checkpoint <dir>` — write a snapshot of the dynamic state;
@@ -137,7 +144,8 @@ fn dot_command(cmd: &str, pems: &mut Pems) -> bool {
         ".help" => {
             println!(
                 ".tick [n] | .tables | .show <rel> | .queries | .result <query>\n\
-                 .metrics | .health | .checkpoint <dir> | .restore <dir> | .demo | .quit\n\
+                 .metrics | .health | .top | .profile <query> | .trace <file>\n\
+                 .checkpoint <dir> | .restore <dir> | .demo | .quit\n\
                  (backslash aliases work: \\metrics)\n\
                  …or any Serena DDL / algebra statement ending with `;`"
             );
@@ -240,6 +248,18 @@ fn dot_command(cmd: &str, pems: &mut Pems) -> bool {
                 }
             }
         }
+        ".top" => print!("{}", pems.top()),
+        ".profile" => match parts.next() {
+            Some(query) => print!("{}", pems.profile(query)),
+            None => println!("usage: .profile <query>"),
+        },
+        ".trace" => match parts.next() {
+            Some(path) => match pems.export_trace(path) {
+                Ok(n) => println!("wrote {n} spans to {path}"),
+                Err(e) => println!("error: {e}"),
+            },
+            None => println!("usage: .trace <file>"),
+        },
         ".checkpoint" => match parts.next() {
             Some(dir) => match pems.checkpoint_to(dir) {
                 Ok(path) => println!("checkpoint written to {}", path.display()),

@@ -26,7 +26,8 @@ use serena_core::plan::Plan;
 use serena_core::service::{CatchPanicLayer, Invoker, InvokerStack};
 use serena_core::snapshot::{self, Reader, SnapshotError, Writer};
 use serena_core::telemetry::{
-    InstrumentedLayer, MetricsRegistry, NoopTrace, RegistrySink, TraceSink,
+    chrome_trace, FlightRecorder, InstrumentedLayer, MetricsRegistry, NoopTrace, RegistrySink,
+    SpanRecord, TraceSink,
 };
 use serena_core::time::Instant;
 use serena_core::value::ServiceRef;
@@ -167,6 +168,7 @@ pub struct PemsBuilder {
     checkpoint: Option<(PathBuf, u64)>,
     scheduler: Option<SchedulerConfig>,
     dedup: Option<bool>,
+    tracing: Option<bool>,
 }
 
 impl PemsBuilder {
@@ -186,6 +188,7 @@ impl PemsBuilder {
             checkpoint: None,
             scheduler: None,
             dedup: None,
+            tracing: None,
         }
     }
 
@@ -275,6 +278,17 @@ impl PemsBuilder {
         self
     }
 
+    /// Arm or disarm the hierarchical span tracer's flight recorder
+    /// ([`serena_core::telemetry::FlightRecorder`]). Armed by default;
+    /// `SERENA_TRACE=0` disarms and `SERENA_TRACE_CAPACITY` bounds the
+    /// retained spans (drop-oldest). The recorder is strictly
+    /// observational: query outputs are byte-identical armed or disarmed
+    /// (see `tests/envgen_determinism.rs`).
+    pub fn tracing(mut self, enabled: bool) -> Self {
+        self.tracing = Some(enabled);
+        self
+    }
+
     /// Assemble the runtime.
     pub fn build(self) -> Pems {
         let bus = DiscoveryBus::new(self.bus);
@@ -282,10 +296,15 @@ impl PemsBuilder {
         let telemetry = Arc::new(MetricsRegistry::new());
         let telemetry_sink = RegistrySink::new(&telemetry);
         let trace: Arc<dyn TraceSink> = self.trace.unwrap_or_else(|| Arc::new(NoopTrace));
+        let tracer = Arc::new(FlightRecorder::from_env());
+        if let Some(on) = self.tracing {
+            tracer.arm(on);
+        }
         let mut processor = QueryProcessor::new();
         processor.seek(self.clock);
         processor.set_telemetry(Arc::clone(&telemetry), Arc::clone(&trace));
         processor.set_scheduler(self.scheduler.unwrap_or_else(SchedulerConfig::from_env));
+        processor.set_tracer(Arc::clone(&tracer));
         let dedup_enabled = self
             .dedup
             .unwrap_or_else(|| std::env::var("SERENA_SCHED_DEDUP").map_or(true, |v| v != "0"));
@@ -294,6 +313,7 @@ impl PemsBuilder {
         telemetry.counter("serena_sched_steals_total", &[]);
         telemetry.gauge("serena_sched_queue_depth", &[]);
         telemetry.counter("serena_beta_dedup_total", &[]);
+        telemetry.counter("serena_trace_dropped_total", &[]);
         Pems {
             bus,
             erm,
@@ -316,6 +336,8 @@ impl PemsBuilder {
                 .checkpoint
                 .map(|(dir, every)| RecoveryManager::new(dir, every)),
             snapshot_size_hint: std::sync::atomic::AtomicUsize::new(0),
+            tracer,
+            trace_dropped_seen: 0,
         }
     }
 }
@@ -360,6 +382,13 @@ pub struct Pems {
     recovery: Option<RecoveryManager>,
     /// Size of the last snapshot, used to preallocate the next one.
     snapshot_size_hint: std::sync::atomic::AtomicUsize,
+    /// Hierarchical span tracer: bounded in-memory flight recorder shared
+    /// by the scheduler, the stream executor and the β invoker stack.
+    tracer: Arc<FlightRecorder>,
+    /// Recorder drop count already published to
+    /// `serena_trace_dropped_total` (the counter is monotone; the recorder
+    /// reports a cumulative total).
+    trace_dropped_seen: u64,
 }
 
 impl Default for Pems {
@@ -440,6 +469,7 @@ impl Pems {
             &self.telemetry,
             &self.health,
             &*self.trace,
+            &self.tracer,
             self.resilience_policy,
             Arc::clone(&self.resilience),
             Arc::clone(&self.dedup),
@@ -453,6 +483,131 @@ impl Pems {
     /// disarmed.
     pub fn dedup_stats(&self) -> (u64, u64) {
         (self.dedup.hits(), self.dedup.misses())
+    }
+
+    /// The hierarchical span tracer's flight recorder: a bounded
+    /// in-memory ring of closed [`SpanRecord`]s covering scheduler rounds,
+    /// per-worker jobs, query ticks, operators and β invocations.
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.tracer)
+    }
+
+    /// Arm or disarm the span tracer on a built runtime (see
+    /// [`PemsBuilder::tracing`]). Disarming keeps already-recorded spans;
+    /// call [`FlightRecorder::clear`] via [`Self::flight_recorder`] to
+    /// discard them.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.arm(enabled);
+    }
+
+    /// Export every span currently retained by the flight recorder as a
+    /// Chrome/Perfetto `trace.json` (load it in `chrome://tracing` or
+    /// [ui.perfetto.dev](https://ui.perfetto.dev)) — the shell's
+    /// `.trace <file>` command. Returns the number of spans written.
+    pub fn export_trace(&self, path: impl AsRef<Path>) -> std::io::Result<usize> {
+        let spans = self.tracer.snapshot();
+        std::fs::write(path, chrome_trace(&spans))?;
+        Ok(spans.len())
+    }
+
+    /// Per-query profile from the flight recorder — the shell's
+    /// `.profile <query>` command: recent tick timeline (duration, delta
+    /// sizes, errors), the slowest operators by self time across the
+    /// retained ticks, and the p99 tick with its exemplar span id.
+    pub fn profile(&self, query: &str) -> String {
+        let hist = self
+            .telemetry
+            .histogram("serena_query_tick_duration_ns", &[("query", query)]);
+        profile_text(query, &self.tracer.snapshot(), hist.as_ref())
+    }
+
+    /// Live runtime dashboard — the shell's `.top` command: worker
+    /// utilization over the retained scheduler rounds, queue depth and
+    /// steal counts, per-query tick rates/latency/errors, and per-service
+    /// health, latency and breaker state.
+    pub fn top(&self) -> String {
+        let mut out = String::new();
+        let spans = self.tracer.snapshot();
+
+        // -- scheduler ----------------------------------------------------
+        let rounds: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == "sched.round").collect();
+        let window_ns: u64 = rounds.iter().map(|s| s.duration_ns()).sum();
+        let mut busy: std::collections::BTreeMap<u64, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for job in spans.iter().filter(|s| s.name == "sched.job") {
+            let worker = job.attr_u64("worker").unwrap_or(u64::MAX);
+            let e = busy.entry(worker).or_insert((0, 0));
+            e.0 += job.duration_ns();
+            e.1 += 1;
+        }
+        out.push_str(&format!(
+            "scheduler  rounds={} queue_depth={} steals={} spans={} dropped={}\n",
+            rounds.len(),
+            self.telemetry.gauge("serena_sched_queue_depth", &[]).get(),
+            self.telemetry
+                .counter_value("serena_sched_steals_total", &[])
+                .unwrap_or(0),
+            spans.len(),
+            self.tracer.dropped_total(),
+        ));
+        for (worker, (busy_ns, jobs)) in &busy {
+            let util = if window_ns > 0 {
+                100.0 * *busy_ns as f64 / window_ns as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  worker {worker}: util={util:5.1}% jobs={jobs} busy={:.2}ms\n",
+                *busy_ns as f64 / 1e6
+            ));
+        }
+
+        // -- queries ------------------------------------------------------
+        out.push_str("queries\n");
+        for name in self.processor.names() {
+            let labels = [("query", name)];
+            let ticks = self
+                .telemetry
+                .counter_value("serena_query_ticks_total", &labels)
+                .unwrap_or(0);
+            let errors = self
+                .telemetry
+                .counter_value("serena_query_errors_total", &labels)
+                .unwrap_or(0);
+            let hist = self
+                .telemetry
+                .histogram("serena_query_tick_duration_ns", &labels);
+            out.push_str(&format!(
+                "  {name}: ticks={ticks} p50={:.2}ms p99={:.2}ms errors={errors}\n",
+                hist.p50() as f64 / 1e6,
+                hist.p99() as f64 / 1e6,
+            ));
+        }
+
+        // -- services -----------------------------------------------------
+        let breakers: std::collections::BTreeMap<String, BreakerState> = self
+            .breakers()
+            .into_iter()
+            .map(|(r, b)| (r.as_str().to_string(), b))
+            .collect();
+        out.push_str("services\n");
+        for h in self.service_health() {
+            let service = h.reference.as_str();
+            let hist = self
+                .telemetry
+                .histogram("serena_service_latency_ns", &[("service", service)]);
+            let breaker = breakers
+                .get(service)
+                .map_or_else(|| "-".to_string(), ToString::to_string);
+            out.push_str(&format!(
+                "  {service}: {:?} attempts={} fail_rate={:.1}% p99={:.2}ms breaker={breaker}\n",
+                h.status(),
+                h.attempts,
+                100.0 * h.failure_rate,
+                hist.p99() as f64 / 1e6,
+            ));
+        }
+        out
     }
 
     /// Replace the tick scheduler configuration (worker-pool width) on a
@@ -801,6 +956,7 @@ impl Pems {
             &self.telemetry,
             &self.health,
             &*self.trace,
+            &self.tracer,
             self.resilience_policy,
             Arc::clone(&self.resilience),
             Arc::clone(&self.dedup),
@@ -810,6 +966,14 @@ impl Pems {
             .processor
             .tick_all_with(&*invoker, &Tee(&self.telemetry_sink, &*self.metrics));
         drop(invoker);
+        // publish the flight recorder's eviction count as a monotone series
+        let dropped = self.tracer.dropped_total();
+        if dropped > self.trace_dropped_seen {
+            self.telemetry
+                .counter("serena_trace_dropped_total", &[])
+                .add(dropped - self.trace_dropped_seen);
+            self.trace_dropped_seen = dropped;
+        }
         // 4. the tick is complete — the snapshot cut is consistent here —
         // so write a checkpoint if the cadence says one is due. A failed
         // write must not take the runtime down: it is counted and traced.
@@ -857,12 +1021,113 @@ impl Pems {
 /// counted in `serena_beta_dedup_total`). The resilient layer is a no-op
 /// pass-through when `policy` is disabled, the dedup layer when
 /// `dedup_enabled` is false.
+/// Render [`Pems::profile`]'s report from a flight-recorder snapshot:
+/// tick timeline, slowest operators by total self time (parent-chain
+/// ownership walk, tolerant of evicted ancestors), and the p99 tick with
+/// its exemplar span.
+fn profile_text(
+    query: &str,
+    spans: &[SpanRecord],
+    tick_hist: &serena_core::telemetry::Histogram,
+) -> String {
+    use std::collections::{HashMap, HashSet};
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    let ticks: Vec<&SpanRecord> = spans
+        .iter()
+        .filter(|s| s.name == "query.tick" && s.attr_str("query") == Some(query))
+        .collect();
+    if ticks.is_empty() {
+        return format!(
+            "no retained ticks for query `{query}` (recorder disarmed, or spans evicted)\n"
+        );
+    }
+    let tick_ids: HashSet<u64> = ticks.iter().map(|s| s.id).collect();
+    let mut out = format!("query `{query}`: {} retained tick(s)\n", ticks.len());
+
+    const TIMELINE: usize = 12;
+    let shown = &ticks[ticks.len().saturating_sub(TIMELINE)..];
+    if shown.len() < ticks.len() {
+        out.push_str(&format!(
+            "  … {} earlier tick(s) elided\n",
+            ticks.len() - shown.len()
+        ));
+    }
+    for t in shown {
+        out.push_str(&format!(
+            "  t={:<6} {:9.3}ms  +{} -{} errors={}{}\n",
+            t.at.ticks(),
+            t.duration_ns() as f64 / 1e6,
+            t.attr_u64("inserted").unwrap_or(0),
+            t.attr_u64("deleted").unwrap_or(0),
+            t.attr_u64("errors").unwrap_or(0),
+            if t.attr_u64("panicked") == Some(1) {
+                " PANICKED"
+            } else {
+                ""
+            },
+        ));
+    }
+
+    // Ownership: an operator span belongs to this query if walking its
+    // parent chain reaches one of the query's tick spans. A broken chain
+    // (ancestor evicted from the ring) drops the span rather than guessing.
+    let owned = |span: &SpanRecord| -> bool {
+        let mut s = span;
+        loop {
+            if s.parent == 0 {
+                return false;
+            }
+            if tick_ids.contains(&s.parent) {
+                return true;
+            }
+            match by_id.get(&s.parent) {
+                Some(p) => s = p,
+                None => return false,
+            }
+        }
+    };
+    // (self_ns total, applications, tuples_out total) per (operator, node)
+    type OpTotals = ((&'static str, u64), (u64, u64, u64));
+    let mut ops: HashMap<(&str, u64), (u64, u64, u64)> = HashMap::new();
+    for s in spans.iter().filter(|s| s.name.starts_with("op.")) {
+        if !owned(s) {
+            continue;
+        }
+        let node = s.attr_u64("node").unwrap_or(u64::MAX);
+        let e = ops.entry((s.name, node)).or_insert((0, 0, 0));
+        e.0 += s.attr_u64("self_ns").unwrap_or_else(|| s.duration_ns());
+        e.1 += 1;
+        e.2 += s.attr_u64("tuples_out").unwrap_or(0);
+    }
+    let mut ranked: Vec<OpTotals> = ops.into_iter().collect();
+    ranked.sort_by(|(ka, va), (kb, vb)| vb.0.cmp(&va.0).then(ka.1.cmp(&kb.1)));
+    out.push_str("slowest operators (total self time across retained ticks)\n");
+    if ranked.is_empty() {
+        out.push_str("  (no operator spans retained)\n");
+    }
+    for ((name, node), (self_ns, calls, tuples)) in ranked.into_iter().take(5) {
+        out.push_str(&format!(
+            "  node {node:<3} {name:<16} self={:9.3}ms calls={calls} tuples_out={tuples}\n",
+            self_ns as f64 / 1e6
+        ));
+    }
+    out.push_str(&format!(
+        "p99 tick: {:.3}ms{}\n",
+        tick_hist.p99() as f64 / 1e6,
+        tick_hist
+            .exemplar_for_quantile(0.99)
+            .map_or(String::new(), |id| format!(" (exemplar span {id})")),
+    ));
+    out
+}
+
 #[allow(clippy::too_many_arguments)]
 fn build_invoker_stack<'r>(
     registry: &'r DynamicRegistry,
     telemetry: &'r Arc<MetricsRegistry>,
     health: &'r HealthTracker,
     trace: &'r dyn TraceSink,
+    tracer: &'r Arc<FlightRecorder>,
     policy: ResiliencePolicy,
     state: Arc<ResilienceState>,
     dedup: Arc<DedupState>,
@@ -874,17 +1139,20 @@ fn build_invoker_stack<'r>(
             InstrumentedLayer::new()
                 .registry(telemetry.as_ref())
                 .observer(health)
-                .trace(trace),
+                .trace(trace)
+                .tracer(tracer.as_ref()),
         )
         .layer(
             ResilientLayer::new(policy, state)
                 .health(health)
-                .registry(telemetry.as_ref()),
+                .registry(telemetry.as_ref())
+                .tracer(tracer.as_ref()),
         )
         .layer(
             DedupLayer::new(dedup)
                 .registry(Arc::clone(telemetry))
-                .enabled(dedup_enabled),
+                .enabled(dedup_enabled)
+                .tracer(Arc::clone(tracer)),
         )
         .into_inner()
 }

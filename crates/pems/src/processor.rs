@@ -29,7 +29,9 @@ use serena_core::metrics::{ExecStats, MetricsSink, Tee};
 use serena_core::physical::ExecOptions;
 use serena_core::service::Invoker;
 use serena_core::snapshot::{Reader, SnapshotError, Writer};
-use serena_core::telemetry::{Counter, Histogram, MetricsRegistry, TraceEvent, TraceSink};
+use serena_core::telemetry::{
+    Counter, FlightRecorder, Histogram, MetricsRegistry, TraceEvent, TraceSink,
+};
 use serena_core::time::Instant;
 use serena_stream::exec::{ContinuousQuery, SourceSet, TickReport};
 use serena_stream::plan::StreamPlan;
@@ -108,6 +110,9 @@ pub struct QueryProcessor {
     pool: Option<WorkerPool>,
     /// Pool-cumulative steal count already published to telemetry.
     steals_seen: u64,
+    /// Flight recorder for `sched.round`/`sched.job`/`query.tick` spans,
+    /// propagated into every registered query and the worker pool.
+    tracer: Option<Arc<FlightRecorder>>,
 }
 
 impl QueryProcessor {
@@ -135,6 +140,20 @@ impl QueryProcessor {
     /// The current scheduler configuration.
     pub fn scheduler(&self) -> SchedulerConfig {
         self.scheduler
+    }
+
+    /// Attach a flight recorder: tick rounds, per-worker jobs, query
+    /// ticks and (through each query's executor) per-operator work all
+    /// record hierarchical spans into it. Applies to already-registered
+    /// queries and everything registered afterwards; a running worker
+    /// pool is restarted so its jobs are traced too.
+    pub fn set_tracer(&mut self, tracer: Arc<FlightRecorder>) {
+        for reg in self.queries.values_mut() {
+            reg.query.set_tracer(Some(Arc::clone(&tracer)));
+        }
+        self.tracer = Some(tracer);
+        self.pool = None;
+        self.steals_seen = 0;
     }
 
     /// Register a continuous query under `name`, compiling `plan` against
@@ -167,6 +186,7 @@ impl QueryProcessor {
         }
         let mut query = ContinuousQuery::compile_with_options(plan, sources, options)?;
         query.seek(self.clock);
+        query.set_tracer(self.tracer.clone());
         let series = self.telemetry.as_ref().map(|t| {
             t.trace.emit(&TraceEvent::QueryRegistered {
                 query: name.clone(),
@@ -208,9 +228,17 @@ impl QueryProcessor {
     }
 
     /// Deregister a query. Returns whether it existed.
+    ///
+    /// All of the query's `query=<name>` telemetry series (counters,
+    /// gauges, histograms — including `serena_query_panics_total`) are
+    /// removed from the registry: a deregistered query must not leave
+    /// series frozen at their last values in every future scrape.
     pub fn deregister(&mut self, name: &str) -> bool {
         let removed = self.queries.remove(name).is_some();
         if removed {
+            if let Some(t) = &self.telemetry {
+                t.registry.remove_matching("query", name);
+            }
             self.update_registered_gauge();
         }
         removed
@@ -330,6 +358,10 @@ impl QueryProcessor {
         let scheduled = std::time::Instant::now();
         let at = self.clock;
         let trace: Option<&dyn TraceSink> = self.telemetry.as_ref().map(|t| &*t.trace);
+        // Disjoint field borrow (`self.queries` is borrowed mutably
+        // below); `Option<&FlightRecorder>` is `Copy`, so the tick
+        // closures capture it by value.
+        let tracer: Option<&FlightRecorder> = self.tracer.as_deref().filter(|r| r.armed());
         let n = self.queries.len();
         // Concurrency this round: never more workers than queries, and the
         // per-query β budget divides by it so the configured β width is a
@@ -340,45 +372,78 @@ impl QueryProcessor {
                 .gauge("serena_sched_queue_depth", &[])
                 .set(n as i64);
         }
-        type Outcome = (String, Result<TickReport, String>, Duration);
+        let mut round_span = tracer.and_then(|r| r.start("sched.round", at));
+        if let Some(s) = round_span.as_mut() {
+            s.attr_u64("queries", n as u64);
+            s.attr_u64("workers", concurrent as u64);
+        }
+        // One query tick with its span bracket: span → contained tick →
+        // outcome attributes. Returns the span id for the tick-duration
+        // histogram's exemplar (0 = no span).
+        let ticked = |name: &str,
+                      reg: &mut Registered,
+                      budget: usize|
+         -> (Result<TickReport, String>, u64) {
+            if let Some(trace) = trace {
+                trace.emit(&TraceEvent::TickStart {
+                    query: name.to_string(),
+                    at,
+                });
+            }
+            let mut tick_span = tracer.and_then(|r| r.start("query.tick", at));
+            if let Some(s) = tick_span.as_mut() {
+                s.attr_str("query", name);
+            }
+            let Registered { query, exec, .. } = reg;
+            let result = {
+                let _in_span = tick_span.as_ref().map(|s| s.enter());
+                contain(|| query.tick_with_budget(invoker, &Tee(&*exec, sink), budget))
+            };
+            if let Some(s) = tick_span.as_mut() {
+                match &result {
+                    Ok(r) => {
+                        s.attr_u64("inserted", (r.delta.inserts.len() + r.batch.len()) as u64);
+                        s.attr_u64("deleted", r.delta.deletes.len() as u64);
+                        s.attr_u64("errors", r.errors.len() as u64);
+                    }
+                    Err(_) => s.attr_u64("panicked", 1),
+                }
+            }
+            let sid = tick_span.as_ref().map_or(0, |s| s.id());
+            (result, sid)
+        };
+        type Outcome = (String, Result<TickReport, String>, Duration, u64);
         let outcomes: Vec<Outcome> = if concurrent <= 1 {
+            let _in_round = round_span.as_ref().map(|s| s.enter());
             self.queries
                 .iter_mut()
                 .map(|(name, reg)| {
-                    if let Some(trace) = trace {
-                        trace.emit(&TraceEvent::TickStart {
-                            query: name.clone(),
-                            at,
-                        });
-                    }
-                    let Registered { query, exec, .. } = reg;
-                    let result = contain(|| query.tick_with(invoker, &Tee(&*exec, sink)));
-                    (name.clone(), result, scheduled.elapsed())
+                    let budget = reg.query.invoke_parallelism();
+                    let (result, sid) = ticked(name, reg, budget);
+                    (name.clone(), result, scheduled.elapsed(), sid)
                 })
                 .collect()
         } else {
             if self.pool.as_ref().map(WorkerPool::workers) != Some(self.scheduler.workers) {
-                self.pool = Some(WorkerPool::new(self.scheduler));
+                self.pool = Some(WorkerPool::with_tracer(self.scheduler, self.tracer.clone()));
                 self.steals_seen = 0;
             }
             let pool = self.pool.as_ref().expect("pool just ensured");
             let queries = &mut self.queries;
             let mut slots: Vec<Option<Outcome>> = (0..n).map(|_| None).collect();
+            // Entered during submission so each job captures the round
+            // span as its parent (`sched.job` spans bridge the thread
+            // hop); the guard outlives the scope barrier, so job and tick
+            // spans all close inside the round's interval.
+            let _in_round = round_span.as_ref().map(|s| s.enter());
             pool.scope(|scope| {
                 for (slot, (name, reg)) in slots.iter_mut().zip(queries.iter_mut()) {
                     let name = name.clone();
-                    let Registered { query, exec, .. } = reg;
-                    let budget = (query.invoke_parallelism() / concurrent).max(1);
+                    let budget = (reg.query.invoke_parallelism() / concurrent).max(1);
+                    let ticked = &ticked;
                     scope.submit(move || {
-                        if let Some(trace) = trace {
-                            trace.emit(&TraceEvent::TickStart {
-                                query: name.clone(),
-                                at,
-                            });
-                        }
-                        let result =
-                            contain(|| query.tick_with_budget(invoker, &Tee(&*exec, sink), budget));
-                        *slot = Some((name, result, scheduled.elapsed()));
+                        let (result, sid) = ticked(&name, reg, budget);
+                        *slot = Some((name, result, scheduled.elapsed(), sid));
                     });
                 }
             });
@@ -386,20 +451,29 @@ impl QueryProcessor {
             // contained inside the task), so every slot is filled.
             slots.into_iter().flatten().collect()
         };
-        if let (Some(t), Some(pool)) = (&self.telemetry, &self.pool) {
+        let steal_delta = self.pool.as_ref().map(|pool| {
             let total = pool.steals();
             let delta = total.saturating_sub(self.steals_seen);
             self.steals_seen = total;
-            if delta > 0 {
-                t.registry
-                    .counter("serena_sched_steals_total", &[])
-                    .add(delta);
+            delta
+        });
+        if let Some(delta) = steal_delta {
+            if let Some(s) = round_span.as_mut() {
+                s.attr_u64("steals", delta);
+            }
+            if let Some(t) = &self.telemetry {
+                if delta > 0 {
+                    t.registry
+                        .counter("serena_sched_steals_total", &[])
+                        .add(delta);
+                }
             }
         }
-        let reports: Vec<(String, TickReport, Duration)> = outcomes
+        drop(round_span);
+        let reports: Vec<(String, TickReport, Duration, u64)> = outcomes
             .into_iter()
-            .map(|(name, result, lag)| match result {
-                Ok(report) => (name, report, lag),
+            .map(|(name, result, lag, sid)| match result {
+                Ok(report) => (name, report, lag, sid),
                 Err(reason) => {
                     // The query's tick panicked (e.g. inside a stream
                     // closure, outside the β containment layer): fail this
@@ -424,11 +498,11 @@ impl QueryProcessor {
                         stats: ExecStats::new(),
                         elapsed: lag,
                     };
-                    (name, report, lag)
+                    (name, report, lag, sid)
                 }
             })
             .collect();
-        for (name, report, lag) in &reports {
+        for (name, report, lag, sid) in &reports {
             let reg = self.queries.get_mut(name).expect("registered");
             let inserted = (report.delta.inserts.len() + report.batch.len()) as u64;
             let deleted = report.delta.deletes.len() as u64;
@@ -444,7 +518,11 @@ impl QueryProcessor {
                 series.ticks.inc();
                 series.tuples.add(inserted);
                 series.errors.add(report.errors.len() as u64);
-                series.tick_ns.record_duration(report.elapsed);
+                // exemplar: the p99 tick links straight to its span tree
+                series.tick_ns.record_with_exemplar(
+                    u128::min(report.elapsed.as_nanos(), u64::MAX as u128) as u64,
+                    *sid,
+                );
                 series.lag_ns.record_duration(*lag);
                 // only live β batches are meaningful batch-size samples
                 let misses = report.stats.total_cache_misses();
@@ -473,7 +551,7 @@ impl QueryProcessor {
         self.clock = self.clock.next();
         reports
             .into_iter()
-            .map(|(name, report, _)| (name, report))
+            .map(|(name, report, _, _)| (name, report))
             .collect()
     }
 }
@@ -677,6 +755,20 @@ mod tests {
 
         qp.deregister("late");
         assert_eq!(registry.gauge("serena_queries_registered", &[]).get(), 1);
+        // ISSUE 8 satellite: deregistration retires the query's series —
+        // no stale `query="late"` gauges/counters/histograms linger in
+        // the registry or its rendered exposition
+        let late = [("query", "late")];
+        assert_eq!(
+            registry.counter_value("serena_query_ticks_total", &late),
+            None
+        );
+        assert!(!registry.render_prometheus().contains("query=\"late\""));
+        // the surviving query's series are untouched
+        assert_eq!(
+            registry.counter_value("serena_query_ticks_total", &[("query", "early")]),
+            Some(2)
+        );
     }
 
     #[test]

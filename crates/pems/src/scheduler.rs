@@ -33,6 +33,9 @@ use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 
 use serena_core::sync::Mutex;
+use serena_core::telemetry::span;
+use serena_core::telemetry::FlightRecorder;
+use serena_core::time::Instant;
 
 /// How the processor runs a multi-query tick round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,11 +82,23 @@ impl SchedulerConfig {
 /// for why the erasure is sound).
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A queued job plus its scheduling provenance: the span that submitted
+/// it (so worker-side `sched.job` spans parent correctly across the
+/// thread hop), the queue it was submitted to (steal attribution) and
+/// when it was enqueued (queue-wait vs run-time split). The provenance
+/// fields are zero when no recorder is armed.
+struct Tracked {
+    job: Job,
+    parent: u64,
+    home: u32,
+    submitted_ns: u64,
+}
+
 /// Shared pool state: per-worker job deques plus the round barrier.
 struct Shared {
     /// One deque per worker. Owners pop from the front, thieves steal
     /// from the back.
-    queues: Vec<Mutex<VecDeque<Job>>>,
+    queues: Vec<Mutex<VecDeque<Tracked>>>,
     /// Parks idle workers; notified on submit and shutdown.
     work: Condvar,
     /// Guards the park decision (re-checked under this lock so a submit
@@ -99,14 +114,16 @@ struct Shared {
     /// Jobs executed by a worker other than the one they were submitted
     /// to — the work-stealing effectiveness signal.
     steals: AtomicU64,
+    /// Span recorder for `sched.job` spans (None = no tracing).
+    tracer: Option<Arc<FlightRecorder>>,
 }
 
 impl Shared {
-    fn pop_local(&self, worker: usize) -> Option<Job> {
+    fn pop_local(&self, worker: usize) -> Option<Tracked> {
         self.queues[worker].lock().pop_front()
     }
 
-    fn steal(&self, thief: usize) -> Option<Job> {
+    fn steal(&self, thief: usize) -> Option<Tracked> {
         let n = self.queues.len();
         for i in 1..n {
             let victim = (thief + i) % n;
@@ -130,10 +147,30 @@ impl Shared {
 
 fn worker_loop(shared: Arc<Shared>, index: usize) {
     loop {
-        if let Some(job) = shared.pop_local(index).or_else(|| shared.steal(index)) {
+        if let Some(tracked) = shared.pop_local(index).or_else(|| shared.steal(index)) {
+            let tracer = shared.tracer.as_deref().filter(|r| r.armed());
+            // The job span parents under the submitting round's span
+            // (captured at submit time — thread-locals don't cross the
+            // queue) and splits queue-wait from run time.
+            let mut job_span =
+                tracer.and_then(|r| r.start_with("sched.job", tracked.parent, Instant::ZERO));
+            if let Some(s) = job_span.as_mut() {
+                let wait = if tracked.submitted_ns > 0 {
+                    tracer.map_or(0, |r| r.now_ns().saturating_sub(tracked.submitted_ns))
+                } else {
+                    0
+                };
+                s.attr_u64("queue_wait_ns", wait);
+                s.attr_u64("worker", index as u64);
+                s.attr_u64("home_worker", u64::from(tracked.home));
+                s.attr_u64("stolen", u64::from(tracked.home as usize != index));
+            }
+            let in_span = job_span.as_ref().map(|s| s.enter());
             // Contain panics: a panicking tick task must not kill the
             // worker (the processor records the failure from its slot).
-            let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
+            let _ = std::panic::catch_unwind(AssertUnwindSafe(tracked.job));
+            drop(in_span);
+            drop(job_span);
             shared.finish_one();
             continue;
         }
@@ -161,6 +198,12 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Start `config.workers` threads (at least 1).
     pub fn new(config: SchedulerConfig) -> Self {
+        Self::with_tracer(config, None)
+    }
+
+    /// [`WorkerPool::new`] recording one `sched.job` span per executed
+    /// job into `tracer` (queue-wait vs run time, steal attribution).
+    pub fn with_tracer(config: SchedulerConfig, tracer: Option<Arc<FlightRecorder>>) -> Self {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -171,6 +214,7 @@ impl WorkerPool {
             done_lock: Mutex::new(()),
             shutdown: AtomicBool::new(false),
             steals: AtomicU64::new(0),
+            tracer,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -219,7 +263,14 @@ impl WorkerPool {
     fn submit_erased(&self, job: Job) {
         self.shared.pending.fetch_add(1, Ordering::AcqRel);
         let slot = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
-        self.shared.queues[slot].lock().push_back(job);
+        let armed = self.shared.tracer.as_deref().filter(|r| r.armed());
+        let tracked = Tracked {
+            job,
+            parent: if armed.is_some() { span::current() } else { 0 },
+            home: slot as u32,
+            submitted_ns: armed.map_or(0, |r| r.now_ns()),
+        };
+        self.shared.queues[slot].lock().push_back(tracked);
         // Hold the park lock while notifying so a worker's empty-check →
         // park transition cannot swallow this wakeup.
         let _guard = self.shared.park.lock();

@@ -43,7 +43,7 @@ use serena_core::prototype::Prototype;
 use serena_core::service::{Invoker, InvokerLayer};
 use serena_core::snapshot::{Reader, SnapshotError, Writer};
 use serena_core::sync::{Mutex, RwLock};
-use serena_core::telemetry::{Counter, MetricsRegistry};
+use serena_core::telemetry::{Counter, FlightRecorder, MetricsRegistry};
 use serena_core::time::Instant;
 use serena_core::tuple::Tuple;
 use serena_core::value::ServiceRef;
@@ -364,6 +364,7 @@ pub struct ResilientInvoker<'a, I> {
     state: Arc<ResilienceState>,
     health: Option<&'a HealthTracker>,
     registry: Option<&'a MetricsRegistry>,
+    tracer: Option<&'a FlightRecorder>,
     series: RwLock<HashMap<ServiceRef, ResilienceSeries>>,
 }
 
@@ -382,6 +383,7 @@ impl<'a, I: Invoker> ResilientInvoker<'a, I> {
             state,
             health: None,
             registry: None,
+            tracer: None,
             series: RwLock::new(HashMap::new()),
         }
     }
@@ -397,6 +399,15 @@ impl<'a, I: Invoker> ResilientInvoker<'a, I> {
     /// into `registry`.
     pub fn with_registry(mut self, registry: &'a MetricsRegistry) -> Self {
         self.registry = Some(registry);
+        self
+    }
+
+    /// Record one `beta.call` span per logical call into `tracer`,
+    /// annotated with attempts/retries, breaker state, deadline and
+    /// outcome; per-attempt spans from the instrumented layer below nest
+    /// inside it.
+    pub fn with_tracer(mut self, tracer: &'a FlightRecorder) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -548,9 +559,24 @@ impl<I: Invoker> Invoker for ResilientInvoker<'_, I> {
         if self.policy.is_disabled() {
             return self.inner.invoke(prototype, service_ref, input, at);
         }
-        self.admit(service_ref, at)?;
+        let mut span = self.tracer.and_then(|t| t.start("beta.call", at));
+        if let Some(s) = span.as_mut() {
+            s.attr_str("service", service_ref.as_str());
+            if let Some(d) = self.policy.deadline {
+                s.attr_u64("deadline_ms", d.as_millis() as u64);
+            }
+        }
+        let _in_span = span.as_ref().map(|s| s.enter());
+        if let Err(e) = self.admit(service_ref, at) {
+            if let Some(s) = span.as_mut() {
+                s.attr_u64("attempts", 0);
+                s.attr_str("breaker", "rejected");
+                s.attr_u64("ok", 0);
+            }
+            return Err(e);
+        }
         let mut attempt: u32 = 0;
-        loop {
+        let outcome = loop {
             attempt += 1;
             // the wall clock is only consulted when a deadline is armed
             let started = self.policy.deadline.map(|_| std::time::Instant::now());
@@ -576,12 +602,12 @@ impl<I: Invoker> Invoker for ResilientInvoker<'_, I> {
             match result {
                 Ok(rows) => {
                     self.on_success(service_ref);
-                    return Ok(rows);
+                    break Ok(rows);
                 }
                 Err(e) => {
                     self.on_failure(service_ref, at);
                     if attempt > self.policy.max_retries || !is_transient(&e) {
-                        return Err(e);
+                        break Err(e);
                     }
                     // A breaker opened by this streak stops the retry loop:
                     // the service is presumed gone, fail fast.
@@ -589,7 +615,7 @@ impl<I: Invoker> Invoker for ResilientInvoker<'_, I> {
                         self.state.breaker_of(service_ref),
                         BreakerState::Open { .. }
                     ) {
-                        return Err(e);
+                        break Err(e);
                     }
                     self.state.retries.fetch_add(1, Ordering::Relaxed);
                     self.bump(service_ref, |s| &s.retries);
@@ -600,7 +626,14 @@ impl<I: Invoker> Invoker for ResilientInvoker<'_, I> {
                     }
                 }
             }
+        };
+        if let Some(s) = span.as_mut() {
+            s.attr_u64("attempts", u64::from(attempt));
+            s.attr_u64("retries", u64::from(attempt.saturating_sub(1)));
+            s.attr_str("breaker", self.state.breaker_of(service_ref).to_string());
+            s.attr_u64("ok", outcome.is_ok() as u64);
         }
+        outcome
     }
 
     fn providers_of(&self, prototype: &str) -> Vec<ServiceRef> {
@@ -628,6 +661,7 @@ pub struct ResilientLayer<'a> {
     state: Arc<ResilienceState>,
     health: Option<&'a HealthTracker>,
     registry: Option<&'a MetricsRegistry>,
+    tracer: Option<&'a FlightRecorder>,
 }
 
 impl<'a> ResilientLayer<'a> {
@@ -638,6 +672,7 @@ impl<'a> ResilientLayer<'a> {
             state,
             health: None,
             registry: None,
+            tracer: None,
         }
     }
 
@@ -650,6 +685,12 @@ impl<'a> ResilientLayer<'a> {
     /// See [`ResilientInvoker::with_registry`].
     pub fn registry(mut self, registry: &'a MetricsRegistry) -> Self {
         self.registry = Some(registry);
+        self
+    }
+
+    /// See [`ResilientInvoker::with_tracer`].
+    pub fn tracer(mut self, tracer: &'a FlightRecorder) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 }
@@ -666,6 +707,9 @@ impl<'a> InvokerLayer<'a> for ResilientLayer<'a> {
         }
         if let Some(registry) = self.registry {
             invoker = invoker.with_registry(registry);
+        }
+        if let Some(tracer) = self.tracer {
+            invoker = invoker.with_tracer(tracer);
         }
         Box::new(invoker)
     }

@@ -35,6 +35,7 @@ use serena_core::physical::ExecOptions;
 use serena_core::schema::SchemaRef;
 use serena_core::service::Invoker;
 use serena_core::snapshot::{Reader, SnapshotError, Writer};
+use serena_core::telemetry::FlightRecorder;
 use serena_core::time::Instant;
 use serena_core::tuple::Tuple;
 use serena_core::value::Value;
@@ -123,6 +124,8 @@ struct Ctx<'a> {
     parallelism: usize,
     /// How β/βˢ reacts when one tuple's invocation fails.
     degrade: DegradePolicy,
+    /// Armed flight recorder for per-operator spans (`None` = no tracing).
+    tracer: Option<&'a FlightRecorder>,
 }
 
 /// Per-tick node output: a finite delta or a stream batch.
@@ -264,6 +267,7 @@ pub struct ContinuousQuery {
     schema: StreamSchema,
     next: Instant,
     options: ExecOptions,
+    tracer: Option<std::sync::Arc<FlightRecorder>>,
 }
 
 impl ContinuousQuery {
@@ -288,7 +292,16 @@ impl ContinuousQuery {
             schema,
             next: Instant::ZERO,
             options,
+            tracer: None,
         })
+    }
+
+    /// Attach (or detach) a flight recorder: every tick then records one
+    /// span per plan node, keyed by the compile-time [`NodeId`], with
+    /// delta sizes and β counters as attributes. Purely observational —
+    /// results are byte-identical with or without a recorder.
+    pub fn set_tracer(&mut self, tracer: Option<std::sync::Arc<FlightRecorder>>) {
+        self.tracer = tracer;
     }
 
     /// The query's output schema and finite/infinite status.
@@ -352,6 +365,7 @@ impl ContinuousQuery {
                 metrics: &tee,
                 parallelism: self.options.invoke_parallelism.min(budget.max(1)),
                 degrade: self.options.degrade,
+                tracer: self.tracer.as_deref().filter(|r| r.armed()),
             };
             tick_node(&mut self.root, &mut ctx)
         };
@@ -827,15 +841,65 @@ fn delta_size(d: &Delta) -> u64 {
     (d.inserts.len() + d.deletes.len()) as u64
 }
 
+/// Static span name per operator, matching [`op_kind_of`].
+fn span_name_of(kind: &NodeKind) -> &'static str {
+    match kind {
+        NodeKind::Table { .. } => "op.table",
+        NodeKind::Stream { .. } => "op.stream",
+        NodeKind::Linear { op, .. } => match op {
+            LinearOp::Select(_) => "op.select",
+            LinearOp::Project(_) => "op.project",
+            LinearOp::Rename => "op.rename",
+            LinearOp::Assign { .. } => "op.assign",
+        },
+        NodeKind::Recompute { op, .. } => match op {
+            RecomputeOp::Union => "op.union",
+            RecomputeOp::Intersect => "op.intersect",
+            RecomputeOp::Difference => "op.difference",
+            RecomputeOp::Join(_) => "op.join",
+            RecomputeOp::Aggregate { .. } => "op.aggregate",
+        },
+        NodeKind::Invoke { .. } => "op.invoke",
+        NodeKind::Window { .. } => "op.window",
+        NodeKind::StreamOf { .. } => "op.streamof",
+        NodeKind::SampleInvoke { .. } => "op.sample_invoke",
+    }
+}
+
 /// Tick one node, recording one [`OpObservation`] under its compile-time
-/// pre-order [`NodeId`] (delta sizes, β counters, operator self-time).
+/// pre-order [`NodeId`] (delta sizes, β counters, operator self-time) —
+/// and, when a flight recorder is armed, one span per node. The span's
+/// wall interval is *inclusive* (children run inside it, nesting the tree
+/// naturally); the observation's `elapsed` stays self-time.
 fn tick_node(node: &mut Node, ctx: &mut Ctx<'_>) -> Out {
     let mut obs = OpObservation::new(node.id, op_kind_of(&node.kind));
-    let out = tick_node_inner(&mut node.kind, ctx, &mut obs);
+    let mut span = ctx
+        .tracer
+        .and_then(|t| t.start(span_name_of(&node.kind), ctx.at));
+    let out = {
+        let _in_span = span.as_ref().map(|s| s.enter());
+        tick_node_inner(&mut node.kind, ctx, &mut obs)
+    };
     obs.tuples_out = match &out {
         Out::Finite(d) => delta_size(d),
         Out::Batch(b) => b.len() as u64,
     };
+    if let Some(s) = span.as_mut() {
+        s.attr_u64("node", node.id.0 as u64);
+        s.attr_u64("tuples_in", obs.tuples_in);
+        s.attr_u64("tuples_out", obs.tuples_out);
+        s.attr_u64(
+            "self_ns",
+            u128::min(obs.elapsed.as_nanos(), u64::MAX as u128) as u64,
+        );
+        if obs.invocations > 0 {
+            s.attr_u64("invocations", obs.invocations);
+            s.attr_u64("cache_hits", obs.cache_hits);
+            s.attr_u64("failures", obs.failures);
+            s.attr_u64("degraded", obs.degraded);
+        }
+    }
+    drop(span);
     ctx.metrics.record(&obs);
     out
 }

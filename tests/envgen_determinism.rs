@@ -108,11 +108,23 @@ fn run(parallelism: usize) -> (Vec<Obs>, Vec<String>) {
 /// many *physical* calls back the same logical result — health attempt
 /// counts legitimately differ; everything a query observes must not).
 fn run_with(parallelism: usize, workers: usize, dedup: bool) -> (Vec<Obs>, Vec<String>) {
+    run_traced(parallelism, workers, dedup, false)
+}
+
+/// [`run_with`] with the span tracer's flight recorder explicitly armed or
+/// disarmed (ISSUE 8): recording spans must be strictly observational.
+fn run_traced(
+    parallelism: usize,
+    workers: usize,
+    dedup: bool,
+    tracing: bool,
+) -> (Vec<Obs>, Vec<String>) {
     let s = spec();
     let mut pems = Pems::builder()
         .exec_options(ExecOptions::parallel(parallelism))
         .scheduler(SchedulerConfig::new(workers))
         .dedup(dedup)
+        .tracing(tracing)
         .build();
     s.install_catalog(&mut pems).expect("catalog installs");
     s.deploy_into(&pems);
@@ -218,6 +230,25 @@ fn dedup_toggle_changes_no_query_observable() {
         "β dedup changed a final relation"
     );
     assert!(on_state.len() > queries, "health report missing from state");
+}
+
+#[test]
+fn flight_recorder_changes_no_query_observable() {
+    // ISSUE 8 acceptance: the span tracer is a pure observer. Every
+    // per-query delta, batch, action set, error multiset, β statistic,
+    // final relation *and the health report* must be byte-identical with
+    // the flight recorder armed vs disarmed — on a stealing pool with
+    // parallel β invocation, where spans actually record on every layer.
+    let (armed_obs, armed_state) = run_traced(4, 4, true, true);
+    let (off_obs, off_state) = run_traced(4, 4, true, false);
+    assert_eq!(
+        armed_obs, off_obs,
+        "an armed flight recorder changed a query's tick output"
+    );
+    assert_eq!(
+        armed_state, off_state,
+        "an armed flight recorder changed the final runtime state"
+    );
 }
 
 #[test]
