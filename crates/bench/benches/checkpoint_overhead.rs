@@ -38,7 +38,7 @@ fn steady_pems() -> Pems {
         .bus(BusConfig::instant())
         .exec_options(ExecOptions::parallel(4))
         .build();
-    let reg = pems.registry();
+    let reg = pems.directory();
     let mut inserts = String::new();
     for i in 0..SENSORS {
         reg.register(format!("s{i}"), fixtures::temperature_sensor(i as u64));

@@ -12,7 +12,8 @@ use serena_core::service::{fixtures, Invoker as _};
 use serena_core::time::Instant;
 use serena_core::value::Value;
 use serena_services::bus::{BusConfig, CoreErm, DiscoveryBus, LocalErm};
-use serena_services::discovery::{DiscoveryQuery, ServiceDirectory};
+use serena_services::directory::NodeDirectory;
+use serena_services::discovery::DiscoveryQuery;
 use serena_services::registry::DynamicRegistry;
 
 fn bench_registry_ops(c: &mut Criterion) {
@@ -68,10 +69,9 @@ fn bench_bus_throughput(c: &mut Criterion) {
 fn bench_discovery_refresh(c: &mut Criterion) {
     let mut group = c.benchmark_group("discovery_refresh");
     for n in [10usize, 100, 1_000] {
-        let reg = DynamicRegistry::new();
-        let dir = ServiceDirectory::new();
+        let dir = NodeDirectory::new("bench");
         for i in 0..n {
-            reg.register(format!("s{i}"), fixtures::temperature_sensor(i as u64));
+            dir.register(format!("s{i}"), fixtures::temperature_sensor(i as u64));
             dir.set(format!("s{i}"), "location", Value::str("office"));
         }
         let query = DiscoveryQuery::new(
@@ -82,7 +82,7 @@ fn bench_discovery_refresh(c: &mut Criterion) {
         .unwrap();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| query.refresh(&reg, &dir))
+            b.iter(|| query.refresh_in(&dir))
         });
     }
     group.finish();

@@ -1,0 +1,239 @@
+//! E19 — the price of distribution: the identical β fan-out executed
+//! against a raw local registry, the unified [`NodeDirectory`] surface
+//! (the ISSUE 9 API-redesign gate: the abstraction itself must stay
+//! within a few percent of the raw registry), and proxied over each
+//! transport (in-proc, Unix-domain socket, TCP loopback).
+//!
+//! ```sh
+//! cargo bench -p serena-bench --bench remote_overhead
+//! ```
+//!
+//! Writes `BENCH_remote.json` (override with `SERENA_BENCH_OUT`). When
+//! `SERENA_BENCH_ASSERT_OVERHEAD_PCT` is set (CI smoke), the process
+//! exits nonzero if the *directory vs raw registry* overhead — measured
+//! interleaved, median of paired rounds — exceeds that bound. Remote
+//! numbers are informational: they quantify the wire, not a regression.
+
+use std::sync::Arc;
+
+use serena_bench::criterion_group;
+use serena_bench::harness::{take_records, BenchRecord, BenchmarkId, Criterion, Throughput};
+use serena_bench::workload;
+
+use serena_core::exec::ExecContext;
+use serena_core::plan::Plan;
+use serena_core::service::fixtures;
+use serena_core::time::Instant;
+use serena_services::directory::NodeDirectory;
+use serena_services::node::{NodeHandle, ServiceNode};
+use serena_services::transport::{InProcTransport, SocketTransport, Transport};
+
+/// Sensors invoked per pass — every row is a live β call.
+const SENSORS: usize = 64;
+
+fn beta_plan() -> Plan {
+    Plan::relation("sensors").invoke("getTemperature", "sensor")
+}
+
+/// A directory hosting the full fleet locally.
+fn local_directory(node: &str) -> Arc<NodeDirectory> {
+    let dir = Arc::new(NodeDirectory::new(node));
+    for i in 0..SENSORS {
+        dir.register(format!("s{i}"), fixtures::temperature_sensor(i as u64));
+    }
+    dir
+}
+
+/// An edge directory whose whole fleet is proxied from a served host —
+/// every β call relays over `transport`. The handle keeps the host
+/// endpoint alive for the caller's lifetime.
+fn remote_directory(transport: Arc<dyn Transport>, addr: &str) -> (Arc<NodeDirectory>, NodeHandle) {
+    let host = local_directory("host");
+    let handle = ServiceNode::serve(Arc::clone(&transport), addr, host).expect("host serves");
+    let edge = Arc::new(NodeDirectory::new("edge"));
+    edge.connect_peer(transport, handle.addr())
+        .expect("edge links host");
+    (edge, handle)
+}
+
+fn bench_remote_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remote_overhead");
+    let env = workload::scaled_environment(SENSORS, 0, 0);
+    let plan = beta_plan();
+    group.throughput(Throughput::Elements(SENSORS as u64));
+
+    let reg = workload::scaled_registry(SENSORS, 0);
+    let ctx = ExecContext::new(&env, &reg, Instant(1));
+    // warm caches/allocator before the first measured variant, so
+    // ordering does not bias the comparison
+    let warmup = std::time::Instant::now();
+    while warmup.elapsed() < std::time::Duration::from_millis(200) {
+        ctx.execute(&plan).unwrap();
+    }
+    group.bench_with_input(
+        BenchmarkId::new("invoke", "local_registry"),
+        &plan,
+        |b, p| b.iter(|| ctx.execute(p).unwrap()),
+    );
+
+    let dir = local_directory("local");
+    let ctx = ExecContext::new(&env, &*dir, Instant(1));
+    group.bench_with_input(
+        BenchmarkId::new("invoke", "local_directory"),
+        &plan,
+        |b, p| b.iter(|| ctx.execute(p).unwrap()),
+    );
+
+    let (edge, _inproc) =
+        remote_directory(Arc::new(InProcTransport::new()), "inproc:bench-remote-host");
+    let ctx = ExecContext::new(&env, &*edge, Instant(1));
+    group.bench_with_input(
+        BenchmarkId::new("invoke", "remote_inproc"),
+        &plan,
+        |b, p| b.iter(|| ctx.execute(p).unwrap()),
+    );
+
+    #[cfg(unix)]
+    {
+        let addr = format!(
+            "uds:{}",
+            std::env::temp_dir()
+                .join(format!("serena-bench-remote-{}.sock", std::process::id()))
+                .display()
+        );
+        let (edge, _uds) = remote_directory(Arc::new(SocketTransport::new()), &addr);
+        let ctx = ExecContext::new(&env, &*edge, Instant(1));
+        group.bench_with_input(BenchmarkId::new("invoke", "remote_uds"), &plan, |b, p| {
+            b.iter(|| ctx.execute(p).unwrap())
+        });
+    }
+
+    let (edge, _tcp) = remote_directory(Arc::new(SocketTransport::new()), "tcp:127.0.0.1:0");
+    let ctx = ExecContext::new(&env, &*edge, Instant(1));
+    group.bench_with_input(BenchmarkId::new("invoke", "remote_tcp"), &plan, |b, p| {
+        b.iter(|| ctx.execute(p).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_remote_overhead);
+
+fn find<'a>(records: &'a [BenchRecord], label: &str) -> Option<&'a BenchRecord> {
+    records.iter().find(|r| r.label == label)
+}
+
+/// The gated number. Sequential A-then-B benchmarking is biased by
+/// clock/allocator drift, so this interleaves short batches of the raw
+/// registry and the directory surface and takes the median of paired
+/// per-round ratios.
+fn interleaved_overhead_pct() -> (f64, f64, f64) {
+    const ROUNDS: usize = 100;
+    const PASSES: usize = 10;
+    let env = workload::scaled_environment(SENSORS, 0, 0);
+    let plan = beta_plan();
+    let reg = workload::scaled_registry(SENSORS, 0);
+    let ctx_registry = ExecContext::new(&env, &reg, Instant(1));
+    let dir = local_directory("local");
+    let ctx_directory = ExecContext::new(&env, &*dir, Instant(1));
+
+    for _ in 0..PASSES * 4 {
+        ctx_registry.execute(&plan).unwrap();
+        ctx_directory.execute(&plan).unwrap();
+    }
+    let mut ratios = Vec::with_capacity(ROUNDS);
+    let mut registry_rounds = Vec::with_capacity(ROUNDS);
+    let mut directory_rounds = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let start = std::time::Instant::now();
+        for _ in 0..PASSES {
+            ctx_registry.execute(&plan).unwrap();
+        }
+        let registry_ns = start.elapsed().as_nanos() as f64;
+        let start = std::time::Instant::now();
+        for _ in 0..PASSES {
+            ctx_directory.execute(&plan).unwrap();
+        }
+        let directory_ns = start.elapsed().as_nanos() as f64;
+        ratios.push(directory_ns / registry_ns);
+        registry_rounds.push(registry_ns / PASSES as f64);
+        directory_rounds.push(directory_ns / PASSES as f64);
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    (
+        (median(&mut ratios) - 1.0) * 100.0,
+        median(&mut registry_rounds),
+        median(&mut directory_rounds),
+    )
+}
+
+fn main() {
+    benches();
+    let records = take_records();
+
+    let (overhead_pct, registry_ns, directory_ns) = interleaved_overhead_pct();
+    println!(
+        "directory surface overhead vs raw registry: {overhead_pct:.2}% interleaved \
+         ({registry_ns:.0} ns → {directory_ns:.0} ns/pass)"
+    );
+    let per_call = |label: &str| find(&records, label).map(|r| r.mean_ns as f64 / SENSORS as f64);
+    for (name, label) in [
+        ("in-proc", "remote_overhead/invoke/remote_inproc"),
+        ("uds", "remote_overhead/invoke/remote_uds"),
+        ("tcp", "remote_overhead/invoke/remote_tcp"),
+    ] {
+        if let Some(ns) = per_call(label) {
+            println!("remote β via {name}: {ns:.0} ns/call");
+        }
+    }
+
+    let mut json = String::from("{\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 < records.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"mean_ns\": {}, \"best_ns\": {}}}{sep}\n",
+            r.label, r.mean_ns, r.best_ns
+        ));
+    }
+    json.push_str("  ]");
+    json.push_str(&format!(",\n  \"overhead_pct\": {overhead_pct:.3}"));
+    json.push_str(&format!(
+        ",\n  \"registry_ns_per_pass\": {registry_ns:.0},\n  \"directory_ns_per_pass\": {directory_ns:.0}"
+    ));
+    for (key, label) in [
+        (
+            "remote_inproc_ns_per_call",
+            "remote_overhead/invoke/remote_inproc",
+        ),
+        (
+            "remote_uds_ns_per_call",
+            "remote_overhead/invoke/remote_uds",
+        ),
+        (
+            "remote_tcp_ns_per_call",
+            "remote_overhead/invoke/remote_tcp",
+        ),
+    ] {
+        if let Some(ns) = per_call(label) {
+            json.push_str(&format!(",\n  \"{key}\": {ns:.0}"));
+        }
+    }
+    json.push_str(&format!(",\n  \"sensors\": {SENSORS}\n}}\n"));
+
+    let path =
+        std::env::var("SERENA_BENCH_OUT").unwrap_or_else(|_| "BENCH_remote.json".to_string());
+    std::fs::write(&path, json).expect("write bench results");
+    println!("wrote {path}");
+
+    if let Ok(bound) = std::env::var("SERENA_BENCH_ASSERT_OVERHEAD_PCT") {
+        let bound: f64 = bound.parse().expect("numeric overhead bound");
+        if overhead_pct > bound {
+            eprintln!("directory overhead {overhead_pct:.2}% exceeds bound {bound}%");
+            std::process::exit(1);
+        }
+        println!("overhead within {bound}% bound");
+    }
+}

@@ -322,6 +322,22 @@ pub enum EvalError {
         /// otherwise).
         reason: String,
     },
+    /// The service lives on a remote node that could not be reached: the
+    /// transport failed before (or while) relaying the invocation, so the
+    /// service itself never reported an outcome. Distinct from
+    /// [`EvalError::InvocationFailed`] — the *node*, not the service, is at
+    /// fault — and transient for the resilience layer (retry/breaker) just
+    /// like a local invocation failure.
+    RemoteUnavailable {
+        /// The service reference involved.
+        service: String,
+        /// The prototype involved.
+        prototype: String,
+        /// The remote node (peer id or address) that was unreachable.
+        node: String,
+        /// Transport-level failure detail.
+        reason: String,
+    },
     /// A tuple's arity or value types disagree with the relation schema.
     TupleSchemaMismatch {
         /// The relation involved.
@@ -374,6 +390,15 @@ impl fmt::Display for EvalError {
             } => write!(
                 f,
                 "invocation of `{prototype}` on `{service}` panicked: {reason}"
+            ),
+            EvalError::RemoteUnavailable {
+                service,
+                prototype,
+                node,
+                reason,
+            } => write!(
+                f,
+                "invocation of `{prototype}` on `{service}` failed: remote node `{node}` unreachable: {reason}"
             ),
             EvalError::TupleSchemaMismatch { relation, detail } => {
                 write!(f, "tuple does not match schema of `{relation}`: {detail}")

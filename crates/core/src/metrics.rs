@@ -167,6 +167,11 @@ pub struct OpObservation {
     /// contained and surfaced as
     /// [`EvalError::Panicked`](crate::error::EvalError) (β/βˢ only).
     pub panics: u64,
+    /// Invocations that failed because the remote node hosting the service
+    /// proxy was unreachable
+    /// ([`EvalError::RemoteUnavailable`](crate::error::EvalError), β/βˢ
+    /// only).
+    pub remote_unavailable: u64,
     /// Wall-clock self-time of the operator application (children
     /// excluded).
     pub elapsed: Duration,
@@ -186,6 +191,7 @@ impl OpObservation {
             failures: 0,
             degraded: 0,
             panics: 0,
+            remote_unavailable: 0,
             elapsed: Duration::ZERO,
         }
     }
@@ -242,6 +248,8 @@ pub struct NodeStats {
     pub degraded: u64,
     /// Total contained service panics.
     pub panics: u64,
+    /// Total failures due to an unreachable remote node.
+    pub remote_unavailable: u64,
     /// Total wall-clock self-time.
     pub elapsed: Duration,
 }
@@ -259,6 +267,7 @@ impl NodeStats {
             failures: 0,
             degraded: 0,
             panics: 0,
+            remote_unavailable: 0,
             elapsed: Duration::ZERO,
         }
     }
@@ -273,6 +282,7 @@ impl NodeStats {
         self.failures += obs.failures;
         self.degraded += obs.degraded;
         self.panics += obs.panics;
+        self.remote_unavailable += obs.remote_unavailable;
         self.elapsed += obs.elapsed;
     }
 
@@ -286,6 +296,7 @@ impl NodeStats {
         self.failures += other.failures;
         self.degraded += other.degraded;
         self.panics += other.panics;
+        self.remote_unavailable += other.remote_unavailable;
         self.elapsed += other.elapsed;
     }
 
@@ -312,6 +323,9 @@ impl NodeStats {
         }
         if self.panics > 0 {
             out.push_str(&format!(" panics={}", self.panics));
+        }
+        if self.remote_unavailable > 0 {
+            out.push_str(&format!(" remote_unavailable={}", self.remote_unavailable));
         }
         out
     }
@@ -401,6 +415,15 @@ impl ExecStats {
         self.nodes.lock().values().map(|s| s.panics).sum()
     }
 
+    /// Total remote-unreachable failures across all nodes.
+    pub fn total_remote_unavailable(&self) -> u64 {
+        self.nodes
+            .lock()
+            .values()
+            .map(|s| s.remote_unavailable)
+            .sum()
+    }
+
     /// The root node's total output tuples (node 0), if observed.
     pub fn root_tuples_out(&self) -> Option<u64> {
         self.nodes.lock().get(&NodeId(0)).map(|s| s.tuples_out)
@@ -424,6 +447,7 @@ impl ExecStats {
                 .u64(s.failures)
                 .u64(s.degraded)
                 .u64(s.panics)
+                .u64(s.remote_unavailable)
                 .u64(u64::try_from(s.elapsed.as_nanos()).unwrap_or(u64::MAX));
         }
     }
@@ -451,6 +475,7 @@ impl ExecStats {
             s.failures = r.u64()?;
             s.degraded = r.u64()?;
             s.panics = r.u64()?;
+            s.remote_unavailable = r.u64()?;
             s.elapsed = Duration::from_nanos(r.u64()?);
             nodes.insert(id, s);
         }

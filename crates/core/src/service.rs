@@ -45,6 +45,77 @@ pub trait Service: Send + Sync {
         input: &Tuple,
         at: Instant,
     ) -> Result<Vec<Tuple>, String>;
+
+    /// [`Service::invoke`] with a *classified* failure channel
+    /// ([`InvokeFault`]): proxies for remote services use it to distinguish
+    /// an application error reported by the remote implementation (which
+    /// registries wrap into [`EvalError::InvocationFailed`], exactly as for
+    /// a local service) from a transport fault (the node was unreachable —
+    /// surfaced as [`EvalError::RemoteUnavailable`]) and to relay an
+    /// already-typed [`EvalError`] from the remote registry *verbatim*, so
+    /// an invocation observes byte-identical errors whether the service is
+    /// local or remote.
+    ///
+    /// The provided implementation wraps [`Service::invoke`], so ordinary
+    /// (local) services need not care.
+    fn invoke_classified(
+        &self,
+        prototype: &Prototype,
+        input: &Tuple,
+        at: Instant,
+    ) -> Result<Vec<Tuple>, InvokeFault> {
+        self.invoke(prototype, input, at)
+            .map_err(InvokeFault::Application)
+    }
+}
+
+/// A classified invocation failure, as reported by
+/// [`Service::invoke_classified`]. Registries map each variant onto the
+/// corresponding [`EvalError`]; see [`fault_to_eval_error`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvokeFault {
+    /// The service implementation itself failed (device fault, simulated
+    /// network error, …) — the classic free-form-string channel of
+    /// [`Service::invoke`]. Becomes [`EvalError::InvocationFailed`].
+    Application(String),
+    /// A remote registry already classified the failure; relay its typed
+    /// error verbatim. This is what keeps error multisets byte-identical
+    /// across local and remote deployments: without it a relayed
+    /// `InvocationFailed` would be re-wrapped into a nested
+    /// "invocation of … failed: invocation of … failed: …".
+    Relayed(EvalError),
+    /// The transport to the node hosting the service failed; the service
+    /// never reported an outcome. Becomes [`EvalError::RemoteUnavailable`].
+    Transport {
+        /// The remote node (peer id or address) that was unreachable.
+        node: String,
+        /// Transport-level failure detail.
+        reason: String,
+    },
+}
+
+/// Map a classified fault onto the [`EvalError`] a registry reports for an
+/// invocation of `prototype` on `service`. Shared by every registry so
+/// local and proxied services surface identical errors.
+pub fn fault_to_eval_error(
+    fault: InvokeFault,
+    service: &ServiceRef,
+    prototype: &Prototype,
+) -> EvalError {
+    match fault {
+        InvokeFault::Application(reason) => EvalError::InvocationFailed {
+            service: service.to_string(),
+            prototype: prototype.name().to_string(),
+            reason,
+        },
+        InvokeFault::Relayed(e) => e,
+        InvokeFault::Transport { node, reason } => EvalError::RemoteUnavailable {
+            service: service.to_string(),
+            prototype: prototype.name().to_string(),
+            node,
+            reason,
+        },
+    }
 }
 
 /// A service built from a closure, for tests and examples.
@@ -422,14 +493,9 @@ impl Invoker for StaticRegistry {
                 prototype: prototype.name().to_string(),
             });
         }
-        let result =
-            service
-                .invoke(prototype, input, at)
-                .map_err(|reason| EvalError::InvocationFailed {
-                    service: service_ref.to_string(),
-                    prototype: prototype.name().to_string(),
-                    reason,
-                })?;
+        let result = service
+            .invoke_classified(prototype, input, at)
+            .map_err(|fault| fault_to_eval_error(fault, service_ref, prototype))?;
         validate_invocation_result(prototype, service_ref, &result)?;
         Ok(result)
     }

@@ -107,6 +107,12 @@ impl fmt::Display for ServiceRef {
     }
 }
 
+impl From<&ServiceRef> for ServiceRef {
+    fn from(r: &ServiceRef) -> Self {
+        r.clone()
+    }
+}
+
 impl From<&str> for ServiceRef {
     fn from(s: &str) -> Self {
         ServiceRef::new(s)

@@ -41,10 +41,16 @@ use std::io::{self, BufRead, Write};
 
 use serena_pems::{ExecOutcome, Pems};
 use serena_services::bus::BusConfig;
+use serena_services::node::NodeHandle;
 
 fn main() {
     let stdin = io::stdin();
-    let mut pems = Pems::builder().bus(BusConfig::instant()).build();
+    let node_id = std::env::var("SERENA_NODE_ID").unwrap_or_else(|_| "node0".to_string());
+    let mut pems = Pems::builder()
+        .bus(BusConfig::instant())
+        .node_id(node_id)
+        .build();
+    let mut nodes: Vec<NodeHandle> = Vec::new();
     let mut buffer = String::new();
     let interactive = atty_like();
 
@@ -64,7 +70,7 @@ fn main() {
                 Some(rest) => format!(".{rest}"),
                 None => trimmed.to_string(),
             };
-            if !dot_command(&cmd, &mut pems) {
+            if !dot_command(&cmd, &mut pems, &mut nodes) {
                 break;
             }
             prompt(interactive, &buffer);
@@ -137,7 +143,7 @@ fn print_outcome(outcome: ExecOutcome) {
     }
 }
 
-fn dot_command(cmd: &str, pems: &mut Pems) -> bool {
+fn dot_command(cmd: &str, pems: &mut Pems, nodes: &mut Vec<NodeHandle>) -> bool {
     let mut parts = cmd.split_whitespace();
     match parts.next().unwrap_or("") {
         ".quit" | ".exit" => return false,
@@ -146,6 +152,7 @@ fn dot_command(cmd: &str, pems: &mut Pems) -> bool {
                 ".tick [n] | .tables | .show <rel> | .queries | .result <query>\n\
                  .metrics | .health | .top | .profile <query> | .trace <file>\n\
                  .checkpoint <dir> | .restore <dir> | .demo | .quit\n\
+                 .serve <addr> | .connect <addr> | .replicate <addr> | .peers\n\
                  (backslash aliases work: \\metrics)\n\
                  …or any Serena DDL / algebra statement ending with `;`"
             );
@@ -274,6 +281,49 @@ fn dot_command(cmd: &str, pems: &mut Pems) -> bool {
             },
             None => println!("usage: .restore <dir>"),
         },
+        ".serve" => match parts.next() {
+            // the transport comes from SERENA_TRANSPORT (inproc default;
+            // `socket` for tcp:/uds: addresses)
+            Some(addr) => match pems.serve(serena_services::transport::from_env(), addr) {
+                Ok(handle) => {
+                    println!("serving node `{}` at {}", pems.node_id(), handle.addr());
+                    nodes.push(handle);
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            None => println!("usage: .serve <addr>   (e.g. tcp:127.0.0.1:0, uds:/tmp/a.sock)"),
+        },
+        ".connect" => match parts.next() {
+            Some(addr) => match pems.connect_peer(serena_services::transport::from_env(), addr) {
+                Ok(node) => println!("linked peer `{node}` at {addr}"),
+                Err(e) => println!("error: {e}"),
+            },
+            None => println!("usage: .connect <addr>"),
+        },
+        ".replicate" => match parts.next() {
+            Some(addr) => match pems.replicate_to(serena_services::transport::from_env(), addr) {
+                Ok(node) => println!("replicating checkpoints to `{node}` at {addr}"),
+                Err(e) => println!("error: {e}"),
+            },
+            None => println!("usage: .replicate <addr>"),
+        },
+        ".peers" => {
+            let peers = pems.peer_status();
+            if peers.is_empty() {
+                println!("no linked peers — use .connect <addr>");
+            } else {
+                for p in peers {
+                    println!(
+                        "{} at {} — {} ({} proxied services, last seen t={})",
+                        p.node,
+                        p.addr,
+                        if p.alive { "alive" } else { "down" },
+                        p.services,
+                        p.last_seen.0,
+                    );
+                }
+            }
+        }
         ".demo" => match load_demo(pems) {
             Ok(()) => println!("loaded the paper's running example (Tables 1–2, Example 4)"),
             Err(e) => println!("error: {e}"),
@@ -285,19 +335,19 @@ fn dot_command(cmd: &str, pems: &mut Pems) -> bool {
 
 fn load_demo(pems: &mut Pems) -> Result<(), serena_pems::PemsError> {
     use serena_core::service::fixtures;
-    let reg = pems.registry();
-    reg.register("email", fixtures::messenger());
-    reg.register("jabber", fixtures::messenger());
+    let dir = pems.directory();
+    dir.register("email", fixtures::messenger());
+    dir.register("jabber", fixtures::messenger());
     for (name, seed) in [
         ("sensor01", 1u64),
         ("sensor06", 6),
         ("sensor07", 7),
         ("sensor22", 22),
     ] {
-        reg.register(name, fixtures::temperature_sensor(seed));
+        dir.register(name, fixtures::temperature_sensor(seed));
     }
     for (name, seed) in [("camera01", 1u64), ("camera02", 2), ("webcam07", 7)] {
-        reg.register(name, fixtures::camera(seed));
+        dir.register(name, fixtures::camera(seed));
     }
     pems.run_program(
         "PROTOTYPE sendMessage( address STRING, text STRING ) : ( sent BOOLEAN ) ACTIVE;

@@ -460,12 +460,11 @@ impl EnvSpec {
                     })?;
             }
             None => {
-                let registry = pems.registry();
                 let directory = pems.directory();
                 pems.tables_mut()
                     .define_stream_with("temperatures", temp_schema, move || {
                         Box::new(SensorSampler::new(
-                            registry.clone() as Arc<dyn serena_core::service::Invoker>,
+                            directory.clone() as Arc<dyn serena_core::service::Invoker>,
                             directory.clone(),
                             protos::get_temperature(),
                             &["location"],

@@ -23,7 +23,7 @@ use serena_core::time::Instant;
 use serena_core::tuple::Tuple;
 use serena_core::value::Value;
 use serena_services::devices::rss::SimRssFeed;
-use serena_services::discovery::ServiceDirectory;
+use serena_services::ServiceDirectory;
 use serena_stream::source::StreamSource;
 
 /// An append-only broadcast log: every subscriber sees every tuple pushed
@@ -87,7 +87,7 @@ impl StreamSource for HubSubscription {
 /// attribute `location` → stream `(location, temperature)`.
 pub struct SensorSampler {
     invoker: Arc<dyn Invoker>,
-    directory: Arc<ServiceDirectory>,
+    directory: Arc<dyn ServiceDirectory>,
     prototype: Arc<Prototype>,
     /// Metadata keys prepended to each output tuple (e.g. `["location"]`).
     metadata_attrs: Vec<String>,
@@ -99,7 +99,7 @@ impl SensorSampler {
     /// directory metadata attributes.
     pub fn new(
         invoker: Arc<dyn Invoker>,
-        directory: Arc<ServiceDirectory>,
+        directory: Arc<dyn ServiceDirectory>,
         prototype: Arc<Prototype>,
         metadata_attrs: &[&str],
     ) -> Self {
@@ -124,7 +124,7 @@ impl StreamSource for SensorSampler {
         'providers: for reference in self.invoker.providers_of(self.prototype.name()) {
             let mut prefix: Vec<Value> = Vec::with_capacity(self.metadata_attrs.len());
             for key in &self.metadata_attrs {
-                match self.directory.get(&reference, key) {
+                match self.directory.metadata(&reference, key) {
                     Some(v) => prefix.push(v),
                     None => continue 'providers, // not describable yet
                 }
@@ -177,6 +177,7 @@ mod tests {
     use super::*;
     use serena_core::prototype::examples as protos;
     use serena_core::tuple;
+    use serena_services::directory::NodeDirectory;
     use serena_services::registry::DynamicRegistry;
 
     #[test]
@@ -203,7 +204,7 @@ mod tests {
             "sensor06",
             serena_core::service::fixtures::temperature_sensor(6),
         );
-        let dir = Arc::new(ServiceDirectory::new());
+        let dir = Arc::new(NodeDirectory::new("test"));
         dir.set("sensor01", "location", Value::str("corridor"));
         dir.set("sensor06", "location", Value::str("office"));
         let mut sampler = SensorSampler::new(
@@ -235,7 +236,7 @@ mod tests {
             serena_services::faults::FaultPolicy::EveryNth(1),
         );
         reg.register("sensor02", flaky);
-        let dir = Arc::new(ServiceDirectory::new());
+        let dir = Arc::new(NodeDirectory::new("test"));
         dir.set("sensor01", "location", Value::str("corridor"));
         dir.set("sensor02", "location", Value::str("roof"));
         // sensor03 registered but no metadata

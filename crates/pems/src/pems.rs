@@ -37,12 +37,15 @@ use serena_ddl::resolve::{
 };
 use serena_ddl::DdlError;
 use serena_services::bus::{BusConfig, CoreErm, DiscoveryBus, LocalErm};
-use serena_services::discovery::{DiscoveryQuery, ServiceDirectory};
+use serena_services::directory::{NodeDirectory, PeerStatus};
+use serena_services::discovery::DiscoveryQuery;
 use serena_services::health::{HealthTracker, ServiceHealth};
+use serena_services::node::{NodeHandle, RemoteNodeClient, ServiceNode};
 use serena_services::registry::DynamicRegistry;
 use serena_services::resilience::{
     BreakerState, ResilienceCounters, ResiliencePolicy, ResilienceState, ResilientLayer,
 };
+use serena_services::transport::{Transport, TransportError};
 use serena_stream::exec::TickReport;
 
 use crate::processor::QueryProcessor;
@@ -63,6 +66,8 @@ pub enum PemsError {
     Schema(SchemaError),
     /// Checkpoint encoding/decoding or recovery failure.
     Snapshot(SnapshotError),
+    /// Node-to-node transport failure (serve/connect/replicate).
+    Transport(TransportError),
     /// Anything else.
     Other(String),
 }
@@ -75,6 +80,7 @@ impl std::fmt::Display for PemsError {
             PemsError::Eval(e) => write!(f, "{e}"),
             PemsError::Schema(e) => write!(f, "{e}"),
             PemsError::Snapshot(e) => write!(f, "{e}"),
+            PemsError::Transport(e) => write!(f, "{e}"),
             PemsError::Other(s) => write!(f, "{s}"),
         }
     }
@@ -110,6 +116,11 @@ impl From<serena_ddl::ParseError> for PemsError {
 impl From<SnapshotError> for PemsError {
     fn from(e: SnapshotError) -> Self {
         PemsError::Snapshot(e)
+    }
+}
+impl From<TransportError> for PemsError {
+    fn from(e: TransportError) -> Self {
+        PemsError::Transport(e)
     }
 }
 
@@ -159,6 +170,7 @@ impl std::fmt::Display for ExplainAnalyze {
 /// ```
 pub struct PemsBuilder {
     bus: BusConfig,
+    node_id: String,
     clock: Instant,
     metrics: Option<Arc<dyn MetricsSink>>,
     exec_options: ExecOptions,
@@ -179,6 +191,7 @@ impl PemsBuilder {
     pub fn new() -> Self {
         PemsBuilder {
             bus: BusConfig::default(),
+            node_id: "node0".to_string(),
             clock: Instant::ZERO,
             metrics: None,
             exec_options: ExecOptions::default(),
@@ -195,6 +208,13 @@ impl PemsBuilder {
     /// Discovery-network latency model.
     pub fn bus(mut self, config: BusConfig) -> Self {
         self.bus = config;
+        self
+    }
+
+    /// This runtime's node id in a multi-node deployment — what peers see
+    /// in the handshake and in [`PeerStatus`]. Defaults to `"node0"`.
+    pub fn node_id(mut self, id: impl Into<String>) -> Self {
+        self.node_id = id.into();
         self
     }
 
@@ -314,10 +334,17 @@ impl PemsBuilder {
         telemetry.gauge("serena_sched_queue_depth", &[]);
         telemetry.counter("serena_beta_dedup_total", &[]);
         telemetry.counter("serena_trace_dropped_total", &[]);
+        telemetry.counter("serena_replication_total", &[]);
+        telemetry.counter("serena_replication_errors_total", &[]);
+        let directory = Arc::new(NodeDirectory::with_registry(
+            self.node_id,
+            Arc::clone(erm.registry()),
+        ));
         Pems {
             bus,
             erm,
-            directory: Arc::new(ServiceDirectory::new()),
+            directory,
+            standby: None,
             tables: ExtendedTableManager::new(),
             processor,
             discoveries: Vec::new(),
@@ -352,7 +379,10 @@ impl Default for PemsBuilder {
 pub struct Pems {
     bus: Arc<DiscoveryBus>,
     erm: CoreErm,
-    directory: Arc<ServiceDirectory>,
+    directory: Arc<NodeDirectory>,
+    /// Standby peer receiving a checkpoint stream after every tick, when
+    /// configured via [`Pems::replicate_to`].
+    standby: Option<RemoteNodeClient>,
     tables: ExtendedTableManager,
     processor: QueryProcessor,
     discoveries: Vec<(String, DiscoveryQuery)>,
@@ -404,13 +434,82 @@ impl Pems {
     }
 
     /// The shared dynamic registry queries invoke through.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `directory()` — the unified `ServiceDirectory` surface \
+                covers registration, resolution, metadata and events"
+    )]
     pub fn registry(&self) -> Arc<DynamicRegistry> {
         Arc::clone(self.erm.registry())
     }
 
-    /// The per-service metadata directory.
-    pub fn directory(&self) -> Arc<ServiceDirectory> {
+    /// The unified service directory: registration, resolution, discovery
+    /// metadata, join/leave events and multi-node peer links. Local
+    /// registrations go through
+    /// [`ServiceDirectory::register`](serena_services::ServiceDirectory::register);
+    /// remote services appear here automatically once
+    /// [`Pems::connect_peer`] links their node.
+    pub fn directory(&self) -> Arc<NodeDirectory> {
         Arc::clone(&self.directory)
+    }
+
+    /// This runtime's node id (see [`PemsBuilder::node_id`]).
+    pub fn node_id(&self) -> &str {
+        use serena_services::ServiceDirectory as _;
+        self.directory.node()
+    }
+
+    /// Expose this runtime's directory to peers at `addr` on `transport`:
+    /// they can discover and invoke its locally hosted services and push
+    /// standby checkpoints to it. Returns a handle whose drop shuts the
+    /// endpoint down; [`NodeHandle::addr`] is the canonical re-connectable
+    /// address (useful with `tcp:host:0`).
+    pub fn serve(
+        &self,
+        transport: Arc<dyn Transport>,
+        addr: &str,
+    ) -> Result<NodeHandle, PemsError> {
+        Ok(ServiceNode::serve(
+            transport,
+            addr,
+            Arc::clone(&self.directory),
+        )?)
+    }
+
+    /// Link a remote node into this runtime's directory: its services are
+    /// proxied locally (discovery queries list them; β invocations relay
+    /// over the transport) and kept current by per-tick heartbeat polling.
+    /// Returns the peer's node id.
+    pub fn connect_peer(
+        &self,
+        transport: Arc<dyn Transport>,
+        addr: &str,
+    ) -> Result<String, PemsError> {
+        Ok(self.directory.connect_peer(transport, addr)?)
+    }
+
+    /// Stream a checkpoint of this runtime's dynamic state to the node at
+    /// `addr` after **every** tick (independent of any on-disk
+    /// [`PemsBuilder::checkpoint`] cadence). The standby retrieves the
+    /// latest snapshot via [`NodeHandle::last_checkpoint`] and resumes a
+    /// dead primary with [`Pems::restore_bytes`]. A failed send is counted
+    /// (`serena_replication_errors_total`) and traced, never fatal.
+    /// Returns the standby's node id.
+    pub fn replicate_to(
+        &mut self,
+        transport: Arc<dyn Transport>,
+        addr: &str,
+    ) -> Result<String, PemsError> {
+        let client = RemoteNodeClient::connect(transport, addr, self.node_id())?;
+        let node = client.node().to_string();
+        self.standby = Some(client);
+        Ok(node)
+    }
+
+    /// Health of every linked peer (id, address, liveness, last-seen
+    /// instant, proxied service count).
+    pub fn peer_status(&self) -> Vec<PeerStatus> {
+        self.directory.peer_status()
     }
 
     /// The runtime-wide metric registry: operator counters, β-invocation
@@ -827,7 +926,7 @@ impl Pems {
         sink: &dyn MetricsSink,
     ) -> Result<EvalOutcome, PemsError> {
         let env = self.snapshot_environment();
-        let registry = self.registry();
+        let registry = Arc::clone(self.erm.registry());
         let invoker = self.invoker_stack(&registry);
         let tee = Tee(&self.telemetry_sink, sink);
         let ctx = ExecContext::with_metrics(&env, &*invoker, self.clock(), &tee)
@@ -915,10 +1014,16 @@ impl Pems {
     /// set). Returns the checkpoint path.
     pub fn checkpoint_now(&mut self) -> Result<PathBuf, PemsError> {
         let bytes = self.snapshot_bytes();
+        self.write_checkpoint(&bytes)
+    }
+
+    /// Write already-cut snapshot bytes through the configured
+    /// [`RecoveryManager`].
+    fn write_checkpoint(&mut self, bytes: &[u8]) -> Result<PathBuf, PemsError> {
         let rm = self.recovery.as_mut().ok_or_else(|| {
             PemsError::Other("no checkpoint directory configured (PemsBuilder::checkpoint)".into())
         })?;
-        let path = rm.write(&bytes)?;
+        let path = rm.write(bytes)?;
         self.telemetry.counter("serena_checkpoint_total", &[]).inc();
         Ok(path)
     }
@@ -937,13 +1042,17 @@ impl Pems {
     /// order). Returns each registered query's tick report.
     pub fn tick(&mut self) -> Vec<(String, TickReport)> {
         let now = self.processor.clock();
-        // 1. apply due discovery traffic
+        // 1. apply due discovery traffic: the local bus first, then the
+        // heartbeat/poll round over every linked peer (remote joins and
+        // leaves land in the directory with the same this-tick visibility
+        // as bus announcements)
         self.erm.tick(now);
+        self.directory.poll_peers(now);
         // 2. refresh discovery-maintained provider tables
-        let registry = self.registry();
+        let registry = Arc::clone(self.erm.registry());
         for (table, query) in &self.discoveries {
             if let Some(handle) = self.tables.table(table) {
-                let rel = query.refresh(&*registry, &self.directory);
+                let rel = query.refresh_in(&*self.directory);
                 handle.replace_with(rel.into_tuples());
             }
         }
@@ -975,23 +1084,48 @@ impl Pems {
             self.trace_dropped_seen = dropped;
         }
         // 4. the tick is complete — the snapshot cut is consistent here —
-        // so write a checkpoint if the cadence says one is due. A failed
-        // write must not take the runtime down: it is counted and traced.
+        // so cut one snapshot and fan it out: to disk if the cadence says
+        // a checkpoint is due, and to the standby peer if one is linked.
+        // Neither failure may take the runtime down: both are counted and
+        // traced.
         let due = self
             .recovery
             .as_mut()
             .is_some_and(RecoveryManager::tick_completed);
-        if due {
-            if let Err(e) = self.checkpoint_now() {
-                self.telemetry
-                    .counter("serena_checkpoint_errors_total", &[])
-                    .inc();
-                self.trace
-                    .emit(&serena_core::telemetry::TraceEvent::Failure {
-                        scope: "checkpoint".into(),
-                        at: self.processor.clock(),
-                        message: e.to_string(),
-                    });
+        if due || self.standby.is_some() {
+            let bytes = self.snapshot_bytes();
+            if due {
+                if let Err(e) = self.write_checkpoint(&bytes) {
+                    self.telemetry
+                        .counter("serena_checkpoint_errors_total", &[])
+                        .inc();
+                    self.trace
+                        .emit(&serena_core::telemetry::TraceEvent::Failure {
+                            scope: "checkpoint".into(),
+                            at: self.processor.clock(),
+                            message: e.to_string(),
+                        });
+                }
+            }
+            if let Some(standby) = &self.standby {
+                match standby.send_checkpoint(now.0, &bytes) {
+                    Ok(()) => {
+                        self.telemetry
+                            .counter("serena_replication_total", &[])
+                            .inc();
+                    }
+                    Err(e) => {
+                        self.telemetry
+                            .counter("serena_replication_errors_total", &[])
+                            .inc();
+                        self.trace
+                            .emit(&serena_core::telemetry::TraceEvent::Failure {
+                                scope: "replication".into(),
+                                at: self.processor.clock(),
+                                message: e.to_string(),
+                            });
+                    }
+                }
             }
         }
         reports
@@ -1182,7 +1316,7 @@ mod tests {
             serena_services::devices::messenger::MessengerKind::Email,
         )
         .into_service();
-        pems.registry().register("email", svc);
+        pems.directory().register("email", svc);
         pems
     }
 
@@ -1398,7 +1532,7 @@ mod tests {
                 serena_services::devices::messenger::MessengerKind::Email,
             )
             .into_service();
-            pems.registry().register("email", svc);
+            pems.directory().register("email", svc);
             pems.run_program(SETUP).unwrap();
             pems
         };
@@ -1448,7 +1582,7 @@ mod tests {
             serena_services::devices::messenger::MessengerKind::Email,
         )
         .into_service();
-        pems.registry().register("email", svc);
+        pems.directory().register("email", svc);
         pems.run_program(SETUP).unwrap();
 
         // one-shot observations land in the PEMS-wide sink...
@@ -1486,7 +1620,7 @@ mod tests {
             serena_services::devices::messenger::MessengerKind::Email,
         )
         .into_service();
-        pems.registry().register("email", svc);
+        pems.directory().register("email", svc);
         pems.run_program(SETUP).unwrap();
         pems.run_program("REGISTER QUERY watch AS contacts;")
             .unwrap();
@@ -1597,7 +1731,7 @@ mod tests {
         .into_service();
         // every invocation fails → health must notice through β
         let faulty = FaultyService::new(svc, FaultPolicy::EveryNth(1));
-        pems.registry().register("email", faulty.clone());
+        pems.directory().register("email", faulty.clone());
         pems.run_program(SETUP).unwrap();
 
         // a clean scan populates the per-operator series...

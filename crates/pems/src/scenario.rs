@@ -207,12 +207,11 @@ pub fn deploy_surveillance(config: &SurveillanceConfig) -> Result<Surveillance, 
         .real("location", DataType::Str)
         .real("temperature", DataType::Real)
         .build()?;
-    let registry = pems.registry();
     let directory = pems.directory();
     pems.tables_mut()
         .define_stream_with("temperatures", temp_schema, move || {
             Box::new(SensorSampler::new(
-                registry.clone() as Arc<dyn serena_core::service::Invoker>,
+                directory.clone() as Arc<dyn serena_core::service::Invoker>,
                 directory.clone(),
                 protos::get_temperature(),
                 &["location"],

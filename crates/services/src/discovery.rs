@@ -1,4 +1,4 @@
-//! Service-discovery queries: from registry state to X-Relation rows.
+//! Service-discovery queries: from directory state to X-Relation rows.
 //!
 //! §5.1: "The Query Processor also handles service discovery queries: it
 //! continuously updates some specific XD-Relations so that they represent
@@ -10,8 +10,12 @@
 //! A [`DiscoveryQuery`] materializes one such relation: one row per
 //! currently-registered provider of a prototype, the service-reference
 //! attribute holding the provider's reference and the remaining real
-//! attributes filled from a [`ServiceDirectory`] of per-service metadata
-//! (e.g. a sensor's installed location).
+//! attributes filled from the directory's per-service metadata (e.g. a
+//! sensor's installed location). [`DiscoveryQuery::refresh_in`] reads
+//! both provider set and metadata from one
+//! [`ServiceDirectory`](crate::directory::ServiceDirectory) — local and
+//! remote (proxied) services are indistinguishable here, which is what
+//! makes discovery transport-agnostic.
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -27,13 +31,18 @@ use serena_core::xrelation::XRelation;
 
 /// Per-service metadata: the static facts about a device that the network
 /// announcement carries alongside the reference (location, coverage, …).
+///
+/// Kept for the legacy split-surface API; the unified
+/// [`ServiceDirectory`] trait carries metadata itself
+/// (`set_metadata`/`metadata`/`metadata_of`), so new code never touches
+/// this type directly.
 #[derive(Default)]
-pub struct ServiceDirectory {
+pub struct MetadataStore {
     metadata: RwLock<HashMap<ServiceRef, BTreeMap<String, Value>>>,
 }
 
-impl ServiceDirectory {
-    /// Empty directory.
+impl MetadataStore {
+    /// Empty store.
     pub fn new() -> Self {
         Self::default()
     }
@@ -57,6 +66,17 @@ impl ServiceDirectory {
         self.metadata.write().remove(reference);
     }
 }
+
+/// The old name of [`MetadataStore`], kept so existing code keeps
+/// compiling through one release cycle. Not to be confused with the
+/// unified [`crate::directory::ServiceDirectory`] *trait*, which is
+/// where all new code should live.
+#[deprecated(
+    since = "0.9.0",
+    note = "renamed to `MetadataStore`; the unified directory surface is the \
+            `serena_services::ServiceDirectory` trait"
+)]
+pub type ServiceDirectory = MetadataStore;
 
 /// A continuously-refreshable discovery relation.
 pub struct DiscoveryQuery {
@@ -92,19 +112,40 @@ impl DiscoveryQuery {
         &self.schema
     }
 
-    /// Materialize the current provider set. Services lacking metadata for
-    /// some required real attribute are skipped (they are discovered but
-    /// not yet describable — the next refresh after their metadata arrives
-    /// picks them up).
-    pub fn refresh(&self, invoker: &dyn Invoker, directory: &ServiceDirectory) -> XRelation {
+    /// Materialize the current provider set from one unified directory
+    /// (provider resolution *and* metadata). Services lacking metadata
+    /// for some required real attribute are skipped (discovered but not
+    /// yet describable — the refresh after their metadata arrives picks
+    /// them up).
+    pub fn refresh_in(&self, directory: &dyn crate::directory::ServiceDirectory) -> XRelation {
+        self.materialize(directory, &|reference, key| {
+            directory.metadata(reference, key)
+        })
+    }
+
+    /// Materialize from the legacy split surfaces (separate invoker +
+    /// metadata store).
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `refresh_in` with the unified `ServiceDirectory` trait"
+    )]
+    pub fn refresh(&self, invoker: &dyn Invoker, directory: &MetadataStore) -> XRelation {
+        self.materialize(invoker, &|reference, key| directory.get(reference, key))
+    }
+
+    fn materialize(
+        &self,
+        providers: &dyn Invoker,
+        metadata: &dyn Fn(&ServiceRef, &str) -> Option<Value>,
+    ) -> XRelation {
         let mut rel = XRelation::empty(self.schema.clone());
-        'providers: for reference in invoker.providers_of(&self.prototype) {
+        'providers: for reference in providers.providers_of(&self.prototype) {
             let mut values = Vec::with_capacity(self.schema.real_arity());
             for attr in self.schema.attrs().iter().filter(|a| a.is_real()) {
                 if attr.name == self.service_attr {
                     values.push(Value::Service(reference.clone()));
                 } else {
-                    match directory.get(&reference, attr.name.as_str()) {
+                    match metadata(&reference, attr.name.as_str()) {
                         Some(v) => values.push(v),
                         None => continue 'providers,
                     }
@@ -119,26 +160,26 @@ impl DiscoveryQuery {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::directory::NodeDirectory;
     use crate::registry::DynamicRegistry;
     use serena_core::schema::examples::sensors_schema;
     use serena_core::service::fixtures;
     use serena_core::tuple;
 
-    fn setup() -> (DynamicRegistry, ServiceDirectory, DiscoveryQuery) {
-        let reg = DynamicRegistry::new();
-        reg.register("sensor01", fixtures::temperature_sensor(1));
-        reg.register("sensor06", fixtures::temperature_sensor(6));
-        let dir = ServiceDirectory::new();
+    fn setup() -> (NodeDirectory, DiscoveryQuery) {
+        let dir = NodeDirectory::new("test");
+        dir.register("sensor01", fixtures::temperature_sensor(1));
+        dir.register("sensor06", fixtures::temperature_sensor(6));
         dir.set("sensor01", "location", Value::str("corridor"));
         dir.set("sensor06", "location", Value::str("office"));
         let q = DiscoveryQuery::new("getTemperature", sensors_schema(), "sensor").unwrap();
-        (reg, dir, q)
+        (dir, q)
     }
 
     #[test]
     fn refresh_builds_sensor_table() {
-        let (reg, dir, q) = setup();
-        let rel = q.refresh(&reg, &dir);
+        let (dir, q) = setup();
+        let rel = q.refresh_in(&dir);
         assert_eq!(rel.len(), 2);
         assert!(rel.contains(&tuple![Value::service("sensor01"), "corridor"]));
         assert!(rel.contains(&tuple![Value::service("sensor06"), "office"]));
@@ -149,23 +190,23 @@ mod tests {
 
     #[test]
     fn churn_is_reflected_on_refresh() {
-        let (reg, dir, q) = setup();
-        assert_eq!(q.refresh(&reg, &dir).len(), 2);
-        reg.register("sensor22", fixtures::temperature_sensor(22));
+        let (dir, q) = setup();
+        assert_eq!(q.refresh_in(&dir).len(), 2);
+        dir.register("sensor22", fixtures::temperature_sensor(22));
         dir.set("sensor22", "location", Value::str("roof"));
-        assert_eq!(q.refresh(&reg, &dir).len(), 3);
-        reg.unregister(&ServiceRef::new("sensor01"));
-        assert_eq!(q.refresh(&reg, &dir).len(), 2);
+        assert_eq!(q.refresh_in(&dir).len(), 3);
+        dir.deregister("sensor01");
+        assert_eq!(q.refresh_in(&dir).len(), 2);
     }
 
     #[test]
     fn missing_metadata_skips_service() {
-        let (reg, dir, q) = setup();
-        reg.register("sensor99", fixtures::temperature_sensor(99));
+        let (dir, q) = setup();
+        dir.register("sensor99", fixtures::temperature_sensor(99));
         // no location metadata yet → not describable → skipped
-        assert_eq!(q.refresh(&reg, &dir).len(), 2);
+        assert_eq!(q.refresh_in(&dir).len(), 2);
         dir.set("sensor99", "location", Value::str("basement"));
-        assert_eq!(q.refresh(&reg, &dir).len(), 3);
+        assert_eq!(q.refresh_in(&dir).len(), 3);
     }
 
     #[test]
@@ -180,10 +221,26 @@ mod tests {
 
     #[test]
     fn unrelated_prototypes_not_listed() {
-        let (reg, dir, q) = setup();
-        reg.register("camera01", fixtures::camera(1));
+        let (dir, q) = setup();
+        dir.register("camera01", fixtures::camera(1));
         dir.set("camera01", "location", Value::str("office"));
         // camera01 implements checkPhoto/takePhoto, not getTemperature
-        assert_eq!(q.refresh(&reg, &dir).len(), 2);
+        assert_eq!(q.refresh_in(&dir).len(), 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_refresh_matches_refresh_in() {
+        let (dir, q) = setup();
+        let reg = DynamicRegistry::new();
+        reg.register("sensor01", fixtures::temperature_sensor(1));
+        reg.register("sensor06", fixtures::temperature_sensor(6));
+        let store = MetadataStore::new();
+        store.set("sensor01", "location", Value::str("corridor"));
+        store.set("sensor06", "location", Value::str("office"));
+        let legacy = q.refresh(&reg, &store);
+        let unified = q.refresh_in(&dir);
+        assert_eq!(legacy.len(), unified.len());
+        assert!(legacy.contains(&tuple![Value::service("sensor01"), "corridor"]));
     }
 }

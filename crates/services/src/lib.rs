@@ -34,7 +34,18 @@
 //!   health-informed circuit breaker, composable onto any invoker via
 //!   [`serena_core::service::InvokerStack`];
 //! * [`discovery`] — turning "which services implement prototype ψ?" into
-//!   X-Relation rows, the data backing the PEMS service-discovery queries.
+//!   X-Relation rows, the data backing the PEMS service-discovery queries;
+//! * [`directory`] — the unified, transport-agnostic [`ServiceDirectory`]
+//!   trait (resolve, register/deregister, join/leave subscription,
+//!   metadata, invocation) and its [`NodeDirectory`] implementation with
+//!   multi-node peer links and heartbeat-driven liveness;
+//! * [`transport`] — the node-to-node seam: [`Transport`] with an
+//!   in-process hub ([`InProcTransport`], the deterministic test
+//!   default) and real TCP/UDS sockets ([`SocketTransport`]), speaking
+//!   length-prefixed frames in the `serena-core::snapshot` codec;
+//! * [`node`] — serving a directory to peers ([`ServiceNode`]) and
+//!   proxying remote services locally ([`RemoteService`]), including
+//!   standby checkpoint replication.
 
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
@@ -42,17 +53,23 @@
 
 pub mod bus;
 pub mod devices;
+pub mod directory;
 pub mod discovery;
 pub mod faults;
 pub mod fleet;
 pub mod health;
+pub mod node;
 pub mod registry;
 pub mod resilience;
+pub mod transport;
 
 pub use bus::{BusConfig, CoreErm, DiscoveryBus, LocalErm};
+pub use directory::{DirectoryEvent, NodeDirectory, PeerStatus, ServiceDirectory};
 pub use health::{HealthStatus, HealthTracker, ServiceHealth};
+pub use node::{NodeHandle, RemoteNodeClient, RemoteService, ServiceNode};
 pub use registry::{DynamicRegistry, RegistryEvent};
 pub use resilience::{
     BreakerState, ResilienceCounters, ResiliencePolicy, ResilienceState, ResilientInvoker,
     ResilientLayer,
 };
+pub use transport::{Frame, InProcTransport, SocketTransport, Transport, TransportError};

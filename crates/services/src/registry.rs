@@ -16,7 +16,7 @@ use serena_core::sync::{Mutex, RwLock};
 
 use serena_core::error::EvalError;
 use serena_core::prototype::Prototype;
-use serena_core::service::{validate_invocation_result, Invoker, Service};
+use serena_core::service::{fault_to_eval_error, validate_invocation_result, Invoker, Service};
 use serena_core::time::Instant;
 use serena_core::tuple::Tuple;
 use serena_core::value::ServiceRef;
@@ -123,6 +123,14 @@ impl DynamicRegistry {
         self.services.read().contains_key(reference)
     }
 
+    /// The service implementation registered under `reference`, if any.
+    pub fn resolve(&self, reference: &ServiceRef) -> Option<Arc<dyn Service>> {
+        self.services
+            .read()
+            .get(reference)
+            .map(|e| Arc::clone(&e.service))
+    }
+
     /// Origin LERM of a service, if registered.
     pub fn origin_of(&self, reference: &ServiceRef) -> Option<String> {
         self.services
@@ -164,14 +172,9 @@ impl Invoker for DynamicRegistry {
                 prototype: prototype.name().to_string(),
             });
         }
-        let result =
-            service
-                .invoke(prototype, input, at)
-                .map_err(|reason| EvalError::InvocationFailed {
-                    service: service_ref.to_string(),
-                    prototype: prototype.name().to_string(),
-                    reason,
-                })?;
+        let result = service
+            .invoke_classified(prototype, input, at)
+            .map_err(|fault| fault_to_eval_error(fault, service_ref, prototype))?;
         validate_invocation_result(prototype, service_ref, &result)?;
         Ok(result)
     }

@@ -544,7 +544,9 @@ impl<'a, I: Invoker> ResilientInvoker<'a, I> {
 fn is_transient(e: &EvalError) -> bool {
     matches!(
         e,
-        EvalError::InvocationFailed { .. } | EvalError::DeadlineExceeded { .. }
+        EvalError::InvocationFailed { .. }
+            | EvalError::DeadlineExceeded { .. }
+            | EvalError::RemoteUnavailable { .. }
     )
 }
 

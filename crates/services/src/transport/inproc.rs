@@ -1,0 +1,225 @@
+//! In-process transport: a hub of named endpoints connected by channels.
+//!
+//! This is the deterministic default. Connections are pairs of
+//! `std::sync::mpsc` byte channels, but frames still cross them in full
+//! wire form ([`Frame::to_wire`]/[`Frame::from_wire`]), so every in-proc
+//! call exercises the exact byte format the socket transport puts on a
+//! wire — codec regressions cannot hide behind the test default.
+//!
+//! Endpoints live per *hub*: two [`InProcTransport`] values created with
+//! [`InProcTransport::new`] are isolated worlds (tests can't collide),
+//! while [`InProcTransport::shared`] returns the process-wide hub that
+//! co-located tools (e.g. the shell and a peer started from it) share.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, OnceLock};
+
+use serena_core::sync::Mutex;
+
+use super::frame::Frame;
+use super::{split_scheme, Connection, Listener, Transport, TransportError};
+
+struct Registration {
+    id: u64,
+    inbound: Sender<InProcConnection>,
+}
+
+#[derive(Default)]
+struct Hub {
+    endpoints: Mutex<HashMap<String, Registration>>,
+    next_id: AtomicU64,
+}
+
+/// The in-memory transport (scheme `inproc:<name>`).
+#[derive(Clone, Default)]
+pub struct InProcTransport {
+    hub: Arc<Hub>,
+}
+
+impl InProcTransport {
+    /// A fresh, isolated hub.
+    pub fn new() -> Self {
+        InProcTransport::default()
+    }
+
+    /// The process-wide shared hub.
+    pub fn shared() -> Self {
+        static SHARED: OnceLock<InProcTransport> = OnceLock::new();
+        SHARED.get_or_init(InProcTransport::new).clone()
+    }
+
+    fn endpoint_name<'a>(&self, addr: &'a str) -> Result<&'a str, TransportError> {
+        match split_scheme(addr) {
+            Some(("inproc", name)) if !name.is_empty() => Ok(name),
+            _ => Err(TransportError::AddressUnsupported {
+                addr: addr.to_string(),
+                transport: "inproc",
+            }),
+        }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn name(&self) -> &'static str {
+        "inproc"
+    }
+
+    fn listen(&self, addr: &str) -> Result<Box<dyn Listener>, TransportError> {
+        let name = self.endpoint_name(addr)?.to_string();
+        let (tx, rx) = channel();
+        let id = self.hub.next_id.fetch_add(1, Ordering::Relaxed);
+        // last bind wins, mirroring a socket rebinding a freed address
+        self.hub
+            .endpoints
+            .lock()
+            .insert(name.clone(), Registration { id, inbound: tx });
+        Ok(Box::new(InProcListener {
+            hub: Arc::clone(&self.hub),
+            name,
+            id,
+            inbound: rx,
+        }))
+    }
+
+    fn connect(&self, addr: &str) -> Result<Box<dyn Connection>, TransportError> {
+        let name = self.endpoint_name(addr)?;
+        let registration = self
+            .hub
+            .endpoints
+            .lock()
+            .get(name)
+            .map(|r| r.inbound.clone())
+            .ok_or_else(|| TransportError::Io(format!("no inproc endpoint `{name}`")))?;
+        let (to_server, server_rx) = channel();
+        let (to_client, client_rx) = channel();
+        let server_end = InProcConnection {
+            tx: to_client,
+            rx: server_rx,
+            peer: format!("inproc:{name}#client"),
+        };
+        registration
+            .send(server_end)
+            .map_err(|_| TransportError::Io(format!("inproc endpoint `{name}` is gone")))?;
+        Ok(Box::new(InProcConnection {
+            tx: to_server,
+            rx: client_rx,
+            peer: addr.to_string(),
+        }))
+    }
+}
+
+struct InProcListener {
+    hub: Arc<Hub>,
+    name: String,
+    id: u64,
+    inbound: Receiver<InProcConnection>,
+}
+
+impl Listener for InProcListener {
+    fn accept(&self) -> Result<Box<dyn Connection>, TransportError> {
+        self.inbound
+            .recv()
+            .map(|c| Box::new(c) as Box<dyn Connection>)
+            .map_err(|_| TransportError::Closed)
+    }
+
+    fn local_addr(&self) -> String {
+        format!("inproc:{}", self.name)
+    }
+}
+
+impl Drop for InProcListener {
+    fn drop(&mut self) {
+        let mut endpoints = self.hub.endpoints.lock();
+        // deregister only if the name still points at *this* listener
+        // (a newer bind may have taken the name over — leave it alone)
+        if endpoints.get(&self.name).is_some_and(|r| r.id == self.id) {
+            endpoints.remove(&self.name);
+        }
+    }
+}
+
+struct InProcConnection {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    peer: String,
+}
+
+impl Connection for InProcConnection {
+    fn send(&mut self, frame: &Frame) -> Result<(), TransportError> {
+        self.tx
+            .send(frame.to_wire())
+            .map_err(|_| TransportError::Closed)
+    }
+
+    fn recv(&mut self) -> Result<Frame, TransportError> {
+        let bytes = self.rx.recv().map_err(|_| TransportError::Closed)?;
+        Frame::from_wire(&bytes)
+    }
+
+    fn peer_addr(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_connect_and_exchange_frames() {
+        let t = InProcTransport::new();
+        let listener = t.listen("inproc:node-a").unwrap();
+        assert_eq!(listener.local_addr(), "inproc:node-a");
+
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let frame = conn.recv().unwrap();
+            assert_eq!(frame, Frame::Hello { node: "b".into() });
+            conn.send(&Frame::Welcome { node: "a".into() }).unwrap();
+        });
+
+        let mut conn = t.connect("inproc:node-a").unwrap();
+        conn.send(&Frame::Hello { node: "b".into() }).unwrap();
+        assert_eq!(conn.recv().unwrap(), Frame::Welcome { node: "a".into() });
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connect_to_missing_endpoint_fails_typed() {
+        let t = InProcTransport::new();
+        assert!(matches!(
+            t.connect("inproc:ghost"),
+            Err(TransportError::Io(_))
+        ));
+        assert!(matches!(
+            t.connect("uds:/tmp/nope"),
+            Err(TransportError::AddressUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn hubs_are_isolated_but_shared_is_shared() {
+        let a = InProcTransport::new();
+        let b = InProcTransport::new();
+        let _listener = a.listen("inproc:x").unwrap();
+        assert!(b.connect("inproc:x").is_err());
+
+        let s1 = InProcTransport::shared();
+        let s2 = InProcTransport::shared();
+        let _listener = s1.listen("inproc:shared-endpoint-test").unwrap();
+        assert!(s2.connect("inproc:shared-endpoint-test").is_ok());
+    }
+
+    #[test]
+    fn peer_disconnect_surfaces_closed() {
+        let t = InProcTransport::new();
+        let listener = t.listen("inproc:closer").unwrap();
+        let mut conn = t.connect("inproc:closer").unwrap();
+        let server = listener.accept().unwrap();
+        drop(server);
+        assert_eq!(conn.recv(), Err(TransportError::Closed));
+    }
+}

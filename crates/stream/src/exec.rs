@@ -897,6 +897,9 @@ fn tick_node(node: &mut Node, ctx: &mut Ctx<'_>) -> Out {
             s.attr_u64("cache_hits", obs.cache_hits);
             s.attr_u64("failures", obs.failures);
             s.attr_u64("degraded", obs.degraded);
+            if obs.remote_unavailable > 0 {
+                s.attr_u64("remote_unavailable", obs.remote_unavailable);
+            }
         }
     }
     drop(span);
@@ -1039,6 +1042,9 @@ fn tick_node_inner(node: &mut NodeKind, ctx: &mut Ctx<'_>, obs: &mut OpObservati
                         obs.failures += 1;
                         if matches!(e, EvalError::Panicked { .. }) {
                             obs.panics += 1;
+                        }
+                        if matches!(e, EvalError::RemoteUnavailable { .. }) {
+                            obs.remote_unavailable += 1;
                         }
                         match ctx.degrade {
                             DegradePolicy::FailQuery => ctx.errors.push(e),
@@ -1266,6 +1272,9 @@ fn apply_invoke(
                         obs.failures += 1;
                         if matches!(e, EvalError::Panicked { .. }) {
                             obs.panics += 1;
+                        }
+                        if matches!(e, EvalError::RemoteUnavailable { .. }) {
+                            obs.remote_unavailable += 1;
                         }
                         match ctx.degrade {
                             DegradePolicy::FailQuery => {

@@ -50,7 +50,7 @@ fn main() {
     // bind the declared messenger services to simulated implementations
     for kind in [MessengerKind::Email, MessengerKind::Jabber] {
         let (svc, _outbox) = SimMessenger::new(kind).into_service();
-        pems.registry().register(kind.label(), svc);
+        pems.directory().register(kind.label(), svc);
     }
 
     println!("executing the Serena DDL/algebra program…\n");

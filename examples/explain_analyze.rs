@@ -24,7 +24,7 @@ fn main() {
         serena::services::devices::messenger::MessengerKind::Email,
     )
     .into_service();
-    pems.registry().register("email", svc);
+    pems.directory().register("email", svc);
 
     pems.run_program(
         "

@@ -14,12 +14,16 @@
 //! checkpoint persists per-node wall-clock self-times (`ExecStats`), which
 //! are real elapsed durations and therefore never replay identically.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use serena::core::physical::ExecOptions;
 use serena::core::snapshot::Writer;
 use serena::core::time::Instant;
 use serena::pems::envspec::{ArrivalTrace, EnvSpec, QueryTemplate, WorkloadSpec};
 use serena::pems::{Pems, SchedulerConfig};
 use serena::services::fleet::FailureProfile;
+use serena::services::transport::{InProcTransport, SocketTransport, Transport};
 use serena::stream::exec::TickReport;
 
 const TICKS: u64 = 8;
@@ -135,8 +139,14 @@ fn run_traced(
     for _ in 0..TICKS {
         obs.extend(observe(pems.tick()));
     }
+    (obs, collect_state(&pems, &names))
+}
+
+/// Canonical rendering of the final runtime state: one entry per query
+/// (its current relation, sorted), then the full service-health report.
+fn collect_state(pems: &Pems, names: &[String]) -> Vec<String> {
     let mut state = Vec::new();
-    for name in &names {
+    for name in names {
         // βˢ-rooted queries emit batches rather than maintaining a
         // relation, so `current_relation` can legitimately be absent.
         // Where present, sort: the backing Vec order follows delta
@@ -163,7 +173,63 @@ fn run_traced(
             h.window_len
         ));
     }
-    (obs, state)
+    state
+}
+
+/// [`run`] split across two nodes (ISSUE 9 acceptance): a **host** PEMS
+/// owns the generated fleet and serves its directory on `transport`,
+/// while an **edge** PEMS registers the catalog and the workload but
+/// deploys nothing — every sensor it discovers is a proxy, and every βˢ
+/// invocation relays over the wire. The two runtimes tick in lockstep
+/// (host first, so membership changes land with the same one-tick bus
+/// latency a local deployment has), and the edge's observations must be
+/// byte-identical to a single-node run — including the health report,
+/// because relayed errors re-surface structurally.
+fn run_distributed(
+    parallelism: usize,
+    transport: Arc<dyn Transport>,
+    addr: &str,
+) -> (Vec<Obs>, Vec<String>) {
+    let s = spec();
+    let mut host = Pems::builder().node_id("host").build();
+    s.install_catalog(&mut host).expect("host catalog installs");
+    s.deploy_into(&host);
+    let handle = host
+        .serve(Arc::clone(&transport), addr)
+        .expect("host serves");
+
+    let mut edge = Pems::builder()
+        .node_id("edge")
+        .exec_options(ExecOptions::parallel(parallelism))
+        .scheduler(SchedulerConfig::new(1))
+        .dedup(true)
+        .build();
+    s.install_catalog(&mut edge).expect("edge catalog installs");
+    let names = workload()
+        .register_into(&mut edge, &s)
+        .expect("workload registers");
+    let peer = edge
+        .connect_peer(Arc::clone(&transport), handle.addr())
+        .expect("edge links host");
+    assert_eq!(peer, "host");
+
+    let mut obs = Vec::new();
+    for _ in 0..TICKS {
+        host.tick();
+        obs.extend(observe(edge.tick()));
+    }
+    (obs, collect_state(&edge, &names))
+}
+
+/// A collision-free UDS path for this test binary.
+fn fresh_uds_addr() -> String {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "serena-envgen-{}-{}.sock",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    format!("uds:{}", path.display())
 }
 
 #[test]
@@ -249,6 +315,51 @@ fn flight_recorder_changes_no_query_observable() {
         armed_state, off_state,
         "an armed flight recorder changed the final runtime state"
     );
+}
+
+#[test]
+fn two_node_inproc_replay_is_byte_identical_to_local() {
+    // ISSUE 9 acceptance: splitting the environment across a host node
+    // (fleet) and an edge node (queries) linked by the in-proc transport
+    // changes *nothing* a query observes — deltas, batches, actions,
+    // error multisets, β statistics, final relations and the health
+    // report all replay byte-identically, at serial and parallel β.
+    for parallelism in [1, 8] {
+        let (local_obs, local_state) = run(parallelism);
+        let transport: Arc<dyn Transport> = Arc::new(InProcTransport::new());
+        let (dist_obs, dist_state) = run_distributed(parallelism, transport, "inproc:envgen-host");
+        assert_eq!(
+            local_obs, dist_obs,
+            "two-node in-proc run (parallelism={parallelism}) diverged from local"
+        );
+        assert_eq!(
+            local_state, dist_state,
+            "two-node in-proc final state (parallelism={parallelism}) diverged from local"
+        );
+        // the workload really crossed the wire: β invocations happened
+        assert!(dist_obs.iter().map(|o| o.invocations).sum::<u64>() > 0);
+    }
+}
+
+#[test]
+#[cfg(unix)]
+fn two_node_uds_replay_is_byte_identical_to_local() {
+    // Same property over a real socket: length-prefixed frames on a
+    // Unix-domain socket must relay β calls and directory events without
+    // perturbing a single byte of query output.
+    for parallelism in [1, 8] {
+        let (local_obs, local_state) = run(parallelism);
+        let transport: Arc<dyn Transport> = Arc::new(SocketTransport::new());
+        let (dist_obs, dist_state) = run_distributed(parallelism, transport, &fresh_uds_addr());
+        assert_eq!(
+            local_obs, dist_obs,
+            "two-node UDS run (parallelism={parallelism}) diverged from local"
+        );
+        assert_eq!(
+            local_state, dist_state,
+            "two-node UDS final state (parallelism={parallelism}) diverged from local"
+        );
+    }
 }
 
 #[test]

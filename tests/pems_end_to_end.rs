@@ -97,11 +97,11 @@ fn failing_sensor_degrades_gracefully() {
     )
     .unwrap();
     // one healthy, one permanently faulty
-    pems.registry().register(
+    pems.directory().register(
         "good",
         serena::core::service::fixtures::temperature_sensor(1),
     );
-    pems.registry().register(
+    pems.directory().register(
         "bad",
         FaultyService::new(
             serena::core::service::fixtures::temperature_sensor(2),
@@ -144,7 +144,7 @@ fn rss_scenario_against_generator_oracle() {
 fn one_shot_queries_coexist_with_continuous_ones() {
     let mut pems = Pems::builder().bus(BusConfig::instant()).build();
     let (svc, outbox) = SimMessenger::new(MessengerKind::Email).into_service();
-    pems.registry().register("email", svc);
+    pems.directory().register("email", svc);
     pems.run_program(
         "PROTOTYPE sendMessage( address STRING, text STRING ) : ( sent BOOLEAN ) ACTIVE;
          EXTENDED RELATION contacts (
@@ -191,7 +191,7 @@ fn service_replacement_changes_behaviour_not_schema() {
             move |_, _, _| Ok(vec![Tuple::new(vec![Value::Real(v)])]),
         )) as Arc<dyn serena::core::service::Service>
     };
-    pems.registry().register("s1", fixed(20.0));
+    pems.directory().register("s1", fixed(20.0));
     pems.tables_mut()
         .insert("sensors", tuple![Value::service("s1"), "lab"])
         .unwrap();
@@ -202,7 +202,7 @@ fn service_replacement_changes_behaviour_not_schema() {
         .relation
         .contains(&tuple![Value::service("s1"), "lab", 20.0]));
 
-    pems.registry().register("s1", fixed(99.0)); // hot-swap
+    pems.directory().register("s1", fixed(99.0)); // hot-swap
     let after = pems.one_shot(&plan).unwrap();
     assert!(after
         .relation

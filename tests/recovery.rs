@@ -40,7 +40,7 @@ fn recovery_pems_on(parallelism: usize, workers: Option<usize>) -> Pems {
         builder = builder.scheduler(SchedulerConfig::new(w));
     }
     let mut pems = builder.build();
-    let reg = pems.registry();
+    let reg = pems.directory();
     for (name, seed) in [
         ("sensor01", 1u64),
         ("sensor06", 6),
@@ -321,7 +321,7 @@ fn panicking_service_is_contained_through_the_full_stack() {
             .bus(BusConfig::instant())
             .exec_options(ExecOptions::parallel(8).with_degrade(degrade))
             .build();
-        let reg = pems.registry();
+        let reg = pems.directory();
         reg.register("sensor01", fixtures::temperature_sensor(1));
         reg.register("sensor06", fixtures::panicking_sensor());
         pems.run_program(

@@ -24,7 +24,7 @@ fn sensor_pems(
         .resilience(policy)
         .exec_options(ExecOptions::parallel(parallelism).with_degrade(degrade))
         .build();
-    let reg = pems.registry();
+    let reg = pems.directory();
     for (name, seed) in [
         ("sensor01", 1u64),
         ("sensor06", 6),

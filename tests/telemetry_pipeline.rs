@@ -16,7 +16,7 @@ use serena::services::health::HealthStatus;
 /// query invoking it.
 fn deploy(pems: &mut Pems) -> Arc<FaultyService> {
     use serena::core::service::fixtures;
-    let reg = pems.registry();
+    let reg = pems.directory();
     reg.register("steady", fixtures::temperature_sensor(1));
     let flaky = FaultyService::new(
         fixtures::temperature_sensor(2),
@@ -223,7 +223,7 @@ fn hostile_service_names_render_escaped_and_round_trip() {
 
     let hostile = "sensor \"A\"\\roof\n{office},le=\"+Inf\" \r v2";
     let mut pems = Pems::builder().bus(BusConfig::instant()).build();
-    pems.registry()
+    pems.directory()
         .register(hostile, fixtures::temperature_sensor(3));
     pems.run_program(
         "PROTOTYPE getTemperature( ) : ( temperature REAL );
