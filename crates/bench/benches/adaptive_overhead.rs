@@ -1,0 +1,242 @@
+//! Adaptive re-optimization: what the armed-but-idle control loop costs,
+//! and what a triggered replan buys (E20).
+//!
+//! Two questions, one binary:
+//!
+//! 1. **Overhead** — the same healthy workload ticked through a plain
+//!    runtime vs one with `PemsBuilder::adaptive` armed. No trigger ever
+//!    fires, so the difference is the pure per-tick price of the control
+//!    loop (breaker-edge scan + health scan). Gated in CI below 5%.
+//! 2. **Payoff (E20)** — the naive corridor-watch query under a sensor
+//!    outage: the static runtime keeps sampling all four sensors, the
+//!    adaptive one replans onto the pushed-down shape after the breakers
+//!    trip and performs strictly fewer live invocations.
+//!
+//! ```sh
+//! cargo bench -p serena-bench --bench adaptive_overhead
+//! ```
+//!
+//! Writes `BENCH_adaptive.json` (override with `SERENA_BENCH_OUT`). When
+//! `SERENA_BENCH_ASSERT_OVERHEAD_PCT` is set (CI smoke), the process exits
+//! nonzero if the armed-but-idle overhead exceeds that bound.
+
+use serena_bench::criterion_group;
+use serena_bench::harness::{take_records, BenchRecord, BenchmarkId, Criterion, Throughput};
+
+use serena_core::prelude::{DegradePolicy, ExecOptions, Formula, Instant};
+use serena_core::service::fixtures;
+use serena_pems::{Pems, ReplanPolicy};
+use serena_services::bus::BusConfig;
+use serena_services::faults::{FaultPolicy, FaultyService};
+use serena_services::resilience::ResiliencePolicy;
+use serena_stream::plan::StreamPlan;
+
+const SENSOR_DDL: &str = "
+    PROTOTYPE getTemperature( ) : ( temperature REAL );
+    EXTENDED RELATION sensors (
+      sensor SERVICE, location STRING, temperature REAL VIRTUAL
+    ) USING BINDING PATTERNS ( getTemperature[sensor] );
+    INSERT INTO sensors VALUES
+      ('sensor01', 'corridor'), ('sensor06', 'office'),
+      ('sensor07', 'roof'), ('sensor22', 'kitchen');
+";
+
+/// E20's query in its naive shape: sample every sensor, then filter.
+fn naive_plan() -> StreamPlan {
+    StreamPlan::source("sensors")
+        .sample_invoke("getTemperature", "sensor", 1)
+        .window(1)
+        .select(Formula::eq_const("location", "corridor"))
+}
+
+fn build_pems(adaptive: bool, outage: Option<(u64, u64)>) -> Pems {
+    let mut builder = Pems::builder()
+        .bus(BusConfig::instant())
+        .resilience(ResiliencePolicy::disabled().with_breaker(3, 8))
+        .exec_options(ExecOptions::default().with_degrade(DegradePolicy::DropTuple));
+    if adaptive {
+        builder = builder.adaptive(ReplanPolicy::default());
+    }
+    let mut pems = builder.build();
+    let reg = pems.directory();
+    for (name, seed) in [
+        ("sensor01", 1u64),
+        ("sensor06", 6),
+        ("sensor07", 7),
+        ("sensor22", 22),
+    ] {
+        let svc = fixtures::temperature_sensor(seed);
+        match outage {
+            Some((from, to)) => reg.register(
+                name,
+                FaultyService::new(
+                    svc,
+                    FaultPolicy::Outage {
+                        from: Instant(from),
+                        to: Instant(to),
+                    },
+                ),
+            ),
+            None => reg.register(name, svc),
+        }
+    }
+    pems.run_program(SENSOR_DDL).expect("sensor DDL");
+    pems.register_query("watch", &naive_plan()).expect("watch");
+    pems
+}
+
+/// Per-tick cost of the armed-but-idle control loop vs a plain runtime.
+fn bench_adaptive_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_overhead");
+    group.throughput(Throughput::Elements(4));
+
+    let mut plain = build_pems(false, None);
+    group.bench_with_input(BenchmarkId::new("tick", "plain"), &(), |b, ()| {
+        b.iter(|| plain.tick())
+    });
+
+    let mut armed = build_pems(true, None);
+    group.bench_with_input(BenchmarkId::new("tick", "armed"), &(), |b, ()| {
+        b.iter(|| armed.tick())
+    });
+    assert!(
+        armed.replan_history().is_empty(),
+        "a healthy run must never trigger a replan"
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive_overhead);
+
+fn find<'a>(records: &'a [BenchRecord], label: &str) -> &'a BenchRecord {
+    records
+        .iter()
+        .find(|r| r.label == label)
+        .unwrap_or_else(|| panic!("missing record {label}"))
+}
+
+/// The headline overhead number. Sequential A-then-B benchmarking is biased
+/// by clock/allocator drift, so this interleaves short batches of both
+/// variants and takes the median of paired per-round ratios.
+fn interleaved_overhead_pct() -> (f64, f64, f64) {
+    const ROUNDS: usize = 80;
+    const TICKS: usize = 10;
+    let mut plain = build_pems(false, None);
+    let mut armed = build_pems(true, None);
+    for _ in 0..TICKS * 4 {
+        plain.tick();
+        armed.tick();
+    }
+    let mut ratios = Vec::with_capacity(ROUNDS);
+    let mut plain_rounds = Vec::with_capacity(ROUNDS);
+    let mut armed_rounds = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        let start = std::time::Instant::now();
+        for _ in 0..TICKS {
+            plain.tick();
+        }
+        let plain_ns = start.elapsed().as_nanos() as f64;
+        let start = std::time::Instant::now();
+        for _ in 0..TICKS {
+            armed.tick();
+        }
+        let armed_ns = start.elapsed().as_nanos() as f64;
+        ratios.push(armed_ns / plain_ns);
+        plain_rounds.push(plain_ns / TICKS as f64);
+        armed_rounds.push(armed_ns / TICKS as f64);
+    }
+    assert!(
+        armed.replan_history().is_empty(),
+        "idle loop must stay idle"
+    );
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    (
+        (median(&mut ratios) - 1.0) * 100.0,
+        median(&mut plain_rounds),
+        median(&mut armed_rounds),
+    )
+}
+
+/// E20 end to end: replans observed, live invocations static vs adaptive.
+fn e20_payoff() -> (usize, u64, u64) {
+    const TICKS: usize = 60;
+    let run = |adaptive: bool| {
+        let mut pems = build_pems(adaptive, Some((5, 40)));
+        for _ in 0..TICKS {
+            pems.tick();
+        }
+        let invocations = pems
+            .processor()
+            .stats("watch")
+            .expect("registered")
+            .invocations;
+        (pems.replan_history().len(), invocations)
+    };
+    let (static_replans, static_invocations) = run(false);
+    assert_eq!(static_replans, 0);
+    let (replans, adaptive_invocations) = run(true);
+    assert!(replans >= 1, "the outage must trigger a replan");
+    assert!(
+        adaptive_invocations < static_invocations,
+        "adaptive ({adaptive_invocations}) must invoke less than static ({static_invocations})"
+    );
+    (replans, static_invocations, adaptive_invocations)
+}
+
+fn main() {
+    benches();
+    let records = take_records();
+
+    let plain = find(&records, "adaptive_overhead/tick/plain");
+    let armed = find(&records, "adaptive_overhead/tick/armed");
+    let sequential_pct =
+        (armed.mean_ns as f64 - plain.mean_ns as f64) / plain.mean_ns.max(1) as f64 * 100.0;
+    let (overhead_pct, plain_ns, armed_ns) = interleaved_overhead_pct();
+    println!(
+        "adaptive control loop overhead vs plain runtime (no replan): {overhead_pct:.2}% \
+         interleaved ({plain_ns:.0} ns → {armed_ns:.0} ns/tick; sequential: {sequential_pct:.2}%)"
+    );
+
+    let (replans, static_invocations, adaptive_invocations) = e20_payoff();
+    let saved_pct =
+        (static_invocations - adaptive_invocations) as f64 / static_invocations as f64 * 100.0;
+    println!(
+        "E20 under a sensor outage: {replans} replan(s); live invocations \
+         {static_invocations} static → {adaptive_invocations} adaptive (−{saved_pct:.1}%)"
+    );
+
+    let mut json = String::from("{\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 < records.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"mean_ns\": {}, \"best_ns\": {}}}{sep}\n",
+            r.label, r.mean_ns, r.best_ns
+        ));
+    }
+    json.push_str("  ]");
+    json.push_str(&format!(",\n  \"overhead_pct\": {overhead_pct:.3}"));
+    json.push_str(&format!(
+        ",\n  \"plain_ns_per_tick\": {plain_ns:.0},\n  \"armed_ns_per_tick\": {armed_ns:.0}"
+    ));
+    json.push_str(&format!(
+        ",\n  \"e20\": {{\"replans\": {replans}, \"static_invocations\": {static_invocations}, \
+         \"adaptive_invocations\": {adaptive_invocations}, \"saved_pct\": {saved_pct:.1}}}\n}}\n"
+    ));
+
+    let path =
+        std::env::var("SERENA_BENCH_OUT").unwrap_or_else(|_| "BENCH_adaptive.json".to_string());
+    std::fs::write(&path, json).expect("write bench results");
+    println!("wrote {path}");
+
+    if let Ok(bound) = std::env::var("SERENA_BENCH_ASSERT_OVERHEAD_PCT") {
+        let bound: f64 = bound.parse().expect("numeric overhead bound");
+        if overhead_pct > bound {
+            eprintln!("adaptive overhead {overhead_pct:.2}% exceeds bound {bound}%");
+            std::process::exit(1);
+        }
+        println!("overhead within {bound}% bound");
+    }
+}

@@ -13,7 +13,7 @@ use crate::error::PlanError;
 use crate::plan::{Plan, SchemaCatalog};
 
 /// Tunable cost parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostParams {
     /// Default selectivity of a selection predicate.
     pub selectivity: f64,
@@ -52,6 +52,49 @@ pub struct CostEstimate {
     pub cost: f64,
 }
 
+/// The per-operator inputs an estimate walk consumes. The static model
+/// ([`CostParams`] + a cardinality map) and the telemetry-fed model
+/// ([`MeasuredCosts`]) both speak this vocabulary; the walk itself is
+/// shared.
+pub trait CostInputs {
+    /// Structural parameters (selectivities, join factor, defaults).
+    fn params(&self) -> &CostParams;
+
+    /// Cardinality of the named base relation, if known.
+    fn cardinality(&self, name: &str) -> Option<f64>;
+
+    /// Cost charged per invocation of `prototype` (relative to 1.0 per
+    /// processed tuple).
+    fn invocation_cost(&self, prototype: &str) -> f64;
+
+    /// Expected output tuples per invocation of `prototype`.
+    fn invocation_fanout(&self, prototype: &str) -> f64;
+}
+
+/// Adapter giving the classic static model the [`CostInputs`] vocabulary.
+struct StaticInputs<'a> {
+    params: &'a CostParams,
+    cardinalities: &'a BTreeMap<String, usize>,
+}
+
+impl CostInputs for StaticInputs<'_> {
+    fn params(&self) -> &CostParams {
+        self.params
+    }
+
+    fn cardinality(&self, name: &str) -> Option<f64> {
+        self.cardinalities.get(name).map(|&n| n as f64)
+    }
+
+    fn invocation_cost(&self, _prototype: &str) -> f64 {
+        self.params.invocation_cost
+    }
+
+    fn invocation_fanout(&self, _prototype: &str) -> f64 {
+        self.params.invocation_fanout
+    }
+}
+
 /// Estimate `plan`'s cost given base-relation cardinalities.
 pub fn estimate(
     plan: &Plan,
@@ -59,13 +102,30 @@ pub fn estimate(
     cardinalities: &BTreeMap<String, usize>,
     params: &CostParams,
 ) -> Result<CostEstimate, PlanError> {
+    estimate_with(
+        plan,
+        catalog,
+        &StaticInputs {
+            params,
+            cardinalities,
+        },
+    )
+}
+
+/// Estimate `plan`'s cost against an arbitrary [`CostInputs`] provider —
+/// the entry point used by [`MeasuredCosts::estimate`].
+pub fn estimate_with(
+    plan: &Plan,
+    catalog: &dyn SchemaCatalog,
+    inputs: &dyn CostInputs,
+) -> Result<CostEstimate, PlanError> {
+    let params = *inputs.params();
     match plan {
         Plan::Relation(name) => {
             // validate existence
             plan.schema(catalog)?;
-            let rows = cardinalities
-                .get(name)
-                .map(|&n| n as f64)
+            let rows = inputs
+                .cardinality(name)
                 .unwrap_or(params.default_cardinality);
             Ok(CostEstimate {
                 rows,
@@ -75,30 +135,30 @@ pub fn estimate(
         }
         Plan::Union(a, b) => {
             let (ea, eb) = (
-                estimate(a, catalog, cardinalities, params)?,
-                estimate(b, catalog, cardinalities, params)?,
+                estimate_with(a, catalog, inputs)?,
+                estimate_with(b, catalog, inputs)?,
             );
             let rows = ea.rows + eb.rows;
             Ok(combine2(ea, eb, rows))
         }
         Plan::Intersect(a, b) => {
             let (ea, eb) = (
-                estimate(a, catalog, cardinalities, params)?,
-                estimate(b, catalog, cardinalities, params)?,
+                estimate_with(a, catalog, inputs)?,
+                estimate_with(b, catalog, inputs)?,
             );
             let rows = ea.rows.min(eb.rows) * params.selectivity;
             Ok(combine2(ea, eb, rows))
         }
         Plan::Difference(a, b) => {
             let (ea, eb) = (
-                estimate(a, catalog, cardinalities, params)?,
-                estimate(b, catalog, cardinalities, params)?,
+                estimate_with(a, catalog, inputs)?,
+                estimate_with(b, catalog, inputs)?,
             );
             let rows = ea.rows * params.selectivity;
             Ok(combine2(ea, eb, rows))
         }
         Plan::Project(p, _) | Plan::Rename(p, _, _) | Plan::Assign(p, _, _) => {
-            let e = estimate(p, catalog, cardinalities, params)?;
+            let e = estimate_with(p, catalog, inputs)?;
             Ok(CostEstimate {
                 rows: e.rows,
                 invocations: e.invocations,
@@ -106,7 +166,7 @@ pub fn estimate(
             })
         }
         Plan::Select(p, _) => {
-            let e = estimate(p, catalog, cardinalities, params)?;
+            let e = estimate_with(p, catalog, inputs)?;
             let rows = e.rows * params.selectivity;
             Ok(CostEstimate {
                 rows,
@@ -116,8 +176,8 @@ pub fn estimate(
         }
         Plan::Join(a, b) => {
             let (ea, eb) = (
-                estimate(a, catalog, cardinalities, params)?,
-                estimate(b, catalog, cardinalities, params)?,
+                estimate_with(a, catalog, inputs)?,
+                estimate_with(b, catalog, inputs)?,
             );
             // does the join have a predicate? (common both-real attributes)
             let sa = a.schema(catalog)?;
@@ -133,19 +193,19 @@ pub fn estimate(
             };
             Ok(combine2(ea, eb, rows))
         }
-        Plan::Invoke(p, _, _) => {
-            let e = estimate(p, catalog, cardinalities, params)?;
+        Plan::Invoke(p, proto, _) => {
+            let e = estimate_with(p, catalog, inputs)?;
             // one invocation per input tuple
             let invocations = e.invocations + e.rows;
-            let rows = e.rows * params.invocation_fanout;
+            let rows = e.rows * inputs.invocation_fanout(proto);
             Ok(CostEstimate {
                 rows,
                 invocations,
-                cost: e.cost + e.rows * params.invocation_cost,
+                cost: e.cost + e.rows * inputs.invocation_cost(proto),
             })
         }
         Plan::Aggregate(p, group, _) => {
-            let e = estimate(p, catalog, cardinalities, params)?;
+            let e = estimate_with(p, catalog, inputs)?;
             let rows = if group.is_empty() {
                 1.0
             } else {
@@ -157,6 +217,164 @@ pub fn estimate(
                 cost: e.cost + e.rows,
             })
         }
+    }
+}
+
+/// Per-prototype measured state, assembled from the telemetry subsystem:
+/// latency quantiles from the instrumented invoker's histograms, failure
+/// rate and breaker state from the health tracker / resilience layer,
+/// β-cache hit rate from the metrics registry, and observed fanout from
+/// executor statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceObservation {
+    /// Median invocation latency (nanoseconds), if measured.
+    pub p50_latency_ns: Option<u64>,
+    /// Tail invocation latency (nanoseconds), if measured.
+    pub p99_latency_ns: Option<u64>,
+    /// Fraction of recent invocations that failed, in `[0, 1]`.
+    pub failure_rate: f64,
+    /// Whether any circuit breaker guarding the prototype's services is
+    /// currently open or half-open.
+    pub breaker_open: bool,
+    /// Fraction of β lookups served from cache, in `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// Observed output tuples per invocation, if measured.
+    pub fanout: Option<f64>,
+}
+
+/// Telemetry-fed cost provider (optimizer v2, ROADMAP item 4): ranks plans
+/// by *measured* invocation cost instead of the flat
+/// [`CostParams::invocation_cost`] guess.
+///
+/// The per-prototype invocation charge starts from the static baseline and
+/// is then
+/// - scaled by the measured p50 latency relative to a reference latency
+///   (skipped in [deterministic](MeasuredCosts::deterministic) mode —
+///   wall-clock inputs would make replans diverge between replays),
+/// - inflated by the failure rate (failed calls are retried and their work
+///   wasted), and by a large penalty while a breaker is open (calls are
+///   rejected or degraded outright),
+/// - discounted by the β-cache hit rate (a cached invocation costs no
+///   service round-trip).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredCosts {
+    base: CostParams,
+    /// Latency that corresponds to the baseline `invocation_cost` charge.
+    reference_latency_ns: u64,
+    /// Multiplier applied on top of a fully-failing service's cost.
+    failure_penalty: f64,
+    /// Multiplier applied while the service's breaker is open.
+    breaker_penalty: f64,
+    deterministic: bool,
+    observations: BTreeMap<String, ServiceObservation>,
+    cardinalities: BTreeMap<String, usize>,
+}
+
+impl Default for MeasuredCosts {
+    fn default() -> Self {
+        MeasuredCosts {
+            base: CostParams::default(),
+            reference_latency_ns: 1_000_000, // 1 ms ≙ the 1000.0 baseline
+            failure_penalty: 4.0,
+            breaker_penalty: 50.0,
+            deterministic: false,
+            observations: BTreeMap::new(),
+            cardinalities: BTreeMap::new(),
+        }
+    }
+}
+
+impl MeasuredCosts {
+    /// A provider with default structural parameters and no observations
+    /// (behaves exactly like the static model until fed).
+    pub fn new() -> Self {
+        MeasuredCosts::default()
+    }
+
+    /// Replace the structural baseline parameters.
+    pub fn with_params(mut self, params: CostParams) -> Self {
+        self.base = params;
+        self
+    }
+
+    /// Restrict the model to replay-stable inputs: latency histograms are
+    /// ignored, leaving only logically-timed signals (failure rates,
+    /// breaker states, cache hit rates, observed cardinalities). Two runs
+    /// with the same fault schedule then rank candidates identically.
+    pub fn deterministic(mut self, on: bool) -> Self {
+        self.deterministic = on;
+        self
+    }
+
+    /// Whether the model is restricted to replay-stable inputs.
+    pub fn is_deterministic(&self) -> bool {
+        self.deterministic
+    }
+
+    /// Record (or replace) the measured state of `prototype`.
+    pub fn observe(&mut self, prototype: impl Into<String>, obs: ServiceObservation) {
+        self.observations.insert(prototype.into(), obs);
+    }
+
+    /// Record the observed cardinality of base relation `name`.
+    pub fn observe_cardinality(&mut self, name: impl Into<String>, rows: usize) {
+        self.cardinalities.insert(name.into(), rows);
+    }
+
+    /// The measured state of `prototype`, if any was recorded.
+    pub fn observation(&self, prototype: &str) -> Option<&ServiceObservation> {
+        self.observations.get(prototype)
+    }
+
+    /// All recorded observations, keyed by prototype name.
+    pub fn observations(&self) -> impl Iterator<Item = (&str, &ServiceObservation)> {
+        self.observations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Estimate `plan` under this model.
+    pub fn estimate(
+        &self,
+        plan: &Plan,
+        catalog: &dyn SchemaCatalog,
+    ) -> Result<CostEstimate, PlanError> {
+        estimate_with(plan, catalog, self)
+    }
+}
+
+impl CostInputs for MeasuredCosts {
+    fn params(&self) -> &CostParams {
+        &self.base
+    }
+
+    fn cardinality(&self, name: &str) -> Option<f64> {
+        self.cardinalities.get(name).map(|&n| n as f64)
+    }
+
+    fn invocation_cost(&self, prototype: &str) -> f64 {
+        let Some(obs) = self.observations.get(prototype) else {
+            return self.base.invocation_cost;
+        };
+        let mut cost = self.base.invocation_cost;
+        if !self.deterministic {
+            if let Some(p50) = obs.p50_latency_ns {
+                let scale = p50 as f64 / self.reference_latency_ns as f64;
+                cost *= scale.clamp(0.1, 100.0);
+            }
+        }
+        cost *= 1.0 + obs.failure_rate.clamp(0.0, 1.0) * self.failure_penalty;
+        if obs.breaker_open {
+            cost *= self.breaker_penalty;
+        }
+        // a cache hit skips the service round-trip entirely; keep a floor
+        // so invocations never become free
+        cost * (1.0 - obs.cache_hit_rate.clamp(0.0, 0.95))
+    }
+
+    fn invocation_fanout(&self, prototype: &str) -> f64 {
+        self.observations
+            .get(prototype)
+            .and_then(|o| o.fanout)
+            .unwrap_or(self.base.invocation_fanout)
     }
 }
 
@@ -217,6 +435,109 @@ mod tests {
         let params = CostParams::default();
         let e = estimate(&Plan::relation("cameras"), &env, &BTreeMap::new(), &params).unwrap();
         assert_eq!(e.rows, params.default_cardinality);
+    }
+
+    #[test]
+    fn measured_costs_match_static_until_fed() {
+        let env = example_environment();
+        let params = CostParams::default();
+        let mut m = MeasuredCosts::new();
+        for (name, n) in cards() {
+            m.observe_cardinality(name, n);
+        }
+        let p = Plan::relation("cameras").invoke("checkPhoto", "camera");
+        let e_static = estimate(&p, &env, &cards(), &params).unwrap();
+        let e_measured = m.estimate(&p, &env).unwrap();
+        assert_eq!(e_static, e_measured);
+    }
+
+    #[test]
+    fn degraded_service_inflates_invocation_cost() {
+        let env = example_environment();
+        let mut m = MeasuredCosts::new();
+        let p = Plan::relation("cameras").invoke("checkPhoto", "camera");
+        let healthy = m.estimate(&p, &env).unwrap();
+        m.observe(
+            "checkPhoto",
+            ServiceObservation {
+                failure_rate: 0.5,
+                ..ServiceObservation::default()
+            },
+        );
+        let failing = m.estimate(&p, &env).unwrap();
+        assert!(failing.cost > healthy.cost * 2.0);
+        m.observe(
+            "checkPhoto",
+            ServiceObservation {
+                breaker_open: true,
+                ..ServiceObservation::default()
+            },
+        );
+        let broken = m.estimate(&p, &env).unwrap();
+        assert!(broken.cost > failing.cost * 5.0);
+    }
+
+    #[test]
+    fn cache_hits_discount_invocation_cost() {
+        let env = example_environment();
+        let mut m = MeasuredCosts::new();
+        let p = Plan::relation("cameras").invoke("checkPhoto", "camera");
+        let cold = m.estimate(&p, &env).unwrap();
+        m.observe(
+            "checkPhoto",
+            ServiceObservation {
+                cache_hit_rate: 0.9,
+                ..ServiceObservation::default()
+            },
+        );
+        let warm = m.estimate(&p, &env).unwrap();
+        assert!(warm.cost < cold.cost);
+    }
+
+    #[test]
+    fn deterministic_mode_ignores_latency() {
+        let env = example_environment();
+        let p = Plan::relation("cameras").invoke("checkPhoto", "camera");
+        let slow = ServiceObservation {
+            p50_latency_ns: Some(50_000_000), // 50 ms vs 1 ms reference
+            ..ServiceObservation::default()
+        };
+        let mut live = MeasuredCosts::new();
+        live.observe("checkPhoto", slow.clone());
+        let mut det = MeasuredCosts::new().deterministic(true);
+        det.observe("checkPhoto", slow);
+        let baseline = MeasuredCosts::new().estimate(&p, &env).unwrap();
+        assert!(live.estimate(&p, &env).unwrap().cost > baseline.cost * 10.0);
+        assert_eq!(det.estimate(&p, &env).unwrap(), baseline);
+    }
+
+    #[test]
+    fn measured_costs_widen_the_pushdown_gap_under_degradation() {
+        // Table 5's σ-pushdown (Q2 vs Q2') is worth strictly more when the
+        // invoked service is degraded: the optimizer should prefer the
+        // rewritten plan even harder once the breaker penalty kicks in.
+        let env = example_environment();
+        let mut healthy = MeasuredCosts::new();
+        let mut degraded = MeasuredCosts::new();
+        for m in [&mut healthy, &mut degraded] {
+            for (name, n) in cards() {
+                m.observe_cardinality(name, n);
+            }
+        }
+        degraded.observe(
+            "checkPhoto",
+            ServiceObservation {
+                failure_rate: 0.8,
+                breaker_open: true,
+                ..ServiceObservation::default()
+            },
+        );
+        let gap = |m: &MeasuredCosts| {
+            let opt = m.estimate(&q2(), &env).unwrap().cost;
+            let naive = m.estimate(&q2_prime(), &env).unwrap().cost;
+            naive - opt
+        };
+        assert!(gap(&degraded) > gap(&healthy));
     }
 
     #[test]

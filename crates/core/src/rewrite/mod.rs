@@ -13,13 +13,18 @@
 //!   moved: "active binding patterns limit the possibility of rewriting";
 //! * [`cost`] — a simple cardinality/invocation cost model (the paper
 //!   defers cost models to future work; this extension makes the optimizer
-//!   benchmarks quantitative).
+//!   benchmarks quantitative), plus the telemetry-fed [`MeasuredCosts`]
+//!   provider that ranks plans by *measured* per-service invocation cost
+//!   (optimizer v2).
 
 pub mod cost;
 pub mod optimizer;
 pub mod rules;
 
-pub use cost::{estimate, CostEstimate, CostParams};
+pub use cost::{
+    estimate, estimate_with, CostEstimate, CostInputs, CostParams, MeasuredCosts,
+    ServiceObservation,
+};
 pub use optimizer::{optimize, OptimizerReport};
 pub use rules::{all_rules, apply_everywhere, RewriteRule};
 

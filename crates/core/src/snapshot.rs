@@ -25,8 +25,9 @@ use crate::value::{Bytes, ServiceRef, Value};
 pub const MAGIC: [u8; 8] = *b"SERENSNP";
 
 /// Current snapshot format version. Bumped on any incompatible change;
-/// [`read_header`] refuses other versions.
-pub const VERSION: u32 = 1;
+/// [`read_header`] refuses other versions. v2: window nodes carry the
+/// hot-swap bootstrap (`warm`) flag; v1 snapshots are not readable.
+pub const VERSION: u32 = 2;
 
 /// Errors raised while encoding or (mostly) decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -64,6 +64,18 @@ pub enum TraceEvent {
         /// Human-readable failure message.
         message: String,
     },
+    /// A circuit breaker changed state (closed → open → half-open →
+    /// closed edges, resilience layer).
+    BreakerTransition {
+        /// The guarded service's reference.
+        service: String,
+        /// Logical instant τ of the transition.
+        at: Instant,
+        /// State left ("closed", "open", "half_open").
+        from: String,
+        /// State entered ("closed", "open", "half_open").
+        to: String,
+    },
 }
 
 impl TraceEvent {
@@ -75,6 +87,7 @@ impl TraceEvent {
             TraceEvent::TickEnd { .. } => "tick_end",
             TraceEvent::Invocation { .. } => "invocation",
             TraceEvent::Failure { .. } => "failure",
+            TraceEvent::BreakerTransition { .. } => "breaker_transition",
         }
     }
 }
@@ -200,6 +213,17 @@ impl<W: Write + Send> TraceSink for JsonlTrace<W> {
                 json_field_str(&mut line, "scope", scope);
                 json_field_u64(&mut line, "at", at.0);
                 json_field_str(&mut line, "message", message);
+            }
+            TraceEvent::BreakerTransition {
+                service,
+                at,
+                from,
+                to,
+            } => {
+                json_field_str(&mut line, "service", service);
+                json_field_u64(&mut line, "at", at.0);
+                json_field_str(&mut line, "from", from);
+                json_field_str(&mut line, "to", to);
             }
         }
         line.push('}');

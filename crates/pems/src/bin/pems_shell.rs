@@ -20,6 +20,11 @@
 //!   * `.trace <file>` — export the retained spans as a Chrome/Perfetto
 //!     `trace.json` (`SERENA_TRACE=0` disarms the recorder,
 //!     `SERENA_TRACE_CAPACITY` bounds it);
+//!   * `.plan <query>` — the optimizer's candidate plans with measured
+//!     costs, the running one marked (needs `SERENA_ADAPTIVE=1`);
+//!   * `.replan <query>` — force a re-optimization pass for one query
+//!     right now, swapping to the cheapest candidate if it isn't already
+//!     running;
 //!   * `.demo` — load the paper's running example (Tables 1–2, Example 4's
 //!     tuples, simulated services);
 //!   * `.checkpoint <dir>` — write a snapshot of the dynamic state;
@@ -151,6 +156,7 @@ fn dot_command(cmd: &str, pems: &mut Pems, nodes: &mut Vec<NodeHandle>) -> bool 
             println!(
                 ".tick [n] | .tables | .show <rel> | .queries | .result <query>\n\
                  .metrics | .health | .top | .profile <query> | .trace <file>\n\
+                 .plan <query> | .replan <query>\n\
                  .checkpoint <dir> | .restore <dir> | .demo | .quit\n\
                  .serve <addr> | .connect <addr> | .replicate <addr> | .peers\n\
                  (backslash aliases work: \\metrics)\n\
@@ -259,6 +265,21 @@ fn dot_command(cmd: &str, pems: &mut Pems, nodes: &mut Vec<NodeHandle>) -> bool 
         ".profile" => match parts.next() {
             Some(query) => print!("{}", pems.profile(query)),
             None => println!("usage: .profile <query>"),
+        },
+        ".plan" => match parts.next() {
+            Some(query) => match pems.plan_report(query) {
+                Ok(report) => print!("{report}"),
+                Err(e) => println!("error: {e}"),
+            },
+            None => println!("usage: .plan <query>"),
+        },
+        ".replan" => match parts.next() {
+            Some(query) => match pems.force_replan(query) {
+                Ok(true) => println!("replanned `{query}` — .plan {query} shows the new shape"),
+                Ok(false) => println!("`{query}` already runs the cheapest candidate"),
+                Err(e) => println!("error: {e}"),
+            },
+            None => println!("usage: .replan <query>"),
         },
         ".trace" => match parts.next() {
             Some(path) => match pems.export_trace(path) {

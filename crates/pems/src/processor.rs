@@ -206,6 +206,41 @@ impl QueryProcessor {
         Ok(())
     }
 
+    /// Replace a registered query's plan at a tick boundary, carrying
+    /// portable operator state across (adaptive re-optimization's hot
+    /// swap). The replacement compiles against `sources` with the *same*
+    /// execution options as the outgoing query, joins the global cadence
+    /// at the current clock, and adopts window rings / β caches according
+    /// to `migration` (pairs from [`serena_stream::migration_pairs`]).
+    ///
+    /// Aggregated [`QueryStats`] and telemetry series survive the swap —
+    /// the query is still the same query to observers — but the rolling
+    /// per-node [`ExecStats`] reset: node ids are positions in the plan,
+    /// and the new plan's positions mean different operators.
+    ///
+    /// Errors with [`PlanError::UnknownRelation`] when `name` is not
+    /// registered, or propagates the compile error for a bad plan (the
+    /// running query is untouched in both cases).
+    pub fn swap_query(
+        &mut self,
+        name: &str,
+        plan: &StreamPlan,
+        sources: &mut SourceSet,
+        migration: &serena_stream::MigrationMap,
+    ) -> Result<(), PlanError> {
+        let reg = self
+            .queries
+            .get_mut(name)
+            .ok_or_else(|| PlanError::UnknownRelation(format!("query `{name}` not registered")))?;
+        let mut query = ContinuousQuery::compile_with_options(plan, sources, reg.query.options())?;
+        query.seek(self.clock);
+        query.set_tracer(self.tracer.clone());
+        query.adopt_state_from(&reg.query, &migration.windows, &migration.invokes);
+        reg.query = query;
+        reg.exec = ExecStats::new();
+        Ok(())
+    }
+
     /// Attach continuous-query telemetry: per-query tick-duration,
     /// freshness-lag and cache-miss-batch histograms plus tick/tuple/error
     /// counters in `registry` (labelled `query=<name>`), and span-style
@@ -954,6 +989,47 @@ mod tests {
         // steals are timing-dependent: assert the counter is publishable,
         // not a specific value
         let _ = registry.counter_value("serena_sched_steals_total", &[]);
+    }
+
+    #[test]
+    fn swap_query_carries_window_state_and_keeps_stats() {
+        use serena_stream::{migration_pairs, state_keys};
+        let mut qp = QueryProcessor::new();
+        let (table, mut s1) = int_table();
+        let old_plan = StreamPlan::source("t")
+            .stream(serena_stream::StreamKind::Heartbeat)
+            .window(3)
+            .select(Formula::gt_const("x", 10));
+        qp.register("w", &old_plan, &mut s1).unwrap();
+        let reg = example_registry();
+        table.insert(tuple![20]);
+        qp.tick_all_with(&reg, &NoopMetrics);
+        qp.tick_all_with(&reg, &NoopMetrics);
+        let ticks_before = qp.stats("w").unwrap().ticks;
+
+        // the σ-pushed equivalent: same window subtree, so the ring ports
+        let new_plan = StreamPlan::source("t")
+            .stream(serena_stream::StreamKind::Heartbeat)
+            .window(3)
+            .select(Formula::gt_const("x", 10));
+        let mut s2 = SourceSet::new();
+        s2.add_table("t", table.clone());
+        let migration = migration_pairs(&state_keys(&old_plan, &s2), &state_keys(&new_plan, &s2));
+        assert_eq!(migration.windows, vec![(0, 0)]);
+        qp.swap_query("w", &new_plan, &mut s2, &migration).unwrap();
+
+        // the adopted ring bootstraps: full current re-emitted, then the
+        // query keeps rolling at the global cadence
+        let r = qp.tick_all_with(&reg, &NoopMetrics);
+        assert_eq!(r[0].1.at, Instant(2));
+        assert!(!r[0].1.delta.inserts.is_empty());
+        assert_eq!(qp.stats("w").unwrap().ticks, ticks_before + 1);
+        assert_eq!(qp.clock(), Instant(3));
+
+        // unknown names are a typed error
+        assert!(qp
+            .swap_query("missing", &new_plan, &mut SourceSet::new(), &migration)
+            .is_err());
     }
 
     #[test]

@@ -33,7 +33,8 @@ use serena_core::xrelation::XRelation;
 /// announcement carries alongside the reference (location, coverage, …).
 ///
 /// Kept for the legacy split-surface API; the unified
-/// [`ServiceDirectory`] trait carries metadata itself
+/// [`ServiceDirectory`](crate::directory::ServiceDirectory) trait
+/// carries metadata itself
 /// (`set_metadata`/`metadata`/`metadata_of`), so new code never touches
 /// this type directly.
 #[derive(Default)]
@@ -66,17 +67,6 @@ impl MetadataStore {
         self.metadata.write().remove(reference);
     }
 }
-
-/// The old name of [`MetadataStore`], kept so existing code keeps
-/// compiling through one release cycle. Not to be confused with the
-/// unified [`crate::directory::ServiceDirectory`] *trait*, which is
-/// where all new code should live.
-#[deprecated(
-    since = "0.9.0",
-    note = "renamed to `MetadataStore`; the unified directory surface is the \
-            `serena_services::ServiceDirectory` trait"
-)]
-pub type ServiceDirectory = MetadataStore;
 
 /// A continuously-refreshable discovery relation.
 pub struct DiscoveryQuery {
@@ -123,16 +113,6 @@ impl DiscoveryQuery {
         })
     }
 
-    /// Materialize from the legacy split surfaces (separate invoker +
-    /// metadata store).
-    #[deprecated(
-        since = "0.9.0",
-        note = "use `refresh_in` with the unified `ServiceDirectory` trait"
-    )]
-    pub fn refresh(&self, invoker: &dyn Invoker, directory: &MetadataStore) -> XRelation {
-        self.materialize(invoker, &|reference, key| directory.get(reference, key))
-    }
-
     fn materialize(
         &self,
         providers: &dyn Invoker,
@@ -161,7 +141,6 @@ impl DiscoveryQuery {
 mod tests {
     use super::*;
     use crate::directory::NodeDirectory;
-    use crate::registry::DynamicRegistry;
     use serena_core::schema::examples::sensors_schema;
     use serena_core::service::fixtures;
     use serena_core::tuple;
@@ -226,21 +205,5 @@ mod tests {
         dir.set("camera01", "location", Value::str("office"));
         // camera01 implements checkPhoto/takePhoto, not getTemperature
         assert_eq!(q.refresh_in(&dir).len(), 2);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_refresh_matches_refresh_in() {
-        let (dir, q) = setup();
-        let reg = DynamicRegistry::new();
-        reg.register("sensor01", fixtures::temperature_sensor(1));
-        reg.register("sensor06", fixtures::temperature_sensor(6));
-        let store = MetadataStore::new();
-        store.set("sensor01", "location", Value::str("corridor"));
-        store.set("sensor06", "location", Value::str("office"));
-        let legacy = q.refresh(&reg, &store);
-        let unified = q.refresh_in(&dir);
-        assert_eq!(legacy.len(), unified.len());
-        assert!(legacy.contains(&tuple![Value::service("sensor01"), "corridor"]));
     }
 }

@@ -43,7 +43,7 @@ use serena_core::prototype::Prototype;
 use serena_core::service::{Invoker, InvokerLayer};
 use serena_core::snapshot::{Reader, SnapshotError, Writer};
 use serena_core::sync::{Mutex, RwLock};
-use serena_core::telemetry::{Counter, FlightRecorder, MetricsRegistry};
+use serena_core::telemetry::{Counter, FlightRecorder, MetricsRegistry, TraceEvent, TraceSink};
 use serena_core::time::Instant;
 use serena_core::tuple::Tuple;
 use serena_core::value::ServiceRef;
@@ -351,6 +351,9 @@ struct ResilienceSeries {
     timeouts: Arc<Counter>,
     breaker_opened: Arc<Counter>,
     rejected: Arc<Counter>,
+    /// `serena_breaker_transitions_total{service,to}` for
+    /// `to ∈ {closed, open, half_open}`, in that order.
+    transitions: [Arc<Counter>; 3],
 }
 
 /// The resilience middleware: deadline + retry/backoff + circuit breaker
@@ -365,6 +368,7 @@ pub struct ResilientInvoker<'a, I> {
     health: Option<&'a HealthTracker>,
     registry: Option<&'a MetricsRegistry>,
     tracer: Option<&'a FlightRecorder>,
+    trace: Option<&'a dyn TraceSink>,
     series: RwLock<HashMap<ServiceRef, ResilienceSeries>>,
 }
 
@@ -384,6 +388,7 @@ impl<'a, I: Invoker> ResilientInvoker<'a, I> {
             health: None,
             registry: None,
             tracer: None,
+            trace: None,
             series: RwLock::new(HashMap::new()),
         }
     }
@@ -411,6 +416,13 @@ impl<'a, I: Invoker> ResilientInvoker<'a, I> {
         self
     }
 
+    /// Emit a [`TraceEvent::BreakerTransition`] into `trace` on every
+    /// closed → open → half-open → closed edge.
+    pub fn with_trace(mut self, trace: &'a dyn TraceSink) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// The shared state (for snapshots).
     pub fn state(&self) -> &Arc<ResilienceState> {
         &self.state
@@ -421,11 +433,22 @@ impl<'a, I: Invoker> ResilientInvoker<'a, I> {
             return series.clone();
         }
         let labels: [(&str, &str); 1] = [("service", service.as_str())];
+        let transition = |to: &str| {
+            registry.counter(
+                "serena_breaker_transitions_total",
+                &[("service", service.as_str()), ("to", to)],
+            )
+        };
         let series = ResilienceSeries {
             retries: registry.counter("serena_resilience_retries_total", &labels),
             timeouts: registry.counter("serena_resilience_timeouts_total", &labels),
             breaker_opened: registry.counter("serena_resilience_breaker_opened_total", &labels),
             rejected: registry.counter("serena_resilience_rejected_total", &labels),
+            transitions: [
+                transition("closed"),
+                transition("open"),
+                transition("half_open"),
+            ],
         };
         self.series
             .write()
@@ -437,6 +460,33 @@ impl<'a, I: Invoker> ResilientInvoker<'a, I> {
     fn bump(&self, service: &ServiceRef, pick: impl Fn(&ResilienceSeries) -> &Arc<Counter>) {
         if let Some(registry) = self.registry {
             pick(&self.series_for(registry, service)).inc();
+        }
+    }
+
+    /// Publish one breaker edge: bump
+    /// `serena_breaker_transitions_total{service,to}` and emit a
+    /// [`TraceEvent::BreakerTransition`]. Labels: "closed" (index 0),
+    /// "open" (1), "half_open" (2).
+    fn breaker_transition(
+        &self,
+        service: &ServiceRef,
+        at: Instant,
+        from: &'static str,
+        to: &'static str,
+    ) {
+        let to_index = match to {
+            "closed" => 0,
+            "open" => 1,
+            _ => 2,
+        };
+        self.bump(service, |s| &s.transitions[to_index]);
+        if let Some(trace) = self.trace {
+            trace.emit(&TraceEvent::BreakerTransition {
+                service: service.to_string(),
+                at,
+                from: from.to_string(),
+                to: to.to_string(),
+            });
         }
     }
 
@@ -460,6 +510,8 @@ impl<'a, I: Invoker> ResilientInvoker<'a, I> {
                 b.state = BreakerState::HalfOpen {
                     probes_left: self.policy.half_open_probes.max(1) - 1,
                 };
+                drop(breakers);
+                self.breaker_transition(service, at, "open", "half_open");
                 Ok(())
             }
             BreakerState::HalfOpen { probes_left } if probes_left > 0 => {
@@ -482,13 +534,25 @@ impl<'a, I: Invoker> ResilientInvoker<'a, I> {
     /// One successful call: close the breaker, reset the failure streak.
     /// A reset breaker is back at the default, so its record is dropped
     /// (keeping the `engaged == 0` fast path reachable again).
-    fn on_success(&self, service: &ServiceRef) {
+    fn on_success(&self, service: &ServiceRef, at: Instant) {
         if self.policy.breaker_threshold == 0 || self.state.engaged.load(Ordering::Relaxed) == 0 {
             return;
         }
         let mut breakers = self.state.breakers.lock();
-        if breakers.remove(service).is_some() {
+        let removed = breakers.remove(service);
+        if let Some(b) = removed {
             self.state.engaged.fetch_sub(1, Ordering::Relaxed);
+            drop(breakers);
+            // Only a breaker that had actually left Closed closes *now*;
+            // dropping a record that merely tracked a failure streak is
+            // not a state change.
+            match b.state {
+                BreakerState::Open { .. } => self.breaker_transition(service, at, "open", "closed"),
+                BreakerState::HalfOpen { .. } => {
+                    self.breaker_transition(service, at, "half_open", "closed")
+                }
+                BreakerState::Closed => {}
+            }
         }
     }
 
@@ -523,6 +587,12 @@ impl<'a, I: Invoker> ResilientInvoker<'a, I> {
             drop(breakers);
             self.state.breaker_opened.fetch_add(1, Ordering::Relaxed);
             self.bump(service, |s| &s.breaker_opened);
+            self.breaker_transition(
+                service,
+                at,
+                if half_open { "half_open" } else { "closed" },
+                "open",
+            );
         }
     }
 
@@ -603,7 +673,7 @@ impl<I: Invoker> Invoker for ResilientInvoker<'_, I> {
             }
             match result {
                 Ok(rows) => {
-                    self.on_success(service_ref);
+                    self.on_success(service_ref, at);
                     break Ok(rows);
                 }
                 Err(e) => {
@@ -664,6 +734,7 @@ pub struct ResilientLayer<'a> {
     health: Option<&'a HealthTracker>,
     registry: Option<&'a MetricsRegistry>,
     tracer: Option<&'a FlightRecorder>,
+    trace: Option<&'a dyn TraceSink>,
 }
 
 impl<'a> ResilientLayer<'a> {
@@ -675,6 +746,7 @@ impl<'a> ResilientLayer<'a> {
             health: None,
             registry: None,
             tracer: None,
+            trace: None,
         }
     }
 
@@ -695,6 +767,12 @@ impl<'a> ResilientLayer<'a> {
         self.tracer = Some(tracer);
         self
     }
+
+    /// See [`ResilientInvoker::with_trace`].
+    pub fn trace(mut self, trace: &'a dyn TraceSink) -> Self {
+        self.trace = Some(trace);
+        self
+    }
 }
 
 impl<'a> InvokerLayer<'a> for ResilientLayer<'a> {
@@ -712,6 +790,9 @@ impl<'a> InvokerLayer<'a> for ResilientLayer<'a> {
         }
         if let Some(tracer) = self.tracer {
             invoker = invoker.with_tracer(tracer);
+        }
+        if let Some(trace) = self.trace {
+            invoker = invoker.with_trace(trace);
         }
         Box::new(invoker)
     }
@@ -813,6 +894,56 @@ mod tests {
         // phase now) and the breaker closes
         assert!(call(&invoker, Instant(6)).is_ok());
         assert_eq!(state.breaker_of(&sref), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_edges_publish_transition_telemetry() {
+        use serena_core::telemetry::MemoryTrace;
+        let (reg, _faulty) = flaky(FaultPolicy::Intermittent { fail: 3, ok: 100 });
+        let policy = ResiliencePolicy::disabled().with_breaker(3, 4);
+        let state = Arc::new(ResilienceState::new());
+        let registry = MetricsRegistry::new();
+        let trace = MemoryTrace::new();
+        let invoker = ResilientInvoker::with_state(&reg, policy, state.clone())
+            .with_registry(&registry)
+            .with_trace(&trace);
+
+        // closed → open at τ=2, open → half-open → closed at τ=6
+        for t in 0..3u64 {
+            assert!(call(&invoker, Instant(t)).is_err());
+        }
+        assert!(call(&invoker, Instant(6)).is_ok());
+
+        let count = |to: &str| {
+            registry
+                .counter(
+                    "serena_breaker_transitions_total",
+                    &[("service", "flaky"), ("to", to)],
+                )
+                .get()
+        };
+        assert_eq!(count("open"), 1);
+        assert_eq!(count("half_open"), 1);
+        assert_eq!(count("closed"), 1);
+
+        let edges: Vec<(String, String, Instant)> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::BreakerTransition { from, to, at, .. } => {
+                    Some((from.clone(), to.clone(), *at))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            edges,
+            vec![
+                ("closed".into(), "open".into(), Instant(2)),
+                ("open".into(), "half_open".into(), Instant(6)),
+                ("half_open".into(), "closed".into(), Instant(6)),
+            ]
+        );
     }
 
     #[test]

@@ -193,6 +193,12 @@ enum NodeKind {
         period: u64,
         ring: VecDeque<Vec<Tuple>>,
         current: Multiset,
+        /// Set when a plan hot-swap adopted this ring from an outgoing
+        /// query: the first tick then emits the full (post-update) window
+        /// content as pure insertions — downstream nodes of the new plan
+        /// start cold and need the complete state, not an incremental
+        /// delta. Cleared after that bootstrap tick; survives checkpoints.
+        warm: bool,
     },
     StreamOf {
         child: Box<Node>,
@@ -321,6 +327,12 @@ impl ContinuousQuery {
         self.options.invoke_parallelism
     }
 
+    /// The full execution options the query was compiled with — a plan
+    /// hot-swap recompiles the replacement with the same knobs.
+    pub fn options(&self) -> ExecOptions {
+        self.options
+    }
+
     /// Align the query's clock so its next tick evaluates `at` — used when
     /// registering a query mid-run so it joins the global tick cadence.
     pub fn seek(&mut self, at: Instant) {
@@ -430,6 +442,155 @@ impl ContinuousQuery {
         self.next = Instant(next);
         Ok(())
     }
+
+    /// Carry reusable operator state over from the outgoing query of a
+    /// plan hot-swap. `windows` and `invokes` are `(new_pos, old_pos)`
+    /// pairs, positions counting nodes of that kind in pre-order (the
+    /// plan-level [`crate::rewrite::migration_pairs`] inventory) — only
+    /// pairs whose operand subtree (windows) or operand schema (β caches)
+    /// is unchanged may be passed.
+    ///
+    /// * a window adopts the old ring and content and is marked *warm*:
+    ///   its first tick emits the full window as insertions so the cold
+    ///   downstream nodes of the new plan see complete state;
+    /// * a β node adopts the old cache with all counts zeroed (its cold
+    ///   child will re-insert whatever subset of inputs survives the new
+    ///   plan); adopted hits re-emit cached outputs without re-invoking
+    ///   the service — no duplicate actions, no duplicate calls.
+    ///
+    /// Everything else starts cold, which is exactly the registered-
+    /// mid-run bootstrap every node already supports.
+    pub fn adopt_state_from(
+        &mut self,
+        old: &ContinuousQuery,
+        windows: &[(usize, usize)],
+        invokes: &[(usize, usize)],
+    ) {
+        let mut old_windows = Vec::new();
+        let mut old_invokes = Vec::new();
+        collect_state(&old.root, &mut old_windows, &mut old_invokes);
+        let wmap: HashMap<usize, usize> = windows.iter().copied().collect();
+        let imap: HashMap<usize, usize> = invokes.iter().copied().collect();
+        let (mut wi, mut ii) = (0usize, 0usize);
+        adopt_node(
+            &mut self.root,
+            &wmap,
+            &imap,
+            &old_windows,
+            &old_invokes,
+            &mut wi,
+            &mut ii,
+        );
+    }
+}
+
+/// Cloned per-kind state of an old query's tree, in pre-order.
+type WindowState = (u64, VecDeque<Vec<Tuple>>, Multiset);
+type InvokeState = Vec<(Tuple, Vec<Tuple>)>;
+
+fn collect_state(node: &Node, windows: &mut Vec<WindowState>, invokes: &mut Vec<InvokeState>) {
+    match &node.kind {
+        NodeKind::Window {
+            child,
+            period,
+            ring,
+            current,
+            ..
+        } => {
+            windows.push((*period, ring.clone(), current.clone()));
+            collect_state(child, windows, invokes);
+        }
+        NodeKind::Invoke { child, cache, .. } => {
+            let mut entries: Vec<(Tuple, Vec<Tuple>)> = cache
+                .iter()
+                .map(|(t, e)| (t.clone(), e.outputs.clone()))
+                .collect();
+            entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            invokes.push(entries);
+            collect_state(child, windows, invokes);
+        }
+        NodeKind::Table { .. } | NodeKind::Stream { .. } => {}
+        NodeKind::Linear { child, .. }
+        | NodeKind::StreamOf { child, .. }
+        | NodeKind::SampleInvoke { child, .. } => collect_state(child, windows, invokes),
+        NodeKind::Recompute { left, right, .. } => {
+            collect_state(left, windows, invokes);
+            if let Some(r) = right {
+                collect_state(r, windows, invokes);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adopt_node(
+    node: &mut Node,
+    wmap: &HashMap<usize, usize>,
+    imap: &HashMap<usize, usize>,
+    old_windows: &[WindowState],
+    old_invokes: &[InvokeState],
+    wi: &mut usize,
+    ii: &mut usize,
+) {
+    match &mut node.kind {
+        NodeKind::Window {
+            child,
+            period,
+            ring,
+            current,
+            warm,
+        } => {
+            let pos = *wi;
+            *wi += 1;
+            if let Some((operiod, oring, ocurrent)) =
+                wmap.get(&pos).and_then(|&oi| old_windows.get(oi))
+            {
+                // defense in depth: the pairing already implies identical
+                // subtrees, which includes the period
+                if operiod == period {
+                    *ring = oring.clone();
+                    *current = ocurrent.clone();
+                    *warm = true;
+                }
+            }
+            adopt_node(child, wmap, imap, old_windows, old_invokes, wi, ii);
+        }
+        NodeKind::Invoke {
+            child,
+            cache,
+            current,
+            ..
+        } => {
+            let pos = *ii;
+            *ii += 1;
+            if let Some(entries) = imap.get(&pos).and_then(|&oi| old_invokes.get(oi)) {
+                cache.clear();
+                *current = Multiset::new();
+                for (t, outputs) in entries {
+                    cache.insert(
+                        t.clone(),
+                        CacheEntry {
+                            count: 0,
+                            outputs: outputs.clone(),
+                        },
+                    );
+                }
+            }
+            adopt_node(child, wmap, imap, old_windows, old_invokes, wi, ii);
+        }
+        NodeKind::Table { .. } | NodeKind::Stream { .. } => {}
+        NodeKind::Linear { child, .. }
+        | NodeKind::StreamOf { child, .. }
+        | NodeKind::SampleInvoke { child, .. } => {
+            adopt_node(child, wmap, imap, old_windows, old_invokes, wi, ii)
+        }
+        NodeKind::Recompute { left, right, .. } => {
+            adopt_node(left, wmap, imap, old_windows, old_invokes, wi, ii);
+            if let Some(r) = right {
+                adopt_node(r, wmap, imap, old_windows, old_invokes, wi, ii);
+            }
+        }
+    }
 }
 
 /// Stable operator tag for shape verification across checkpoint/restore.
@@ -506,8 +667,13 @@ fn snapshot_node(node: &Node, w: &mut Writer) {
             // it is derived on restore rather than encoded — the dominant
             // term of a windowed query's snapshot, halved
             current: _,
+            warm,
         } => {
             w.u64(*period);
+            // a checkpoint can land between a plan hot-swap and the
+            // adopted ring's bootstrap tick — the pending full emission
+            // must survive restore (snapshot format v2)
+            w.bool(*warm);
             w.usize(ring.len());
             for batch in ring {
                 w.usize(batch.len());
@@ -540,8 +706,15 @@ fn restore_node(node: &mut Node, r: &mut Reader<'_>) -> Result<(), SnapshotError
         } => {
             *started = r.bool()?;
             // derived: the table manager restored the handle's committed
-            // contents before the processor restore reached this node
-            *current = handle.snapshot();
+            // contents before the processor restore reached this node.
+            // A node checkpointed *before* its bootstrap tick (e.g. a plan
+            // hot-swap checkpointed before the new plan's first tick) was
+            // still empty — its bootstrap tick will apply the contents.
+            *current = if *started {
+                handle.snapshot()
+            } else {
+                Multiset::new()
+            };
         }
         NodeKind::Stream { .. } => {}
         NodeKind::Linear { child, current, .. } => {
@@ -590,6 +763,7 @@ fn restore_node(node: &mut Node, r: &mut Reader<'_>) -> Result<(), SnapshotError
             period,
             ring,
             current,
+            warm,
         } => {
             let stored = r.u64()?;
             if stored != *period {
@@ -598,6 +772,7 @@ fn restore_node(node: &mut Node, r: &mut Reader<'_>) -> Result<(), SnapshotError
                     node.id
                 )));
             }
+            *warm = r.bool()?;
             let batches = r.usize()?;
             ring.clear();
             *current = Multiset::new();
@@ -795,6 +970,7 @@ fn build(
             period: (*period).max(1),
             ring: VecDeque::new(),
             current: Multiset::new(),
+            warm: false,
         },
         StreamPlan::Stream(p, kind) => NodeKind::StreamOf {
             child: Box::new(build(p, sources, next_id)?),
@@ -974,6 +1150,7 @@ fn tick_node_inner(node: &mut NodeKind, ctx: &mut Ctx<'_>, obs: &mut OpObservati
             period,
             ring,
             current,
+            warm,
         } => {
             let batch = tick_node(child, ctx).batch();
             obs.tuples_in = batch.len() as u64;
@@ -990,6 +1167,16 @@ fn tick_node_inner(node: &mut NodeKind, ctx: &mut Ctx<'_>, obs: &mut OpObservati
                 }
             }
             current.apply(&delta);
+            if *warm {
+                // bootstrap tick after a hot-swap adopted this ring: the
+                // nodes downstream are cold, so replace the incremental
+                // delta with the full post-update content as insertions
+                *warm = false;
+                delta = Delta::new();
+                for (t, c) in current.iter() {
+                    delta.inserts.insert(t.clone(), c);
+                }
+            }
             obs.elapsed = started_at.elapsed();
             Out::Finite(delta)
         }
@@ -2074,5 +2261,178 @@ mod tests {
                 assert!(r.batch.is_empty(), "tick {t}");
             }
         }
+    }
+
+    #[test]
+    fn adopted_window_ring_survives_a_hot_swap() {
+        // the shared table feeds both the outgoing and the incoming query;
+        // the incoming query adopts the ring and must agree with the
+        // uninterrupted one from its first tick on
+        let plan = StreamPlan::source("t")
+            .stream(StreamKind::Heartbeat)
+            .window(2);
+        let table = TableHandle::new(int_schema("x"));
+        let mut sources = SourceSet::new();
+        sources.add_table("t", table.clone());
+        let mut old = ContinuousQuery::compile(&plan, &mut sources).unwrap();
+        let reg = example_registry();
+
+        table.insert(tuple![1]);
+        old.tick_with(&reg, &NoopMetrics); // window {[1]}
+        table.insert(tuple![2]);
+        old.tick_with(&reg, &NoopMetrics); // window {[1], [1,2]}
+
+        let mut sources2 = SourceSet::new();
+        sources2.add_table("t", table.clone());
+        let mut new = ContinuousQuery::compile(&plan, &mut sources2).unwrap();
+        new.seek(Instant(2));
+        new.adopt_state_from(&old, &[(0, 0)], &[]);
+
+        // bootstrap tick: the adopted window emits its full post-update
+        // content as insertions for the cold downstream
+        let r_new = new.tick_with(&reg, &NoopMetrics);
+        let r_old = old.tick_with(&reg, &NoopMetrics);
+        assert!(r_new.delta.deletes.is_empty());
+        assert_eq!(
+            r_new.delta.inserts.sorted_occurrences(),
+            vec![tuple![1], tuple![1], tuple![2], tuple![2]],
+        );
+        assert_eq!(new.current_relation(), old.current_relation());
+        assert!(r_old.delta.deletes.is_empty() || !r_old.delta.inserts.is_empty());
+
+        // steady state: byte-identical deltas from here on
+        table.insert(tuple![3]);
+        let r_old = old.tick_with(&reg, &NoopMetrics);
+        let r_new = new.tick_with(&reg, &NoopMetrics);
+        assert_eq!(
+            r_old.delta.inserts.sorted_occurrences(),
+            r_new.delta.inserts.sorted_occurrences()
+        );
+        assert_eq!(
+            r_old.delta.deletes.sorted_occurrences(),
+            r_new.delta.deletes.sorted_occurrences()
+        );
+        assert_eq!(new.current_relation(), old.current_relation());
+    }
+
+    #[test]
+    fn unadopted_window_starts_cold_after_a_swap() {
+        let plan = StreamPlan::source("t")
+            .stream(StreamKind::Heartbeat)
+            .window(2);
+        let table = TableHandle::new(int_schema("x"));
+        let mut sources = SourceSet::new();
+        sources.add_table("t", table.clone());
+        let mut old = ContinuousQuery::compile(&plan, &mut sources).unwrap();
+        let reg = example_registry();
+        table.insert(tuple![1]);
+        old.tick_with(&reg, &NoopMetrics);
+
+        let mut sources2 = SourceSet::new();
+        sources2.add_table("t", table.clone());
+        let mut new = ContinuousQuery::compile(&plan, &mut sources2).unwrap();
+        new.seek(Instant(1));
+        new.adopt_state_from(&old, &[], &[]); // nothing portable
+        let r = new.tick_with(&reg, &NoopMetrics);
+        // cold window: only this tick's heartbeat batch, not the old ring
+        assert_eq!(r.delta.inserts.sorted_occurrences(), vec![tuple![1]]);
+        assert_eq!(new.current_relation().unwrap().len(), 1);
+        // the cold ring holds one batch where the adopted path would hold
+        // two: new's *next* tick pops nothing, so no deletes surface yet
+        let r2 = new.tick_with(&reg, &NoopMetrics);
+        assert!(r2.delta.deletes.is_empty(), "ring not yet full");
+    }
+
+    #[test]
+    fn adopted_invoke_cache_skips_reinvocation_and_actions() {
+        let contacts = TableHandle::new(serena_core::schema::examples::contacts_schema());
+        let plan = StreamPlan::source("c")
+            .assign_const("text", "hi")
+            .invoke("sendMessage", "messenger");
+        let mut sources = SourceSet::new();
+        sources.add_table("c", contacts.clone());
+        let mut old = ContinuousQuery::compile(&plan, &mut sources).unwrap();
+        let reg = example_registry();
+
+        contacts.insert(tuple![
+            "Alice",
+            "alice@example.org",
+            serena_core::value::Value::service("email")
+        ]);
+        let r = old.tick_with(&reg, &NoopMetrics);
+        assert_eq!(r.actions.len(), 1, "first insertion invokes the BP");
+
+        let mut sources2 = SourceSet::new();
+        sources2.add_table("c", contacts.clone());
+        let mut new = ContinuousQuery::compile(&plan, &mut sources2).unwrap();
+        new.seek(Instant(1));
+        new.adopt_state_from(&old, &[], &[(0, 0)]);
+
+        // the cold table re-inserts Alice; the adopted cache serves the
+        // hit — no action recorded, no service call made
+        let r = new.tick_with(&reg, &NoopMetrics);
+        assert!(r.actions.is_empty(), "adopted cache must not re-invoke");
+        assert!(r.errors.is_empty());
+        assert_eq!(new.current_relation(), old.current_relation());
+
+        // a *new* contact still invokes normally
+        contacts.insert(tuple![
+            "Bob",
+            "bob@example.org",
+            serena_core::value::Value::service("jabber")
+        ]);
+        let r = new.tick_with(&reg, &NoopMetrics);
+        assert_eq!(r.actions.len(), 1);
+
+        // and a deletion retracts exactly the cached extension
+        contacts.delete(tuple![
+            "Alice",
+            "alice@example.org",
+            serena_core::value::Value::service("email")
+        ]);
+        let r = new.tick_with(&reg, &NoopMetrics);
+        assert_eq!(r.delta.deletes.len(), 1);
+    }
+
+    #[test]
+    fn warm_flag_round_trips_through_a_snapshot() {
+        // a checkpoint can land between a hot-swap and the adopted ring's
+        // bootstrap tick; the pending full emission must survive restore
+        let plan = StreamPlan::source("t")
+            .stream(StreamKind::Heartbeat)
+            .window(2);
+        let table = TableHandle::new(int_schema("x"));
+        let mut sources = SourceSet::new();
+        sources.add_table("t", table.clone());
+        let mut old = ContinuousQuery::compile(&plan, &mut sources).unwrap();
+        let reg = example_registry();
+        table.insert(tuple![1]);
+        old.tick_with(&reg, &NoopMetrics);
+        old.tick_with(&reg, &NoopMetrics);
+
+        let mut sources2 = SourceSet::new();
+        sources2.add_table("t", table.clone());
+        let mut swapped = ContinuousQuery::compile(&plan, &mut sources2).unwrap();
+        swapped.seek(Instant(2));
+        swapped.adopt_state_from(&old, &[(0, 0)], &[]);
+
+        // checkpoint *before* the bootstrap tick, restore into a fresh
+        // compile, and compare the bootstrap emission byte for byte
+        let mut w = Writer::new();
+        swapped.write_snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut sources3 = SourceSet::new();
+        sources3.add_table("t", table.clone());
+        let mut restored = ContinuousQuery::compile(&plan, &mut sources3).unwrap();
+        restored.read_snapshot(&mut Reader::new(&bytes)).unwrap();
+
+        let r_swapped = swapped.tick_with(&reg, &NoopMetrics);
+        let r_restored = restored.tick_with(&reg, &NoopMetrics);
+        assert_eq!(
+            r_swapped.delta.inserts.sorted_occurrences(),
+            r_restored.delta.inserts.sorted_occurrences()
+        );
+        assert!(!r_restored.delta.inserts.is_empty(), "bootstrap preserved");
+        assert_eq!(swapped.current_relation(), restored.current_relation());
     }
 }

@@ -13,7 +13,11 @@
 //!   finite/infinite checking;
 //! * [`exec`] — [`exec::ContinuousQuery`]: tick-by-tick incremental
 //!   evaluation with §4.2's delta-only invocation semantics and per-tick
-//!   action sets.
+//!   action sets;
+//! * [`rewrite`] — stream-level optimization: σ-pushdown past windows,
+//!   a bridge into the core heuristic optimizer for every finite region,
+//!   deterministic candidate generation, telemetry-fed cost estimation
+//!   and the state-migration inventory behind adaptive plan hot-swaps.
 //!
 //! ```
 //! use serena_core::formula::Formula;
@@ -54,9 +58,14 @@
 pub mod exec;
 pub mod multiset;
 pub mod plan;
+pub mod rewrite;
 pub mod source;
 
 pub use exec::{ContinuousQuery, SourceSet, TickReport};
 pub use multiset::{Delta, Multiset};
 pub use plan::{StreamKind, StreamPlan, StreamSchema, XdCatalog};
+pub use rewrite::{
+    candidates_for, estimate_stream, migration_pairs, optimize_stream, state_keys, MigrationMap,
+    StateKeys,
+};
 pub use source::{FnStream, PushStream, StreamSource, TableHandle};

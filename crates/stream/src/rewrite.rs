@@ -1,0 +1,798 @@
+//! Stream-level plan optimization (optimizer v2).
+//!
+//! The core rewriter ([`serena_core::rewrite`]) works on *finite* algebra
+//! trees; a continuous plan interleaves those finite regions with the
+//! stream operators `W[p]`, `S[kind]` and `βˢ[p]`. This module closes the
+//! gap:
+//!
+//! * [`optimize_stream`] — two stream-specific pushdown rules (a selection
+//!   commutes past a window over a streaming operator when its predicate
+//!   only touches attributes the stream passes through unchanged), plus a
+//!   *bridge* that carves out every maximal finite region, hands it to the
+//!   core heuristic optimizer with the stream subtrees abstracted as
+//!   opaque leaves, and splices the optimized region back;
+//! * [`candidates_for`] — the deterministic candidate set the adaptive
+//!   re-optimizer ranks: the original plan plus, when different, the
+//!   optimized one. Pure function of (plan, catalog) so every replay
+//!   regenerates the same candidates in the same order;
+//! * [`estimate_stream`] — the cost walk extended to the stream operators
+//!   (per-instant tuple rates; a window multiplies by its period, a
+//!   sampling invocation amortizes its per-period service calls), fed by
+//!   any [`CostInputs`] — in particular the telemetry-backed
+//!   [`MeasuredCosts`](serena_core::rewrite::MeasuredCosts);
+//! * [`state_keys`] / [`migration_pairs`] — the plan-level inventory of
+//!   state-carrying nodes (window rings, β caches) that lets a hot-swap
+//!   carry state from the outgoing plan into the incoming one when the
+//!   subtree feeding a node is unchanged.
+
+use serena_core::error::PlanError;
+use serena_core::plan::{Plan, SchemaCatalog};
+use serena_core::rewrite::{optimize, CostEstimate, CostInputs};
+use serena_core::schema::SchemaRef;
+
+use crate::plan::{StreamPlan, XdCatalog};
+
+/// Upper bound on alternating rule/bridge passes (each pass is itself a
+/// fixpoint; alternation converges in one or two rounds in practice).
+const MAX_PASSES: usize = 8;
+
+/// Optimize a continuous plan: apply the stream pushdown rules and the
+/// core optimizer over every finite region, to fixpoint. Always returns a
+/// plan with the same output schema and status; on any internal mismatch
+/// the affected region is left untouched.
+pub fn optimize_stream(plan: &StreamPlan, catalog: &dyn XdCatalog) -> StreamPlan {
+    let mut current = plan.clone();
+    for _ in 0..MAX_PASSES {
+        let pushed = apply_stream_rules(&current, catalog);
+        let bridged = bridge_finite_regions(&pushed, catalog);
+        if bridged == current {
+            break;
+        }
+        current = bridged;
+    }
+    current
+}
+
+/// The deterministic candidate set for adaptive re-optimization:
+/// `[0]` is always the original plan; the optimized plan follows when it
+/// differs. Replays regenerate identical candidates from the same inputs.
+pub fn candidates_for(plan: &StreamPlan, catalog: &dyn XdCatalog) -> Vec<StreamPlan> {
+    let mut out = vec![plan.clone()];
+    let opt = optimize_stream(plan, catalog);
+    if !out.contains(&opt) {
+        out.push(opt);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// stream pushdown rules
+// ---------------------------------------------------------------------
+
+/// σ-pushdown past windows over streaming operators, bottom-up to
+/// fixpoint:
+///
+/// * `σ_F(W[p](βˢ[k](q)))` → `W[p](βˢ[k](σ_F(q)))` when `F` touches only
+///   attributes that are real in `q`'s schema (the sampling invocation
+///   copies them through unchanged, so filtering before sampling removes
+///   exactly the rows whose outputs the selection would have dropped —
+///   and saves their service calls);
+/// * `σ_F(W[p](S[kind](q)))` → `W[p](S[kind](σ_F(q)))` under the same
+///   condition (`S` re-emits `q`'s tuples verbatim for all three kinds,
+///   so the selection commutes per tuple).
+///
+/// Both rewrites re-derive the full plan schema as a safety net and are
+/// dropped if it changed.
+fn apply_stream_rules(plan: &StreamPlan, catalog: &dyn XdCatalog) -> StreamPlan {
+    let rebuilt = map_children(plan, &|c| apply_stream_rules(c, catalog));
+    if let StreamPlan::Select(child, f) = &rebuilt {
+        if let StreamPlan::Window(wchild, period) = child.as_ref() {
+            let pushed = match wchild.as_ref() {
+                StreamPlan::SampleInvoke(q, proto, sa, k) if passes_through(f, q, catalog) => {
+                    Some(StreamPlan::Window(
+                        Box::new(StreamPlan::SampleInvoke(
+                            Box::new(StreamPlan::Select(q.clone(), f.clone())),
+                            proto.clone(),
+                            sa.clone(),
+                            *k,
+                        )),
+                        *period,
+                    ))
+                }
+                StreamPlan::Stream(q, kind) if passes_through(f, q, catalog) => {
+                    Some(StreamPlan::Window(
+                        Box::new(StreamPlan::Stream(
+                            Box::new(StreamPlan::Select(q.clone(), f.clone())),
+                            *kind,
+                        )),
+                        *period,
+                    ))
+                }
+                _ => None,
+            };
+            if let Some(pushed) = pushed {
+                if schemas_agree(&rebuilt, &pushed, catalog) {
+                    // the new selection may enable further pushes below
+                    return apply_stream_rules(&pushed, catalog);
+                }
+            }
+        }
+    }
+    rebuilt
+}
+
+/// Every attribute the formula references is *real* in the operand's
+/// schema — i.e. the streaming operator above passes it through unchanged
+/// (realization only turns virtual attributes real).
+fn passes_through(
+    f: &serena_core::formula::Formula,
+    q: &StreamPlan,
+    catalog: &dyn XdCatalog,
+) -> bool {
+    match q.stream_schema(catalog) {
+        Ok(s) if !s.infinite => f.attrs().iter().all(|a| s.schema.is_real(a.as_str())),
+        _ => false,
+    }
+}
+
+fn schemas_agree(a: &StreamPlan, b: &StreamPlan, catalog: &dyn XdCatalog) -> bool {
+    match (a.stream_schema(catalog), b.stream_schema(catalog)) {
+        (Ok(sa), Ok(sb)) => sa == sb,
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// finite-region bridge into the core optimizer
+// ---------------------------------------------------------------------
+
+fn placeholder_name(i: usize) -> String {
+    format!("\u{27e8}w{i}\u{27e9}") // ⟨w0⟩, ⟨w1⟩, …
+}
+
+fn placeholder_index(name: &str) -> Option<usize> {
+    name.strip_prefix("\u{27e8}w")?
+        .strip_suffix('\u{27e9}')?
+        .parse()
+        .ok()
+}
+
+/// Resolve placeholder leaves to the schema of the window subtree they
+/// abstract; everything else through the XD catalog.
+struct BridgeCatalog<'a> {
+    inner: &'a dyn XdCatalog,
+    placeholders: &'a [StreamPlan],
+}
+
+impl SchemaCatalog for BridgeCatalog<'_> {
+    fn schema_of(&self, name: &str) -> Option<SchemaRef> {
+        if let Some(i) = placeholder_index(name) {
+            return self
+                .placeholders
+                .get(i)
+                .and_then(|p| p.stream_schema(self.inner).ok())
+                .map(|s| s.schema);
+        }
+        self.inner.xd_schema_of(name).map(|s| s.schema)
+    }
+}
+
+/// Hand every maximal finite region to the core optimizer, with each
+/// `W[p](…)` subtree inside it abstracted as an opaque placeholder leaf
+/// (itself recursively optimized below the window). Streaming operators
+/// above a finite region are descended through untouched.
+fn bridge_finite_regions(plan: &StreamPlan, catalog: &dyn XdCatalog) -> StreamPlan {
+    let finite = matches!(plan.stream_schema(catalog), Ok(s) if !s.infinite);
+    if finite {
+        let mut placeholders = Vec::new();
+        if let Some(core) = extract(plan, &mut placeholders, catalog) {
+            let bridge = BridgeCatalog {
+                inner: catalog,
+                placeholders: &placeholders,
+            };
+            let report = optimize(&core, &bridge);
+            let rebuilt = substitute(&report.plan, &placeholders);
+            if schemas_agree(plan, &rebuilt, catalog) {
+                return rebuilt;
+            }
+        }
+        return plan.clone();
+    }
+    map_children(plan, &|c| bridge_finite_regions(c, catalog))
+}
+
+/// Convert a finite region to a core [`Plan`], pushing each window
+/// subtree (recursively bridged) into `placeholders` and standing in a
+/// synthetic leaf for it. `None` if a streaming operator appears where a
+/// finite operand is required (invalid plan — leave it alone).
+fn extract(
+    plan: &StreamPlan,
+    placeholders: &mut Vec<StreamPlan>,
+    catalog: &dyn XdCatalog,
+) -> Option<Plan> {
+    Some(match plan {
+        StreamPlan::Source(n) => Plan::Relation(n.clone()),
+        StreamPlan::Window(child, period) => {
+            let below =
+                StreamPlan::Window(Box::new(bridge_finite_regions(child, catalog)), *period);
+            let name = placeholder_name(placeholders.len());
+            placeholders.push(below);
+            Plan::Relation(name)
+        }
+        StreamPlan::Union(a, b) => Plan::Union(
+            Box::new(extract(a, placeholders, catalog)?),
+            Box::new(extract(b, placeholders, catalog)?),
+        ),
+        StreamPlan::Intersect(a, b) => Plan::Intersect(
+            Box::new(extract(a, placeholders, catalog)?),
+            Box::new(extract(b, placeholders, catalog)?),
+        ),
+        StreamPlan::Difference(a, b) => Plan::Difference(
+            Box::new(extract(a, placeholders, catalog)?),
+            Box::new(extract(b, placeholders, catalog)?),
+        ),
+        StreamPlan::Project(p, attrs) => {
+            Plan::Project(Box::new(extract(p, placeholders, catalog)?), attrs.clone())
+        }
+        StreamPlan::Select(p, f) => {
+            Plan::Select(Box::new(extract(p, placeholders, catalog)?), f.clone())
+        }
+        StreamPlan::Rename(p, from, to) => Plan::Rename(
+            Box::new(extract(p, placeholders, catalog)?),
+            from.clone(),
+            to.clone(),
+        ),
+        StreamPlan::Join(a, b) => Plan::Join(
+            Box::new(extract(a, placeholders, catalog)?),
+            Box::new(extract(b, placeholders, catalog)?),
+        ),
+        StreamPlan::Assign(p, attr, src) => Plan::Assign(
+            Box::new(extract(p, placeholders, catalog)?),
+            attr.clone(),
+            src.clone(),
+        ),
+        StreamPlan::Invoke(p, proto, sa) => Plan::Invoke(
+            Box::new(extract(p, placeholders, catalog)?),
+            proto.clone(),
+            sa.clone(),
+        ),
+        StreamPlan::Aggregate(p, group, aggs) => Plan::Aggregate(
+            Box::new(extract(p, placeholders, catalog)?),
+            group.clone(),
+            aggs.clone(),
+        ),
+        StreamPlan::Stream(..) | StreamPlan::SampleInvoke(..) => return None,
+    })
+}
+
+/// Inverse of [`extract`]: core plan back to a stream plan, placeholder
+/// leaves splicing their window subtrees back in.
+fn substitute(plan: &Plan, placeholders: &[StreamPlan]) -> StreamPlan {
+    match plan {
+        Plan::Relation(n) => match placeholder_index(n).and_then(|i| placeholders.get(i)) {
+            Some(sub) => sub.clone(),
+            None => StreamPlan::Source(n.clone()),
+        },
+        Plan::Union(a, b) => StreamPlan::Union(
+            Box::new(substitute(a, placeholders)),
+            Box::new(substitute(b, placeholders)),
+        ),
+        Plan::Intersect(a, b) => StreamPlan::Intersect(
+            Box::new(substitute(a, placeholders)),
+            Box::new(substitute(b, placeholders)),
+        ),
+        Plan::Difference(a, b) => StreamPlan::Difference(
+            Box::new(substitute(a, placeholders)),
+            Box::new(substitute(b, placeholders)),
+        ),
+        Plan::Project(p, attrs) => {
+            StreamPlan::Project(Box::new(substitute(p, placeholders)), attrs.clone())
+        }
+        Plan::Select(p, f) => StreamPlan::Select(Box::new(substitute(p, placeholders)), f.clone()),
+        Plan::Rename(p, from, to) => StreamPlan::Rename(
+            Box::new(substitute(p, placeholders)),
+            from.clone(),
+            to.clone(),
+        ),
+        Plan::Join(a, b) => StreamPlan::Join(
+            Box::new(substitute(a, placeholders)),
+            Box::new(substitute(b, placeholders)),
+        ),
+        Plan::Assign(p, attr, src) => StreamPlan::Assign(
+            Box::new(substitute(p, placeholders)),
+            attr.clone(),
+            src.clone(),
+        ),
+        Plan::Invoke(p, proto, sa) => StreamPlan::Invoke(
+            Box::new(substitute(p, placeholders)),
+            proto.clone(),
+            sa.clone(),
+        ),
+        Plan::Aggregate(p, group, aggs) => StreamPlan::Aggregate(
+            Box::new(substitute(p, placeholders)),
+            group.clone(),
+            aggs.clone(),
+        ),
+    }
+}
+
+/// Rebuild a node with every direct child mapped through `f`.
+fn map_children(plan: &StreamPlan, f: &dyn Fn(&StreamPlan) -> StreamPlan) -> StreamPlan {
+    match plan {
+        StreamPlan::Source(n) => StreamPlan::Source(n.clone()),
+        StreamPlan::Union(a, b) => StreamPlan::Union(Box::new(f(a)), Box::new(f(b))),
+        StreamPlan::Intersect(a, b) => StreamPlan::Intersect(Box::new(f(a)), Box::new(f(b))),
+        StreamPlan::Difference(a, b) => StreamPlan::Difference(Box::new(f(a)), Box::new(f(b))),
+        StreamPlan::Project(p, attrs) => StreamPlan::Project(Box::new(f(p)), attrs.clone()),
+        StreamPlan::Select(p, form) => StreamPlan::Select(Box::new(f(p)), form.clone()),
+        StreamPlan::Rename(p, a, b) => StreamPlan::Rename(Box::new(f(p)), a.clone(), b.clone()),
+        StreamPlan::Join(a, b) => StreamPlan::Join(Box::new(f(a)), Box::new(f(b))),
+        StreamPlan::Assign(p, a, s) => StreamPlan::Assign(Box::new(f(p)), a.clone(), s.clone()),
+        StreamPlan::Invoke(p, proto, sa) => {
+            StreamPlan::Invoke(Box::new(f(p)), proto.clone(), sa.clone())
+        }
+        StreamPlan::Aggregate(p, g, aggs) => {
+            StreamPlan::Aggregate(Box::new(f(p)), g.clone(), aggs.clone())
+        }
+        StreamPlan::Window(p, period) => StreamPlan::Window(Box::new(f(p)), *period),
+        StreamPlan::Stream(p, kind) => StreamPlan::Stream(Box::new(f(p)), *kind),
+        StreamPlan::SampleInvoke(p, proto, sa, k) => {
+            StreamPlan::SampleInvoke(Box::new(f(p)), proto.clone(), sa.clone(), *k)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// cost estimation over stream plans
+// ---------------------------------------------------------------------
+
+/// Estimate a continuous plan's per-instant cost under any [`CostInputs`]
+/// provider. Cardinalities of infinite nodes are expected tuples *per
+/// instant*: a window multiplies its operand's rate by its period, a
+/// sampling invocation `βˢ[k]` amortizes one full scan of its operand
+/// every `k` instants.
+pub fn estimate_stream(
+    plan: &StreamPlan,
+    catalog: &dyn XdCatalog,
+    inputs: &dyn CostInputs,
+) -> Result<CostEstimate, PlanError> {
+    let params = *inputs.params();
+    match plan {
+        StreamPlan::Source(name) => {
+            plan.stream_schema(catalog)?;
+            let rows = inputs
+                .cardinality(name)
+                .unwrap_or(params.default_cardinality);
+            Ok(CostEstimate {
+                rows,
+                invocations: 0.0,
+                cost: rows,
+            })
+        }
+        StreamPlan::Union(a, b) => {
+            let (ea, eb) = (
+                estimate_stream(a, catalog, inputs)?,
+                estimate_stream(b, catalog, inputs)?,
+            );
+            let rows = ea.rows + eb.rows;
+            Ok(combine2(ea, eb, rows))
+        }
+        StreamPlan::Intersect(a, b) => {
+            let (ea, eb) = (
+                estimate_stream(a, catalog, inputs)?,
+                estimate_stream(b, catalog, inputs)?,
+            );
+            let rows = ea.rows.min(eb.rows) * params.selectivity;
+            Ok(combine2(ea, eb, rows))
+        }
+        StreamPlan::Difference(a, b) => {
+            let (ea, eb) = (
+                estimate_stream(a, catalog, inputs)?,
+                estimate_stream(b, catalog, inputs)?,
+            );
+            let rows = ea.rows * params.selectivity;
+            Ok(combine2(ea, eb, rows))
+        }
+        StreamPlan::Project(p, _) | StreamPlan::Rename(p, _, _) | StreamPlan::Assign(p, _, _) => {
+            let e = estimate_stream(p, catalog, inputs)?;
+            Ok(CostEstimate {
+                rows: e.rows,
+                invocations: e.invocations,
+                cost: e.cost + e.rows,
+            })
+        }
+        StreamPlan::Select(p, _) => {
+            let e = estimate_stream(p, catalog, inputs)?;
+            let rows = e.rows * params.selectivity;
+            Ok(CostEstimate {
+                rows,
+                invocations: e.invocations,
+                cost: e.cost + e.rows,
+            })
+        }
+        StreamPlan::Join(a, b) => {
+            let (ea, eb) = (
+                estimate_stream(a, catalog, inputs)?,
+                estimate_stream(b, catalog, inputs)?,
+            );
+            let sa = a.stream_schema(catalog)?.schema;
+            let sb = b.stream_schema(catalog)?.schema;
+            let has_predicate = sa
+                .attrs()
+                .iter()
+                .any(|x| x.is_real() && sb.is_real(x.name.as_str()));
+            let rows = if has_predicate {
+                (ea.rows * eb.rows * params.join_factor).max(ea.rows.min(eb.rows))
+            } else {
+                ea.rows * eb.rows
+            };
+            Ok(combine2(ea, eb, rows))
+        }
+        StreamPlan::Invoke(p, proto, _) => {
+            let e = estimate_stream(p, catalog, inputs)?;
+            let invocations = e.invocations + e.rows;
+            let rows = e.rows * inputs.invocation_fanout(proto);
+            Ok(CostEstimate {
+                rows,
+                invocations,
+                cost: e.cost + e.rows * inputs.invocation_cost(proto),
+            })
+        }
+        StreamPlan::Aggregate(p, group, _) => {
+            let e = estimate_stream(p, catalog, inputs)?;
+            let rows = if group.is_empty() {
+                1.0
+            } else {
+                (e.rows * params.selectivity).max(1.0)
+            };
+            Ok(CostEstimate {
+                rows,
+                invocations: e.invocations,
+                cost: e.cost + e.rows,
+            })
+        }
+        StreamPlan::Window(p, period) => {
+            let e = estimate_stream(p, catalog, inputs)?;
+            let rows = e.rows * (*period).max(1) as f64;
+            Ok(CostEstimate {
+                rows,
+                invocations: e.invocations,
+                cost: e.cost + rows,
+            })
+        }
+        StreamPlan::Stream(p, _) => {
+            let e = estimate_stream(p, catalog, inputs)?;
+            Ok(CostEstimate {
+                rows: e.rows,
+                invocations: e.invocations,
+                cost: e.cost + e.rows,
+            })
+        }
+        StreamPlan::SampleInvoke(p, proto, _, period) => {
+            let e = estimate_stream(p, catalog, inputs)?;
+            let per = (*period).max(1) as f64;
+            let invocations = e.invocations + e.rows / per;
+            let rows = e.rows * inputs.invocation_fanout(proto) / per;
+            Ok(CostEstimate {
+                rows,
+                invocations,
+                cost: e.cost + (e.rows / per) * inputs.invocation_cost(proto),
+            })
+        }
+    }
+}
+
+fn combine2(a: CostEstimate, b: CostEstimate, rows: f64) -> CostEstimate {
+    CostEstimate {
+        rows,
+        invocations: a.invocations + b.invocations,
+        cost: a.cost + b.cost + rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// state-carryover inventory for plan hot-swaps
+// ---------------------------------------------------------------------
+
+/// Signatures of a plan's state-carrying nodes, each list in the
+/// executor's pre-order (the order [`crate::exec::ContinuousQuery`]
+/// assigns node ids: node first, then children left to right).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StateKeys {
+    /// One signature per `W[p]` node: period plus the full rendering of
+    /// the subtree feeding it — a ring is only portable when its feeding
+    /// subtree is unchanged.
+    pub windows: Vec<String>,
+    /// One signature per `β` node: prototype, service attribute and the
+    /// operand's *schema* — a cache keyed on input tuples is portable
+    /// exactly when the input tuple layout is unchanged (a different
+    /// subset of the same-shaped inputs is fine; unused entries idle).
+    pub invokes: Vec<String>,
+}
+
+/// Inventory `plan`'s state-carrying nodes.
+pub fn state_keys(plan: &StreamPlan, catalog: &dyn XdCatalog) -> StateKeys {
+    let mut keys = StateKeys::default();
+    collect_keys(plan, catalog, &mut keys);
+    keys
+}
+
+fn collect_keys(plan: &StreamPlan, catalog: &dyn XdCatalog, keys: &mut StateKeys) {
+    match plan {
+        StreamPlan::Window(child, period) => {
+            keys.windows
+                .push(format!("W[{period}] {}", child.to_algebra()));
+            collect_keys(child, catalog, keys);
+        }
+        StreamPlan::Invoke(child, proto, sa) => {
+            let operand = match child.stream_schema(catalog) {
+                Ok(s) => format!("{:?}", s.schema),
+                // fall back to structural identity when the schema cannot
+                // be derived (conservative: only identical subtrees match)
+                Err(_) => child.to_algebra(),
+            };
+            keys.invokes
+                .push(format!("\u{3b2} {proto}[{sa}] over {operand}"));
+            collect_keys(child, catalog, keys);
+        }
+        StreamPlan::Source(_) => {}
+        StreamPlan::Union(a, b)
+        | StreamPlan::Intersect(a, b)
+        | StreamPlan::Difference(a, b)
+        | StreamPlan::Join(a, b) => {
+            collect_keys(a, catalog, keys);
+            collect_keys(b, catalog, keys);
+        }
+        StreamPlan::Project(p, _)
+        | StreamPlan::Select(p, _)
+        | StreamPlan::Rename(p, _, _)
+        | StreamPlan::Assign(p, _, _)
+        | StreamPlan::Aggregate(p, _, _)
+        | StreamPlan::Stream(p, _)
+        | StreamPlan::SampleInvoke(p, _, _, _) => collect_keys(p, catalog, keys),
+    }
+}
+
+/// Which state a hot-swap can carry over: `(new_position, old_position)`
+/// pairs per node kind, positions counting same-kind nodes in pre-order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MigrationMap {
+    /// Window-ring adoptions.
+    pub windows: Vec<(usize, usize)>,
+    /// β-cache adoptions.
+    pub invokes: Vec<(usize, usize)>,
+}
+
+impl MigrationMap {
+    /// No state carried over (cold swap).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+}
+
+/// Match the state-carrying nodes of the incoming plan against the
+/// outgoing plan's: each new node adopts the first not-yet-claimed old
+/// node with an identical signature.
+pub fn migration_pairs(old: &StateKeys, new: &StateKeys) -> MigrationMap {
+    MigrationMap {
+        windows: greedy_match(&old.windows, &new.windows),
+        invokes: greedy_match(&old.invokes, &new.invokes),
+    }
+}
+
+fn greedy_match(old: &[String], new: &[String]) -> Vec<(usize, usize)> {
+    let mut used = vec![false; old.len()];
+    let mut out = Vec::new();
+    for (ni, key) in new.iter().enumerate() {
+        if let Some(oi) = (0..old.len()).find(|&i| !used[i] && old[i] == *key) {
+            used[oi] = true;
+            out.push((ni, oi));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{StreamKind, StreamSchema};
+    use serena_core::formula::Formula;
+    use serena_core::rewrite::{MeasuredCosts, ServiceObservation};
+    use serena_core::schema::examples as schemas;
+    use std::collections::BTreeMap;
+
+    fn catalog() -> BTreeMap<String, StreamSchema> {
+        let mut cat = BTreeMap::new();
+        cat.insert(
+            "sensors".to_string(),
+            StreamSchema::finite(schemas::sensors_schema()),
+        );
+        cat.insert(
+            "contacts".to_string(),
+            StreamSchema::finite(schemas::contacts_schema()),
+        );
+        cat.insert(
+            "cameras".to_string(),
+            StreamSchema::finite(schemas::cameras_schema()),
+        );
+        cat
+    }
+
+    /// The E20 shape: filter a windowed periodic sampling of the sensor
+    /// fleet down to one location.
+    fn naive_sampler() -> StreamPlan {
+        StreamPlan::source("sensors")
+            .sample_invoke("getTemperature", "sensor", 1)
+            .window(1)
+            .select(Formula::eq_const("location", "corridor"))
+    }
+
+    fn pushed_sampler() -> StreamPlan {
+        StreamPlan::source("sensors")
+            .select(Formula::eq_const("location", "corridor"))
+            .sample_invoke("getTemperature", "sensor", 1)
+            .window(1)
+    }
+
+    #[test]
+    fn selection_pushes_below_sampling_invocation() {
+        let cat = catalog();
+        let opt = optimize_stream(&naive_sampler(), &cat);
+        assert_eq!(opt, pushed_sampler(), "{opt}");
+        assert!(schemas_agree(&naive_sampler(), &opt, &cat));
+    }
+
+    #[test]
+    fn selection_on_realized_attr_stays_put() {
+        // temperature is *realized by* the sampling invocation — the
+        // filter cannot move below it
+        let cat = catalog();
+        let plan = StreamPlan::source("sensors")
+            .sample_invoke("getTemperature", "sensor", 1)
+            .window(1)
+            .select(Formula::gt_const("temperature", 35.5));
+        assert_eq!(optimize_stream(&plan, &cat), plan);
+    }
+
+    #[test]
+    fn selection_pushes_below_stream_of() {
+        let cat = catalog();
+        let plan = StreamPlan::source("contacts")
+            .stream(StreamKind::Insertion)
+            .window(2)
+            .select(Formula::eq_const("name", "Alice"));
+        let expected = StreamPlan::source("contacts")
+            .select(Formula::eq_const("name", "Alice"))
+            .stream(StreamKind::Insertion)
+            .window(2);
+        assert_eq!(optimize_stream(&plan, &cat), expected);
+    }
+
+    #[test]
+    fn core_optimizer_reaches_regions_above_windows() {
+        // σ above a projection above a window: the bridge abstracts the
+        // window as a leaf and the core optimizer pushes σ below π
+        let cat = catalog();
+        let plan = StreamPlan::source("contacts")
+            .stream(StreamKind::Insertion)
+            .window(1)
+            .project(["name", "address"])
+            .select(Formula::eq_const("name", "Alice"));
+        let opt = optimize_stream(&plan, &cat);
+        let text = opt.to_algebra();
+        let sigma = text.find("\u{3c3}").expect("selection survives");
+        let pi = text.find("\u{3c0}").expect("projection survives");
+        assert!(
+            sigma > pi,
+            "selection should sit below the projection: {text}"
+        );
+        assert!(schemas_agree(&plan, &opt, &cat));
+    }
+
+    #[test]
+    fn candidates_are_deterministic_and_original_first() {
+        let cat = catalog();
+        let a = candidates_for(&naive_sampler(), &cat);
+        let b = candidates_for(&naive_sampler(), &cat);
+        assert_eq!(a, b);
+        assert_eq!(a[0], naive_sampler());
+        assert_eq!(a.len(), 2);
+        // an already-optimal plan yields a single candidate
+        assert_eq!(candidates_for(&pushed_sampler(), &cat).len(), 1);
+    }
+
+    #[test]
+    fn degradation_widens_the_pushdown_gap() {
+        let cat = catalog();
+        let mut healthy = MeasuredCosts::new();
+        healthy.observe_cardinality("sensors", 100);
+        let mut degraded = healthy.clone();
+        degraded.observe(
+            "getTemperature",
+            ServiceObservation {
+                failure_rate: 0.8,
+                breaker_open: true,
+                ..ServiceObservation::default()
+            },
+        );
+        let gap = |m: &MeasuredCosts| {
+            let naive = estimate_stream(&naive_sampler(), &cat, m).unwrap().cost;
+            let pushed = estimate_stream(&pushed_sampler(), &cat, m).unwrap().cost;
+            naive - pushed
+        };
+        assert!(gap(&healthy) > 0.0, "pushdown wins even when healthy");
+        assert!(gap(&degraded) > gap(&healthy), "and wins harder degraded");
+    }
+
+    #[test]
+    fn sampling_period_amortizes_invocations() {
+        let cat = catalog();
+        let m = MeasuredCosts::new();
+        let every = StreamPlan::source("sensors")
+            .sample_invoke("getTemperature", "sensor", 1)
+            .window(1);
+        let sparse = StreamPlan::source("sensors")
+            .sample_invoke("getTemperature", "sensor", 4)
+            .window(1);
+        let e1 = estimate_stream(&every, &cat, &m).unwrap();
+        let e4 = estimate_stream(&sparse, &cat, &m).unwrap();
+        assert!(e4.invocations < e1.invocations);
+        assert!(e4.cost < e1.cost);
+    }
+
+    #[test]
+    fn state_keys_track_feeding_subtrees() {
+        let cat = catalog();
+        let old = state_keys(&naive_sampler(), &cat);
+        let new = state_keys(&pushed_sampler(), &cat);
+        assert_eq!(old.windows.len(), 1);
+        assert_eq!(new.windows.len(), 1);
+        // the subtree feeding the window changed → the ring is not portable
+        let pairs = migration_pairs(&old, &new);
+        assert!(pairs.windows.is_empty());
+
+        // an unchanged β keeps its cache portable
+        let q = StreamPlan::source("contacts")
+            .assign_const("text", "hi")
+            .invoke("sendMessage", "messenger");
+        let keys = state_keys(&q, &cat);
+        assert_eq!(keys.invokes.len(), 1);
+        let pairs = migration_pairs(&keys, &keys);
+        assert_eq!(pairs.invokes, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn invoke_cache_portable_across_selection_change_below() {
+        // σ-pushdown below a β filters *which* inputs arrive but not their
+        // layout — the cache stays portable (schema-keyed, not tree-keyed)
+        let cat = catalog();
+        let wide = StreamPlan::source("contacts")
+            .assign_const("text", "hi")
+            .invoke("sendMessage", "messenger");
+        let narrow = StreamPlan::source("contacts")
+            .select(Formula::eq_const("name", "Alice"))
+            .assign_const("text", "hi")
+            .invoke("sendMessage", "messenger");
+        let pairs = migration_pairs(&state_keys(&wide, &cat), &state_keys(&narrow, &cat));
+        assert_eq!(pairs.invokes, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn q3_and_q4_round_trip_the_bridge_unchanged_in_meaning() {
+        let mut cat = catalog();
+        cat.insert(
+            "temperatures".to_string(),
+            StreamSchema::infinite(
+                serena_core::schema::XSchema::builder()
+                    .real("location", serena_core::value::DataType::Str)
+                    .real("temperature", serena_core::value::DataType::Real)
+                    .build()
+                    .unwrap(),
+            ),
+        );
+        for q in [crate::plan::examples::q3(), crate::plan::examples::q4()] {
+            let opt = optimize_stream(&q, &cat);
+            assert!(schemas_agree(&q, &opt, &cat), "{q} vs {opt}");
+        }
+    }
+}

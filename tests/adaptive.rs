@@ -1,0 +1,251 @@
+//! Acceptance tests for adaptive re-optimization (E20): the telemetry-fed
+//! replan loop swaps a degraded query onto a cheaper plan at a tick
+//! boundary, decisions are replay-deterministic (two runs with the same
+//! fault schedule replan at the same instants and emit byte-identical
+//! output), and a node killed and restored across a replan boundary
+//! resumes with the adapted plan and replays identically.
+
+use serena::core::formula::Formula;
+use serena::core::service::fixtures;
+use serena::core::time::Instant;
+use serena::prelude::*;
+use serena::services::bus::BusConfig;
+use serena::services::faults::{FaultPolicy, FaultyService};
+use serena::stream::plan::StreamPlan;
+
+const SENSOR_DDL: &str = "
+    PROTOTYPE getTemperature( ) : ( temperature REAL );
+    EXTENDED RELATION sensors (
+      sensor SERVICE, location STRING, temperature REAL VIRTUAL
+    ) USING BINDING PATTERNS ( getTemperature[sensor] );
+    INSERT INTO sensors VALUES
+      ('sensor01', 'corridor'), ('sensor06', 'office'),
+      ('sensor07', 'roof'), ('sensor22', 'kitchen');
+";
+
+/// The E20 query, deliberately registered in its naive shape: sample
+/// every sensor each instant, window, then filter to one location. The
+/// optimizer's candidate list contains the pushed-down form that samples
+/// only the corridor sensor.
+fn naive_plan() -> StreamPlan {
+    StreamPlan::source("sensors")
+        .sample_invoke("getTemperature", "sensor", 1)
+        .window(1)
+        .select(Formula::eq_const("location", "corridor"))
+}
+
+/// A PEMS over four sensors, all failing during the outage interval, with
+/// a breaker so degradation shows up as logically-timed transitions.
+fn outage_pems(adaptive: Option<ReplanPolicy>, outage: Option<(u64, u64)>) -> Pems {
+    let mut builder = Pems::builder()
+        .bus(BusConfig::instant())
+        .resilience(ResiliencePolicy::disabled().with_breaker(3, 8))
+        .exec_options(ExecOptions::default().with_degrade(DegradePolicy::DropTuple));
+    if let Some(policy) = adaptive {
+        builder = builder.adaptive(policy);
+    }
+    let mut pems = builder.build();
+    let reg = pems.directory();
+    for (name, seed) in [
+        ("sensor01", 1u64),
+        ("sensor06", 6),
+        ("sensor07", 7),
+        ("sensor22", 22),
+    ] {
+        let svc = fixtures::temperature_sensor(seed);
+        match outage {
+            Some((from, to)) => reg.register(
+                name,
+                FaultyService::new(
+                    svc,
+                    FaultPolicy::Outage {
+                        from: Instant(from),
+                        to: Instant(to),
+                    },
+                ),
+            ),
+            None => reg.register(name, svc),
+        }
+    }
+    pems.run_program(SENSOR_DDL).unwrap();
+    pems
+}
+
+/// One tick's observable output, in a directly comparable form.
+fn tick_digest(reports: &[(String, TickReport)]) -> Vec<(String, Vec<String>, Vec<String>, usize)> {
+    reports
+        .iter()
+        .map(|(name, r)| {
+            (
+                name.clone(),
+                r.delta
+                    .inserts
+                    .sorted_occurrences()
+                    .iter()
+                    .map(|t| format!("{t:?}"))
+                    .collect(),
+                r.batch.iter().map(|t| format!("{t:?}")).collect(),
+                r.errors.len(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn adaptivity_is_off_by_default() {
+    let mut pems = outage_pems(None, Some((2, 10)));
+    pems.register_query("watch", &naive_plan()).unwrap();
+    for _ in 0..20 {
+        pems.tick();
+    }
+    assert!(!pems.adaptive_enabled());
+    assert!(pems.replan_history().is_empty());
+    assert!(
+        pems.plan_report("watch").is_err(),
+        "plan report needs adaptivity"
+    );
+    assert!(pems.force_replan("watch").is_err());
+}
+
+#[test]
+fn degradation_triggers_a_breaker_replan_that_cuts_invocations() {
+    let run = |adaptive: bool| {
+        let policy = ReplanPolicy {
+            cooldown_ticks: 2,
+            ..ReplanPolicy::default()
+        };
+        let mut pems = outage_pems(adaptive.then_some(policy), Some((5, 60)));
+        pems.register_query("watch", &naive_plan()).unwrap();
+        for _ in 0..40 {
+            pems.tick();
+        }
+        let invocations = pems.processor().stats("watch").unwrap().invocations;
+        (pems.replan_history().to_vec(), invocations)
+    };
+    let (static_history, static_invocations) = run(false);
+    assert!(static_history.is_empty());
+    let (adaptive_history, adaptive_invocations) = run(true);
+    assert!(
+        !adaptive_history.is_empty(),
+        "the outage must trigger at least one replan"
+    );
+    assert_eq!(adaptive_history[0].reason, ReplanReason::BreakerTransition);
+    assert_ne!(adaptive_history[0].candidate, 0, "swapped off the original");
+    // E20's point: the pushed-down plan samples one sensor instead of
+    // four, so the adaptive run performs strictly fewer live invocations
+    assert!(
+        adaptive_invocations < static_invocations,
+        "adaptive ({adaptive_invocations}) should invoke less than static ({static_invocations})"
+    );
+}
+
+#[test]
+fn same_fault_schedule_replans_at_same_instants_with_identical_output() {
+    let run = || {
+        let mut pems = outage_pems(Some(ReplanPolicy::default()), Some((5, 25)));
+        pems.register_query("watch", &naive_plan()).unwrap();
+        let mut digests = Vec::new();
+        for _ in 0..40 {
+            digests.push(tick_digest(&pems.tick()));
+        }
+        (digests, pems.replan_history().to_vec())
+    };
+    let (digests_a, history_a) = run();
+    let (digests_b, history_b) = run();
+    assert!(!history_a.is_empty(), "the outage must trigger a replan");
+    assert_eq!(history_a, history_b, "replan instants/choices must agree");
+    assert_eq!(digests_a, digests_b, "tick output must be byte-identical");
+}
+
+#[test]
+fn kill_and_restore_across_a_replan_boundary_replays_identically() {
+    let build = || {
+        let mut pems = outage_pems(Some(ReplanPolicy::default()), Some((5, 25)));
+        pems.register_query("watch", &naive_plan()).unwrap();
+        pems
+    };
+    // drive the primary until at least one replan happened, then a few
+    // ticks more so the checkpoint lands *after* the swap
+    let mut primary = build();
+    let mut before = Vec::new();
+    while primary.replan_history().is_empty() {
+        before.push(tick_digest(&primary.tick()));
+        assert!(
+            primary.clock() < Instant(35),
+            "no replan triggered within the outage"
+        );
+    }
+    before.push(tick_digest(&primary.tick()));
+    let bytes = primary.snapshot_bytes();
+
+    // a fresh node re-runs the static setup and restores the snapshot:
+    // it must resume with the adapted plan already applied
+    let mut restored = build();
+    restored.restore_bytes(&bytes).expect("restore");
+    assert_eq!(restored.clock(), primary.clock());
+    assert_eq!(restored.replan_history(), primary.replan_history());
+
+    // both continue through the rest of the outage and past recovery:
+    // byte-identical replay, no new replan from re-detecting the same
+    // (already-adapted) degradation
+    let history_len = primary.replan_history().len();
+    for _ in 0..25 {
+        let a = tick_digest(&primary.tick());
+        let b = tick_digest(&restored.tick());
+        assert_eq!(a, b);
+    }
+    assert_eq!(primary.replan_history().len(), history_len);
+    assert_eq!(restored.replan_history(), primary.replan_history());
+}
+
+#[test]
+fn snapshot_from_adaptive_runtime_refuses_a_non_adaptive_restore() {
+    let mut pems = outage_pems(Some(ReplanPolicy::default()), Some((5, 25)));
+    pems.register_query("watch", &naive_plan()).unwrap();
+    while pems.replan_history().is_empty() {
+        pems.tick();
+        assert!(pems.clock() < Instant(35));
+    }
+    let bytes = pems.snapshot_bytes();
+    let mut plain = outage_pems(None, Some((5, 25)));
+    plain.register_query("watch", &naive_plan()).unwrap();
+    let err = plain.restore_bytes(&bytes).unwrap_err();
+    assert!(
+        err.to_string().contains("adaptive"),
+        "mismatch should name the adaptive section: {err}"
+    );
+}
+
+#[test]
+fn forced_replan_swaps_healthy_queries_to_the_cheaper_candidate() {
+    let mut pems = outage_pems(Some(ReplanPolicy::default()), None);
+    pems.register_query("watch", &naive_plan()).unwrap();
+    pems.tick();
+    // healthy system: no trigger ever fired, still on the original
+    assert!(pems.replan_history().is_empty());
+    let report = pems.plan_report("watch").unwrap();
+    assert!(
+        report.contains("* [0]"),
+        "original marked current:\n{report}"
+    );
+
+    // the pushed-down candidate is cheaper even when healthy (4 sampled
+    // sensors vs 1), so a forced evaluation swaps
+    assert!(pems.force_replan("watch").unwrap());
+    assert_eq!(pems.replan_history().len(), 1);
+    assert_eq!(pems.replan_history()[0].reason, ReplanReason::Forced);
+    let report = pems.plan_report("watch").unwrap();
+    assert!(
+        !report.contains("* [0]"),
+        "no longer on the original:\n{report}"
+    );
+
+    // idempotent: the best candidate is already running
+    assert!(!pems.force_replan("watch").unwrap());
+    assert_eq!(pems.replan_history().len(), 1);
+
+    // and the swapped query keeps producing the same rows as before
+    let reports = pems.tick();
+    assert_eq!(reports.len(), 1);
+    assert!(reports[0].1.errors.is_empty());
+}
